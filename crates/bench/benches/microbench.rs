@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the real (wall-clock) library code paths.
+//!
+//! The figure binaries report *simulated* time; these benches measure how
+//! fast the library itself runs — the packing datapath, the codecs, the
+//! qualification logic, and a full simulated query per engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{
+    CmpOp, ColumnPredicate, ColumnType, Geometry, Predicate, RowLayout, Schema, Value,
+};
+use relmem::{packer, RmConfig};
+use workload::micro::{run_col, run_rm, run_row, MicroQuery};
+use workload::SyntheticData;
+
+fn bench_packer(c: &mut Criterion) {
+    let schema = Schema::uniform(16, ColumnType::I32);
+    let layout = RowLayout::packed(&schema);
+    let fields = layout.fields(&[0, 5, 9, 12]).unwrap();
+    let g = Geometry::packed(0, 64, 1, fields);
+    let row: Vec<u8> = (0..64u8).collect();
+
+    let mut group = c.benchmark_group("packer");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("pack_row_4_of_16", |b| {
+        let mut out = Vec::with_capacity(1 << 16);
+        b.iter(|| {
+            out.clear();
+            packer::pack_row(black_box(&g), black_box(&row), &mut out);
+            black_box(&out);
+        })
+    });
+
+    let pred = Predicate::always_true().and(ColumnPredicate::new(
+        layout.field(3).unwrap(),
+        CmpOp::Lt,
+        Value::I32(1000),
+    ));
+    let gp = g.clone().with_predicate(pred);
+    group.bench_function("row_qualifies", |b| {
+        b.iter(|| packer::row_qualifies(black_box(&gp), black_box(&row)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let values: Vec<i64> = (0..8192).map(|i| 1_000_000 + i * 3).collect();
+    let raw: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+
+    let mut group = c.benchmark_group("codecs");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("delta_encode_8k", |b| {
+        b.iter(|| compress::BlockDelta::encode(black_box(&values)))
+    });
+    let delta = compress::BlockDelta::encode(&values);
+    group.bench_function("delta_decode_8k", |b| b.iter(|| delta.decode_all().unwrap()));
+    group.bench_function("dict_encode_8k", |b| {
+        b.iter(|| compress::DictEncoded::encode(black_box(&raw), 8).unwrap())
+    });
+    group.bench_function("rle_encode_8k", |b| {
+        b.iter(|| compress::RleEncoded::encode(black_box(&values)))
+    });
+    group.finish();
+}
+
+fn bench_simulated_engines(c: &mut Criterion) {
+    // Wall-clock cost of simulating one query per engine (16k rows).
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let data = SyntheticData::build(&mut mem, 16_384, 16, 0xBE7).unwrap();
+    let q = MicroQuery::projectivity(4);
+
+    let mut group = c.benchmark_group("simulated_query_16k_rows");
+    group.bench_function("row_engine", |b| {
+        b.iter(|| run_row(&mut mem, &data.rows, black_box(&q)).unwrap())
+    });
+    group.bench_function("col_engine", |b| {
+        b.iter(|| run_col(&mut mem, &data.cols, black_box(&q)).unwrap())
+    });
+    group.bench_function("rm_engine", |b| {
+        b.iter(|| run_rm(&mut mem, &data.rows, black_box(&q), RmConfig::prototype()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_value_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value");
+    let bytes = 42i64.to_le_bytes();
+    group.bench_function("decode_i64", |b| {
+        b.iter(|| Value::decode(ColumnType::I64, black_box(&bytes)))
+    });
+    let (a, bb) = (Value::I64(7), Value::I64(9));
+    group.bench_function("compare_i64", |b| b.iter(|| a.compare(black_box(&bb)).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_packer, bench_codecs, bench_simulated_engines, bench_value_codec);
+criterion_main!(benches);

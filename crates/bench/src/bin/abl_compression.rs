@@ -1,0 +1,55 @@
+//! The §III-D compression analysis as a runnable table: compression ratio
+//! and random-access granularity of every codec on three column shapes,
+//! with the fabric-compatibility verdict.
+//!
+//! Usage: `abl_compression [--rows N]`
+
+use bench::{arg_usize, render_table};
+use compress::{analyze_i64, RandomAccess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn describe(access: RandomAccess) -> String {
+    match access {
+        RandomAccess::Direct => "O(1) direct".into(),
+        RandomAccess::Block(n) => format!("block of {n}"),
+        RandomAccess::Search => "run search".into(),
+        RandomAccess::None => "full decode".into(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 200_000);
+    let mut rng = StdRng::seed_from_u64(0xAB4);
+
+    let datasets: Vec<(&str, Vec<i64>)> = vec![
+        ("sorted timestamps", (0..rows as i64).map(|i| 1_600_000_000 + i * 7).collect()),
+        ("low-cardinality flags", (0..rows).map(|_| rng.gen_range(0..4i64) * 37).collect()),
+        ("uniform random", (0..rows).map(|_| rng.gen_range(-1_000_000..1_000_000i64)).collect()),
+    ];
+
+    for (name, values) in &datasets {
+        let reports = analyze_i64(values).expect("analyze");
+        let rows_out: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    format!("{:.2}x", r.ratio()),
+                    describe(r.access),
+                    if r.fabric_compatible() { "yes".into() } else { "NO".into() },
+                ]
+            })
+            .collect();
+        println!("Column: {name} ({rows} values)");
+        println!(
+            "{}",
+            render_table(&["codec", "ratio", "random access", "fabric-compatible"], &rows_out)
+        );
+    }
+    println!(
+        "Verdict (paper §III-D): dictionary/delta/huffman suit the fabric; \
+         RLE needs run searches; LZ needs full decompression."
+    );
+}

@@ -1,0 +1,74 @@
+//! The paper's headline HTAP trade-off (§I), measured: a single-layout
+//! fabric system (always-fresh analytics, no maintenance) versus the
+//! conventional dual-layout design (columnar copy refreshed every K
+//! commits: pay conversion for freshness, or accept stale answers).
+//!
+//! Usage: `abl_htap [--accounts N] [--batches B] [--updates U]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use workload::mix::{run_dual_layout_htap, run_fabric_htap, MixParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let accounts = arg_usize(&args, "--accounts", 50_000);
+    let batches = arg_usize(&args, "--batches", 24);
+    let updates = arg_usize(&args, "--updates", 400);
+
+    let base = MixParams {
+        accounts,
+        batches,
+        updates_per_batch: updates,
+        scans: true,
+        convert_every: 1,
+        seed: 0x47A9,
+    };
+
+    let mut rows = Vec::new();
+
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let fabric = run_fabric_htap(&mut mem, &base).expect("fabric");
+    rows.push(vec![
+        "fabric (single layout)".into(),
+        fmt_ns(fabric.oltp_ns),
+        fmt_ns(fabric.olap_ns),
+        fmt_ns(fabric.maintenance_ns),
+        fmt_ns(fabric.total_ns()),
+        format!("{:.1}", fabric.avg_staleness_commits),
+    ]);
+
+    for convert_every in [1usize, 4, 12, usize::MAX] {
+        let p = MixParams { convert_every, ..base };
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let dual = run_dual_layout_htap(&mut mem, &p).expect("dual");
+        let label = if convert_every == usize::MAX {
+            "dual, never reconvert".to_string()
+        } else {
+            format!("dual, convert every {convert_every}")
+        };
+        rows.push(vec![
+            label,
+            fmt_ns(dual.oltp_ns),
+            fmt_ns(dual.olap_ns),
+            fmt_ns(dual.maintenance_ns),
+            fmt_ns(dual.total_ns()),
+            format!("{:.1}", dual.avg_staleness_commits),
+        ]);
+    }
+
+    println!(
+        "HTAP mix: {accounts} accounts, {batches} update batches x {updates} updates, \
+         one analytical scan per batch"
+    );
+    println!(
+        "{}",
+        render_table(
+            &["system", "OLTP", "OLAP", "maintenance", "total", "staleness (commits)"],
+            &rows
+        )
+    );
+    println!(
+        "The fabric gets zero-staleness analytics with zero maintenance; the \
+         dual-layout design must pick a point on the freshness/maintenance curve (§I)."
+    );
+}

@@ -1,0 +1,131 @@
+//! Ablation of paper §III-A's indexing claim: with a Relational Fabric,
+//! *"indexes will mostly be useful for workloads with point queries and
+//! updates, since range queries can be very efficiently evaluated with
+//! column-group accesses."*
+//!
+//! Point query: index probe ≫ any scan (index keeps its job).
+//! Range sum: the ordered index pays a random base-row access per match,
+//! while the fabric streams the column group — the fabric takes over as
+//! the range widens.
+//!
+//! Usage: `abl_index [--rows N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{CmpOp, ColumnPredicate, ColumnType, Predicate, Schema, Value};
+use relmem::{EphemeralColumns, RmConfig};
+use rowstore::{HashIndex, OrderedIndex, RowTable};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 1 << 20);
+
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let schema = Schema::from_pairs(&[
+        ("key", ColumnType::I64),
+        ("a", ColumnType::I64),
+        ("b", ColumnType::I64),
+        ("c", ColumnType::I64),
+    ]);
+    let mut t = RowTable::create(&mut mem, schema, rows).expect("create");
+    eprintln!("# loading {rows} rows...");
+    for i in 0..rows as i64 {
+        // key is a permutation so point lookups hit exactly one row.
+        let key = (i * 2_654_435_761i64) % rows as i64;
+        let key = if key < 0 { key + rows as i64 } else { key };
+        t.load(&mut mem, &[Value::I64(key), Value::I64(i), Value::I64(i % 97), Value::I64(1)])
+            .expect("load");
+    }
+    let hash = HashIndex::build(&mut mem, &t, 0).expect("hash index");
+    let ordered = OrderedIndex::build(&mut mem, &t, 0).expect("ordered index");
+
+    // ---- Point query: index vs RM-with-device-selection vs full scan.
+    let key = (rows as i64) / 3;
+    mem.flush_caches();
+    let t0 = mem.now();
+    let hits = hash.probe(&mut mem, &t, key).expect("probe");
+    let probe_ns = mem.ns_since(t0);
+    assert_eq!(hits.len(), 1);
+
+    mem.flush_caches();
+    let t0 = mem.now();
+    let pred = Predicate::always_true().and(ColumnPredicate::new(
+        t.layout().field(0).unwrap(),
+        CmpOp::Eq,
+        Value::I64(key),
+    ));
+    let g = t.geometry(&[1]).unwrap().with_predicate(pred);
+    let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+    let mut found = 0;
+    while let Some(b) = eph.next_batch(&mut mem) {
+        found += b.len();
+    }
+    let rm_ns = mem.ns_since(t0);
+    assert_eq!(found, 1);
+
+    println!("Point query (1 of {rows} rows):");
+    println!(
+        "{}",
+        render_table(
+            &["plan", "time"],
+            &[
+                vec!["hash index probe".into(), fmt_ns(probe_ns)],
+                vec!["RM scan (device filter)".into(), fmt_ns(rm_ns)],
+                vec![
+                    "index advantage".into(),
+                    format!("{:.0}x", rm_ns / probe_ns.max(1.0))
+                ],
+            ]
+        )
+    );
+
+    // ---- Range sum: ordered index vs RM column-group access.
+    let mut out = Vec::new();
+    for frac in [0.001f64, 0.01, 0.1, 0.5] {
+        let span = (rows as f64 * frac) as i64;
+        let (lo, hi) = (1000i64, 1000 + span);
+
+        mem.flush_caches();
+        let t0 = mem.now();
+        let (idx_sum, n) = ordered.range_sum(&mut mem, &t, lo, hi, 1).expect("range_sum");
+        let idx_ns = mem.ns_since(t0);
+
+        mem.flush_caches();
+        let t0 = mem.now();
+        let pred = Predicate::new(vec![
+            ColumnPredicate::new(t.layout().field(0).unwrap(), CmpOp::Ge, Value::I64(lo)),
+            ColumnPredicate::new(t.layout().field(0).unwrap(), CmpOp::Lt, Value::I64(hi)),
+        ]);
+        let g = t.geometry(&[1]).unwrap().with_predicate(pred);
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let costs = mem.costs();
+        let mut rm_sum = 0.0;
+        let mut rm_n = 0usize;
+        while let Some(b) = eph.next_batch(&mut mem) {
+            for r in 0..b.len() {
+                mem.cpu(costs.vector_elem + costs.f64_op);
+                rm_sum += b.i64_at(r, 0) as f64;
+            }
+            rm_n += b.len();
+        }
+        let rm_ns = mem.ns_since(t0);
+        assert_eq!((idx_sum, n), (rm_sum, rm_n), "plans disagree at {frac}");
+
+        out.push(vec![
+            format!("{:.1}%", frac * 100.0),
+            format!("{n}"),
+            fmt_ns(idx_ns),
+            fmt_ns(rm_ns),
+            if rm_ns < idx_ns {
+                format!("RM {:.1}x", idx_ns / rm_ns)
+            } else {
+                format!("index {:.1}x", rm_ns / idx_ns)
+            },
+        ]);
+    }
+    println!("Range sum over the key column:");
+    println!(
+        "{}",
+        render_table(&["range", "matches", "ordered index", "RM column group", "winner"], &out)
+    );
+}

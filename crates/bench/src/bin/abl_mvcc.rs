@@ -1,0 +1,78 @@
+//! Ablation of MVCC visibility filtering (paper §III-C): the fabric's
+//! hardware timestamp comparison versus a software visibility scan, as the
+//! fraction of dead versions grows.
+//!
+//! Usage: `abl_mvcc [--rows N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{ColumnType, Schema, Value};
+use mvcc::scan::{rm_visible_sum, sw_visible_sum};
+use mvcc::{TxnManager, VersionedTable};
+use relmem::RmConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let logical_rows = arg_usize(&args, "--rows", 100_000);
+
+    let mut out = Vec::new();
+    for update_rounds in [0usize, 1, 3, 7] {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
+        let mut table = VersionedTable::create(
+            &mut mem,
+            schema,
+            logical_rows * (update_rounds + 1) + 16,
+        )
+        .expect("create");
+        let tm = TxnManager::new();
+
+        // Insert everything in one transaction, then update every row
+        // `update_rounds` times — each round doubles... adds a dead version
+        // per logical row.
+        let mut txn = tm.begin();
+        for k in 0..logical_rows as i64 {
+            txn.insert(vec![Value::I64(k), Value::I64(k)]);
+        }
+        let ids = tm.commit(&mut mem, &mut table, txn).expect("insert").inserted;
+        for round in 0..update_rounds {
+            let mut txn = tm.begin();
+            for &l in &ids {
+                txn.update(l, vec![(1, Value::I64((round + 1) as i64 * 1000))]);
+            }
+            tm.commit(&mut mem, &mut table, txn).expect("update");
+        }
+        let ts = tm.snapshot_ts();
+
+        mem.flush_caches();
+        let t0 = mem.now();
+        let (sw_sum, sw_n) = sw_visible_sum(&mut mem, &table, 1, ts).expect("sw");
+        let sw_ns = mem.ns_since(t0);
+
+        mem.flush_caches();
+        let t0 = mem.now();
+        let (rm_sum, rm_n) =
+            rm_visible_sum(&mut mem, &table, 1, ts, RmConfig::prototype()).expect("rm");
+        let rm_ns = mem.ns_since(t0);
+        assert_eq!((sw_sum, sw_n), (rm_sum, rm_n), "paths disagree");
+
+        out.push(vec![
+            format!("{}", update_rounds + 1),
+            format!("{}", table.version_count()),
+            fmt_ns(sw_ns),
+            fmt_ns(rm_ns),
+            format!("{:.2}x", sw_ns / rm_ns),
+        ]);
+    }
+    println!(
+        "MVCC visibility filter: software scan vs in-fabric timestamp comparison \
+         ({logical_rows} logical rows):"
+    );
+    println!(
+        "{}",
+        render_table(
+            &["versions/row", "total versions", "SW visibility", "HW visibility", "speedup"],
+            &out
+        )
+    );
+}

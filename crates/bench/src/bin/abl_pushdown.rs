@@ -1,0 +1,124 @@
+//! Ablation of the §IV-B extensions: pushing *selection* and *aggregation*
+//! into the fabric, versus the base prototype that pushes projection only.
+//!
+//! * Selection push-down: the device evaluates the predicate while
+//!   gathering, so only qualifying rows' columns cross the hierarchy — the
+//!   win grows as selectivity drops.
+//! * Aggregation push-down: only the aggregate scalars leave the device
+//!   (*"the ephemeral variables will contain only … the aggregation
+//!   result"*).
+//!
+//! Usage: `abl_pushdown [--rows N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{AggFunc, AggSpec, CmpOp, ColumnPredicate, OutputMode, Predicate, Value};
+use relmem::{EphemeralColumns, RmConfig};
+use workload::micro::{run_rm, run_rm_pushdown, MicroQuery};
+use workload::SyntheticData;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 1 << 19);
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    eprintln!("# generating {rows} rows...");
+    let data = SyntheticData::build(&mut mem, rows, 16, 0xAB2).expect("generate");
+
+    // --- Selection push-down across selectivities (project 10, filter 2):
+    // wide enough that the consumer, not the device scan, is the
+    // bottleneck — which is where filtering at the device pays off.
+    let mut out = Vec::new();
+    for sel in [0.9f64, 0.5, 0.1, 0.01] {
+        let q = MicroQuery::proj_sel(10, 2, 16, sel.sqrt());
+        let base = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm");
+        let push = run_rm_pushdown(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("push");
+        assert_eq!(base.checksum, push.checksum);
+        out.push(vec![
+            format!("{:.0}%", sel * 100.0),
+            fmt_ns(base.ns),
+            fmt_ns(push.ns),
+            format!("{:.2}x", base.ns / push.ns),
+        ]);
+    }
+    println!("Selection push-down (project 10 cols, 2 conjuncts):");
+    println!(
+        "{}",
+        render_table(&["selectivity", "RM (CPU filter)", "RM (device filter)", "speedup"], &out)
+    );
+
+    // --- Aggregation push-down: eight per-column SUMs, optionally
+    // filtered. Shipping eight columns and adding on the CPU is
+    // consume-bound; the device returns just eight scalars.
+    let mut out = Vec::new();
+    let agg_cols: Vec<usize> = (0..8).collect();
+    for sel in [1.0f64, 0.5, 0.05] {
+        let thr = SyntheticData::threshold(sel);
+        let layout = data.rows.layout();
+        let pred = if sel >= 1.0 {
+            Predicate::always_true()
+        } else {
+            Predicate::always_true().and(ColumnPredicate::new(
+                layout.field(15).unwrap(),
+                CmpOp::Lt,
+                Value::I32(thr),
+            ))
+        };
+
+        // Software consume: ship the eight columns (+ filter column),
+        // filter + sum on the CPU.
+        mem.flush_caches();
+        let t0 = mem.now();
+        let costs = mem.costs();
+        let mut cols = agg_cols.clone();
+        if sel < 1.0 {
+            cols.push(15);
+        }
+        let g = data.rows.geometry(&cols).unwrap();
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let mut sw_sums = [0i64; 8];
+        while let Some(b) = eph.next_batch(&mut mem) {
+            for r in 0..b.len() {
+                mem.cpu(costs.vector_elem + costs.value_op);
+                if sel >= 1.0 || b.i32_at(r, 8) < thr {
+                    mem.cpu(costs.value_op * 8);
+                    for (j, s) in sw_sums.iter_mut().enumerate() {
+                        *s += b.i32_at(r, j) as i64;
+                    }
+                }
+            }
+        }
+        let sw_ns = mem.ns_since(t0);
+
+        // Device aggregation: only the results leave the fabric.
+        mem.flush_caches();
+        let t0 = mem.now();
+        let specs: Vec<AggSpec> = agg_cols
+            .iter()
+            .map(|&c| AggSpec::over(AggFunc::Sum, layout.field(c).unwrap()))
+            .collect();
+        let g = data
+            .rows
+            .geometry(&agg_cols)
+            .unwrap()
+            .with_predicate(pred)
+            .with_mode(OutputMode::Aggregate(specs));
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let vals = eph.run_aggregate(&mut mem).unwrap();
+        let hw_ns = mem.ns_since(t0);
+        for (j, s) in sw_sums.iter().enumerate() {
+            assert_eq!(vals[j], Value::I64(*s), "sum {j} disagrees at sel {sel}");
+        }
+
+        out.push(vec![
+            format!("{:.0}%", sel * 100.0),
+            fmt_ns(sw_ns),
+            fmt_ns(hw_ns),
+            format!("{:.2}x", sw_ns / hw_ns),
+        ]);
+    }
+    println!("Aggregation push-down (8 column SUMs [WHERE c15 < thr]):");
+    println!(
+        "{}",
+        render_table(&["selectivity", "CPU aggregate", "device aggregate", "speedup"], &out)
+    );
+}

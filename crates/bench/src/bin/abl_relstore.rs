@@ -1,0 +1,123 @@
+//! Ablation of Relational Storage (paper §IV-D): near-data projection /
+//! selection / aggregation in the SSD controller versus shipping whole
+//! pages to the host, plus on-the-fly decompression versus host-side
+//! decode.
+//!
+//! Usage: `abl_relstore [--rows N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{
+    AggFunc, AggSpec, CmpOp, ColumnPredicate, ColumnType, FieldSlice, Geometry, OutputMode,
+    Predicate, Schema, Value,
+};
+use relstore::{CompressedTable, RsConfig, SsdDevice};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 500_000);
+
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+
+    // A 64-byte row of 16 i32 columns, stored row-major on flash.
+    eprintln!("# storing {rows} rows on simulated flash...");
+    let mut bytes = Vec::with_capacity(rows * 64);
+    for i in 0..rows {
+        for j in 0..16usize {
+            bytes.extend_from_slice(&(((i * 16 + j) % 1_000_000) as i32).to_le_bytes());
+        }
+    }
+    let table = dev.store_rows(&bytes, 64).expect("store");
+    let f = |c: usize| FieldSlice::new(c, c * 4, ColumnType::I32);
+
+    let mut out = Vec::new();
+
+    // Projection of 2 of 16 columns.
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, host) = dev.fetch_raw(&mut mem, &table).expect("host");
+    let host_ns = mem.ns_since(t0);
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, near) = dev
+        .fetch_geometry(&mut mem, &table, vec![f(0), f(5)], Predicate::always_true())
+        .expect("near");
+    let near_ns = mem.ns_since(t0);
+    out.push(vec![
+        "project 2/16 cols".into(),
+        format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
+        format!("{} ({})", fmt_ns(near_ns), near.bytes_shipped / 1024 / 1024),
+        format!("{:.2}x", host_ns / near_ns),
+    ]);
+
+    // Selective projection (1 % of rows).
+    let pred = Predicate::always_true().and(ColumnPredicate::new(
+        f(3),
+        CmpOp::Lt,
+        Value::I32(10_000),
+    ));
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, near) = dev
+        .fetch_geometry(&mut mem, &table, vec![f(0), f(5)], pred.clone())
+        .expect("near");
+    let near_ns = mem.ns_since(t0);
+    out.push(vec![
+        "project 2 + select ~1%".into(),
+        format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
+        format!("{} ({})", fmt_ns(near_ns), near.bytes_shipped / 1024 / 1024),
+        format!("{:.2}x", host_ns / near_ns),
+    ]);
+
+    // Aggregation: only scalars cross the link.
+    let g = Geometry::packed(0, 64, table.rows, vec![f(1)]).with_mode(OutputMode::Aggregate(
+        vec![AggSpec::count(), AggSpec::over(AggFunc::Sum, f(1))],
+    ));
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, agg) = dev.fetch_aggregate(&mut mem, &table, &g).expect("agg");
+    let agg_ns = mem.ns_since(t0);
+    out.push(vec![
+        "sum + count".into(),
+        format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
+        format!("{} ({}B)", fmt_ns(agg_ns), agg.bytes_shipped),
+        format!("{:.2}x", host_ns / agg_ns),
+    ]);
+
+    println!("Relational Storage vs ship-to-host ({rows} rows, 64 B rows):");
+    println!(
+        "{}",
+        render_table(&["operation", "host path (MiB)", "near-data (MiB)", "speedup"], &out)
+    );
+
+    // --- Compressed columns: device-side vs host-side decompression.
+    let schema = Schema::from_pairs(&[("flag", ColumnType::I32), ("grp", ColumnType::I64)]);
+    let col_a: Vec<u8> = (0..rows).flat_map(|i| ((i % 8) as i32).to_le_bytes()).collect();
+    let col_b: Vec<u8> = (0..rows).flat_map(|i| ((i % 3) as i64 * 99).to_le_bytes()).collect();
+    let ct = CompressedTable::store(&mut dev, schema, rows, vec![col_a, col_b]).expect("store");
+
+    let mut out = Vec::new();
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, near) = ct.fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1]).expect("near");
+    let near_ns = mem.ns_since(t0);
+    dev.reset_timing();
+    let t0 = mem.now();
+    let (_, host) = ct.fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1]).expect("host");
+    let host_ns = mem.ns_since(t0);
+    out.push(vec![
+        "decompress + reconstruct".into(),
+        format!("{} ({} KiB)", fmt_ns(host_ns), host.bytes_shipped / 1024),
+        format!("{} ({} KiB)", fmt_ns(near_ns), near.bytes_shipped / 1024),
+        format!("{:.2}x", host_ns / near_ns),
+    ]);
+    println!(
+        "On-the-fly decompression (dictionary columns, {:.1}x compressed):",
+        ct.original_bytes() as f64 / ct.compressed_bytes() as f64
+    );
+    println!(
+        "{}",
+        render_table(&["operation", "host decode", "device decode", "speedup"], &out)
+    );
+}

@@ -1,0 +1,103 @@
+//! Ablations of the RM device parameters (paper §IV-A / §V):
+//!
+//! * staging-buffer size sweep — §V: *"RM supports arbitrary data sizes
+//!   even with a small data memory of 2 MB on the FPGA by refilling it
+//!   whenever it is full"*; smaller buffers shrink the production
+//!   lookahead;
+//! * engine-clock sweep — how slow the programmable logic can get (the
+//!   prototype runs at 100 MHz) before RM stops beating the baselines.
+//!
+//! Usage: `abl_rm_device [--rows N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use relmem::RmConfig;
+use workload::micro::{run_rm, run_row, MicroQuery};
+use workload::SyntheticData;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 1 << 19);
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    eprintln!("# generating {rows} rows...");
+    let data = SyntheticData::build(&mut mem, rows, 16, 0xAB1).expect("generate");
+    let q = MicroQuery::projectivity(6);
+    let row = run_row(&mut mem, &data.rows, &q).expect("row");
+
+    // --- Buffer sweep (fixed 16 KiB delivery batches).
+    let mut out = Vec::new();
+    for kib in [64usize, 256, 1024, 2048, 8192] {
+        let cfg = RmConfig {
+            buffer_bytes: kib * 1024,
+            batch_bytes: 16 * 1024,
+            ..RmConfig::prototype()
+        };
+        let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("rm");
+        assert_eq!(rm.checksum, row.checksum);
+        out.push(vec![
+            format!("{kib} KiB"),
+            fmt_ns(rm.ns),
+            format!("{:.2}x", row.ns / rm.ns),
+        ]);
+    }
+    println!("RM staging-buffer sweep (projectivity 6, ROW = {}):", fmt_ns(row.ns));
+    println!("{}", render_table(&["buffer", "RM time", "speedup vs ROW"], &out));
+
+    // --- Engine-clock sweep.
+    let mut out = Vec::new();
+    for mhz in [25u32, 50, 100, 200, 400] {
+        let period = 1000.0 / mhz as f64;
+        let cfg = RmConfig {
+            engine_ns_per_line: period,
+            engine_ns_per_row: period,
+            ..RmConfig::prototype()
+        };
+        let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("rm");
+        assert_eq!(rm.checksum, row.checksum);
+        out.push(vec![
+            format!("{mhz} MHz"),
+            fmt_ns(rm.ns),
+            format!("{:.2}x", row.ns / rm.ns),
+        ]);
+    }
+    println!("RM engine-clock sweep (projectivity 6):");
+    println!("{}", render_table(&["engine clock", "RM time", "speedup vs ROW"], &out));
+
+    // --- RM prototype vs the envisioned Relational Memory Controller
+    // (§IV-C): controller-domain engine, miss-fill-like delivery, ISA-level
+    // configuration.
+    let mut out = Vec::new();
+    for p in [1usize, 6, 11] {
+        let q = MicroQuery::projectivity(p);
+        let rm = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm");
+        let rmc = run_rm(&mut mem, &data.rows, &q, RmConfig::rmc()).expect("rmc");
+        assert_eq!(rm.checksum, rmc.checksum);
+        out.push(vec![
+            format!("{p}"),
+            fmt_ns(rm.ns),
+            fmt_ns(rmc.ns),
+            format!("{:.2}x", rm.ns / rmc.ns),
+        ]);
+    }
+    println!("RM prototype vs Relational Memory Controller (section IV-C):");
+    println!("{}", render_table(&["projectivity", "RM (FPGA)", "RMC", "RMC gain"], &out));
+
+    // --- Concurrent ephemeral variables: the engine time-multiplexed
+    // across N active geometries (each tenant gets 1/N of the beats and
+    // buffer).
+    let mut out = Vec::new();
+    let q = MicroQuery::projectivity(4);
+    let solo = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("solo");
+    for tenants in [1usize, 2, 4, 8] {
+        let cfg = RmConfig::prototype().shared(tenants);
+        let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("shared");
+        assert_eq!(rm.checksum, solo.checksum);
+        out.push(vec![
+            format!("{tenants}"),
+            fmt_ns(rm.ns),
+            format!("{:.2}x", rm.ns / solo.ns),
+        ]);
+    }
+    println!("Device sharing across concurrent ephemeral variables (projectivity 4):");
+    println!("{}", render_table(&["active tenants", "per-tenant time", "slowdown"], &out));
+}

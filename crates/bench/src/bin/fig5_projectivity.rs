@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 5**: normalized execution time of ROW / COL / RM as
+//! projectivity varies from 1 to 11 columns (4-byte columns, 64-byte rows).
+//!
+//! Paper claims to reproduce (shape, not absolute numbers):
+//! * RM outperforms ROW at *every* projectivity;
+//! * COL is fastest below ~4 projected columns (the prefetcher keeps up and
+//!   tuple reconstruction is cheap);
+//! * RM overtakes COL once more than ~4 columns are projected.
+//!
+//! Usage: `fig5_projectivity [--rows N] [--streams S] [--csv]`
+//! (`--streams` overrides the prefetcher stream capacity — the ablation
+//! probing the source of the crossover).
+
+use bench::{arg_usize, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use relmem::RmConfig;
+use workload::micro::{run_col, run_rm, run_row, MicroQuery};
+use workload::SyntheticData;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 1 << 20); // 64 MiB table by default
+    let streams = arg_usize(&args, "--streams", 4);
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let mut cfg = SimConfig::zynq_a53();
+    cfg.prefetch_streams = streams;
+    let mut mem = MemoryHierarchy::new(cfg);
+    eprintln!("# generating {rows} rows (16 x i32, 64-byte rows)...");
+    let data = SyntheticData::build(&mut mem, rows, 16, 0xF16_5).expect("generate");
+
+    let mut out_rows = Vec::new();
+    if csv {
+        println!("projectivity,row_ns,col_ns,rm_ns,row_norm,col_norm,rm_norm");
+    }
+    for p in 1..=11 {
+        let q = MicroQuery::projectivity(p);
+        let row = run_row(&mut mem, &data.rows, &q).expect("row engine");
+        let col = run_col(&mut mem, &data.cols, &q).expect("col engine");
+        let rm = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm engine");
+        assert_eq!(row.checksum, col.checksum, "engines disagree at p={p}");
+        assert_eq!(row.checksum, rm.checksum, "engines disagree at p={p}");
+        let norm = row.ns;
+        if csv {
+            println!(
+                "{p},{:.0},{:.0},{:.0},{:.3},{:.3},{:.3}",
+                row.ns,
+                col.ns,
+                rm.ns,
+                1.0,
+                col.ns / norm,
+                rm.ns / norm
+            );
+        }
+        out_rows.push(vec![
+            p.to_string(),
+            format!("{:.3}", 1.0),
+            format!("{:.3}", col.ns / norm),
+            format!("{:.3}", rm.ns / norm),
+            bench::fmt_ns(row.ns),
+            bench::fmt_ns(col.ns),
+            bench::fmt_ns(rm.ns),
+        ]);
+    }
+    if !csv {
+        println!("Fig. 5 — normalized execution time (lower is better), {rows} rows");
+        println!(
+            "{}",
+            render_table(
+                &["proj", "ROW", "COL", "RM", "row_t", "col_t", "rm_t"],
+                &out_rows
+            )
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Fig. 7**: TPC-H Q1 (7a) and Q6 (7b) execution time for
+//! ROW / COL / RM while the data size varies, with the x-axis expressed as
+//! the target-column-group size (the paper's convention: 2–128 MB of
+//! target columns, i.e. tables from ~9 MB to ~700 MB).
+//!
+//! Paper claims to reproduce (shape):
+//! * 7a (Q1) — all three layouts land close together: the eight grouped
+//!   aggregates dominate, so layout matters little;
+//! * 7b (Q6) — RM is fastest at every size (single packed stream of the
+//!   four touched columns); ROW is slowest (ships whole 152-byte rows);
+//!   the column engine sits between.
+//!
+//! Usage: `fig7_tpch [q1|q6|both] [--max-target M] [--csv]` where targets
+//! double from 2 MiB up to `--max-target` (default 32; 128 reproduces the
+//! paper's largest size but takes correspondingly longer to simulate).
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use relmem::RmConfig;
+use workload::queries;
+use workload::Lineitem;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn run_query(which: &str, max_target: usize, csv: bool) {
+    let mut targets = vec![2usize];
+    while *targets.last().unwrap() < max_target {
+        let next = targets.last().unwrap() * 2;
+        targets.push(next);
+    }
+
+    let mut out_rows = Vec::new();
+    if csv {
+        println!("query,target_mib,table_mib,row_ns,col_ns,rm_ns");
+    }
+    for &t in &targets {
+        let rows = if which == "q1" {
+            Lineitem::rows_for_q1_target(t)
+        } else {
+            Lineitem::rows_for_q6_target(t)
+        };
+        let table_mib = rows * Lineitem::row_width() / (1024 * 1024);
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        eprintln!("# {which}: target {t} MiB -> {rows} rows ({table_mib} MiB table)");
+        let li = Lineitem::generate(&mut mem, rows, 0xF1_7 + t as u64).expect("generate");
+
+        let (row, col, rm) = if which == "q1" {
+            (
+                queries::q1_row(&mut mem, &li).expect("q1 row"),
+                queries::q1_col(&mut mem, &li).expect("q1 col"),
+                queries::q1_rm(&mut mem, &li, RmConfig::prototype()).expect("q1 rm"),
+            )
+        } else {
+            (
+                queries::q6_row(&mut mem, &li).expect("q6 row"),
+                queries::q6_col(&mut mem, &li).expect("q6 col"),
+                queries::q6_rm(&mut mem, &li, RmConfig::prototype()).expect("q6 rm"),
+            )
+        };
+        assert!(close(row.checksum, col.checksum), "engines disagree at {t} MiB");
+        assert!(close(row.checksum, rm.checksum), "engines disagree at {t} MiB");
+
+        if csv {
+            println!("{which},{t},{table_mib},{:.0},{:.0},{:.0}", row.ns, col.ns, rm.ns);
+        }
+        out_rows.push(vec![
+            format!("{t}"),
+            format!("{table_mib}"),
+            fmt_ns(row.ns),
+            fmt_ns(col.ns),
+            fmt_ns(rm.ns),
+            format!("{:.2}x", row.ns / rm.ns),
+            format!("{:.2}x", col.ns / rm.ns),
+        ]);
+    }
+    if !csv {
+        println!(
+            "Fig. 7{} — TPC-H {} execution time vs data size",
+            if which == "q1" { "a" } else { "b" },
+            which.to_uppercase()
+        );
+        println!(
+            "{}",
+            render_table(
+                &["target_MiB", "table_MiB", "ROW", "COL", "RM", "RMvsROW", "RMvsCOL"],
+                &out_rows
+            )
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("both");
+    let max_target = arg_usize(&args, "--max-target", 32);
+    let csv = args.iter().any(|a| a == "--csv");
+    if which == "q1" || which == "both" {
+        run_query("q1", max_target, csv);
+    }
+    if which == "q6" || which == "both" {
+        run_query("q6", max_target, csv);
+    }
+}

@@ -1,0 +1,555 @@
+//! Column-at-a-time execution primitives.
+//!
+//! The building blocks of the COL baseline:
+//!
+//! * [`scan_filter`] — vectorized full-column predicate scan producing a
+//!   selection vector (one perfectly sequential stream; the prefetcher
+//!   loves it);
+//! * [`refine`] — re-check a candidate list against another column
+//!   (data-dependent, irregular accesses; the prefetcher does not);
+//! * [`for_each_lockstep`] — stream several columns in lockstep batches.
+//!   Each batch switches between `p` column arrays: with more than the
+//!   prefetcher's stream capacity (4 on the A53) every switch retrains,
+//!   which is the mechanical source of the paper's four-column crossover;
+//! * [`reconstruct`] — lockstep iteration plus per-value tuple-stitching
+//!   cost, the "tuple reconstruction cost" of paper §II;
+//! * [`sum_expr`] — aggregate an expression over columns.
+
+use crate::table::ColTable;
+use fabric_sim::MemoryHierarchy;
+use fabric_types::{CmpOp, ColumnId, Expr, Result, Value};
+
+/// Rows per vectorized batch (a classic vector size: 1024 values).
+pub const BATCH_ROWS: usize = 1024;
+
+/// Cycles for one comparison against a value of this column type
+/// (floating-point compares run on the FPU).
+fn cmp_cycles(costs: &fabric_sim::hierarchy::OpCosts, ty: fabric_types::ColumnType) -> u64 {
+    match ty {
+        fabric_types::ColumnType::F32 | fabric_types::ColumnType::F64 => costs.f64_op,
+        _ => costs.value_op,
+    }
+}
+
+/// A batch of reconstructed tuples, row-major.
+pub struct TupleBatch {
+    pub arity: usize,
+    pub values: Vec<Value>,
+}
+
+impl TupleBatch {
+    pub fn rows(&self) -> usize {
+        if self.arity == 0 {
+            0
+        } else {
+            self.values.len() / self.arity
+        }
+    }
+
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.values[i * self.arity..(i + 1) * self.arity]
+    }
+}
+
+/// Vectorized full-column scan: returns the selection vector of row ids
+/// whose value satisfies `op value`.
+pub fn scan_filter(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    op: CmpOp,
+    value: &Value,
+) -> Result<Vec<u32>> {
+    let c = t.col(col)?;
+    let w = c.ty.width();
+    let costs = mem.costs();
+    let mut sel = Vec::new();
+    let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+    let mut row = 0usize;
+    while row < t.len() {
+        let n = BATCH_ROWS.min(t.len() - row);
+        mem.touch_read(c.at(row), n * w);
+        mem.cpu(costs.vector_setup + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty)));
+        let bytes = mem.bytes(c.at(row), n * w);
+        for i in 0..n {
+            let v = Value::decode(c.ty, &bytes[i * w..(i + 1) * w]);
+            if op.matches(v.compare(value)?) {
+                kept.push((row + i) as u32);
+            }
+        }
+        if !kept.is_empty() {
+            mem.touch_write(t.sv_out_addr(sel.len()), kept.len() * 4);
+            sel.append(&mut kept);
+        }
+        row += n;
+    }
+    Ok(sel)
+}
+
+/// Vectorized full-column scan with several conjuncts on the *same* column
+/// (e.g. a range predicate) evaluated in one pass.
+pub fn scan_filter_conj(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+) -> Result<Vec<u32>> {
+    let c = t.col(col)?;
+    let w = c.ty.width();
+    let costs = mem.costs();
+    let mut sel = Vec::new();
+    let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+    let mut row = 0usize;
+    while row < t.len() {
+        let n = BATCH_ROWS.min(t.len() - row);
+        mem.touch_read(c.at(row), n * w);
+        mem.cpu(
+            costs.vector_setup
+                + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64),
+        );
+        let bytes = mem.bytes(c.at(row), n * w);
+        'rows: for i in 0..n {
+            let v = Value::decode(c.ty, &bytes[i * w..(i + 1) * w]);
+            for (op, value) in preds {
+                if !op.matches(v.compare(value)?) {
+                    continue 'rows;
+                }
+            }
+            kept.push((row + i) as u32);
+        }
+        if !kept.is_empty() {
+            mem.touch_write(t.sv_out_addr(sel.len()), kept.len() * 4);
+            sel.append(&mut kept);
+        }
+        row += n;
+    }
+    Ok(sel)
+}
+
+/// Column-at-a-time candidate pass: the whole-column select operator of a
+/// classic column engine. The *entire* column is streamed and every row's
+/// predicate evaluated (that is the column-at-a-time contract — the
+/// operator has no knowledge of which rows earlier passes kept); the match
+/// set is then intersected with the incoming candidate list.
+pub fn scan_filter_cand(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    candidates: &[u32],
+) -> Result<Vec<u32>> {
+    let c = t.col(col)?;
+    let w = c.ty.width();
+    let costs = mem.costs();
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+    let mut ci = 0usize; // cursor into candidates
+    let mut row = 0usize;
+    while row < t.len() {
+        let n = BATCH_ROWS.min(t.len() - row);
+        // Full-column sequential read and full-width evaluation.
+        mem.touch_read(c.at(row), n * w);
+        mem.cpu(
+            costs.vector_setup
+                + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64),
+        );
+        // Candidate positions falling into this chunk (read back from the
+        // materialized selection vector), then intersect.
+        let ci0 = ci;
+        while ci < candidates.len() && (candidates[ci] as usize) < row + n {
+            ci += 1;
+        }
+        if ci > ci0 {
+            mem.touch_read(t.sv_in_addr(ci0), (ci - ci0) * 4);
+            mem.cpu((ci - ci0) as u64 * costs.value_op);
+        }
+        let bytes = mem.bytes(c.at(row), n * w);
+        'cands: for &pos in &candidates[ci0..ci] {
+            let i = pos as usize - row;
+            let v = Value::decode(c.ty, &bytes[i * w..(i + 1) * w]);
+            for (op, value) in preds {
+                if !op.matches(v.compare(value)?) {
+                    continue 'cands;
+                }
+            }
+            kept.push(pos);
+        }
+        if !kept.is_empty() {
+            mem.touch_write(t.sv_out_addr(out.len()), kept.len() * 4);
+            out.append(&mut kept);
+        }
+        row += n;
+    }
+    Ok(out)
+}
+
+/// [`refine`] with several conjuncts on the same column.
+pub fn refine_conj(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    candidates: &[u32],
+) -> Result<Vec<u32>> {
+    let c = t.col(col)?;
+    let w = c.ty.width();
+    let costs = mem.costs();
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut done = 0usize;
+    for chunk in candidates.chunks(BATCH_ROWS) {
+        mem.cpu(costs.vector_setup);
+        mem.touch_read(t.sv_in_addr(done), chunk.len() * 4);
+        let out0 = out.len();
+        'cands: for &pos in chunk {
+            mem.touch_read(c.at(pos as usize), w);
+            mem.cpu(costs.vector_elem + costs.value_op * preds.len() as u64);
+            let bytes = mem.bytes(c.at(pos as usize), w);
+            let v = Value::decode(c.ty, bytes);
+            for (op, value) in preds {
+                if !op.matches(v.compare(value)?) {
+                    continue 'cands;
+                }
+            }
+            out.push(pos);
+        }
+        if out.len() > out0 {
+            mem.touch_write(t.sv_out_addr(out0), (out.len() - out0) * 4);
+        }
+        done += chunk.len();
+    }
+    Ok(out)
+}
+
+/// Refine a candidate list against another column. The accesses follow the
+/// candidate positions — ascending but data-dependent, so prefetching is
+/// unreliable, which is why candidate-list scans degrade as more selection
+/// columns pile up.
+pub fn refine(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    op: CmpOp,
+    value: &Value,
+    candidates: &[u32],
+) -> Result<Vec<u32>> {
+    let c = t.col(col)?;
+    let w = c.ty.width();
+    let costs = mem.costs();
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut done = 0usize;
+    for chunk in candidates.chunks(BATCH_ROWS) {
+        mem.cpu(costs.vector_setup);
+        mem.touch_read(t.sv_in_addr(done), chunk.len() * 4);
+        let out0 = out.len();
+        for &pos in chunk {
+            mem.touch_read(c.at(pos as usize), w);
+            mem.cpu(costs.vector_elem + costs.value_op);
+            let bytes = mem.bytes(c.at(pos as usize), w);
+            let v = Value::decode(c.ty, bytes);
+            if op.matches(v.compare(value)?) {
+                out.push(pos);
+            }
+        }
+        if out.len() > out0 {
+            mem.touch_write(t.sv_out_addr(out0), (out.len() - out0) * 4);
+        }
+        done += chunk.len();
+    }
+    Ok(out)
+}
+
+/// Stream `cols` in lockstep over `sel` (or all rows), invoking `f` with
+/// `(row_id, values)` for every row. No tuple-reconstruction cost is charged
+/// — use this for aggregation-style consumption; the caller charges its own
+/// compute (e.g. via [`sum_expr`]).
+pub fn for_each_lockstep<F>(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    sel: Option<&[u32]>,
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(&mut MemoryHierarchy, usize, &[Value]) -> Result<()>,
+{
+    lockstep_impl(mem, t, cols, sel, false, |mem, ev| match ev {
+        Event::Row(row, vals) => f(mem, row, vals),
+        Event::BatchEnd => Ok(()),
+    })
+}
+
+/// Reconstruct row-major tuples batch by batch, charging the per-value
+/// reconstruction cost, and hand each [`TupleBatch`] to `f`. This is the
+/// materializing path whose cost grows with projectivity (paper §II:
+/// *"increased tuple reconstruction cost for queries with high
+/// projectivity"*).
+pub fn reconstruct<F>(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    sel: Option<&[u32]>,
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(&mut MemoryHierarchy, &TupleBatch) -> Result<()>,
+{
+    let arity = cols.len();
+    let mut batch = TupleBatch { arity, values: Vec::new() };
+    lockstep_impl(mem, t, cols, sel, true, |mem, ev| match ev {
+        Event::Row(_, vals) => {
+            batch.values.extend_from_slice(vals);
+            Ok(())
+        }
+        Event::BatchEnd => {
+            if !batch.values.is_empty() {
+                f(mem, &batch)?;
+                batch.values.clear();
+            }
+            Ok(())
+        }
+    })
+}
+
+/// Events delivered by [`lockstep_impl`].
+enum Event<'a> {
+    Row(usize, &'a [Value]),
+    BatchEnd,
+}
+
+/// Sum `expr` (over slots matching `cols` order) across `sel` (or all rows).
+pub fn sum_expr(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    expr: &Expr,
+    sel: Option<&[u32]>,
+) -> Result<f64> {
+    let ops = expr.ops();
+    let mut total = 0.0;
+    let costs = mem.costs();
+    for_each_lockstep(mem, t, cols, sel, |mem, _, vals| {
+        mem.cpu(costs.value_op * (ops + 1));
+        total += expr.eval_f64(vals)?;
+        Ok(())
+    })?;
+    Ok(total)
+}
+
+/// Shared lockstep machinery.
+///
+/// Per batch of up to [`BATCH_ROWS`] positions, each column array is read in
+/// turn (a stream switch per column, which is what exposes the prefetcher's
+/// stream limit), values are decoded into per-column staging, and then rows
+/// are emitted in order as [`Event::Row`]; [`Event::BatchEnd`] fires at
+/// batch boundaries (used by [`reconstruct`] to flush).
+fn lockstep_impl<F>(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    sel: Option<&[u32]>,
+    materialize: bool,
+    mut emit: F,
+) -> Result<()>
+where
+    F: for<'a> FnMut(&mut MemoryHierarchy, Event<'a>) -> Result<()>,
+{
+    let costs = mem.costs();
+    let refs: Vec<_> = cols.iter().map(|&c| t.col(c)).collect::<Result<_>>()?;
+    let total_rows = sel.map_or(t.len(), |s| s.len());
+    let line = mem.config().line_size as u64;
+    // Per-column last line touched: memory is charged once per new line,
+    // so the hierarchy sees one interleaved line stream per column — the
+    // access pattern of tuple-at-a-time reconstruction from `p` arrays.
+    let mut last_line: Vec<u64> = vec![u64::MAX; cols.len()];
+    let mut row_buf: Vec<Value> = Vec::with_capacity(cols.len());
+    let mut gather: Vec<(u64, usize)> = Vec::with_capacity(cols.len());
+
+    let mut done = 0usize;
+    while done < total_rows {
+        let n = BATCH_ROWS.min(total_rows - done);
+        mem.cpu(costs.vector_setup);
+        if sel.is_some() {
+            mem.touch_read(t.sv_in_addr(done), n * 4);
+        }
+        for i in 0..n {
+            let row_id = match sel {
+                None => done + i,
+                Some(s) => s[done + i] as usize,
+            };
+            // The p column loads of one tuple are independent: issue the
+            // new lines together and overlap their misses.
+            gather.clear();
+            for (j, c) in refs.iter().enumerate() {
+                let addr = c.at(row_id);
+                let la = addr & !(line - 1);
+                if la != last_line[j] {
+                    gather.push((addr, c.ty.width()));
+                    last_line[j] = la;
+                }
+            }
+            if !gather.is_empty() {
+                mem.touch_read_gather(&gather);
+            }
+            row_buf.clear();
+            for c in refs.iter() {
+                mem.cpu(costs.vector_elem);
+                if materialize {
+                    mem.cpu(costs.reconstruct);
+                }
+                let bytes = mem.bytes(c.at(row_id), c.ty.width());
+                row_buf.push(Value::decode(c.ty, bytes));
+            }
+            emit(mem, Event::Row(row_id, &row_buf))?;
+        }
+        done += n;
+        emit(mem, Event::BatchEnd)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+    use fabric_types::{ColumnType, Schema};
+
+    /// 3000 rows: a = i, b = i % 100, c = i as f64 / 2.
+    fn fixture() -> (MemoryHierarchy, ColTable) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[
+            ("a", ColumnType::I32),
+            ("b", ColumnType::I32),
+            ("c", ColumnType::F64),
+        ]);
+        let mut t = ColTable::create(&mut mem, schema, 4096).unwrap();
+        for i in 0..3000i32 {
+            t.load(
+                &mut mem,
+                &[Value::I32(i), Value::I32(i % 100), Value::F64(i as f64 / 2.0)],
+            )
+            .unwrap();
+        }
+        (mem, t)
+    }
+
+    #[test]
+    fn scan_filter_selects_correct_rows() {
+        let (mut mem, t) = fixture();
+        let sel = scan_filter(&mut mem, &t, 0, CmpOp::Lt, &Value::I32(10)).unwrap();
+        assert_eq!(sel, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn refine_narrows_candidates() {
+        let (mut mem, t) = fixture();
+        let sel = scan_filter(&mut mem, &t, 0, CmpOp::Lt, &Value::I32(500)).unwrap();
+        let sel = refine(&mut mem, &t, 1, CmpOp::Eq, &Value::I32(7), &sel).unwrap();
+        // i < 500 && i % 100 == 7 -> 7, 107, 207, 307, 407.
+        assert_eq!(sel, vec![7, 107, 207, 307, 407]);
+    }
+
+    #[test]
+    fn lockstep_visits_all_rows_in_order() {
+        let (mut mem, t) = fixture();
+        let mut seen = Vec::new();
+        for_each_lockstep(&mut mem, &t, &[0, 2], None, |_, row, vals| {
+            assert_eq!(vals[0], Value::I32(row as i32));
+            seen.push(row);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 3000);
+        assert_eq!(seen[2999], 2999);
+    }
+
+    #[test]
+    fn lockstep_respects_selection_vector() {
+        let (mut mem, t) = fixture();
+        let sel = vec![5u32, 100, 2999];
+        let mut rows = Vec::new();
+        for_each_lockstep(&mut mem, &t, &[0], Some(&sel), |_, row, vals| {
+            rows.push((row, vals[0].clone()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (5, Value::I32(5)),
+                (100, Value::I32(100)),
+                (2999, Value::I32(2999))
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_expr_computes_expression() {
+        let (mut mem, t) = fixture();
+        // sum(a * c) over rows with a < 4: 0*0 + 1*0.5 + 2*1 + 3*1.5 = 7.
+        let sel = scan_filter(&mut mem, &t, 0, CmpOp::Lt, &Value::I32(4)).unwrap();
+        let s = sum_expr(
+            &mut mem,
+            &t,
+            &[0, 2],
+            &Expr::mul(Expr::col(0), Expr::col(1)),
+            Some(&sel),
+        )
+        .unwrap();
+        assert_eq!(s, 7.0);
+    }
+
+    #[test]
+    fn reconstruct_builds_row_major_batches() {
+        let (mut mem, t) = fixture();
+        let mut total_rows = 0;
+        let mut first = None;
+        reconstruct(&mut mem, &t, &[2, 0], None, |_, batch| {
+            assert_eq!(batch.arity, 2);
+            if first.is_none() {
+                first = Some(batch.row(1).to_vec());
+            }
+            total_rows += batch.rows();
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(total_rows, 3000);
+        assert_eq!(first.unwrap(), vec![Value::F64(0.5), Value::I32(1)]);
+    }
+
+    #[test]
+    fn reconstruct_charges_more_cpu_than_lockstep() {
+        let (mut mem, t) = fixture();
+        let c0 = mem.stats().cpu_cycles;
+        for_each_lockstep(&mut mem, &t, &[0, 1, 2], None, |_, _, _| Ok(())).unwrap();
+        let lockstep_cpu = mem.stats().cpu_cycles - c0;
+
+        let (mut mem2, t2) = fixture();
+        let c0 = mem2.stats().cpu_cycles;
+        reconstruct(&mut mem2, &t2, &[0, 1, 2], None, |_, _| Ok(())).unwrap();
+        let reconstruct_cpu = mem2.stats().cpu_cycles - c0;
+        assert!(reconstruct_cpu > lockstep_cpu);
+    }
+
+    #[test]
+    fn empty_selection_is_fine() {
+        let (mut mem, t) = fixture();
+        let sel: Vec<u32> = Vec::new();
+        let s = sum_expr(&mut mem, &t, &[0], &Expr::col(0), Some(&sel)).unwrap();
+        assert_eq!(s, 0.0);
+        let out = refine(&mut mem, &t, 0, CmpOp::Eq, &Value::I32(1), &sel).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn full_scan_is_sequential_and_mostly_prefetched() {
+        let (mut mem, t) = fixture();
+        // Warm nothing; scan a full column. 3000 * 4 B = 188 lines.
+        let before = mem.stats();
+        scan_filter(&mut mem, &t, 0, CmpOp::Ge, &Value::I32(0)).unwrap();
+        let d = mem.stats().delta_since(&before);
+        assert!(
+            d.prefetch_hits > d.demand_misses,
+            "column scan should be prefetch friendly: {d:?}"
+        );
+    }
+}

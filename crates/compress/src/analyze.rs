@@ -1,0 +1,156 @@
+//! The fabric-compatibility analysis of paper §III-D, as runnable code:
+//! compare every codec's compression ratio and random-access granularity on
+//! a column and report which ones a Relational Fabric can decompress on the
+//! fly.
+
+use crate::delta::BlockDelta;
+use crate::dictionary::DictEncoded;
+use crate::frame::ForEncoded;
+use crate::huffman::HuffmanEncoded;
+use crate::lz::Lz77;
+use crate::rle::RleEncoded;
+use fabric_types::Result;
+
+/// How a codec supports reading value `i` without decoding everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomAccess {
+    /// O(1) direct lookup (dictionary).
+    Direct,
+    /// Decode a bounded block of `n` values.
+    Block(usize),
+    /// Requires a data-dependent search over the encoding (RLE run index).
+    Search,
+    /// Full decompression only (LZ family).
+    None,
+}
+
+impl RandomAccess {
+    /// Can a fabric device decode this on the fly while carving column
+    /// groups (paper §III-D)?
+    pub fn fabric_compatible(&self) -> bool {
+        matches!(self, RandomAccess::Direct | RandomAccess::Block(_))
+    }
+}
+
+/// One codec's result on a column.
+#[derive(Debug, Clone)]
+pub struct CodecReport {
+    pub name: &'static str,
+    pub compressed_bytes: usize,
+    pub original_bytes: usize,
+    pub access: RandomAccess,
+}
+
+impl CodecReport {
+    /// Compression ratio (original / compressed; > 1 means it compressed).
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            return 1.0;
+        }
+        self.original_bytes as f64 / self.compressed_bytes as f64
+    }
+
+    pub fn fabric_compatible(&self) -> bool {
+        self.access.fabric_compatible()
+    }
+}
+
+/// Run every codec over an `i64` column and report.
+pub fn analyze_i64(values: &[i64]) -> Result<Vec<CodecReport>> {
+    let raw: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let original = raw.len();
+
+    let dict = DictEncoded::encode(&raw, 8)?;
+    let frame = ForEncoded::encode(values);
+    let delta = BlockDelta::encode(values);
+    let huff = HuffmanEncoded::encode(&raw);
+    let rle = RleEncoded::encode(values);
+    let lz = Lz77::encode(&raw);
+
+    Ok(vec![
+        CodecReport {
+            name: "dictionary",
+            compressed_bytes: dict.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::Direct,
+        },
+        CodecReport {
+            name: "frame-of-reference",
+            compressed_bytes: frame.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::Direct,
+        },
+        CodecReport {
+            name: "delta",
+            compressed_bytes: delta.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::Block(delta.block_size()),
+        },
+        CodecReport {
+            name: "huffman",
+            compressed_bytes: huff.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::Block(crate::huffman::DEFAULT_BLOCK),
+        },
+        CodecReport {
+            name: "rle",
+            compressed_bytes: rle.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::Search,
+        },
+        CodecReport {
+            name: "lz77",
+            compressed_bytes: lz.compressed_bytes(),
+            original_bytes: original,
+            access: RandomAccess::None,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matches_paper_section_iii_d() {
+        let vals: Vec<i64> = (0..1000).map(|i| i % 10).collect();
+        let reports = analyze_i64(&vals).unwrap();
+        let compat: Vec<(&str, bool)> =
+            reports.iter().map(|r| (r.name, r.fabric_compatible())).collect();
+        assert_eq!(
+            compat,
+            vec![
+                ("dictionary", true),
+                ("frame-of-reference", true),
+                ("delta", true),
+                ("huffman", true),
+                ("rle", false),
+                ("lz77", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn ratios_reflect_data_shape() {
+        // Sorted, dense: delta should be the clear winner.
+        let sorted: Vec<i64> = (0..5000).collect();
+        let reports = analyze_i64(&sorted).unwrap();
+        let get = |n: &str| reports.iter().find(|r| r.name == n).unwrap().ratio();
+        assert!(get("delta") > 4.0, "delta ratio {}", get("delta"));
+
+        // Low cardinality: dictionary and RLE shine.
+        let lowcard: Vec<i64> = (0..5000).map(|i| (i / 1000) * 12345).collect();
+        let reports = analyze_i64(&lowcard).unwrap();
+        let get = |n: &str| reports.iter().find(|r| r.name == n).unwrap().ratio();
+        assert!(get("dictionary") > 5.0);
+        assert!(get("rle") > 100.0);
+    }
+
+    #[test]
+    fn access_kinds() {
+        assert!(RandomAccess::Direct.fabric_compatible());
+        assert!(RandomAccess::Block(128).fabric_compatible());
+        assert!(!RandomAccess::Search.fabric_compatible());
+        assert!(!RandomAccess::None.fabric_compatible());
+    }
+}

@@ -1,0 +1,41 @@
+//! Compression codecs and the fabric-compatibility analysis of paper
+//! §III-D.
+//!
+//! The Relational Fabric stores base data row-oriented and carves column
+//! groups out of it on the fly, so a compression scheme is *fabric
+//! compatible* only if individual values (or small blocks) can be decoded
+//! without touching the rest of the stream:
+//!
+//! > *"Delta, dictionary, and huffman encoding … are easily supported by
+//! > Relational Fabric. … the compression schemes under the run-length
+//! > encoding family cannot be used out of the box. … General compression
+//! > algorithms of the LZ family … require fully decompressing your data."*
+//!
+//! * [`dictionary`] — fixed-width codes; O(1) random access;
+//! * [`delta`] — block-based delta with zig-zag varints; random access at
+//!   block granularity;
+//! * [`frame`] — frame-of-reference with per-block bit packing; O(1)
+//!   random access (one header + one bit-packed slot);
+//! * [`huffman`] — canonical Huffman over bytes with a block index;
+//!   random access at block granularity;
+//! * [`rle`] — run-length encoding; random access requires a search over
+//!   the run index (the paper's "expensive decoding step");
+//! * [`lz`] — a small LZ77 variant; no random access at all;
+//! * [`analyze`] — compares ratio and access granularity per codec and
+//!   reports which are usable under a Relational Fabric.
+
+pub mod analyze;
+pub mod delta;
+pub mod dictionary;
+pub mod frame;
+pub mod huffman;
+pub mod lz;
+pub mod rle;
+
+pub use analyze::{analyze_i64, CodecReport, RandomAccess};
+pub use delta::BlockDelta;
+pub use dictionary::DictEncoded;
+pub use frame::ForEncoded;
+pub use huffman::HuffmanEncoded;
+pub use lz::Lz77;
+pub use rle::RleEncoded;

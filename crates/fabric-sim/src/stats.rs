@@ -1,0 +1,90 @@
+//! Counters describing what the simulated hierarchy did.
+
+use serde::{Deserialize, Serialize};
+
+/// Traffic and timing statistics accumulated by a
+/// [`crate::hierarchy::MemoryHierarchy`].
+///
+/// All counters are monotonically increasing; snapshot-and-subtract
+/// ([`MemStats::delta_since`]) to measure one experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Lines serviced by L1.
+    pub l1_hits: u64,
+    /// Lines serviced by L2.
+    pub l2_hits: u64,
+    /// Lines serviced by an in-flight prefetch.
+    pub prefetch_hits: u64,
+    /// Lines that paid the full demand-miss path to DRAM.
+    pub demand_misses: u64,
+    /// Total line-granularity accesses (sum of the four above).
+    pub line_accesses: u64,
+    /// Bytes requested by reads (payload, not line-rounded).
+    pub bytes_read: u64,
+    /// Bytes requested by writes.
+    pub bytes_written: u64,
+    /// Cycles explicitly charged as CPU compute.
+    pub cpu_cycles: u64,
+    /// Cycles the CPU spent stalled on memory.
+    pub stall_cycles: u64,
+}
+
+impl MemStats {
+    /// Counter-wise difference (`self - earlier`).
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            demand_misses: self.demand_misses - earlier.demand_misses,
+            line_accesses: self.line_accesses - earlier.line_accesses,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            cpu_cycles: self.cpu_cycles - earlier.cpu_cycles,
+            stall_cycles: self.stall_cycles - earlier.stall_cycles,
+        }
+    }
+
+    /// Bytes of cache-line traffic that actually crossed the memory bus
+    /// (demand misses + prefetch fills), assuming `line_size`-byte lines.
+    pub fn dram_traffic_bytes(&self, line_size: usize) -> u64 {
+        (self.demand_misses + self.prefetch_hits) * line_size as u64
+    }
+
+    /// Fraction of line accesses that hit in L1.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.line_accesses == 0 {
+            return 0.0;
+        }
+        self.l1_hits as f64 / self.line_accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = MemStats { l1_hits: 10, demand_misses: 4, line_accesses: 14, ..Default::default() };
+        let b = MemStats { l1_hits: 25, demand_misses: 9, line_accesses: 34, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.l1_hits, 15);
+        assert_eq!(d.demand_misses, 5);
+        assert_eq!(d.line_accesses, 20);
+    }
+
+    #[test]
+    fn traffic_and_hit_rate() {
+        let s = MemStats {
+            l1_hits: 75,
+            demand_misses: 20,
+            prefetch_hits: 5,
+            line_accesses: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.dram_traffic_bytes(64), 25 * 64);
+        assert!((s.l1_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced anywhere in the Relational Fabric stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A named column does not exist in the schema.
+    UnknownColumn(String),
+    /// A column index is out of range for the schema.
+    ColumnIndexOutOfRange { index: usize, len: usize },
+    /// Two values/columns had incompatible types for an operation.
+    TypeMismatch { expected: String, found: String },
+    /// A geometry referenced bytes outside its base region.
+    GeometryOutOfBounds { offset: usize, width: usize, row_width: usize },
+    /// A geometry is structurally invalid (empty field list, zero rows, ...).
+    InvalidGeometry(String),
+    /// An arena allocation or access was out of bounds.
+    ArenaOutOfBounds { addr: u64, len: usize, size: usize },
+    /// Attempt to allocate more memory than the arena can hold.
+    ArenaExhausted { requested: usize, available: usize },
+    /// Transaction-level failure (conflict, state error).
+    Txn(String),
+    /// Codec failure (corrupt stream, unsupported shape).
+    Codec(String),
+    /// SQL front-end failure (lex/parse/bind).
+    Sql(String),
+    /// Storage-device failure.
+    Storage(String),
+    /// Catch-all for invariant violations that indicate a library bug.
+    Internal(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            FabricError::ColumnIndexOutOfRange { index, len } => {
+                write!(f, "column index {index} out of range for schema with {len} columns")
+            }
+            FabricError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            FabricError::GeometryOutOfBounds { offset, width, row_width } => write!(
+                f,
+                "geometry field at offset {offset} width {width} exceeds row width {row_width}"
+            ),
+            FabricError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            FabricError::ArenaOutOfBounds { addr, len, size } => {
+                write!(f, "arena access at {addr:#x}+{len} out of bounds (size {size})")
+            }
+            FabricError::ArenaExhausted { requested, available } => {
+                write!(f, "arena exhausted: requested {requested} bytes, {available} available")
+            }
+            FabricError::Txn(msg) => write!(f, "transaction error: {msg}"),
+            FabricError::Codec(msg) => write!(f, "codec error: {msg}"),
+            FabricError::Sql(msg) => write!(f, "SQL error: {msg}"),
+            FabricError::Storage(msg) => write!(f, "storage error: {msg}"),
+            FabricError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FabricError::UnknownColumn("l_tax".into());
+        assert!(e.to_string().contains("l_tax"));
+        let e = FabricError::GeometryOutOfBounds { offset: 60, width: 8, row_width: 64 };
+        assert!(e.to_string().contains("60"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FabricError::Internal("x".into()));
+    }
+}

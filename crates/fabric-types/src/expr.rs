@@ -1,0 +1,302 @@
+//! Scalar expressions over decoded tuples, plus value-level aggregate
+//! accumulators.
+//!
+//! Every engine in the workspace (the Volcano row store, the vectorized
+//! column store, the RM consumer code, and the SQL executor) evaluates the
+//! same [`Expr`] tree, so results are comparable bit for bit. [`Expr::ops`]
+//! reports the number of arithmetic operations so engines can charge CPU
+//! cycles consistently.
+
+use crate::error::{FabricError, Result};
+use crate::geometry::AggFunc;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scalar expression over a positional tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Value of the tuple's `i`-th slot.
+    Col(usize),
+    /// A literal.
+    Const(Value),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`mul` etc. are builders, not operators
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate to `f64` over a positional tuple.
+    pub fn eval_f64(&self, tuple: &[Value]) -> Result<f64> {
+        Ok(match self {
+            Expr::Col(i) => {
+                tuple
+                    .get(*i)
+                    .ok_or(FabricError::ColumnIndexOutOfRange { index: *i, len: tuple.len() })?
+                    .as_f64()?
+            }
+            Expr::Const(v) => v.as_f64()?,
+            Expr::Add(a, b) => a.eval_f64(tuple)? + b.eval_f64(tuple)?,
+            Expr::Sub(a, b) => a.eval_f64(tuple)? - b.eval_f64(tuple)?,
+            Expr::Mul(a, b) => a.eval_f64(tuple)? * b.eval_f64(tuple)?,
+            Expr::Div(a, b) => {
+                let d = b.eval_f64(tuple)?;
+                if d == 0.0 {
+                    return Err(FabricError::Internal("division by zero".into()));
+                }
+                a.eval_f64(tuple)? / d
+            }
+        })
+    }
+
+    /// Evaluate to a [`Value`] (column refs keep their type; arithmetic
+    /// promotes to `F64`).
+    pub fn eval(&self, tuple: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Col(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or(FabricError::ColumnIndexOutOfRange { index: *i, len: tuple.len() }),
+            Expr::Const(v) => Ok(v.clone()),
+            _ => Ok(Value::F64(self.eval_f64(tuple)?)),
+        }
+    }
+
+    /// Number of arithmetic operations in the tree (for CPU-cost charging).
+    pub fn ops(&self) -> u64 {
+        match self {
+            Expr::Col(_) | Expr::Const(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.ops() + b.ops()
+            }
+        }
+    }
+
+    /// Append the distinct column slots referenced, in first-seen order.
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// A value-level aggregate accumulator (software engines; the device-side
+/// equivalent lives in `relmem::aggregate`).
+#[derive(Debug, Clone)]
+pub struct ValueAgg {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl ValueAgg {
+    pub fn new(func: AggFunc) -> Self {
+        ValueAgg { func, count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    /// Feed one value (already the result of the aggregate's expression).
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => self.sum += v.as_f64()?,
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(cur) => v.compare(cur)? == std::cmp::Ordering::Less,
+                };
+                if better {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(cur) => v.compare(cur)? == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fast-path feed for numeric aggregates.
+    pub fn update_f64(&mut self, v: f64) {
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => self.sum += v,
+            AggFunc::Min => {
+                let cur = self.min.as_ref().and_then(|m| m.as_f64().ok());
+                if cur.is_none_or(|m| v < m) {
+                    self.min = Some(Value::F64(v));
+                }
+            }
+            AggFunc::Max => {
+                let cur = self.max.as_ref().and_then(|m| m.as_f64().ok());
+                if cur.is_none_or(|m| v > m) {
+                    self.max = Some(Value::F64(v));
+                }
+            }
+        }
+    }
+
+    pub fn finish(&self) -> Result<Value> {
+        match self.func {
+            AggFunc::Count => Ok(Value::I64(self.count as i64)),
+            AggFunc::Sum => Ok(Value::F64(self.sum)),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Err(FabricError::Internal("AVG over zero rows".into()))
+                } else {
+                    Ok(Value::F64(self.sum / self.count as f64))
+                }
+            }
+            AggFunc::Min => {
+                self.min.clone().ok_or_else(|| FabricError::Internal("MIN over zero rows".into()))
+            }
+            AggFunc::Max => {
+                self.max.clone().ok_or_else(|| FabricError::Internal("MAX over zero rows".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> Vec<Value> {
+        vec![Value::I32(10), Value::F64(2.5), Value::I64(-4)]
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // ($0 + $2) * $1 = (10 - 4) * 2.5 = 15
+        let e = Expr::mul(Expr::add(Expr::col(0), Expr::col(2)), Expr::col(1));
+        assert_eq!(e.eval_f64(&tuple()).unwrap(), 15.0);
+        assert_eq!(e.eval(&tuple()).unwrap(), Value::F64(15.0));
+        assert_eq!(e.ops(), 2);
+    }
+
+    #[test]
+    fn col_eval_preserves_type() {
+        assert_eq!(Expr::col(0).eval(&tuple()).unwrap(), Value::I32(10));
+        assert_eq!(Expr::col(2).eval(&tuple()).unwrap(), Value::I64(-4));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = Expr::div(Expr::col(0), Expr::lit(Value::F64(0.0)));
+        assert!(e.eval_f64(&tuple()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_column_is_error() {
+        assert!(Expr::col(9).eval_f64(&tuple()).is_err());
+    }
+
+    #[test]
+    fn collect_columns_dedups() {
+        let e = Expr::mul(Expr::add(Expr::col(1), Expr::col(3)), Expr::col(1));
+        let mut cols = Vec::new();
+        e.collect_columns(&mut cols);
+        assert_eq!(cols, vec![1, 3]);
+    }
+
+    #[test]
+    fn display_round() {
+        let e = Expr::mul(Expr::col(0), Expr::sub(Expr::lit(Value::F64(1.0)), Expr::col(1)));
+        assert_eq!(e.to_string(), "($0 * (1 - $1))");
+    }
+
+    #[test]
+    fn value_agg_all_functions() {
+        let mut count = ValueAgg::new(AggFunc::Count);
+        let mut sum = ValueAgg::new(AggFunc::Sum);
+        let mut min = ValueAgg::new(AggFunc::Min);
+        let mut max = ValueAgg::new(AggFunc::Max);
+        let mut avg = ValueAgg::new(AggFunc::Avg);
+        for v in [3.0, -1.0, 7.0, 1.0] {
+            for a in [&mut count, &mut sum, &mut min, &mut max, &mut avg] {
+                a.update(&Value::F64(v)).unwrap();
+            }
+        }
+        assert_eq!(count.finish().unwrap(), Value::I64(4));
+        assert_eq!(sum.finish().unwrap(), Value::F64(10.0));
+        assert_eq!(min.finish().unwrap(), Value::F64(-1.0));
+        assert_eq!(max.finish().unwrap(), Value::F64(7.0));
+        assert_eq!(avg.finish().unwrap(), Value::F64(2.5));
+    }
+
+    #[test]
+    fn value_agg_update_f64_matches_update() {
+        let mut a = ValueAgg::new(AggFunc::Min);
+        let mut b = ValueAgg::new(AggFunc::Min);
+        for v in [5.0, 2.0, 9.0] {
+            a.update(&Value::F64(v)).unwrap();
+            b.update_f64(v);
+        }
+        assert_eq!(a.finish().unwrap(), b.finish().unwrap());
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(ValueAgg::new(AggFunc::Count).finish().unwrap(), Value::I64(0));
+        assert_eq!(ValueAgg::new(AggFunc::Sum).finish().unwrap(), Value::F64(0.0));
+        assert!(ValueAgg::new(AggFunc::Min).finish().is_err());
+        assert!(ValueAgg::new(AggFunc::Avg).finish().is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Physical row layouts.
+//!
+//! A [`RowLayout`] maps each schema column to a byte offset within a
+//! fixed-width row, optionally padding the row to a target width (the paper's
+//! microbenchmarks use 64-byte rows so one row is exactly one cache line).
+
+use crate::error::{FabricError, Result};
+use crate::geometry::FieldSlice;
+use crate::schema::{ColumnId, ColumnType, Schema};
+use serde::{Deserialize, Serialize};
+
+/// Byte-level placement of a schema's columns within a fixed-width row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowLayout {
+    offsets: Vec<usize>,
+    types: Vec<ColumnType>,
+    row_width: usize,
+}
+
+impl RowLayout {
+    /// Packed layout: columns laid out back to back in schema order,
+    /// no padding.
+    pub fn packed(schema: &Schema) -> Self {
+        let mut offsets = Vec::with_capacity(schema.len());
+        let mut types = Vec::with_capacity(schema.len());
+        let mut off = 0usize;
+        for (_, col) in schema.iter() {
+            offsets.push(off);
+            types.push(col.ty);
+            off += col.ty.width();
+        }
+        RowLayout { offsets, types, row_width: off }
+    }
+
+    /// Packed layout padded up to `row_width` bytes.
+    ///
+    /// Errors if the columns do not fit.
+    pub fn padded(schema: &Schema, row_width: usize) -> Result<Self> {
+        let mut layout = Self::packed(schema);
+        if layout.row_width > row_width {
+            return Err(FabricError::InvalidGeometry(format!(
+                "columns need {} bytes, requested row width is {row_width}",
+                layout.row_width
+            )));
+        }
+        layout.row_width = row_width;
+        Ok(layout)
+    }
+
+    /// Packed layout padded up to the next multiple of `align` bytes.
+    pub fn aligned(schema: &Schema, align: usize) -> Self {
+        let mut layout = Self::packed(schema);
+        let rem = layout.row_width % align;
+        if rem != 0 {
+            layout.row_width += align - rem;
+        }
+        layout
+    }
+
+    /// Total row width in bytes, including padding.
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Byte offset of column `id` within a row.
+    pub fn offset(&self, id: ColumnId) -> Result<usize> {
+        self.offsets
+            .get(id)
+            .copied()
+            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.offsets.len() })
+    }
+
+    /// Physical type of column `id`.
+    pub fn column_type(&self, id: ColumnId) -> Result<ColumnType> {
+        self.types
+            .get(id)
+            .copied()
+            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.types.len() })
+    }
+
+    /// Byte width of column `id`.
+    pub fn width(&self, id: ColumnId) -> Result<usize> {
+        Ok(self.column_type(id)?.width())
+    }
+
+    /// The field slice describing column `id`, as used in
+    /// [`crate::geometry::Geometry`] field lists.
+    pub fn field(&self, id: ColumnId) -> Result<FieldSlice> {
+        Ok(FieldSlice::new(id, self.offset(id)?, self.column_type(id)?))
+    }
+
+    /// Field slices for a list of columns, preserving the requested order.
+    pub fn fields(&self, ids: &[ColumnId]) -> Result<Vec<FieldSlice>> {
+        ids.iter().map(|&id| self.field(id)).collect()
+    }
+
+    /// Byte range of column `id` within a row buffer.
+    pub fn range(&self, id: ColumnId) -> Result<std::ops::Range<usize>> {
+        let off = self.offset(id)?;
+        Ok(off..off + self.width(id)?)
+    }
+
+    /// Sum of the widths of `ids` — the payload bytes an ephemeral access to
+    /// those columns moves per row.
+    pub fn group_width(&self, ids: &[ColumnId]) -> Result<usize> {
+        let mut total = 0;
+        for &id in ids {
+            total += self.width(id)?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn paper_schema() -> Schema {
+        Schema::uniform(16, ColumnType::I32)
+    }
+
+    #[test]
+    fn packed_offsets() {
+        let layout = RowLayout::packed(&paper_schema());
+        assert_eq!(layout.row_width(), 64);
+        assert_eq!(layout.offset(0).unwrap(), 0);
+        assert_eq!(layout.offset(1).unwrap(), 4);
+        assert_eq!(layout.offset(15).unwrap(), 60);
+        assert_eq!(layout.width(3).unwrap(), 4);
+        assert_eq!(layout.column_type(3).unwrap(), ColumnType::I32);
+    }
+
+    #[test]
+    fn padded_layout() {
+        let s = Schema::uniform(3, ColumnType::I32);
+        let layout = RowLayout::padded(&s, 64).unwrap();
+        assert_eq!(layout.row_width(), 64);
+        assert_eq!(layout.offset(2).unwrap(), 8);
+        assert!(RowLayout::padded(&s, 8).is_err());
+    }
+
+    #[test]
+    fn aligned_layout() {
+        let s = Schema::from_pairs(&[("a", ColumnType::I64), ("b", ColumnType::I16)]);
+        let layout = RowLayout::aligned(&s, 16);
+        assert_eq!(layout.row_width(), 16);
+        let exact = Schema::uniform(8, ColumnType::I64);
+        assert_eq!(RowLayout::aligned(&exact, 64).row_width(), 64);
+    }
+
+    #[test]
+    fn field_slices_preserve_request_order() {
+        let layout = RowLayout::packed(&paper_schema());
+        let fs = layout.fields(&[9, 2, 4]).unwrap();
+        assert_eq!(fs[0].offset, 36);
+        assert_eq!(fs[1].offset, 8);
+        assert_eq!(fs[2].offset, 16);
+        assert_eq!(fs[0].column, 9);
+        assert_eq!(layout.group_width(&[9, 2, 4]).unwrap(), 12);
+    }
+
+    #[test]
+    fn range_and_bounds() {
+        let layout = RowLayout::packed(&paper_schema());
+        assert_eq!(layout.range(1).unwrap(), 4..8);
+        assert!(layout.offset(16).is_err());
+        assert!(layout.field(16).is_err());
+    }
+
+    #[test]
+    fn mixed_width_layout() {
+        let s = Schema::from_pairs(&[
+            ("key", ColumnType::I64),
+            ("flag", ColumnType::FixedStr(1)),
+            ("qty", ColumnType::F64),
+        ]);
+        let layout = RowLayout::packed(&s);
+        assert_eq!(layout.offset(0).unwrap(), 0);
+        assert_eq!(layout.offset(1).unwrap(), 8);
+        assert_eq!(layout.offset(2).unwrap(), 9);
+        assert_eq!(layout.row_width(), 17);
+    }
+}

@@ -1,0 +1,282 @@
+//! Scalar values and their byte-level encoding.
+//!
+//! All columns are fixed width and little-endian encoded. The encode/decode
+//! helpers here are the single point of truth used by the row stores, the RM
+//! packer, the codecs, and the SQL executor, so a round-trip property test on
+//! this module covers the byte format everywhere.
+
+use crate::error::{FabricError, Result};
+use crate::schema::ColumnType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Days since 1970-01-01 for a proleptic-Gregorian `(year, month, day)`
+/// (Howard Hinnant's algorithm; valid far beyond the TPC-H date range).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> u32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64;
+    let mp = ((m + 9) % 12) as u64;
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1);
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era * 146_097 + doe as i64 - 719_468) as u32
+}
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    I8(i8),
+    I16(i16),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    /// Days since the Unix epoch.
+    Date(u32),
+    /// Fixed-capacity string; stored zero padded, compared byte-wise.
+    Str(String),
+}
+
+impl Value {
+    /// The column type this value naturally encodes to.
+    ///
+    /// Strings report their current byte length; encoding against a wider
+    /// `FixedStr` pads with zero bytes.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::I8(_) => ColumnType::I8,
+            Value::I16(_) => ColumnType::I16,
+            Value::I32(_) => ColumnType::I32,
+            Value::I64(_) => ColumnType::I64,
+            Value::F32(_) => ColumnType::F32,
+            Value::F64(_) => ColumnType::F64,
+            Value::Date(_) => ColumnType::Date,
+            Value::Str(s) => ColumnType::FixedStr(s.len()),
+        }
+    }
+
+    /// Encode into `out`, which must be exactly `ty.width()` bytes.
+    pub fn encode_into(&self, ty: ColumnType, out: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(out.len(), ty.width());
+        match (self, ty) {
+            (Value::I8(v), ColumnType::I8) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::I16(v), ColumnType::I16) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::I32(v), ColumnType::I32) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::I64(v), ColumnType::I64) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::F32(v), ColumnType::F32) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::F64(v), ColumnType::F64) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::Date(v), ColumnType::Date) => out.copy_from_slice(&v.to_le_bytes()),
+            (Value::Str(s), ColumnType::FixedStr(n)) => {
+                if s.len() > n {
+                    return Err(FabricError::TypeMismatch {
+                        expected: format!("char({n})"),
+                        found: format!("string of length {}", s.len()),
+                    });
+                }
+                out[..s.len()].copy_from_slice(s.as_bytes());
+                out[s.len()..].fill(0);
+            }
+            (v, t) => {
+                return Err(FabricError::TypeMismatch {
+                    expected: t.name(),
+                    found: v.column_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode a value of type `ty` from `bytes` (must be `ty.width()` long).
+    pub fn decode(ty: ColumnType, bytes: &[u8]) -> Value {
+        debug_assert_eq!(bytes.len(), ty.width());
+        match ty {
+            ColumnType::I8 => Value::I8(i8::from_le_bytes([bytes[0]])),
+            ColumnType::I16 => Value::I16(i16::from_le_bytes([bytes[0], bytes[1]])),
+            ColumnType::I32 => Value::I32(i32::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::I64 => Value::I64(i64::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::F32 => Value::F32(f32::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::F64 => Value::F64(f64::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::Date => Value::Date(u32::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::FixedStr(_) => {
+                let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+                Value::Str(String::from_utf8_lossy(&bytes[..end]).into_owned())
+            }
+        }
+    }
+
+    /// Numeric view as `f64`, for aggregates. Strings are an error.
+    pub fn as_f64(&self) -> Result<f64> {
+        Ok(match self {
+            Value::I8(v) => *v as f64,
+            Value::I16(v) => *v as f64,
+            Value::I32(v) => *v as f64,
+            Value::I64(v) => *v as f64,
+            Value::F32(v) => *v as f64,
+            Value::F64(v) => *v,
+            Value::Date(v) => *v as f64,
+            Value::Str(_) => {
+                return Err(FabricError::TypeMismatch {
+                    expected: "numeric".into(),
+                    found: "string".into(),
+                })
+            }
+        })
+    }
+
+    /// Integer view as `i64`, for keys and dates.
+    pub fn as_i64(&self) -> Result<i64> {
+        Ok(match self {
+            Value::I8(v) => *v as i64,
+            Value::I16(v) => *v as i64,
+            Value::I32(v) => *v as i64,
+            Value::I64(v) => *v,
+            Value::Date(v) => *v as i64,
+            Value::F32(v) => *v as i64,
+            Value::F64(v) => *v as i64,
+            Value::Str(_) => {
+                return Err(FabricError::TypeMismatch {
+                    expected: "integer".into(),
+                    found: "string".into(),
+                })
+            }
+        })
+    }
+
+    /// Total comparison used by predicates: numerics compare numerically
+    /// (integers exactly, mixed via `f64`), strings compare byte-wise.
+    pub fn compare(&self, other: &Value) -> Result<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Ok(a.as_bytes().cmp(b.as_bytes())),
+            (Value::Str(_), _) | (_, Value::Str(_)) => Err(FabricError::TypeMismatch {
+                expected: "comparable types".into(),
+                found: "string vs numeric".into(),
+            }),
+            (a, b) => {
+                // Exact integer compare when both sides are integral.
+                if let (Ok(x), Ok(y)) = (a.try_exact_i64(), b.try_exact_i64()) {
+                    return Ok(x.cmp(&y));
+                }
+                let x = a.as_f64()?;
+                let y = b.as_f64()?;
+                Ok(x.partial_cmp(&y).unwrap_or(Ordering::Equal))
+            }
+        }
+    }
+
+    fn try_exact_i64(&self) -> Result<i64> {
+        match self {
+            Value::I8(_) | Value::I16(_) | Value::I32(_) | Value::I64(_) | Value::Date(_) => {
+                self.as_i64()
+            }
+            _ => Err(FabricError::Internal("not integral".into())),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I8(v) => write!(f, "{v}"),
+            Value::I16(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date#{v}"),
+            Value::Str(v) => write!(f, "'{v}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_fixed_width() {
+        let cases = vec![
+            (Value::I8(-5), ColumnType::I8),
+            (Value::I16(-300), ColumnType::I16),
+            (Value::I32(123_456), ColumnType::I32),
+            (Value::I64(-9_876_543_210), ColumnType::I64),
+            (Value::F32(1.5), ColumnType::F32),
+            (Value::F64(-2.25), ColumnType::F64),
+            (Value::Date(19_000), ColumnType::Date),
+        ];
+        for (v, ty) in cases {
+            let mut buf = vec![0u8; ty.width()];
+            v.encode_into(ty, &mut buf).unwrap();
+            assert_eq!(Value::decode(ty, &buf), v);
+        }
+    }
+
+    #[test]
+    fn string_pads_and_truncates_trailing_zeros() {
+        let mut buf = vec![0xAAu8; 8];
+        Value::Str("abc".into()).encode_into(ColumnType::FixedStr(8), &mut buf).unwrap();
+        assert_eq!(&buf[..3], b"abc");
+        assert_eq!(&buf[3..], &[0, 0, 0, 0, 0]);
+        assert_eq!(Value::decode(ColumnType::FixedStr(8), &buf), Value::Str("abc".into()));
+    }
+
+    #[test]
+    fn string_too_long_is_error() {
+        let mut buf = vec![0u8; 2];
+        assert!(Value::Str("abc".into()).encode_into(ColumnType::FixedStr(2), &mut buf).is_err());
+    }
+
+    #[test]
+    fn cross_type_encode_is_error() {
+        let mut buf = vec![0u8; 4];
+        assert!(Value::I64(1).encode_into(ColumnType::I32, &mut buf).is_err());
+    }
+
+    #[test]
+    fn compare_mixed_numeric() {
+        assert_eq!(
+            Value::I32(3).compare(&Value::F64(3.5)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(Value::I64(7).compare(&Value::I8(7)).unwrap(), Ordering::Equal);
+        assert!(Value::Str("a".into()).compare(&Value::I8(0)).is_err());
+    }
+
+    #[test]
+    fn exact_i64_comparison_beyond_f53() {
+        // Would be equal under f64 rounding; must differ under exact compare.
+        let a = Value::I64(9_007_199_254_740_993);
+        let b = Value::I64(9_007_199_254_740_992);
+        assert_eq!(a.compare(&b).unwrap(), Ordering::Greater);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_i64_roundtrip(v in any::<i64>()) {
+            let mut buf = [0u8; 8];
+            Value::I64(v).encode_into(ColumnType::I64, &mut buf).unwrap();
+            prop_assert_eq!(Value::decode(ColumnType::I64, &buf), Value::I64(v));
+        }
+
+        #[test]
+        fn prop_f64_roundtrip(v in any::<f64>().prop_filter("finite", |x| x.is_finite())) {
+            let mut buf = [0u8; 8];
+            Value::F64(v).encode_into(ColumnType::F64, &mut buf).unwrap();
+            prop_assert_eq!(Value::decode(ColumnType::F64, &buf), Value::F64(v));
+        }
+
+        #[test]
+        fn prop_str_roundtrip(s in "[a-zA-Z0-9 ]{0,16}") {
+            let mut buf = [0u8; 16];
+            Value::Str(s.clone()).encode_into(ColumnType::FixedStr(16), &mut buf).unwrap();
+            prop_assert_eq!(Value::decode(ColumnType::FixedStr(16), &buf), Value::Str(s));
+        }
+
+        #[test]
+        fn prop_compare_consistent_with_i64(a in any::<i32>(), b in any::<i32>()) {
+            let ord = Value::I32(a).compare(&Value::I32(b)).unwrap();
+            prop_assert_eq!(ord, a.cmp(&b));
+        }
+    }
+}

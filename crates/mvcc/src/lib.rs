@@ -1,0 +1,35 @@
+//! Multi-version concurrency control over row-oriented base data
+//! (paper §III-C).
+//!
+//! The Relational Fabric design keeps *one* copy of the data — the
+//! row-oriented base table — and gives transactions snapshot isolation with
+//! two timestamp fields per row:
+//!
+//! > *"The first timestamp is set when a row is inserted to mark the
+//! > beginning of its validity, while the second timestamp is set upon row
+//! > deletion or replacement by a newer version, marking the end of its
+//! > validity. Every time the API is accessed, it generates the column
+//! > groups that contain the valid rows at the time of the query."*
+//!
+//! * [`oracle::TimestampOracle`] issues monotonically increasing
+//!   timestamps;
+//! * [`txn`] implements buffered-write transactions with first-committer-
+//!   wins write-write conflict detection;
+//! * [`table::VersionedTable`] stores every version as an ordinary row of
+//!   the base table, appending new versions on update and stamping
+//!   `end_ts` on the superseded one — updates never rewrite old versions
+//!   in place, so readers need no locks;
+//! * analytical readers obtain a [`fabric_types::Geometry`] whose
+//!   [`fabric_types::TsFilter`] the RM device evaluates while gathering —
+//!   the paper's *"timestamp comparison implemented in hardware"*. A
+//!   software visibility scan ([`scan`]) is provided as the baseline the
+//!   ablation benchmarks compare against.
+
+pub mod oracle;
+pub mod scan;
+pub mod table;
+pub mod txn;
+
+pub use oracle::TimestampOracle;
+pub use table::{LogicalId, VersionedTable};
+pub use txn::{Transaction, TxnManager};

@@ -1,0 +1,66 @@
+//! Timestamp allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing timestamp source.
+///
+/// Timestamps start at 1: the value 0 is reserved as the "row still live"
+/// marker in the `end_ts` field (see [`fabric_types::TsFilter`]).
+#[derive(Debug)]
+pub struct TimestampOracle {
+    next: AtomicU64,
+}
+
+impl TimestampOracle {
+    pub fn new() -> Self {
+        TimestampOracle { next: AtomicU64::new(1) }
+    }
+
+    /// Allocate the next timestamp.
+    pub fn allocate(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The most recently allocated timestamp (0 if none yet) — used as the
+    /// snapshot point for new readers.
+    pub fn latest(&self) -> u64 {
+        self.next.load(Ordering::SeqCst) - 1
+    }
+}
+
+impl Default for TimestampOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_monotonically_from_one() {
+        let o = TimestampOracle::new();
+        assert_eq!(o.latest(), 0);
+        assert_eq!(o.allocate(), 1);
+        assert_eq!(o.allocate(), 2);
+        assert_eq!(o.latest(), 2);
+    }
+
+    #[test]
+    fn concurrent_allocations_are_unique() {
+        use std::sync::Arc;
+        let o = Arc::new(TimestampOracle::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let o = o.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| o.allocate()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000);
+    }
+}

@@ -1,0 +1,381 @@
+//! Versioned row tables: every version is an ordinary row of the base
+//! table, carrying `(begin_ts, end_ts)` validity timestamps.
+
+use fabric_sim::MemoryHierarchy;
+use fabric_types::{
+    ColumnDef, ColumnId, ColumnType, FabricError, Geometry, Result, Schema, TsFilter, Value,
+};
+use rowstore::{RowId, RowTable};
+
+/// Identifier of a *logical* row; its versions form a chain of physical
+/// rows.
+pub type LogicalId = usize;
+
+/// Names of the hidden timestamp columns appended to the user schema.
+pub const BEGIN_COL: &str = "__begin_ts";
+pub const END_COL: &str = "__end_ts";
+
+/// A multi-versioned table over a single row-oriented base layout.
+///
+/// Physically this is a plain [`RowTable`] whose schema is the user schema
+/// plus two trailing `i64` timestamp columns, exactly the representation of
+/// paper §III-C. Updates append; deletes stamp; nothing is rewritten in
+/// place, so concurrent snapshot readers never block.
+pub struct VersionedTable {
+    inner: RowTable,
+    user_cols: usize,
+    /// Version chains, oldest first; indexed by [`LogicalId`].
+    chains: Vec<Vec<RowId>>,
+    /// Commit timestamp of each logical row's newest version (for
+    /// first-committer-wins validation).
+    last_commit: Vec<u64>,
+}
+
+impl VersionedTable {
+    /// Create a versioned table for `user_schema` with room for `capacity`
+    /// physical versions.
+    pub fn create(
+        mem: &mut MemoryHierarchy,
+        user_schema: Schema,
+        capacity: usize,
+    ) -> Result<Self> {
+        let user_cols = user_schema.len();
+        let mut cols: Vec<ColumnDef> = user_schema.columns().to_vec();
+        cols.push(ColumnDef::new(BEGIN_COL, ColumnType::I64));
+        cols.push(ColumnDef::new(END_COL, ColumnType::I64));
+        let inner = RowTable::create(mem, Schema::new(cols), capacity)?;
+        Ok(VersionedTable { inner, user_cols, chains: Vec::new(), last_commit: Vec::new() })
+    }
+
+    /// The underlying physical table (all versions).
+    pub fn physical(&self) -> &RowTable {
+        &self.inner
+    }
+
+    /// Number of user (visible) columns.
+    pub fn user_cols(&self) -> usize {
+        self.user_cols
+    }
+
+    /// Number of logical rows ever created (including deleted ones).
+    pub fn logical_len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of physical versions currently stored.
+    pub fn version_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Commit timestamp of the newest version of `logical`.
+    pub fn last_commit_ts(&self, logical: LogicalId) -> Result<u64> {
+        self.last_commit
+            .get(logical)
+            .copied()
+            .ok_or_else(|| FabricError::Txn(format!("unknown logical row {logical}")))
+    }
+
+    fn check_logical(&self, logical: LogicalId) -> Result<()> {
+        if logical >= self.chains.len() {
+            return Err(FabricError::Txn(format!("unknown logical row {logical}")));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- writes
+    //
+    // The `apply_*` methods are called by `TxnManager::commit` with an
+    // allocated commit timestamp; they perform the timed writes.
+
+    /// Append the first version of a new logical row.
+    pub fn apply_insert(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        values: &[Value],
+        commit_ts: u64,
+    ) -> Result<LogicalId> {
+        if values.len() != self.user_cols {
+            return Err(FabricError::Txn(format!(
+                "insert has {} values, schema has {} columns",
+                values.len(),
+                self.user_cols
+            )));
+        }
+        let mut row = values.to_vec();
+        row.push(Value::I64(commit_ts as i64));
+        row.push(Value::I64(0));
+        let rid = self.inner.append(mem, &row)?;
+        self.chains.push(vec![rid]);
+        self.last_commit.push(commit_ts);
+        Ok(self.chains.len() - 1)
+    }
+
+    /// Supersede the current version of `logical` with one whose columns
+    /// are updated per `updates`.
+    pub fn apply_update(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        logical: LogicalId,
+        updates: &[(ColumnId, Value)],
+        commit_ts: u64,
+    ) -> Result<()> {
+        self.check_logical(logical)?;
+        let cur = *self
+            .chains[logical]
+            .last()
+            .ok_or_else(|| FabricError::Txn(format!("logical row {logical} has no versions")))?;
+        // Read the current version (timed: the OLTP path touches the row).
+        let mut row = {
+            let w = self.inner.layout().row_width();
+            mem.touch_read(self.inner.row_addr(cur), w);
+            self.inner.decode_row_untimed(mem, cur)?
+        };
+        if row[self.user_cols + 1] != Value::I64(0) {
+            return Err(FabricError::Txn(format!("logical row {logical} is deleted")));
+        }
+        for (col, v) in updates {
+            if *col >= self.user_cols {
+                return Err(FabricError::ColumnIndexOutOfRange {
+                    index: *col,
+                    len: self.user_cols,
+                });
+            }
+            row[*col] = v.clone();
+        }
+        // Stamp the old version's end and append the new version.
+        self.inner.update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
+        row[self.user_cols] = Value::I64(commit_ts as i64);
+        row[self.user_cols + 1] = Value::I64(0);
+        let rid = self.inner.append(mem, &row)?;
+        self.chains[logical].push(rid);
+        self.last_commit[logical] = commit_ts;
+        Ok(())
+    }
+
+    /// Delete `logical` by stamping its current version's end timestamp.
+    pub fn apply_delete(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        logical: LogicalId,
+        commit_ts: u64,
+    ) -> Result<()> {
+        self.check_logical(logical)?;
+        let cur = *self
+            .chains[logical]
+            .last()
+            .ok_or_else(|| FabricError::Txn(format!("logical row {logical} has no versions")))?;
+        let end = self.inner.read_column(mem, cur, self.user_cols + 1)?;
+        if end != Value::I64(0) {
+            return Err(FabricError::Txn(format!("logical row {logical} already deleted")));
+        }
+        self.inner.update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
+        self.last_commit[logical] = commit_ts;
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- reads
+
+    /// Is the physical version `rid` visible at snapshot `ts`? Timed: reads
+    /// the two timestamp fields.
+    fn version_visible(&self, mem: &mut MemoryHierarchy, rid: RowId, ts: u64) -> Result<bool> {
+        let begin = self.inner.read_column(mem, rid, self.user_cols)?.as_i64()? as u64;
+        let end = self.inner.read_column(mem, rid, self.user_cols + 1)?.as_i64()? as u64;
+        Ok(begin <= ts && (end == 0 || ts < end))
+    }
+
+    /// Point read of one column of `logical` at snapshot `ts` (OLTP path:
+    /// walks the version chain newest to oldest).
+    pub fn read_at(
+        &self,
+        mem: &mut MemoryHierarchy,
+        logical: LogicalId,
+        col: ColumnId,
+        ts: u64,
+    ) -> Result<Option<Value>> {
+        self.check_logical(logical)?;
+        for &rid in self.chains[logical].iter().rev() {
+            if self.version_visible(mem, rid, ts)? {
+                return Ok(Some(self.inner.read_column(mem, rid, col)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Full-row point read at snapshot `ts`.
+    pub fn read_row_at(
+        &self,
+        mem: &mut MemoryHierarchy,
+        logical: LogicalId,
+        ts: u64,
+    ) -> Result<Option<Vec<Value>>> {
+        self.check_logical(logical)?;
+        for &rid in self.chains[logical].iter().rev() {
+            if self.version_visible(mem, rid, ts)? {
+                let mut row = self.inner.decode_row_untimed(mem, rid)?;
+                mem.touch_read(self.inner.row_addr(rid), self.inner.layout().row_width());
+                row.truncate(self.user_cols);
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The ephemeral-access descriptor for `cols` at snapshot `ts`: the RM
+    /// device applies the visibility filter in hardware while gathering
+    /// (paper §III-C).
+    pub fn geometry_at(&self, cols: &[ColumnId], ts: u64) -> Result<Geometry> {
+        for &c in cols {
+            if c >= self.user_cols {
+                return Err(FabricError::ColumnIndexOutOfRange { index: c, len: self.user_cols });
+            }
+        }
+        let layout = self.inner.layout();
+        let filter = TsFilter {
+            begin: layout.field(self.user_cols)?,
+            end: layout.field(self.user_cols + 1)?,
+            snapshot_ts: ts,
+        };
+        Ok(self.inner.geometry(cols)?.with_visibility(filter))
+    }
+
+    // ----------------------------------------------------------- vacuum
+
+    /// Remove versions that are invisible to every snapshot at or after
+    /// `watermark` (dead versions: `end != 0 && end <= watermark`),
+    /// compacting the physical table in place. Returns the number of
+    /// versions removed. Timed: compaction moves rows through the
+    /// hierarchy.
+    pub fn vacuum(&mut self, mem: &mut MemoryHierarchy, watermark: u64) -> Result<usize> {
+        let total = self.inner.len();
+        let mut keep = vec![true; total];
+        for rid in 0..total {
+            let end = self.inner.read_column(mem, rid, self.user_cols + 1)?.as_i64()? as u64;
+            if end != 0 && end <= watermark {
+                keep[rid] = false;
+            }
+        }
+        // Compact: stable left shift of surviving rows.
+        let mut new_of_old: Vec<Option<RowId>> = vec![None; total];
+        let mut dst = 0usize;
+        for src in 0..total {
+            if keep[src] {
+                self.inner.move_row(mem, src, dst);
+                new_of_old[src] = Some(dst);
+                dst += 1;
+            }
+        }
+        let removed = total - dst;
+        self.inner.set_len(dst);
+        for chain in &mut self.chains {
+            chain.retain_mut(|rid| match new_of_old[*rid] {
+                Some(new) => {
+                    *rid = new;
+                    true
+                }
+                None => false,
+            });
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+
+    fn setup() -> (MemoryHierarchy, VersionedTable) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
+        let t = VersionedTable::create(&mut mem, schema, 1024).unwrap();
+        (mem, t)
+    }
+
+    #[test]
+    fn insert_then_read_at_snapshots() {
+        let (mut mem, mut t) = setup();
+        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        assert_eq!(t.read_at(&mut mem, l, 1, 4).unwrap(), None); // before insert
+        assert_eq!(t.read_at(&mut mem, l, 1, 5).unwrap(), Some(Value::I64(10)));
+        assert_eq!(t.read_at(&mut mem, l, 1, 100).unwrap(), Some(Value::I64(10)));
+    }
+
+    #[test]
+    fn update_appends_version_and_preserves_history() {
+        let (mut mem, mut t) = setup();
+        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        t.apply_update(&mut mem, l, &[(1, Value::I64(20))], 8).unwrap();
+        assert_eq!(t.version_count(), 2);
+        // Old snapshot still sees 10; new snapshot sees 20.
+        assert_eq!(t.read_at(&mut mem, l, 1, 7).unwrap(), Some(Value::I64(10)));
+        assert_eq!(t.read_at(&mut mem, l, 1, 8).unwrap(), Some(Value::I64(20)));
+        assert_eq!(t.last_commit_ts(l).unwrap(), 8);
+    }
+
+    #[test]
+    fn delete_hides_row_from_later_snapshots() {
+        let (mut mem, mut t) = setup();
+        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        t.apply_delete(&mut mem, l, 9).unwrap();
+        assert_eq!(t.read_at(&mut mem, l, 1, 8).unwrap(), Some(Value::I64(10)));
+        assert_eq!(t.read_at(&mut mem, l, 1, 9).unwrap(), None);
+        // Double delete and update-after-delete are errors.
+        assert!(t.apply_delete(&mut mem, l, 10).is_err());
+        assert!(t.apply_update(&mut mem, l, &[(1, Value::I64(1))], 10).is_err());
+    }
+
+    #[test]
+    fn geometry_at_carries_visibility_filter() {
+        let (mut mem, mut t) = setup();
+        t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        let g = t.geometry_at(&[1], 7).unwrap();
+        let vis = g.visibility.expect("has ts filter");
+        assert_eq!(vis.snapshot_ts, 7);
+        assert_eq!(vis.begin.offset, 16); // after two i64 user columns
+        assert_eq!(vis.end.offset, 24);
+        assert!(g.validate().is_ok());
+        // Requesting a hidden column is rejected.
+        assert!(t.geometry_at(&[2], 7).is_err());
+    }
+
+    #[test]
+    fn vacuum_drops_dead_versions_and_remaps_chains() {
+        let (mut mem, mut t) = setup();
+        let l0 = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 2).unwrap();
+        let l1 = t.apply_insert(&mut mem, &[Value::I64(2), Value::I64(20)], 3).unwrap();
+        t.apply_update(&mut mem, l0, &[(1, Value::I64(11))], 4).unwrap();
+        t.apply_update(&mut mem, l0, &[(1, Value::I64(12))], 6).unwrap();
+        t.apply_delete(&mut mem, l1, 7).unwrap();
+        assert_eq!(t.version_count(), 4);
+
+        // Watermark 5: the version of l0 that ended at 4 is dead; l1's
+        // deletion at 7 is still visible to snapshots in (5, 7).
+        let removed = t.vacuum(&mut mem, 5).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(t.version_count(), 3);
+        assert_eq!(t.read_at(&mut mem, l0, 1, 5).unwrap(), Some(Value::I64(11)));
+        assert_eq!(t.read_at(&mut mem, l0, 1, 100).unwrap(), Some(Value::I64(12)));
+        assert_eq!(t.read_at(&mut mem, l1, 1, 6).unwrap(), Some(Value::I64(20)));
+
+        // Watermark 10: l1's tombstoned version goes too.
+        let removed = t.vacuum(&mut mem, 10).unwrap();
+        assert_eq!(removed, 2); // l0's v2 (ended 6) and l1's deleted version
+        assert_eq!(t.version_count(), 1);
+        assert_eq!(t.read_at(&mut mem, l0, 1, 100).unwrap(), Some(Value::I64(12)));
+        assert_eq!(t.read_at(&mut mem, l1, 1, 100).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_logical_rows_are_errors() {
+        let (mut mem, mut t) = setup();
+        assert!(t.read_at(&mut mem, 0, 0, 1).is_err());
+        assert!(t.apply_update(&mut mem, 3, &[(0, Value::I64(1))], 2).is_err());
+        assert!(t.apply_delete(&mut mem, 3, 2).is_err());
+    }
+
+    #[test]
+    fn insert_arity_checked() {
+        let (mut mem, mut t) = setup();
+        assert!(t.apply_insert(&mut mem, &[Value::I64(1)], 2).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Transactions: buffered writes, snapshot reads, first-committer-wins
+//! validation.
+
+use crate::oracle::TimestampOracle;
+use crate::table::{LogicalId, VersionedTable};
+use fabric_sim::MemoryHierarchy;
+use fabric_types::{ColumnId, FabricError, Result, Value};
+
+/// One buffered write.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    Insert(Vec<Value>),
+    Update(LogicalId, Vec<(ColumnId, Value)>),
+    Delete(LogicalId),
+}
+
+/// A transaction: reads see the snapshot at `start_ts`; writes are buffered
+/// until commit.
+#[derive(Debug)]
+pub struct Transaction {
+    pub id: u64,
+    pub start_ts: u64,
+    writes: Vec<WriteOp>,
+}
+
+impl Transaction {
+    /// Buffer an insert; the logical id is assigned at commit (returned by
+    /// [`TxnManager::commit`]).
+    pub fn insert(&mut self, values: Vec<Value>) {
+        self.writes.push(WriteOp::Insert(values));
+    }
+
+    /// Buffer column updates of a logical row.
+    pub fn update(&mut self, logical: LogicalId, updates: Vec<(ColumnId, Value)>) {
+        self.writes.push(WriteOp::Update(logical, updates));
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, logical: LogicalId) {
+        self.writes.push(WriteOp::Delete(logical));
+    }
+
+    /// Snapshot read through this transaction.
+    pub fn read(
+        &self,
+        mem: &mut MemoryHierarchy,
+        table: &VersionedTable,
+        logical: LogicalId,
+        col: ColumnId,
+    ) -> Result<Option<Value>> {
+        table.read_at(mem, logical, col, self.start_ts)
+    }
+
+    /// Logical rows this transaction intends to modify (its write set).
+    pub fn write_set(&self) -> Vec<LogicalId> {
+        let mut set = Vec::new();
+        for w in &self.writes {
+            match w {
+                WriteOp::Update(l, _) | WriteOp::Delete(l) => {
+                    if !set.contains(l) {
+                        set.push(*l);
+                    }
+                }
+                WriteOp::Insert(_) => {}
+            }
+        }
+        set
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Outcome of a successful commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReceipt {
+    pub commit_ts: u64,
+    /// Logical ids assigned to this transaction's inserts, in order.
+    pub inserted: Vec<LogicalId>,
+}
+
+/// The transaction manager: snapshot allocation and commit validation.
+///
+/// Validation is first-committer-wins: a transaction may commit only if no
+/// logical row in its write set was committed by someone else after the
+/// transaction's snapshot — the classic snapshot-isolation rule, which the
+/// fabric makes cheap because all version visibility checks are timestamp
+/// comparisons (§III-C).
+pub struct TxnManager {
+    oracle: TimestampOracle,
+    next_txn_id: std::sync::atomic::AtomicU64,
+}
+
+impl TxnManager {
+    pub fn new() -> Self {
+        TxnManager { oracle: TimestampOracle::new(), next_txn_id: 1.into() }
+    }
+
+    /// Begin a transaction reading the current snapshot.
+    pub fn begin(&self) -> Transaction {
+        Transaction {
+            id: self.next_txn_id.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+            start_ts: self.oracle.latest(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// The snapshot timestamp a fresh reader would get right now.
+    pub fn snapshot_ts(&self) -> u64 {
+        self.oracle.latest()
+    }
+
+    /// Validate and apply `txn`. On write-write conflict the transaction is
+    /// rejected with [`FabricError::Txn`] and nothing is applied.
+    pub fn commit(
+        &self,
+        mem: &mut MemoryHierarchy,
+        table: &mut VersionedTable,
+        txn: Transaction,
+    ) -> Result<CommitReceipt> {
+        // First-committer-wins validation over the write set.
+        for logical in txn.write_set() {
+            let last = table.last_commit_ts(logical)?;
+            if last > txn.start_ts {
+                return Err(FabricError::Txn(format!(
+                    "write-write conflict on logical row {logical}: committed at {last} after snapshot {}",
+                    txn.start_ts
+                )));
+            }
+        }
+        let commit_ts = self.oracle.allocate();
+        let mut inserted = Vec::new();
+        for w in &txn.writes {
+            match w {
+                WriteOp::Insert(values) => {
+                    inserted.push(table.apply_insert(mem, values, commit_ts)?);
+                }
+                WriteOp::Update(l, updates) => table.apply_update(mem, *l, updates, commit_ts)?,
+                WriteOp::Delete(l) => table.apply_delete(mem, *l, commit_ts)?,
+            }
+        }
+        Ok(CommitReceipt { commit_ts, inserted })
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+    use fabric_types::{ColumnType, Schema};
+
+    fn setup() -> (MemoryHierarchy, VersionedTable, TxnManager) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
+        let t = VersionedTable::create(&mut mem, schema, 1024).unwrap();
+        (mem, t, TxnManager::new())
+    }
+
+    fn insert_one(
+        mem: &mut MemoryHierarchy,
+        t: &mut VersionedTable,
+        tm: &TxnManager,
+        k: i64,
+        v: i64,
+    ) -> LogicalId {
+        let mut txn = tm.begin();
+        txn.insert(vec![Value::I64(k), Value::I64(v)]);
+        tm.commit(mem, t, txn).unwrap().inserted[0]
+    }
+
+    #[test]
+    fn commit_assigns_increasing_timestamps() {
+        let (mut mem, mut t, tm) = setup();
+        let mut txn = tm.begin();
+        txn.insert(vec![Value::I64(1), Value::I64(10)]);
+        let r1 = tm.commit(&mut mem, &mut t, txn).unwrap();
+        let mut txn = tm.begin();
+        txn.insert(vec![Value::I64(2), Value::I64(20)]);
+        let r2 = tm.commit(&mut mem, &mut t, txn).unwrap();
+        assert!(r2.commit_ts > r1.commit_ts);
+    }
+
+    #[test]
+    fn snapshot_isolation_repeatable_reads() {
+        let (mut mem, mut t, tm) = setup();
+        let l = insert_one(&mut mem, &mut t, &tm, 1, 10);
+
+        // Reader starts, then a writer commits v = 20.
+        let reader = tm.begin();
+        let mut writer = tm.begin();
+        writer.update(l, vec![(1, Value::I64(20))]);
+        tm.commit(&mut mem, &mut t, writer).unwrap();
+
+        // The reader keeps seeing the old value (repeatable read).
+        assert_eq!(reader.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(10)));
+        // A new reader sees the new value.
+        let fresh = tm.begin();
+        assert_eq!(fresh.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(20)));
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second_committer() {
+        let (mut mem, mut t, tm) = setup();
+        let l = insert_one(&mut mem, &mut t, &tm, 1, 10);
+
+        let mut t1 = tm.begin();
+        let mut t2 = tm.begin();
+        t1.update(l, vec![(1, Value::I64(100))]);
+        t2.update(l, vec![(1, Value::I64(200))]);
+
+        tm.commit(&mut mem, &mut t, t1).unwrap();
+        let err = tm.commit(&mut mem, &mut t, t2).unwrap_err();
+        assert!(matches!(err, FabricError::Txn(_)));
+        // The first committer's value survived.
+        let fresh = tm.begin();
+        assert_eq!(fresh.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(100)));
+    }
+
+    #[test]
+    fn disjoint_write_sets_both_commit() {
+        let (mut mem, mut t, tm) = setup();
+        let a = insert_one(&mut mem, &mut t, &tm, 1, 10);
+        let b = insert_one(&mut mem, &mut t, &tm, 2, 20);
+
+        let mut t1 = tm.begin();
+        let mut t2 = tm.begin();
+        t1.update(a, vec![(1, Value::I64(11))]);
+        t2.update(b, vec![(1, Value::I64(21))]);
+        tm.commit(&mut mem, &mut t, t1).unwrap();
+        tm.commit(&mut mem, &mut t, t2).unwrap();
+
+        let fresh = tm.begin();
+        assert_eq!(fresh.read(&mut mem, &t, a, 1).unwrap(), Some(Value::I64(11)));
+        assert_eq!(fresh.read(&mut mem, &t, b, 1).unwrap(), Some(Value::I64(21)));
+    }
+
+    #[test]
+    fn failed_commit_applies_nothing() {
+        let (mut mem, mut t, tm) = setup();
+        let a = insert_one(&mut mem, &mut t, &tm, 1, 10);
+        let b = insert_one(&mut mem, &mut t, &tm, 2, 20);
+
+        let mut loser = tm.begin();
+        loser.update(a, vec![(1, Value::I64(999))]);
+        loser.update(b, vec![(1, Value::I64(999))]);
+        loser.insert(vec![Value::I64(3), Value::I64(30)]);
+
+        let mut winner = tm.begin();
+        winner.update(a, vec![(1, Value::I64(11))]);
+        tm.commit(&mut mem, &mut t, winner).unwrap();
+
+        let versions_before = t.version_count();
+        assert!(tm.commit(&mut mem, &mut t, loser).is_err());
+        assert_eq!(t.version_count(), versions_before);
+        let fresh = tm.begin();
+        assert_eq!(fresh.read(&mut mem, &t, b, 1).unwrap(), Some(Value::I64(20)));
+        assert_eq!(t.logical_len(), 2); // the loser's insert never happened
+    }
+
+    #[test]
+    fn read_only_transactions_never_conflict() {
+        let (mut mem, mut t, tm) = setup();
+        let l = insert_one(&mut mem, &mut t, &tm, 1, 10);
+        let ro = tm.begin();
+        let mut w = tm.begin();
+        w.update(l, vec![(1, Value::I64(99))]);
+        tm.commit(&mut mem, &mut t, w).unwrap();
+        assert!(ro.is_read_only());
+        let r = tm.commit(&mut mem, &mut t, ro).unwrap();
+        assert!(r.inserted.is_empty());
+    }
+
+    #[test]
+    fn write_set_dedups() {
+        let (_, _, tm) = setup();
+        let mut txn = tm.begin();
+        txn.update(5, vec![(0, Value::I64(1))]);
+        txn.update(5, vec![(1, Value::I64(2))]);
+        txn.delete(7);
+        txn.insert(vec![]);
+        assert_eq!(txn.write_set(), vec![5, 7]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The layout-aware cost model (paper §III-B).
+//!
+//! With a Relational Fabric the optimizer *constructs* the cheapest access
+//! instead of searching a combinatorial space: for a scan-shaped query the
+//! candidate paths are exactly three, and the per-row cost of each is a
+//! short closed form mirroring the calibrated engine behaviours:
+//!
+//! * **ROW** — Volcano over the base rows: line traffic for the touched
+//!   spans plus per-tuple interpretation;
+//! * **COL** — column-at-a-time over the materialized columnar copy (only
+//!   if one exists!): one stream per column, selection passes, tuple
+//!   reconstruction past the prefetcher's stream budget;
+//! * **RM**  — ephemeral column group: device row beat overlapped with a
+//!   single packed consumer stream.
+
+use crate::bind::{BoundQuery, OutputItem};
+use crate::catalog::TableEntry;
+use fabric_sim::SimConfig;
+use fabric_types::geometry::merge_field_spans;
+use fabric_types::Result;
+use relmem::RmConfig;
+use serde::{Deserialize, Serialize};
+
+/// The three physical access paths of the fabric world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPath {
+    Row,
+    Col,
+    Rm,
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessPath::Row => "ROW",
+            AccessPath::Col => "COL",
+            AccessPath::Rm => "RM",
+        })
+    }
+}
+
+/// Estimated nanoseconds per path (`None` = path unavailable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathCost {
+    pub row_ns: f64,
+    pub col_ns: Option<f64>,
+    pub rm_ns: f64,
+}
+
+impl PathCost {
+    /// The cheapest available path.
+    pub fn best(&self) -> AccessPath {
+        let mut best = (AccessPath::Row, self.row_ns);
+        if let Some(c) = self.col_ns {
+            if c < best.1 {
+                best = (AccessPath::Col, c);
+            }
+        }
+        if self.rm_ns < best.1 {
+            best = (AccessPath::Rm, self.rm_ns);
+        }
+        best.0
+    }
+}
+
+/// Estimate all three paths for `bound` over `entry`.
+pub fn estimate(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+) -> Result<PathCost> {
+    let rows = entry.rows.len() as f64;
+    let layout = entry.rows.layout();
+    let line = sim.line_size as f64;
+    let l2_ns = sim.cycles_to_ns(sim.l2_hit_cycles);
+    let cyc = |c: u64| sim.cycles_to_ns(c);
+    let costs = fabric_sim::hierarchy::OpCosts::default();
+
+    let n_touched = bound.touched.len() as f64;
+    let n_preds = bound.preds.len() as f64;
+    // Group width the query moves per row.
+    let fields = layout.fields(&bound.touched)?;
+    let group_width: usize = fields.iter().map(|f| f.width()).sum();
+    let spans = merge_field_spans(&fields, 0);
+    let span_lines: f64 = spans
+        .iter()
+        .map(|&(_, len)| (len as f64 / line).ceil().max(1.0))
+        .sum();
+
+    // Shared per-row compute: predicate evaluation + consumption.
+    let agg_ops: u64 = bound
+        .items
+        .iter()
+        .map(|i| match i {
+            OutputItem::Agg(_, e) => e.ops() + 1,
+            OutputItem::Expr(e) => e.ops() + 1,
+        })
+        .sum();
+    let consume_ns = if bound.has_aggregates() {
+        let hash = if bound.group_by.is_empty() { 0.0 } else { cyc(costs.hash_op) };
+        hash + cyc(costs.f64_op) * agg_ops as f64
+    } else {
+        cyc(costs.value_op) * agg_ops as f64
+    };
+    let pred_ns = cyc(costs.value_op) * n_preds;
+
+    // ROW: prefetched line stream + Volcano interpretation. Rows narrower
+    // than a line share line fetches; wider rows pay one fetch per span
+    // line.
+    let rows_per_line = (line / layout.row_width() as f64).max(1.0);
+    let row_mem = span_lines * l2_ns / rows_per_line;
+    let row_ns_per = row_mem
+        + cyc(costs.volcano_next) * 2.0
+        + cyc(costs.decode) * n_touched
+        + pred_ns
+        + consume_ns;
+
+    // COL: per touched column one stream (sequential line cost amortized)
+    // plus vectorized per-value work; selection passes add full-column
+    // evaluation; beyond the prefetcher's stream budget reconstruction
+    // pays demand misses.
+    let col_ns_per = entry.cols.as_ref().map(|_| {
+        let per_col_bytes: f64 = group_width as f64 / n_touched.max(1.0);
+        let seq_line = l2_ns / (line / per_col_bytes);
+        let stream_penalty = if n_touched > sim.prefetch_streams as f64 {
+            // A fraction of line fetches become overlapped demand misses.
+            let miss = sim.dram_row_miss_ns + sim.dram_demand_overhead_ns;
+            (miss / 16.0) * (n_touched - sim.prefetch_streams as f64) / n_touched
+        } else {
+            0.0
+        };
+        n_touched
+            * (seq_line
+                + cyc(costs.vector_elem + costs.reconstruct)
+                + stream_penalty)
+            + pred_ns
+            + consume_ns
+    });
+
+    // RM: device row beat overlapped with packed consumption.
+    let rm_consume = (group_width as f64 / line) * rm.bus_ns_per_line
+        + cyc(costs.vector_elem)
+        + pred_ns
+        + consume_ns;
+    let rm_ns_per = rm.engine_ns_per_row.max(rm_consume);
+
+    Ok(PathCost {
+        row_ns: row_ns_per * rows,
+        col_ns: col_ns_per.map(|c| c * rows),
+        rm_ns: rm_ns_per * rows + rm.configure_ns,
+    })
+}
+
+/// Pick the best path for the query (the "construct the fastest plan" of
+/// §III-B).
+pub fn choose_path(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+) -> Result<(AccessPath, PathCost)> {
+    let cost = estimate(sim, rm, entry, bound)?;
+    Ok((cost.best(), cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::catalog::Catalog;
+    use crate::parser::parse;
+    use colstore::ColTable;
+    use fabric_sim::MemoryHierarchy;
+    use fabric_types::{ColumnType, Schema, Value};
+    use rowstore::RowTable;
+
+    fn catalog(with_cols: bool) -> Catalog {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::uniform(16, ColumnType::I32);
+        let mut t = RowTable::create(&mut mem, schema.clone(), 4096).unwrap();
+        let mut ct = ColTable::create(&mut mem, schema, 4096).unwrap();
+        let row: Vec<Value> = (0..16).map(Value::I32).collect();
+        for _ in 0..1000 {
+            t.load(&mut mem, &row).unwrap();
+            ct.load(&mut mem, &row).unwrap();
+        }
+        let mut c = Catalog::new();
+        if with_cols {
+            c.register("t", t, ct);
+        } else {
+            c.register_rows("t", t);
+        }
+        c
+    }
+
+    fn cost_of(c: &Catalog, sql: &str) -> (AccessPath, PathCost) {
+        let bound = bind(c, &parse(sql).unwrap()).unwrap();
+        choose_path(
+            &SimConfig::zynq_a53(),
+            &RmConfig::prototype(),
+            c.get("t").unwrap(),
+            &bound,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn without_columnar_copy_col_path_is_unavailable() {
+        let c = catalog(false);
+        let (_, cost) = cost_of(&c, "SELECT c0 FROM t");
+        assert!(cost.col_ns.is_none());
+    }
+
+    #[test]
+    fn narrow_projection_prefers_col_when_available() {
+        let c = catalog(true);
+        let (path, cost) = cost_of(&c, "SELECT sum(c0) FROM t");
+        assert_eq!(path, AccessPath::Col, "{cost:?}");
+    }
+
+    #[test]
+    fn wide_projection_prefers_rm() {
+        let c = catalog(true);
+        let (path, cost) = cost_of(
+            &c,
+            "SELECT sum(c0), sum(c1), sum(c2), sum(c3), sum(c4), sum(c5), sum(c6), sum(c7) FROM t",
+        );
+        assert_eq!(path, AccessPath::Rm, "{cost:?}");
+    }
+
+    #[test]
+    fn rm_always_beats_row_for_scans() {
+        let c = catalog(true);
+        for sql in ["SELECT c0 FROM t", "SELECT sum(c3) FROM t WHERE c5 < 100"] {
+            let (_, cost) = cost_of(&c, sql);
+            assert!(cost.rm_ns < cost.row_ns, "{sql}: {cost:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_scale_with_rows() {
+        let c = catalog(true);
+        let bound = bind(&c, &parse("SELECT c0 FROM t").unwrap()).unwrap();
+        let full =
+            estimate(&SimConfig::zynq_a53(), &RmConfig::prototype(), c.get("t").unwrap(), &bound)
+                .unwrap();
+        assert!(full.row_ns > 0.0 && full.rm_ns > 0.0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Plan execution over the three access paths.
+//!
+//! All paths share one consumption stage (expression evaluation or grouped
+//! aggregation over slot tuples), so a query returns identical rows no
+//! matter which path the optimizer picked — the paper's "one execution
+//! engine" property (§III-B): the engine always assumes only relevant data
+//! arrives.
+
+use crate::bind::{BoundQuery, OutputItem};
+use crate::catalog::Catalog;
+use crate::cost::{choose_path, AccessPath, PathCost};
+use colstore::exec as colx;
+use fabric_sim::MemoryHierarchy;
+use fabric_types::{FabricError, Result, Value, ValueAgg};
+use relmem::{EphemeralColumns, RmConfig};
+use rowstore::volcano::{Filter, Operator, SeqScan};
+use std::collections::HashMap;
+
+/// The result of a query: rows plus how they were obtained.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub rows: Vec<Vec<Value>>,
+    pub path: AccessPath,
+    /// Simulated nanoseconds spent executing (excludes parse/bind).
+    pub ns: f64,
+    /// The optimizer's estimates (for EXPLAIN-style output).
+    pub cost: PathCost,
+}
+
+/// Shared consumption: either collects projected rows or maintains grouped
+/// aggregates.
+struct Consumer<'q> {
+    bound: &'q BoundQuery,
+    rows: Vec<Vec<Value>>,
+    groups: HashMap<String, (Vec<Value>, Vec<ValueAgg>)>,
+    aggregated: bool,
+}
+
+impl<'q> Consumer<'q> {
+    fn new(bound: &'q BoundQuery) -> Self {
+        Consumer {
+            bound,
+            rows: Vec::new(),
+            groups: HashMap::new(),
+            aggregated: bound.has_aggregates(),
+        }
+    }
+
+    /// CPU cycles one fed row costs (charged by the caller's engine loop).
+    fn row_cycles(&self, costs: &fabric_sim::hierarchy::OpCosts) -> u64 {
+        let ops: u64 = self
+            .bound
+            .items
+            .iter()
+            .map(|i| match i {
+                OutputItem::Agg(_, e) | OutputItem::Expr(e) => e.ops() + 1,
+            })
+            .sum();
+        if self.aggregated {
+            let hash = if self.bound.group_by.is_empty() { 0 } else { costs.hash_op };
+            hash + costs.f64_op * ops
+        } else {
+            costs.value_op * ops
+        }
+    }
+
+    fn feed(&mut self, vals: &[Value]) -> Result<()> {
+        if !self.aggregated {
+            let mut out = Vec::with_capacity(self.bound.items.len());
+            for item in &self.bound.items {
+                match item {
+                    OutputItem::Expr(e) => out.push(e.eval(vals)?),
+                    OutputItem::Agg(..) => unreachable!("checked by binder"),
+                }
+            }
+            self.rows.push(out);
+            return Ok(());
+        }
+        use std::fmt::Write as _;
+        let mut key = String::new();
+        for &slot in &self.bound.group_by {
+            let _ = write!(key, "{}\u{1f}", vals[slot]);
+        }
+        let entry = self.groups.entry(key).or_insert_with(|| {
+            let key_vals: Vec<Value> =
+                self.bound.group_by.iter().map(|&s| vals[s].clone()).collect();
+            let accs: Vec<ValueAgg> = self
+                .bound
+                .items
+                .iter()
+                .filter_map(|i| match i {
+                    OutputItem::Agg(f, _) => Some(ValueAgg::new(*f)),
+                    OutputItem::Expr(_) => None,
+                })
+                .collect();
+            (key_vals, accs)
+        });
+        let mut acc_i = 0;
+        for item in &self.bound.items {
+            if let OutputItem::Agg(_, e) = item {
+                entry.1[acc_i].update(&e.eval(vals)?)?;
+                acc_i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Vec<Vec<Value>>> {
+        if !self.aggregated {
+            return Ok(self.rows);
+        }
+        // Scalar aggregation over zero rows still returns one row
+        // (count = 0, sum = 0; min/max/avg error, as they have no value).
+        if self.groups.is_empty() && self.bound.group_by.is_empty() {
+            let accs: Vec<ValueAgg> = self
+                .bound
+                .items
+                .iter()
+                .filter_map(|i| match i {
+                    OutputItem::Agg(f, _) => Some(ValueAgg::new(*f)),
+                    OutputItem::Expr(_) => None,
+                })
+                .collect();
+            self.groups.insert(String::new(), (Vec::new(), accs));
+        }
+        let mut keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> =
+            self.groups.into_iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(keyed.len());
+        for (_, (key_vals, accs)) in keyed {
+            let mut row = Vec::with_capacity(self.bound.items.len());
+            let mut acc_i = 0;
+            for item in &self.bound.items {
+                match item {
+                    OutputItem::Expr(e) => {
+                        // A grouping column: its value is in key_vals at the
+                        // position of its slot within group_by.
+                        let slot = match e {
+                            fabric_types::Expr::Col(s) => *s,
+                            _ => unreachable!("checked by binder"),
+                        };
+                        let pos = self
+                            .bound
+                            .group_by
+                            .iter()
+                            .position(|&g| g == slot)
+                            .expect("checked by binder");
+                        row.push(key_vals[pos].clone());
+                    }
+                    OutputItem::Agg(..) => {
+                        row.push(accs[acc_i].finish()?);
+                        acc_i += 1;
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+/// Execute on the optimizer-chosen path.
+pub fn execute(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+) -> Result<QueryOutput> {
+    let entry = catalog.get(&bound.table)?;
+    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    execute_with_cost(mem, catalog, bound, path, cost)
+}
+
+/// Execute on an explicitly chosen path (engine comparisons / tests).
+pub fn execute_on(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    path: AccessPath,
+) -> Result<QueryOutput> {
+    let entry = catalog.get(&bound.table)?;
+    let (_, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    execute_with_cost(mem, catalog, bound, path, cost)
+}
+
+fn execute_with_cost(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    path: AccessPath,
+    cost: PathCost,
+) -> Result<QueryOutput> {
+    let entry = catalog.get(&bound.table)?;
+    let t0 = mem.now();
+    let mut rows = match path {
+        AccessPath::Row => run_row(mem, entry, bound)?,
+        AccessPath::Col => run_col(mem, entry, bound)?,
+        AccessPath::Rm => run_rm(mem, entry, bound)?,
+    };
+    if !bound.order_by.is_empty() {
+        sort_rows(mem, &mut rows, &bound.order_by)?;
+    }
+    if let Some(limit) = bound.limit {
+        rows.truncate(limit);
+    }
+    Ok(QueryOutput { rows, path, ns: mem.ns_since(t0), cost })
+}
+
+/// Sort the result rows on the bound `(position, desc)` keys, charging an
+/// n·log n comparison cost.
+fn sort_rows(
+    mem: &mut MemoryHierarchy,
+    rows: &mut [Vec<Value>],
+    keys: &[(usize, bool)],
+) -> Result<()> {
+    let costs = mem.costs();
+    let n = rows.len() as u64;
+    if n > 1 {
+        let comparisons = n * (64 - n.leading_zeros() as u64);
+        mem.cpu(comparisons * (costs.value_op * keys.len() as u64 + costs.branch_miss / 2));
+    }
+    let mut err = None;
+    rows.sort_by(|a, b| {
+        for &(pos, desc) in keys {
+            match a[pos].compare(&b[pos]) {
+                Ok(ord) => {
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Err(e) => {
+                    err.get_or_insert(e);
+                    return std::cmp::Ordering::Equal;
+                }
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn run_row(
+    mem: &mut MemoryHierarchy,
+    entry: &crate::catalog::TableEntry,
+    bound: &BoundQuery,
+) -> Result<Vec<Vec<Value>>> {
+    let costs = mem.costs();
+    let scan = SeqScan::new(&entry.rows, bound.touched.clone())?;
+    let mut op: Box<dyn Operator> = if bound.preds.is_empty() {
+        Box::new(scan)
+    } else {
+        Box::new(Filter::new(Box::new(scan), bound.preds.clone()))
+    };
+    let mut consumer = Consumer::new(bound);
+    let row_cycles = consumer.row_cycles(&costs);
+    let mut tuple = Vec::new();
+    while op.next(mem, &mut tuple)? {
+        mem.cpu(row_cycles);
+        consumer.feed(&tuple)?;
+    }
+    consumer.finish()
+}
+
+fn run_col(
+    mem: &mut MemoryHierarchy,
+    entry: &crate::catalog::TableEntry,
+    bound: &BoundQuery,
+) -> Result<Vec<Vec<Value>>> {
+    let table = entry
+        .cols
+        .as_ref()
+        .ok_or_else(|| FabricError::Sql(format!("table `{}` has no columnar copy", bound.table)))?;
+    let costs = mem.costs();
+
+    // Column-at-a-time selection: group conjuncts by column, full scan for
+    // the first, candidate passes after.
+    let sel: Option<Vec<u32>> = if bound.preds.is_empty() {
+        None
+    } else {
+        let mut by_col: Vec<(usize, Vec<(fabric_types::CmpOp, Value)>)> = Vec::new();
+        for (slot, op, v) in &bound.preds {
+            let col = bound.touched[*slot];
+            match by_col.iter_mut().find(|(c, _)| *c == col) {
+                Some((_, list)) => list.push((*op, v.clone())),
+                None => by_col.push((col, vec![(*op, v.clone())])),
+            }
+        }
+        let mut it = by_col.into_iter();
+        let (c0, preds0) = it.next().unwrap();
+        let mut sv = colx::scan_filter_conj(mem, table, c0, &preds0)?;
+        for (c, preds) in it {
+            sv = colx::scan_filter_cand(mem, table, c, &preds, &sv)?;
+        }
+        Some(sv)
+    };
+
+    let mut consumer = Consumer::new(bound);
+    let row_cycles = consumer.row_cycles(&costs);
+    colx::for_each_lockstep(mem, table, &bound.touched, sel.as_deref(), |mem, _, vals| {
+        mem.cpu(row_cycles);
+        consumer.feed(vals)
+    })?;
+    consumer.finish()
+}
+
+fn run_rm(
+    mem: &mut MemoryHierarchy,
+    entry: &crate::catalog::TableEntry,
+    bound: &BoundQuery,
+) -> Result<Vec<Vec<Value>>> {
+    let costs = mem.costs();
+    let g = entry.rows.geometry(&bound.touched)?;
+    let mut eph = EphemeralColumns::configure(mem, RmConfig::prototype(), g)?;
+
+    let mut consumer = Consumer::new(bound);
+    let row_cycles = consumer.row_cycles(&costs);
+    let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
+    while let Some(b) = eph.next_batch(mem) {
+        'rows: for r in 0..b.len() {
+            // CPU-side predicate over packed fields (projection-only RM).
+            for (slot, op, lit) in &bound.preds {
+                mem.cpu(costs.value_op);
+                if !op.matches(b.value(r, *slot).compare(lit)?) {
+                    mem.cpu(costs.branch_miss);
+                    continue 'rows;
+                }
+            }
+            vals.clear();
+            for slot in 0..bound.touched.len() {
+                vals.push(b.value(r, slot));
+            }
+            mem.cpu(row_cycles + costs.vector_elem);
+            consumer.feed(&vals)?;
+        }
+    }
+    consumer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::parser::parse;
+    use colstore::ColTable;
+    use fabric_sim::SimConfig;
+    use fabric_types::{ColumnType, Schema};
+    use rowstore::RowTable;
+
+    /// 200 rows: id i64, grp char(1) A/B, qty f64 = id, d date = id.
+    fn setup() -> (MemoryHierarchy, Catalog) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[
+            ("id", ColumnType::I64),
+            ("grp", ColumnType::FixedStr(1)),
+            ("qty", ColumnType::F64),
+            ("d", ColumnType::Date),
+        ]);
+        let mut rt = RowTable::create(&mut mem, schema.clone(), 256).unwrap();
+        let mut ct = ColTable::create(&mut mem, schema, 256).unwrap();
+        for i in 0..200i64 {
+            let row = vec![
+                Value::I64(i),
+                Value::Str(if i % 2 == 0 { "A" } else { "B" }.into()),
+                Value::F64(i as f64),
+                Value::Date(i as u32),
+            ];
+            rt.load(&mut mem, &row).unwrap();
+            ct.load(&mut mem, &row).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register("t", rt, ct);
+        (mem, c)
+    }
+
+    fn all_paths(mem: &mut MemoryHierarchy, c: &Catalog, sql: &str) -> Vec<QueryOutput> {
+        let bound = bind(c, &parse(sql).unwrap()).unwrap();
+        [AccessPath::Row, AccessPath::Col, AccessPath::Rm]
+            .into_iter()
+            .map(|p| execute_on(mem, c, &bound, p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn projection_identical_on_all_paths() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(&mut mem, &c, "SELECT id, qty * 2 FROM t WHERE id < 5");
+        for o in &outs {
+            assert_eq!(o.rows.len(), 5);
+            assert_eq!(o.rows[3], vec![Value::I64(3), Value::F64(6.0)]);
+        }
+        assert_eq!(outs[0].rows, outs[1].rows);
+        assert_eq!(outs[0].rows, outs[2].rows);
+    }
+
+    #[test]
+    fn grouped_aggregation_identical_on_all_paths() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(
+            &mut mem,
+            &c,
+            "SELECT grp, count(*), sum(qty), avg(qty) FROM t WHERE id < 100 GROUP BY grp",
+        );
+        for o in &outs {
+            assert_eq!(o.rows.len(), 2);
+            // Group A: even ids 0..100 -> 50 rows, sum 2450.
+            assert_eq!(o.rows[0][0], Value::Str("A".into()));
+            assert_eq!(o.rows[0][1], Value::I64(50));
+            assert_eq!(o.rows[0][2], Value::F64(2450.0));
+            assert_eq!(o.rows[0][3], Value::F64(49.0));
+        }
+        assert_eq!(outs[0].rows, outs[1].rows);
+        assert_eq!(outs[0].rows, outs[2].rows);
+    }
+
+    #[test]
+    fn scalar_aggregates_and_date_predicates() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(
+            &mut mem,
+            &c,
+            "SELECT min(qty), max(qty), count(*) FROM t WHERE d >= 50 AND d < 60",
+        );
+        for o in &outs {
+            assert_eq!(o.rows, vec![vec![Value::F64(50.0), Value::F64(59.0), Value::I64(10)]]);
+        }
+    }
+
+    #[test]
+    fn optimizer_path_runs_and_reports() {
+        let (mut mem, c) = setup();
+        let out = crate::run(&mut mem, &c, "SELECT sum(qty) FROM t").unwrap();
+        assert_eq!(out.rows[0][0], Value::F64((0..200).map(|i| i as f64).sum()));
+        assert!(out.ns > 0.0);
+        assert!(out.cost.rm_ns > 0.0);
+    }
+
+    #[test]
+    fn col_path_unavailable_without_columnar_copy() {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("x", ColumnType::I64)]);
+        let mut rt = RowTable::create(&mut mem, schema, 4).unwrap();
+        rt.load(&mut mem, &[Value::I64(1)]).unwrap();
+        let mut c = Catalog::new();
+        c.register_rows("u", rt);
+        let bound = bind(&c, &parse("SELECT x FROM u").unwrap()).unwrap();
+        assert!(execute_on(&mut mem, &c, &bound, AccessPath::Col).is_err());
+        // But Row and Rm work fine.
+        let out = execute_on(&mut mem, &c, &bound, AccessPath::Rm).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::I64(1)]]);
+    }
+
+    #[test]
+    fn empty_result_sets() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(&mut mem, &c, "SELECT id FROM t WHERE id < 0");
+        for o in &outs {
+            assert!(o.rows.is_empty());
+        }
+        let outs = all_paths(&mut mem, &c, "SELECT count(*) FROM t WHERE id < 0");
+        for o in &outs {
+            assert_eq!(o.rows, vec![vec![Value::I64(0)]]);
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit_apply_on_every_path() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(
+            &mut mem,
+            &c,
+            "SELECT id, qty FROM t WHERE id < 20 ORDER BY qty DESC LIMIT 3",
+        );
+        for o in &outs {
+            assert_eq!(o.rows.len(), 3);
+            assert_eq!(o.rows[0][0], Value::I64(19));
+            assert_eq!(o.rows[2][0], Value::I64(17));
+        }
+        // ORDER BY position and grouped output.
+        let outs = all_paths(
+            &mut mem,
+            &c,
+            "SELECT grp, sum(qty) FROM t GROUP BY grp ORDER BY 2 DESC LIMIT 1",
+        );
+        for o in &outs {
+            assert_eq!(o.rows.len(), 1);
+            assert_eq!(o.rows[0][0], Value::Str("B".into())); // odd ids sum higher
+        }
+    }
+
+    #[test]
+    fn order_by_validation_errors() {
+        let (_, c) = setup();
+        assert!(bind(&c, &parse("SELECT id FROM t ORDER BY 2").unwrap()).is_err());
+        assert!(bind(&c, &parse("SELECT id FROM t ORDER BY qty").unwrap()).is_err());
+        assert!(bind(&c, &parse("SELECT id, qty FROM t ORDER BY qty").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn string_equality_predicates() {
+        let (mut mem, c) = setup();
+        let outs = all_paths(&mut mem, &c, "SELECT count(*) FROM t WHERE grp = 'B'");
+        for o in &outs {
+            assert_eq!(o.rows, vec![vec![Value::I64(100)]]);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! A small SQL front end with a layout-aware optimizer over the three
+//! access paths (ROW / COL / RM) — the software stack of paper §III-B.
+//!
+//! The paper's observation: with a Relational Fabric, the optimizer no
+//! longer *searches* a combinatorial space of physical designs — it
+//! *constructs* the fastest plan, because any column group is reachable
+//! on the fly. This crate demonstrates exactly that:
+//!
+//! * [`lexer`] / [`parser`] accept a SQL subset
+//!   (`SELECT expr-or-agg, … FROM t [WHERE conj] [GROUP BY cols]`);
+//! * [`bind`] resolves names against a [`catalog::Catalog`] into a typed
+//!   logical plan;
+//! * [`cost`] prices the plan on each access path with a model mirroring
+//!   the calibrated engine behaviours (movement + per-row compute);
+//! * [`exec`] runs the plan on the chosen path (plus ORDER BY / LIMIT
+//!   post-processing) and returns identical results regardless of path;
+//! * [`explain`](mod@explain) renders the chosen plan and the per-path
+//!   estimates.
+
+pub mod bind;
+pub mod catalog;
+pub mod cost;
+pub mod exec;
+pub mod explain;
+pub mod lexer;
+pub mod parser;
+
+pub use bind::{BoundQuery, OutputItem};
+pub use catalog::Catalog;
+pub use cost::{choose_path, AccessPath, PathCost};
+pub use exec::{execute, execute_on, QueryOutput};
+pub use explain::{explain, explain_sql};
+
+use fabric_sim::MemoryHierarchy;
+use fabric_types::Result;
+
+/// One-stop API: parse, bind, optimize, execute.
+///
+/// ```
+/// use fabric_sim::{MemoryHierarchy, SimConfig};
+/// use fabric_types::{ColumnType, Schema, Value};
+/// use query::Catalog;
+/// use rowstore::RowTable;
+///
+/// let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+/// let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+/// let mut t = RowTable::create(&mut mem, schema, 16).unwrap();
+/// for i in 0..10 {
+///     t.load(&mut mem, &[Value::I64(i), Value::F64(i as f64)]).unwrap();
+/// }
+/// let mut catalog = Catalog::new();
+/// catalog.register_rows("orders", t);
+///
+/// let out = query::run(&mut mem, &catalog, "SELECT sum(qty) FROM orders WHERE id < 5").unwrap();
+/// assert_eq!(out.rows[0][0], Value::F64(10.0));
+/// ```
+pub fn run(mem: &mut MemoryHierarchy, catalog: &Catalog, sql: &str) -> Result<QueryOutput> {
+    let stmt = parser::parse(sql)?;
+    let bound = bind::bind(catalog, &stmt)?;
+    execute(mem, catalog, &bound)
+}

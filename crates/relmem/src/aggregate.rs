@@ -1,0 +1,190 @@
+//! Device-side aggregation units (paper §IV-B).
+//!
+//! In `Aggregate` output mode the fabric reduces qualifying rows to a
+//! handful of scalars while gathering, so only the results — not the data —
+//! cross the memory hierarchy: *"the ephemeral variables will contain only
+//! the required data or the aggregation result, which will be passed through
+//! the memory hierarchy ensuring minimal data movement"*.
+
+use fabric_types::{AggFunc, AggSpec, ColumnType, FabricError, Result, Value};
+
+/// Running state of one aggregate unit.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    spec: AggSpec,
+    count: u64,
+    sum_f: f64,
+    sum_i: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    pub fn new(spec: AggSpec) -> Self {
+        AggState { spec, count: 0, sum_f: 0.0, sum_i: 0, min: None, max: None }
+    }
+
+    /// Feed one qualifying row (raw bytes).
+    pub fn update_raw(&mut self, row: &[u8]) -> Result<()> {
+        self.count += 1;
+        let Some(field) = self.spec.field else {
+            return Ok(()); // COUNT(*)
+        };
+        let v = Value::decode(field.ty, &row[field.range()]);
+        match self.spec.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum_f += v.as_f64()?;
+                if let Ok(i) = v.as_i64() {
+                    self.sum_i = self.sum_i.wrapping_add(i);
+                }
+            }
+            AggFunc::Min => {
+                let better = match &self.min {
+                    None => true,
+                    Some(cur) => v.compare(cur)? == std::cmp::Ordering::Less,
+                };
+                if better {
+                    self.min = Some(v);
+                }
+            }
+            AggFunc::Max => {
+                let better = match &self.max {
+                    None => true,
+                    Some(cur) => v.compare(cur)? == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    self.max = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final result. Empty inputs yield `Count = 0` and an error for
+    /// min/max/avg (there is no value to return), matching SQL's NULL with
+    /// the means this library has.
+    pub fn finish(&self) -> Result<Value> {
+        match self.spec.func {
+            AggFunc::Count => Ok(Value::I64(self.count as i64)),
+            AggFunc::Sum => {
+                let field = self.spec.field.expect("validated geometry");
+                if is_integral(field.ty) {
+                    Ok(Value::I64(self.sum_i))
+                } else {
+                    Ok(Value::F64(self.sum_f))
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Err(FabricError::Internal("AVG over zero rows".into()))
+                } else {
+                    Ok(Value::F64(self.sum_f / self.count as f64))
+                }
+            }
+            AggFunc::Min => self
+                .min
+                .clone()
+                .ok_or_else(|| FabricError::Internal("MIN over zero rows".into())),
+            AggFunc::Max => self
+                .max
+                .clone()
+                .ok_or_else(|| FabricError::Internal("MAX over zero rows".into())),
+        }
+    }
+}
+
+fn is_integral(ty: ColumnType) -> bool {
+    matches!(
+        ty,
+        ColumnType::I8 | ColumnType::I16 | ColumnType::I32 | ColumnType::I64 | ColumnType::Date
+    )
+}
+
+/// A bank of aggregate units fed row by row.
+#[derive(Debug, Clone)]
+pub struct AggBank {
+    states: Vec<AggState>,
+}
+
+impl AggBank {
+    pub fn new(specs: &[AggSpec]) -> Self {
+        AggBank { states: specs.iter().map(|s| AggState::new(*s)).collect() }
+    }
+
+    pub fn update_raw(&mut self, row: &[u8]) -> Result<()> {
+        for s in &mut self.states {
+            s.update_raw(row)?;
+        }
+        Ok(())
+    }
+
+    pub fn finish(&self) -> Result<Vec<Value>> {
+        self.states.iter().map(|s| s.finish()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::FieldSlice;
+
+    fn row_i32(v: i32) -> Vec<u8> {
+        v.to_le_bytes().to_vec()
+    }
+
+    fn field() -> FieldSlice {
+        FieldSlice::new(0, 0, ColumnType::I32)
+    }
+
+    #[test]
+    fn count_sum_min_max_avg() {
+        let specs = vec![
+            AggSpec::count(),
+            AggSpec::over(AggFunc::Sum, field()),
+            AggSpec::over(AggFunc::Min, field()),
+            AggSpec::over(AggFunc::Max, field()),
+            AggSpec::over(AggFunc::Avg, field()),
+        ];
+        let mut bank = AggBank::new(&specs);
+        for v in [5, -3, 10, 0] {
+            bank.update_raw(&row_i32(v)).unwrap();
+        }
+        let out = bank.finish().unwrap();
+        assert_eq!(out[0], Value::I64(4));
+        assert_eq!(out[1], Value::I64(12));
+        assert_eq!(out[2], Value::I32(-3));
+        assert_eq!(out[3], Value::I32(10));
+        assert_eq!(out[4], Value::F64(3.0));
+    }
+
+    #[test]
+    fn float_sum_uses_f64() {
+        let f = FieldSlice::new(0, 0, ColumnType::F64);
+        let mut s = AggState::new(AggSpec::over(AggFunc::Sum, f));
+        for v in [1.5f64, 2.25] {
+            s.update_raw(&v.to_le_bytes()).unwrap();
+        }
+        assert_eq!(s.finish().unwrap(), Value::F64(3.75));
+    }
+
+    #[test]
+    fn empty_input_behaviour() {
+        let bank = AggBank::new(&[AggSpec::count()]);
+        assert_eq!(bank.finish().unwrap(), vec![Value::I64(0)]);
+        let s = AggState::new(AggSpec::over(AggFunc::Min, field()));
+        assert!(s.finish().is_err());
+        let s = AggState::new(AggSpec::over(AggFunc::Avg, field()));
+        assert!(s.finish().is_err());
+    }
+
+    #[test]
+    fn integral_sum_wraps_not_panics() {
+        let f = FieldSlice::new(0, 0, ColumnType::I64);
+        let mut s = AggState::new(AggSpec::over(AggFunc::Sum, f));
+        s.update_raw(&i64::MAX.to_le_bytes()).unwrap();
+        s.update_raw(&1i64.to_le_bytes()).unwrap();
+        // Wrapping, like the hardware adder would.
+        assert_eq!(s.finish().unwrap(), Value::I64(i64::MIN));
+    }
+}

@@ -1,0 +1,380 @@
+//! The timed RM device model.
+//!
+//! Implements the four key operations of paper §IV-A on top of the pure
+//! data path in [`crate::packer`]:
+//!
+//! 1. *"receives the intended access stride of the query … and issues
+//!    parallel main memory requests for the target data"* — the gather
+//!    loop streams the touched source lines of every base row into the
+//!    device's own [`DramModel`] port, where bank-level parallelism
+//!    determines completion times;
+//! 2. *"assembles multiple entries into a single packed cache line"* —
+//!    packing via [`crate::packer::pack_row`], with the engine emitting one
+//!    64-byte output line per engine clock (100 MHz in the prototype);
+//! 3. + 4. capture of CPU requests and delivery happen in
+//!    [`crate::ephemeral`], which imposes the staging-buffer flow control.
+
+use crate::aggregate::AggBank;
+use crate::config::RmConfig;
+use crate::packer;
+use crate::stats::RmStats;
+use fabric_sim::{Cycles, DramModel, MemArena, SimConfig};
+use fabric_types::{FabricError, Geometry, OutputMode, Result, Value};
+
+/// One batch of packed output as produced by the device, with the simulated
+/// time at which its last line left the engine.
+#[derive(Debug, Clone)]
+pub struct ProducedBatch {
+    pub data: Vec<u8>,
+    pub rows: usize,
+    pub ready_at: Cycles,
+}
+
+/// Device-side execution state for one configured geometry.
+pub struct DeviceRun {
+    dram: DramModel,
+    line_size: u64,
+    engine_cycles: Cycles,
+    row_beat_cycles: Cycles,
+    /// When the engine finished its previous batch (it cannot start the
+    /// next one earlier).
+    device_free: Cycles,
+    /// Next base row to examine.
+    cursor: usize,
+    /// Merged byte spans of the touched fields within one row.
+    spans: Vec<(usize, usize)>,
+    /// Last source line fetched (dedup across adjacent rows).
+    last_line: u64,
+    stats: RmStats,
+}
+
+impl DeviceRun {
+    /// Prepare a run for `geometry`. `sim` supplies the platform clock and
+    /// DRAM geometry; `cfg` the device parameters.
+    pub fn new(sim: &SimConfig, cfg: &RmConfig, geometry: &Geometry) -> Self {
+        let engine_cycles = sim.ns_to_cycles(cfg.engine_ns_per_line);
+        let row_beat_cycles =
+            if cfg.engine_ns_per_row > 0.0 { sim.ns_to_cycles(cfg.engine_ns_per_row) } else { 0 };
+        // Bridging sub-line gaps costs nothing extra: fetching is per line.
+        let spans = packer::touched_spans(geometry, sim.line_size - 1);
+        DeviceRun {
+            dram: DramModel::new(sim),
+            line_size: sim.line_size as u64,
+            engine_cycles,
+            row_beat_cycles,
+            device_free: 0,
+            cursor: 0,
+            spans,
+            last_line: u64::MAX,
+            stats: RmStats::default(),
+        }
+    }
+
+    /// Rows examined so far (the scan cursor).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    pub fn stats(&self) -> RmStats {
+        self.stats
+    }
+
+    pub(crate) fn note_configure(&mut self) {
+        self.stats.configures += 1;
+    }
+
+    /// Produce the next delivery batch of at most `max_bytes` of packed
+    /// output, starting no earlier than `start_at` (buffer-slot
+    /// availability). Returns `None` when the base data is exhausted and
+    /// nothing was packed.
+    pub fn produce(
+        &mut self,
+        arena: &MemArena,
+        g: &Geometry,
+        start_at: Cycles,
+        max_bytes: usize,
+    ) -> Option<ProducedBatch> {
+        if self.cursor >= g.rows {
+            return None;
+        }
+        let start = start_at.max(self.device_free);
+        let out_width = g.output_row_width();
+        debug_assert!(out_width > 0, "produce() called on an aggregate geometry");
+        assert!(
+            max_bytes >= out_width,
+            "delivery batch ({max_bytes} B) smaller than one packed row ({out_width} B)"
+        );
+
+        let mut data = Vec::with_capacity(max_bytes.min(1 << 20));
+        let mut rows_emitted = 0usize;
+        let mut issue_t = start;
+        let mut gather_done = start;
+        let mut line_buf: Vec<u64> = Vec::with_capacity(8);
+
+        while self.cursor < g.rows && data.len() + out_width <= max_bytes {
+            let row_addr = g.base + (self.cursor as u64) * g.row_width as u64;
+            // Gather the source lines this row needs.
+            line_buf.clear();
+            packer::row_source_lines(
+                row_addr,
+                &self.spans,
+                self.line_size,
+                &mut self.last_line,
+                &mut line_buf,
+            );
+            for &la in &line_buf {
+                let done = self.dram.access(la, issue_t);
+                gather_done = gather_done.max(done);
+                self.stats.source_lines += 1;
+            }
+            issue_t += self.row_beat_cycles;
+            self.stats.rows_scanned += 1;
+
+            let row = arena.slice(row_addr, g.row_width);
+            if packer::row_qualifies(g, row).unwrap_or(false) {
+                packer::pack_row(g, row, &mut data);
+                rows_emitted += 1;
+            }
+            self.cursor += 1;
+        }
+
+        if data.is_empty() && self.cursor >= g.rows && rows_emitted == 0 && self.stats.batches > 0
+        {
+            // Trailing empty scan (e.g. last rows all filtered out) still
+            // consumed device time; fold it into device_free and stop.
+            self.device_free = gather_done.max(self.device_free);
+            return None;
+        }
+
+        let out_lines = (data.len() as u64).div_ceil(self.line_size);
+        // Pipelined engine: limited by the last gathered line plus a drain
+        // beat, by output-line throughput, or by row-ingest throughput.
+        let ready = (gather_done + self.engine_cycles)
+            .max(start + out_lines * self.engine_cycles)
+            .max(issue_t);
+        self.device_free = ready;
+        self.stats.output_lines += out_lines;
+        self.stats.rows_emitted += rows_emitted as u64;
+        self.stats.batches += 1;
+
+        Some(ProducedBatch { data, rows: rows_emitted, ready_at: ready })
+    }
+
+    /// Run the whole geometry as a device-side aggregation (paper §IV-B):
+    /// only the aggregate results leave the device. Returns the values and
+    /// the simulated time they are ready.
+    pub fn run_aggregate(
+        &mut self,
+        arena: &MemArena,
+        g: &Geometry,
+        start_at: Cycles,
+    ) -> Result<(Vec<Value>, Cycles)> {
+        let OutputMode::Aggregate(specs) = &g.mode else {
+            return Err(FabricError::InvalidGeometry(
+                "run_aggregate on a non-aggregate geometry".into(),
+            ));
+        };
+        let start = start_at.max(self.device_free);
+        let mut bank = AggBank::new(specs);
+        let mut issue_t = start;
+        let mut gather_done = start;
+        let mut line_buf: Vec<u64> = Vec::with_capacity(8);
+
+        while self.cursor < g.rows {
+            let row_addr = g.base + (self.cursor as u64) * g.row_width as u64;
+            line_buf.clear();
+            packer::row_source_lines(
+                row_addr,
+                &self.spans,
+                self.line_size,
+                &mut self.last_line,
+                &mut line_buf,
+            );
+            for &la in &line_buf {
+                let done = self.dram.access(la, issue_t);
+                gather_done = gather_done.max(done);
+                self.stats.source_lines += 1;
+            }
+            issue_t += self.row_beat_cycles;
+            self.stats.rows_scanned += 1;
+
+            let row = arena.slice(row_addr, g.row_width);
+            if packer::row_qualifies(g, row)? {
+                bank.update_raw(row)?;
+                self.stats.rows_emitted += 1;
+            }
+            self.cursor += 1;
+        }
+
+        let ready = (gather_done + self.engine_cycles).max(issue_t);
+        self.device_free = ready;
+        self.stats.output_lines += 1;
+        self.stats.batches += 1;
+        Ok((bank.finish()?, ready))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::{AggFunc, AggSpec, CmpOp, ColumnPredicate, ColumnType, FieldSlice, Predicate};
+
+    /// 1000 rows of 16 i32 columns; c_j of row i = (i * 16 + j) as i32.
+    fn setup() -> (MemArena, Geometry) {
+        let mut arena = MemArena::new();
+        let rows = 1000usize;
+        let base = arena.alloc(rows * 64, 64).unwrap();
+        for i in 0..rows {
+            for j in 0..16usize {
+                let v = (i * 16 + j) as i32;
+                arena.write(base + (i * 64 + j * 4) as u64, &v.to_le_bytes());
+            }
+        }
+        let fields = vec![
+            FieldSlice::new(0, 0, ColumnType::I32),
+            FieldSlice::new(5, 20, ColumnType::I32),
+        ];
+        (arena, Geometry::packed(base, 64, rows, fields))
+    }
+
+    fn run(cfg: &RmConfig, arena: &MemArena, g: &Geometry) -> (Vec<u8>, usize, Cycles) {
+        let sim = SimConfig::zynq_a53();
+        let mut dev = DeviceRun::new(&sim, cfg, g);
+        let mut all = Vec::new();
+        let mut rows = 0;
+        let mut last_ready = 0;
+        while let Some(b) = dev.produce(arena, g, 0, cfg.batch_bytes) {
+            all.extend_from_slice(&b.data);
+            rows += b.rows;
+            last_ready = b.ready_at;
+        }
+        (all, rows, last_ready)
+    }
+
+    #[test]
+    fn produces_correct_packed_data() {
+        let (arena, g) = setup();
+        let (data, rows, ready) = run(&RmConfig::prototype(), &arena, &g);
+        assert_eq!(rows, 1000);
+        assert_eq!(data.len(), 1000 * 8);
+        assert!(ready > 0);
+        // Row 7: c0 = 112, c5 = 117.
+        let off = 7 * 8;
+        assert_eq!(i32::from_le_bytes(data[off..off + 4].try_into().unwrap()), 112);
+        assert_eq!(i32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()), 117);
+    }
+
+    #[test]
+    fn batches_respect_max_bytes() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        let b = dev.produce(&arena, &g, 0, 256).unwrap();
+        assert!(b.data.len() <= 256);
+        assert_eq!(b.rows, 32); // 256 / 8 bytes per packed row
+        assert_eq!(dev.cursor(), 32);
+    }
+
+    #[test]
+    fn device_predicate_filters_rows() {
+        let (arena, mut g) = setup();
+        // c0 = i * 16, keep rows with c0 < 160 (first 10 rows).
+        g = g.with_predicate(Predicate::always_true().and(ColumnPredicate::new(
+            FieldSlice::new(0, 0, ColumnType::I32),
+            CmpOp::Lt,
+            fabric_types::Value::I32(160),
+        )));
+        let (data, rows, _) = run(&RmConfig::prototype(), &arena, &g);
+        assert_eq!(rows, 10);
+        assert_eq!(data.len(), 80);
+    }
+
+    #[test]
+    fn ready_time_respects_engine_throughput() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        // Pathologically slow engine: 1000 ns per output line.
+        let slow = RmConfig { engine_ns_per_line: 1000.0, ..RmConfig::prototype() };
+        let fast = RmConfig::prototype();
+        let (_, _, t_slow) = run(&slow, &arena, &g);
+        let (_, _, t_fast) = run(&fast, &arena, &g);
+        assert!(t_slow > t_fast * 10, "slow engine {t_slow} vs fast {t_fast}");
+        // Slow engine is throughput-bound: 125 output lines * 1000 ns.
+        let expect = sim.ns_to_cycles(1000.0) * 125;
+        assert!(t_slow >= expect, "t_slow={t_slow} expect>={expect}");
+    }
+
+    #[test]
+    fn narrow_projection_fetches_fewer_lines_when_rows_share_lines() {
+        // 16-byte rows: 4 rows per line; projecting one column should fetch
+        // each line once, not once per row.
+        let mut arena = MemArena::new();
+        let rows = 400usize;
+        let base = arena.alloc(rows * 16, 64).unwrap();
+        let g = Geometry::packed(
+            base,
+            16,
+            rows,
+            vec![FieldSlice::new(0, 0, ColumnType::I32)],
+        );
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        while dev.produce(&arena, &g, 0, cfg.batch_bytes).is_some() {}
+        assert_eq!(dev.stats().source_lines, 100); // 400 rows / 4 per line
+        assert_eq!(dev.stats().rows_scanned, 400);
+    }
+
+    #[test]
+    fn aggregate_mode_returns_results_not_data() {
+        let (arena, g) = setup();
+        let field = FieldSlice::new(0, 0, ColumnType::I32);
+        let g = g.with_mode(OutputMode::Aggregate(vec![
+            AggSpec::count(),
+            AggSpec::over(AggFunc::Sum, field),
+        ]));
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        let (vals, ready) = dev.run_aggregate(&arena, &g, 0).unwrap();
+        assert_eq!(vals[0], Value::I64(1000));
+        // sum of c0 = sum of i*16 for i in 0..1000
+        let expect: i64 = (0..1000i64).map(|i| i * 16).sum();
+        assert_eq!(vals[1], Value::I64(expect));
+        assert!(ready > 0);
+        assert_eq!(dev.stats().output_lines, 1);
+    }
+
+    #[test]
+    fn run_aggregate_rejects_wrong_mode() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        assert!(dev.run_aggregate(&arena, &g, 0).is_err());
+    }
+
+    #[test]
+    fn exhausted_run_returns_none() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        while dev.produce(&arena, &g, 0, cfg.batch_bytes).is_some() {}
+        assert!(dev.produce(&arena, &g, 0, cfg.batch_bytes).is_none());
+        assert_eq!(dev.cursor(), 1000);
+    }
+
+    #[test]
+    fn later_start_at_delays_ready() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut d1 = DeviceRun::new(&sim, &cfg, &g);
+        let r1 = d1.produce(&arena, &g, 0, cfg.batch_bytes).unwrap();
+        let mut d2 = DeviceRun::new(&sim, &cfg, &g);
+        let r2 = d2.produce(&arena, &g, 1_000_000, cfg.batch_bytes).unwrap();
+        assert_eq!(r2.ready_at - 1_000_000, r1.ready_at);
+    }
+}

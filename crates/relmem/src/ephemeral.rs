@@ -1,0 +1,434 @@
+//! Ephemeral variables — the CPU-facing API of Relational Memory.
+//!
+//! Paper §II: *"these transient variables are never instantiated in main
+//! memory. Instead, upon accessing such a variable, the underlying machinery
+//! is set in motion and generates an on-the-fly projection of the requested
+//! columns."* Accordingly, [`PackedBatch`] data lives in plain host buffers
+//! handed over by the device model — never in the simulated [`fabric_sim::MemArena`] —
+//! and consuming it charges bus-transfer time plus producer-readiness
+//! stalls instead of cache/DRAM accesses.
+//!
+//! ```
+//! use fabric_sim::{MemoryHierarchy, SimConfig};
+//! use fabric_types::{ColumnType, Geometry, RowLayout, Schema};
+//! use relmem::{EphemeralColumns, RmConfig};
+//!
+//! // A 16-column row-oriented table (the paper's microbenchmark shape).
+//! let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+//! let schema = Schema::uniform(16, ColumnType::I32);
+//! let layout = RowLayout::packed(&schema);
+//! let rows = 1024;
+//! let base = mem.alloc(rows * layout.row_width(), 64).unwrap();
+//!
+//! // `configure` = line 25 of paper Fig. 3.
+//! let fields = layout.fields(&[0, 5, 9]).unwrap();
+//! let geometry = Geometry::packed(base, layout.row_width(), rows, fields);
+//! let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), geometry).unwrap();
+//!
+//! // Reading the ephemeral variable sets the machinery in motion.
+//! let mut total_rows = 0;
+//! while let Some(batch) = eph.next_batch(&mut mem) {
+//!     total_rows += batch.len();
+//! }
+//! assert_eq!(total_rows, 1024);
+//! ```
+
+use crate::config::RmConfig;
+use crate::device::DeviceRun;
+use crate::packer;
+use crate::stats::RmStats;
+use fabric_sim::{Cycles, MemoryHierarchy};
+use fabric_types::{ColumnType, FabricError, Geometry, OutputMode, Result, Value};
+use std::collections::VecDeque;
+
+/// One delivery batch of packed column-group rows.
+///
+/// The payload layout is row-major packed structs, exactly the
+/// `ephemeral struct column_group` of paper Fig. 3: for each qualifying base
+/// row, the requested fields concatenated in request order.
+#[derive(Debug, Clone)]
+pub struct PackedBatch {
+    data: Vec<u8>,
+    rows: usize,
+    row_width: usize,
+    field_offsets: Vec<usize>,
+    field_types: Vec<ColumnType>,
+    /// Number of qualifying rows in this batch.
+    pub(crate) _private: (),
+}
+
+impl PackedBatch {
+    /// Number of packed rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of packed rows (field alias used widely in engine code).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of one packed row in bytes.
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// The raw packed payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Raw bytes of packed row `row`.
+    #[inline]
+    pub fn row_bytes(&self, row: usize) -> &[u8] {
+        let off = row * self.row_width;
+        &self.data[off..off + self.row_width]
+    }
+
+    /// Raw bytes of field `field` (index into the geometry's request list)
+    /// of packed row `row`.
+    #[inline]
+    pub fn field_bytes(&self, row: usize, field: usize) -> &[u8] {
+        let off = row * self.row_width + self.field_offsets[field];
+        &self.data[off..off + self.field_types[field].width()]
+    }
+
+    /// Decode field `field` of row `row`.
+    pub fn value(&self, row: usize, field: usize) -> Value {
+        Value::decode(self.field_types[field], self.field_bytes(row, field))
+    }
+
+    /// Fast path: little-endian `i32` field.
+    #[inline]
+    pub fn i32_at(&self, row: usize, field: usize) -> i32 {
+        i32::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+    }
+
+    /// Fast path: little-endian `i64` field.
+    #[inline]
+    pub fn i64_at(&self, row: usize, field: usize) -> i64 {
+        i64::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+    }
+
+    /// Fast path: little-endian `f64` field.
+    #[inline]
+    pub fn f64_at(&self, row: usize, field: usize) -> f64 {
+        f64::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+    }
+
+    /// Fast path: little-endian `u32` field (dates).
+    #[inline]
+    pub fn u32_at(&self, row: usize, field: usize) -> u32 {
+        u32::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+    }
+
+    /// Fast path: first byte of a field (one-character flags).
+    #[inline]
+    pub fn byte_at(&self, row: usize, field: usize) -> u8 {
+        self.field_bytes(row, field)[0]
+    }
+}
+
+/// A configured ephemeral variable: the handle through which the CPU streams
+/// an arbitrary data geometry out of row-oriented base data.
+pub struct EphemeralColumns {
+    geometry: Geometry,
+    cfg: RmConfig,
+    run: DeviceRun,
+    bus_cycles_per_line: Cycles,
+    batch_bytes: usize,
+    field_offsets: Vec<usize>,
+    field_types: Vec<ColumnType>,
+    pending: Option<crate::device::ProducedBatch>,
+    /// Times at which recent batches were taken by the CPU; bounds the
+    /// device's production lookahead to the staging-buffer window.
+    taken_at: VecDeque<Cycles>,
+    line_size: usize,
+}
+
+impl EphemeralColumns {
+    /// Configure the device for `geometry` (paper Fig. 3 line 25). Charges
+    /// the configuration cost and immediately starts production of the
+    /// first batch.
+    pub fn configure(
+        mem: &mut MemoryHierarchy,
+        cfg: RmConfig,
+        geometry: Geometry,
+    ) -> Result<Self> {
+        geometry.validate()?;
+        let sim = mem.config().clone();
+        mem.cpu(sim.ns_to_cycles(cfg.configure_ns));
+
+        let out_width = geometry.output_row_width();
+        let batch_bytes = cfg.batch_bytes.max(out_width.max(1));
+        let mut run = DeviceRun::new(&sim, &cfg, &geometry);
+        run.note_configure();
+        // Field locations within one delivered row: packed prefix sums for
+        // column groups; the *original* row offsets when whole rows are
+        // delivered.
+        let field_offsets = match geometry.mode {
+            OutputMode::FilteredRows => geometry.fields.iter().map(|f| f.offset).collect(),
+            _ => packer::packed_offsets(&geometry),
+        };
+        let field_types = geometry.fields.iter().map(|f| f.ty).collect();
+
+        let mut this = EphemeralColumns {
+            geometry,
+            cfg,
+            run,
+            bus_cycles_per_line: sim.ns_to_cycles(cfg.bus_ns_per_line),
+            batch_bytes,
+            field_offsets,
+            field_types,
+            pending: None,
+            taken_at: VecDeque::new(),
+            line_size: sim.line_size,
+        };
+        if !matches!(this.geometry.mode, OutputMode::Aggregate(_)) {
+            this.start_next_production(mem, mem.now());
+        }
+        Ok(this)
+    }
+
+    /// The geometry this variable serves.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Device statistics so far.
+    pub fn stats(&self) -> RmStats {
+        self.run.stats()
+    }
+
+    fn start_next_production(&mut self, mem: &MemoryHierarchy, cpu_now: Cycles) {
+        // The device may only run `window` batches ahead of consumption:
+        // the batch about to be produced reuses the buffer slot of the
+        // batch taken `window` deliveries ago.
+        let window = self.cfg.window_batches();
+        let slot_free_at = if self.taken_at.len() >= window {
+            self.taken_at[self.taken_at.len() - window]
+        } else {
+            0
+        };
+        let start_at = slot_free_at.max(if self.taken_at.is_empty() { cpu_now } else { 0 });
+        self.pending =
+            self.run.produce(mem.arena(), &self.geometry, start_at, self.batch_bytes);
+    }
+
+    /// Pull the next batch of packed rows (paper Fig. 3 line 31: touching
+    /// the ephemeral variable makes the machinery deliver the data).
+    ///
+    /// Charges: a stall until the device has the batch ready, plus the bus
+    /// transfer of its output lines. Returns `None` when the geometry is
+    /// exhausted.
+    pub fn next_batch(&mut self, mem: &mut MemoryHierarchy) -> Option<PackedBatch> {
+        let produced = self.pending.take()?;
+        // Wait for the producer, then pull the lines across the bus.
+        mem.stall_until(produced.ready_at);
+        let lines = produced.data.len().div_ceil(self.line_size) as u64;
+        mem.stall_until(mem.now() + lines * self.bus_cycles_per_line);
+
+        self.taken_at.push_back(mem.now());
+        if self.taken_at.len() > self.cfg.window_batches() + 1 {
+            self.taken_at.pop_front();
+        }
+        self.start_next_production(mem, mem.now());
+
+        Some(PackedBatch {
+            data: produced.data,
+            rows: produced.rows,
+            row_width: self.geometry.output_row_width(),
+            field_offsets: self.field_offsets.clone(),
+            field_types: self.field_types.clone(),
+            _private: (),
+        })
+    }
+
+    /// Run a device-side aggregation to completion (paper §IV-B). Only
+    /// valid for [`OutputMode::Aggregate`] geometries; returns one value per
+    /// requested aggregate.
+    pub fn run_aggregate(&mut self, mem: &mut MemoryHierarchy) -> Result<Vec<Value>> {
+        if !matches!(self.geometry.mode, OutputMode::Aggregate(_)) {
+            return Err(FabricError::InvalidGeometry(
+                "run_aggregate requires an Aggregate geometry".into(),
+            ));
+        }
+        let (values, ready) = self.run.run_aggregate(mem.arena(), &self.geometry, mem.now())?;
+        mem.stall_until(ready);
+        // The result is a single line's worth of scalars.
+        mem.stall_until(mem.now() + self.bus_cycles_per_line);
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+    use fabric_types::{
+        AggFunc, AggSpec, CmpOp, ColumnPredicate, FieldSlice, Predicate, RowLayout, Schema,
+    };
+
+    /// Standard fixture: `rows` rows of 16 i32 columns, c_j(i) = i*16+j.
+    fn fixture(rows: usize) -> (MemoryHierarchy, Geometry, RowLayout) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::uniform(16, ColumnType::I32);
+        let layout = RowLayout::packed(&schema);
+        let base = mem.alloc(rows * 64, 64).unwrap();
+        for i in 0..rows {
+            for j in 0..16usize {
+                let v = (i * 16 + j) as i32;
+                mem.write_untimed(base + (i * 64 + j * 4) as u64, &v.to_le_bytes());
+            }
+        }
+        let fields = layout.fields(&[0, 5]).unwrap();
+        let g = Geometry::packed(base, 64, rows, fields);
+        (mem, g, layout)
+    }
+
+    #[test]
+    fn streams_all_rows_with_correct_values() {
+        let (mut mem, g, _) = fixture(5000);
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let mut seen = 0usize;
+        while let Some(b) = eph.next_batch(&mut mem) {
+            for r in 0..b.len() {
+                let i = seen + r;
+                assert_eq!(b.i32_at(r, 0), (i * 16) as i32);
+                assert_eq!(b.i32_at(r, 1), (i * 16 + 5) as i32);
+            }
+            seen += b.len();
+        }
+        assert_eq!(seen, 5000);
+        assert_eq!(eph.stats().rows_scanned, 5000);
+    }
+
+    #[test]
+    fn consuming_advances_simulated_time() {
+        let (mut mem, g, _) = fixture(2000);
+        let t0 = mem.now();
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        while eph.next_batch(&mut mem).is_some() {}
+        assert!(mem.now() > t0);
+        // Configuration cost alone does not explain the elapsed time.
+        let cfg_cycles = mem.config().ns_to_cycles(RmConfig::prototype().configure_ns);
+        assert!(mem.now() - t0 > cfg_cycles * 2);
+    }
+
+    #[test]
+    fn predicate_filters_on_device() {
+        let (mut mem, g, layout) = fixture(1000);
+        let pred = Predicate::always_true().and(ColumnPredicate::new(
+            layout.field(0).unwrap(),
+            CmpOp::Lt,
+            Value::I32((100 * 16) as i32),
+        ));
+        let g = g.with_predicate(pred);
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let mut rows = 0;
+        while let Some(b) = eph.next_batch(&mut mem) {
+            rows += b.len();
+        }
+        assert_eq!(rows, 100);
+        assert_eq!(eph.stats().rows_scanned, 1000);
+        assert_eq!(eph.stats().rows_emitted, 100);
+    }
+
+    #[test]
+    fn aggregate_roundtrip_through_api() {
+        let (mut mem, g, layout) = fixture(1000);
+        let f0 = layout.field(0).unwrap();
+        let g = g.with_mode(OutputMode::Aggregate(vec![
+            AggSpec::count(),
+            AggSpec::over(AggFunc::Sum, f0),
+        ]));
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let vals = eph.run_aggregate(&mut mem).unwrap();
+        assert_eq!(vals[0], Value::I64(1000));
+        let expect: i64 = (0..1000i64).map(|i| i * 16).sum();
+        assert_eq!(vals[1], Value::I64(expect));
+    }
+
+    #[test]
+    fn aggregate_api_rejects_packed_geometry_and_vice_versa() {
+        let (mut mem, g, _) = fixture(10);
+        let mut eph =
+            EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g.clone()).unwrap();
+        assert!(eph.run_aggregate(&mut mem).is_err());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected_at_configure() {
+        let (mut mem, mut g, _) = fixture(10);
+        g.fields[0] = FieldSlice::new(0, 62, ColumnType::I32); // out of row
+        assert!(EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).is_err());
+    }
+
+    #[test]
+    fn filtered_rows_mode_delivers_full_rows() {
+        let (mut mem, g, layout) = fixture(100);
+        let pred = Predicate::always_true().and(ColumnPredicate::new(
+            layout.field(0).unwrap(),
+            CmpOp::Ge,
+            Value::I32((90 * 16) as i32),
+        ));
+        let g = g.with_predicate(pred).with_mode(OutputMode::FilteredRows);
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let mut rows = 0;
+        while let Some(b) = eph.next_batch(&mut mem) {
+            assert_eq!(b.row_width(), 64);
+            for r in 0..b.len() {
+                // Field accessors must use the ORIGINAL row offsets when
+                // whole rows are delivered: field 1 is column 5.
+                let i = 90 + rows + r;
+                assert_eq!(b.i32_at(r, 0), (i * 16) as i32);
+                assert_eq!(b.i32_at(r, 1), (i * 16 + 5) as i32);
+                assert_eq!(b.value(r, 1), Value::I32((i * 16 + 5) as i32));
+            }
+            rows += b.len();
+        }
+        assert_eq!(rows, 10);
+    }
+
+    #[test]
+    fn smaller_buffer_is_never_faster() {
+        // Identical batch size; only the staging-buffer lookahead varies.
+        let run = |buffer_bytes: usize| {
+            let (mut mem, g, _) = fixture(20_000);
+            let cfg = RmConfig {
+                buffer_bytes,
+                batch_bytes: 4096,
+                ..RmConfig::prototype()
+            };
+            let t0 = mem.now();
+            let mut eph = EphemeralColumns::configure(&mut mem, cfg, g).unwrap();
+            let mut acc = 0i64;
+            while let Some(b) = eph.next_batch(&mut mem) {
+                for r in 0..b.len() {
+                    acc = acc.wrapping_add(b.i32_at(r, 0) as i64);
+                }
+                mem.cpu(b.len() as u64 * 2);
+            }
+            std::hint::black_box(acc);
+            mem.now() - t0
+        };
+        let small = run(8 * 1024);
+        let large = run(2 * 1024 * 1024);
+        assert!(large <= small, "large buffer {large} should be <= small buffer {small}");
+    }
+
+    #[test]
+    fn batch_value_accessors_agree() {
+        let (mut mem, g, _) = fixture(64);
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let b = eph.next_batch(&mut mem).unwrap();
+        assert_eq!(b.value(3, 1), Value::I32(b.i32_at(3, 1)));
+        assert_eq!(b.row_bytes(0).len(), 8);
+        assert!(!b.is_empty());
+        assert_eq!(b.row_count(), b.len());
+    }
+}

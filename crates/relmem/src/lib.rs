@@ -1,0 +1,40 @@
+//! Relational Memory — the paper's primary contribution.
+//!
+//! Relational Memory (RM) is a near-data transformation engine that sits
+//! between the processor and main memory and converts row-oriented base data
+//! into *any* requested column-group layout on the fly (paper §II, §IV-A).
+//! The CPU accesses the transformed data through **ephemeral variables**:
+//! handles that behave as if the packed column group already existed in
+//! memory, although it is never materialized there.
+//!
+//! This crate is the software model of that hardware:
+//!
+//! * [`RmConfig`] captures the prototype's parameters (100 MHz engine clock,
+//!   2 MB staging buffer, AXI-side transfer cost);
+//! * [`device`] implements the four key operations of §IV-A — receive the
+//!   access geometry, issue parallel DRAM requests (through its own
+//!   [`fabric_sim::DramModel`] port, bank parallelism included), pack
+//!   entries into dense cache lines, and deliver them to the CPU with
+//!   producer/consumer flow control bounded by the staging buffer;
+//! * [`ephemeral`] is the user-facing API: configure a
+//!   [`fabric_types::Geometry`], then stream [`ephemeral::PackedBatch`]es
+//!   or run a device-side aggregate;
+//! * [`packer`] holds the pure byte-shuffling logic (what the FPGA datapath
+//!   does), usable and testable without any simulated timing;
+//! * [`aggregate`] implements the device-side aggregation units (§IV-B).
+//!
+//! Selection push-down (§IV-B) and MVCC visibility filtering (§III-C) are
+//! expressed through the geometry: a predicate and/or
+//! [`fabric_types::TsFilter`] make the device skip non-qualifying rows while
+//! gathering.
+
+pub mod aggregate;
+pub mod config;
+pub mod device;
+pub mod ephemeral;
+pub mod packer;
+pub mod stats;
+
+pub use config::RmConfig;
+pub use ephemeral::{EphemeralColumns, PackedBatch};
+pub use stats::RmStats;

@@ -1,0 +1,222 @@
+//! The pure data path of the RM engine: extracting requested fields from raw
+//! rows and packing them densely, plus qualification (predicate + MVCC
+//! visibility).
+//!
+//! These functions are deliberately free of any timing so they can be tested
+//! and reused (the SSD controller in `relstore` packs with the same logic).
+
+use fabric_types::{Geometry, OutputMode, Result};
+
+/// Does `row` qualify under the geometry's visibility and predicate filters?
+///
+/// This is the comparator chain the paper wants in hardware: the MVCC
+/// timestamp check of §III-C followed by the selection predicate of §IV-B.
+#[inline]
+pub fn row_qualifies(g: &Geometry, row: &[u8]) -> Result<bool> {
+    if let Some(vis) = &g.visibility {
+        if !vis.visible_raw(row) {
+            return Ok(false);
+        }
+    }
+    g.predicate.eval_raw(row)
+}
+
+/// Append the geometry's output payload for one qualifying `row` to `out`.
+///
+/// * `PackedColumns`: the requested fields, concatenated in request order
+///   (the `ephemeral struct` of paper Fig. 3).
+/// * `FilteredRows`: the whole row.
+/// * `Aggregate`: nothing is packed (aggregation happens in
+///   [`crate::aggregate`]).
+#[inline]
+pub fn pack_row(g: &Geometry, row: &[u8], out: &mut Vec<u8>) {
+    match &g.mode {
+        OutputMode::PackedColumns => {
+            for f in &g.fields {
+                out.extend_from_slice(&row[f.range()]);
+            }
+        }
+        OutputMode::FilteredRows => out.extend_from_slice(row),
+        OutputMode::Aggregate(_) => {}
+    }
+}
+
+/// Byte offsets of each requested field *within one packed output row*
+/// (prefix sums of the field widths).
+pub fn packed_offsets(g: &Geometry) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(g.fields.len());
+    let mut off = 0;
+    for f in &g.fields {
+        offsets.push(off);
+        off += f.width();
+    }
+    offsets
+}
+
+/// The distinct cache lines (line-aligned addresses) the device must fetch
+/// to see the touched fields of the row starting at `row_addr`, appended to
+/// `lines`. `spans` must be the merged byte spans from [`touched_spans`].
+/// `last_line` deduplicates against the previous row (adjacent rows often
+/// share a line); it is updated in place.
+#[inline]
+pub fn row_source_lines(
+    row_addr: u64,
+    spans: &[(usize, usize)],
+    line_size: u64,
+    last_line: &mut u64,
+    lines: &mut Vec<u64>,
+) {
+    for &(off, len) in spans {
+        let start = (row_addr + off as u64) & !(line_size - 1);
+        let end = (row_addr + (off + len) as u64 - 1) & !(line_size - 1);
+        let mut la = start;
+        loop {
+            if la > *last_line || *last_line == u64::MAX {
+                lines.push(la);
+                *last_line = la;
+            }
+            if la >= end {
+                break;
+            }
+            la += line_size;
+        }
+    }
+}
+
+/// Merge the geometry's touched fields into maximal disjoint `(offset, len)`
+/// byte spans within a row, sorted by offset. Gaps smaller than
+/// `merge_slack` bytes are bridged (fetching one line anyway costs the same).
+pub fn touched_spans(g: &Geometry, merge_slack: usize) -> Vec<(usize, usize)> {
+    fabric_types::geometry::merge_field_spans(&g.touched_fields(), merge_slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::{
+        CmpOp, ColumnPredicate, ColumnType, FieldSlice, Predicate, TsFilter, Value,
+    };
+
+    fn f32field(col: usize, offset: usize) -> FieldSlice {
+        FieldSlice::new(col, offset, ColumnType::I32)
+    }
+
+    fn sample_row() -> Vec<u8> {
+        // 16 i32 columns, c_i = 100 + i.
+        let mut row = Vec::with_capacity(64);
+        for i in 0..16i32 {
+            row.extend_from_slice(&(100 + i).to_le_bytes());
+        }
+        row
+    }
+
+    #[test]
+    fn pack_row_extracts_fields_in_request_order() {
+        let g = Geometry::packed(0, 64, 1, vec![f32field(9, 36), f32field(2, 8)]);
+        let row = sample_row();
+        let mut out = Vec::new();
+        pack_row(&g, &row, &mut out);
+        assert_eq!(out.len(), 8);
+        assert_eq!(i32::from_le_bytes(out[0..4].try_into().unwrap()), 109);
+        assert_eq!(i32::from_le_bytes(out[4..8].try_into().unwrap()), 102);
+    }
+
+    #[test]
+    fn filtered_rows_mode_packs_whole_row() {
+        let g = Geometry::packed(0, 64, 1, vec![f32field(0, 0)])
+            .with_mode(OutputMode::FilteredRows);
+        let row = sample_row();
+        let mut out = Vec::new();
+        pack_row(&g, &row, &mut out);
+        assert_eq!(out, row);
+    }
+
+    #[test]
+    fn qualification_applies_visibility_then_predicate() {
+        // Row layout: [begin u64][end u64][val i32].
+        let mut row = vec![0u8; 20];
+        row[..8].copy_from_slice(&5u64.to_le_bytes());
+        row[8..16].copy_from_slice(&0u64.to_le_bytes());
+        row[16..].copy_from_slice(&50i32.to_le_bytes());
+
+        let val = FieldSlice::new(2, 16, ColumnType::I32);
+        let pred = Predicate::always_true().and(ColumnPredicate::new(
+            val,
+            CmpOp::Gt,
+            Value::I32(10),
+        ));
+        let vis = TsFilter {
+            begin: FieldSlice::new(0, 0, ColumnType::I64),
+            end: FieldSlice::new(1, 8, ColumnType::I64),
+            snapshot_ts: 7,
+        };
+        let g = Geometry::packed(0, 20, 1, vec![val])
+            .with_predicate(pred)
+            .with_visibility(vis);
+        assert!(row_qualifies(&g, &row).unwrap());
+
+        // Snapshot before the row existed: invisible even though the
+        // predicate matches.
+        let mut g2 = g.clone();
+        g2.visibility.as_mut().unwrap().snapshot_ts = 4;
+        assert!(!row_qualifies(&g2, &row).unwrap());
+
+        // Predicate fails.
+        row[16..].copy_from_slice(&3i32.to_le_bytes());
+        assert!(!row_qualifies(&g, &row).unwrap());
+    }
+
+    #[test]
+    fn packed_offsets_are_prefix_sums() {
+        let g = Geometry::packed(
+            0,
+            64,
+            1,
+            vec![
+                FieldSlice::new(0, 0, ColumnType::I64),
+                FieldSlice::new(1, 8, ColumnType::I32),
+                FieldSlice::new(2, 12, ColumnType::F64),
+            ],
+        );
+        assert_eq!(packed_offsets(&g), vec![0, 8, 12]);
+        assert_eq!(g.output_row_width(), 20);
+    }
+
+    #[test]
+    fn touched_spans_merge_adjacent_and_slack() {
+        let g = Geometry::packed(
+            0,
+            64,
+            1,
+            vec![f32field(0, 0), f32field(1, 4), f32field(10, 40)],
+        );
+        // Adjacent fields merge; distant one stays separate with no slack.
+        assert_eq!(touched_spans(&g, 0), vec![(0, 8), (40, 4)]);
+        // With 64 bytes of slack everything merges.
+        assert_eq!(touched_spans(&g, 64), vec![(0, 44)]);
+    }
+
+    #[test]
+    fn row_source_lines_dedup_across_rows() {
+        let spans = vec![(0usize, 4usize)];
+        let mut last = u64::MAX;
+        let mut lines = Vec::new();
+        // Two 16-byte rows inside the same 64-byte line.
+        row_source_lines(0, &spans, 64, &mut last, &mut lines);
+        row_source_lines(16, &spans, 64, &mut last, &mut lines);
+        assert_eq!(lines, vec![0]);
+        // A row in the next line appends exactly one more.
+        row_source_lines(64, &spans, 64, &mut last, &mut lines);
+        assert_eq!(lines, vec![0, 64]);
+    }
+
+    #[test]
+    fn row_source_lines_field_straddling_lines() {
+        // An 8-byte field at offset 60 straddles two lines.
+        let spans = vec![(60usize, 8usize)];
+        let mut last = u64::MAX;
+        let mut lines = Vec::new();
+        row_source_lines(0, &spans, 64, &mut last, &mut lines);
+        assert_eq!(lines, vec![0, 64]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Device-side statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// What the RM device did while serving ephemeral accesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RmStats {
+    /// Base rows examined (visibility + predicate evaluated).
+    pub rows_scanned: u64,
+    /// Rows that qualified and contributed output.
+    pub rows_emitted: u64,
+    /// Source cache lines fetched from DRAM by the gather engine.
+    pub source_lines: u64,
+    /// Packed output lines delivered toward the CPU.
+    pub output_lines: u64,
+    /// Delivery batches produced.
+    pub batches: u64,
+    /// Ephemeral variables configured.
+    pub configures: u64,
+}
+
+impl RmStats {
+    /// Ratio of source bytes fetched to output bytes delivered — the
+    /// device-side amplification of a sparse geometry.
+    pub fn gather_amplification(&self) -> f64 {
+        if self.output_lines == 0 {
+            return 0.0;
+        }
+        self.source_lines as f64 / self.output_lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification() {
+        let s = RmStats { source_lines: 160, output_lines: 10, ..Default::default() };
+        assert!((s.gather_amplification() - 16.0).abs() < 1e-12);
+        assert_eq!(RmStats::default().gather_amplification(), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Relational Storage (RS) — the Relational Fabric instance for storage
+//! devices (paper §IV-D).
+//!
+//! Modern computational SSDs (SmartSSD, OpenSSD) have programmable logic in
+//! the flash controller. RS exploits it the same way Relational Memory
+//! exploits programmable logic next to DRAM: the base data stays
+//! row-oriented on flash, and the *controller* carves out the requested
+//! data geometry — projection, selection, aggregation, and even on-the-fly
+//! decompression (§IV-D: *"even decompression can be done on-the-fly along
+//! with data transformation"*) — so only relevant bytes cross the host
+//! link.
+//!
+//! * [`flash`] models the flash array: channels × dies, page-granular
+//!   reads, and the internal parallelism that near-data processing taps
+//!   (§VI cites exactly this);
+//! * [`store`] implements row-oriented page layout, the near-data
+//!   geometry fetch, and the host-side baseline (ship everything, filter
+//!   on the CPU);
+//! * [`compressed`] stores dictionary-compressed columns and lets the
+//!   controller reconstruct rows from them on the fly — the paper's open
+//!   question Q3 (storage fabric converts compressed columns to rows).
+
+pub mod compressed;
+pub mod config;
+pub mod flash;
+pub mod store;
+
+pub use compressed::CompressedTable;
+pub use config::RsConfig;
+pub use flash::FlashArray;
+pub use store::{SsdDevice, StoredTable};

@@ -1,0 +1,364 @@
+//! Row-oriented page layout and the two access paths: near-data geometry
+//! fetch (the RS fabric) versus ship-everything-to-host.
+
+use crate::config::RsConfig;
+use crate::flash::FlashArray;
+use fabric_sim::{Cycles, MemoryHierarchy};
+use fabric_types::{FabricError, FieldSlice, Geometry, OutputMode, Predicate, Result};
+use relmem::packer;
+
+/// A table stored row-major on flash pages. Rows never straddle pages
+/// (pages carry `rows_per_page` whole rows plus padding).
+#[derive(Debug, Clone)]
+pub struct StoredTable {
+    pub first_page: u64,
+    pub pages: usize,
+    pub rows: usize,
+    pub row_width: usize,
+    pub rows_per_page: usize,
+}
+
+impl StoredTable {
+    /// Page index and in-page byte offset of row `i`.
+    pub fn locate(&self, i: usize) -> (u64, usize) {
+        let page = self.first_page + (i / self.rows_per_page) as u64;
+        let off = (i % self.rows_per_page) * self.row_width;
+        (page, off)
+    }
+}
+
+/// Statistics of one fetch operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RsStats {
+    pub pages_read: u64,
+    pub rows_scanned: u64,
+    pub rows_emitted: u64,
+    /// Bytes that crossed the host link.
+    pub bytes_shipped: u64,
+}
+
+/// The simulated computational SSD.
+pub struct SsdDevice {
+    cfg: RsConfig,
+    flash: FlashArray,
+    data: Vec<u8>,
+    next_page: u64,
+    link_ns_per_byte: f64,
+    link_base: Cycles,
+    ctrl_row: Cycles,
+    cpu_ghz: f64,
+}
+
+impl SsdDevice {
+    /// Build a device whose clock is the simulation's CPU clock (so device
+    /// completion times compose with [`MemoryHierarchy::stall_until`]).
+    pub fn new(cfg: RsConfig, mem: &MemoryHierarchy) -> Self {
+        let sim = mem.config().clone();
+        let sim2 = sim.clone();
+        SsdDevice {
+            flash: FlashArray::new(&cfg, move |ns| sim2.ns_to_cycles(ns)),
+            data: Vec::new(),
+            next_page: 0,
+            link_ns_per_byte: cfg.link_ns_per_byte,
+            link_base: sim.ns_to_cycles(cfg.link_base_ns),
+            ctrl_row: sim.ns_to_cycles(cfg.ctrl_ns_per_row),
+            cpu_ghz: sim.cpu_ghz,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &RsConfig {
+        &self.cfg
+    }
+
+    fn ns_to_cycles(&self, ns: f64) -> Cycles {
+        ((ns * self.cpu_ghz).round() as Cycles).max(1)
+    }
+
+    /// Store `rows` fixed-width rows (concatenated in `bytes`) onto flash.
+    /// Untimed: loading happens outside the measured window.
+    pub fn store_rows(&mut self, bytes: &[u8], row_width: usize) -> Result<StoredTable> {
+        if row_width == 0 || !bytes.len().is_multiple_of(row_width) {
+            return Err(FabricError::Storage(format!(
+                "byte length {} not a multiple of row width {row_width}",
+                bytes.len()
+            )));
+        }
+        if row_width > self.cfg.page_bytes {
+            return Err(FabricError::Storage("row wider than a flash page".into()));
+        }
+        let rows = bytes.len() / row_width;
+        let rows_per_page = self.cfg.page_bytes / row_width;
+        let pages = rows.div_ceil(rows_per_page).max(1);
+        let first_page = self.next_page;
+        self.next_page += pages as u64;
+        self.data.resize((self.next_page as usize) * self.cfg.page_bytes, 0);
+        for i in 0..rows {
+            let page = first_page as usize + i / rows_per_page;
+            let off = (i % rows_per_page) * row_width;
+            let dst = page * self.cfg.page_bytes + off;
+            self.data[dst..dst + row_width]
+                .copy_from_slice(&bytes[i * row_width..(i + 1) * row_width]);
+        }
+        Ok(StoredTable { first_page, pages, rows, row_width, rows_per_page })
+    }
+
+    fn row_bytes(&self, t: &StoredTable, i: usize) -> &[u8] {
+        let (page, off) = t.locate(i);
+        let base = page as usize * self.cfg.page_bytes + off;
+        &self.data[base..base + t.row_width]
+    }
+
+    /// Near-data path: the controller reads pages with full channel
+    /// parallelism, evaluates the geometry (projection + selection), and
+    /// ships only the packed result over the host link. Blocks the CPU
+    /// until the result has arrived (`mem.stall_until`).
+    pub fn fetch_geometry(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        t: &StoredTable,
+        fields: Vec<FieldSlice>,
+        predicate: Predicate,
+    ) -> Result<(Vec<u8>, RsStats)> {
+        let g = Geometry::packed(0, t.row_width, t.rows, fields).with_predicate(predicate);
+        g.validate()?;
+
+        let start = mem.now();
+        // Flash: all pages, issued as fast as the channels accept them.
+        let mut flash_done = start;
+        for p in 0..t.pages as u64 {
+            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+        }
+        // Controller: streams rows as pages land.
+        let ctrl_done = start + t.rows as u64 * self.ctrl_row;
+
+        // Functional result.
+        let mut out = Vec::new();
+        let mut emitted = 0u64;
+        for i in 0..t.rows {
+            let row = self.row_bytes(t, i);
+            if packer::row_qualifies(&g, row)? {
+                packer::pack_row(&g, row, &mut out);
+                emitted += 1;
+            }
+        }
+
+        // Host link: pipelined with production; the last byte arrives after
+        // the slower of (device production, link drain).
+        let link_done = start
+            + self.link_base
+            + self.ns_to_cycles(out.len().max(1) as f64 * self.link_ns_per_byte);
+        let done = flash_done.max(ctrl_done).max(link_done);
+        mem.stall_until(done);
+
+        let stats = RsStats {
+            pages_read: t.pages as u64,
+            rows_scanned: t.rows as u64,
+            rows_emitted: emitted,
+            bytes_shipped: out.len() as u64,
+        };
+        Ok((out, stats))
+    }
+
+    /// Near-data aggregation: only the aggregate scalars cross the link
+    /// (§IV-B applied to storage).
+    pub fn fetch_aggregate(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        t: &StoredTable,
+        g: &Geometry,
+    ) -> Result<(Vec<fabric_types::Value>, RsStats)> {
+        let OutputMode::Aggregate(specs) = &g.mode else {
+            return Err(FabricError::Storage("fetch_aggregate needs an Aggregate geometry".into()));
+        };
+        g.validate()?;
+        let start = mem.now();
+        let mut flash_done = start;
+        for p in 0..t.pages as u64 {
+            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+        }
+        let ctrl_done = start + t.rows as u64 * self.ctrl_row;
+
+        let mut bank = relmem::aggregate::AggBank::new(specs);
+        let mut emitted = 0u64;
+        for i in 0..t.rows {
+            let row = self.row_bytes(t, i);
+            if packer::row_qualifies(g, row)? {
+                bank.update_raw(row)?;
+                emitted += 1;
+            }
+        }
+        let done = flash_done.max(ctrl_done) + self.link_base;
+        mem.stall_until(done);
+        Ok((
+            bank.finish()?,
+            RsStats {
+                pages_read: t.pages as u64,
+                rows_scanned: t.rows as u64,
+                rows_emitted: emitted,
+                bytes_shipped: 64,
+            },
+        ))
+    }
+
+    /// Host-side baseline: ship every page over the link; the host filters
+    /// and projects on the CPU afterwards (the caller does that part).
+    /// Returns the raw row bytes (page padding stripped).
+    pub fn fetch_raw(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        t: &StoredTable,
+    ) -> Result<(Vec<u8>, RsStats)> {
+        let start = mem.now();
+        let mut flash_done = start;
+        for p in 0..t.pages as u64 {
+            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+        }
+        let shipped = (t.pages * self.cfg.page_bytes) as u64;
+        let link_done =
+            start + self.link_base + self.ns_to_cycles(shipped as f64 * self.link_ns_per_byte);
+        mem.stall_until(flash_done.max(link_done));
+
+        let mut out = Vec::with_capacity(t.rows * t.row_width);
+        for i in 0..t.rows {
+            out.extend_from_slice(self.row_bytes(t, i));
+        }
+        Ok((
+            out,
+            RsStats {
+                pages_read: t.pages as u64,
+                rows_scanned: t.rows as u64,
+                rows_emitted: t.rows as u64,
+                bytes_shipped: shipped,
+            },
+        ))
+    }
+
+    /// Reset device queue state between experiments.
+    pub fn reset_timing(&mut self) {
+        self.flash.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+    use fabric_types::{AggFunc, AggSpec, CmpOp, ColumnPredicate, ColumnType, Value};
+
+    /// 2000 rows of 4 i32 columns; c_j(i) = i * 4 + j.
+    fn setup() -> (MemoryHierarchy, SsdDevice, StoredTable) {
+        let mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+        let rows = 2000usize;
+        let mut bytes = Vec::with_capacity(rows * 16);
+        for i in 0..rows {
+            for j in 0..4 {
+                bytes.extend_from_slice(&((i * 4 + j) as i32).to_le_bytes());
+            }
+        }
+        let t = dev.store_rows(&bytes, 16).unwrap();
+        (mem, dev, t)
+    }
+
+    fn f32field(col: usize, offset: usize) -> FieldSlice {
+        FieldSlice::new(col, offset, ColumnType::I32)
+    }
+
+    #[test]
+    fn layout_and_locate() {
+        let (_, _, t) = setup();
+        assert_eq!(t.rows_per_page, 256);
+        assert_eq!(t.pages, 8); // 2000 / 256 -> 8 pages
+        assert_eq!(t.locate(0), (0, 0));
+        assert_eq!(t.locate(256), (1, 0));
+        assert_eq!(t.locate(257), (1, 16));
+    }
+
+    #[test]
+    fn near_data_projection_returns_correct_bytes() {
+        let (mut mem, mut dev, t) = setup();
+        let (out, stats) = dev
+            .fetch_geometry(&mut mem, &t, vec![f32field(2, 8)], Predicate::always_true())
+            .unwrap();
+        assert_eq!(out.len(), 2000 * 4);
+        assert_eq!(stats.rows_emitted, 2000);
+        // Row 100, column 2 = 402.
+        let v = i32::from_le_bytes(out[400..404].try_into().unwrap());
+        assert_eq!(v, 402);
+    }
+
+    #[test]
+    fn near_data_selection_filters() {
+        let (mut mem, mut dev, t) = setup();
+        let pred = Predicate::always_true().and(ColumnPredicate::new(
+            f32field(0, 0),
+            CmpOp::Lt,
+            Value::I32(40),
+        ));
+        let (out, stats) =
+            dev.fetch_geometry(&mut mem, &t, vec![f32field(0, 0)], pred).unwrap();
+        assert_eq!(stats.rows_emitted, 10); // c0 = 4i < 40 -> i < 10
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn near_data_ships_fewer_bytes_and_finishes_faster_for_narrow_projections(
+    ) {
+        let (mut mem, mut dev, t) = setup();
+        let t0 = mem.now();
+        let (_, near) = dev
+            .fetch_geometry(&mut mem, &t, vec![f32field(0, 0)], Predicate::always_true())
+            .unwrap();
+        let near_time = mem.now() - t0;
+        dev.reset_timing();
+        let t0 = mem.now();
+        let (_, host) = dev.fetch_raw(&mut mem, &t).unwrap();
+        let host_time = mem.now() - t0;
+        assert!(near.bytes_shipped < host.bytes_shipped / 3);
+        assert!(near_time <= host_time, "near {near_time} vs host {host_time}");
+    }
+
+    #[test]
+    fn aggregate_ships_only_scalars() {
+        let (mut mem, mut dev, t) = setup();
+        let g = Geometry::packed(0, 16, t.rows, vec![f32field(1, 4)]).with_mode(
+            OutputMode::Aggregate(vec![
+                AggSpec::count(),
+                AggSpec::over(AggFunc::Sum, f32field(1, 4)),
+            ]),
+        );
+        let (vals, stats) = dev.fetch_aggregate(&mut mem, &t, &g).unwrap();
+        assert_eq!(vals[0], Value::I64(2000));
+        let expect: i64 = (0..2000i64).map(|i| i * 4 + 1).sum();
+        assert_eq!(vals[1], Value::I64(expect));
+        assert_eq!(stats.bytes_shipped, 64);
+    }
+
+    #[test]
+    fn fetch_raw_roundtrips_rows() {
+        let (mut mem, mut dev, t) = setup();
+        let (out, _) = dev.fetch_raw(&mut mem, &t).unwrap();
+        assert_eq!(out.len(), 2000 * 16);
+        let v = i32::from_le_bytes(out[16 * 1234 + 12..16 * 1234 + 16].try_into().unwrap());
+        assert_eq!(v, (1234 * 4 + 3) as i32);
+    }
+
+    #[test]
+    fn store_validates_input() {
+        let (mem, _, _) = setup();
+        let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+        assert!(dev.store_rows(&[1, 2, 3], 2).is_err());
+        assert!(dev.store_rows(&[0; 8192], 8192).is_err()); // row > page
+    }
+
+    #[test]
+    fn multiple_tables_coexist() {
+        let (mut mem, mut dev, t1) = setup();
+        let bytes: Vec<u8> = (0..64u8).collect();
+        let t2 = dev.store_rows(&bytes, 8).unwrap();
+        assert!(t2.first_page >= t1.first_page + t1.pages as u64);
+        let (out, _) = dev.fetch_raw(&mut mem, &t2).unwrap();
+        assert_eq!(out, bytes);
+    }
+}

@@ -1,0 +1,420 @@
+//! Volcano-style (tuple-at-a-time) operators.
+//!
+//! Each operator implements [`Operator::next`], pulling one tuple at a time
+//! from its child — the processing model the paper's ROW baseline uses
+//! (§V). Per-tuple interpretation overhead is charged via
+//! [`fabric_sim::hierarchy::OpCosts::volcano_next`]; row bytes travel
+//! through the timed memory hierarchy.
+
+use fabric_sim::MemoryHierarchy;
+use fabric_types::geometry::merge_field_spans;
+use fabric_types::{
+    AggFunc, CmpOp, ColumnId, Expr, FabricError, Result, Value, ValueAgg,
+};
+use std::collections::HashMap;
+
+use crate::table::RowTable;
+
+/// A pull-based operator producing positional tuples.
+pub trait Operator {
+    /// Number of output slots per tuple.
+    fn arity(&self) -> usize;
+
+    /// Produce the next tuple into `out` (resized as needed). Returns
+    /// `false` at end of stream.
+    fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool>;
+}
+
+/// Sequential scan over a [`RowTable`], decoding only the requested columns
+/// (projection pushed into the scan, as any reasonable row engine does) —
+/// but still paying the memory traffic of the lines those fields live in.
+pub struct SeqScan<'a> {
+    table: &'a RowTable,
+    cols: Vec<ColumnId>,
+    spans: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+impl<'a> SeqScan<'a> {
+    pub fn new(table: &'a RowTable, cols: Vec<ColumnId>) -> Result<Self> {
+        let fields = table.layout().fields(&cols)?;
+        let spans = merge_field_spans(&fields, 0);
+        Ok(SeqScan { table, cols, spans, cursor: 0 })
+    }
+
+    /// Scan every column.
+    pub fn full(table: &'a RowTable) -> Result<Self> {
+        Self::new(table, (0..table.schema().len()).collect())
+    }
+}
+
+impl Operator for SeqScan<'_> {
+    fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool> {
+        if self.cursor >= self.table.len() {
+            return Ok(false);
+        }
+        let costs = mem.costs();
+        let row_addr = self.table.row_addr(self.cursor);
+        // Touch the lines holding the accessed fields; the spans of one
+        // tuple are independent loads, so their misses overlap.
+        if self.spans.len() == 1 {
+            let (off, len) = self.spans[0];
+            mem.touch_read(row_addr + off as u64, len);
+        } else {
+            let parts: Vec<(u64, usize)> =
+                self.spans.iter().map(|&(off, len)| (row_addr + off as u64, len)).collect();
+            mem.touch_read_gather(&parts);
+        }
+        mem.cpu(costs.volcano_next + costs.decode * self.cols.len() as u64);
+
+        out.clear();
+        let layout = self.table.layout();
+        let row = mem.bytes(row_addr, layout.row_width());
+        for &c in &self.cols {
+            let ty = layout.column_type(c)?;
+            out.push(Value::decode(ty, &row[layout.range(c)?]));
+        }
+        self.cursor += 1;
+        Ok(true)
+    }
+}
+
+/// Filter on the child's output slots: a conjunction of
+/// `slot <op> constant` tests.
+pub struct Filter<'a> {
+    child: Box<dyn Operator + 'a>,
+    preds: Vec<(usize, CmpOp, Value)>,
+}
+
+impl<'a> Filter<'a> {
+    pub fn new(child: Box<dyn Operator + 'a>, preds: Vec<(usize, CmpOp, Value)>) -> Self {
+        Filter { child, preds }
+    }
+}
+
+impl Operator for Filter<'_> {
+    fn arity(&self) -> usize {
+        self.child.arity()
+    }
+
+    fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool> {
+        let costs = mem.costs();
+        loop {
+            if !self.child.next(mem, out)? {
+                return Ok(false);
+            }
+            mem.cpu(costs.volcano_next);
+            let mut pass = true;
+            for (slot, op, val) in &self.preds {
+                mem.cpu(costs.value_op);
+                let v = out.get(*slot).ok_or(FabricError::ColumnIndexOutOfRange {
+                    index: *slot,
+                    len: out.len(),
+                })?;
+                if !op.matches(v.compare(val)?) {
+                    pass = false;
+                    break;
+                }
+            }
+            if pass {
+                return Ok(true);
+            }
+            // Selective branch: mispredictions cost.
+            mem.cpu(costs.branch_miss);
+        }
+    }
+}
+
+/// Projection: evaluate expressions over the child's slots.
+pub struct Project<'a> {
+    child: Box<dyn Operator + 'a>,
+    exprs: Vec<Expr>,
+    expr_ops: u64,
+    input: Vec<Value>,
+}
+
+impl<'a> Project<'a> {
+    pub fn new(child: Box<dyn Operator + 'a>, exprs: Vec<Expr>) -> Self {
+        let expr_ops = exprs.iter().map(Expr::ops).sum();
+        Project { child, exprs, expr_ops, input: Vec::new() }
+    }
+}
+
+impl Operator for Project<'_> {
+    fn arity(&self) -> usize {
+        self.exprs.len()
+    }
+
+    fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool> {
+        if !self.child.next(mem, &mut self.input)? {
+            return Ok(false);
+        }
+        let costs = mem.costs();
+        mem.cpu(costs.volcano_next + costs.value_op * (self.expr_ops + self.exprs.len() as u64));
+        out.clear();
+        for e in &self.exprs {
+            out.push(e.eval(&self.input)?);
+        }
+        Ok(true)
+    }
+}
+
+/// One aggregate: function over an expression of the child's slots.
+#[derive(Debug, Clone)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub expr: Expr,
+}
+
+impl AggExpr {
+    pub fn new(func: AggFunc, expr: Expr) -> Self {
+        AggExpr { func, expr }
+    }
+}
+
+/// Hash aggregation with optional grouping. Consumes the child on the first
+/// `next()`, then emits one tuple per group: the group-key slots followed by
+/// the aggregate results, ordered by key for determinism.
+pub struct HashAggregate<'a> {
+    child: Box<dyn Operator + 'a>,
+    group_by: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    results: Option<std::vec::IntoIter<Vec<Value>>>,
+}
+
+impl<'a> HashAggregate<'a> {
+    pub fn new(child: Box<dyn Operator + 'a>, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
+        HashAggregate { child, group_by, aggs, results: None }
+    }
+
+    fn consume(&mut self, mem: &mut MemoryHierarchy) -> Result<Vec<Vec<Value>>> {
+        let costs = mem.costs();
+        let expr_ops: u64 = self.aggs.iter().map(|a| a.expr.ops()).sum();
+        let mut groups: HashMap<String, (Vec<Value>, Vec<ValueAgg>)> = HashMap::new();
+        let mut tuple = Vec::new();
+        while self.child.next(mem, &mut tuple)? {
+            mem.cpu(
+                costs.volcano_next
+                    + costs.hash_op
+                    + costs.f64_op * (expr_ops + self.aggs.len() as u64),
+            );
+            let key = encode_key(&tuple, &self.group_by)?;
+            let entry = groups.entry(key).or_insert_with(|| {
+                let key_vals = self.group_by.iter().map(|&s| tuple[s].clone()).collect();
+                let accs = self.aggs.iter().map(|a| ValueAgg::new(a.func)).collect();
+                (key_vals, accs)
+            });
+            for (acc, agg) in entry.1.iter_mut().zip(&self.aggs) {
+                acc.update(&agg.expr.eval(&tuple)?)?;
+            }
+        }
+        let mut keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> = groups.into_iter().collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut rows = Vec::with_capacity(keyed.len());
+        for (_, (mut key_vals, accs)) in keyed {
+            for acc in &accs {
+                key_vals.push(acc.finish()?);
+            }
+            rows.push(key_vals);
+        }
+        Ok(rows)
+    }
+}
+
+fn encode_key(tuple: &[Value], slots: &[usize]) -> Result<String> {
+    use std::fmt::Write;
+    let mut key = String::new();
+    for &s in slots {
+        let v = tuple
+            .get(s)
+            .ok_or(FabricError::ColumnIndexOutOfRange { index: s, len: tuple.len() })?;
+        write!(key, "{v}\u{1f}").expect("writing to String cannot fail");
+    }
+    Ok(key)
+}
+
+impl Operator for HashAggregate<'_> {
+    fn arity(&self) -> usize {
+        self.group_by.len() + self.aggs.len()
+    }
+
+    fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool> {
+        if self.results.is_none() {
+            let rows = self.consume(mem)?;
+            self.results = Some(rows.into_iter());
+        }
+        match self.results.as_mut().unwrap().next() {
+            Some(row) => {
+                *out = row;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+/// Drain an operator into a materialized result set.
+pub fn execute_collect(
+    mem: &mut MemoryHierarchy,
+    op: &mut dyn Operator,
+) -> Result<Vec<Vec<Value>>> {
+    let mut rows = Vec::new();
+    let mut tuple = Vec::new();
+    while op.next(mem, &mut tuple)? {
+        rows.push(tuple.clone());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::SimConfig;
+    use fabric_types::{ColumnType, Schema};
+
+    /// Table: (id i64, grp char(1), val f64), 100 rows,
+    /// id = i, grp = "A"/"B" alternating, val = i as f64.
+    fn fixture() -> (MemoryHierarchy, RowTable) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[
+            ("id", ColumnType::I64),
+            ("grp", ColumnType::FixedStr(1)),
+            ("val", ColumnType::F64),
+        ]);
+        let mut t = RowTable::create(&mut mem, schema, 128).unwrap();
+        for i in 0..100i64 {
+            let g = if i % 2 == 0 { "A" } else { "B" };
+            t.load(&mut mem, &[Value::I64(i), Value::Str(g.into()), Value::F64(i as f64)])
+                .unwrap();
+        }
+        (mem, t)
+    }
+
+    #[test]
+    fn scan_returns_all_rows_in_order() {
+        let (mut mem, t) = fixture();
+        let mut scan = SeqScan::new(&t, vec![0]).unwrap();
+        let rows = execute_collect(&mut mem, &mut scan).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[17], vec![Value::I64(17)]);
+    }
+
+    #[test]
+    fn scan_advances_simulated_time() {
+        let (mut mem, t) = fixture();
+        let t0 = mem.now();
+        let mut scan = SeqScan::full(&t).unwrap();
+        execute_collect(&mut mem, &mut scan).unwrap();
+        assert!(mem.now() > t0);
+        assert!(mem.stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn filter_selects_matching_tuples() {
+        let (mut mem, t) = fixture();
+        let scan = SeqScan::new(&t, vec![0, 2]).unwrap();
+        let mut filter = Filter::new(
+            Box::new(scan),
+            vec![(0, CmpOp::Ge, Value::I64(90)), (1, CmpOp::Lt, Value::F64(95.0))],
+        );
+        let rows = execute_collect(&mut mem, &mut filter).unwrap();
+        assert_eq!(rows.len(), 5); // ids 90..94
+        assert_eq!(rows[0][0], Value::I64(90));
+    }
+
+    #[test]
+    fn project_evaluates_expressions() {
+        let (mut mem, t) = fixture();
+        let scan = SeqScan::new(&t, vec![0, 2]).unwrap();
+        let mut proj = Project::new(
+            Box::new(scan),
+            vec![Expr::mul(Expr::col(1), Expr::lit(Value::F64(2.0)))],
+        );
+        let rows = execute_collect(&mut mem, &mut proj).unwrap();
+        assert_eq!(rows[3], vec![Value::F64(6.0)]);
+        assert_eq!(proj.arity(), 1);
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let (mut mem, t) = fixture();
+        // SELECT grp, count(*), sum(val) FROM t GROUP BY grp ORDER BY grp
+        let scan = SeqScan::new(&t, vec![1, 2]).unwrap();
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![0],
+            vec![
+                AggExpr::new(AggFunc::Count, Expr::col(0)),
+                AggExpr::new(AggFunc::Sum, Expr::col(1)),
+            ],
+        );
+        let rows = execute_collect(&mut mem, &mut agg).unwrap();
+        assert_eq!(rows.len(), 2);
+        // A: even i in 0..100 -> 50 rows, sum = 2450.
+        assert_eq!(rows[0][0], Value::Str("A".into()));
+        assert_eq!(rows[0][1], Value::I64(50));
+        assert_eq!(rows[0][2], Value::F64(2450.0));
+        // B: odd i -> 50 rows, sum = 2500.
+        assert_eq!(rows[1][0], Value::Str("B".into()));
+        assert_eq!(rows[1][2], Value::F64(2500.0));
+    }
+
+    #[test]
+    fn scalar_aggregation_no_groups() {
+        let (mut mem, t) = fixture();
+        let scan = SeqScan::new(&t, vec![2]).unwrap();
+        let mut agg = HashAggregate::new(
+            Box::new(scan),
+            vec![],
+            vec![AggExpr::new(AggFunc::Max, Expr::col(0))],
+        );
+        let rows = execute_collect(&mut mem, &mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::F64(99.0)]]);
+    }
+
+    #[test]
+    fn full_pipeline_scan_filter_agg() {
+        let (mut mem, t) = fixture();
+        // SELECT sum(val * 2) FROM t WHERE id < 10
+        let scan = SeqScan::new(&t, vec![0, 2]).unwrap();
+        let filter = Filter::new(Box::new(scan), vec![(0, CmpOp::Lt, Value::I64(10))]);
+        let mut agg = HashAggregate::new(
+            Box::new(filter),
+            vec![],
+            vec![AggExpr::new(
+                AggFunc::Sum,
+                Expr::mul(Expr::col(1), Expr::lit(Value::F64(2.0))),
+            )],
+        );
+        let rows = execute_collect(&mut mem, &mut agg).unwrap();
+        assert_eq!(rows, vec![vec![Value::F64(90.0)]]); // 2 * (0+..+9)
+    }
+
+    #[test]
+    fn narrow_scan_touches_fewer_bytes_than_full_scan() {
+        let (mut mem, t) = fixture();
+        let before = mem.stats();
+        let mut narrow = SeqScan::new(&t, vec![0]).unwrap();
+        execute_collect(&mut mem, &mut narrow).unwrap();
+        let narrow_bytes = mem.stats().delta_since(&before).bytes_read;
+
+        let before = mem.stats();
+        let mut full = SeqScan::full(&t).unwrap();
+        execute_collect(&mut mem, &mut full).unwrap();
+        let full_bytes = mem.stats().delta_since(&before).bytes_read;
+        assert!(narrow_bytes < full_bytes);
+    }
+
+    #[test]
+    fn filter_on_bad_slot_is_error() {
+        let (mut mem, t) = fixture();
+        let scan = SeqScan::new(&t, vec![0]).unwrap();
+        let mut f = Filter::new(Box::new(scan), vec![(5, CmpOp::Eq, Value::I64(0))]);
+        let mut tuple = Vec::new();
+        assert!(f.next(&mut mem, &mut tuple).is_err());
+    }
+}

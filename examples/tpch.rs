@@ -1,0 +1,42 @@
+//! TPC-H Q1 and Q6 across the three engines — a miniature of the paper's
+//! Fig. 7 runnable in a few seconds.
+//!
+//! Run with: `cargo run --release --example tpch [-- target_mib]`
+
+use relational_fabric::prelude::*;
+use relational_fabric::workload::{queries, Lineitem};
+
+fn main() {
+    let target_mib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let rows = Lineitem::rows_for_q6_target(target_mib);
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    println!(
+        "generating lineitem: {rows} rows (~{} MiB table, {} MiB Q6 target columns)...",
+        rows * Lineitem::row_width() / (1024 * 1024),
+        target_mib
+    );
+    let li = Lineitem::generate(&mut mem, rows, 7).expect("generate");
+
+    println!("\nTPC-H Q6 (movement-bound; the fabric's sweet spot):");
+    let row = queries::q6_row(&mut mem, &li).expect("row");
+    let col = queries::q6_col(&mut mem, &li).expect("col");
+    let rm = queries::q6_rm(&mut mem, &li, RmConfig::prototype()).expect("rm");
+    let push = queries::q6_rm_pushdown(&mut mem, &li, RmConfig::prototype()).expect("push");
+    println!("  ROW          {:9.3} ms   revenue = {:.2}", row.ns / 1e6, row.checksum);
+    println!("  COL          {:9.3} ms   revenue = {:.2}", col.ns / 1e6, col.checksum);
+    println!("  RM           {:9.3} ms   revenue = {:.2}", rm.ns / 1e6, rm.checksum);
+    println!("  RM+pushdown  {:9.3} ms   revenue = {:.2}", push.ns / 1e6, push.checksum);
+    println!("  RM speedup: {:.2}x vs ROW, {:.2}x vs COL", row.ns / rm.ns, col.ns / rm.ns);
+
+    println!("\nTPC-H Q1 (compute-bound; layouts matter less):");
+    let row = queries::q1_row(&mut mem, &li).expect("row");
+    let col = queries::q1_col(&mut mem, &li).expect("col");
+    let rm = queries::q1_rm(&mut mem, &li, RmConfig::prototype()).expect("rm");
+    println!("  ROW          {:9.3} ms", row.ns / 1e6);
+    println!("  COL          {:9.3} ms", col.ns / 1e6);
+    println!("  RM           {:9.3} ms", rm.ns / 1e6);
+    println!("  RM speedup: {:.2}x vs ROW, {:.2}x vs COL", row.ns / rm.ns, col.ns / rm.ns);
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the simulator substrate: the reproduction's
+//! conclusions are only as good as the hierarchy model, so its invariants
+//! get the same adversarial treatment as the data structures.
+
+use fabric_sim::{MemoryHierarchy, SetAssocCache, SimConfig};
+use proptest::prelude::*;
+
+/// A shadow model of one LRU set: a vector of tags, MRU last.
+#[derive(Default)]
+struct ShadowSet {
+    ways: Vec<u64>,
+    assoc: usize,
+}
+
+impl ShadowSet {
+    fn probe(&mut self, tag: u64) -> bool {
+        if let Some(pos) = self.ways.iter().position(|&t| t == tag) {
+            let t = self.ways.remove(pos);
+            self.ways.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, tag: u64) {
+        if self.ways.contains(&tag) {
+            return;
+        }
+        if self.ways.len() == self.assoc {
+            self.ways.remove(0);
+        }
+        self.ways.push(tag);
+    }
+}
+
+proptest! {
+    /// The cache agrees with a straightforward LRU shadow model under any
+    /// access sequence confined to one set.
+    #[test]
+    fn cache_matches_lru_shadow_model(ops in proptest::collection::vec((0u64..12, any::<bool>()), 1..300)) {
+        // One set, 4 ways; lines 0..12 all map to set 0 of a 4x64-line,
+        // single-set configuration.
+        let mut cache = SetAssocCache::new(4 * 64, 4, 64);
+        prop_assert_eq!(cache.num_sets(), 1);
+        let mut shadow = ShadowSet { ways: Vec::new(), assoc: 4 };
+        for (line, do_fill) in ops {
+            let addr = line * 64;
+            let hit = cache.probe(addr);
+            let shadow_hit = shadow.probe(addr);
+            prop_assert_eq!(hit, shadow_hit, "probe divergence on line {}", line);
+            if !hit && do_fill {
+                cache.fill(addr);
+                shadow.fill(addr);
+            }
+        }
+    }
+
+    /// Simulated time is monotone and every read returns the bytes that
+    /// were last written, regardless of the access pattern.
+    #[test]
+    fn hierarchy_time_monotone_and_data_correct(
+        writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..100)
+    ) {
+        let mut mem = MemoryHierarchy::new(SimConfig::tiny());
+        let base = mem.alloc(64 * 64, 64).unwrap();
+        let mut shadow = vec![0u8; 64 * 64];
+        let mut last_now = mem.now();
+        for (slot, byte) in writes {
+            let addr = base + slot * 64;
+            mem.write(addr, &[byte; 64]);
+            shadow[(slot * 64) as usize..(slot * 64 + 64) as usize].fill(byte);
+            prop_assert!(mem.now() >= last_now);
+            last_now = mem.now();
+        }
+        for slot in 0..64u64 {
+            let got = mem.read(base + slot * 64, 64).to_vec();
+            prop_assert_eq!(&got[..], &shadow[(slot * 64) as usize..(slot * 64 + 64) as usize]);
+        }
+        prop_assert!(mem.now() > 0);
+    }
+
+    /// Gather reads and sequential reads of the same spans account the same
+    /// bytes and leave the same cache contents (timing may differ — that is
+    /// the point — but correctness must not).
+    #[test]
+    fn gather_and_serial_reads_agree_on_traffic(
+        spans in proptest::collection::vec((0u64..256, 1usize..32), 1..20)
+    ) {
+        let build = || {
+            let mut mem = MemoryHierarchy::new(SimConfig::tiny());
+            let base = mem.alloc(64 * 64 * 8, 64).unwrap();
+            (mem, base)
+        };
+        let parts: Vec<(u64, usize)> = spans
+            .iter()
+            .map(|&(off, len)| (off * 16, len))
+            .collect();
+
+        let (mut serial, base) = build();
+        for &(off, len) in &parts {
+            serial.touch_read(base + off, len);
+        }
+        let (mut gather, base2) = build();
+        let abs: Vec<(u64, usize)> = parts.iter().map(|&(o, l)| (base2 + o, l)).collect();
+        gather.touch_read_gather(&abs);
+
+        let s = serial.stats();
+        let g = gather.stats();
+        prop_assert_eq!(s.bytes_read, g.bytes_read);
+        prop_assert_eq!(s.line_accesses, g.line_accesses);
+        // Gather may only be cheaper by overlapping misses, or dearer by
+        // its small per-miss issue slot — never wildly different.
+        let issue_slack = g.demand_misses * SimConfig::tiny().l1_hit_cycles;
+        prop_assert!(
+            gather.now() <= serial.now() + issue_slack,
+            "gather {} vs serial {} (+{})",
+            gather.now(),
+            serial.now(),
+            issue_slack
+        );
+    }
+
+    /// Flushing the caches never changes data, only timing.
+    #[test]
+    fn flush_is_timing_only(values in proptest::collection::vec(any::<u8>(), 64..256)) {
+        let mut mem = MemoryHierarchy::new(SimConfig::tiny());
+        let base = mem.alloc(values.len(), 64).unwrap();
+        mem.write_untimed(base, &values);
+        let before = mem.read(base, values.len()).to_vec();
+        mem.flush_caches();
+        let after = mem.read(base, values.len()).to_vec();
+        prop_assert_eq!(before.clone(), after);
+        prop_assert_eq!(&before[..], &values[..]);
+    }
+}
+
+/// Deterministic replay: identical access sequences produce identical
+/// simulated times and statistics.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let base = mem.alloc(1 << 20, 64).unwrap();
+        for i in 0..4096u64 {
+            mem.touch_read(base + (i * 97) % (1 << 20), 16);
+            mem.cpu(3);
+        }
+        (mem.now(), mem.stats())
+    };
+    let (t1, s1) = run();
+    let (t2, s2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(s1, s2);
+}

@@ -1,0 +1,88 @@
+//! Cross-crate pipeline: Relational Storage feeding Relational Memory
+//! (the paper's open question Q3 — both fabrics cooperating): a table on
+//! flash is fetched through the SSD controller, landed in simulated main
+//! memory as row-oriented base data, and then carved up by the RM device.
+
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{FieldSlice, Geometry};
+use relational_fabric::prelude::*;
+use relational_fabric::types::Predicate;
+
+#[test]
+fn flash_to_memory_to_ephemeral_columns() {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+
+    // 10k rows of 8 i64 columns on flash, c_j(i) = i * 8 + j.
+    let rows = 10_000usize;
+    let row_width = 64usize;
+    let mut bytes = Vec::with_capacity(rows * row_width);
+    for i in 0..rows {
+        for j in 0..8usize {
+            bytes.extend_from_slice(&((i * 8 + j) as i64).to_le_bytes());
+        }
+    }
+    let stored = dev.store_rows(&bytes, row_width).unwrap();
+
+    // Fetch everything to host memory (the storage fabric could also
+    // project here; this test lands full rows to serve as RM base data).
+    let (raw, stats) = dev.fetch_raw(&mut mem, &stored).unwrap();
+    assert_eq!(stats.rows_scanned as usize, rows);
+
+    // Land it in the arena as a row table region.
+    let base = mem.alloc(raw.len(), 64).unwrap();
+    mem.write_untimed(base, &raw);
+
+    // Carve out columns 1 and 6 with the in-memory fabric.
+    let fields = vec![
+        FieldSlice::new(1, 8, ColumnType::I64),
+        FieldSlice::new(6, 48, ColumnType::I64),
+    ];
+    let g = Geometry::packed(base, row_width, rows, fields);
+    let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+    let mut sum = 0i64;
+    let mut seen = 0usize;
+    while let Some(b) = eph.next_batch(&mut mem) {
+        for r in 0..b.len() {
+            let i = seen + r;
+            assert_eq!(b.i64_at(r, 0), (i * 8 + 1) as i64);
+            assert_eq!(b.i64_at(r, 1), (i * 8 + 6) as i64);
+            sum += b.i64_at(r, 0) + b.i64_at(r, 1);
+        }
+        seen += b.len();
+    }
+    assert_eq!(seen, rows);
+    let expect: i64 = (0..rows as i64).map(|i| (i * 8 + 1) + (i * 8 + 6)).sum();
+    assert_eq!(sum, expect);
+}
+
+#[test]
+fn near_storage_projection_then_rm_consumption_agree_with_host_path() {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+
+    let rows = 5_000usize;
+    let mut bytes = Vec::with_capacity(rows * 16);
+    for i in 0..rows {
+        bytes.extend_from_slice(&(i as i64).to_le_bytes());
+        bytes.extend_from_slice(&((i % 100) as i64).to_le_bytes());
+    }
+    let stored = dev.store_rows(&bytes, 16).unwrap();
+
+    // Near-data projection of column 1.
+    let (near, _) = dev
+        .fetch_geometry(
+            &mut mem,
+            &stored,
+            vec![FieldSlice::new(1, 8, ColumnType::I64)],
+            Predicate::always_true(),
+        )
+        .unwrap();
+
+    // Host path: fetch raw, extract on the CPU.
+    let (raw, _) = dev.fetch_raw(&mut mem, &stored).unwrap();
+    let host: Vec<u8> = (0..rows)
+        .flat_map(|i| raw[i * 16 + 8..i * 16 + 16].to_vec())
+        .collect();
+    assert_eq!(near, host);
+}
