@@ -53,7 +53,9 @@ fn bench_codecs(c: &mut Criterion) {
         b.iter(|| compress::BlockDelta::encode(black_box(&values)))
     });
     let delta = compress::BlockDelta::encode(&values);
-    group.bench_function("delta_decode_8k", |b| b.iter(|| delta.decode_all().unwrap()));
+    group.bench_function("delta_decode_8k", |b| {
+        b.iter(|| delta.decode_all().unwrap())
+    });
     group.bench_function("dict_encode_8k", |b| {
         b.iter(|| compress::DictEncoded::encode(black_box(&raw), 8).unwrap())
     });
@@ -89,9 +91,17 @@ fn bench_value_codec(c: &mut Criterion) {
         b.iter(|| Value::decode(ColumnType::I64, black_box(&bytes)))
     });
     let (a, bb) = (Value::I64(7), Value::I64(9));
-    group.bench_function("compare_i64", |b| b.iter(|| a.compare(black_box(&bb)).unwrap()));
+    group.bench_function("compare_i64", |b| {
+        b.iter(|| a.compare(black_box(&bb)).unwrap())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_packer, bench_codecs, bench_simulated_engines, bench_value_codec);
+criterion_group!(
+    benches,
+    bench_packer,
+    bench_codecs,
+    bench_simulated_engines,
+    bench_value_codec
+);
 criterion_main!(benches);

@@ -6,8 +6,7 @@
 
 use bench::{arg_usize, render_table};
 use compress::{analyze_i64, RandomAccess};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fabric_types::rng::DetRng;
 
 fn describe(access: RandomAccess) -> String {
     match access {
@@ -21,12 +20,23 @@ fn describe(access: RandomAccess) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let rows = arg_usize(&args, "--rows", 200_000);
-    let mut rng = StdRng::seed_from_u64(0xAB4);
+    let mut rng = DetRng::seed_from_u64(0xAB4);
 
     let datasets: Vec<(&str, Vec<i64>)> = vec![
-        ("sorted timestamps", (0..rows as i64).map(|i| 1_600_000_000 + i * 7).collect()),
-        ("low-cardinality flags", (0..rows).map(|_| rng.gen_range(0..4i64) * 37).collect()),
-        ("uniform random", (0..rows).map(|_| rng.gen_range(-1_000_000..1_000_000i64)).collect()),
+        (
+            "sorted timestamps",
+            (0..rows as i64).map(|i| 1_600_000_000 + i * 7).collect(),
+        ),
+        (
+            "low-cardinality flags",
+            (0..rows).map(|_| rng.gen_range(0..4i64) * 37).collect(),
+        ),
+        (
+            "uniform random",
+            (0..rows)
+                .map(|_| rng.gen_range(-1_000_000..1_000_000i64))
+                .collect(),
+        ),
     ];
 
     for (name, values) in &datasets {
@@ -38,14 +48,21 @@ fn main() {
                     r.name.to_string(),
                     format!("{:.2}x", r.ratio()),
                     describe(r.access),
-                    if r.fabric_compatible() { "yes".into() } else { "NO".into() },
+                    if r.fabric_compatible() {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
                 ]
             })
             .collect();
         println!("Column: {name} ({rows} values)");
         println!(
             "{}",
-            render_table(&["codec", "ratio", "random access", "fabric-compatible"], &rows_out)
+            render_table(
+                &["codec", "ratio", "random access", "fabric-compatible"],
+                &rows_out
+            )
         );
     }
     println!(

@@ -38,7 +38,10 @@ fn main() {
     ]);
 
     for convert_every in [1usize, 4, 12, usize::MAX] {
-        let p = MixParams { convert_every, ..base };
+        let p = MixParams {
+            convert_every,
+            ..base
+        };
         let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
         let dual = run_dual_layout_htap(&mut mem, &p).expect("dual");
         let label = if convert_every == usize::MAX {
@@ -63,7 +66,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["system", "OLTP", "OLAP", "maintenance", "total", "staleness (commits)"],
+            &[
+                "system",
+                "OLTP",
+                "OLAP",
+                "maintenance",
+                "total",
+                "staleness (commits)"
+            ],
             &rows
         )
     );

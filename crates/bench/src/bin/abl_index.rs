@@ -33,8 +33,16 @@ fn main() {
         // key is a permutation so point lookups hit exactly one row.
         let key = (i * 2_654_435_761i64) % rows as i64;
         let key = if key < 0 { key + rows as i64 } else { key };
-        t.load(&mut mem, &[Value::I64(key), Value::I64(i), Value::I64(i % 97), Value::I64(1)])
-            .expect("load");
+        t.load(
+            &mut mem,
+            &[
+                Value::I64(key),
+                Value::I64(i),
+                Value::I64(i % 97),
+                Value::I64(1),
+            ],
+        )
+        .expect("load");
     }
     let hash = HashIndex::build(&mut mem, &t, 0).expect("hash index");
     let ordered = OrderedIndex::build(&mut mem, &t, 0).expect("ordered index");
@@ -87,7 +95,9 @@ fn main() {
 
         mem.flush_caches();
         let t0 = mem.now();
-        let (idx_sum, n) = ordered.range_sum(&mut mem, &t, lo, hi, 1).expect("range_sum");
+        let (idx_sum, n) = ordered
+            .range_sum(&mut mem, &t, lo, hi, 1)
+            .expect("range_sum");
         let idx_ns = mem.ns_since(t0);
 
         mem.flush_caches();
@@ -126,6 +136,15 @@ fn main() {
     println!("Range sum over the key column:");
     println!(
         "{}",
-        render_table(&["range", "matches", "ordered index", "RM column group", "winner"], &out)
+        render_table(
+            &[
+                "range",
+                "matches",
+                "ordered index",
+                "RM column group",
+                "winner"
+            ],
+            &out
+        )
     );
 }

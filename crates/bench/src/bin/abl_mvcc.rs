@@ -19,12 +19,9 @@ fn main() {
     for update_rounds in [0usize, 1, 3, 7] {
         let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
         let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
-        let mut table = VersionedTable::create(
-            &mut mem,
-            schema,
-            logical_rows * (update_rounds + 1) + 16,
-        )
-        .expect("create");
+        let mut table =
+            VersionedTable::create(&mut mem, schema, logical_rows * (update_rounds + 1) + 16)
+                .expect("create");
         let tm = TxnManager::new();
 
         // Insert everything in one transaction, then update every row
@@ -34,7 +31,10 @@ fn main() {
         for k in 0..logical_rows as i64 {
             txn.insert(vec![Value::I64(k), Value::I64(k)]);
         }
-        let ids = tm.commit(&mut mem, &mut table, txn).expect("insert").inserted;
+        let ids = tm
+            .commit(&mut mem, &mut table, txn)
+            .expect("insert")
+            .inserted;
         for round in 0..update_rounds {
             let mut txn = tm.begin();
             for &l in &ids {
@@ -71,7 +71,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["versions/row", "total versions", "SW visibility", "HW visibility", "speedup"],
+            &[
+                "versions/row",
+                "total versions",
+                "SW visibility",
+                "HW visibility",
+                "speedup"
+            ],
             &out
         )
     );

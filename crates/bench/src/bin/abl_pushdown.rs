@@ -43,7 +43,15 @@ fn main() {
     println!("Selection push-down (project 10 cols, 2 conjuncts):");
     println!(
         "{}",
-        render_table(&["selectivity", "RM (CPU filter)", "RM (device filter)", "speedup"], &out)
+        render_table(
+            &[
+                "selectivity",
+                "RM (CPU filter)",
+                "RM (device filter)",
+                "speedup"
+            ],
+            &out
+        )
     );
 
     // --- Aggregation push-down: eight per-column SUMs, optionally
@@ -119,6 +127,14 @@ fn main() {
     println!("Aggregation push-down (8 column SUMs [WHERE c15 < thr]):");
     println!(
         "{}",
-        render_table(&["selectivity", "CPU aggregate", "device aggregate", "speedup"], &out)
+        render_table(
+            &[
+                "selectivity",
+                "CPU aggregate",
+                "device aggregate",
+                "speedup"
+            ],
+            &out
+        )
     );
 }

@@ -52,11 +52,8 @@ fn main() {
     ]);
 
     // Selective projection (1 % of rows).
-    let pred = Predicate::always_true().and(ColumnPredicate::new(
-        f(3),
-        CmpOp::Lt,
-        Value::I32(10_000),
-    ));
+    let pred =
+        Predicate::always_true().and(ColumnPredicate::new(f(3), CmpOp::Lt, Value::I32(10_000)));
     dev.reset_timing();
     let t0 = mem.now();
     let (_, near) = dev
@@ -71,9 +68,10 @@ fn main() {
     ]);
 
     // Aggregation: only scalars cross the link.
-    let g = Geometry::packed(0, 64, table.rows, vec![f(1)]).with_mode(OutputMode::Aggregate(
-        vec![AggSpec::count(), AggSpec::over(AggFunc::Sum, f(1))],
-    ));
+    let g = Geometry::packed(0, 64, table.rows, vec![f(1)]).with_mode(OutputMode::Aggregate(vec![
+        AggSpec::count(),
+        AggSpec::over(AggFunc::Sum, f(1)),
+    ]));
     dev.reset_timing();
     let t0 = mem.now();
     let (_, agg) = dev.fetch_aggregate(&mut mem, &table, &g).expect("agg");
@@ -88,23 +86,34 @@ fn main() {
     println!("Relational Storage vs ship-to-host ({rows} rows, 64 B rows):");
     println!(
         "{}",
-        render_table(&["operation", "host path (MiB)", "near-data (MiB)", "speedup"], &out)
+        render_table(
+            &["operation", "host path (MiB)", "near-data (MiB)", "speedup"],
+            &out
+        )
     );
 
     // --- Compressed columns: device-side vs host-side decompression.
     let schema = Schema::from_pairs(&[("flag", ColumnType::I32), ("grp", ColumnType::I64)]);
-    let col_a: Vec<u8> = (0..rows).flat_map(|i| ((i % 8) as i32).to_le_bytes()).collect();
-    let col_b: Vec<u8> = (0..rows).flat_map(|i| ((i % 3) as i64 * 99).to_le_bytes()).collect();
+    let col_a: Vec<u8> = (0..rows)
+        .flat_map(|i| ((i % 8) as i32).to_le_bytes())
+        .collect();
+    let col_b: Vec<u8> = (0..rows)
+        .flat_map(|i| ((i % 3) as i64 * 99).to_le_bytes())
+        .collect();
     let ct = CompressedTable::store(&mut dev, schema, rows, vec![col_a, col_b]).expect("store");
 
     let mut out = Vec::new();
     dev.reset_timing();
     let t0 = mem.now();
-    let (_, near) = ct.fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1]).expect("near");
+    let (_, near) = ct
+        .fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1])
+        .expect("near");
     let near_ns = mem.ns_since(t0);
     dev.reset_timing();
     let t0 = mem.now();
-    let (_, host) = ct.fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1]).expect("host");
+    let (_, host) = ct
+        .fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1])
+        .expect("host");
     let host_ns = mem.ns_since(t0);
     out.push(vec![
         "decompress + reconstruct".into(),
@@ -118,6 +127,9 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(&["operation", "host decode", "device decode", "speedup"], &out)
+        render_table(
+            &["operation", "host decode", "device decode", "speedup"],
+            &out
+        )
     );
 }

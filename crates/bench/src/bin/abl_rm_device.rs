@@ -40,8 +40,14 @@ fn main() {
             format!("{:.2}x", row.ns / rm.ns),
         ]);
     }
-    println!("RM staging-buffer sweep (projectivity 6, ROW = {}):", fmt_ns(row.ns));
-    println!("{}", render_table(&["buffer", "RM time", "speedup vs ROW"], &out));
+    println!(
+        "RM staging-buffer sweep (projectivity 6, ROW = {}):",
+        fmt_ns(row.ns)
+    );
+    println!(
+        "{}",
+        render_table(&["buffer", "RM time", "speedup vs ROW"], &out)
+    );
 
     // --- Engine-clock sweep.
     let mut out = Vec::new();
@@ -61,7 +67,10 @@ fn main() {
         ]);
     }
     println!("RM engine-clock sweep (projectivity 6):");
-    println!("{}", render_table(&["engine clock", "RM time", "speedup vs ROW"], &out));
+    println!(
+        "{}",
+        render_table(&["engine clock", "RM time", "speedup vs ROW"], &out)
+    );
 
     // --- RM prototype vs the envisioned Relational Memory Controller
     // (§IV-C): controller-domain engine, miss-fill-like delivery, ISA-level
@@ -80,7 +89,10 @@ fn main() {
         ]);
     }
     println!("RM prototype vs Relational Memory Controller (section IV-C):");
-    println!("{}", render_table(&["projectivity", "RM (FPGA)", "RMC", "RMC gain"], &out));
+    println!(
+        "{}",
+        render_table(&["projectivity", "RM (FPGA)", "RMC", "RMC gain"], &out)
+    );
 
     // --- Concurrent ephemeral variables: the engine time-multiplexed
     // across N active geometries (each tenant gets 1/N of the beats and
@@ -99,5 +111,8 @@ fn main() {
         ]);
     }
     println!("Device sharing across concurrent ephemeral variables (projectivity 4):");
-    println!("{}", render_table(&["active tenants", "per-tenant time", "slowdown"], &out));
+    println!(
+        "{}",
+        render_table(&["active tenants", "per-tenant time", "slowdown"], &out)
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
             let row = run_row(&mut mem, &data.rows, &q).expect("row");
             let col = run_col(&mut mem, &data.cols, &q).expect("col");
             let rm = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm");
-            assert_eq!(row.checksum, col.checksum, "engines disagree at p={p} s={s}");
+            assert_eq!(
+                row.checksum, col.checksum,
+                "engines disagree at p={p} s={s}"
+            );
             assert_eq!(row.checksum, rm.checksum, "engines disagree at p={p} s={s}");
             vs_row[s - 1][p - 1] = row.ns / rm.ns;
             vs_col[s - 1][p - 1] = col.ns / rm.ns;

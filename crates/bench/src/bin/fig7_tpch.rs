@@ -59,11 +59,20 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
                 queries::q6_rm(&mut mem, &li, RmConfig::prototype()).expect("q6 rm"),
             )
         };
-        assert!(close(row.checksum, col.checksum), "engines disagree at {t} MiB");
-        assert!(close(row.checksum, rm.checksum), "engines disagree at {t} MiB");
+        assert!(
+            close(row.checksum, col.checksum),
+            "engines disagree at {t} MiB"
+        );
+        assert!(
+            close(row.checksum, rm.checksum),
+            "engines disagree at {t} MiB"
+        );
 
         if csv {
-            println!("{which},{t},{table_mib},{:.0},{:.0},{:.0}", row.ns, col.ns, rm.ns);
+            println!(
+                "{which},{t},{table_mib},{:.0},{:.0},{:.0}",
+                row.ns, col.ns, rm.ns
+            );
         }
         out_rows.push(vec![
             format!("{t}"),
@@ -84,7 +93,15 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
         println!(
             "{}",
             render_table(
-                &["target_MiB", "table_MiB", "ROW", "COL", "RM", "RMvsROW", "RMvsCOL"],
+                &[
+                    "target_MiB",
+                    "table_MiB",
+                    "ROW",
+                    "COL",
+                    "RM",
+                    "RMvsROW",
+                    "RMvsCOL"
+                ],
                 &out_rows
             )
         );

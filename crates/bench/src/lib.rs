@@ -4,17 +4,23 @@ use std::fmt::Write as _;
 
 /// Simple command-line flag extraction: `--name value`.
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// `--name value` parsed as usize, with default.
 pub fn arg_usize(args: &[String], name: &str, default: usize) -> usize {
-    arg_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// `--name value` parsed as f64, with default.
 pub fn arg_f64(args: &[String], name: &str, default: f64) -> f64 {
-    arg_value(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Render a table of rows with a header, aligned for terminal reading.
@@ -64,8 +70,10 @@ mod tests {
 
     #[test]
     fn args_parse() {
-        let args: Vec<String> =
-            ["--rows", "500", "--frac", "0.25"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--rows", "500", "--frac", "0.25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_usize(&args, "--rows", 1), 500);
         assert_eq!(arg_f64(&args, "--frac", 0.0), 0.25);
         assert_eq!(arg_usize(&args, "--missing", 7), 7);
@@ -75,7 +83,10 @@ mod tests {
     fn table_renders_aligned() {
         let s = render_table(
             &["p", "ROW"],
-            &[vec!["1".into(), "1.00".into()], vec!["10".into(), "0.55".into()]],
+            &[
+                vec!["1".into(), "1.00".into()],
+                vec!["10".into(), "0.55".into()],
+            ],
         );
         assert!(s.contains("ROW"));
         assert!(s.lines().count() == 4);

@@ -17,7 +17,7 @@
 
 use crate::table::ColTable;
 use fabric_sim::MemoryHierarchy;
-use fabric_types::{CmpOp, ColumnId, Expr, Result, Value};
+use fabric_types::{CmpOp, ColumnId, Expr, FabricError, Result, Value};
 
 /// Rows per vectorized batch (a classic vector size: 1024 values).
 pub const BATCH_ROWS: usize = 1024;
@@ -28,6 +28,20 @@ fn cmp_cycles(costs: &fabric_sim::hierarchy::OpCosts, ty: fabric_types::ColumnTy
     match ty {
         fabric_types::ColumnType::F32 | fabric_types::ColumnType::F64 => costs.f64_op,
         _ => costs.value_op,
+    }
+}
+
+/// Verify that every position in a candidate/selection vector addresses a
+/// row of `t`. A stale or hand-built vector would otherwise surface as an
+/// arena panic deep inside the access loops; this returns the structured
+/// error up front instead.
+fn check_selection(t: &ColTable, sel: &[u32]) -> Result<()> {
+    match sel.iter().max() {
+        Some(&max) if (max as usize) >= t.len() => Err(FabricError::RowIndexOutOfRange {
+            index: max as usize,
+            len: t.len(),
+        }),
+        _ => Ok(()),
     }
 }
 
@@ -139,6 +153,7 @@ pub fn scan_filter_cand(
     candidates: &[u32],
 ) -> Result<Vec<u32>> {
     let c = t.col(col)?;
+    check_selection(t, candidates)?;
     let w = c.ty.width();
     let costs = mem.costs();
     let mut out = Vec::with_capacity(candidates.len());
@@ -192,6 +207,7 @@ pub fn refine_conj(
     candidates: &[u32],
 ) -> Result<Vec<u32>> {
     let c = t.col(col)?;
+    check_selection(t, candidates)?;
     let w = c.ty.width();
     let costs = mem.costs();
     let mut out = Vec::with_capacity(candidates.len());
@@ -233,6 +249,7 @@ pub fn refine(
     candidates: &[u32],
 ) -> Result<Vec<u32>> {
     let c = t.col(col)?;
+    check_selection(t, candidates)?;
     let w = c.ty.width();
     let costs = mem.costs();
     let mut out = Vec::with_capacity(candidates.len());
@@ -294,7 +311,10 @@ where
     F: FnMut(&mut MemoryHierarchy, &TupleBatch) -> Result<()>,
 {
     let arity = cols.len();
-    let mut batch = TupleBatch { arity, values: Vec::new() };
+    let mut batch = TupleBatch {
+        arity,
+        values: Vec::new(),
+    };
     lockstep_impl(mem, t, cols, sel, true, |mem, ev| match ev {
         Event::Row(_, vals) => {
             batch.values.extend_from_slice(vals);
@@ -355,6 +375,9 @@ where
 {
     let costs = mem.costs();
     let refs: Vec<_> = cols.iter().map(|&c| t.col(c)).collect::<Result<_>>()?;
+    if let Some(s) = sel {
+        check_selection(t, s)?;
+    }
     let total_rows = sel.map_or(t.len(), |s| s.len());
     let line = mem.config().line_size as u64;
     // Per-column last line touched: memory is charged once per new line,
@@ -425,7 +448,11 @@ mod tests {
         for i in 0..3000i32 {
             t.load(
                 &mut mem,
-                &[Value::I32(i), Value::I32(i % 100), Value::F64(i as f64 / 2.0)],
+                &[
+                    Value::I32(i),
+                    Value::I32(i % 100),
+                    Value::F64(i as f64 / 2.0),
+                ],
             )
             .unwrap();
         }
@@ -538,6 +565,24 @@ mod tests {
         assert_eq!(s, 0.0);
         let out = refine(&mut mem, &t, 0, CmpOp::Eq, &Value::I32(1), &sel).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_selection_is_structured_error_not_panic() {
+        let (mut mem, t) = fixture();
+        let bad = vec![0u32, 5000]; // table has 3000 rows
+        let err = refine(&mut mem, &t, 0, CmpOp::Eq, &Value::I32(1), &bad).unwrap_err();
+        assert_eq!(
+            err,
+            fabric_types::FabricError::RowIndexOutOfRange {
+                index: 5000,
+                len: 3000
+            }
+        );
+        assert!(scan_filter_cand(&mut mem, &t, 0, &[(CmpOp::Ge, Value::I32(0))], &bad).is_err());
+        assert!(refine_conj(&mut mem, &t, 0, &[(CmpOp::Ge, Value::I32(0))], &bad).is_err());
+        assert!(for_each_lockstep(&mut mem, &t, &[0], Some(&bad), |_, _, _| Ok(())).is_err());
+        assert!(sum_expr(&mut mem, &t, &[0], &Expr::col(0), Some(&bad)).is_err());
     }
 
     #[test]

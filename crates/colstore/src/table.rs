@@ -49,7 +49,15 @@ impl ColTable {
         let sv_in = mem.alloc(capacity * 4, line)?;
         let sv_out = mem.alloc(capacity * 4, line)?;
         let mat = mem.alloc(capacity * 8, line)?;
-        Ok(ColTable { schema, cols, rows: 0, capacity, sv_in, sv_out, mat })
+        Ok(ColTable {
+            schema,
+            cols,
+            rows: 0,
+            capacity,
+            sv_in,
+            sv_out,
+            mat,
+        })
     }
 
     /// Address of byte `off` of the intermediate-materialization scratch.
@@ -94,7 +102,10 @@ impl ColTable {
         self.cols
             .get(id)
             .copied()
-            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.cols.len() })
+            .ok_or(FabricError::ColumnIndexOutOfRange {
+                index: id,
+                len: self.cols.len(),
+            })
     }
 
     /// Column id by name.
@@ -216,11 +227,22 @@ mod tests {
     fn load_and_read_back() {
         let mut mem = mem();
         let mut t = ColTable::create(&mut mem, schema(), 8).unwrap();
-        t.load(&mut mem, &[Value::I64(1), Value::I32(10), Value::Str("ab".into())]).unwrap();
-        t.load(&mut mem, &[Value::I64(2), Value::I32(20), Value::Str("cd".into())]).unwrap();
+        t.load(
+            &mut mem,
+            &[Value::I64(1), Value::I32(10), Value::Str("ab".into())],
+        )
+        .unwrap();
+        t.load(
+            &mut mem,
+            &[Value::I64(2), Value::I32(20), Value::Str("cd".into())],
+        )
+        .unwrap();
         assert_eq!(t.value_untimed(&mem, 1, 0).unwrap(), Value::I64(2));
         assert_eq!(t.value_untimed(&mem, 0, 1).unwrap(), Value::I32(10));
-        assert_eq!(t.value_untimed(&mem, 1, 2).unwrap(), Value::Str("cd".into()));
+        assert_eq!(
+            t.value_untimed(&mem, 1, 2).unwrap(),
+            Value::Str("cd".into())
+        );
         assert_eq!(t.len(), 2);
     }
 
@@ -229,12 +251,15 @@ mod tests {
         let mut mem = mem();
         let mut t = ColTable::create(&mut mem, schema(), 100).unwrap();
         for i in 0..50i64 {
-            t.load(&mut mem, &[Value::I64(i), Value::I32(i as i32), Value::Str("x".into())])
-                .unwrap();
+            t.load(
+                &mut mem,
+                &[Value::I64(i), Value::I32(i as i32), Value::Str("x".into())],
+            )
+            .unwrap();
         }
         let qty = t.col(1).unwrap();
         assert_eq!(qty.at(10) - qty.at(0), 40); // 10 * 4 bytes
-        // Raw array contents are dense i32s.
+                                                // Raw array contents are dense i32s.
         let raw = mem.read_untimed(qty.addr, 50 * 4);
         let v7 = i32::from_le_bytes(raw[28..32].try_into().unwrap());
         assert_eq!(v7, 7);
@@ -245,7 +270,11 @@ mod tests {
         let mut mem = mem();
         let mut t = ColTable::create(&mut mem, schema(), 1024).unwrap();
         let t0 = mem.now();
-        t.append(&mut mem, &[Value::I64(1), Value::I32(2), Value::Str("a".into())]).unwrap();
+        t.append(
+            &mut mem,
+            &[Value::I64(1), Value::I32(2), Value::Str("a".into())],
+        )
+        .unwrap();
         let col_insert = mem.now() - t0;
         // Three scattered lines (one per column) vs one line for a 16-byte
         // row: the column insert must touch at least 3 lines.

@@ -115,8 +115,10 @@ mod tests {
     fn compatibility_matches_paper_section_iii_d() {
         let vals: Vec<i64> = (0..1000).map(|i| i % 10).collect();
         let reports = analyze_i64(&vals).unwrap();
-        let compat: Vec<(&str, bool)> =
-            reports.iter().map(|r| (r.name, r.fabric_compatible())).collect();
+        let compat: Vec<(&str, bool)> = reports
+            .iter()
+            .map(|r| (r.name, r.fabric_compatible()))
+            .collect();
         assert_eq!(
             compat,
             vec![

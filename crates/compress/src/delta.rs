@@ -47,9 +47,9 @@ fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *data.get(*pos).ok_or_else(|| {
-            FabricError::Codec("varint stream truncated".into())
-        })?;
+        let byte = *data
+            .get(*pos)
+            .ok_or_else(|| FabricError::Codec("varint stream truncated".into()))?;
         *pos += 1;
         v |= ((byte & 0x7F) as u64) << shift;
         if byte & 0x80 == 0 {
@@ -83,7 +83,13 @@ impl BlockDelta {
                 prev = v;
             }
         }
-        BlockDelta { block_size, bases, offsets, deltas, len: values.len() }
+        BlockDelta {
+            block_size,
+            bases,
+            offsets,
+            deltas,
+            len: values.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -158,6 +164,7 @@ impl BlockDelta {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -204,6 +211,7 @@ mod tests {
         assert_eq!(enc.get(0).unwrap(), 42);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..300),

@@ -56,7 +56,13 @@ impl DictEncoded {
         for c in code_list {
             codes.extend_from_slice(&c.to_le_bytes()[..code_width]);
         }
-        Ok(DictEncoded { dict, value_width, codes, code_width, len })
+        Ok(DictEncoded {
+            dict,
+            value_width,
+            codes,
+            code_width,
+            len,
+        })
     }
 
     /// Number of encoded values.
@@ -105,6 +111,7 @@ impl DictEncoded {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn raw_from_i32(values: &[i32]) -> Vec<u8> {
@@ -154,6 +161,7 @@ mod tests {
         assert_eq!(enc.decode_all(), Vec::<u8>::new());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_roundtrip(vals in proptest::collection::vec(-50i32..50, 0..500)) {

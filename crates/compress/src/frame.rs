@@ -54,9 +54,18 @@ impl ForEncoded {
                 let offset = (v as i128 - reference as i128) as u64;
                 write_bits(&mut bits, i * bit_width as usize, bit_width, offset);
             }
-            blocks.push(Block { reference, bit_width, bits, n: chunk.len() });
+            blocks.push(Block {
+                reference,
+                bit_width,
+                bits,
+                n: chunk.len(),
+            });
         }
-        ForEncoded { block_size, blocks, len: values.len() }
+        ForEncoded {
+            block_size,
+            blocks,
+            len: values.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -137,6 +146,7 @@ fn read_bits(buf: &[u8], pos: usize, width: u8) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -182,6 +192,7 @@ mod tests {
         assert_eq!(enc.decode_all().unwrap(), Vec::<i64>::new());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..300),

@@ -48,7 +48,11 @@ fn build_lengths(freq: &[u64; 256]) -> [u8; 256] {
     let mut id = 0;
     for (sym, &f) in freq.iter().enumerate() {
         if f > 0 {
-            heap.push(Node { weight: f, id, symbols: vec![sym] });
+            heap.push(Node {
+                weight: f,
+                id,
+                symbols: vec![sym],
+            });
             id += 1;
         }
     }
@@ -69,7 +73,11 @@ fn build_lengths(freq: &[u64; 256]) -> [u8; 256] {
         for &s in &symbols {
             lengths[s] += 1;
         }
-        heap.push(Node { weight: a.weight + b.weight, id, symbols });
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id,
+            symbols,
+        });
         id += 1;
     }
     lengths
@@ -99,7 +107,10 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { bytes: Vec::new(), bit_pos: 0 }
+        BitWriter {
+            bytes: Vec::new(),
+            bit_pos: 0,
+        }
     }
 
     fn write(&mut self, code: u32, len: u8) {
@@ -198,8 +209,9 @@ impl HuffmanEncoded {
                 }
                 // Linear probe of symbols with this length (fine for tests
                 // and simulation workloads; a real decoder uses tables).
-                if let Some(&sym) =
-                    order.iter().find(|&&s| self.lengths[s] == len && codes[s] == (code, len))
+                if let Some(&sym) = order
+                    .iter()
+                    .find(|&&s| self.lengths[s] == len && codes[s] == (code, len))
                 {
                     out.push(sym as u8);
                     break;
@@ -245,6 +257,7 @@ impl HuffmanEncoded {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -257,7 +270,9 @@ mod tests {
     #[test]
     fn skewed_data_compresses() {
         // 90% one symbol: well under 8 bits per symbol.
-        let data: Vec<u8> = (0..10_000).map(|i| if i % 10 == 0 { b'x' } else { b'a' }).collect();
+        let data: Vec<u8> = (0..10_000)
+            .map(|i| if i % 10 == 0 { b'x' } else { b'a' })
+            .collect();
         let enc = HuffmanEncoded::encode(&data);
         assert!(enc.bits.len() < data.len() / 4);
         assert_eq!(enc.decode_all().unwrap(), data);
@@ -289,6 +304,7 @@ mod tests {
         assert_eq!(enc.decode_all().unwrap(), Vec::<u8>::new());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
         #[test]

@@ -71,7 +71,10 @@ impl Lz77 {
                 i += 1;
             }
         }
-        Lz77 { tokens, len: data.len() }
+        Lz77 {
+            tokens,
+            len: data.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -109,8 +112,7 @@ impl Lz77 {
                     if i + 4 > self.tokens.len() {
                         return Err(FabricError::Codec("LZ match truncated".into()));
                     }
-                    let off =
-                        u16::from_le_bytes([self.tokens[i + 1], self.tokens[i + 2]]) as usize;
+                    let off = u16::from_le_bytes([self.tokens[i + 1], self.tokens[i + 2]]) as usize;
                     let l = self.tokens[i + 3] as usize;
                     if off == 0 || off > out.len() {
                         return Err(FabricError::Codec("LZ offset out of range".into()));
@@ -132,6 +134,7 @@ impl Lz77 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -158,7 +161,9 @@ mod tests {
     #[test]
     fn incompressible_data_roundtrips() {
         // A de Bruijn-ish pseudo-random sequence.
-        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         let enc = Lz77::encode(&data);
         assert_eq!(enc.decode_all().unwrap(), data);
     }
@@ -170,6 +175,7 @@ mod tests {
         assert_eq!(enc.decode_all().unwrap(), Vec::<u8>::new());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]

@@ -30,7 +30,11 @@ impl RleEncoded {
             starts.push(acc);
             acc += rl as u64;
         }
-        RleEncoded { runs, starts, len: values.len() }
+        RleEncoded {
+            runs,
+            starts,
+            len: values.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -78,6 +82,7 @@ impl RleEncoded {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -113,6 +118,7 @@ mod tests {
         assert_eq!(enc.decode_all(), Vec::<i64>::new());
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_roundtrip(vals in proptest::collection::vec(-3i64..3, 0..500)) {

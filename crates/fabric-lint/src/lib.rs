@@ -1,0 +1,455 @@
+//! `fabric-lint`: repo-specific static analysis for the Relational Fabric
+//! workspace (source-layer companion of the pre-execution plan verifier
+//! in `query::analyze` — see DESIGN.md, "Static analysis & plan
+//! verification").
+//!
+//! Built on std only so it resolves offline like the rest of the
+//! workspace: a line/token scanner over sanitized source (comments and
+//! string literals blanked out, `#[cfg(test)]` regions tracked by brace
+//! depth), not a full parser. Four rule families:
+//!
+//! * **no-unwrap** — `.unwrap()` / `.expect(` / `panic!` / `todo!` are
+//!   forbidden in non-test *library* code of the core crates
+//!   ([`CORE_CRATES`]): engine code must surface `FabricError`, not
+//!   abort the process.
+//! * **undocumented-unsafe** — every `unsafe` token must carry a
+//!   `// SAFETY:` comment on the same line or within the three lines
+//!   above it. Applies everywhere, tests included.
+//! * **narrowing-cast** — narrowing `as` casts (`as u8|i8|u16|i16|u32|i32`)
+//!   are forbidden in the hot-path modules ([`HOT_PATH_FILES`] /
+//!   [`HOT_PATH_DIRS`]) where silent truncation corrupts packed batches;
+//!   use `try_from` and surface the error.
+//! * **no-exit** — `process::exit` never belongs in library code.
+//!
+//! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
+//! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
+//! fails only when a count **exceeds** its baseline entry, so new
+//! violations are rejected while old ones burn down monotonically.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod baseline;
+mod sanitize;
+
+/// Crates whose library code must be panic-free (rule `no-unwrap`).
+pub const CORE_CRATES: &[&str] = &["fabric-types", "relmem", "query", "mvcc", "relstore"];
+
+/// Individual hot-path files where narrowing `as` casts are forbidden.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/relmem/src/packer.rs",
+    "crates/fabric-sim/src/cache.rs",
+];
+
+/// Hot-path directory prefixes (every `.rs` file below them).
+pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
+
+/// The four rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    NoUnwrap,
+    UndocumentedUnsafe,
+    NarrowingCast,
+    NoExit,
+}
+
+impl Rule {
+    /// Stable name used in output and in `lint-baseline.txt`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::NarrowingCast => "narrowing-cast",
+            Rule::NoExit => "no-exit",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-unwrap" => Some(Rule::NoUnwrap),
+            "undocumented-unsafe" => Some(Rule::UndocumentedUnsafe),
+            "narrowing-cast" => Some(Rule::NarrowingCast),
+            "no-exit" => Some(Rule::NoExit),
+            _ => None,
+        }
+    }
+}
+
+/// One violation, anchored to `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: Rule,
+    /// Human-readable description including the offending token.
+    pub message: String,
+    /// The trimmed source line (truncated).
+    pub excerpt: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: `{}`",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message,
+            self.excerpt
+        )
+    }
+}
+
+/// What the walker decided about a file before scanning it.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    pub crate_name: String,
+    /// Library code: under `src/`, excluding `src/bin/` and `src/main.rs`.
+    pub is_lib: bool,
+    /// Member of [`CORE_CRATES`].
+    pub is_core: bool,
+    /// Hot-path module for the narrowing-cast rule.
+    pub is_hot: bool,
+}
+
+/// Classify a workspace-relative path; `None` means "do not scan"
+/// (non-Rust, lint fixtures, build output).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel
+        .split('/')
+        .any(|part| part == "fixtures" || part == "target" || part.starts_with('.'))
+    {
+        return None;
+    }
+    let (crate_name, inner) = if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, inner) = rest.split_once('/')?;
+        (name.to_string(), inner.to_string())
+    } else if rel.starts_with("src/") {
+        // The workspace-root `relational-fabric` facade crate.
+        ("relational-fabric".to_string(), rel.to_string())
+    } else {
+        return None;
+    };
+    let is_lib =
+        inner.starts_with("src/") && !inner.starts_with("src/bin/") && inner != "src/main.rs";
+    let is_core = CORE_CRATES.contains(&crate_name.as_str());
+    let is_hot = HOT_PATH_FILES.contains(&rel) || HOT_PATH_DIRS.iter().any(|d| rel.starts_with(d));
+    Some(FileClass {
+        crate_name,
+        is_lib,
+        is_core,
+        is_hot,
+    })
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of every occurrence of `needle` in `hay` that is
+/// word-bounded on the requested sides.
+fn find_bounded(hay: &str, needle: &str, left: bool, right: bool) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let ok_left = !left || at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let ok_right = !right || end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if ok_left && ok_right {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// Narrow integer targets for the narrowing-cast rule. `usize`/`u64`
+/// stay legal: the hot paths widen indices, they must never truncate.
+const NARROW_TYPES: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32"];
+
+/// `as <narrow-int>` occurrences on a sanitized line, as the target type.
+fn narrowing_casts(line: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    for at in find_bounded(line, "as", true, true) {
+        let rest = line[at + 2..].trim_start();
+        for ty in NARROW_TYPES {
+            let bounded = rest.starts_with(ty)
+                && !rest[ty.len()..].starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+            if bounded {
+                hits.push(*ty);
+                break;
+            }
+        }
+    }
+    hits
+}
+
+fn excerpt_of(raw: &str) -> String {
+    let t = raw.trim();
+    if t.len() > 90 {
+        let mut cut = 90;
+        while !t.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &t[..cut])
+    } else {
+        t.to_string()
+    }
+}
+
+/// Scan one file's source. Pure function of `(path, source, class)` so
+/// the fixture tests can drive it directly.
+pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
+    let san = sanitize::sanitize(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut diags = Vec::new();
+
+    // `#[cfg(test)]` / `#[test]` region tracking by brace depth: the
+    // attribute arms `pending`, the next `{` opens a region that closes
+    // when depth returns to its pre-brace value.
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_exit: Option<i64> = None;
+
+    for (idx, line) in san.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut in_test = test_exit.is_some();
+        if line.contains("#[cfg(test)")
+            || line.contains("#[cfg(all(test")
+            || line.contains("#[cfg(any(test")
+            || line.contains("#[test]")
+        {
+            pending_test = true;
+            in_test = true; // the attribute line itself is test scaffolding
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending_test {
+                        if test_exit.is_none() {
+                            test_exit = Some(depth);
+                            in_test = true;
+                        }
+                        pending_test = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_exit {
+                        if depth <= d {
+                            test_exit = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let raw = raw_lines.get(idx).copied().unwrap_or("");
+
+        // undocumented-unsafe: applies everywhere, tests included.
+        for _ in find_bounded(line, "unsafe", true, true) {
+            let documented =
+                (idx.saturating_sub(3)..=idx).any(|j| san.safety.get(j) == Some(&true));
+            if !documented {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::UndocumentedUnsafe,
+                    message: "`unsafe` without a `// SAFETY:` comment on or just above it"
+                        .to_string(),
+                    excerpt: excerpt_of(raw),
+                });
+            }
+        }
+
+        if in_test {
+            continue;
+        }
+
+        // no-unwrap: panicking calls in core-crate library code.
+        if class.is_core && class.is_lib {
+            let tokens: [(&str, bool); 5] = [
+                (".unwrap()", false),
+                (".expect(", false),
+                ("panic!", true),
+                ("todo!", true),
+                ("unimplemented!", true),
+            ];
+            for (tok, bounded_left) in tokens {
+                for _ in find_bounded(line, tok, bounded_left, false) {
+                    diags.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: Rule::NoUnwrap,
+                        message: format!(
+                            "`{tok}` in core-crate library code (surface a `FabricError` instead)"
+                        ),
+                        excerpt: excerpt_of(raw),
+                    });
+                }
+            }
+        }
+
+        // narrowing-cast: hot-path modules must use try_from.
+        if class.is_hot {
+            for ty in narrowing_casts(line) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::NarrowingCast,
+                    message: format!(
+                        "narrowing `as {ty}` cast in a hot-path module (use `{ty}::try_from`)"
+                    ),
+                    excerpt: excerpt_of(raw),
+                });
+            }
+        }
+
+        // no-exit: library code never terminates the process.
+        if class.is_lib && line.contains("process::exit") {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: lineno,
+                rule: Rule::NoExit,
+                message: "`process::exit` in library code (return an error to the caller)"
+                    .to_string(),
+                excerpt: excerpt_of(raw),
+            });
+        }
+    }
+    diags
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries = fs::read_dir(dir)?.collect::<io::Result<Vec<_>>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name == "target" || name == "fixtures" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every classified `.rs` file under `<root>/crates` and
+/// `<root>/src`, returning diagnostics sorted by `(file, line, rule)`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else {
+            continue;
+        };
+        let src = fs::read_to_string(&path)?;
+        diags.extend(scan_source(&rel, &src, &class));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_lib() -> FileClass {
+        FileClass {
+            crate_name: "relmem".into(),
+            is_lib: true,
+            is_core: true,
+            is_hot: false,
+        }
+    }
+
+    #[test]
+    fn classify_maps_paths_to_rule_scopes() {
+        let c = classify("crates/relmem/src/packer.rs").unwrap();
+        assert!(c.is_lib && c.is_core && c.is_hot);
+        let c = classify("crates/compress/src/lz.rs").unwrap();
+        assert!(c.is_lib && !c.is_core && c.is_hot);
+        let c = classify("crates/query/tests/roundtrip.rs").unwrap();
+        assert!(!c.is_lib && c.is_core);
+        let c = classify("crates/bench/src/main.rs").unwrap();
+        assert!(!c.is_lib);
+        let c = classify("src/lib.rs").unwrap();
+        assert!(c.is_lib && !c.is_core);
+        assert!(classify("crates/fabric-lint/tests/fixtures/bad_unwrap.rs").is_none());
+        assert!(classify("crates/relmem/src/notes.md").is_none());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_no_unwrap() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   Some(1).unwrap();\n    }\n}\n";
+        let d = scan_source("crates/relmem/src/x.rs", src, &core_lib());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].rule, Rule::NoUnwrap);
+    }
+
+    #[test]
+    fn code_after_test_module_is_checked_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n\
+                   pub fn g() { panic!(\"boom\"); }\n";
+        let d = scan_source("crates/relmem/src/x.rs", src, &core_lib());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn tokens_in_comments_and_strings_do_not_count() {
+        let src = "// call .unwrap() responsibly\npub fn f() -> &'static str {\n    \
+                   \"never panic!()\"\n}\n";
+        let d = scan_source("crates/relmem/src/x.rs", src, &core_lib());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }\n";
+        let d = scan_source("crates/relmem/src/x.rs", src, &core_lib());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn narrowing_cast_detection() {
+        assert_eq!(narrowing_casts("let x = y as u8;"), vec!["u8"]);
+        assert_eq!(
+            narrowing_casts("let x = (a + b) as i32 as u16;"),
+            vec!["i32", "u16"]
+        );
+        assert!(narrowing_casts("let x = y as u64;").is_empty());
+        assert!(narrowing_casts("let x = y as usize;").is_empty());
+        assert!(narrowing_casts("let basil = herbs;").is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! `cargo run -p fabric-lint` — walk the workspace, diff against
+//! `lint-baseline.txt`, exit non-zero on any NEW violation.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fabric_lint::baseline::{compare, Baseline};
+
+const USAGE: &str = "\
+usage: fabric-lint [--root DIR] [--baseline FILE] [--update-baseline] [--list]
+
+  --root DIR         workspace root to scan (default: current directory)
+  --baseline FILE    baseline file (default: <root>/lint-baseline.txt)
+  --update-baseline  rewrite the baseline from the current scan and exit
+  --list             print every diagnostic, baselined or not";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fabric-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut list = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ))
+            }
+            "--update-baseline" => update = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}").into()),
+        }
+    }
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "`{}` has no crates/ directory — run from the workspace root or pass --root",
+            root.display()
+        )
+        .into());
+    }
+
+    let diags = fabric_lint::scan_workspace(&root)?;
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    if update {
+        let base = Baseline::from_diagnostics(&diags);
+        fs::write(&baseline_path, base.render())?;
+        println!(
+            "fabric-lint: wrote {} baseline entries ({} violations) to {}",
+            base.entries(),
+            diags.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if list {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+
+    let base = if baseline_path.is_file() {
+        Baseline::parse(&fs::read_to_string(&baseline_path)?)?
+    } else {
+        Baseline::default()
+    };
+    let cmp = compare(&diags, &base);
+
+    if !list {
+        for d in &cmp.fresh {
+            println!("{d}");
+        }
+    }
+    for delta in &cmp.grown {
+        eprintln!("fabric-lint: over baseline — {delta}");
+    }
+    for delta in &cmp.stale {
+        eprintln!("fabric-lint: note: debt shrank — {delta}; ratchet with --update-baseline");
+    }
+
+    if cmp.fresh.is_empty() {
+        println!(
+            "fabric-lint: clean ({} baselined violation(s) across {} entr{}, 0 new)",
+            cmp.suppressed,
+            base.entries(),
+            if base.entries() == 1 { "y" } else { "ies" }
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "fabric-lint: FAILED — {} violation(s) above baseline ({} baselined)",
+            cmp.fresh.len(),
+            cmp.suppressed
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,236 @@
+//! A lossy, line-preserving tokenizer pass: blanks out comments, string
+//! literals and char literals so the rule matchers never fire on text
+//! inside them, while keeping the line structure intact so diagnostics
+//! carry real line numbers.
+//!
+//! This is deliberately NOT a full Rust lexer (no `syn`, no external
+//! crates — the workspace must build offline). It understands exactly as
+//! much syntax as the rules need: line comments, nested block comments,
+//! plain / byte / raw strings, char literals vs. lifetimes.
+
+/// The sanitized view of one source file.
+pub struct Sanitized {
+    /// Source lines with comment/string/char-literal content removed
+    /// (each removed region collapses to a single space).
+    pub lines: Vec<String>,
+    /// Per line: did the *comment text* on this line contain `SAFETY:`?
+    /// (Checked against comments only, so a string literal mentioning
+    /// SAFETY does not satisfy the `unsafe` rule.)
+    pub safety: Vec<bool>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Detect a raw-string opener at `c[i]` (`r"`, `r#"`, `br##"`, ...).
+/// Returns `(hashes, index_of_first_content_char)`.
+fn raw_string_at(c: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if c.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if c.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while c.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if c.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+pub fn sanitize(src: &str) -> Sanitized {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut lines = Vec::new();
+    let mut safety = Vec::new();
+    let mut cur = String::new();
+    let mut com = String::new();
+    let mut i = 0;
+
+    macro_rules! flush_line {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+            safety.push(com.contains("SAFETY:"));
+            com.clear();
+        }};
+    }
+
+    while i < n {
+        let ch = c[i];
+        match ch {
+            '\n' => {
+                flush_line!();
+                i += 1;
+            }
+            '/' if c.get(i + 1) == Some(&'/') => {
+                i += 2;
+                while i < n && c[i] != '\n' {
+                    com.push(c[i]);
+                    i += 1;
+                }
+                cur.push(' ');
+            }
+            '/' if c.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if c[i] == '\n' {
+                        flush_line!();
+                        i += 1;
+                    } else if c[i] == '/' && c.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if c[i] == '*' && c.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        com.push(c[i]);
+                        i += 1;
+                    }
+                }
+                cur.push(' ');
+            }
+            'r' | 'b'
+                if (i == 0 || !is_ident(c[i - 1]) || (c[i - 1] == 'b' && ch == 'r'))
+                    && raw_string_at(&c, i).is_some() =>
+            {
+                let (hashes, start) = raw_string_at(&c, i).unwrap_or((0, i + 1));
+                i = start;
+                // Consume until `"` followed by `hashes` hash marks.
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if c[i] == '\n' {
+                        flush_line!();
+                        i += 1;
+                        continue;
+                    }
+                    if c[i] == '"'
+                        && c[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                cur.push(' ');
+            }
+            '"' => {
+                i += 1;
+                while i < n {
+                    match c[i] {
+                        '\\' => i += 2,
+                        '\n' => {
+                            flush_line!();
+                            i += 1;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                cur.push(' ');
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\x'`-style escapes and
+                // `'a'` are literals; anything else (`'a>`, `'static`)
+                // is a lifetime and stays put.
+                if c.get(i + 1) == Some(&'\\') {
+                    i += 2; // skip quote + backslash
+                    while i < n && c[i] != '\'' && c[i] != '\n' {
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    cur.push(' ');
+                } else if c.get(i + 2) == Some(&'\'') && c.get(i + 1) != Some(&'\'') {
+                    i += 3;
+                    cur.push(' ');
+                } else {
+                    cur.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.push(ch);
+                i += 1;
+            }
+        }
+    }
+    if !cur.is_empty() || !com.is_empty() {
+        flush_line!();
+    }
+    Sanitized { lines, safety }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sanitize;
+
+    #[test]
+    fn strips_line_comments_but_keeps_code() {
+        let s = sanitize("let x = 1; // x.unwrap()\nlet y = 2;\n");
+        assert_eq!(s.lines.len(), 2);
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("let x = 1;"));
+        assert_eq!(s.lines[1], "let y = 2;");
+    }
+
+    #[test]
+    fn strips_strings_and_char_literals() {
+        let s =
+            sanitize("let m = \"call .unwrap() now\"; let c = 'u'; let l: &'static str = \"x\";");
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("let m ="));
+        assert!(s.lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn strips_escaped_quotes_and_raw_strings() {
+        let s = sanitize("let a = \"he said \\\"panic!\\\"\"; let b = r#\"todo!()\"#;");
+        assert!(!s.lines[0].contains("panic"));
+        assert!(!s.lines[0].contains("todo"));
+    }
+
+    #[test]
+    fn nested_block_comment_spanning_lines() {
+        let s = sanitize("a /* one /* two */ still */ b\nnext // tail\n");
+        assert_eq!(s.lines.len(), 2);
+        assert!(s.lines[0].contains('a') && s.lines[0].contains('b'));
+        assert!(!s.lines[0].contains("still"));
+        let s = sanitize("x /* spans\nmore\n*/ y\n");
+        assert_eq!(s.lines.len(), 3);
+        assert!(s.lines[2].contains('y'));
+        assert!(!s.lines[1].contains("more"));
+    }
+
+    #[test]
+    fn safety_marker_only_counts_in_comments() {
+        let s =
+            sanitize("// SAFETY: fine\nlet x = \"SAFETY: not a comment\";\n/* SAFETY: block */\n");
+        assert_eq!(s.safety, vec![true, false, true]);
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nline two\";\nafter();\n";
+        let s = sanitize(src);
+        assert_eq!(s.lines.len(), src.lines().count());
+        assert!(s.lines[2].contains("after"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: narrowing `as` casts in a hot-path module — `narrowing-cast`
+//! must flag all four. NOT compiled.
+
+pub fn pack(len: usize, off: u64, code: u32) -> (u8, u16, i32, u32) {
+    let a = len as u8; // line 5
+    let b = off as u16; // line 6
+    let c = (len + 1) as i32; // line 7
+    let d = off as u32; // line 8
+    (a, b, c, d)
+}

@@ -1,0 +1,11 @@
+//! Fixture: `process::exit` in library code — `no-exit` must flag both
+//! spellings. NOT compiled.
+
+pub fn bail(code: i32) -> ! {
+    std::process::exit(code) // line 5
+}
+
+pub fn bail_imported(code: i32) -> ! {
+    use std::process;
+    process::exit(code) // line 10
+}

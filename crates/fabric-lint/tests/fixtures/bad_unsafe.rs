@@ -1,0 +1,15 @@
+//! Fixture: `unsafe` without a SAFETY comment — rule `undocumented-unsafe`
+//! must flag both sites, tests included. NOT compiled.
+
+pub fn read_first(bytes: &[u8]) -> u64 {
+    unsafe { core::ptr::read_unaligned(bytes.as_ptr() as *const u64) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_checked_in_tests() {
+        let v = [0u8; 8];
+        let _ = unsafe { core::ptr::read_unaligned(v.as_ptr() as *const u64) };
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: every panic-family token that rule `no-unwrap` must catch in
+//! core-crate library code. NOT compiled — read by tests/rules.rs.
+
+pub fn takes_shortcuts(x: Option<u64>, y: Result<u64, String>) -> u64 {
+    let a = x.unwrap(); // line 5: .unwrap()
+    let b = y.expect("always fine"); // line 6: .expect(
+    if a > b {
+        panic!("a exceeded b"); // line 8: panic!
+    }
+    todo!() // line 10: todo!
+}

@@ -1,0 +1,18 @@
+//! Fixture: the sanctioned alternatives — widening `as`, `try_from`, and
+//! narrow casts confined to `#[cfg(test)]`. NOT compiled.
+
+pub fn pack(len: u8, off: u16) -> Result<(u64, usize, u8), core::num::TryFromIntError> {
+    let wide = off as u64; // widening: allowed
+    let idx = len as usize; // widening: allowed
+    let narrow = u8::try_from(wide)?; // checked: allowed
+    Ok((wide, idx, narrow))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn narrow_in_tests_is_tolerated() {
+        let x = 300usize as u8;
+        assert_eq!(x, 44);
+    }
+}

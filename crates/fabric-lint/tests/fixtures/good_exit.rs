@@ -1,0 +1,7 @@
+//! Fixture: library code that surfaces errors instead of exiting; the
+//! string/comment mentions must not count. NOT compiled.
+
+/// Callers decide what to do on failure — never `process::exit` here.
+pub fn bail(code: i32) -> Result<(), String> {
+    Err(format!("would have called process::exit({code})"))
+}

@@ -1,0 +1,18 @@
+//! Fixture: documented `unsafe` — SAFETY on the same line or within the
+//! three lines above satisfies `undocumented-unsafe`. NOT compiled.
+
+pub fn read_first(bytes: &[u8]) -> u64 {
+    // SAFETY: caller guarantees bytes.len() >= 8; read_unaligned has no
+    // alignment requirement.
+    unsafe { core::ptr::read_unaligned(bytes.as_ptr() as *const u64) }
+}
+
+pub fn read_second(bytes: &[u8]) -> u64 {
+    unsafe { core::ptr::read_unaligned(bytes.as_ptr() as *const u64) } // SAFETY: same-line form
+}
+
+pub fn mentions_the_keyword() {
+    // A comment discussing unsafe code is not an unsafe block.
+    let description = "this string says unsafe";
+    let _ = description;
+}

@@ -1,0 +1,23 @@
+//! Fixture: code that mentions the panic family only in places the
+//! `no-unwrap` rule must ignore: comments, strings, `_or` variants, and
+//! `#[cfg(test)]` regions. NOT compiled — read by tests/rules.rs.
+
+/// Never calls `.unwrap()` outside tests; see panic!() docs.
+pub fn careful(x: Option<u64>) -> u64 {
+    let msg = "do not panic!() or todo!() here";
+    let _ = msg;
+    x.unwrap_or_default().max(x.unwrap_or(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::careful;
+
+    #[test]
+    fn shortcuts_are_fine_in_tests() {
+        let v: Option<u64> = Some(careful(Some(1)));
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u64, ()> = Ok(2);
+        assert_eq!(r.expect("test"), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fixture-based tests: one good/bad pair per rule family, driven through
+//! the same `scan_source` entry point the binary uses. The fixtures live
+//! under `tests/fixtures/` (excluded from the workspace walk and never
+//! compiled) so each rule's positive and negative space is pinned down by
+//! real files, not inline strings.
+
+use std::path::Path;
+
+use fabric_lint::baseline::{compare, Baseline};
+use fabric_lint::{classify, scan_source, scan_workspace, Diagnostic, FileClass, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Pretend the fixture sits at a given workspace path so the real
+/// classification logic decides which rules apply.
+fn scan_as(name: &str, rel: &str) -> Vec<Diagnostic> {
+    let class = classify(rel).unwrap_or_else(|| panic!("{rel} should be scannable"));
+    scan_source(rel, &fixture(name), &class)
+}
+
+fn lines_of(diags: &[Diagnostic], rule: Rule) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn no_unwrap_flags_all_four_tokens() {
+    let d = scan_as("bad_unwrap.rs", "crates/relmem/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::NoUnwrap), vec![5, 6, 8, 10], "{d:?}");
+    assert!(d.iter().any(|x| x.message.contains(".unwrap()")));
+    assert!(d.iter().any(|x| x.message.contains("todo!")));
+}
+
+#[test]
+fn no_unwrap_ignores_comments_strings_variants_and_tests() {
+    let d = scan_as("good_unwrap.rs", "crates/relmem/src/fixture.rs");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn no_unwrap_only_applies_to_core_crate_library_code() {
+    // Same bad source, non-core crate: clean.
+    assert!(scan_as("bad_unwrap.rs", "crates/workload/src/fixture.rs").is_empty());
+    // Same bad source, core crate but binary/test target: clean.
+    assert!(scan_as("bad_unwrap.rs", "crates/relmem/src/main.rs").is_empty());
+    assert!(scan_as("bad_unwrap.rs", "crates/relmem/tests/fixture.rs").is_empty());
+}
+
+#[test]
+fn undocumented_unsafe_flags_lib_and_test_code() {
+    let d = scan_as("bad_unsafe.rs", "crates/workload/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::UndocumentedUnsafe), vec![5, 13], "{d:?}");
+}
+
+#[test]
+fn safety_comment_satisfies_unsafe_rule() {
+    let d = scan_as("good_unsafe.rs", "crates/workload/src/fixture.rs");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn narrowing_cast_flags_hot_path_modules_only() {
+    let d = scan_as("bad_cast.rs", "crates/compress/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::NarrowingCast), vec![5, 6, 7, 8], "{d:?}");
+    let d = scan_as("bad_cast.rs", "crates/relmem/src/packer.rs");
+    assert_eq!(lines_of(&d, Rule::NarrowingCast).len(), 4);
+    // The same casts outside a hot path are legal.
+    assert!(scan_as("bad_cast.rs", "crates/relmem/src/device.rs").is_empty());
+}
+
+#[test]
+fn widening_and_try_from_pass_the_cast_rule() {
+    let d = scan_as("good_cast.rs", "crates/compress/src/fixture.rs");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn no_exit_flags_library_code_only() {
+    let d = scan_as("bad_exit.rs", "crates/workload/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::NoExit), vec![5, 10], "{d:?}");
+    // A binary entry point may exit.
+    assert!(scan_as("bad_exit.rs", "crates/workload/src/main.rs").is_empty());
+    assert!(scan_as("good_exit.rs", "crates/workload/src/fixture.rs").is_empty());
+}
+
+#[test]
+fn diagnostics_render_file_line_rule() {
+    let d = scan_as("bad_exit.rs", "crates/workload/src/fixture.rs");
+    let shown = d[0].to_string();
+    assert!(
+        shown.starts_with("crates/workload/src/fixture.rs:5: [no-exit]"),
+        "{shown}"
+    );
+}
+
+/// The acceptance gate, in-process: at HEAD the workspace scan must be
+/// fully covered by `lint-baseline.txt`, and injecting one fresh unwrap
+/// into a core crate must fail the comparison.
+#[test]
+fn workspace_is_clean_against_baseline_and_fresh_unwrap_fails() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = scan_workspace(&root).expect("walk workspace");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("lint-baseline.txt is checked in");
+    let base = Baseline::parse(&baseline_text).expect("baseline parses");
+
+    let cmp = compare(&diags, &base);
+    let fresh: Vec<String> = cmp.fresh.iter().map(|d| d.to_string()).collect();
+    assert!(
+        fresh.is_empty(),
+        "violations above baseline:\n{}",
+        fresh.join("\n")
+    );
+
+    // Simulate a fresh `.unwrap()` landing in relmem's device module.
+    let mut with_new = diags;
+    let class = classify("crates/relmem/src/device.rs").unwrap();
+    assert!(class.is_core && class.is_lib);
+    with_new.extend(scan_source(
+        "crates/relmem/src/device.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        &class,
+    ));
+    let cmp = compare(&with_new, &base);
+    assert!(
+        cmp.fresh
+            .iter()
+            .any(|d| d.rule == Rule::NoUnwrap && d.file == "crates/relmem/src/device.rs"),
+        "fresh unwrap not caught: {:?}",
+        cmp.grown
+    );
+}
+
+/// fabric-lint holds itself to the no-exit rule: its library code is
+/// classified and must never call `process::exit` (the binary may).
+#[test]
+fn linter_library_obeys_no_exit() {
+    let class: FileClass = classify("crates/fabric-lint/src/lib.rs").unwrap();
+    assert!(class.is_lib && !class.is_core && !class.is_hot);
+    let src = fixture("../../src/lib.rs");
+    let d = scan_source("crates/fabric-lint/src/lib.rs", &src, &class);
+    assert!(lines_of(&d, Rule::NoExit).is_empty(), "{d:?}");
+}

@@ -26,7 +26,11 @@ impl MemArena {
 
     /// Create an arena that will refuse to grow beyond `limit` bytes.
     pub fn with_limit(limit: usize) -> Self {
-        MemArena { bytes: Vec::new(), next: 0, limit }
+        MemArena {
+            bytes: Vec::new(),
+            next: 0,
+            limit,
+        }
     }
 
     /// Allocate `len` bytes aligned to `align` (a power of two); returns the
@@ -82,7 +86,11 @@ impl MemArena {
     pub fn try_slice(&self, addr: Addr, len: usize) -> Result<&[u8]> {
         let a = addr as usize;
         if a + len > self.bytes.len() {
-            return Err(FabricError::ArenaOutOfBounds { addr, len, size: self.bytes.len() });
+            return Err(FabricError::ArenaOutOfBounds {
+                addr,
+                len,
+                size: self.bytes.len(),
+            });
         }
         Ok(&self.bytes[a..a + len])
     }
@@ -139,7 +147,10 @@ mod tests {
     fn limit_is_enforced() {
         let mut a = MemArena::with_limit(1024);
         assert!(a.alloc(1000, 1).is_ok());
-        assert!(matches!(a.alloc(100, 1), Err(FabricError::ArenaExhausted { .. })));
+        assert!(matches!(
+            a.alloc(100, 1),
+            Err(FabricError::ArenaExhausted { .. })
+        ));
     }
 
     #[test]

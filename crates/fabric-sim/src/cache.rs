@@ -66,7 +66,11 @@ impl SetAssocCache {
         if ways.contains(&line_addr) {
             return None; // already present
         }
-        let evicted = if ways.len() == self.assoc { Some(ways.remove(0)) } else { None };
+        let evicted = if ways.len() == self.assoc {
+            Some(ways.remove(0))
+        } else {
+            None
+        };
         ways.push(line_addr);
         evicted
     }
@@ -172,8 +176,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_misses() {
         let mut c = SetAssocCache::new(1024, 2, 64); // 16 lines
-        // Stream 64 distinct lines twice; second pass must still miss
-        // (capacity misses), since the working set is 4x the capacity.
+                                                     // Stream 64 distinct lines twice; second pass must still miss
+                                                     // (capacity misses), since the working set is 4x the capacity.
         for pass in 0..2 {
             for i in 0..64u64 {
                 let hit = c.probe(i * 64);

@@ -1,7 +1,6 @@
 //! Simulator configuration and platform presets.
 
 use crate::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// All tunable parameters of the simulated platform.
 ///
@@ -10,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// stream prefetcher good for four concurrent streams, and DDR4 behind an
 /// 8-bank controller. Latency numbers are deliberately round; what matters
 /// for the reproduction is their *ratios*.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimConfig {
     /// Core clock in GHz (used to convert DRAM nanoseconds into cycles).
     pub cpu_ghz: f64,

@@ -87,7 +87,11 @@ impl DramModel {
 
     /// Completion time for a *batch* of lines all issued at `now` — how a
     /// near-data gather engine uses its parallel bank access.
-    pub fn access_batch(&mut self, line_addrs: impl IntoIterator<Item = u64>, now: Cycles) -> Cycles {
+    pub fn access_batch(
+        &mut self,
+        line_addrs: impl IntoIterator<Item = u64>,
+        now: Cycles,
+    ) -> Cycles {
         let mut done = now;
         for la in line_addrs {
             done = done.max(self.access(la, now));
@@ -165,7 +169,10 @@ mod tests {
         // banks * lines_per_row consecutive lines).
         let row_span = (cfg.dram_banks * cfg.dram_row_bytes / cfg.line_size) as u64;
         let other = same_bank_as_zero(&d, 1);
-        assert!(other / 64 < row_span, "test assumes a same-bank line within row 0");
+        assert!(
+            other / 64 < row_span,
+            "test assumes a same-bank line within row 0"
+        );
         let first = d.access(0, 0);
         let second = d.access(other, first);
         assert_eq!(second - first, cfg.ns_to_cycles(cfg.dram_row_hit_ns));
@@ -201,7 +208,10 @@ mod tests {
         let per_bank = n / cfg.dram_banks as u64;
         let upper = per_bank * cfg.ns_to_cycles(cfg.dram_row_miss_ns);
         let lower = per_bank * cfg.ns_to_cycles(cfg.dram_row_hit_ns);
-        assert!(done >= lower && done <= upper, "done={done} not in [{lower},{upper}]");
+        assert!(
+            done >= lower && done <= upper,
+            "done={done} not in [{lower},{upper}]"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ use fabric_types::{Addr, Result};
 /// arithmetic op on a loaded value, and so on. They are deliberately simple;
 /// the reproduction's claims rest on *ratios* between data-movement costs,
 /// with compute providing realistic dilution.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpCosts {
     /// Per-row overhead of a Volcano-style `next()` chain hop
     /// (virtual dispatch, tuple bookkeeping).
@@ -436,7 +437,10 @@ mod tests {
             m.touch_read(p + idx * 64, 64);
         }
         demand_t0 = m.stats().demand_misses - demand_t0;
-        assert!(demand_t0 > 3500, "random pattern should demand-miss: {demand_t0}");
+        assert!(
+            demand_t0 > 3500,
+            "random pattern should demand-miss: {demand_t0}"
+        );
     }
 
     #[test]
@@ -464,7 +468,10 @@ mod tests {
             m.touch_read(p + (i * 64) as u64, 64);
         }
         let d = m.stats().delta_since(&before);
-        assert!(d.l2_hits > (n / 64) as u64 * 8 / 10, "expected mostly L2 hits: {d:?}");
+        assert!(
+            d.l2_hits > (n / 64) as u64 * 8 / 10,
+            "expected mostly L2 hits: {d:?}"
+        );
     }
 
     #[test]

@@ -214,7 +214,10 @@ mod tests {
         pf.observe(0, 0, &mut dram);
         pf.observe(128, 100, &mut dram);
         pf.observe(256, 200, &mut dram);
-        assert!(pf.take_inflight(384).is_some(), "stride-2 line should be prefetched");
+        assert!(
+            pf.take_inflight(384).is_some(),
+            "stride-2 line should be prefetched"
+        );
         // Lines between the stride must NOT be prefetched.
         assert!(pf.take_inflight(320).is_none());
     }
@@ -260,7 +263,10 @@ mod tests {
         let cov4 = run(4);
         let cov8 = run(8);
         assert!(cov4 > 0.9, "4 streams should be fully covered: {cov4}");
-        assert!(cov8 < cov4 * 0.7, "8 streams should degrade: {cov8} vs {cov4}");
+        assert!(
+            cov8 < cov4 * 0.7,
+            "8 streams should degrade: {cov8} vs {cov4}"
+        );
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Counters describing what the simulated hierarchy did.
 
-use serde::{Deserialize, Serialize};
-
 /// Traffic and timing statistics accumulated by a
 /// [`crate::hierarchy::MemoryHierarchy`].
 ///
 /// All counters are monotonically increasing; snapshot-and-subtract
 /// ([`MemStats::delta_since`]) to measure one experiment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemStats {
     /// Lines serviced by L1.
     pub l1_hits: u64,
@@ -66,8 +65,18 @@ mod tests {
 
     #[test]
     fn delta_subtracts_counterwise() {
-        let a = MemStats { l1_hits: 10, demand_misses: 4, line_accesses: 14, ..Default::default() };
-        let b = MemStats { l1_hits: 25, demand_misses: 9, line_accesses: 34, ..Default::default() };
+        let a = MemStats {
+            l1_hits: 10,
+            demand_misses: 4,
+            line_accesses: 14,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1_hits: 25,
+            demand_misses: 9,
+            line_accesses: 34,
+            ..Default::default()
+        };
         let d = b.delta_since(&a);
         assert_eq!(d.l1_hits, 15);
         assert_eq!(d.demand_misses, 5);

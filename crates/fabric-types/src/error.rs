@@ -9,10 +9,17 @@ pub enum FabricError {
     UnknownColumn(String),
     /// A column index is out of range for the schema.
     ColumnIndexOutOfRange { index: usize, len: usize },
+    /// A row position (e.g. from a selection vector) is out of range for
+    /// the table.
+    RowIndexOutOfRange { index: usize, len: usize },
     /// Two values/columns had incompatible types for an operation.
     TypeMismatch { expected: String, found: String },
     /// A geometry referenced bytes outside its base region.
-    GeometryOutOfBounds { offset: usize, width: usize, row_width: usize },
+    GeometryOutOfBounds {
+        offset: usize,
+        width: usize,
+        row_width: usize,
+    },
     /// A geometry is structurally invalid (empty field list, zero rows, ...).
     InvalidGeometry(String),
     /// An arena allocation or access was out of bounds.
@@ -36,21 +43,43 @@ impl fmt::Display for FabricError {
         match self {
             FabricError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             FabricError::ColumnIndexOutOfRange { index, len } => {
-                write!(f, "column index {index} out of range for schema with {len} columns")
+                write!(
+                    f,
+                    "column index {index} out of range for schema with {len} columns"
+                )
+            }
+            FabricError::RowIndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "row index {index} out of range for table with {len} rows"
+                )
             }
             FabricError::TypeMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
-            FabricError::GeometryOutOfBounds { offset, width, row_width } => write!(
+            FabricError::GeometryOutOfBounds {
+                offset,
+                width,
+                row_width,
+            } => write!(
                 f,
                 "geometry field at offset {offset} width {width} exceeds row width {row_width}"
             ),
             FabricError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             FabricError::ArenaOutOfBounds { addr, len, size } => {
-                write!(f, "arena access at {addr:#x}+{len} out of bounds (size {size})")
+                write!(
+                    f,
+                    "arena access at {addr:#x}+{len} out of bounds (size {size})"
+                )
             }
-            FabricError::ArenaExhausted { requested, available } => {
-                write!(f, "arena exhausted: requested {requested} bytes, {available} available")
+            FabricError::ArenaExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "arena exhausted: requested {requested} bytes, {available} available"
+                )
             }
             FabricError::Txn(msg) => write!(f, "transaction error: {msg}"),
             FabricError::Codec(msg) => write!(f, "codec error: {msg}"),
@@ -74,7 +103,11 @@ mod tests {
     fn display_messages_are_informative() {
         let e = FabricError::UnknownColumn("l_tax".into());
         assert!(e.to_string().contains("l_tax"));
-        let e = FabricError::GeometryOutOfBounds { offset: 60, width: 8, row_width: 64 };
+        let e = FabricError::GeometryOutOfBounds {
+            offset: 60,
+            width: 8,
+            row_width: 64,
+        };
         assert!(e.to_string().contains("60"));
         assert!(e.to_string().contains("64"));
     }

@@ -10,11 +10,11 @@
 use crate::error::{FabricError, Result};
 use crate::geometry::AggFunc;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A scalar expression over a positional tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// Value of the tuple's `i`-th slot.
     Col(usize),
@@ -55,12 +55,13 @@ impl Expr {
     /// Evaluate to `f64` over a positional tuple.
     pub fn eval_f64(&self, tuple: &[Value]) -> Result<f64> {
         Ok(match self {
-            Expr::Col(i) => {
-                tuple
-                    .get(*i)
-                    .ok_or(FabricError::ColumnIndexOutOfRange { index: *i, len: tuple.len() })?
-                    .as_f64()?
-            }
+            Expr::Col(i) => tuple
+                .get(*i)
+                .ok_or(FabricError::ColumnIndexOutOfRange {
+                    index: *i,
+                    len: tuple.len(),
+                })?
+                .as_f64()?,
             Expr::Const(v) => v.as_f64()?,
             Expr::Add(a, b) => a.eval_f64(tuple)? + b.eval_f64(tuple)?,
             Expr::Sub(a, b) => a.eval_f64(tuple)? - b.eval_f64(tuple)?,
@@ -82,7 +83,10 @@ impl Expr {
             Expr::Col(i) => tuple
                 .get(*i)
                 .cloned()
-                .ok_or(FabricError::ColumnIndexOutOfRange { index: *i, len: tuple.len() }),
+                .ok_or(FabricError::ColumnIndexOutOfRange {
+                    index: *i,
+                    len: tuple.len(),
+                }),
             Expr::Const(v) => Ok(v.clone()),
             _ => Ok(Value::F64(self.eval_f64(tuple)?)),
         }
@@ -141,7 +145,13 @@ pub struct ValueAgg {
 
 impl ValueAgg {
     pub fn new(func: AggFunc) -> Self {
-        ValueAgg { func, count: 0, sum: 0.0, min: None, max: None }
+        ValueAgg {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     /// Feed one value (already the result of the aggregate's expression).
@@ -204,12 +214,14 @@ impl ValueAgg {
                     Ok(Value::F64(self.sum / self.count as f64))
                 }
             }
-            AggFunc::Min => {
-                self.min.clone().ok_or_else(|| FabricError::Internal("MIN over zero rows".into()))
-            }
-            AggFunc::Max => {
-                self.max.clone().ok_or_else(|| FabricError::Internal("MAX over zero rows".into()))
-            }
+            AggFunc::Min => self
+                .min
+                .clone()
+                .ok_or_else(|| FabricError::Internal("MIN over zero rows".into())),
+            AggFunc::Max => self
+                .max
+                .clone()
+                .ok_or_else(|| FabricError::Internal("MAX over zero rows".into())),
         }
     }
 }
@@ -258,7 +270,10 @@ mod tests {
 
     #[test]
     fn display_round() {
-        let e = Expr::mul(Expr::col(0), Expr::sub(Expr::lit(Value::F64(1.0)), Expr::col(1)));
+        let e = Expr::mul(
+            Expr::col(0),
+            Expr::sub(Expr::lit(Value::F64(1.0)), Expr::col(1)),
+        );
         assert_eq!(e.to_string(), "($0 * (1 - $1))");
     }
 
@@ -294,8 +309,14 @@ mod tests {
 
     #[test]
     fn empty_aggregates() {
-        assert_eq!(ValueAgg::new(AggFunc::Count).finish().unwrap(), Value::I64(0));
-        assert_eq!(ValueAgg::new(AggFunc::Sum).finish().unwrap(), Value::F64(0.0));
+        assert_eq!(
+            ValueAgg::new(AggFunc::Count).finish().unwrap(),
+            Value::I64(0)
+        );
+        assert_eq!(
+            ValueAgg::new(AggFunc::Sum).finish().unwrap(),
+            Value::F64(0.0)
+        );
         assert!(ValueAgg::new(AggFunc::Min).finish().is_err());
         assert!(ValueAgg::new(AggFunc::Avg).finish().is_err());
     }

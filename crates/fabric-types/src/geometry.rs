@@ -14,10 +14,10 @@
 use crate::error::{FabricError, Result};
 use crate::schema::{ColumnId, ColumnType};
 use crate::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Location and type of one column inside a raw fixed-width row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FieldSlice {
     /// Schema column this slice reads (for bookkeeping / display).
     pub column: ColumnId,
@@ -49,7 +49,8 @@ impl FieldSlice {
 /// `ts` iff `begin <= ts && (end == 0 || ts < end)` (`end == 0` means "still
 /// live"). *"A key advantage of this approach is that the timestamp
 /// comparison can be implemented in hardware."*
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TsFilter {
     /// Field holding the begin (creation) timestamp, an `I64`.
     pub begin: FieldSlice,
@@ -69,11 +70,12 @@ impl TsFilter {
 }
 
 fn read_u64(row: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(row[offset..offset + 8].try_into().unwrap())
+    u64::from_le_bytes(crate::value::le_array(&row[offset..offset + 8]))
 }
 
 /// Aggregate functions the fabric can compute in-device (paper §IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AggFunc {
     Count,
     Sum,
@@ -95,7 +97,8 @@ impl AggFunc {
 }
 
 /// One aggregate requested from the device.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AggSpec {
     pub func: AggFunc,
     /// Field aggregated over; `None` only for `Count`.
@@ -104,16 +107,23 @@ pub struct AggSpec {
 
 impl AggSpec {
     pub fn count() -> Self {
-        AggSpec { func: AggFunc::Count, field: None }
+        AggSpec {
+            func: AggFunc::Count,
+            field: None,
+        }
     }
 
     pub fn over(func: AggFunc, field: FieldSlice) -> Self {
-        AggSpec { func, field: Some(field) }
+        AggSpec {
+            func,
+            field: Some(field),
+        }
     }
 }
 
 /// Shape of the data the device returns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OutputMode {
     /// Densely packed column-group rows: for each qualifying base row, the
     /// requested fields concatenated back to back (paper's ephemeral
@@ -145,7 +155,8 @@ pub fn merge_field_spans(fields: &[FieldSlice], slack: usize) -> Vec<(usize, usi
 }
 
 /// A complete ephemeral-access descriptor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Geometry {
     /// Address of row 0 in the memory arena.
     pub base: Addr,
@@ -243,7 +254,9 @@ impl Geometry {
     /// request, sane mode.
     pub fn validate(&self) -> Result<()> {
         if self.row_width == 0 {
-            return Err(FabricError::InvalidGeometry("row width must be positive".into()));
+            return Err(FabricError::InvalidGeometry(
+                "row width must be positive".into(),
+            ));
         }
         let check = |f: &FieldSlice| -> Result<()> {
             if f.offset + f.width() > self.row_width {
@@ -262,9 +275,9 @@ impl Geometry {
             OutputMode::PackedColumns if self.fields.is_empty() => Err(
                 FabricError::InvalidGeometry("packed-columns geometry with no fields".into()),
             ),
-            OutputMode::Aggregate(specs) if specs.is_empty() => Err(
-                FabricError::InvalidGeometry("aggregate geometry with no aggregates".into()),
-            ),
+            OutputMode::Aggregate(specs) if specs.is_empty() => Err(FabricError::InvalidGeometry(
+                "aggregate geometry with no aggregates".into(),
+            )),
             OutputMode::Aggregate(specs) => {
                 for s in specs {
                     match (s.func, s.field) {
@@ -306,9 +319,15 @@ mod tests {
     fn output_row_width_by_mode() {
         let g = Geometry::packed(0, 64, 100, vec![f(0, 0), f(5, 20), f(9, 36)]);
         assert_eq!(g.output_row_width(), 12);
-        assert_eq!(g.clone().with_mode(OutputMode::FilteredRows).output_row_width(), 64);
         assert_eq!(
-            g.with_mode(OutputMode::Aggregate(vec![AggSpec::count()])).output_row_width(),
+            g.clone()
+                .with_mode(OutputMode::FilteredRows)
+                .output_row_width(),
+            64
+        );
+        assert_eq!(
+            g.with_mode(OutputMode::Aggregate(vec![AggSpec::count()]))
+                .output_row_width(),
             0
         );
     }
@@ -328,7 +347,11 @@ mod tests {
         let g = Geometry::packed(0, 64, 10, vec![f(0, 61)]);
         assert!(matches!(
             g.validate(),
-            Err(FabricError::GeometryOutOfBounds { offset: 61, width: 4, row_width: 64 })
+            Err(FabricError::GeometryOutOfBounds {
+                offset: 61,
+                width: 4,
+                row_width: 64
+            })
         ));
     }
 
@@ -336,20 +359,23 @@ mod tests {
     fn validate_rejects_empty_requests() {
         let g = Geometry::packed(0, 64, 10, vec![]);
         assert!(g.validate().is_err());
-        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)])
-            .with_mode(OutputMode::Aggregate(vec![]));
+        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)]).with_mode(OutputMode::Aggregate(vec![]));
         assert!(g.validate().is_err());
     }
 
     #[test]
     fn validate_rejects_sum_without_field_or_string_field() {
-        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)]).with_mode(OutputMode::Aggregate(
-            vec![AggSpec { func: AggFunc::Sum, field: None }],
-        ));
+        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)]).with_mode(OutputMode::Aggregate(vec![
+            AggSpec {
+                func: AggFunc::Sum,
+                field: None,
+            },
+        ]));
         assert!(g.validate().is_err());
         let strf = FieldSlice::new(1, 4, ColumnType::FixedStr(8));
-        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)])
-            .with_mode(OutputMode::Aggregate(vec![AggSpec::over(AggFunc::Sum, strf)]));
+        let g = Geometry::packed(0, 64, 10, vec![f(0, 0)]).with_mode(OutputMode::Aggregate(vec![
+            AggSpec::over(AggFunc::Sum, strf),
+        ]));
         assert!(g.validate().is_err());
     }
 

@@ -7,10 +7,10 @@
 use crate::error::{FabricError, Result};
 use crate::geometry::FieldSlice;
 use crate::schema::{ColumnId, ColumnType, Schema};
-use serde::{Deserialize, Serialize};
 
 /// Byte-level placement of a schema's columns within a fixed-width row.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RowLayout {
     offsets: Vec<usize>,
     types: Vec<ColumnType>,
@@ -29,7 +29,11 @@ impl RowLayout {
             types.push(col.ty);
             off += col.ty.width();
         }
-        RowLayout { offsets, types, row_width: off }
+        RowLayout {
+            offsets,
+            types,
+            row_width: off,
+        }
     }
 
     /// Packed layout padded up to `row_width` bytes.
@@ -72,7 +76,10 @@ impl RowLayout {
         self.offsets
             .get(id)
             .copied()
-            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.offsets.len() })
+            .ok_or(FabricError::ColumnIndexOutOfRange {
+                index: id,
+                len: self.offsets.len(),
+            })
     }
 
     /// Physical type of column `id`.
@@ -80,7 +87,10 @@ impl RowLayout {
         self.types
             .get(id)
             .copied()
-            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.types.len() })
+            .ok_or(FabricError::ColumnIndexOutOfRange {
+                index: id,
+                len: self.types.len(),
+            })
     }
 
     /// Byte width of column `id`.

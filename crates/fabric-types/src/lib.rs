@@ -18,6 +18,7 @@ pub mod expr;
 pub mod geometry;
 pub mod layout;
 pub mod predicate;
+pub mod rng;
 pub mod schema;
 pub mod value;
 
@@ -26,8 +27,9 @@ pub use expr::{Expr, ValueAgg};
 pub use geometry::{AggFunc, AggSpec, FieldSlice, Geometry, OutputMode, TsFilter};
 pub use layout::RowLayout;
 pub use predicate::{CmpOp, ColumnPredicate, Predicate};
+pub use rng::DetRng;
 pub use schema::{ColumnDef, ColumnId, ColumnType, Schema};
-pub use value::Value;
+pub use value::{le_array, Value};
 
 /// A byte address inside a simulated memory arena.
 pub type Addr = u64;

@@ -9,12 +9,12 @@
 use crate::error::Result;
 use crate::geometry::FieldSlice;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Comparison operator for a column-vs-constant predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CmpOp {
     Eq,
     Ne,
@@ -65,7 +65,8 @@ impl fmt::Display for CmpOp {
 }
 
 /// A single `column <op> constant` comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ColumnPredicate {
     /// Where the column lives inside a raw row.
     pub field: FieldSlice,
@@ -98,7 +99,8 @@ impl fmt::Display for ColumnPredicate {
 }
 
 /// A conjunction (`AND`) of column predicates. Empty means "always true".
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Predicate {
     conjuncts: Vec<ColumnPredicate>,
 }
@@ -106,7 +108,9 @@ pub struct Predicate {
 impl Predicate {
     /// The always-true predicate.
     pub fn always_true() -> Self {
-        Predicate { conjuncts: Vec::new() }
+        Predicate {
+            conjuncts: Vec::new(),
+        }
     }
 
     pub fn new(conjuncts: Vec<ColumnPredicate>) -> Self {
@@ -172,7 +176,11 @@ mod tests {
     use crate::schema::ColumnType;
 
     fn field(offset: usize, ty: ColumnType) -> FieldSlice {
-        FieldSlice { column: 0, offset, ty }
+        FieldSlice {
+            column: 0,
+            offset,
+            ty,
+        }
     }
 
     #[test]
@@ -188,7 +196,14 @@ mod tests {
 
     #[test]
     fn flipped_is_involutive_on_ordering() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flipped().flipped(), op);
         }
     }
@@ -213,13 +228,29 @@ mod tests {
         row[4..].copy_from_slice(&100i32.to_le_bytes());
 
         let yes = Predicate::always_true()
-            .and(ColumnPredicate::new(field(0, ColumnType::I32), CmpOp::Eq, Value::I32(5)))
-            .and(ColumnPredicate::new(field(4, ColumnType::I32), CmpOp::Lt, Value::I32(200)));
+            .and(ColumnPredicate::new(
+                field(0, ColumnType::I32),
+                CmpOp::Eq,
+                Value::I32(5),
+            ))
+            .and(ColumnPredicate::new(
+                field(4, ColumnType::I32),
+                CmpOp::Lt,
+                Value::I32(200),
+            ));
         assert!(yes.eval_raw(&row).unwrap());
 
         let no = Predicate::always_true()
-            .and(ColumnPredicate::new(field(0, ColumnType::I32), CmpOp::Ne, Value::I32(5)))
-            .and(ColumnPredicate::new(field(4, ColumnType::I32), CmpOp::Lt, Value::I32(200)));
+            .and(ColumnPredicate::new(
+                field(0, ColumnType::I32),
+                CmpOp::Ne,
+                Value::I32(5),
+            ))
+            .and(ColumnPredicate::new(
+                field(4, ColumnType::I32),
+                CmpOp::Lt,
+                Value::I32(200),
+            ));
         assert!(!no.eval_raw(&row).unwrap());
     }
 
@@ -231,8 +262,16 @@ mod tests {
 
     #[test]
     fn columns_dedup_in_order() {
-        let f0 = FieldSlice { column: 3, offset: 12, ty: ColumnType::I32 };
-        let f1 = FieldSlice { column: 1, offset: 4, ty: ColumnType::I32 };
+        let f0 = FieldSlice {
+            column: 3,
+            offset: 12,
+            ty: ColumnType::I32,
+        };
+        let f1 = FieldSlice {
+            column: 1,
+            offset: 4,
+            ty: ColumnType::I32,
+        };
         let p = Predicate::always_true()
             .and(ColumnPredicate::new(f0, CmpOp::Gt, Value::I32(0)))
             .and(ColumnPredicate::new(f1, CmpOp::Lt, Value::I32(9)))
@@ -244,7 +283,11 @@ mod tests {
     fn string_predicate() {
         let mut row = vec![0u8; 4];
         row[..1].copy_from_slice(b"R");
-        let f = FieldSlice { column: 0, offset: 0, ty: ColumnType::FixedStr(4) };
+        let f = FieldSlice {
+            column: 0,
+            offset: 0,
+            ty: ColumnType::FixedStr(4),
+        };
         let p = ColumnPredicate::new(f, CmpOp::Eq, Value::Str("R".into()));
         assert!(p.eval_raw(&row).unwrap());
     }

@@ -7,13 +7,13 @@
 //! prototype makes (`char text_fld[12]` in paper Fig. 3).
 
 use crate::error::{FabricError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Index of a column within a [`Schema`].
 pub type ColumnId = usize;
 
 /// Physical type of a column. All types are fixed width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ColumnType {
     /// Signed 8-bit integer.
     I8,
@@ -66,7 +66,8 @@ impl ColumnType {
 }
 
 /// A single column definition: name plus physical type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ColumnDef {
     pub name: String,
     pub ty: ColumnType,
@@ -74,7 +75,10 @@ pub struct ColumnDef {
 
 impl ColumnDef {
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -83,7 +87,8 @@ impl ColumnDef {
 /// A schema is deliberately minimal: the physical placement of columns in a
 /// row is the job of [`crate::layout::RowLayout`], which is derived from the
 /// schema (plus optional padding).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     columns: Vec<ColumnDef>,
 }
@@ -107,7 +112,9 @@ impl Schema {
     /// 64-byte row; `Schema::uniform(16, ColumnType::I32)` reproduces that.
     pub fn uniform(n: usize, ty: ColumnType) -> Self {
         Schema {
-            columns: (0..n).map(|i| ColumnDef::new(format!("c{i}"), ty)).collect(),
+            columns: (0..n)
+                .map(|i| ColumnDef::new(format!("c{i}"), ty))
+                .collect(),
         }
     }
 
@@ -135,7 +142,10 @@ impl Schema {
     pub fn column(&self, id: ColumnId) -> Result<&ColumnDef> {
         self.columns
             .get(id)
-            .ok_or(FabricError::ColumnIndexOutOfRange { index: id, len: self.columns.len() })
+            .ok_or(FabricError::ColumnIndexOutOfRange {
+                index: id,
+                len: self.columns.len(),
+            })
     }
 
     /// Sum of raw column widths (no padding).
@@ -177,7 +187,10 @@ mod tests {
     #[test]
     fn unknown_column_is_error() {
         let s = Schema::uniform(4, ColumnType::I64);
-        assert!(matches!(s.column_id("nope"), Err(FabricError::UnknownColumn(_))));
+        assert!(matches!(
+            s.column_id("nope"),
+            Err(FabricError::UnknownColumn(_))
+        ));
         assert!(matches!(
             s.column(9),
             Err(FabricError::ColumnIndexOutOfRange { index: 9, len: 4 })

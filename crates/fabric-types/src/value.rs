@@ -7,7 +7,6 @@
 
 use crate::error::{FabricError, Result};
 use crate::schema::ColumnType;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -23,8 +22,22 @@ pub fn days_from_civil(y: i64, m: u32, d: u32) -> u32 {
     (era * 146_097 + doe as i64 - 719_468) as u32
 }
 
+/// Total little-endian array read: copies up to `N` bytes from `bytes`,
+/// zero-padding a short slice instead of panicking. Callers pass slices
+/// whose width was already validated (`Geometry::validate`,
+/// `query::analyze`); zero-padding keeps every decoder total anyway, per
+/// the repo's no-panic rule for core-crate library code (`fabric-lint`).
+#[inline]
+pub fn le_array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    let n = bytes.len().min(N);
+    out[..n].copy_from_slice(&bytes[..n]);
+    out
+}
+
 /// A scalar runtime value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     I8(i8),
     I16(i16),
@@ -91,13 +104,13 @@ impl Value {
     pub fn decode(ty: ColumnType, bytes: &[u8]) -> Value {
         debug_assert_eq!(bytes.len(), ty.width());
         match ty {
-            ColumnType::I8 => Value::I8(i8::from_le_bytes([bytes[0]])),
-            ColumnType::I16 => Value::I16(i16::from_le_bytes([bytes[0], bytes[1]])),
-            ColumnType::I32 => Value::I32(i32::from_le_bytes(bytes.try_into().unwrap())),
-            ColumnType::I64 => Value::I64(i64::from_le_bytes(bytes.try_into().unwrap())),
-            ColumnType::F32 => Value::F32(f32::from_le_bytes(bytes.try_into().unwrap())),
-            ColumnType::F64 => Value::F64(f64::from_le_bytes(bytes.try_into().unwrap())),
-            ColumnType::Date => Value::Date(u32::from_le_bytes(bytes.try_into().unwrap())),
+            ColumnType::I8 => Value::I8(i8::from_le_bytes(le_array(bytes))),
+            ColumnType::I16 => Value::I16(i16::from_le_bytes(le_array(bytes))),
+            ColumnType::I32 => Value::I32(i32::from_le_bytes(le_array(bytes))),
+            ColumnType::I64 => Value::I64(i64::from_le_bytes(le_array(bytes))),
+            ColumnType::F32 => Value::F32(f32::from_le_bytes(le_array(bytes))),
+            ColumnType::F64 => Value::F64(f64::from_le_bytes(le_array(bytes))),
+            ColumnType::Date => Value::Date(u32::from_le_bytes(le_array(bytes))),
             ColumnType::FixedStr(_) => {
                 let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
                 Value::Str(String::from_utf8_lossy(&bytes[..end]).into_owned())
@@ -192,6 +205,7 @@ impl fmt::Display for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -215,22 +229,31 @@ mod tests {
     #[test]
     fn string_pads_and_truncates_trailing_zeros() {
         let mut buf = vec![0xAAu8; 8];
-        Value::Str("abc".into()).encode_into(ColumnType::FixedStr(8), &mut buf).unwrap();
+        Value::Str("abc".into())
+            .encode_into(ColumnType::FixedStr(8), &mut buf)
+            .unwrap();
         assert_eq!(&buf[..3], b"abc");
         assert_eq!(&buf[3..], &[0, 0, 0, 0, 0]);
-        assert_eq!(Value::decode(ColumnType::FixedStr(8), &buf), Value::Str("abc".into()));
+        assert_eq!(
+            Value::decode(ColumnType::FixedStr(8), &buf),
+            Value::Str("abc".into())
+        );
     }
 
     #[test]
     fn string_too_long_is_error() {
         let mut buf = vec![0u8; 2];
-        assert!(Value::Str("abc".into()).encode_into(ColumnType::FixedStr(2), &mut buf).is_err());
+        assert!(Value::Str("abc".into())
+            .encode_into(ColumnType::FixedStr(2), &mut buf)
+            .is_err());
     }
 
     #[test]
     fn cross_type_encode_is_error() {
         let mut buf = vec![0u8; 4];
-        assert!(Value::I64(1).encode_into(ColumnType::I32, &mut buf).is_err());
+        assert!(Value::I64(1)
+            .encode_into(ColumnType::I32, &mut buf)
+            .is_err());
     }
 
     #[test]
@@ -239,7 +262,10 @@ mod tests {
             Value::I32(3).compare(&Value::F64(3.5)).unwrap(),
             Ordering::Less
         );
-        assert_eq!(Value::I64(7).compare(&Value::I8(7)).unwrap(), Ordering::Equal);
+        assert_eq!(
+            Value::I64(7).compare(&Value::I8(7)).unwrap(),
+            Ordering::Equal
+        );
         assert!(Value::Str("a".into()).compare(&Value::I8(0)).is_err());
     }
 
@@ -251,6 +277,7 @@ mod tests {
         assert_eq!(a.compare(&b).unwrap(), Ordering::Greater);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_i64_roundtrip(v in any::<i64>()) {

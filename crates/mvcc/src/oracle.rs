@@ -13,7 +13,9 @@ pub struct TimestampOracle {
 
 impl TimestampOracle {
     pub fn new() -> Self {
-        TimestampOracle { next: AtomicU64::new(1) }
+        TimestampOracle {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// Allocate the next timestamp.
@@ -58,7 +60,10 @@ mod tests {
                 (0..1000).map(|_| o.allocate()).collect::<Vec<u64>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000);

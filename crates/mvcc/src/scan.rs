@@ -5,7 +5,7 @@
 
 use crate::table::VersionedTable;
 use fabric_sim::MemoryHierarchy;
-use fabric_types::{ColumnId, Result, Value};
+use fabric_types::{le_array, ColumnId, Result, Value};
 use relmem::{EphemeralColumns, RmConfig};
 
 /// Software baseline: scan every physical version, evaluate visibility on
@@ -37,8 +37,8 @@ pub fn sw_visible_sum(
         ]);
         mem.cpu(costs.vector_elem + costs.value_op * 2);
         let row = mem.bytes(addr, w);
-        let begin = u64::from_le_bytes(row[begin_r.clone()].try_into().unwrap());
-        let end = u64::from_le_bytes(row[end_r.clone()].try_into().unwrap());
+        let begin = u64::from_le_bytes(le_array(&row[begin_r.clone()]));
+        let end = u64::from_le_bytes(le_array(&row[end_r.clone()]));
         let value = Value::decode(col_ty, &row[col_r.clone()]);
         if begin <= ts && (end == 0 || ts < end) {
             mem.cpu(costs.f64_op);
@@ -92,8 +92,8 @@ pub fn collect_visible(
         let addr = inner.row_addr(rid);
         mem.touch_read(addr, w);
         let row = mem.bytes(addr, w);
-        let begin = u64::from_le_bytes(row[begin_r.clone()].try_into().unwrap());
-        let end = u64::from_le_bytes(row[end_r.clone()].try_into().unwrap());
+        let begin = u64::from_le_bytes(le_array(&row[begin_r.clone()]));
+        let end = u64::from_le_bytes(le_array(&row[end_r.clone()]));
         if begin <= ts && (end == 0 || ts < end) {
             let mut vals = inner.decode_row_untimed(mem, rid)?;
             vals.truncate(table.user_cols());

@@ -34,17 +34,18 @@ pub struct VersionedTable {
 impl VersionedTable {
     /// Create a versioned table for `user_schema` with room for `capacity`
     /// physical versions.
-    pub fn create(
-        mem: &mut MemoryHierarchy,
-        user_schema: Schema,
-        capacity: usize,
-    ) -> Result<Self> {
+    pub fn create(mem: &mut MemoryHierarchy, user_schema: Schema, capacity: usize) -> Result<Self> {
         let user_cols = user_schema.len();
         let mut cols: Vec<ColumnDef> = user_schema.columns().to_vec();
         cols.push(ColumnDef::new(BEGIN_COL, ColumnType::I64));
         cols.push(ColumnDef::new(END_COL, ColumnType::I64));
         let inner = RowTable::create(mem, Schema::new(cols), capacity)?;
-        Ok(VersionedTable { inner, user_cols, chains: Vec::new(), last_commit: Vec::new() })
+        Ok(VersionedTable {
+            inner,
+            user_cols,
+            chains: Vec::new(),
+            last_commit: Vec::new(),
+        })
     }
 
     /// The underlying physical table (all versions).
@@ -120,8 +121,7 @@ impl VersionedTable {
         commit_ts: u64,
     ) -> Result<()> {
         self.check_logical(logical)?;
-        let cur = *self
-            .chains[logical]
+        let cur = *self.chains[logical]
             .last()
             .ok_or_else(|| FabricError::Txn(format!("logical row {logical} has no versions")))?;
         // Read the current version (timed: the OLTP path touches the row).
@@ -131,7 +131,9 @@ impl VersionedTable {
             self.inner.decode_row_untimed(mem, cur)?
         };
         if row[self.user_cols + 1] != Value::I64(0) {
-            return Err(FabricError::Txn(format!("logical row {logical} is deleted")));
+            return Err(FabricError::Txn(format!(
+                "logical row {logical} is deleted"
+            )));
         }
         for (col, v) in updates {
             if *col >= self.user_cols {
@@ -143,7 +145,8 @@ impl VersionedTable {
             row[*col] = v.clone();
         }
         // Stamp the old version's end and append the new version.
-        self.inner.update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
+        self.inner
+            .update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
         row[self.user_cols] = Value::I64(commit_ts as i64);
         row[self.user_cols + 1] = Value::I64(0);
         let rid = self.inner.append(mem, &row)?;
@@ -160,15 +163,17 @@ impl VersionedTable {
         commit_ts: u64,
     ) -> Result<()> {
         self.check_logical(logical)?;
-        let cur = *self
-            .chains[logical]
+        let cur = *self.chains[logical]
             .last()
             .ok_or_else(|| FabricError::Txn(format!("logical row {logical} has no versions")))?;
         let end = self.inner.read_column(mem, cur, self.user_cols + 1)?;
         if end != Value::I64(0) {
-            return Err(FabricError::Txn(format!("logical row {logical} already deleted")));
+            return Err(FabricError::Txn(format!(
+                "logical row {logical} already deleted"
+            )));
         }
-        self.inner.update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
+        self.inner
+            .update_column(mem, cur, self.user_cols + 1, &Value::I64(commit_ts as i64))?;
         self.last_commit[logical] = commit_ts;
         Ok(())
     }
@@ -179,7 +184,10 @@ impl VersionedTable {
     /// the two timestamp fields.
     fn version_visible(&self, mem: &mut MemoryHierarchy, rid: RowId, ts: u64) -> Result<bool> {
         let begin = self.inner.read_column(mem, rid, self.user_cols)?.as_i64()? as u64;
-        let end = self.inner.read_column(mem, rid, self.user_cols + 1)?.as_i64()? as u64;
+        let end = self
+            .inner
+            .read_column(mem, rid, self.user_cols + 1)?
+            .as_i64()? as u64;
         Ok(begin <= ts && (end == 0 || ts < end))
     }
 
@@ -226,7 +234,10 @@ impl VersionedTable {
     pub fn geometry_at(&self, cols: &[ColumnId], ts: u64) -> Result<Geometry> {
         for &c in cols {
             if c >= self.user_cols {
-                return Err(FabricError::ColumnIndexOutOfRange { index: c, len: self.user_cols });
+                return Err(FabricError::ColumnIndexOutOfRange {
+                    index: c,
+                    len: self.user_cols,
+                });
             }
         }
         let layout = self.inner.layout();
@@ -249,7 +260,10 @@ impl VersionedTable {
         let total = self.inner.len();
         let mut keep = vec![true; total];
         for rid in 0..total {
-            let end = self.inner.read_column(mem, rid, self.user_cols + 1)?.as_i64()? as u64;
+            let end = self
+                .inner
+                .read_column(mem, rid, self.user_cols + 1)?
+                .as_i64()? as u64;
             if end != 0 && end <= watermark {
                 keep[rid] = false;
             }
@@ -294,17 +308,25 @@ mod tests {
     #[test]
     fn insert_then_read_at_snapshots() {
         let (mut mem, mut t) = setup();
-        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        let l = t
+            .apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5)
+            .unwrap();
         assert_eq!(t.read_at(&mut mem, l, 1, 4).unwrap(), None); // before insert
         assert_eq!(t.read_at(&mut mem, l, 1, 5).unwrap(), Some(Value::I64(10)));
-        assert_eq!(t.read_at(&mut mem, l, 1, 100).unwrap(), Some(Value::I64(10)));
+        assert_eq!(
+            t.read_at(&mut mem, l, 1, 100).unwrap(),
+            Some(Value::I64(10))
+        );
     }
 
     #[test]
     fn update_appends_version_and_preserves_history() {
         let (mut mem, mut t) = setup();
-        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
-        t.apply_update(&mut mem, l, &[(1, Value::I64(20))], 8).unwrap();
+        let l = t
+            .apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5)
+            .unwrap();
+        t.apply_update(&mut mem, l, &[(1, Value::I64(20))], 8)
+            .unwrap();
         assert_eq!(t.version_count(), 2);
         // Old snapshot still sees 10; new snapshot sees 20.
         assert_eq!(t.read_at(&mut mem, l, 1, 7).unwrap(), Some(Value::I64(10)));
@@ -315,19 +337,24 @@ mod tests {
     #[test]
     fn delete_hides_row_from_later_snapshots() {
         let (mut mem, mut t) = setup();
-        let l = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        let l = t
+            .apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5)
+            .unwrap();
         t.apply_delete(&mut mem, l, 9).unwrap();
         assert_eq!(t.read_at(&mut mem, l, 1, 8).unwrap(), Some(Value::I64(10)));
         assert_eq!(t.read_at(&mut mem, l, 1, 9).unwrap(), None);
         // Double delete and update-after-delete are errors.
         assert!(t.apply_delete(&mut mem, l, 10).is_err());
-        assert!(t.apply_update(&mut mem, l, &[(1, Value::I64(1))], 10).is_err());
+        assert!(t
+            .apply_update(&mut mem, l, &[(1, Value::I64(1))], 10)
+            .is_err());
     }
 
     #[test]
     fn geometry_at_carries_visibility_filter() {
         let (mut mem, mut t) = setup();
-        t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5).unwrap();
+        t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 5)
+            .unwrap();
         let g = t.geometry_at(&[1], 7).unwrap();
         let vis = g.visibility.expect("has ts filter");
         assert_eq!(vis.snapshot_ts, 7);
@@ -341,10 +368,16 @@ mod tests {
     #[test]
     fn vacuum_drops_dead_versions_and_remaps_chains() {
         let (mut mem, mut t) = setup();
-        let l0 = t.apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 2).unwrap();
-        let l1 = t.apply_insert(&mut mem, &[Value::I64(2), Value::I64(20)], 3).unwrap();
-        t.apply_update(&mut mem, l0, &[(1, Value::I64(11))], 4).unwrap();
-        t.apply_update(&mut mem, l0, &[(1, Value::I64(12))], 6).unwrap();
+        let l0 = t
+            .apply_insert(&mut mem, &[Value::I64(1), Value::I64(10)], 2)
+            .unwrap();
+        let l1 = t
+            .apply_insert(&mut mem, &[Value::I64(2), Value::I64(20)], 3)
+            .unwrap();
+        t.apply_update(&mut mem, l0, &[(1, Value::I64(11))], 4)
+            .unwrap();
+        t.apply_update(&mut mem, l0, &[(1, Value::I64(12))], 6)
+            .unwrap();
         t.apply_delete(&mut mem, l1, 7).unwrap();
         assert_eq!(t.version_count(), 4);
 
@@ -354,14 +387,20 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(t.version_count(), 3);
         assert_eq!(t.read_at(&mut mem, l0, 1, 5).unwrap(), Some(Value::I64(11)));
-        assert_eq!(t.read_at(&mut mem, l0, 1, 100).unwrap(), Some(Value::I64(12)));
+        assert_eq!(
+            t.read_at(&mut mem, l0, 1, 100).unwrap(),
+            Some(Value::I64(12))
+        );
         assert_eq!(t.read_at(&mut mem, l1, 1, 6).unwrap(), Some(Value::I64(20)));
 
         // Watermark 10: l1's tombstoned version goes too.
         let removed = t.vacuum(&mut mem, 10).unwrap();
         assert_eq!(removed, 2); // l0's v2 (ended 6) and l1's deleted version
         assert_eq!(t.version_count(), 1);
-        assert_eq!(t.read_at(&mut mem, l0, 1, 100).unwrap(), Some(Value::I64(12)));
+        assert_eq!(
+            t.read_at(&mut mem, l0, 1, 100).unwrap(),
+            Some(Value::I64(12))
+        );
         assert_eq!(t.read_at(&mut mem, l1, 1, 100).unwrap(), None);
     }
 
@@ -369,7 +408,9 @@ mod tests {
     fn unknown_logical_rows_are_errors() {
         let (mut mem, mut t) = setup();
         assert!(t.read_at(&mut mem, 0, 0, 1).is_err());
-        assert!(t.apply_update(&mut mem, 3, &[(0, Value::I64(1))], 2).is_err());
+        assert!(t
+            .apply_update(&mut mem, 3, &[(0, Value::I64(1))], 2)
+            .is_err());
         assert!(t.apply_delete(&mut mem, 3, 2).is_err());
     }
 

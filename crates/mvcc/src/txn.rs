@@ -94,13 +94,18 @@ pub struct TxnManager {
 
 impl TxnManager {
     pub fn new() -> Self {
-        TxnManager { oracle: TimestampOracle::new(), next_txn_id: 1.into() }
+        TxnManager {
+            oracle: TimestampOracle::new(),
+            next_txn_id: 1.into(),
+        }
     }
 
     /// Begin a transaction reading the current snapshot.
     pub fn begin(&self) -> Transaction {
         Transaction {
-            id: self.next_txn_id.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+            id: self
+                .next_txn_id
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst),
             start_ts: self.oracle.latest(),
             writes: Vec::new(),
         }
@@ -140,7 +145,10 @@ impl TxnManager {
                 WriteOp::Delete(l) => table.apply_delete(mem, *l, commit_ts)?,
             }
         }
-        Ok(CommitReceipt { commit_ts, inserted })
+        Ok(CommitReceipt {
+            commit_ts,
+            inserted,
+        })
     }
 }
 
@@ -199,10 +207,16 @@ mod tests {
         tm.commit(&mut mem, &mut t, writer).unwrap();
 
         // The reader keeps seeing the old value (repeatable read).
-        assert_eq!(reader.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(10)));
+        assert_eq!(
+            reader.read(&mut mem, &t, l, 1).unwrap(),
+            Some(Value::I64(10))
+        );
         // A new reader sees the new value.
         let fresh = tm.begin();
-        assert_eq!(fresh.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(20)));
+        assert_eq!(
+            fresh.read(&mut mem, &t, l, 1).unwrap(),
+            Some(Value::I64(20))
+        );
     }
 
     #[test]
@@ -220,7 +234,10 @@ mod tests {
         assert!(matches!(err, FabricError::Txn(_)));
         // The first committer's value survived.
         let fresh = tm.begin();
-        assert_eq!(fresh.read(&mut mem, &t, l, 1).unwrap(), Some(Value::I64(100)));
+        assert_eq!(
+            fresh.read(&mut mem, &t, l, 1).unwrap(),
+            Some(Value::I64(100))
+        );
     }
 
     #[test]
@@ -237,8 +254,14 @@ mod tests {
         tm.commit(&mut mem, &mut t, t2).unwrap();
 
         let fresh = tm.begin();
-        assert_eq!(fresh.read(&mut mem, &t, a, 1).unwrap(), Some(Value::I64(11)));
-        assert_eq!(fresh.read(&mut mem, &t, b, 1).unwrap(), Some(Value::I64(21)));
+        assert_eq!(
+            fresh.read(&mut mem, &t, a, 1).unwrap(),
+            Some(Value::I64(11))
+        );
+        assert_eq!(
+            fresh.read(&mut mem, &t, b, 1).unwrap(),
+            Some(Value::I64(21))
+        );
     }
 
     #[test]
@@ -260,7 +283,10 @@ mod tests {
         assert!(tm.commit(&mut mem, &mut t, loser).is_err());
         assert_eq!(t.version_count(), versions_before);
         let fresh = tm.begin();
-        assert_eq!(fresh.read(&mut mem, &t, b, 1).unwrap(), Some(Value::I64(20)));
+        assert_eq!(
+            fresh.read(&mut mem, &t, b, 1).unwrap(),
+            Some(Value::I64(20))
+        );
         assert_eq!(t.logical_len(), 2); // the loser's insert never happened
     }
 

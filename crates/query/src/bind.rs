@@ -65,7 +65,9 @@ impl Binder<'_> {
             AstExpr::Str(s) => Value::Str(s.clone()),
             AstExpr::Date(d) => Value::Date(*d),
             other => {
-                return Err(FabricError::Sql(format!("expected a literal, found {other:?}")))
+                return Err(FabricError::Sql(format!(
+                    "expected a literal, found {other:?}"
+                )))
             }
         })
     }
@@ -95,7 +97,10 @@ impl Binder<'_> {
 pub fn bind(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoundQuery> {
     let entry = catalog.get(&stmt.table)?;
     let schema = entry.schema();
-    let mut binder = Binder { catalog_schema: schema, touched: Vec::new() };
+    let mut binder = Binder {
+        catalog_schema: schema,
+        touched: Vec::new(),
+    };
 
     // Predicates first or later — slot order just follows first use.
     let mut items = Vec::with_capacity(stmt.items.len());

@@ -31,18 +31,27 @@ pub struct Catalog {
 
 impl Catalog {
     pub fn new() -> Self {
-        Catalog { tables: HashMap::new() }
+        Catalog {
+            tables: HashMap::new(),
+        }
     }
 
     /// Register a table with only the row-oriented base layout (the
     /// fabric-native configuration).
     pub fn register_rows(&mut self, name: impl Into<String>, rows: RowTable) {
-        self.tables.insert(name.into(), TableEntry { rows, cols: None });
+        self.tables
+            .insert(name.into(), TableEntry { rows, cols: None });
     }
 
     /// Register a table with both layouts.
     pub fn register(&mut self, name: impl Into<String>, rows: RowTable, cols: ColTable) {
-        self.tables.insert(name.into(), TableEntry { rows, cols: Some(cols) });
+        self.tables.insert(
+            name.into(),
+            TableEntry {
+                rows,
+                cols: Some(cols),
+            },
+        );
     }
 
     pub fn get(&self, name: &str) -> Result<&TableEntry> {

@@ -19,10 +19,10 @@ use fabric_sim::SimConfig;
 use fabric_types::geometry::merge_field_spans;
 use fabric_types::Result;
 use relmem::RmConfig;
-use serde::{Deserialize, Serialize};
 
 /// The three physical access paths of the fabric world.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessPath {
     Row,
     Col,
@@ -40,7 +40,8 @@ impl std::fmt::Display for AccessPath {
 }
 
 /// Estimated nanoseconds per path (`None` = path unavailable).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathCost {
     pub row_ns: f64,
     pub col_ns: Option<f64>,
@@ -98,7 +99,11 @@ pub fn estimate(
         })
         .sum();
     let consume_ns = if bound.has_aggregates() {
-        let hash = if bound.group_by.is_empty() { 0.0 } else { cyc(costs.hash_op) };
+        let hash = if bound.group_by.is_empty() {
+            0.0
+        } else {
+            cyc(costs.hash_op)
+        };
         hash + cyc(costs.f64_op) * agg_ops as f64
     } else {
         cyc(costs.value_op) * agg_ops as f64
@@ -130,10 +135,7 @@ pub fn estimate(
         } else {
             0.0
         };
-        n_touched
-            * (seq_line
-                + cyc(costs.vector_elem + costs.reconstruct)
-                + stream_penalty)
+        n_touched * (seq_line + cyc(costs.vector_elem + costs.reconstruct) + stream_penalty)
             + pred_ns
             + consume_ns
     });
@@ -242,9 +244,13 @@ mod tests {
     fn estimates_scale_with_rows() {
         let c = catalog(true);
         let bound = bind(&c, &parse("SELECT c0 FROM t").unwrap()).unwrap();
-        let full =
-            estimate(&SimConfig::zynq_a53(), &RmConfig::prototype(), c.get("t").unwrap(), &bound)
-                .unwrap();
+        let full = estimate(
+            &SimConfig::zynq_a53(),
+            &RmConfig::prototype(),
+            c.get("t").unwrap(),
+            &bound,
+        )
+        .unwrap();
         assert!(full.row_ns > 0.0 && full.rm_ns > 0.0);
     }
 }

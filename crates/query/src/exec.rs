@@ -6,6 +6,7 @@
 //! engine" property (§III-B): the engine always assumes only relevant data
 //! arrives.
 
+use crate::analyze::{analyze, VerifiedQuery};
 use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path, AccessPath, PathCost};
@@ -57,7 +58,11 @@ impl<'q> Consumer<'q> {
             })
             .sum();
         if self.aggregated {
-            let hash = if self.bound.group_by.is_empty() { 0 } else { costs.hash_op };
+            let hash = if self.bound.group_by.is_empty() {
+                0
+            } else {
+                costs.hash_op
+            };
             hash + costs.f64_op * ops
         } else {
             costs.value_op * ops
@@ -70,7 +75,11 @@ impl<'q> Consumer<'q> {
             for item in &self.bound.items {
                 match item {
                     OutputItem::Expr(e) => out.push(e.eval(vals)?),
-                    OutputItem::Agg(..) => unreachable!("checked by binder"),
+                    OutputItem::Agg(..) => {
+                        return Err(FabricError::Internal(
+                            "aggregate item in non-aggregated plan".into(),
+                        ))
+                    }
                 }
             }
             self.rows.push(out);
@@ -82,8 +91,12 @@ impl<'q> Consumer<'q> {
             let _ = write!(key, "{}\u{1f}", vals[slot]);
         }
         let entry = self.groups.entry(key).or_insert_with(|| {
-            let key_vals: Vec<Value> =
-                self.bound.group_by.iter().map(|&s| vals[s].clone()).collect();
+            let key_vals: Vec<Value> = self
+                .bound
+                .group_by
+                .iter()
+                .map(|&s| vals[s].clone())
+                .collect();
             let accs: Vec<ValueAgg> = self
                 .bound
                 .items
@@ -137,14 +150,22 @@ impl<'q> Consumer<'q> {
                         // position of its slot within group_by.
                         let slot = match e {
                             fabric_types::Expr::Col(s) => *s,
-                            _ => unreachable!("checked by binder"),
+                            other => {
+                                return Err(FabricError::Internal(format!(
+                                    "non-column expression `{other}` in grouped output"
+                                )))
+                            }
                         };
                         let pos = self
                             .bound
                             .group_by
                             .iter()
                             .position(|&g| g == slot)
-                            .expect("checked by binder");
+                            .ok_or_else(|| {
+                                FabricError::Internal(format!(
+                                    "grouped output slot {slot} not in GROUP BY"
+                                ))
+                            })?;
                         row.push(key_vals[pos].clone());
                     }
                     OutputItem::Agg(..) => {
@@ -160,17 +181,23 @@ impl<'q> Consumer<'q> {
 }
 
 /// Execute on the optimizer-chosen path.
+///
+/// The plan is verified ([`crate::analyze`]) before any path runs; a
+/// malformed plan returns the analyzer's structured diagnostics as an
+/// error rather than reaching an engine.
 pub fn execute(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
     bound: &BoundQuery,
 ) -> Result<QueryOutput> {
     let entry = catalog.get(&bound.table)?;
+    let verified = analyze(entry, bound, &RmConfig::prototype())?;
     let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
-    execute_with_cost(mem, catalog, bound, path, cost)
+    execute_with_cost(mem, entry, &verified, path, cost)
 }
 
 /// Execute on an explicitly chosen path (engine comparisons / tests).
+/// Verifies the plan exactly like [`execute`].
 pub fn execute_on(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
@@ -178,23 +205,24 @@ pub fn execute_on(
     path: AccessPath,
 ) -> Result<QueryOutput> {
     let entry = catalog.get(&bound.table)?;
+    let verified = analyze(entry, bound, &RmConfig::prototype())?;
     let (_, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
-    execute_with_cost(mem, catalog, bound, path, cost)
+    execute_with_cost(mem, entry, &verified, path, cost)
 }
 
 fn execute_with_cost(
     mem: &mut MemoryHierarchy,
-    catalog: &Catalog,
-    bound: &BoundQuery,
+    entry: &crate::catalog::TableEntry,
+    verified: &VerifiedQuery<'_>,
     path: AccessPath,
     cost: PathCost,
 ) -> Result<QueryOutput> {
-    let entry = catalog.get(&bound.table)?;
+    let bound = verified.bound();
     let t0 = mem.now();
     let mut rows = match path {
-        AccessPath::Row => run_row(mem, entry, bound)?,
-        AccessPath::Col => run_col(mem, entry, bound)?,
-        AccessPath::Rm => run_rm(mem, entry, bound)?,
+        AccessPath::Row => run_row(mem, entry, verified)?,
+        AccessPath::Col => run_col(mem, entry, verified)?,
+        AccessPath::Rm => run_rm(mem, verified)?,
     };
     if !bound.order_by.is_empty() {
         sort_rows(mem, &mut rows, &bound.order_by)?;
@@ -202,7 +230,12 @@ fn execute_with_cost(
     if let Some(limit) = bound.limit {
         rows.truncate(limit);
     }
-    Ok(QueryOutput { rows, path, ns: mem.ns_since(t0), cost })
+    Ok(QueryOutput {
+        rows,
+        path,
+        ns: mem.ns_since(t0),
+        cost,
+    })
 }
 
 /// Sort the result rows on the bound `(position, desc)` keys, charging an
@@ -245,8 +278,9 @@ fn sort_rows(
 fn run_row(
     mem: &mut MemoryHierarchy,
     entry: &crate::catalog::TableEntry,
-    bound: &BoundQuery,
+    verified: &VerifiedQuery<'_>,
 ) -> Result<Vec<Vec<Value>>> {
+    let bound = verified.bound();
     let costs = mem.costs();
     let scan = SeqScan::new(&entry.rows, bound.touched.clone())?;
     let mut op: Box<dyn Operator> = if bound.preds.is_empty() {
@@ -267,8 +301,9 @@ fn run_row(
 fn run_col(
     mem: &mut MemoryHierarchy,
     entry: &crate::catalog::TableEntry,
-    bound: &BoundQuery,
+    verified: &VerifiedQuery<'_>,
 ) -> Result<Vec<Vec<Value>>> {
+    let bound = verified.bound();
     let table = entry
         .cols
         .as_ref()
@@ -276,7 +311,8 @@ fn run_col(
     let costs = mem.costs();
 
     // Column-at-a-time selection: group conjuncts by column, full scan for
-    // the first, candidate passes after.
+    // the first, candidate passes after. Predicate slots are in range — the
+    // analyzer checked them before this path was reachable.
     let sel: Option<Vec<u32>> = if bound.preds.is_empty() {
         None
     } else {
@@ -289,7 +325,9 @@ fn run_col(
             }
         }
         let mut it = by_col.into_iter();
-        let (c0, preds0) = it.next().unwrap();
+        let (c0, preds0) = it
+            .next()
+            .ok_or_else(|| FabricError::Internal("empty predicate grouping".into()))?;
         let mut sv = colx::scan_filter_conj(mem, table, c0, &preds0)?;
         for (c, preds) in it {
             sv = colx::scan_filter_cand(mem, table, c, &preds, &sv)?;
@@ -299,21 +337,28 @@ fn run_col(
 
     let mut consumer = Consumer::new(bound);
     let row_cycles = consumer.row_cycles(&costs);
-    colx::for_each_lockstep(mem, table, &bound.touched, sel.as_deref(), |mem, _, vals| {
-        mem.cpu(row_cycles);
-        consumer.feed(vals)
-    })?;
+    colx::for_each_lockstep(
+        mem,
+        table,
+        &bound.touched,
+        sel.as_deref(),
+        |mem, _, vals| {
+            mem.cpu(row_cycles);
+            consumer.feed(vals)
+        },
+    )?;
     consumer.finish()
 }
 
-fn run_rm(
-    mem: &mut MemoryHierarchy,
-    entry: &crate::catalog::TableEntry,
-    bound: &BoundQuery,
-) -> Result<Vec<Vec<Value>>> {
+fn run_rm(mem: &mut MemoryHierarchy, verified: &VerifiedQuery<'_>) -> Result<Vec<Vec<Value>>> {
+    let bound = verified.bound();
     let costs = mem.costs();
-    let g = entry.rows.geometry(&bound.touched)?;
-    let mut eph = EphemeralColumns::configure(mem, RmConfig::prototype(), g)?;
+    // The geometry was admitted by the analyzer; configuration cannot fail.
+    let mut eph = EphemeralColumns::configure_verified(
+        mem,
+        RmConfig::prototype(),
+        verified.geometry().clone(),
+    );
 
     let mut consumer = Consumer::new(bound);
     let row_cycles = consumer.row_cycles(&costs);
@@ -424,7 +469,10 @@ mod tests {
             "SELECT min(qty), max(qty), count(*) FROM t WHERE d >= 50 AND d < 60",
         );
         for o in &outs {
-            assert_eq!(o.rows, vec![vec![Value::F64(50.0), Value::F64(59.0), Value::I64(10)]]);
+            assert_eq!(
+                o.rows,
+                vec![vec![Value::F64(50.0), Value::F64(59.0), Value::I64(10)]]
+            );
         }
     }
 

@@ -24,7 +24,12 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             .unwrap_or_else(|_| format!("${slot}"))
     };
 
-    let _ = writeln!(out, "Plan for `{}` ({} rows)", bound.table, entry.rows.len());
+    let _ = writeln!(
+        out,
+        "Plan for `{}` ({} rows)",
+        bound.table,
+        entry.rows.len()
+    );
     let access = match path {
         AccessPath::Row => "Volcano sequential scan over the row layout".to_string(),
         AccessPath::Col => "column-at-a-time over the materialized columnar copy".to_string(),
@@ -108,8 +113,11 @@ mod tests {
         ]);
         let mut t = RowTable::create(&mut mem, schema, 8192).unwrap();
         for i in 0..8000i64 {
-            t.load(&mut mem, &[Value::I64(i), Value::F64(i as f64), Value::Str("N".into())])
-                .unwrap();
+            t.load(
+                &mut mem,
+                &[Value::I64(i), Value::F64(i as f64), Value::Str("N".into())],
+            )
+            .unwrap();
         }
         let mut c = Catalog::new();
         c.register_rows("orders", t);
@@ -138,8 +146,7 @@ mod tests {
     #[test]
     fn explain_reports_the_chosen_access() {
         let c = catalog();
-        let text =
-            explain_sql(&SimConfig::zynq_a53(), &c, "SELECT sum(qty) FROM orders").unwrap();
+        let text = explain_sql(&SimConfig::zynq_a53(), &c, "SELECT sum(qty) FROM orders").unwrap();
         // With no columnar copy, the fabric path wins scans.
         assert!(text.contains("access: RM"), "{text}");
         assert!(text.contains("ephemeral column group"), "{text}");

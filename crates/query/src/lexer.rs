@@ -105,9 +105,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut j = i;
-                while j < b.len()
-                    && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_')
-                {
+                while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_') {
                     j += 1;
                 }
                 let word = &sql[start..j];

@@ -10,6 +10,9 @@
 //!   (`SELECT expr-or-agg, … FROM t [WHERE conj] [GROUP BY cols]`);
 //! * [`bind`] resolves names against a [`catalog::Catalog`] into a typed
 //!   logical plan;
+//! * [`analyze`](mod@analyze) verifies every bound plan before execution
+//!   (slot ranges, predicate/aggregate types, ephemeral-geometry admission)
+//!   and returns structured diagnostics instead of panicking;
 //! * [`cost`] prices the plan on each access path with a model mirroring
 //!   the calibrated engine behaviours (movement + per-row compute);
 //! * [`exec`] runs the plan on the chosen path (plus ORDER BY / LIMIT
@@ -17,6 +20,7 @@
 //! * [`explain`](mod@explain) renders the chosen plan and the per-path
 //!   estimates.
 
+pub mod analyze;
 pub mod bind;
 pub mod catalog;
 pub mod cost;
@@ -25,6 +29,7 @@ pub mod explain;
 pub mod lexer;
 pub mod parser;
 
+pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
 pub use cost::{choose_path, AccessPath, PathCost};

@@ -98,16 +98,18 @@ impl Parser {
     }
 
     fn eat_sym(&mut self, s: &str) -> bool {
-        if self.peek() == Some(&Token::Sym(match s {
-            "(" => "(",
-            ")" => ")",
-            "," => ",",
-            "*" => "*",
-            "+" => "+",
-            "-" => "-",
-            "/" => "/",
-            _ => return false,
-        })) {
+        if self.peek()
+            == Some(&Token::Sym(match s {
+                "(" => "(",
+                ")" => ")",
+                "," => ",",
+                "*" => "*",
+                "+" => "+",
+                "-" => "-",
+                "/" => "/",
+                _ => return false,
+            }))
+        {
             self.pos += 1;
             true
         } else {
@@ -118,7 +120,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(FabricError::Sql(format!("expected identifier, found {other:?}"))),
+            other => Err(FabricError::Sql(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -140,7 +144,9 @@ impl Parser {
             Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
             Some(Token::Kw("DATE")) => match self.next() {
                 Some(Token::Str(s)) => parse_date(&s),
-                other => Err(FabricError::Sql(format!("expected date string, found {other:?}"))),
+                other => Err(FabricError::Sql(format!(
+                    "expected date string, found {other:?}"
+                ))),
             },
             Some(Token::Ident(name)) => Ok(AstExpr::Col(name)),
             Some(Token::Sym("(")) => {
@@ -155,10 +161,14 @@ impl Parser {
                 match self.next() {
                     Some(Token::Int(v)) => Ok(AstExpr::Int(-v)),
                     Some(Token::Float(v)) => Ok(AstExpr::Float(-v)),
-                    other => Err(FabricError::Sql(format!("expected number, found {other:?}"))),
+                    other => Err(FabricError::Sql(format!(
+                        "expected number, found {other:?}"
+                    ))),
                 }
             }
-            other => Err(FabricError::Sql(format!("expected expression, found {other:?}"))),
+            other => Err(FabricError::Sql(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -222,7 +232,11 @@ impl Parser {
             Some(Token::Sym("<=")) => CmpOp::Le,
             Some(Token::Sym(">")) => CmpOp::Gt,
             Some(Token::Sym(">=")) => CmpOp::Ge,
-            other => return Err(FabricError::Sql(format!("expected comparison, found {other:?}"))),
+            other => {
+                return Err(FabricError::Sql(format!(
+                    "expected comparison, found {other:?}"
+                )))
+            }
         };
         let literal = self.parse_literal_or_primary()?;
         if matches!(literal, AstExpr::Col(_) | AstExpr::Bin(..)) {
@@ -312,18 +326,33 @@ impl Parser {
         if let Some(t) = self.peek() {
             return Err(FabricError::Sql(format!("unexpected trailing token {t:?}")));
         }
-        Ok(SelectStmt { items, table, preds, group_by, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            table,
+            preds,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 }
 
 fn parse_date(s: &str) -> Result<AstExpr> {
     let parts: Vec<&str> = s.split('-').collect();
     if parts.len() != 3 {
-        return Err(FabricError::Sql(format!("bad date `{s}` (want yyyy-mm-dd)")));
+        return Err(FabricError::Sql(format!(
+            "bad date `{s}` (want yyyy-mm-dd)"
+        )));
     }
-    let y: i64 = parts[0].parse().map_err(|_| FabricError::Sql(format!("bad year in `{s}`")))?;
-    let m: u32 = parts[1].parse().map_err(|_| FabricError::Sql(format!("bad month in `{s}`")))?;
-    let d: u32 = parts[2].parse().map_err(|_| FabricError::Sql(format!("bad day in `{s}`")))?;
+    let y: i64 = parts[0]
+        .parse()
+        .map_err(|_| FabricError::Sql(format!("bad year in `{s}`")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| FabricError::Sql(format!("bad month in `{s}`")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| FabricError::Sql(format!("bad day in `{s}`")))?;
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return Err(FabricError::Sql(format!("date `{s}` out of range")));
     }

@@ -21,7 +21,14 @@ pub struct AggState {
 
 impl AggState {
     pub fn new(spec: AggSpec) -> Self {
-        AggState { spec, count: 0, sum_f: 0.0, sum_i: 0, min: None, max: None }
+        AggState {
+            spec,
+            count: 0,
+            sum_f: 0.0,
+            sum_i: 0,
+            min: None,
+            max: None,
+        }
     }
 
     /// Feed one qualifying row (raw bytes).
@@ -67,14 +74,13 @@ impl AggState {
     pub fn finish(&self) -> Result<Value> {
         match self.spec.func {
             AggFunc::Count => Ok(Value::I64(self.count as i64)),
-            AggFunc::Sum => {
-                let field = self.spec.field.expect("validated geometry");
-                if is_integral(field.ty) {
-                    Ok(Value::I64(self.sum_i))
-                } else {
-                    Ok(Value::F64(self.sum_f))
-                }
-            }
+            AggFunc::Sum => match self.spec.field {
+                Some(field) if is_integral(field.ty) => Ok(Value::I64(self.sum_i)),
+                Some(_) => Ok(Value::F64(self.sum_f)),
+                None => Err(FabricError::Internal(
+                    "SUM aggregate without a source field".into(),
+                )),
+            },
             AggFunc::Avg => {
                 if self.count == 0 {
                     Err(FabricError::Internal("AVG over zero rows".into()))
@@ -109,7 +115,9 @@ pub struct AggBank {
 
 impl AggBank {
     pub fn new(specs: &[AggSpec]) -> Self {
-        AggBank { states: specs.iter().map(|s| AggState::new(*s)).collect() }
+        AggBank {
+            states: specs.iter().map(|s| AggState::new(*s)).collect(),
+        }
     }
 
     pub fn update_raw(&mut self, row: &[u8]) -> Result<()> {

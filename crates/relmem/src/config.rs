@@ -1,11 +1,10 @@
 //! Relational Memory device parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the RM engine, defaulting to the paper's prototype
 /// (§V "Target Platform": programmable logic constrained to 100 MHz, a 2 MB
 /// on-device data memory refilled whenever it is full).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RmConfig {
     /// Time for the engine to emit one packed 64-byte output line
     /// (one beat of the 100 MHz datapath = 10 ns).
@@ -68,7 +67,9 @@ impl RmConfig {
             engine_ns_per_line: self.engine_ns_per_line * tenants as f64,
             engine_ns_per_row: self.engine_ns_per_row * tenants as f64,
             buffer_bytes: (self.buffer_bytes / tenants).max(self.batch_bytes.min(4096) * 2),
-            batch_bytes: self.batch_bytes.min((self.buffer_bytes / tenants / 2).max(4096)),
+            batch_bytes: self
+                .batch_bytes
+                .min((self.buffer_bytes / tenants / 2).max(4096)),
             ..self
         }
     }
@@ -119,7 +120,11 @@ mod tests {
     fn window_is_buffer_over_batch_with_floor() {
         let c = RmConfig::prototype();
         assert_eq!(c.window_batches(), 32);
-        let tiny = RmConfig { buffer_bytes: 1024, batch_bytes: 1024, ..c };
+        let tiny = RmConfig {
+            buffer_bytes: 1024,
+            batch_bytes: 1024,
+            ..c
+        };
         assert_eq!(tiny.window_batches(), 2);
     }
 }

@@ -53,8 +53,11 @@ impl DeviceRun {
     /// DRAM geometry; `cfg` the device parameters.
     pub fn new(sim: &SimConfig, cfg: &RmConfig, geometry: &Geometry) -> Self {
         let engine_cycles = sim.ns_to_cycles(cfg.engine_ns_per_line);
-        let row_beat_cycles =
-            if cfg.engine_ns_per_row > 0.0 { sim.ns_to_cycles(cfg.engine_ns_per_row) } else { 0 };
+        let row_beat_cycles = if cfg.engine_ns_per_row > 0.0 {
+            sim.ns_to_cycles(cfg.engine_ns_per_row)
+        } else {
+            0
+        };
         // Bridging sub-line gaps costs nothing extra: fetching is per line.
         let spans = packer::touched_spans(geometry, sim.line_size - 1);
         DeviceRun {
@@ -138,8 +141,7 @@ impl DeviceRun {
             self.cursor += 1;
         }
 
-        if data.is_empty() && self.cursor >= g.rows && rows_emitted == 0 && self.stats.batches > 0
-        {
+        if data.is_empty() && self.cursor >= g.rows && rows_emitted == 0 && self.stats.batches > 0 {
             // Trailing empty scan (e.g. last rows all filtered out) still
             // consumed device time; fold it into device_free and stop.
             self.device_free = gather_done.max(self.device_free);
@@ -157,7 +159,11 @@ impl DeviceRun {
         self.stats.rows_emitted += rows_emitted as u64;
         self.stats.batches += 1;
 
-        Some(ProducedBatch { data, rows: rows_emitted, ready_at: ready })
+        Some(ProducedBatch {
+            data,
+            rows: rows_emitted,
+            ready_at: ready,
+        })
     }
 
     /// Run the whole geometry as a device-side aggregation (paper §IV-B):
@@ -217,7 +223,9 @@ impl DeviceRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric_types::{AggFunc, AggSpec, CmpOp, ColumnPredicate, ColumnType, FieldSlice, Predicate};
+    use fabric_types::{
+        AggFunc, AggSpec, CmpOp, ColumnPredicate, ColumnType, FieldSlice, Predicate,
+    };
 
     /// 1000 rows of 16 i32 columns; c_j of row i = (i * 16 + j) as i32.
     fn setup() -> (MemArena, Geometry) {
@@ -260,8 +268,14 @@ mod tests {
         assert!(ready > 0);
         // Row 7: c0 = 112, c5 = 117.
         let off = 7 * 8;
-        assert_eq!(i32::from_le_bytes(data[off..off + 4].try_into().unwrap()), 112);
-        assert_eq!(i32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()), 117);
+        assert_eq!(
+            i32::from_le_bytes(data[off..off + 4].try_into().unwrap()),
+            112
+        );
+        assert_eq!(
+            i32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()),
+            117
+        );
     }
 
     #[test]
@@ -295,11 +309,17 @@ mod tests {
         let (arena, g) = setup();
         let sim = SimConfig::zynq_a53();
         // Pathologically slow engine: 1000 ns per output line.
-        let slow = RmConfig { engine_ns_per_line: 1000.0, ..RmConfig::prototype() };
+        let slow = RmConfig {
+            engine_ns_per_line: 1000.0,
+            ..RmConfig::prototype()
+        };
         let fast = RmConfig::prototype();
         let (_, _, t_slow) = run(&slow, &arena, &g);
         let (_, _, t_fast) = run(&fast, &arena, &g);
-        assert!(t_slow > t_fast * 10, "slow engine {t_slow} vs fast {t_fast}");
+        assert!(
+            t_slow > t_fast * 10,
+            "slow engine {t_slow} vs fast {t_fast}"
+        );
         // Slow engine is throughput-bound: 125 output lines * 1000 ns.
         let expect = sim.ns_to_cycles(1000.0) * 125;
         assert!(t_slow >= expect, "t_slow={t_slow} expect>={expect}");
@@ -312,12 +332,7 @@ mod tests {
         let mut arena = MemArena::new();
         let rows = 400usize;
         let base = arena.alloc(rows * 16, 64).unwrap();
-        let g = Geometry::packed(
-            base,
-            16,
-            rows,
-            vec![FieldSlice::new(0, 0, ColumnType::I32)],
-        );
+        let g = Geometry::packed(base, 16, rows, vec![FieldSlice::new(0, 0, ColumnType::I32)]);
         let sim = SimConfig::zynq_a53();
         let cfg = RmConfig::prototype();
         let mut dev = DeviceRun::new(&sim, &cfg, &g);

@@ -38,7 +38,7 @@ use crate::device::DeviceRun;
 use crate::packer;
 use crate::stats::RmStats;
 use fabric_sim::{Cycles, MemoryHierarchy};
-use fabric_types::{ColumnType, FabricError, Geometry, OutputMode, Result, Value};
+use fabric_types::{le_array, ColumnType, FabricError, Geometry, OutputMode, Result, Value};
 use std::collections::VecDeque;
 
 /// One delivery batch of packed column-group rows.
@@ -105,25 +105,25 @@ impl PackedBatch {
     /// Fast path: little-endian `i32` field.
     #[inline]
     pub fn i32_at(&self, row: usize, field: usize) -> i32 {
-        i32::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+        i32::from_le_bytes(le_array(self.field_bytes(row, field)))
     }
 
     /// Fast path: little-endian `i64` field.
     #[inline]
     pub fn i64_at(&self, row: usize, field: usize) -> i64 {
-        i64::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+        i64::from_le_bytes(le_array(self.field_bytes(row, field)))
     }
 
     /// Fast path: little-endian `f64` field.
     #[inline]
     pub fn f64_at(&self, row: usize, field: usize) -> f64 {
-        f64::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+        f64::from_le_bytes(le_array(self.field_bytes(row, field)))
     }
 
     /// Fast path: little-endian `u32` field (dates).
     #[inline]
     pub fn u32_at(&self, row: usize, field: usize) -> u32 {
-        u32::from_le_bytes(self.field_bytes(row, field).try_into().unwrap())
+        u32::from_le_bytes(le_array(self.field_bytes(row, field)))
     }
 
     /// Fast path: first byte of a field (one-character flags).
@@ -151,15 +151,25 @@ pub struct EphemeralColumns {
 }
 
 impl EphemeralColumns {
-    /// Configure the device for `geometry` (paper Fig. 3 line 25). Charges
-    /// the configuration cost and immediately starts production of the
-    /// first batch.
-    pub fn configure(
+    /// Configure the device for `geometry` (paper Fig. 3 line 25).
+    ///
+    /// Convenience wrapper: verifies the geometry against `cfg` (see
+    /// [`crate::verify::VerifiedGeometry`]) and then delegates to
+    /// [`Self::configure_verified`].
+    pub fn configure(mem: &mut MemoryHierarchy, cfg: RmConfig, geometry: Geometry) -> Result<Self> {
+        let verified = crate::verify::VerifiedGeometry::new(&cfg, geometry)?;
+        Ok(Self::configure_verified(mem, cfg, verified))
+    }
+
+    /// Configure the device for an already-verified geometry. Charges the
+    /// configuration cost and immediately starts production of the first
+    /// batch. Infallible: every admission check ran at verification time.
+    pub fn configure_verified(
         mem: &mut MemoryHierarchy,
         cfg: RmConfig,
-        geometry: Geometry,
-    ) -> Result<Self> {
-        geometry.validate()?;
+        verified: crate::verify::VerifiedGeometry,
+    ) -> Self {
+        let geometry = verified.into_inner();
         let sim = mem.config().clone();
         mem.cpu(sim.ns_to_cycles(cfg.configure_ns));
 
@@ -191,7 +201,7 @@ impl EphemeralColumns {
         if !matches!(this.geometry.mode, OutputMode::Aggregate(_)) {
             this.start_next_production(mem, mem.now());
         }
-        Ok(this)
+        this
     }
 
     /// The geometry this variable serves.
@@ -215,8 +225,9 @@ impl EphemeralColumns {
             0
         };
         let start_at = slot_free_at.max(if self.taken_at.is_empty() { cpu_now } else { 0 });
-        self.pending =
-            self.run.produce(mem.arena(), &self.geometry, start_at, self.batch_bytes);
+        self.pending = self
+            .run
+            .produce(mem.arena(), &self.geometry, start_at, self.batch_bytes);
     }
 
     /// Pull the next batch of packed rows (paper Fig. 3 line 31: touching
@@ -257,7 +268,9 @@ impl EphemeralColumns {
                 "run_aggregate requires an Aggregate geometry".into(),
             ));
         }
-        let (values, ready) = self.run.run_aggregate(mem.arena(), &self.geometry, mem.now())?;
+        let (values, ready) = self
+            .run
+            .run_aggregate(mem.arena(), &self.geometry, mem.now())?;
         mem.stall_until(ready);
         // The result is a single line's worth of scalars.
         mem.stall_until(mem.now() + self.bus_cycles_per_line);
@@ -315,7 +328,9 @@ mod tests {
         while eph.next_batch(&mut mem).is_some() {}
         assert!(mem.now() > t0);
         // Configuration cost alone does not explain the elapsed time.
-        let cfg_cycles = mem.config().ns_to_cycles(RmConfig::prototype().configure_ns);
+        let cfg_cycles = mem
+            .config()
+            .ns_to_cycles(RmConfig::prototype().configure_ns);
         assert!(mem.now() - t0 > cfg_cycles * 2);
     }
 
@@ -418,7 +433,10 @@ mod tests {
         };
         let small = run(8 * 1024);
         let large = run(2 * 1024 * 1024);
-        assert!(large <= small, "large buffer {large} should be <= small buffer {small}");
+        assert!(
+            large <= small,
+            "large buffer {large} should be <= small buffer {small}"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod device;
 pub mod ephemeral;
 pub mod packer;
 pub mod stats;
+pub mod verify;
 
 pub use config::RmConfig;
 pub use ephemeral::{EphemeralColumns, PackedBatch};
 pub use stats::RmStats;
+pub use verify::VerifiedGeometry;

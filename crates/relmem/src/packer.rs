@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn filtered_rows_mode_packs_whole_row() {
-        let g = Geometry::packed(0, 64, 1, vec![f32field(0, 0)])
-            .with_mode(OutputMode::FilteredRows);
+        let g =
+            Geometry::packed(0, 64, 1, vec![f32field(0, 0)]).with_mode(OutputMode::FilteredRows);
         let row = sample_row();
         let mut out = Vec::new();
         pack_row(&g, &row, &mut out);
@@ -140,11 +140,8 @@ mod tests {
         row[16..].copy_from_slice(&50i32.to_le_bytes());
 
         let val = FieldSlice::new(2, 16, ColumnType::I32);
-        let pred = Predicate::always_true().and(ColumnPredicate::new(
-            val,
-            CmpOp::Gt,
-            Value::I32(10),
-        ));
+        let pred =
+            Predicate::always_true().and(ColumnPredicate::new(val, CmpOp::Gt, Value::I32(10)));
         let vis = TsFilter {
             begin: FieldSlice::new(0, 0, ColumnType::I64),
             end: FieldSlice::new(1, 8, ColumnType::I64),

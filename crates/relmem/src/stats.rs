@@ -1,9 +1,8 @@
 //! Device-side statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// What the RM device did while serving ephemeral accesses.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RmStats {
     /// Base rows examined (visibility + predicate evaluated).
     pub rows_scanned: u64,
@@ -36,7 +35,11 @@ mod tests {
 
     #[test]
     fn amplification() {
-        let s = RmStats { source_lines: 160, output_lines: 10, ..Default::default() };
+        let s = RmStats {
+            source_lines: 160,
+            output_lines: 10,
+            ..Default::default()
+        };
         assert!((s.gather_amplification() - 16.0).abs() < 1e-12);
         assert_eq!(RmStats::default().gather_amplification(), 0.0);
     }

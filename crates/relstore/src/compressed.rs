@@ -10,9 +10,9 @@
 
 use crate::config::RsConfig;
 use crate::store::{RsStats, SsdDevice};
+use compress::DictEncoded;
 use fabric_sim::MemoryHierarchy;
 use fabric_types::{ColumnId, ColumnType, FabricError, Result, Schema};
-use compress::DictEncoded;
 
 /// A table stored as dictionary-compressed columns on the device.
 pub struct CompressedTable {
@@ -92,7 +92,10 @@ impl CompressedTable {
             let stored = &self
                 .cols
                 .get(c)
-                .ok_or(FabricError::ColumnIndexOutOfRange { index: c, len: self.cols.len() })?
+                .ok_or(FabricError::ColumnIndexOutOfRange {
+                    index: c,
+                    len: self.cols.len(),
+                })?
                 .1;
             pages += stored.pages as u64;
         }
@@ -134,10 +137,10 @@ impl CompressedTable {
         let mut pages = 0u64;
         let mut shipped = 0u64;
         for &c in cols {
-            let (enc, stored) = self
-                .cols
-                .get(c)
-                .ok_or(FabricError::ColumnIndexOutOfRange { index: c, len: self.cols.len() })?;
+            let (enc, stored) = self.cols.get(c).ok_or(FabricError::ColumnIndexOutOfRange {
+                index: c,
+                len: self.cols.len(),
+            })?;
             pages += stored.pages as u64;
             shipped += enc.compressed_bytes() as u64;
         }
@@ -152,8 +155,10 @@ impl CompressedTable {
                 out.extend_from_slice(self.cols[c].0.get(i));
             }
         }
-        mem.cpu((self.rows * cols.len()) as u64 * (costs.vector_elem + costs.value_op)
-            + self.rows as u64 * costs.reconstruct);
+        mem.cpu(
+            (self.rows * cols.len()) as u64 * (costs.vector_elem + costs.value_op)
+                + self.rows as u64 * costs.reconstruct,
+        );
         Ok((
             out.clone(),
             RsStats {
@@ -184,9 +189,8 @@ fn timing(
     // Approximate flash time: channel-parallel page stream.
     let per_wave = cfg.channels as u64;
     let waves = pages.div_ceil(per_wave).max(1);
-    let flash_done = start
-        + sim.ns_to_cycles(cfg.read_page_ns)
-        + waves * sim.ns_to_cycles(cfg.channel_xfer_ns);
+    let flash_done =
+        start + sim.ns_to_cycles(cfg.read_page_ns) + waves * sim.ns_to_cycles(cfg.channel_xfer_ns);
     let ctrl_done = start + sim.ns_to_cycles(ctrl_ns.max(1.0));
     let link_done = start
         + sim.ns_to_cycles(cfg.link_base_ns)
@@ -205,8 +209,12 @@ mod tests {
         let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
         let rows = 10_000usize;
         let schema = Schema::from_pairs(&[("a", ColumnType::I32), ("b", ColumnType::I64)]);
-        let col_a: Vec<u8> = (0..rows).flat_map(|i| ((i % 16) as i32).to_le_bytes()).collect();
-        let col_b: Vec<u8> = (0..rows).flat_map(|i| ((i % 4) as i64 * 7).to_le_bytes()).collect();
+        let col_a: Vec<u8> = (0..rows)
+            .flat_map(|i| ((i % 16) as i32).to_le_bytes())
+            .collect();
+        let col_b: Vec<u8> = (0..rows)
+            .flat_map(|i| ((i % 4) as i64 * 7).to_le_bytes())
+            .collect();
         let t = CompressedTable::store(&mut dev, schema, rows, vec![col_a, col_b]).unwrap();
         (mem, dev, t)
     }
@@ -220,7 +228,9 @@ mod tests {
     #[test]
     fn device_reconstruction_is_correct() {
         let (mut mem, mut dev, t) = setup();
-        let (out, stats) = t.fetch_rows_decompressed(&mut dev, &mut mem, &[1, 0]).unwrap();
+        let (out, stats) = t
+            .fetch_rows_decompressed(&mut dev, &mut mem, &[1, 0])
+            .unwrap();
         assert_eq!(out.len(), 10_000 * 12);
         // Row 7: b = (7 % 4) * 7 = 21, a = 7.
         let b = i64::from_le_bytes(out[7 * 12..7 * 12 + 8].try_into().unwrap());
@@ -232,8 +242,12 @@ mod tests {
     #[test]
     fn both_paths_agree_on_data() {
         let (mut mem, mut dev, t) = setup();
-        let (near, _) = t.fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1]).unwrap();
-        let (host, _) = t.fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1]).unwrap();
+        let (near, _) = t
+            .fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1])
+            .unwrap();
+        let (host, _) = t
+            .fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1])
+            .unwrap();
         assert_eq!(near, host);
     }
 

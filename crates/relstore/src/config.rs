@@ -1,14 +1,13 @@
 //! Computational-SSD parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the simulated computational SSD.
 ///
 /// Defaults approximate a SmartSSD-class device: 8 channels × 2 dies of
 /// NAND with ~60 µs page reads, a PCIe 3.0 x4 host link (~3.2 GB/s), and an
 /// embedded controller that processes a row per ~4 ns once pages are
 /// buffered.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RsConfig {
     /// Independent flash channels.
     pub channels: usize,

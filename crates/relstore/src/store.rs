@@ -92,7 +92,8 @@ impl SsdDevice {
         let pages = rows.div_ceil(rows_per_page).max(1);
         let first_page = self.next_page;
         self.next_page += pages as u64;
-        self.data.resize((self.next_page as usize) * self.cfg.page_bytes, 0);
+        self.data
+            .resize((self.next_page as usize) * self.cfg.page_bytes, 0);
         for i in 0..rows {
             let page = first_page as usize + i / rows_per_page;
             let off = (i % rows_per_page) * row_width;
@@ -100,7 +101,13 @@ impl SsdDevice {
             self.data[dst..dst + row_width]
                 .copy_from_slice(&bytes[i * row_width..(i + 1) * row_width]);
         }
-        Ok(StoredTable { first_page, pages, rows, row_width, rows_per_page })
+        Ok(StoredTable {
+            first_page,
+            pages,
+            rows,
+            row_width,
+            rows_per_page,
+        })
     }
 
     fn row_bytes(&self, t: &StoredTable, i: usize) -> &[u8] {
@@ -169,7 +176,9 @@ impl SsdDevice {
         g: &Geometry,
     ) -> Result<(Vec<fabric_types::Value>, RsStats)> {
         let OutputMode::Aggregate(specs) = &g.mode else {
-            return Err(FabricError::Storage("fetch_aggregate needs an Aggregate geometry".into()));
+            return Err(FabricError::Storage(
+                "fetch_aggregate needs an Aggregate geometry".into(),
+            ));
         };
         g.validate()?;
         let start = mem.now();
@@ -296,15 +305,15 @@ mod tests {
             CmpOp::Lt,
             Value::I32(40),
         ));
-        let (out, stats) =
-            dev.fetch_geometry(&mut mem, &t, vec![f32field(0, 0)], pred).unwrap();
+        let (out, stats) = dev
+            .fetch_geometry(&mut mem, &t, vec![f32field(0, 0)], pred)
+            .unwrap();
         assert_eq!(stats.rows_emitted, 10); // c0 = 4i < 40 -> i < 10
         assert_eq!(out.len(), 40);
     }
 
     #[test]
-    fn near_data_ships_fewer_bytes_and_finishes_faster_for_narrow_projections(
-    ) {
+    fn near_data_ships_fewer_bytes_and_finishes_faster_for_narrow_projections() {
         let (mut mem, mut dev, t) = setup();
         let t0 = mem.now();
         let (_, near) = dev
@@ -316,7 +325,10 @@ mod tests {
         let (_, host) = dev.fetch_raw(&mut mem, &t).unwrap();
         let host_time = mem.now() - t0;
         assert!(near.bytes_shipped < host.bytes_shipped / 3);
-        assert!(near_time <= host_time, "near {near_time} vs host {host_time}");
+        assert!(
+            near_time <= host_time,
+            "near {near_time} vs host {host_time}"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl HashIndex {
     pub fn build(mem: &mut MemoryHierarchy, table: &RowTable, col: ColumnId) -> Result<Self> {
         let ty = table.layout().column_type(col)?;
         if !ty.is_numeric() {
-            return Err(FabricError::Internal("hash index requires a numeric column".into()));
+            return Err(FabricError::Internal(
+                "hash index requires a numeric column".into(),
+            ));
         }
         let buckets = (table.len() * 2).next_power_of_two().max(64);
         let buckets_addr = mem.alloc(buckets * ENTRY_BYTES, 64)?;
@@ -47,7 +49,12 @@ impl HashIndex {
             let v = table.decode_row_untimed(mem, rid)?[col].as_i64()?;
             map.entry(v).or_default().push(rid);
         }
-        Ok(HashIndex { col, map, buckets_addr, buckets })
+        Ok(HashIndex {
+            col,
+            map,
+            buckets_addr,
+            buckets,
+        })
     }
 
     /// The indexed column.
@@ -71,7 +78,10 @@ impl HashIndex {
         let costs = mem.costs();
         // Hash + one random bucket access.
         mem.cpu(costs.hash_op);
-        mem.touch_read(self.buckets_addr + self.bucket_of(key) * ENTRY_BYTES as u64, ENTRY_BYTES);
+        mem.touch_read(
+            self.buckets_addr + self.bucket_of(key) * ENTRY_BYTES as u64,
+            ENTRY_BYTES,
+        );
         let rows = self.map.get(&key).cloned().unwrap_or_default();
         // Verify each hit against the base row (charged row access).
         for &rid in &rows {
@@ -96,7 +106,9 @@ impl OrderedIndex {
     pub fn build(mem: &mut MemoryHierarchy, table: &RowTable, col: ColumnId) -> Result<Self> {
         let ty = table.layout().column_type(col)?;
         if !ty.is_numeric() {
-            return Err(FabricError::Internal("ordered index requires a numeric column".into()));
+            return Err(FabricError::Internal(
+                "ordered index requires a numeric column".into(),
+            ));
         }
         let mut entries = Vec::with_capacity(table.len());
         for rid in 0..table.len() {
@@ -105,7 +117,11 @@ impl OrderedIndex {
         }
         entries.sort_unstable();
         let entries_addr = mem.alloc(entries.len().max(1) * ENTRY_BYTES, 64)?;
-        Ok(OrderedIndex { col, entries, entries_addr })
+        Ok(OrderedIndex {
+            col,
+            entries,
+            entries_addr,
+        })
     }
 
     pub fn column(&self) -> ColumnId {
@@ -165,7 +181,10 @@ impl OrderedIndex {
             );
             mem.cpu(mem.costs().vector_elem * (end - start) as u64);
         }
-        Ok(self.entries[start..end].iter().map(|&(_, rid)| rid).collect())
+        Ok(self.entries[start..end]
+            .iter()
+            .map(|&(_, rid)| rid)
+            .collect())
     }
 
     /// Timed range *aggregation*: sum `sum_col` over rows whose indexed key
@@ -208,7 +227,8 @@ mod tests {
         let schema = Schema::from_pairs(&[("key", ColumnType::I64), ("v", ColumnType::I64)]);
         let mut t = RowTable::create(&mut mem, schema, 10_000).unwrap();
         for i in 0..10_000i64 {
-            t.load(&mut mem, &[Value::I64((i * 7) % 10_000), Value::I64(i)]).unwrap();
+            t.load(&mut mem, &[Value::I64((i * 7) % 10_000), Value::I64(i)])
+                .unwrap();
         }
         (mem, t)
     }
@@ -219,7 +239,10 @@ mod tests {
         let idx = HashIndex::build(&mut mem, &t, 0).unwrap();
         let rows = idx.probe(&mut mem, &t, 21).unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(t.decode_row_untimed(&mem, rows[0]).unwrap()[1], Value::I64(3));
+        assert_eq!(
+            t.decode_row_untimed(&mem, rows[0]).unwrap()[1],
+            Value::I64(3)
+        );
         assert!(idx.probe(&mut mem, &t, 123_456).unwrap().is_empty());
     }
 
@@ -287,7 +310,8 @@ mod tests {
         let schema = Schema::from_pairs(&[("key", ColumnType::I64), ("v", ColumnType::I64)]);
         let mut t = RowTable::create(&mut mem, schema, 100).unwrap();
         for i in 0..100i64 {
-            t.load(&mut mem, &[Value::I64(i % 10), Value::I64(i)]).unwrap();
+            t.load(&mut mem, &[Value::I64(i % 10), Value::I64(i)])
+                .unwrap();
         }
         let h = HashIndex::build(&mut mem, &t, 0).unwrap();
         assert_eq!(h.probe(&mut mem, &t, 3).unwrap().len(), 10);

@@ -1,9 +1,7 @@
 //! Row-oriented base tables.
 
 use fabric_sim::MemoryHierarchy;
-use fabric_types::{
-    Addr, ColumnId, FabricError, Geometry, Result, RowLayout, Schema, Value,
-};
+use fabric_types::{Addr, ColumnId, FabricError, Geometry, Result, RowLayout, Schema, Value};
 
 /// Index of a row within a table.
 pub type RowId = usize;
@@ -36,10 +34,18 @@ impl RowTable {
         capacity: usize,
     ) -> Result<Self> {
         if layout.num_columns() != schema.len() {
-            return Err(FabricError::Internal("layout/schema column count mismatch".into()));
+            return Err(FabricError::Internal(
+                "layout/schema column count mismatch".into(),
+            ));
         }
         let base = mem.alloc(capacity * layout.row_width(), mem.config().line_size)?;
-        Ok(RowTable { schema, layout, base, rows: 0, capacity })
+        Ok(RowTable {
+            schema,
+            layout,
+            base,
+            rows: 0,
+            capacity,
+        })
     }
 
     pub fn schema(&self) -> &Schema {
@@ -193,19 +199,19 @@ impl RowTable {
     /// this table — the bridge from the row store to Relational Memory.
     pub fn geometry(&self, cols: &[ColumnId]) -> Result<Geometry> {
         let fields = self.layout.fields(cols)?;
-        Ok(Geometry::packed(self.base, self.layout.row_width(), self.rows, fields))
+        Ok(Geometry::packed(
+            self.base,
+            self.layout.row_width(),
+            self.rows,
+            fields,
+        ))
     }
 
     /// Geometry of `cols` restricted to the row range `[start, end)` — the
     /// paper's §III-A combination of on-the-fly vertical partitioning with
     /// conventional horizontal partitioning/sharding: *"the data system can
     /// request the desired column group on a sharding key range"*.
-    pub fn geometry_range(
-        &self,
-        cols: &[ColumnId],
-        start: RowId,
-        end: RowId,
-    ) -> Result<Geometry> {
+    pub fn geometry_range(&self, cols: &[ColumnId], start: RowId, end: RowId) -> Result<Geometry> {
         if start > end || end > self.rows {
             return Err(FabricError::Internal(format!(
                 "row range {start}..{end} out of bounds (len {})",
@@ -223,8 +229,10 @@ impl RowTable {
 
     /// Geometry of columns named `names`.
     pub fn geometry_by_name(&self, names: &[&str]) -> Result<Geometry> {
-        let ids: Vec<ColumnId> =
-            names.iter().map(|n| self.schema.column_id(n)).collect::<Result<_>>()?;
+        let ids: Vec<ColumnId> = names
+            .iter()
+            .map(|n| self.schema.column_id(n))
+            .collect::<Result<_>>()?;
         self.geometry(&ids)
     }
 }
@@ -320,8 +328,11 @@ mod tests {
         let mut mem = mem();
         let mut t = RowTable::create(&mut mem, schema(), 8).unwrap();
         for i in 0..8i64 {
-            t.load(&mut mem, &[Value::I64(i), Value::Str("x".into()), Value::F64(0.0)])
-                .unwrap();
+            t.load(
+                &mut mem,
+                &[Value::I64(i), Value::Str("x".into()), Value::F64(0.0)],
+            )
+            .unwrap();
         }
         let g = t.geometry_range(&[0], 2, 6).unwrap();
         assert_eq!(g.rows, 4);

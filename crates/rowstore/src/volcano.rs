@@ -8,9 +8,7 @@
 
 use fabric_sim::MemoryHierarchy;
 use fabric_types::geometry::merge_field_spans;
-use fabric_types::{
-    AggFunc, CmpOp, ColumnId, Expr, FabricError, Result, Value, ValueAgg,
-};
+use fabric_types::{AggFunc, CmpOp, ColumnId, Expr, FabricError, Result, Value, ValueAgg};
 use std::collections::HashMap;
 
 use crate::table::RowTable;
@@ -39,7 +37,12 @@ impl<'a> SeqScan<'a> {
     pub fn new(table: &'a RowTable, cols: Vec<ColumnId>) -> Result<Self> {
         let fields = table.layout().fields(&cols)?;
         let spans = merge_field_spans(&fields, 0);
-        Ok(SeqScan { table, cols, spans, cursor: 0 })
+        Ok(SeqScan {
+            table,
+            cols,
+            spans,
+            cursor: 0,
+        })
     }
 
     /// Scan every column.
@@ -65,8 +68,11 @@ impl Operator for SeqScan<'_> {
             let (off, len) = self.spans[0];
             mem.touch_read(row_addr + off as u64, len);
         } else {
-            let parts: Vec<(u64, usize)> =
-                self.spans.iter().map(|&(off, len)| (row_addr + off as u64, len)).collect();
+            let parts: Vec<(u64, usize)> = self
+                .spans
+                .iter()
+                .map(|&(off, len)| (row_addr + off as u64, len))
+                .collect();
             mem.touch_read_gather(&parts);
         }
         mem.cpu(costs.volcano_next + costs.decode * self.cols.len() as u64);
@@ -140,7 +146,12 @@ pub struct Project<'a> {
 impl<'a> Project<'a> {
     pub fn new(child: Box<dyn Operator + 'a>, exprs: Vec<Expr>) -> Self {
         let expr_ops = exprs.iter().map(Expr::ops).sum();
-        Project { child, exprs, expr_ops, input: Vec::new() }
+        Project {
+            child,
+            exprs,
+            expr_ops,
+            input: Vec::new(),
+        }
     }
 }
 
@@ -188,7 +199,12 @@ pub struct HashAggregate<'a> {
 
 impl<'a> HashAggregate<'a> {
     pub fn new(child: Box<dyn Operator + 'a>, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Self {
-        HashAggregate { child, group_by, aggs, results: None }
+        HashAggregate {
+            child,
+            group_by,
+            aggs,
+            results: None,
+        }
     }
 
     fn consume(&mut self, mem: &mut MemoryHierarchy) -> Result<Vec<Vec<Value>>> {
@@ -229,9 +245,10 @@ fn encode_key(tuple: &[Value], slots: &[usize]) -> Result<String> {
     use std::fmt::Write;
     let mut key = String::new();
     for &s in slots {
-        let v = tuple
-            .get(s)
-            .ok_or(FabricError::ColumnIndexOutOfRange { index: s, len: tuple.len() })?;
+        let v = tuple.get(s).ok_or(FabricError::ColumnIndexOutOfRange {
+            index: s,
+            len: tuple.len(),
+        })?;
         write!(key, "{v}\u{1f}").expect("writing to String cannot fail");
     }
     Ok(key)
@@ -288,8 +305,11 @@ mod tests {
         let mut t = RowTable::create(&mut mem, schema, 128).unwrap();
         for i in 0..100i64 {
             let g = if i % 2 == 0 { "A" } else { "B" };
-            t.load(&mut mem, &[Value::I64(i), Value::Str(g.into()), Value::F64(i as f64)])
-                .unwrap();
+            t.load(
+                &mut mem,
+                &[Value::I64(i), Value::Str(g.into()), Value::F64(i as f64)],
+            )
+            .unwrap();
         }
         (mem, t)
     }
@@ -319,7 +339,10 @@ mod tests {
         let scan = SeqScan::new(&t, vec![0, 2]).unwrap();
         let mut filter = Filter::new(
             Box::new(scan),
-            vec![(0, CmpOp::Ge, Value::I64(90)), (1, CmpOp::Lt, Value::F64(95.0))],
+            vec![
+                (0, CmpOp::Ge, Value::I64(90)),
+                (1, CmpOp::Lt, Value::F64(95.0)),
+            ],
         );
         let rows = execute_collect(&mut mem, &mut filter).unwrap();
         assert_eq!(rows.len(), 5); // ids 90..94

@@ -26,7 +26,10 @@ pub struct MicroQuery {
 impl MicroQuery {
     /// Fig. 5 point: project the first `p` columns, no selection.
     pub fn projectivity(p: usize) -> Self {
-        MicroQuery { proj: (0..p).collect(), sel: Vec::new() }
+        MicroQuery {
+            proj: (0..p).collect(),
+            sel: Vec::new(),
+        }
     }
 
     /// Fig. 6 point: project the first `p` columns and filter on the *last*
@@ -60,7 +63,10 @@ pub fn run_row(mem: &mut MemoryHierarchy, t: &RowTable, q: &MicroQuery) -> Resul
         .sel
         .iter()
         .map(|(c, thr)| {
-            let slot = cols.iter().position(|x| x == c).expect("sel col in touched");
+            let slot = cols
+                .iter()
+                .position(|x| x == c)
+                .expect("sel col in touched");
             (slot, CmpOp::Lt, Value::I32(*thr))
         })
         .collect();
@@ -69,8 +75,11 @@ pub fn run_row(mem: &mut MemoryHierarchy, t: &RowTable, q: &MicroQuery) -> Resul
     let t0 = mem.now();
     let costs = mem.costs();
     let scan = SeqScan::new(t, cols)?;
-    let mut op: Box<dyn Operator> =
-        if preds.is_empty() { Box::new(scan) } else { Box::new(Filter::new(Box::new(scan), preds)) };
+    let mut op: Box<dyn Operator> = if preds.is_empty() {
+        Box::new(scan)
+    } else {
+        Box::new(Filter::new(Box::new(scan), preds))
+    };
 
     let p = q.proj.len() as u64;
     let mut sum = 0.0f64;
@@ -82,7 +91,10 @@ pub fn run_row(mem: &mut MemoryHierarchy, t: &RowTable, q: &MicroQuery) -> Resul
             sum += tuple[slot].as_f64()?;
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: sum })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: sum,
+    })
 }
 
 /// COL engine: column-at-a-time selection passes, then batched tuple
@@ -112,7 +124,10 @@ pub fn run_col(mem: &mut MemoryHierarchy, t: &ColTable, q: &MicroQuery) -> Resul
         }
         Ok(())
     })?;
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: sum })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: sum,
+    })
 }
 
 /// RM engine: one ephemeral column-group covering the touched columns;
@@ -130,7 +145,10 @@ pub fn run_rm(
         .sel
         .iter()
         .map(|(c, thr)| {
-            let slot = cols.iter().position(|x| x == c).expect("sel col in touched");
+            let slot = cols
+                .iter()
+                .position(|x| x == c)
+                .expect("sel col in touched");
             (slot, *thr)
         })
         .collect();
@@ -163,7 +181,10 @@ pub fn run_rm(
             }
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: sum })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: sum,
+    })
 }
 
 /// RM with selection pushed into the device (§IV-B extension): the geometry
@@ -182,7 +203,11 @@ pub fn run_rm_pushdown(
     let layout = t.layout();
     let mut pred = Predicate::always_true();
     for (c, thr) in &q.sel {
-        pred = pred.and(ColumnPredicate::new(layout.field(*c)?, CmpOp::Lt, Value::I32(*thr)));
+        pred = pred.and(ColumnPredicate::new(
+            layout.field(*c)?,
+            CmpOp::Lt,
+            Value::I32(*thr),
+        ));
     }
     let g = t.geometry(&q.proj)?.with_predicate(pred);
     let mut eph = EphemeralColumns::configure(mem, cfg, g)?;
@@ -197,7 +222,10 @@ pub fn run_rm_pushdown(
             }
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: sum })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: sum,
+    })
 }
 
 #[cfg(test)]

@@ -19,11 +19,10 @@
 use crate::RunResult;
 use colstore::{exec as colx, ColTable};
 use fabric_sim::MemoryHierarchy;
+use fabric_types::rng::DetRng;
 use fabric_types::{ColumnType, Expr, Result, Schema, Value};
 use mvcc::scan::rm_visible_sum;
 use mvcc::{TxnManager, VersionedTable};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use relmem::RmConfig;
 
 /// Parameters of one HTAP mix run.
@@ -84,7 +83,7 @@ struct Oltp {
     table: VersionedTable,
     tm: TxnManager,
     ids: Vec<mvcc::LogicalId>,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 fn setup_oltp(mem: &mut MemoryHierarchy, p: &MixParams) -> Result<Oltp> {
@@ -97,7 +96,12 @@ fn setup_oltp(mem: &mut MemoryHierarchy, p: &MixParams) -> Result<Oltp> {
         txn.insert(vec![Value::I64(a), Value::I64(1000)]);
     }
     let ids = tm.commit(mem, &mut table, txn)?.inserted;
-    Ok(Oltp { table, tm, ids, rng: StdRng::seed_from_u64(p.seed) })
+    Ok(Oltp {
+        table,
+        tm,
+        ids,
+        rng: DetRng::seed_from_u64(p.seed),
+    })
 }
 
 fn run_batch(mem: &mut MemoryHierarchy, o: &mut Oltp, n: usize) -> Result<()> {
@@ -182,8 +186,7 @@ pub fn run_dual_layout_htap(mem: &mut MemoryHierarchy, p: &MixParams) -> Result<
 
         if p.scans {
             let t0 = mem.now();
-            let sum =
-                colx::sum_expr(mem, &copy, &[0], &Expr::col(0), None)?;
+            let sum = colx::sum_expr(mem, &copy, &[0], &Expr::col(0), None)?;
             out.olap_ns += mem.ns_since(t0);
             out.scan_checksum += sum;
             out.scans += 1;
@@ -221,7 +224,10 @@ pub fn compare_htap(p: &MixParams) -> Result<(MixOutcome, MixOutcome)> {
 
 /// A `RunResult`-shaped view for harness reuse.
 pub fn as_run_result(o: &MixOutcome) -> RunResult {
-    RunResult { ns: o.total_ns(), checksum: o.scan_checksum }
+    RunResult {
+        ns: o.total_ns(),
+        checksum: o.scan_checksum,
+    }
 }
 
 #[cfg(test)]
@@ -255,9 +261,16 @@ mod tests {
 
     #[test]
     fn infrequent_conversion_trades_freshness() {
-        let p = MixParams { convert_every: 3, ..small() };
+        let p = MixParams {
+            convert_every: 3,
+            ..small()
+        };
         let (fabric, dual) = compare_htap(&p).unwrap();
-        assert!(dual.avg_staleness_commits > 0.5, "{}", dual.avg_staleness_commits);
+        assert!(
+            dual.avg_staleness_commits > 0.5,
+            "{}",
+            dual.avg_staleness_commits
+        );
         // Stale scans generally see different balances.
         assert_ne!(fabric.scan_checksum, dual.scan_checksum);
         assert_eq!(fabric.avg_staleness_commits, 0.0);
@@ -265,7 +278,10 @@ mod tests {
 
     #[test]
     fn never_converting_is_maximally_stale() {
-        let p = MixParams { convert_every: usize::MAX, ..small() };
+        let p = MixParams {
+            convert_every: usize::MAX,
+            ..small()
+        };
         let (_, dual) = compare_htap(&p).unwrap();
         // Staleness accumulates 1, 2, ..., batches.
         assert!(dual.avg_staleness_commits >= (p.batches as f64) / 2.0);

@@ -13,9 +13,7 @@ use crate::tpch::{col, days_from_civil, Lineitem};
 use crate::RunResult;
 use colstore::exec as colx;
 use fabric_sim::MemoryHierarchy;
-use fabric_types::{
-    AggFunc, CmpOp, ColumnPredicate, Expr, Predicate, Result, Value,
-};
+use fabric_types::{AggFunc, CmpOp, ColumnPredicate, Expr, Predicate, Result, Value};
 use relmem::{EphemeralColumns, RmConfig};
 use rowstore::volcano::{AggExpr, Filter, HashAggregate, Operator, SeqScan};
 use std::collections::HashMap;
@@ -122,7 +120,10 @@ pub fn q1_row(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
             checksum += v.as_f64()?;
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum,
+    })
 }
 
 /// Q1 on the column engine: one selection pass, then lockstep aggregation
@@ -170,7 +171,10 @@ pub fn q1_col(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
             Ok(())
         },
     )?;
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: q1_groups_checksum(&groups) })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: q1_groups_checksum(&groups),
+    })
 }
 
 /// Q1 through Relational Memory: one ephemeral column group covering the
@@ -201,15 +205,21 @@ pub fn q1_rm(mem: &mut MemoryHierarchy, li: &Lineitem, cfg: RmConfig) -> Result<
                 continue;
             }
             mem.cpu(costs.hash_op + costs.f64_op * 14);
-            groups.entry([b.byte_at(r, 0), b.byte_at(r, 1)]).or_default().update(
-                b.f64_at(r, 2),
-                b.f64_at(r, 3),
-                b.f64_at(r, 4),
-                b.f64_at(r, 5),
-            );
+            groups
+                .entry([b.byte_at(r, 0), b.byte_at(r, 1)])
+                .or_default()
+                .update(
+                    b.f64_at(r, 2),
+                    b.f64_at(r, 3),
+                    b.f64_at(r, 4),
+                    b.f64_at(r, 5),
+                );
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: q1_groups_checksum(&groups) })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: q1_groups_checksum(&groups),
+    })
 }
 
 /// Q1 with the date predicate pushed into the device (§IV-B): only
@@ -245,15 +255,21 @@ pub fn q1_rm_pushdown(
     while let Some(b) = eph.next_batch(mem) {
         for r in 0..b.len() {
             mem.cpu(costs.vector_elem + costs.hash_op + costs.f64_op * 14);
-            groups.entry([b.byte_at(r, 0), b.byte_at(r, 1)]).or_default().update(
-                b.f64_at(r, 2),
-                b.f64_at(r, 3),
-                b.f64_at(r, 4),
-                b.f64_at(r, 5),
-            );
+            groups
+                .entry([b.byte_at(r, 0), b.byte_at(r, 1)])
+                .or_default()
+                .update(
+                    b.f64_at(r, 2),
+                    b.f64_at(r, 3),
+                    b.f64_at(r, 4),
+                    b.f64_at(r, 5),
+                );
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: q1_groups_checksum(&groups) })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: q1_groups_checksum(&groups),
+    })
 }
 
 // ------------------------------------------------------------------- Q6
@@ -267,7 +283,12 @@ pub fn q6_row(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
     // Slots: 0 shipdate, 1 discount, 2 quantity, 3 price.
     let scan = SeqScan::new(
         &li.rows,
-        vec![col::SHIPDATE, col::DISCOUNT, col::QUANTITY, col::EXTENDEDPRICE],
+        vec![
+            col::SHIPDATE,
+            col::DISCOUNT,
+            col::QUANTITY,
+            col::EXTENDEDPRICE,
+        ],
     )?;
     let mut filter = Filter::new(
         Box::new(scan),
@@ -285,7 +306,10 @@ pub fn q6_row(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
         mem.cpu(costs.f64_op * 2);
         revenue += tuple[3].as_f64()? * tuple[1].as_f64()?;
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: revenue })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: revenue,
+    })
 }
 
 /// Q6 on the column engine: sequential range scan on shipdate, candidate
@@ -328,7 +352,10 @@ pub fn q6_col(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
             Ok(())
         },
     )?;
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: revenue })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: revenue,
+    })
 }
 
 /// Q6 through Relational Memory: the four touched columns as one packed
@@ -373,7 +400,10 @@ pub fn q6_rm(mem: &mut MemoryHierarchy, li: &Lineitem, cfg: RmConfig) -> Result<
             }
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: revenue })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: revenue,
+    })
 }
 
 /// Q6 with selection pushed into the device (§IV-B): only qualifying rows'
@@ -395,7 +425,10 @@ pub fn q6_rm_pushdown(
         ColumnPredicate::new(layout.field(col::DISCOUNT)?, CmpOp::Le, Value::F64(0.07)),
         ColumnPredicate::new(layout.field(col::QUANTITY)?, CmpOp::Lt, Value::F64(24.0)),
     ]);
-    let g = li.rows.geometry(&[col::EXTENDEDPRICE, col::DISCOUNT])?.with_predicate(pred);
+    let g = li
+        .rows
+        .geometry(&[col::EXTENDEDPRICE, col::DISCOUNT])?
+        .with_predicate(pred);
     let mut eph = EphemeralColumns::configure(mem, cfg, g)?;
     let mut revenue = 0.0f64;
     while let Some(b) = eph.next_batch(mem) {
@@ -404,7 +437,10 @@ pub fn q6_rm_pushdown(
             revenue += b.f64_at(r, 0) * b.f64_at(r, 1);
         }
     }
-    Ok(RunResult { ns: mem.ns_since(t0), checksum: revenue })
+    Ok(RunResult {
+        ns: mem.ns_since(t0),
+        checksum: revenue,
+    })
 }
 
 #[cfg(test)]
@@ -428,8 +464,18 @@ mod tests {
         let r = q1_row(&mut mem, &li).unwrap();
         let c = q1_col(&mut mem, &li).unwrap();
         let m = q1_rm(&mut mem, &li, RmConfig::prototype()).unwrap();
-        assert!(close(r.checksum, c.checksum), "row={} col={}", r.checksum, c.checksum);
-        assert!(close(r.checksum, m.checksum), "row={} rm={}", r.checksum, m.checksum);
+        assert!(
+            close(r.checksum, c.checksum),
+            "row={} col={}",
+            r.checksum,
+            c.checksum
+        );
+        assert!(
+            close(r.checksum, m.checksum),
+            "row={} rm={}",
+            r.checksum,
+            m.checksum
+        );
         assert!(r.checksum > 0.0);
     }
 
@@ -438,7 +484,12 @@ mod tests {
         let (mut mem, li) = setup(20_000);
         let r = q1_row(&mut mem, &li).unwrap();
         let p = q1_rm_pushdown(&mut mem, &li, RmConfig::prototype()).unwrap();
-        assert!(close(r.checksum, p.checksum), "row={} push={}", r.checksum, p.checksum);
+        assert!(
+            close(r.checksum, p.checksum),
+            "row={} push={}",
+            r.checksum,
+            p.checksum
+        );
     }
 
     #[test]
@@ -448,9 +499,24 @@ mod tests {
         let c = q6_col(&mut mem, &li).unwrap();
         let m = q6_rm(&mut mem, &li, RmConfig::prototype()).unwrap();
         let p = q6_rm_pushdown(&mut mem, &li, RmConfig::prototype()).unwrap();
-        assert!(close(r.checksum, c.checksum), "row={} col={}", r.checksum, c.checksum);
-        assert!(close(r.checksum, m.checksum), "row={} rm={}", r.checksum, m.checksum);
-        assert!(close(r.checksum, p.checksum), "row={} push={}", r.checksum, p.checksum);
+        assert!(
+            close(r.checksum, c.checksum),
+            "row={} col={}",
+            r.checksum,
+            c.checksum
+        );
+        assert!(
+            close(r.checksum, m.checksum),
+            "row={} rm={}",
+            r.checksum,
+            m.checksum
+        );
+        assert!(
+            close(r.checksum, p.checksum),
+            "row={} push={}",
+            r.checksum,
+            p.checksum
+        );
         // Q6 selectivity is ~2%; the revenue must be positive on 20k rows.
         assert!(r.checksum > 0.0);
     }
@@ -474,9 +540,15 @@ mod tests {
             &sel,
         )
         .unwrap();
-        let sel =
-            colx::refine(&mut mem, &li.cols, col::QUANTITY, CmpOp::Lt, &Value::F64(24.0), &sel)
-                .unwrap();
+        let sel = colx::refine(
+            &mut mem,
+            &li.cols,
+            col::QUANTITY,
+            CmpOp::Lt,
+            &Value::F64(24.0),
+            &sel,
+        )
+        .unwrap();
         let s = sel.len() as f64 / 50_000.0;
         assert!((0.005..0.05).contains(&s), "selectivity {s}");
     }

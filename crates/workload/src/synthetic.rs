@@ -7,9 +7,8 @@
 
 use colstore::ColTable;
 use fabric_sim::MemoryHierarchy;
+use fabric_types::rng::DetRng;
 use fabric_types::{ColumnType, Result, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rowstore::RowTable;
 
 /// Values are drawn uniformly from `0..VALUE_RANGE`, so a predicate
@@ -37,7 +36,7 @@ impl SyntheticData {
         let schema = Schema::uniform(num_cols, ColumnType::I32);
         let mut rows = RowTable::create(mem, schema.clone(), num_rows)?;
         let mut cols = ColTable::create(mem, schema, num_rows)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut buf: Vec<Value> = Vec::with_capacity(num_cols);
         for _ in 0..num_rows {
             buf.clear();
@@ -47,7 +46,12 @@ impl SyntheticData {
             rows.load(mem, &buf)?;
             cols.load(mem, &buf)?;
         }
-        Ok(SyntheticData { rows, cols, num_rows, num_cols })
+        Ok(SyntheticData {
+            rows,
+            cols,
+            num_rows,
+            num_cols,
+        })
     }
 
     /// The threshold value for a predicate of selectivity `s` on any column.

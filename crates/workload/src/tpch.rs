@@ -10,9 +10,8 @@
 
 use colstore::ColTable;
 use fabric_sim::MemoryHierarchy;
+use fabric_types::rng::DetRng;
 use fabric_types::{ColumnType, Result, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rowstore::RowTable;
 
 pub use fabric_types::value::days_from_civil;
@@ -88,11 +87,16 @@ impl Lineitem {
         let schema = Self::schema();
         let mut rows = RowTable::create(mem, schema.clone(), num_rows)?;
         let mut cols = ColTable::create(mem, schema, num_rows)?;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
 
         let ship_lo = days_from_civil(1992, 1, 2) as i64;
         let ship_hi = days_from_civil(1998, 12, 1) as i64;
-        let instructs = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+        let instructs = [
+            "DELIVER IN PERSON",
+            "COLLECT COD",
+            "NONE",
+            "TAKE BACK RETURN",
+        ];
         let modes = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
         let mut orderkey = 1i64;
@@ -108,8 +112,8 @@ impl Lineitem {
             let discount = rng.gen_range(0..=10) as f64 / 100.0;
             let tax = rng.gen_range(0..=8) as f64 / 100.0;
             let shipdate = rng.gen_range(ship_lo..=ship_hi) as u32;
-            let commitdate = shipdate.saturating_add(rng.gen_range(0..=60));
-            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let commitdate = shipdate.saturating_add(rng.gen_range(0..=60u32));
+            let receiptdate = shipdate + rng.gen_range(1..=30u32);
             // TPC-H semantics: returnflag depends on receiptdate vs the
             // current date; linestatus on shipdate. Approximate with the
             // spec's cutoff of 1995-06-17.
@@ -147,7 +151,11 @@ impl Lineitem {
             cols.load(mem, &row)?;
             linenumber += 1;
         }
-        Ok(Lineitem { rows, cols, num_rows })
+        Ok(Lineitem {
+            rows,
+            cols,
+            num_rows,
+        })
     }
 
     /// Number of rows so the Q6 target column group occupies

@@ -2,19 +2,18 @@
 //! and two OLAP readers — coordinated only by MVCC snapshots.
 //!
 //! The simulated machine is a shared resource (one `MemoryHierarchy`), so
-//! threads take a `parking_lot::Mutex` for each operation; the *logical*
+//! threads take a `std::sync::Mutex` for each operation; the *logical*
 //! isolation, however, comes entirely from the §III-C timestamps: readers
 //! never block writers, and every analytical answer corresponds to a
 //! consistent commit point.
 //!
 //! Run with: `cargo run --release --example concurrent_htap`
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fabric_types::rng::DetRng;
 use relational_fabric::mvcc::scan::rm_visible_sum;
 use relational_fabric::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 const ACCOUNTS: usize = 5_000;
 const BATCHES: usize = 40;
@@ -46,16 +45,16 @@ fn main() {
     let db = Mutex::new(Db { mem, table });
     let writer_done = AtomicBool::new(false);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // OLTP writer: balance-preserving transfers.
-        let writer = scope.spawn(|_| {
-            let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let writer = scope.spawn(|| {
+            let mut rng = DetRng::seed_from_u64(0xC0FFEE);
             let mut committed = 0usize;
             let mut conflicts = 0usize;
             for _ in 0..BATCHES {
                 let mut txn = tm.begin();
                 {
-                    let mut db = db.lock();
+                    let mut db = db.lock().expect("db mutex");
                     let Db { mem, table } = &mut *db;
                     // Buffered transactions have no read-your-writes, so
                     // accumulate this batch's deltas locally and emit one
@@ -82,7 +81,7 @@ fn main() {
                         txn.update(l, vec![(1, Value::I64(bal + delta))]);
                     }
                 }
-                let mut db = db.lock();
+                let mut db = db.lock().expect("db mutex");
                 let Db { mem, table } = &mut *db;
                 match tm.commit(mem, table, txn) {
                     Ok(_) => committed += 1,
@@ -100,12 +99,12 @@ fn main() {
             let writer_done = &writer_done;
             let db = &db;
             let tm = &tm;
-            readers.push(scope.spawn(move |_| {
+            readers.push(scope.spawn(move || {
                 let expected = (ACCOUNTS as i64) * 1_000;
                 let mut scans = 0usize;
                 loop {
                     {
-                        let mut db = db.lock();
+                        let mut db = db.lock().expect("db mutex");
                         let Db { mem, table } = &mut *db;
                         let ts = tm.snapshot_ts();
                         let (total, n) =
@@ -132,10 +131,9 @@ fn main() {
             "writer committed {committed} batches ({conflicts} conflicts); \
              readers completed {scans} consistent snapshot scans"
         );
-    })
-    .expect("threads");
+    });
 
-    let db = db.into_inner();
+    let db = db.into_inner().expect("db mutex");
     println!(
         "final: {} physical versions for {} logical rows; every snapshot satisfied \
          the balance invariant",

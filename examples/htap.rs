@@ -10,8 +10,7 @@
 //!
 //! Run with: `cargo run --release --example htap`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fabric_types::rng::DetRng;
 use relational_fabric::mvcc::scan::{rm_visible_sum, sw_visible_sum};
 use relational_fabric::prelude::*;
 
@@ -40,7 +39,7 @@ fn main() {
     let expected_total = (ACCOUNTS as i64) * INITIAL_BALANCE;
     println!("loaded {ACCOUNTS} accounts, total balance {expected_total}");
 
-    let mut rng = StdRng::seed_from_u64(0x47A9);
+    let mut rng = DetRng::seed_from_u64(0x47A9);
     let mut conflicts = 0usize;
     let mut snapshots = 0usize;
     for batch in 0..TRANSFER_BATCHES {
@@ -75,7 +74,8 @@ fn main() {
         rival.update(victim, vec![(1, Value::I64(0))]);
         let rival_first = batch % 2 == 0;
         if rival_first {
-            tm.commit(&mut mem, &mut table, rival).expect("rival commit");
+            tm.commit(&mut mem, &mut table, rival)
+                .expect("rival commit");
             if tm.commit(&mut mem, &mut table, txn).is_err() {
                 conflicts += 1;
             }
@@ -96,8 +96,15 @@ fn main() {
         // rival commits; transfers preserve the sum. Verify against the
         // software path for exactness.
         let (sw_total, sw_visible) = sw_visible_sum(&mut mem, &table, 1, ts).expect("sw scan");
-        assert_eq!((total, visible), (sw_total, sw_visible), "HW/SW visibility disagree");
-        assert_eq!(visible as usize, ACCOUNTS, "every account visible exactly once");
+        assert_eq!(
+            (total, visible),
+            (sw_total, sw_visible),
+            "HW/SW visibility disagree"
+        );
+        assert_eq!(
+            visible as usize, ACCOUNTS,
+            "every account visible exactly once"
+        );
     }
 
     println!(
@@ -109,12 +116,18 @@ fn main() {
     // Vacuum away everything no live snapshot can see.
     let before = table.version_count();
     let removed = table.vacuum(&mut mem, tm.snapshot_ts()).expect("vacuum");
-    println!("vacuum: {before} versions -> {} ({removed} dead versions reclaimed)", table.version_count());
+    println!(
+        "vacuum: {before} versions -> {} ({removed} dead versions reclaimed)",
+        table.version_count()
+    );
 
     let ts = tm.snapshot_ts();
     let (total, visible) =
         rm_visible_sum(&mut mem, &table, 1, ts, RmConfig::prototype()).expect("post-vacuum scan");
     assert_eq!(visible as usize, ACCOUNTS);
     println!("post-vacuum total balance: {total} over {visible} accounts — consistent");
-    println!("simulated time: {:.2} ms", mem.config().cycles_to_ns(mem.now()) / 1e6);
+    println!(
+        "simulated time: {:.2} ms",
+        mem.config().cycles_to_ns(mem.now()) / 1e6
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     ]);
     let rows = 100_000;
     let mut table = RowTable::create(&mut mem, schema, rows).expect("create table");
-    println!("loading {rows} rows ({}-byte rows)...", table.layout().row_width());
+    println!(
+        "loading {rows} rows ({}-byte rows)...",
+        table.layout().row_width()
+    );
     for i in 0..rows as i64 {
         table
             .load(

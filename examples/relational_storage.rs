@@ -9,9 +9,7 @@
 use relational_fabric::compress;
 use relational_fabric::prelude::*;
 use relational_fabric::rs::CompressedTable;
-use relational_fabric::types::{
-    AggFunc, AggSpec, ColumnPredicate, FieldSlice, OutputMode,
-};
+use relational_fabric::types::{AggFunc, AggSpec, ColumnPredicate, FieldSlice, OutputMode};
 
 fn main() {
     let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
@@ -48,11 +46,7 @@ fn main() {
 
     // Near-data: SELECT id, amount WHERE region = 7.
     dev.reset_timing();
-    let pred = Predicate::always_true().and(ColumnPredicate::new(
-        region,
-        CmpOp::Eq,
-        Value::I32(7),
-    ));
+    let pred = Predicate::always_true().and(ColumnPredicate::new(region, CmpOp::Eq, Value::I32(7)));
     let t0 = mem.now();
     let (out, near) = dev
         .fetch_geometry(&mut mem, &table, vec![id, amount], pred.clone())
@@ -66,14 +60,16 @@ fn main() {
 
     // Near-data aggregation: only scalars cross the link.
     dev.reset_timing();
-    let g = fabric_types::Geometry::packed(0, 24, table.rows, vec![amount])
+    let g = Geometry::packed(0, 24, table.rows, vec![amount])
         .with_predicate(pred)
         .with_mode(OutputMode::Aggregate(vec![
             AggSpec::count(),
             AggSpec::over(AggFunc::Sum, amount),
         ]));
     let t0 = mem.now();
-    let (vals, agg) = dev.fetch_aggregate(&mut mem, &table, &g).expect("fetch_aggregate");
+    let (vals, agg) = dev
+        .fetch_aggregate(&mut mem, &table, &g)
+        .expect("fetch_aggregate");
     println!(
         "aggregation:    {:7.3} ms, shipped {} bytes: count = {}, sum = {}",
         mem.ns_since(t0) / 1e6,
@@ -84,8 +80,12 @@ fn main() {
 
     // On-the-fly decompression (the open question Q3 of §VII).
     let schema = Schema::from_pairs(&[("region", ColumnType::I32), ("amount", ColumnType::I64)]);
-    let col_region: Vec<u8> = (0..rows).flat_map(|i| ((i % 50) as i32).to_le_bytes()).collect();
-    let col_amount: Vec<u8> = (0..rows).flat_map(|i| ((i % 997) as i64).to_le_bytes()).collect();
+    let col_region: Vec<u8> = (0..rows)
+        .flat_map(|i| ((i % 50) as i32).to_le_bytes())
+        .collect();
+    let col_amount: Vec<u8> = (0..rows)
+        .flat_map(|i| ((i % 997) as i64).to_le_bytes())
+        .collect();
     let ct = CompressedTable::store(&mut dev, schema, rows, vec![col_region, col_amount])
         .expect("compressed store");
     println!(
@@ -94,11 +94,15 @@ fn main() {
     );
     dev.reset_timing();
     let t0 = mem.now();
-    let (_, near) = ct.fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1]).expect("near");
+    let (_, near) = ct
+        .fetch_rows_decompressed(&mut dev, &mut mem, &[0, 1])
+        .expect("near");
     let near_ms = mem.ns_since(t0) / 1e6;
     dev.reset_timing();
     let t0 = mem.now();
-    let (_, host) = ct.fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1]).expect("host");
+    let (_, host) = ct
+        .fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1])
+        .expect("host");
     let host_ms = mem.ns_since(t0) / 1e6;
     println!(
         "device decompress -> rows: {near_ms:6.3} ms ({:.1} MiB shipped)",

@@ -25,11 +25,31 @@ fn main() {
     let col = queries::q6_col(&mut mem, &li).expect("col");
     let rm = queries::q6_rm(&mut mem, &li, RmConfig::prototype()).expect("rm");
     let push = queries::q6_rm_pushdown(&mut mem, &li, RmConfig::prototype()).expect("push");
-    println!("  ROW          {:9.3} ms   revenue = {:.2}", row.ns / 1e6, row.checksum);
-    println!("  COL          {:9.3} ms   revenue = {:.2}", col.ns / 1e6, col.checksum);
-    println!("  RM           {:9.3} ms   revenue = {:.2}", rm.ns / 1e6, rm.checksum);
-    println!("  RM+pushdown  {:9.3} ms   revenue = {:.2}", push.ns / 1e6, push.checksum);
-    println!("  RM speedup: {:.2}x vs ROW, {:.2}x vs COL", row.ns / rm.ns, col.ns / rm.ns);
+    println!(
+        "  ROW          {:9.3} ms   revenue = {:.2}",
+        row.ns / 1e6,
+        row.checksum
+    );
+    println!(
+        "  COL          {:9.3} ms   revenue = {:.2}",
+        col.ns / 1e6,
+        col.checksum
+    );
+    println!(
+        "  RM           {:9.3} ms   revenue = {:.2}",
+        rm.ns / 1e6,
+        rm.checksum
+    );
+    println!(
+        "  RM+pushdown  {:9.3} ms   revenue = {:.2}",
+        push.ns / 1e6,
+        push.checksum
+    );
+    println!(
+        "  RM speedup: {:.2}x vs ROW, {:.2}x vs COL",
+        row.ns / rm.ns,
+        col.ns / rm.ns
+    );
 
     println!("\nTPC-H Q1 (compute-bound; layouts matter less):");
     let row = queries::q1_row(&mut mem, &li).expect("row");
@@ -38,5 +58,9 @@ fn main() {
     println!("  ROW          {:9.3} ms", row.ns / 1e6);
     println!("  COL          {:9.3} ms", col.ns / 1e6);
     println!("  RM           {:9.3} ms", rm.ns / 1e6);
-    println!("  RM speedup: {:.2}x vs ROW, {:.2}x vs COL", row.ns / rm.ns, col.ns / rm.ns);
+    println!(
+        "  RM speedup: {:.2}x vs ROW, {:.2}x vs COL",
+        row.ns / rm.ns,
+        col.ns / rm.ns
+    );
 }

@@ -5,9 +5,7 @@
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use relational_fabric::prelude::*;
 use relational_fabric::sql::{self, AccessPath};
-use relational_fabric::workload::micro::{
-    run_col, run_rm, run_rm_pushdown, run_row, MicroQuery,
-};
+use relational_fabric::workload::micro::{run_col, run_rm, run_rm_pushdown, run_row, MicroQuery};
 use relational_fabric::workload::{queries, Lineitem, SyntheticData};
 
 fn close(a: f64, b: f64) -> bool {

@@ -5,6 +5,8 @@
 //! the software and the in-fabric visibility paths — and keep matching
 //! after vacuum.
 
+#![cfg(feature = "proptest")]
+
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use proptest::prelude::*;
 use relational_fabric::mvcc::scan::{collect_visible, rm_visible_sum, sw_visible_sum};
@@ -79,11 +81,7 @@ fn run_history(ops: &[Op]) -> (MemoryHierarchy, VersionedTable, TxnManager, Hist
 
 /// The visible rows of the real table at `ts`, as (logical key ordering is
 /// not defined, so compare as multisets of (k, v)).
-fn visible_multiset(
-    mem: &mut MemoryHierarchy,
-    table: &VersionedTable,
-    ts: u64,
-) -> Vec<(i64, i64)> {
+fn visible_multiset(mem: &mut MemoryHierarchy, table: &VersionedTable, ts: u64) -> Vec<(i64, i64)> {
     let mut rows: Vec<(i64, i64)> = collect_visible(mem, table, ts)
         .unwrap()
         .into_iter()

@@ -27,7 +27,12 @@ fn fig5_rm_always_beats_row() {
         let row = run_row(&mut mem, &d.rows, &q).unwrap();
         let rm = run_rm(&mut mem, &d.rows, &q, RmConfig::prototype()).unwrap();
         assert_eq!(row.checksum, rm.checksum);
-        assert!(rm.ns < row.ns, "p={p}: RM {:.0} !< ROW {:.0}", rm.ns, row.ns);
+        assert!(
+            rm.ns < row.ns,
+            "p={p}: RM {:.0} !< ROW {:.0}",
+            rm.ns,
+            row.ns
+        );
     }
 }
 
@@ -40,13 +45,23 @@ fn fig5_col_rm_crossover_at_four_columns() {
         let q = MicroQuery::projectivity(p);
         let col = run_col(&mut mem, &d.cols, &q).unwrap();
         let rm = run_rm(&mut mem, &d.rows, &q, RmConfig::prototype()).unwrap();
-        assert!(col.ns < rm.ns, "p={p}: COL {:.0} !< RM {:.0}", col.ns, rm.ns);
+        assert!(
+            col.ns < rm.ns,
+            "p={p}: COL {:.0} !< RM {:.0}",
+            col.ns,
+            rm.ns
+        );
     }
     for p in [5usize, 7, 9, 11] {
         let q = MicroQuery::projectivity(p);
         let col = run_col(&mut mem, &d.cols, &q).unwrap();
         let rm = run_rm(&mut mem, &d.rows, &q, RmConfig::prototype()).unwrap();
-        assert!(rm.ns < col.ns, "p={p}: RM {:.0} !< COL {:.0}", rm.ns, col.ns);
+        assert!(
+            rm.ns < col.ns,
+            "p={p}: RM {:.0} !< COL {:.0}",
+            rm.ns,
+            col.ns
+        );
     }
 }
 
@@ -113,7 +128,10 @@ fn fig7a_q1_layouts_are_close() {
     let rm = queries::q1_rm(&mut mem, &li, RmConfig::prototype()).unwrap();
     assert!(rm.ns <= row.ns, "RM should not lose to ROW on Q1");
     let spread = row.ns / rm.ns.min(col.ns);
-    assert!(spread < 2.0, "Q1 layouts should be within 2x, spread {spread:.2}");
+    assert!(
+        spread < 2.0,
+        "Q1 layouts should be within 2x, spread {spread:.2}"
+    );
 }
 
 /// The prefetch-stream ablation: the column store's degradation at high
@@ -127,7 +145,9 @@ fn prefetch_stream_capacity_drives_col_degradation() {
         cfg.prefetch_streams = streams;
         let mut mem = MemoryHierarchy::new(cfg);
         let d = SyntheticData::build(&mut mem, MICRO_ROWS, 16, 0x5AFE).unwrap();
-        run_col(&mut mem, &d.cols, &MicroQuery::projectivity(p)).unwrap().ns
+        run_col(&mut mem, &d.cols, &MicroQuery::projectivity(p))
+            .unwrap()
+            .ns
     };
     // At p = 7 (past the A53's 4 streams) a 16-stream prefetcher would
     // remove most of the penalty...

@@ -1,0 +1,174 @@
+//! End-to-end negative-path tests for pre-execution plan verification:
+//! each of the four canonical malformed plans must be rejected with a
+//! structured diagnostic — by `query::analyze` directly, and by the
+//! executor front door — without panicking anywhere in the stack.
+
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{CmpOp, ColumnType, Expr, FabricError, FieldSlice, Geometry, Schema, Value};
+use query::analyze::{analyze, PlanDiagnostic};
+use query::bind::{BoundQuery, OutputItem};
+use query::{AccessPath, Catalog};
+use relmem::{RmConfig, VerifiedGeometry};
+use rowstore::RowTable;
+
+/// Catalog with one row-only table `t(id i64, flag char(1), qty f64)` and
+/// a handful of rows so executors would actually run if verification let
+/// a plan through.
+fn setup() -> (MemoryHierarchy, Catalog) {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let schema = Schema::from_pairs(&[
+        ("id", ColumnType::I64),
+        ("flag", ColumnType::FixedStr(1)),
+        ("qty", ColumnType::F64),
+    ]);
+    let mut t = RowTable::create(&mut mem, schema, 16).unwrap();
+    for i in 0..10 {
+        t.load(
+            &mut mem,
+            &[Value::I64(i), Value::Str("A".into()), Value::F64(i as f64)],
+        )
+        .unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register_rows("t", t);
+    (mem, c)
+}
+
+fn plan(touched: Vec<usize>) -> BoundQuery {
+    BoundQuery {
+        table: "t".into(),
+        items: (0..touched.len())
+            .map(|s| OutputItem::Expr(Expr::col(s)))
+            .collect(),
+        touched,
+        preds: vec![],
+        group_by: vec![],
+        order_by: vec![],
+        limit: None,
+    }
+}
+
+/// Both front doors must reject without panicking: `analyze` with the
+/// expected diagnostic, `execute` / `execute_on` with an error.
+fn assert_rejected(bound: &BoundQuery, want: impl Fn(&PlanDiagnostic) -> bool) {
+    let (mut mem, c) = setup();
+    let entry = c.get("t").unwrap();
+    let err = analyze(entry, bound, &RmConfig::prototype())
+        .err()
+        .expect("analyzer accepted a malformed plan");
+    assert!(
+        err.diagnostics.iter().any(want),
+        "wrong diagnostics: {err:?}"
+    );
+    assert!(query::execute(&mut mem, &c, bound).is_err());
+    for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
+        assert!(
+            query::execute_on(&mut mem, &c, bound, path).is_err(),
+            "{path:?} ran"
+        );
+    }
+}
+
+/// Fixture 1: a column group reaching outside the schema / base row.
+#[test]
+fn rejects_out_of_bounds_column_group() {
+    assert_rejected(&plan(vec![0, 7]), |d| {
+        matches!(
+            d,
+            PlanDiagnostic::ProjectionColumnOutOfRange {
+                column: 7,
+                columns: 3
+            }
+        )
+    });
+    // The same class of defect at the geometry level: a field past the end
+    // of the row is refused device admission.
+    let g = Geometry::packed(0, 17, 10, vec![FieldSlice::new(0, 16, ColumnType::I64)]);
+    let err = VerifiedGeometry::new(&RmConfig::prototype(), g).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FabricError::GeometryOutOfBounds {
+                offset: 16,
+                width: 8,
+                row_width: 17
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+/// Fixture 2: two requested fields whose destination byte ranges overlap.
+#[test]
+fn rejects_overlapping_destinations() {
+    let g = Geometry::packed(
+        0,
+        64,
+        10,
+        vec![
+            FieldSlice::new(0, 0, ColumnType::I64),
+            FieldSlice::new(1, 4, ColumnType::I32), // bytes 4..8 overlap 0..8
+        ],
+    );
+    let err = VerifiedGeometry::new(&RmConfig::prototype(), g).unwrap_err();
+    assert!(
+        matches!(err, FabricError::InvalidGeometry(_)),
+        "got {err:?}"
+    );
+    // And the device API front door refuses the same geometry.
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let base = mem.alloc(64 * 10, 64).unwrap();
+    let g = Geometry::packed(
+        base,
+        64,
+        10,
+        vec![
+            FieldSlice::new(0, 0, ColumnType::I64),
+            FieldSlice::new(1, 4, ColumnType::I32),
+        ],
+    );
+    assert!(relmem::EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).is_err());
+}
+
+/// Fixture 3: a predicate comparing incomparable types.
+#[test]
+fn rejects_type_mismatched_predicate() {
+    let mut b = plan(vec![0]);
+    b.preds = vec![(0, CmpOp::Eq, Value::Str("oops".into()))];
+    assert_rejected(&b, |d| {
+        matches!(
+            d,
+            PlanDiagnostic::PredicateTypeMismatch { column, literal_type, .. }
+                if column == "id" && literal_type == "char(4)"
+        )
+    });
+    let mut b = plan(vec![1]);
+    b.preds = vec![(0, CmpOp::Gt, Value::F64(1.5))];
+    assert_rejected(
+        &b,
+        |d| matches!(d, PlanDiagnostic::PredicateTypeMismatch { column, .. } if column == "flag"),
+    );
+}
+
+/// Fixture 4: the same column projected into two slots.
+#[test]
+fn rejects_duplicate_projection_column() {
+    assert_rejected(&plan(vec![2, 2]), |d| {
+        matches!(d, PlanDiagnostic::DuplicateProjectionColumn { column: 2 })
+    });
+}
+
+/// Sanity: a well-formed plan still verifies and runs on every path.
+#[test]
+fn well_formed_plan_still_runs_on_every_path() {
+    let (mut mem, c) = setup();
+    let mut b = plan(vec![0, 2]);
+    b.preds = vec![(0, CmpOp::Lt, Value::I64(3))];
+    let out = query::execute(&mut mem, &c, &b).unwrap();
+    assert_eq!(out.rows.len(), 3);
+    for path in [AccessPath::Row, AccessPath::Rm] {
+        let out = query::execute_on(&mut mem, &c, &b, path).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[2], vec![Value::I64(2), Value::F64(2.0)]);
+    }
+}

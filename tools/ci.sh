@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 gate for the Relational Fabric workspace (see README.md).
+#
+# Everything here runs OFFLINE: the workspace resolves with zero external
+# crates, so this script must never need the network. Run it from the
+# repository root before every commit; CI runs exactly the same steps.
+#
+#   1. cargo fmt --check        (skipped if rustfmt is not installed)
+#   2. cargo build --release
+#   3. cargo test -q            (whole workspace)
+#   4. cargo run -p fabric-lint (source lints vs. lint-baseline.txt)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+say() { printf '\n==> %s\n' "$*"; }
+
+if cargo fmt --version >/dev/null 2>&1; then
+    say "cargo fmt --check"
+    cargo fmt --check
+else
+    say "cargo fmt not available — skipping format check"
+fi
+
+say "cargo build --release"
+cargo build --release
+
+say "cargo test -q --workspace"
+cargo test -q --workspace
+
+say "cargo run -p fabric-lint"
+cargo run -q -p fabric-lint
+
+say "tier-1 gate passed"
