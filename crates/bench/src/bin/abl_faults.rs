@@ -1,0 +1,146 @@
+//! Ablation of graceful degradation under injected faults (DESIGN.md §9):
+//! what does fault tolerance cost, and when does a faulty RM device stop
+//! being worth using?
+//!
+//! Sweeps the per-site fault rate (delivery timeouts + CRC corruption +
+//! engine stalls, all seeded and replayable) over an RM-routed projection
+//! query and reports the resilient executor's simulated time, the injected
+//! fault / retry / fallback counts, and the overhead vs. both the
+//! fault-free RM run and the pure-software ROW path. Every configuration
+//! must return the bit-identical answer — the sweep asserts it.
+//!
+//! Usage: `abl_faults [--rows N] [--seed S]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::{FaultConfig, MemoryHierarchy, RecoveryPolicy, SimConfig};
+use fabric_types::{ColumnType, Schema, Value};
+use query::{bind, execute_on, execute_resilient, parser, AccessPath, Catalog, FaultContext};
+use rowstore::RowTable;
+
+/// Wide rows-only table (16 × i64): the optimizer routes its projections
+/// to the RM path, which is what this ablation stresses.
+fn build_catalog(rows: usize) -> (MemoryHierarchy, Catalog) {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let names: Vec<(String, ColumnType)> = (0..16)
+        .map(|i| (format!("c{i}"), ColumnType::I64))
+        .collect();
+    let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let schema = Schema::from_pairs(&pairs);
+    let mut rt = RowTable::create(&mut mem, schema, rows).expect("create");
+    for i in 0..rows as i64 {
+        let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
+        rt.load(&mut mem, &row).expect("load");
+    }
+    let mut c = Catalog::new();
+    c.register_rows("t", rt);
+    (mem, c)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = arg_usize(&args, "--rows", 32_768);
+    let seed = arg_usize(&args, "--seed", 0xFA_B51C) as u64;
+    let sql = format!("SELECT c0, c5 FROM t WHERE c0 < {}", (rows as i64) * 8);
+
+    eprintln!("# loading {rows} rows...");
+    let (mut mem, c) = build_catalog(rows);
+    let bound = bind::bind(&c, &parser::parse(&sql).expect("parse")).expect("bind");
+
+    // Baselines: the fault-free RM run and the pure-software ROW path.
+    let clean = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    let row = execute_on(&mut mem, &c, &bound, AccessPath::Row).expect("row");
+
+    let rounds = arg_usize(&args, "--rounds", 16);
+    let mut out = Vec::new();
+    for rate in [0.0, 1e-3, 1e-2, 5e-2, 0.2] {
+        let cfg = FaultConfig {
+            rm_stall_prob: rate,
+            rm_stall_ns: 2_500.0,
+            rm_timeout_prob: rate,
+            rm_corrupt_prob: rate,
+            ..FaultConfig::quiet(seed)
+        };
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let mut total_ns = 0.0;
+        let mut retries = 0u64;
+        for _ in 0..rounds {
+            let res = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+            assert_eq!(res.rows, clean.rows, "degradation must preserve the answer");
+            total_ns += res.ns;
+            retries += res.rm_stats.map_or(0, |s| s.retries);
+        }
+        let mean = total_ns / rounds as f64;
+        out.push(vec![
+            format!("{rate:.3}"),
+            fmt_ns(mean),
+            format!("{:.2}x", mean / clean.ns),
+            format!("{:.2}x", mean / row.ns),
+            format!("{}", ctx.plan.stats().total()),
+            format!("{retries}"),
+            format!("{}", ctx.fallbacks),
+        ]);
+    }
+    println!(
+        "Degradation overhead vs fault rate ({rows} rows, {rounds} rounds per \
+         rate, seed {seed}; fault-free RM = {}, pure software ROW = {}):",
+        fmt_ns(clean.ns),
+        fmt_ns(row.ns)
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "fault rate",
+                "mean time",
+                "vs clean RM",
+                "vs ROW",
+                "injected",
+                "retries",
+                "fallbacks",
+            ],
+            &out
+        )
+    );
+
+    // --- A dead device: every delivery times out, so the executor
+    // re-plans onto software after the retry budget. The interesting
+    // number is the price of the wasted RM attempt vs. going straight
+    // to the software path.
+    let cfg = FaultConfig {
+        rm_timeout_prob: 1.0,
+        ..FaultConfig::quiet(seed)
+    };
+    let policy = RecoveryPolicy::default();
+    let mut ctx = FaultContext::new(cfg, policy);
+    let mut out = Vec::new();
+    for round in 1..=(policy.breaker_threshold + 2) {
+        let res = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+        assert_eq!(res.rows, clean.rows);
+        out.push(vec![
+            format!("{round}"),
+            fmt_ns(res.ns),
+            format!("{:.2}x", res.ns / row.ns),
+            format!("{}", ctx.fallbacks),
+            format!("{}", ctx.breaker_skips),
+            format!("{:?}", ctx.rm_health().state()),
+        ]);
+    }
+    println!(
+        "Dead-device rounds (timeout prob 1.0): fallback cost amortizes once \
+         the breaker opens and the RM attempt is skipped entirely:"
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "round",
+                "time",
+                "vs ROW",
+                "fallbacks",
+                "breaker skips",
+                "breaker"
+            ],
+            &out
+        )
+    );
+}

@@ -6,7 +6,7 @@
 //! Built on std only so it resolves offline like the rest of the
 //! workspace: a line/token scanner over sanitized source (comments and
 //! string literals blanked out, `#[cfg(test)]` regions tracked by brace
-//! depth), not a full parser. Four rule families:
+//! depth), not a full parser. Five rule families:
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(` / `panic!` / `todo!` are
 //!   forbidden in non-test *library* code of the core crates
@@ -20,6 +20,11 @@
 //!   [`HOT_PATH_DIRS`]) where silent truncation corrupts packed batches;
 //!   use `try_from` and surface the error.
 //! * **no-exit** — `process::exit` never belongs in library code.
+//! * **ignored-result** — silently discarding a `Result` (`let _ = …`
+//!   with the bare `_` pattern, or a statement-level `….ok();`) is
+//!   forbidden in non-test library code of the core crates: a fault that
+//!   recovery machinery surfaced must be handled or named, never dropped
+//!   on the floor.
 //!
 //! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
 //! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
@@ -46,13 +51,14 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// Hot-path directory prefixes (every `.rs` file below them).
 pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
 
-/// The four rule families.
+/// The five rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoUnwrap,
     UndocumentedUnsafe,
     NarrowingCast,
     NoExit,
+    IgnoredResult,
 }
 
 impl Rule {
@@ -63,6 +69,7 @@ impl Rule {
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::NarrowingCast => "narrowing-cast",
             Rule::NoExit => "no-exit",
+            Rule::IgnoredResult => "ignored-result",
         }
     }
 
@@ -72,6 +79,7 @@ impl Rule {
             "undocumented-unsafe" => Some(Rule::UndocumentedUnsafe),
             "narrowing-cast" => Some(Rule::NarrowingCast),
             "no-exit" => Some(Rule::NoExit),
+            "ignored-result" => Some(Rule::IgnoredResult),
             _ => None,
         }
     }
@@ -194,6 +202,32 @@ fn narrowing_casts(line: &str) -> Vec<&'static str> {
     hits
 }
 
+/// Silent `Result` discards on a sanitized line (rule `ignored-result`):
+/// the bare-`_` binding (`let _ = …`, never `let _name = …` or a tuple
+/// pattern), and a statement that ends by dropping an `….ok();` Option
+/// without binding it.
+fn ignored_result_discards(line: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    for at in find_bounded(line, "let", true, true) {
+        let rest = line[at + 3..].trim_start();
+        let Some(after) = rest.strip_prefix('_') else {
+            continue;
+        };
+        if after.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+            continue; // named placeholder like `_ignored`: visible at review
+        }
+        let after = after.trim_start();
+        if after.starts_with('=') && !after.starts_with("==") {
+            hits.push("`let _ = …` discards the value");
+        }
+    }
+    let t = line.trim_end();
+    if t.ends_with(".ok();") && !t.contains('=') {
+        hits.push("statement-level `.ok()` drops the error unseen");
+    }
+    hits
+}
+
 fn excerpt_of(raw: &str) -> String {
     let t = raw.trim();
     if t.len() > 90 {
@@ -299,6 +333,20 @@ pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
                         excerpt: excerpt_of(raw),
                     });
                 }
+            }
+        }
+
+        // ignored-result: core-crate library code must not silently
+        // discard fallible outcomes.
+        if class.is_core && class.is_lib {
+            for why in ignored_result_discards(line) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::IgnoredResult,
+                    message: format!("{why} in core-crate library code (handle or name it)"),
+                    excerpt: excerpt_of(raw),
+                });
             }
         }
 
@@ -439,6 +487,18 @@ mod tests {
         let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }\n";
         let d = scan_source("crates/relmem/src/x.rs", src, &core_lib());
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn ignored_result_detection() {
+        assert_eq!(ignored_result_discards("let _ = run();").len(), 1);
+        assert_eq!(ignored_result_discards("    let _ =writeln!(f);").len(), 1);
+        assert_eq!(ignored_result_discards("retry().ok();").len(), 1);
+        assert!(ignored_result_discards("let _ignored = run();").is_empty());
+        assert!(ignored_result_discards("let (_, x) = pair();").is_empty());
+        assert!(ignored_result_discards("let x = run().ok();").is_empty());
+        assert!(ignored_result_discards("if x == y { run()?; }").is_empty());
+        assert!(ignored_result_discards("violet = 3;").is_empty());
     }
 
     #[test]

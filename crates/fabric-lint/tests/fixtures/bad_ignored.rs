@@ -1,0 +1,9 @@
+//! Fixture: silent `Result` discards (rule `ignored-result`).
+
+fn fallible() -> Result<u32, String> { Ok(1) }
+
+pub fn f() {
+    let _ = fallible();
+    fallible().ok();
+    let _  = fallible();
+}

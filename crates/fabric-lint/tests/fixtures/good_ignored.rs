@@ -1,0 +1,33 @@
+//! Fixture: fallible outcomes handled, named, or genuinely used (clean
+//! for rule `ignored-result`).
+
+fn fallible() -> Result<u32, String> { Ok(1) }
+
+pub fn f() -> Result<u32, String> {
+    // A named placeholder is a reviewed decision, not a silent drop.
+    let _deliberately_ignored = fallible();
+    // Binding the Option uses it.
+    let maybe = fallible().ok();
+    // Destructuring patterns with `_` components use the other parts.
+    let (_, kept) = (fallible(), 2);
+    // `?` propagates; comparison `==` is not an assignment to `_`.
+    let v = fallible()?;
+    if v == 1 {
+        return Ok(kept + maybe.unwrap_or(0));
+    }
+    // Mentioning `let _ = x;` in a comment or "let _ = s.ok();" in a
+    // string does not count.
+    let s = "let _ = in_a_string().ok();";
+    Ok(s.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_discard() {
+        let _ = fallible();
+        fallible().ok();
+    }
+}

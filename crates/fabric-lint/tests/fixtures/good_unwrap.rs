@@ -5,7 +5,7 @@
 /// Never calls `.unwrap()` outside tests; see panic!() docs.
 pub fn careful(x: Option<u64>) -> u64 {
     let msg = "do not panic!() or todo!() here";
-    let _ = msg;
+    let _mentioned = msg;
     x.unwrap_or_default().max(x.unwrap_or(3))
 }
 

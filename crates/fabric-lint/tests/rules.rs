@@ -92,6 +92,26 @@ fn no_exit_flags_library_code_only() {
 }
 
 #[test]
+fn ignored_result_flags_bare_discards_in_core_lib_code() {
+    let d = scan_as("bad_ignored.rs", "crates/query/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::IgnoredResult), vec![6, 7, 8], "{d:?}");
+    assert!(d.iter().any(|x| x.message.contains("let _ =")));
+    assert!(d.iter().any(|x| x.message.contains(".ok()")));
+}
+
+#[test]
+fn ignored_result_scope_and_negative_space() {
+    // Non-core crate: out of scope.
+    assert!(scan_as("bad_ignored.rs", "crates/workload/src/fixture.rs").is_empty());
+    // Core crate, test target: out of scope.
+    assert!(scan_as("bad_ignored.rs", "crates/query/tests/fixture.rs").is_empty());
+    // Named placeholders, bound Options, patterns, comments, strings,
+    // and `#[cfg(test)]` regions are all clean.
+    let d = scan_as("good_ignored.rs", "crates/query/src/fixture.rs");
+    assert!(lines_of(&d, Rule::IgnoredResult).is_empty(), "{d:?}");
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let d = scan_as("bad_exit.rs", "crates/workload/src/fixture.rs");
     let shown = d[0].to_string();

@@ -28,6 +28,7 @@ pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod faults;
 pub mod hierarchy;
 pub mod prefetch;
 pub mod stats;
@@ -36,6 +37,9 @@ pub use arena::MemArena;
 pub use cache::SetAssocCache;
 pub use config::SimConfig;
 pub use dram::DramModel;
+pub use faults::{
+    BreakerState, CircuitBreaker, FaultConfig, FaultPlan, FaultStats, RecoveryPolicy,
+};
 pub use hierarchy::MemoryHierarchy;
 pub use stats::MemStats;
 

@@ -34,6 +34,26 @@ pub enum FabricError {
     Sql(String),
     /// Storage-device failure.
     Storage(String),
+    /// A simulated device failed to deliver within its retry budget
+    /// (engine hang, bus timeout, or an open circuit breaker).
+    DeviceTimeout {
+        /// Which device timed out (`"rm-engine"`, `"relstore-ssd"`, ...).
+        device: String,
+        /// Delivery attempts made before giving up (0 = breaker open,
+        /// the device was not even tried).
+        attempts: u32,
+    },
+    /// A delivered batch failed its CRC32 frame check on every retry:
+    /// the data is corrupt and must not be consumed.
+    CorruptBatch {
+        /// Producing device or link (`"rm-engine"`, `"host-link"`, ...).
+        device: String,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// A flash page could not be read (latent sector error persisting
+    /// across the retry budget).
+    FlashReadError { page: u64, attempts: u32 },
     /// Catch-all for invariant violations that indicate a library bug.
     Internal(String),
 }
@@ -85,6 +105,18 @@ impl fmt::Display for FabricError {
             FabricError::Codec(msg) => write!(f, "codec error: {msg}"),
             FabricError::Sql(msg) => write!(f, "SQL error: {msg}"),
             FabricError::Storage(msg) => write!(f, "storage error: {msg}"),
+            FabricError::DeviceTimeout { device, attempts } => {
+                write!(f, "device `{device}` timed out after {attempts} attempts")
+            }
+            FabricError::CorruptBatch { device, attempts } => {
+                write!(
+                    f,
+                    "batch from `{device}` failed CRC after {attempts} attempts"
+                )
+            }
+            FabricError::FlashReadError { page, attempts } => {
+                write!(f, "flash page {page} unreadable after {attempts} attempts")
+            }
             FabricError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -110,6 +142,26 @@ mod tests {
         };
         assert!(e.to_string().contains("60"));
         assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn fault_variants_render_device_and_attempts() {
+        let e = FabricError::DeviceTimeout {
+            device: "rm-engine".into(),
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("rm-engine"));
+        assert!(e.to_string().contains('4'));
+        let e = FabricError::CorruptBatch {
+            device: "host-link".into(),
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("CRC"));
+        let e = FabricError::FlashReadError {
+            page: 17,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("17"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! the computational-SSD controller (`relstore`), and to the query
 //! optimizer's cost model (`query`).
 
+pub mod crc;
 pub mod error;
 pub mod expr;
 pub mod geometry;
@@ -22,6 +23,7 @@ pub mod rng;
 pub mod schema;
 pub mod value;
 
+pub use crc::crc32;
 pub use error::{FabricError, Result};
 pub use expr::{Expr, ValueAgg};
 pub use geometry::{AggFunc, AggSpec, FieldSlice, Geometry, OutputMode, TsFilter};

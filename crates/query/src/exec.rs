@@ -11,9 +11,9 @@ use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path, AccessPath, PathCost};
 use colstore::exec as colx;
-use fabric_sim::MemoryHierarchy;
+use fabric_sim::{CircuitBreaker, FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy};
 use fabric_types::{FabricError, Result, Value, ValueAgg};
-use relmem::{EphemeralColumns, RmConfig};
+use relmem::{EphemeralColumns, RmConfig, RmStats};
 use rowstore::volcano::{Filter, Operator, SeqScan};
 use std::collections::HashMap;
 
@@ -26,6 +26,50 @@ pub struct QueryOutput {
     pub ns: f64,
     /// The optimizer's estimates (for EXPLAIN-style output).
     pub cost: PathCost,
+    /// RM device statistics, when the RM path ran (even if it then
+    /// degraded — the failed attempt's injected-fault counters are here).
+    pub rm_stats: Option<RmStats>,
+    /// `Some(original_path)` when the executor transparently re-planned
+    /// onto `path` after the original faulted past its retry budget.
+    pub degraded_from: Option<AccessPath>,
+}
+
+/// Fault-handling state threaded through [`execute_resilient`] across
+/// queries: the seeded plan, the recovery budgets, and the RM engine's
+/// health. Hold one per simulated "machine" so the circuit breaker sees
+/// consecutive failures across queries, not just within one.
+pub struct FaultContext {
+    /// The seeded fault plan every RM delivery draws from.
+    pub plan: FaultPlan,
+    /// Retry/backoff/breaker budgets.
+    pub policy: RecoveryPolicy,
+    rm_health: CircuitBreaker,
+    /// Queries that degraded onto a software path after an RM fault.
+    pub fallbacks: u64,
+    /// Queries that skipped the RM path because its breaker was open.
+    pub breaker_skips: u64,
+}
+
+impl FaultContext {
+    pub fn new(cfg: FaultConfig, policy: RecoveryPolicy) -> Self {
+        FaultContext {
+            plan: FaultPlan::new(cfg),
+            rm_health: CircuitBreaker::new(&policy),
+            policy,
+            fallbacks: 0,
+            breaker_skips: 0,
+        }
+    }
+
+    /// A context whose plan injects nothing (useful as a baseline).
+    pub fn quiet() -> Self {
+        FaultContext::new(FaultConfig::quiet(0), RecoveryPolicy::default())
+    }
+
+    /// Health of the RM engine as seen by this context.
+    pub fn rm_health(&self) -> &CircuitBreaker {
+        &self.rm_health
+    }
 }
 
 /// Shared consumption: either collects projected rows or maintains grouped
@@ -88,7 +132,8 @@ impl<'q> Consumer<'q> {
         use std::fmt::Write as _;
         let mut key = String::new();
         for &slot in &self.bound.group_by {
-            let _ = write!(key, "{}\u{1f}", vals[slot]);
+            write!(key, "{}\u{1f}", vals[slot])
+                .map_err(|e| FabricError::Internal(format!("group key formatting: {e}")))?;
         }
         let entry = self.groups.entry(key).or_insert_with(|| {
             let key_vals: Vec<Value> = self
@@ -217,13 +262,33 @@ fn execute_with_cost(
     path: AccessPath,
     cost: PathCost,
 ) -> Result<QueryOutput> {
-    let bound = verified.bound();
     let t0 = mem.now();
-    let mut rows = match path {
-        AccessPath::Row => run_row(mem, entry, verified)?,
-        AccessPath::Col => run_col(mem, entry, verified)?,
-        AccessPath::Rm => run_rm(mem, verified)?,
+    let (rows, rm_stats) = match path {
+        AccessPath::Row => (run_row(mem, entry, verified)?, None),
+        AccessPath::Col => (run_col(mem, entry, verified)?, None),
+        AccessPath::Rm => {
+            let (rows, stats) = run_rm(mem, verified)?;
+            (rows, Some(stats))
+        }
     };
+    finish_output(mem, verified, rows, path, cost, t0, rm_stats, None)
+}
+
+/// Shared tail of every execution: ORDER BY / LIMIT post-processing and
+/// output assembly. `t0` is when the *first* attempt started, so a
+/// degraded run's `ns` includes the time burnt on the failed RM path.
+#[allow(clippy::too_many_arguments)]
+fn finish_output(
+    mem: &mut MemoryHierarchy,
+    verified: &VerifiedQuery<'_>,
+    mut rows: Vec<Vec<Value>>,
+    path: AccessPath,
+    cost: PathCost,
+    t0: fabric_sim::Cycles,
+    rm_stats: Option<RmStats>,
+    degraded_from: Option<AccessPath>,
+) -> Result<QueryOutput> {
+    let bound = verified.bound();
     if !bound.order_by.is_empty() {
         sort_rows(mem, &mut rows, &bound.order_by)?;
     }
@@ -235,7 +300,107 @@ fn execute_with_cost(
         path,
         ns: mem.ns_since(t0),
         cost,
+        rm_stats,
+        degraded_from,
     })
+}
+
+/// Is this an RM delivery fault the executor may transparently absorb by
+/// re-planning? Anything else (plan errors, type errors) must propagate.
+fn degradable(e: &FabricError) -> bool {
+    matches!(
+        e,
+        FabricError::DeviceTimeout { .. } | FabricError::CorruptBatch { .. }
+    )
+}
+
+/// The software path a faulted RM query re-plans onto: COL when a
+/// columnar copy exists (it was priced, so `col_ns` is `Some`), else ROW.
+fn fallback_path(cost: &PathCost) -> AccessPath {
+    if cost.col_ns.is_some() {
+        AccessPath::Col
+    } else {
+        AccessPath::Row
+    }
+}
+
+/// Fault-aware execution: like [`execute`], but RM-path queries run under
+/// `ctx`'s seeded fault plan with bounded retries, and — the headline —
+/// when the device faults past its retry budget (or its circuit breaker
+/// is open), the executor transparently re-plans onto the ROW/COL
+/// software path and returns the identical answer. The degradation is
+/// recorded in [`QueryOutput::degraded_from`] and counted in `ctx`.
+pub fn execute_resilient(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    ctx: &mut FaultContext,
+) -> Result<QueryOutput> {
+    let entry = catalog.get(&bound.table)?;
+    let verified = analyze(entry, bound, &RmConfig::prototype())?;
+    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    if path != AccessPath::Rm {
+        return execute_with_cost(mem, entry, &verified, path, cost);
+    }
+
+    let t0 = mem.now();
+    if !ctx.rm_health.allow() {
+        // Breaker open: don't even try the device; fail fast onto software.
+        ctx.breaker_skips += 1;
+        let fb = fallback_path(&cost);
+        let rows = match fb {
+            AccessPath::Col => run_col(mem, entry, &verified)?,
+            _ => run_row(mem, entry, &verified)?,
+        };
+        return finish_output(
+            mem,
+            &verified,
+            rows,
+            fb,
+            cost,
+            t0,
+            None,
+            Some(AccessPath::Rm),
+        );
+    }
+
+    match run_rm_resilient(mem, &verified, ctx) {
+        (Ok(rows), stats) => {
+            ctx.rm_health.record_success();
+            finish_output(
+                mem,
+                &verified,
+                rows,
+                AccessPath::Rm,
+                cost,
+                t0,
+                Some(stats),
+                None,
+            )
+        }
+        (Err(e), stats) if degradable(&e) => {
+            // The device is misbehaving past its retry budget: re-plan
+            // onto software. `t0` stays put — the wasted RM time is real.
+            ctx.rm_health.record_failure();
+            ctx.fallbacks += 1;
+            let fb = fallback_path(&cost);
+            let rows = match fb {
+                AccessPath::Col => run_col(mem, entry, &verified)?,
+                _ => run_row(mem, entry, &verified)?,
+            };
+            finish_output(
+                mem,
+                &verified,
+                rows,
+                fb,
+                cost,
+                t0,
+                Some(stats),
+                Some(AccessPath::Rm),
+            )
+        }
+        (Err(e), _) => Err(e),
+    }
 }
 
 /// Sort the result rows on the bound `(position, desc)` keys, charging an
@@ -350,7 +515,10 @@ fn run_col(
     consumer.finish()
 }
 
-fn run_rm(mem: &mut MemoryHierarchy, verified: &VerifiedQuery<'_>) -> Result<Vec<Vec<Value>>> {
+fn run_rm(
+    mem: &mut MemoryHierarchy,
+    verified: &VerifiedQuery<'_>,
+) -> Result<(Vec<Vec<Value>>, RmStats)> {
     let bound = verified.bound();
     let costs = mem.costs();
     // The geometry was admitted by the analyzer; configuration cannot fail.
@@ -381,7 +549,60 @@ fn run_rm(mem: &mut MemoryHierarchy, verified: &VerifiedQuery<'_>) -> Result<Vec
             consumer.feed(&vals)?;
         }
     }
-    consumer.finish()
+    let stats = eph.stats();
+    Ok((consumer.finish()?, stats))
+}
+
+/// The RM consumption loop of [`run_rm`], but every delivery runs under
+/// `ctx`'s fault plan via [`EphemeralColumns::next_batch_resilient`].
+/// Always returns the device stats — on error they carry the injected
+/// fault counts of the failed attempt into the degraded [`QueryOutput`].
+fn run_rm_resilient(
+    mem: &mut MemoryHierarchy,
+    verified: &VerifiedQuery<'_>,
+    ctx: &mut FaultContext,
+) -> (Result<Vec<Vec<Value>>>, RmStats) {
+    let bound = verified.bound();
+    let costs = mem.costs();
+    let mut eph = EphemeralColumns::configure_verified(
+        mem,
+        RmConfig::prototype(),
+        verified.geometry().clone(),
+    );
+
+    let mut consumer = Consumer::new(bound);
+    let row_cycles = consumer.row_cycles(&costs);
+    let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
+    loop {
+        let b = match eph.next_batch_resilient(mem, &mut ctx.plan, &ctx.policy) {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
+            Err(e) => return (Err(e), eph.stats()),
+        };
+        'rows: for r in 0..b.len() {
+            for (slot, op, lit) in &bound.preds {
+                mem.cpu(costs.value_op);
+                let cmp = match b.value(r, *slot).compare(lit) {
+                    Ok(c) => c,
+                    Err(e) => return (Err(e), eph.stats()),
+                };
+                if !op.matches(cmp) {
+                    mem.cpu(costs.branch_miss);
+                    continue 'rows;
+                }
+            }
+            vals.clear();
+            for slot in 0..bound.touched.len() {
+                vals.push(b.value(r, slot));
+            }
+            mem.cpu(row_cycles + costs.vector_elem);
+            if let Err(e) = consumer.feed(&vals) {
+                return (Err(e), eph.stats());
+            }
+        }
+    }
+    let stats = eph.stats();
+    (consumer.finish(), stats)
 }
 
 #[cfg(test)]
@@ -544,6 +765,118 @@ mod tests {
         assert!(bind(&c, &parse("SELECT id FROM t ORDER BY 2").unwrap()).is_err());
         assert!(bind(&c, &parse("SELECT id FROM t ORDER BY qty").unwrap()).is_err());
         assert!(bind(&c, &parse("SELECT id, qty FROM t ORDER BY qty").unwrap()).is_ok());
+    }
+
+    /// A fixture the optimizer always routes to RM: a wide (16 × i64)
+    /// rows-only table where the packed projection is far cheaper than a
+    /// full-row software scan. c_j(i) = i*16 + j.
+    fn rm_setup(rows: usize) -> (MemoryHierarchy, Catalog) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let pairs: Vec<(String, ColumnType)> = (0..16)
+            .map(|i| (format!("c{i}"), ColumnType::I64))
+            .collect();
+        let pr: Vec<(&str, ColumnType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::from_pairs(&pr);
+        let mut rt = RowTable::create(&mut mem, schema, rows).unwrap();
+        for i in 0..rows as i64 {
+            let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
+            rt.load(&mut mem, &row).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register_rows("t", rt);
+        (mem, c)
+    }
+
+    const RM_SQL: &str = "SELECT c0, c5 FROM t WHERE c0 < 800";
+
+    #[test]
+    fn resilient_quiet_context_matches_plain_execution() {
+        let (mut mem, c) = setup();
+        let bound = bind(&c, &parse("SELECT id, qty FROM t WHERE id < 50").unwrap()).unwrap();
+        let plain = execute(&mut mem, &c, &bound).unwrap();
+        let mut ctx = FaultContext::quiet();
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        assert_eq!(out.rows, plain.rows);
+        assert_eq!(out.degraded_from, None);
+        assert_eq!(ctx.fallbacks, 0);
+
+        // And on an RM-routed plan, quiet faults deliver on the RM path
+        // with its stats attached.
+        let (mut mem, c) = rm_setup(1000);
+        let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
+        let mut ctx = FaultContext::quiet();
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        assert_eq!(out.path, AccessPath::Rm);
+        assert_eq!(out.degraded_from, None);
+        let stats = out.rm_stats.expect("RM run must report device stats");
+        assert_eq!(stats.rows_scanned, 1000);
+        assert_eq!(stats.injected_faults, 0);
+    }
+
+    #[test]
+    fn rm_fault_past_budget_degrades_transparently() {
+        let (mut mem, c) = rm_setup(1000);
+        let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
+        let expected = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        // Every delivery times out: the RM attempt must exhaust its budget.
+        let cfg = FaultConfig {
+            rm_timeout_prob: 1.0,
+            ..FaultConfig::quiet(9)
+        };
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        assert_eq!(out.degraded_from, Some(AccessPath::Rm));
+        assert_eq!(out.path, AccessPath::Row, "no col copy: fallback is Row");
+        assert_eq!(ctx.fallbacks, 1);
+        let stats = out.rm_stats.expect("failed attempt stats must survive");
+        assert!(stats.delivery_timeouts > 0);
+        assert!(stats.injected_faults > 0);
+        assert_eq!(out.rows, expected.rows, "degraded answer must be identical");
+        assert!(out.ns > expected.ns, "ns must include the wasted RM time");
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_rm_failures_and_skips_the_device() {
+        let (mut mem, c) = rm_setup(1000);
+        let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
+        let cfg = FaultConfig {
+            rm_timeout_prob: 1.0,
+            ..FaultConfig::quiet(9)
+        };
+        let policy = RecoveryPolicy::default();
+        let mut ctx = FaultContext::new(cfg, policy);
+        let expected = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        for _ in 0..policy.breaker_threshold + 2 {
+            let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+            assert_eq!(out.rows, expected.rows);
+            assert_eq!(out.degraded_from, Some(AccessPath::Rm));
+        }
+        assert_eq!(ctx.fallbacks, policy.breaker_threshold as u64);
+        assert_eq!(
+            ctx.breaker_skips, 2,
+            "once open, the device is not even tried"
+        );
+        assert_eq!(ctx.rm_health().trips, 1);
+    }
+
+    #[test]
+    fn non_rm_plans_ignore_the_fault_context() {
+        let (mut mem, c) = setup();
+        let bound = bind(&c, &parse("SELECT id FROM t WHERE id < 3").unwrap()).unwrap();
+        let cfg = FaultConfig::uniform(4, 1.0);
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let (path, _) = choose_path(
+            mem.config(),
+            &RmConfig::prototype(),
+            c.get("t").unwrap(),
+            &bound,
+        )
+        .unwrap();
+        assert_ne!(path, AccessPath::Rm, "fixture must route to software");
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(ctx.fallbacks, 0);
+        assert_eq!(ctx.plan.stats().total(), 0);
     }
 
     #[test]

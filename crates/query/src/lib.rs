@@ -33,7 +33,7 @@ pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
 pub use cost::{choose_path, AccessPath, PathCost};
-pub use exec::{execute, execute_on, QueryOutput};
+pub use exec::{execute, execute_on, execute_resilient, FaultContext, QueryOutput};
 pub use explain::{explain, explain_sql};
 
 use fabric_sim::MemoryHierarchy;

@@ -18,8 +18,8 @@ use crate::aggregate::AggBank;
 use crate::config::RmConfig;
 use crate::packer;
 use crate::stats::RmStats;
-use fabric_sim::{Cycles, DramModel, MemArena, SimConfig};
-use fabric_types::{FabricError, Geometry, OutputMode, Result, Value};
+use fabric_sim::{Cycles, DramModel, FaultPlan, MemArena, SimConfig};
+use fabric_types::{crc32, FabricError, Geometry, OutputMode, Result, Value};
 
 /// One batch of packed output as produced by the device, with the simulated
 /// time at which its last line left the engine.
@@ -28,6 +28,10 @@ pub struct ProducedBatch {
     pub data: Vec<u8>,
     pub rows: usize,
     pub ready_at: Cycles,
+    /// CRC-32 frame computed over the pristine payload as it left the
+    /// engine; consumers verify it after the bus transfer to detect
+    /// in-flight corruption (DESIGN.md §9).
+    pub crc: u32,
 }
 
 /// Device-side execution state for one configured geometry.
@@ -45,6 +49,8 @@ pub struct DeviceRun {
     spans: Vec<(usize, usize)>,
     /// Last source line fetched (dedup across adjacent rows).
     last_line: u64,
+    /// Core cycles per nanosecond, for charging injected stall time.
+    cpu_ghz: f64,
     stats: RmStats,
 }
 
@@ -69,6 +75,7 @@ impl DeviceRun {
             cursor: 0,
             spans,
             last_line: u64::MAX,
+            cpu_ghz: sim.cpu_ghz,
             stats: RmStats::default(),
         }
     }
@@ -82,6 +89,10 @@ impl DeviceRun {
         self.stats
     }
 
+    pub(crate) fn stats_mut(&mut self) -> &mut RmStats {
+        &mut self.stats
+    }
+
     pub(crate) fn note_configure(&mut self) {
         self.stats.configures += 1;
     }
@@ -90,12 +101,17 @@ impl DeviceRun {
     /// output, starting no earlier than `start_at` (buffer-slot
     /// availability). Returns `None` when the base data is exhausted and
     /// nothing was packed.
+    ///
+    /// `faults`, when present, may inject an engine-side stall: the batch
+    /// is produced correctly but becomes ready late (recoverable slowness,
+    /// not an error).
     pub fn produce(
         &mut self,
         arena: &MemArena,
         g: &Geometry,
         start_at: Cycles,
         max_bytes: usize,
+        faults: Option<&mut FaultPlan>,
     ) -> Option<ProducedBatch> {
         if self.cursor >= g.rows {
             return None;
@@ -151,18 +167,26 @@ impl DeviceRun {
         let out_lines = (data.len() as u64).div_ceil(self.line_size);
         // Pipelined engine: limited by the last gathered line plus a drain
         // beat, by output-line throughput, or by row-ingest throughput.
-        let ready = (gather_done + self.engine_cycles)
+        let mut ready = (gather_done + self.engine_cycles)
             .max(start + out_lines * self.engine_cycles)
             .max(issue_t);
+        if let Some(plan) = faults {
+            if let Some(stall_ns) = plan.rm_engine_stall() {
+                ready += (stall_ns * self.cpu_ghz).round().max(1.0) as Cycles;
+                self.stats.injected_faults += 1;
+            }
+        }
         self.device_free = ready;
         self.stats.output_lines += out_lines;
         self.stats.rows_emitted += rows_emitted as u64;
         self.stats.batches += 1;
 
+        let crc = crc32(&data);
         Some(ProducedBatch {
             data,
             rows: rows_emitted,
             ready_at: ready,
+            crc,
         })
     }
 
@@ -251,7 +275,7 @@ mod tests {
         let mut all = Vec::new();
         let mut rows = 0;
         let mut last_ready = 0;
-        while let Some(b) = dev.produce(arena, g, 0, cfg.batch_bytes) {
+        while let Some(b) = dev.produce(arena, g, 0, cfg.batch_bytes, None) {
             all.extend_from_slice(&b.data);
             rows += b.rows;
             last_ready = b.ready_at;
@@ -284,7 +308,7 @@ mod tests {
         let sim = SimConfig::zynq_a53();
         let cfg = RmConfig::prototype();
         let mut dev = DeviceRun::new(&sim, &cfg, &g);
-        let b = dev.produce(&arena, &g, 0, 256).unwrap();
+        let b = dev.produce(&arena, &g, 0, 256, None).unwrap();
         assert!(b.data.len() <= 256);
         assert_eq!(b.rows, 32); // 256 / 8 bytes per packed row
         assert_eq!(dev.cursor(), 32);
@@ -336,7 +360,7 @@ mod tests {
         let sim = SimConfig::zynq_a53();
         let cfg = RmConfig::prototype();
         let mut dev = DeviceRun::new(&sim, &cfg, &g);
-        while dev.produce(&arena, &g, 0, cfg.batch_bytes).is_some() {}
+        while dev.produce(&arena, &g, 0, cfg.batch_bytes, None).is_some() {}
         assert_eq!(dev.stats().source_lines, 100); // 400 rows / 4 per line
         assert_eq!(dev.stats().rows_scanned, 400);
     }
@@ -376,9 +400,48 @@ mod tests {
         let sim = SimConfig::zynq_a53();
         let cfg = RmConfig::prototype();
         let mut dev = DeviceRun::new(&sim, &cfg, &g);
-        while dev.produce(&arena, &g, 0, cfg.batch_bytes).is_some() {}
-        assert!(dev.produce(&arena, &g, 0, cfg.batch_bytes).is_none());
+        while dev.produce(&arena, &g, 0, cfg.batch_bytes, None).is_some() {}
+        assert!(dev.produce(&arena, &g, 0, cfg.batch_bytes, None).is_none());
         assert_eq!(dev.cursor(), 1000);
+    }
+
+    #[test]
+    fn produced_batch_crc_frames_the_payload() {
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        let mut dev = DeviceRun::new(&sim, &cfg, &g);
+        let b = dev.produce(&arena, &g, 0, cfg.batch_bytes, None).unwrap();
+        assert_eq!(b.crc, crc32(&b.data));
+        let mut flipped = b.data.clone();
+        flipped[3] ^= 0x40;
+        assert_ne!(crc32(&flipped), b.crc);
+    }
+
+    #[test]
+    fn injected_engine_stall_delays_ready_but_not_data() {
+        use fabric_sim::{FaultConfig, FaultPlan};
+        let (arena, g) = setup();
+        let sim = SimConfig::zynq_a53();
+        let cfg = RmConfig::prototype();
+        // Stall every batch by 10 µs.
+        let mut plan = FaultPlan::new(FaultConfig {
+            rm_stall_prob: 1.0,
+            rm_stall_ns: 10_000.0,
+            ..FaultConfig::quiet(7)
+        });
+        let mut clean = DeviceRun::new(&sim, &cfg, &g);
+        let mut faulty = DeviceRun::new(&sim, &cfg, &g);
+        let c = clean.produce(&arena, &g, 0, cfg.batch_bytes, None).unwrap();
+        let f = faulty
+            .produce(&arena, &g, 0, cfg.batch_bytes, Some(&mut plan))
+            .unwrap();
+        assert_eq!(c.data, f.data, "a stall must not change the payload");
+        assert_eq!(c.crc, f.crc);
+        assert!(f.ready_at >= c.ready_at + sim.ns_to_cycles(10_000.0));
+        assert_eq!(faulty.stats().injected_faults, 1);
+        assert_eq!(plan.stats().rm_stalls, 1);
+        assert_eq!(clean.stats().injected_faults, 0);
     }
 
     #[test]
@@ -387,9 +450,11 @@ mod tests {
         let sim = SimConfig::zynq_a53();
         let cfg = RmConfig::prototype();
         let mut d1 = DeviceRun::new(&sim, &cfg, &g);
-        let r1 = d1.produce(&arena, &g, 0, cfg.batch_bytes).unwrap();
+        let r1 = d1.produce(&arena, &g, 0, cfg.batch_bytes, None).unwrap();
         let mut d2 = DeviceRun::new(&sim, &cfg, &g);
-        let r2 = d2.produce(&arena, &g, 1_000_000, cfg.batch_bytes).unwrap();
+        let r2 = d2
+            .produce(&arena, &g, 1_000_000, cfg.batch_bytes, None)
+            .unwrap();
         assert_eq!(r2.ready_at - 1_000_000, r1.ready_at);
     }
 }

@@ -37,9 +37,12 @@ use crate::config::RmConfig;
 use crate::device::DeviceRun;
 use crate::packer;
 use crate::stats::RmStats;
-use fabric_sim::{Cycles, MemoryHierarchy};
-use fabric_types::{le_array, ColumnType, FabricError, Geometry, OutputMode, Result, Value};
+use fabric_sim::{Cycles, FaultPlan, MemoryHierarchy, RecoveryPolicy};
+use fabric_types::{crc32, le_array, ColumnType, FabricError, Geometry, OutputMode, Result, Value};
 use std::collections::VecDeque;
+
+/// Device name reported in fault errors raised by this module.
+const DEVICE_NAME: &str = "rm-engine";
 
 /// One delivery batch of packed column-group rows.
 ///
@@ -199,7 +202,7 @@ impl EphemeralColumns {
             line_size: sim.line_size,
         };
         if !matches!(this.geometry.mode, OutputMode::Aggregate(_)) {
-            this.start_next_production(mem, mem.now());
+            this.start_next_production(mem, mem.now(), None);
         }
         this
     }
@@ -214,7 +217,12 @@ impl EphemeralColumns {
         self.run.stats()
     }
 
-    fn start_next_production(&mut self, mem: &MemoryHierarchy, cpu_now: Cycles) {
+    fn start_next_production(
+        &mut self,
+        mem: &MemoryHierarchy,
+        cpu_now: Cycles,
+        faults: Option<&mut FaultPlan>,
+    ) {
         // The device may only run `window` batches ahead of consumption:
         // the batch about to be produced reuses the buffer slot of the
         // batch taken `window` deliveries ago.
@@ -225,9 +233,13 @@ impl EphemeralColumns {
             0
         };
         let start_at = slot_free_at.max(if self.taken_at.is_empty() { cpu_now } else { 0 });
-        self.pending = self
-            .run
-            .produce(mem.arena(), &self.geometry, start_at, self.batch_bytes);
+        self.pending = self.run.produce(
+            mem.arena(),
+            &self.geometry,
+            start_at,
+            self.batch_bytes,
+            faults,
+        );
     }
 
     /// Pull the next batch of packed rows (paper Fig. 3 line 31: touching
@@ -247,7 +259,7 @@ impl EphemeralColumns {
         if self.taken_at.len() > self.cfg.window_batches() + 1 {
             self.taken_at.pop_front();
         }
-        self.start_next_production(mem, mem.now());
+        self.start_next_production(mem, mem.now(), None);
 
         Some(PackedBatch {
             data: produced.data,
@@ -257,6 +269,88 @@ impl EphemeralColumns {
             field_types: self.field_types.clone(),
             _private: (),
         })
+    }
+
+    /// Fault-aware variant of [`Self::next_batch`]: delivery runs under a
+    /// seeded [`FaultPlan`] and recovers per `policy` (DESIGN.md §9).
+    ///
+    /// Each delivery attempt may time out (the device produced the batch
+    /// but delivery elapses with no data) or arrive with flipped bits; the
+    /// consumer verifies the batch's CRC-32 frame and requests redelivery,
+    /// charging an exponential backoff to the simulated clock per retry.
+    /// Past `policy.max_retries` redeliveries the fault is surfaced as
+    /// [`FabricError::DeviceTimeout`] or [`FabricError::CorruptBatch`] so a
+    /// higher layer (e.g. `query::exec`) can degrade onto a software path.
+    ///
+    /// With a quiet plan this is byte- and time-identical to
+    /// [`Self::next_batch`] except for the per-batch CRC-check charge.
+    pub fn next_batch_resilient(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        plan: &mut FaultPlan,
+        policy: &RecoveryPolicy,
+    ) -> Result<Option<PackedBatch>> {
+        let Some(produced) = self.pending.take() else {
+            return Ok(None);
+        };
+        mem.stall_until(produced.ready_at);
+        let lines = (produced.data.len().div_ceil(self.line_size) as u64).max(1);
+        let cpu_ghz = mem.config().cpu_ghz;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if plan.rm_timeout() {
+                // The delivery window elapsed with no data on the bus.
+                let s = self.run.stats_mut();
+                s.injected_faults += 1;
+                s.delivery_timeouts += 1;
+                if attempts > policy.max_retries {
+                    return Err(FabricError::DeviceTimeout {
+                        device: DEVICE_NAME.into(),
+                        attempts,
+                    });
+                }
+                self.run.stats_mut().retries += 1;
+                mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
+                continue;
+            }
+
+            // Pull the lines across the bus; the wire may flip a bit.
+            mem.stall_until(mem.now() + lines * self.bus_cycles_per_line);
+            let mut data = produced.data.clone();
+            if let Some((byte, mask)) = plan.rm_corrupt(data.len()) {
+                data[byte] ^= mask;
+                self.run.stats_mut().injected_faults += 1;
+            }
+
+            // CPU-side frame check, charged per delivered line.
+            mem.cpu(lines * mem.costs().value_op);
+            if crc32(&data) == produced.crc {
+                self.taken_at.push_back(mem.now());
+                if self.taken_at.len() > self.cfg.window_batches() + 1 {
+                    self.taken_at.pop_front();
+                }
+                self.start_next_production(mem, mem.now(), Some(plan));
+                return Ok(Some(PackedBatch {
+                    data,
+                    rows: produced.rows,
+                    row_width: self.geometry.output_row_width(),
+                    field_offsets: self.field_offsets.clone(),
+                    field_types: self.field_types.clone(),
+                    _private: (),
+                }));
+            }
+
+            self.run.stats_mut().crc_failures += 1;
+            if attempts > policy.max_retries {
+                return Err(FabricError::CorruptBatch {
+                    device: DEVICE_NAME.into(),
+                    attempts,
+                });
+            }
+            self.run.stats_mut().retries += 1;
+            mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
+        }
     }
 
     /// Run a device-side aggregation to completion (paper §IV-B). Only
@@ -437,6 +531,117 @@ mod tests {
             large <= small,
             "large buffer {large} should be <= small buffer {small}"
         );
+    }
+
+    #[test]
+    fn resilient_quiet_plan_delivers_identical_bytes() {
+        use fabric_sim::{FaultPlan, RecoveryPolicy};
+        let (mut mem, g, _) = fixture(3000);
+        let mut eph =
+            EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g.clone()).unwrap();
+        let mut plain = Vec::new();
+        while let Some(b) = eph.next_batch(&mut mem) {
+            plain.extend_from_slice(b.data());
+        }
+
+        let (mut mem2, g2, _) = fixture(3000);
+        let mut eph2 = EphemeralColumns::configure(&mut mem2, RmConfig::prototype(), g2).unwrap();
+        let mut plan = FaultPlan::quiet();
+        let policy = RecoveryPolicy::default();
+        let mut resilient = Vec::new();
+        while let Some(b) = eph2
+            .next_batch_resilient(&mut mem2, &mut plan, &policy)
+            .unwrap()
+        {
+            resilient.extend_from_slice(b.data());
+        }
+        assert_eq!(plain, resilient);
+        assert_eq!(plan.stats().total(), 0);
+        assert_eq!(eph2.stats().retries, 0);
+    }
+
+    #[test]
+    fn resilient_recovers_from_sporadic_corruption() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, g, _) = fixture(3000);
+        let cfg = FaultConfig {
+            rm_corrupt_prob: 0.25,
+            ..FaultConfig::quiet(1234)
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let policy = RecoveryPolicy::default();
+        // Small batches so the run makes many deliveries (= many draws).
+        let rm_cfg = RmConfig {
+            batch_bytes: 1024,
+            ..RmConfig::prototype()
+        };
+        let mut eph = EphemeralColumns::configure(&mut mem, rm_cfg, g).unwrap();
+        let mut seen = 0usize;
+        while let Some(b) = eph
+            .next_batch_resilient(&mut mem, &mut plan, &policy)
+            .expect("p=0.25 per attempt cannot exhaust 4 attempts at this seed")
+        {
+            for r in 0..b.len() {
+                let i = seen + r;
+                assert_eq!(b.i32_at(r, 0), (i * 16) as i32, "corruption leaked");
+            }
+            seen += b.len();
+        }
+        assert_eq!(seen, 3000);
+        let s = eph.stats();
+        assert!(s.crc_failures > 0, "expected some injected corruption");
+        assert_eq!(s.retries, s.crc_failures + s.delivery_timeouts);
+        assert!(s.injected_faults >= s.crc_failures);
+    }
+
+    #[test]
+    fn resilient_surfaces_timeout_past_retry_budget() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, g, _) = fixture(100);
+        let cfg = FaultConfig {
+            rm_timeout_prob: 1.0,
+            ..FaultConfig::quiet(5)
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let policy = RecoveryPolicy::default();
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let t0 = mem.now();
+        let err = eph
+            .next_batch_resilient(&mut mem, &mut plan, &policy)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::DeviceTimeout {
+                device: "rm-engine".into(),
+                attempts: policy.max_retries + 1,
+            }
+        );
+        assert!(mem.now() > t0, "retries must charge simulated time");
+        assert_eq!(eph.stats().delivery_timeouts as u32, policy.max_retries + 1);
+    }
+
+    #[test]
+    fn resilient_surfaces_corruption_past_retry_budget() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, g, _) = fixture(100);
+        let cfg = FaultConfig {
+            rm_corrupt_prob: 1.0,
+            ..FaultConfig::quiet(5)
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let policy = RecoveryPolicy::default();
+        let mut eph = EphemeralColumns::configure(&mut mem, RmConfig::prototype(), g).unwrap();
+        let err = eph
+            .next_batch_resilient(&mut mem, &mut plan, &policy)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::CorruptBatch {
+                device: "rm-engine".into(),
+                attempts: policy.max_retries + 1,
+            }
+        );
+        assert_eq!(eph.stats().crc_failures as u32, policy.max_retries + 1);
     }
 
     #[test]

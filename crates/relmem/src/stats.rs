@@ -16,6 +16,15 @@ pub struct RmStats {
     pub batches: u64,
     /// Ephemeral variables configured.
     pub configures: u64,
+    /// Faults injected into this device (engine stalls, delivery
+    /// timeouts, bit flips) by the active [`fabric_sim::FaultPlan`].
+    pub injected_faults: u64,
+    /// Delivery attempts that elapsed with no data (device timeout).
+    pub delivery_timeouts: u64,
+    /// Delivered batches whose CRC32 frame check failed.
+    pub crc_failures: u64,
+    /// Redelivery attempts performed during fault recovery.
+    pub retries: u64,
 }
 
 impl RmStats {

@@ -1,0 +1,197 @@
+//! Staging-buffer flow control under backpressure.
+//!
+//! The RM engine may run at most `window_batches()` deliveries ahead of
+//! the consumer: the batch about to be produced reuses the staging-buffer
+//! slot of the batch taken `window` deliveries ago. These tests pin the
+//! observable consequences: a slow consumer throttles the device (and
+//! loses nothing), lookahead hides production latency from a bursty
+//! consumer exactly up to the buffer's depth, and the window never drops
+//! below classic double buffering — including when `buffer_bytes` does
+//! not divide evenly by `batch_bytes`.
+
+use fabric_sim::{Cycles, FaultPlan, MemoryHierarchy, RecoveryPolicy, SimConfig};
+use fabric_types::{ColumnType, Geometry, RowLayout, Schema};
+use relmem::{EphemeralColumns, RmConfig};
+
+/// `rows` rows of 16 i32 columns, c_j(i) = i*16+j, projecting {0, 5}.
+fn fixture(rows: usize) -> (MemoryHierarchy, Geometry) {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let schema = Schema::uniform(16, ColumnType::I32);
+    let layout = RowLayout::packed(&schema);
+    let base = mem.alloc(rows * 64, 64).unwrap();
+    for i in 0..rows {
+        for j in 0..16usize {
+            let v = (i * 16 + j) as i32;
+            mem.write_untimed(base + (i * 64 + j * 4) as u64, &v.to_le_bytes());
+        }
+    }
+    let fields = layout.fields(&[0, 5]).unwrap();
+    (mem, Geometry::packed(base, 64, rows, fields))
+}
+
+fn cfg_with(buffer_bytes: usize, batch_bytes: usize) -> RmConfig {
+    RmConfig {
+        buffer_bytes,
+        batch_bytes,
+        ..RmConfig::prototype()
+    }
+}
+
+/// Drain the variable, charging `burn_per_batch` CPU cycles of consumer
+/// work after each pull. Returns (bytes delivered, batches, elapsed).
+fn drain(
+    mem: &mut MemoryHierarchy,
+    eph: &mut EphemeralColumns,
+    burn_per_batch: Cycles,
+) -> (Vec<u8>, u64, Cycles) {
+    let t0 = mem.now();
+    let mut bytes = Vec::new();
+    let mut batches = 0u64;
+    while let Some(b) = eph.next_batch(mem) {
+        bytes.extend_from_slice(b.data());
+        batches += 1;
+        if burn_per_batch > 0 {
+            mem.cpu(burn_per_batch);
+        }
+    }
+    (bytes, batches, mem.now() - t0)
+}
+
+#[test]
+fn window_never_drops_below_double_buffering() {
+    // Exact division.
+    assert_eq!(cfg_with(8 * 4096, 4096).window_batches(), 8);
+    // Non-divisible: rounds down, never up.
+    assert_eq!(cfg_with(13_000, 4096).window_batches(), 3);
+    // Buffer == batch, and buffer < batch: floor of 2 (double buffering).
+    assert_eq!(cfg_with(4096, 4096).window_batches(), 2);
+    assert_eq!(cfg_with(1024, 4096).window_batches(), 2);
+}
+
+#[test]
+fn slow_consumer_loses_no_data_and_no_batches() {
+    let rows = 10_000;
+    let (mut mem, g) = fixture(rows);
+    let mut eph = EphemeralColumns::configure(&mut mem, cfg_with(2 * 4096, 4096), g).unwrap();
+    let (fast_bytes, fast_batches, _) = drain(&mut mem, &mut eph, 0);
+
+    let (mut mem, g) = fixture(rows);
+    let burn = mem.config().ns_to_cycles(50_000.0); // 50 µs of host work per batch
+    let mut eph = EphemeralColumns::configure(&mut mem, cfg_with(2 * 4096, 4096), g).unwrap();
+    let (slow_bytes, slow_batches, _) = drain(&mut mem, &mut eph, burn);
+
+    assert_eq!(
+        fast_bytes, slow_bytes,
+        "backpressure must not drop or reorder data"
+    );
+    assert_eq!(fast_batches, slow_batches);
+    assert_eq!(slow_bytes.len(), rows * 8);
+    assert_eq!(eph.stats().rows_scanned, rows as u64);
+    assert_eq!(eph.stats().batches, slow_batches);
+}
+
+#[test]
+fn slow_consumer_dominates_elapsed_time() {
+    // When the consumer is far slower than the engine, total time is the
+    // consumer's: production hides entirely behind the burn, even with
+    // the minimum window.
+    let rows = 10_000;
+    let (mut mem, g) = fixture(rows);
+    let burn = mem.config().ns_to_cycles(50_000.0);
+    let mut eph = EphemeralColumns::configure(&mut mem, cfg_with(4096, 4096), g).unwrap();
+    let (_, batches, elapsed) = drain(&mut mem, &mut eph, burn);
+    assert!(
+        elapsed >= batches * burn,
+        "elapsed {elapsed} must include {batches} burns of {burn}"
+    );
+    // The engine contributes at most ~one batch of unhidden latency plus
+    // the bus transfers; 2x the pure-burn floor is a generous ceiling.
+    assert!(
+        elapsed < 2 * batches * burn,
+        "device time must overlap a slow consumer (elapsed {elapsed}, floor {})",
+        batches * burn
+    );
+}
+
+#[test]
+fn lookahead_hides_production_from_a_bursty_consumer() {
+    // The consumer goes away for 1 ms, then drains as fast as it can. A
+    // deep staging buffer lets the device fill every slot during the
+    // absence; the minimum window caps pre-production at two batches, so
+    // the tiny-buffer drain pays engine latency batch after batch.
+    let run = |buffer_bytes: usize| {
+        let (mut mem, g) = fixture(20_000);
+        let mut eph =
+            EphemeralColumns::configure(&mut mem, cfg_with(buffer_bytes, 4096), g).unwrap();
+        let away = mem.config().ns_to_cycles(1_000_000.0);
+        mem.cpu(away);
+        let (bytes, _, elapsed) = drain(&mut mem, &mut eph, 0);
+        (bytes, elapsed)
+    };
+    let (tiny_bytes, tiny) = run(4096); // window floor: 2 batches
+    let (deep_bytes, deep) = run(64 * 4096); // deeper than the whole scan
+    assert_eq!(
+        tiny_bytes, deep_bytes,
+        "window depth must not change the data"
+    );
+    assert!(
+        deep < tiny,
+        "a deep buffer must hide production latency behind the consumer's \
+         absence (deep {deep} vs tiny {tiny})"
+    );
+}
+
+#[test]
+fn deeper_windows_are_monotonically_not_slower() {
+    // Same bursty consumer; windows 2, 3, and 8. Each extra slot can only
+    // help (or do nothing once production is fully hidden).
+    let run = |buffer_bytes: usize| {
+        let (mut mem, g) = fixture(20_000);
+        let mut eph =
+            EphemeralColumns::configure(&mut mem, cfg_with(buffer_bytes, 4096), g).unwrap();
+        mem.cpu(mem.config().ns_to_cycles(200_000.0));
+        drain(&mut mem, &mut eph, 0).2
+    };
+    let w2 = run(2 * 4096);
+    let w3 = run(3 * 4096 + 1000); // non-divisible on purpose: still window 3
+    let w8 = run(8 * 4096);
+    assert!(
+        w3 <= w2,
+        "window 3 ({w3}) must not be slower than window 2 ({w2})"
+    );
+    assert!(
+        w8 <= w3,
+        "window 8 ({w8}) must not be slower than window 3 ({w3})"
+    );
+}
+
+#[test]
+fn resilient_delivery_respects_the_same_flow_control() {
+    // The fault-tolerant pull path shares the staging-buffer window with
+    // the plain one: a quiet plan under a slow consumer delivers the
+    // identical byte stream and batch count.
+    let rows = 6_000;
+    let (mut mem, g) = fixture(rows);
+    let mut eph = EphemeralColumns::configure(&mut mem, cfg_with(2 * 4096, 4096), g).unwrap();
+    let (plain_bytes, plain_batches, _) = drain(&mut mem, &mut eph, 0);
+
+    let (mut mem, g) = fixture(rows);
+    let burn = mem.config().ns_to_cycles(25_000.0);
+    let mut eph = EphemeralColumns::configure(&mut mem, cfg_with(2 * 4096, 4096), g).unwrap();
+    let mut plan = FaultPlan::quiet();
+    let policy = RecoveryPolicy::default();
+    let mut bytes = Vec::new();
+    let mut batches = 0u64;
+    while let Some(b) = eph
+        .next_batch_resilient(&mut mem, &mut plan, &policy)
+        .unwrap()
+    {
+        bytes.extend_from_slice(b.data());
+        batches += 1;
+        mem.cpu(burn);
+    }
+    assert_eq!(plain_bytes, bytes);
+    assert_eq!(plain_batches, batches);
+    assert_eq!(eph.stats().retries, 0);
+    assert_eq!(plan.stats().total(), 0);
+}

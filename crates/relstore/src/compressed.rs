@@ -120,6 +120,7 @@ impl CompressedTable {
                 rows_scanned: self.rows as u64,
                 rows_emitted: self.rows as u64,
                 bytes_shipped: out.len() as u64,
+                ..RsStats::default()
             },
         ))
     }
@@ -166,6 +167,7 @@ impl CompressedTable {
                 rows_scanned: self.rows as u64,
                 rows_emitted: self.rows as u64,
                 bytes_shipped: shipped,
+                ..RsStats::default()
             },
         ))
     }

@@ -20,6 +20,7 @@ pub struct FlashArray {
     die_free: Vec<Cycles>,
     channel_free: Vec<Cycles>,
     page_reads: u64,
+    failed_reads: u64,
 }
 
 impl FlashArray {
@@ -34,6 +35,7 @@ impl FlashArray {
             die_free: vec![0; cfg.channels * cfg.dies_per_channel],
             channel_free: vec![0; cfg.channels],
             page_reads: 0,
+            failed_reads: 0,
         }
     }
 
@@ -66,11 +68,24 @@ impl FlashArray {
         self.page_reads
     }
 
+    /// Record that the read just scheduled came back unreadable (ECC
+    /// failure injected by a fault plan). The read still occupied its die
+    /// and channel — failed work is not free work.
+    pub fn note_failed_read(&mut self) {
+        self.failed_reads += 1;
+    }
+
+    /// Reads that came back unreadable.
+    pub fn failed_reads(&self) -> u64 {
+        self.failed_reads
+    }
+
     /// Clear queue state between experiments.
     pub fn reset(&mut self) {
         self.die_free.fill(0);
         self.channel_free.fill(0);
         self.page_reads = 0;
+        self.failed_reads = 0;
     }
 }
 

@@ -3,9 +3,14 @@
 
 use crate::config::RsConfig;
 use crate::flash::FlashArray;
-use fabric_sim::{Cycles, MemoryHierarchy};
-use fabric_types::{FabricError, FieldSlice, Geometry, OutputMode, Predicate, Result};
+use fabric_sim::{CircuitBreaker, Cycles, FaultPlan, FaultStats, MemoryHierarchy, RecoveryPolicy};
+use fabric_types::{crc32, FabricError, FieldSlice, Geometry, OutputMode, Predicate, Result};
 use relmem::packer;
+
+/// Device name reported in breaker fail-fast errors.
+const DEVICE_NAME: &str = "relstore-ssd";
+/// Link name reported in shipment-corruption errors.
+const LINK_NAME: &str = "host-link";
 
 /// A table stored row-major on flash pages. Rows never straddle pages
 /// (pages carry `rows_per_page` whole rows plus padding).
@@ -35,6 +40,11 @@ pub struct RsStats {
     pub rows_emitted: u64,
     /// Bytes that crossed the host link.
     pub bytes_shipped: u64,
+    /// Faults injected into this fetch (failed page reads, corrupted
+    /// shipments) by the active [`fabric_sim::FaultPlan`].
+    pub injected_faults: u64,
+    /// Recovery attempts (page re-reads, link re-shipments).
+    pub retries: u64,
 }
 
 /// The simulated computational SSD.
@@ -47,6 +57,15 @@ pub struct SsdDevice {
     link_base: Cycles,
     ctrl_row: Cycles,
     cpu_ghz: f64,
+    /// Active fault plan; `None` = infallible device (the historical
+    /// behaviour, bit- and cycle-identical to before faults existed).
+    faults: Option<FaultPlan>,
+    policy: RecoveryPolicy,
+    /// Consecutive-failure breaker guarding the whole device.
+    health: CircuitBreaker,
+    /// CRC-32 of every stored page, computed at store time; the frame the
+    /// host checks shipments against.
+    page_crcs: Vec<u32>,
 }
 
 impl SsdDevice {
@@ -55,6 +74,7 @@ impl SsdDevice {
     pub fn new(cfg: RsConfig, mem: &MemoryHierarchy) -> Self {
         let sim = mem.config().clone();
         let sim2 = sim.clone();
+        let policy = RecoveryPolicy::default();
         SsdDevice {
             flash: FlashArray::new(&cfg, move |ns| sim2.ns_to_cycles(ns)),
             data: Vec::new(),
@@ -63,12 +83,45 @@ impl SsdDevice {
             link_base: sim.ns_to_cycles(cfg.link_base_ns),
             ctrl_row: sim.ns_to_cycles(cfg.ctrl_ns_per_row),
             cpu_ghz: sim.cpu_ghz,
+            faults: None,
+            health: CircuitBreaker::new(&policy),
+            policy,
+            page_crcs: Vec::new(),
             cfg,
         }
     }
 
     pub fn config(&self) -> &RsConfig {
         &self.cfg
+    }
+
+    /// Arm the device with a seeded fault plan and recovery budgets. Every
+    /// subsequent fetch runs page reads and shipments under injection.
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RecoveryPolicy) {
+        self.faults = Some(plan);
+        self.health = CircuitBreaker::new(&policy);
+        self.policy = policy;
+    }
+
+    /// Disarm fault injection (the plan's stats are discarded).
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+        self.health = CircuitBreaker::new(&self.policy);
+    }
+
+    /// Faults injected so far by the active plan (all zero when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Health of the device's circuit breaker.
+    pub fn health(&self) -> &CircuitBreaker {
+        &self.health
+    }
+
+    /// CRC-32 frame of stored page `page`, if it exists.
+    pub fn page_crc(&self, page: u64) -> Option<u32> {
+        self.page_crcs.get(page as usize).copied()
     }
 
     fn ns_to_cycles(&self, ns: f64) -> Cycles {
@@ -101,6 +154,12 @@ impl SsdDevice {
             self.data[dst..dst + row_width]
                 .copy_from_slice(&bytes[i * row_width..(i + 1) * row_width]);
         }
+        // Frame every page with a CRC-32 at store time.
+        self.page_crcs.resize(self.next_page as usize, 0);
+        for p in first_page as usize..self.next_page as usize {
+            let base = p * self.cfg.page_bytes;
+            self.page_crcs[p] = crc32(&self.data[base..base + self.cfg.page_bytes]);
+        }
         Ok(StoredTable {
             first_page,
             pages,
@@ -116,6 +175,91 @@ impl SsdDevice {
         &self.data[base..base + t.row_width]
     }
 
+    /// Read `page` under the active fault plan, retrying with backoff.
+    /// Each retry is physically another read: it re-occupies the page's
+    /// die and channel, so contention compounds under fault storms. A
+    /// latent sector error fails every attempt and surfaces as
+    /// [`FabricError::FlashReadError`].
+    fn read_page_checked(
+        &mut self,
+        page: u64,
+        issue_at: Cycles,
+        stats: &mut RsStats,
+    ) -> Result<Cycles> {
+        let flash = &mut self.flash;
+        let Some(plan) = self.faults.as_mut() else {
+            return Ok(flash.read_page(page, issue_at));
+        };
+        let mut attempts = 0u32;
+        let mut at = issue_at;
+        loop {
+            attempts += 1;
+            let done = flash.read_page(page, at);
+            if !plan.flash_read_failed(page) {
+                return Ok(done);
+            }
+            stats.injected_faults += 1;
+            flash.note_failed_read();
+            if attempts > self.policy.max_retries {
+                return Err(FabricError::FlashReadError { page, attempts });
+            }
+            stats.retries += 1;
+            at = done + self.policy.backoff_cycles(attempts, self.cpu_ghz);
+        }
+    }
+
+    /// Ship `bytes` over the host link, arriving no earlier than
+    /// `arrive_at`. Under a fault plan the host checks the shipment's
+    /// CRC-32 frame (charged per shipped line) and requests re-shipment on
+    /// corruption, bounded by the retry budget.
+    fn finish_shipment(
+        &mut self,
+        mem: &mut MemoryHierarchy,
+        arrive_at: Cycles,
+        bytes: usize,
+        stats: &mut RsStats,
+    ) -> Result<()> {
+        let Some(plan) = self.faults.as_mut() else {
+            mem.stall_until(arrive_at);
+            return Ok(());
+        };
+        let reship = self.link_base
+            + ((bytes.max(1) as f64 * self.link_ns_per_byte * self.cpu_ghz).round() as Cycles)
+                .max(1);
+        let check = ((bytes / 64).max(1)) as u64 * mem.costs().value_op;
+        let mut arrive = arrive_at;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            mem.stall_until(arrive);
+            mem.cpu(check);
+            if !plan.link_corrupted() {
+                return Ok(());
+            }
+            stats.injected_faults += 1;
+            if attempts > self.policy.max_retries {
+                return Err(FabricError::CorruptBatch {
+                    device: LINK_NAME.into(),
+                    attempts,
+                });
+            }
+            stats.retries += 1;
+            arrive = mem.now() + self.policy.backoff_cycles(attempts, self.cpu_ghz) + reship;
+        }
+    }
+
+    /// Breaker gate shared by every fetch entry point.
+    fn admit(&mut self) -> Result<()> {
+        if self.health.allow() {
+            Ok(())
+        } else {
+            Err(FabricError::DeviceTimeout {
+                device: DEVICE_NAME.into(),
+                attempts: 0,
+            })
+        }
+    }
+
     /// Near-data path: the controller reads pages with full channel
     /// parallelism, evaluates the geometry (projection + selection), and
     /// ships only the packed result over the host link. Blocks the CPU
@@ -129,12 +273,24 @@ impl SsdDevice {
     ) -> Result<(Vec<u8>, RsStats)> {
         let g = Geometry::packed(0, t.row_width, t.rows, fields).with_predicate(predicate);
         g.validate()?;
+        self.admit()?;
 
         let start = mem.now();
+        let mut stats = RsStats {
+            pages_read: t.pages as u64,
+            rows_scanned: t.rows as u64,
+            ..RsStats::default()
+        };
         // Flash: all pages, issued as fast as the channels accept them.
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+                Ok(done) => flash_done = flash_done.max(done),
+                Err(e) => {
+                    self.health.record_failure();
+                    return Err(e);
+                }
+            }
         }
         // Controller: streams rows as pages land.
         let ctrl_done = start + t.rows as u64 * self.ctrl_row;
@@ -155,15 +311,16 @@ impl SsdDevice {
         let link_done = start
             + self.link_base
             + self.ns_to_cycles(out.len().max(1) as f64 * self.link_ns_per_byte);
-        let done = flash_done.max(ctrl_done).max(link_done);
-        mem.stall_until(done);
+        self.finish_shipment(
+            mem,
+            flash_done.max(ctrl_done).max(link_done),
+            out.len(),
+            &mut stats,
+        )?;
+        self.health.record_success();
 
-        let stats = RsStats {
-            pages_read: t.pages as u64,
-            rows_scanned: t.rows as u64,
-            rows_emitted: emitted,
-            bytes_shipped: out.len() as u64,
-        };
+        stats.rows_emitted = emitted;
+        stats.bytes_shipped = out.len() as u64;
         Ok((out, stats))
     }
 
@@ -181,10 +338,23 @@ impl SsdDevice {
             ));
         };
         g.validate()?;
+        self.admit()?;
         let start = mem.now();
+        let mut stats = RsStats {
+            pages_read: t.pages as u64,
+            rows_scanned: t.rows as u64,
+            bytes_shipped: 64,
+            ..RsStats::default()
+        };
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+                Ok(done) => flash_done = flash_done.max(done),
+                Err(e) => {
+                    self.health.record_failure();
+                    return Err(e);
+                }
+            }
         }
         let ctrl_done = start + t.rows as u64 * self.ctrl_row;
 
@@ -197,17 +367,15 @@ impl SsdDevice {
                 emitted += 1;
             }
         }
-        let done = flash_done.max(ctrl_done) + self.link_base;
-        mem.stall_until(done);
-        Ok((
-            bank.finish()?,
-            RsStats {
-                pages_read: t.pages as u64,
-                rows_scanned: t.rows as u64,
-                rows_emitted: emitted,
-                bytes_shipped: 64,
-            },
-        ))
+        self.finish_shipment(
+            mem,
+            flash_done.max(ctrl_done) + self.link_base,
+            64,
+            &mut stats,
+        )?;
+        self.health.record_success();
+        stats.rows_emitted = emitted;
+        Ok((bank.finish()?, stats))
     }
 
     /// Host-side baseline: ship every page over the link; the host filters
@@ -218,29 +386,36 @@ impl SsdDevice {
         mem: &mut MemoryHierarchy,
         t: &StoredTable,
     ) -> Result<(Vec<u8>, RsStats)> {
+        self.admit()?;
         let start = mem.now();
+        let mut stats = RsStats {
+            pages_read: t.pages as u64,
+            rows_scanned: t.rows as u64,
+            rows_emitted: t.rows as u64,
+            ..RsStats::default()
+        };
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            flash_done = flash_done.max(self.flash.read_page(t.first_page + p, start));
+            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+                Ok(done) => flash_done = flash_done.max(done),
+                Err(e) => {
+                    self.health.record_failure();
+                    return Err(e);
+                }
+            }
         }
         let shipped = (t.pages * self.cfg.page_bytes) as u64;
         let link_done =
             start + self.link_base + self.ns_to_cycles(shipped as f64 * self.link_ns_per_byte);
-        mem.stall_until(flash_done.max(link_done));
+        self.finish_shipment(mem, flash_done.max(link_done), shipped as usize, &mut stats)?;
+        self.health.record_success();
 
         let mut out = Vec::with_capacity(t.rows * t.row_width);
         for i in 0..t.rows {
             out.extend_from_slice(self.row_bytes(t, i));
         }
-        Ok((
-            out,
-            RsStats {
-                pages_read: t.pages as u64,
-                rows_scanned: t.rows as u64,
-                rows_emitted: t.rows as u64,
-                bytes_shipped: shipped,
-            },
-        ))
+        stats.bytes_shipped = shipped;
+        Ok((out, stats))
     }
 
     /// Reset device queue state between experiments.
@@ -362,6 +537,107 @@ mod tests {
         let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
         assert!(dev.store_rows(&[1, 2, 3], 2).is_err());
         assert!(dev.store_rows(&[0; 8192], 8192).is_err()); // row > page
+    }
+
+    #[test]
+    fn transient_flash_faults_recover_with_identical_bytes() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, mut dev, t) = setup();
+        let (clean, _) = dev.fetch_raw(&mut mem, &t).unwrap();
+        dev.reset_timing();
+
+        let cfg = FaultConfig {
+            flash_transient_prob: 0.2,
+            link_corrupt_prob: 0.2,
+            ..FaultConfig::quiet(77)
+        };
+        dev.inject_faults(FaultPlan::new(cfg), RecoveryPolicy::default());
+        let t0 = mem.now();
+        let (faulty, stats) = dev.fetch_raw(&mut mem, &t).unwrap();
+        assert_eq!(clean, faulty, "recovered fetch must be bit-identical");
+        assert!(stats.injected_faults > 0, "p=0.2 over 8 pages should hit");
+        assert_eq!(stats.retries, stats.injected_faults);
+        assert!(mem.now() > t0);
+        assert_eq!(dev.fault_stats().total(), stats.injected_faults);
+    }
+
+    #[test]
+    fn latent_sector_error_surfaces_cleanly() {
+        use fabric_sim::{BreakerState, FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, mut dev, t) = setup();
+        // Latent probability 1.0: every page is bad, retries cannot help.
+        let cfg = FaultConfig::quiet(3).with_latent(1.0);
+        let policy = RecoveryPolicy::default();
+        dev.inject_faults(FaultPlan::new(cfg), policy);
+        let err = dev.fetch_raw(&mut mem, &t).unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::FlashReadError {
+                page: t.first_page,
+                attempts: policy.max_retries + 1,
+            }
+        );
+        // Repeated failures trip the breaker; further fetches fail fast.
+        let _ = dev.fetch_raw(&mut mem, &t).unwrap_err();
+        let _ = dev.fetch_raw(&mut mem, &t).unwrap_err();
+        assert!(matches!(
+            dev.health().state(),
+            BreakerState::Open { .. } | BreakerState::HalfOpen
+        ));
+        let err = dev.fetch_raw(&mut mem, &t).unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::DeviceTimeout {
+                device: "relstore-ssd".into(),
+                attempts: 0,
+            }
+        );
+        assert!(dev.health().rejections > 0);
+    }
+
+    #[test]
+    fn unshippable_link_surfaces_corrupt_batch() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let (mut mem, mut dev, t) = setup();
+        let cfg = FaultConfig {
+            link_corrupt_prob: 1.0,
+            ..FaultConfig::quiet(3)
+        };
+        let policy = RecoveryPolicy::default();
+        dev.inject_faults(FaultPlan::new(cfg), policy);
+        let err = dev
+            .fetch_geometry(&mut mem, &t, vec![f32field(0, 0)], Predicate::always_true())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::CorruptBatch {
+                device: "host-link".into(),
+                attempts: policy.max_retries + 1,
+            }
+        );
+    }
+
+    #[test]
+    fn quiet_plan_changes_nothing_but_the_crc_check() {
+        use fabric_sim::{FaultPlan, RecoveryPolicy};
+        let (mut mem, mut dev, t) = setup();
+        let (clean, clean_stats) = dev.fetch_raw(&mut mem, &t).unwrap();
+        dev.reset_timing();
+        dev.inject_faults(FaultPlan::quiet(), RecoveryPolicy::default());
+        let (quiet, quiet_stats) = dev.fetch_raw(&mut mem, &t).unwrap();
+        assert_eq!(clean, quiet);
+        assert_eq!(clean_stats.bytes_shipped, quiet_stats.bytes_shipped);
+        assert_eq!(quiet_stats.injected_faults, 0);
+        assert_eq!(quiet_stats.retries, 0);
+    }
+
+    #[test]
+    fn page_crcs_frame_stored_pages() {
+        let (_, dev, t) = setup();
+        for p in 0..t.pages as u64 {
+            assert!(dev.page_crc(t.first_page + p).is_some());
+        }
+        assert!(dev.page_crc(t.first_page + t.pages as u64).is_none());
     }
 
     #[test]

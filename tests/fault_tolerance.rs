@@ -1,0 +1,278 @@
+//! Chaos suite: seeded fault plans against the whole stack.
+//!
+//! Every test here drives Fig-5/Q6-shaped queries through
+//! [`query::execute_resilient`] while a deterministic [`FaultPlan`]
+//! injects device stalls, delivery timeouts, and bit flips — and asserts
+//! the **transparency invariant** of DESIGN.md §9: under any fault plan,
+//! a query either succeeds on the RM path after retries or degrades onto
+//! a software path, and its answer is bit-identical to the fault-free
+//! run. No panics, anywhere, ever.
+//!
+//! Determinism makes every failure replayable: the sweep seed comes from
+//! `FABRIC_CHAOS_SEED` (and the plan count from `FABRIC_CHAOS_PLANS`),
+//! and every assertion message carries the seed that reproduces it:
+//!
+//! ```text
+//! FABRIC_CHAOS_SEED=12345 cargo test --test fault_tolerance
+//! ```
+
+use fabric_sim::{FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy, SimConfig};
+use fabric_types::rng::SplitMix64;
+use fabric_types::{ColumnType, FabricError, Schema, Value};
+use query::{execute_on, execute_resilient, AccessPath, Catalog, FaultContext};
+use relstore::{RsConfig, SsdDevice};
+use rowstore::RowTable;
+
+/// Default sweep seed; override with `FABRIC_CHAOS_SEED`.
+const DEFAULT_SEED: u64 = 0xFA_B51C;
+/// Default number of randomized plans; override with `FABRIC_CHAOS_PLANS`.
+const DEFAULT_PLANS: u64 = 8;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn base_seed() -> u64 {
+    env_u64("FABRIC_CHAOS_SEED", DEFAULT_SEED)
+}
+
+/// Wide rows-only table the optimizer always routes to RM (16 × i64, no
+/// columnar copy; the packed projection dominates a full-row scan).
+/// c_j(i) = i*16 + j.
+fn chaos_catalog(rows: usize) -> (MemoryHierarchy, Catalog) {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let names: Vec<(String, ColumnType)> = (0..16)
+        .map(|i| (format!("c{i}"), ColumnType::I64))
+        .collect();
+    let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let schema = Schema::from_pairs(&pairs);
+    let mut rt = RowTable::create(&mut mem, schema, rows).unwrap();
+    for i in 0..rows as i64 {
+        let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
+        rt.load(&mut mem, &row).unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register_rows("t", rt);
+    (mem, c)
+}
+
+const CHAOS_ROWS: usize = 12_288;
+
+/// The query shapes under chaos: Fig-5-style projections at two
+/// projectivities, a Q6-shaped range-predicate aggregate, and a grouped
+/// aggregate (ORDER BY exercises post-processing on the degraded path).
+const QUERIES: &[&str] = &[
+    "SELECT c0, c5 FROM t WHERE c0 < 64000",
+    "SELECT c0, c3, c7, c11 FROM t",
+    "SELECT sum(c5), count(*) FROM t WHERE c0 >= 1600 AND c0 < 160000",
+    "SELECT c1, sum(c2) FROM t WHERE c0 < 512 GROUP BY c1 ORDER BY 2 DESC LIMIT 8",
+];
+
+/// Derive plan `i`'s fault configuration from the sweep seed: per-site
+/// rates up to ~12% plus engine stalls, all pure functions of the seed.
+fn derived_cfg(sweep_seed: u64, i: u64) -> FaultConfig {
+    let mut sm = SplitMix64::new(sweep_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rate = || (sm.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 0.12;
+    let rm_stall_prob = rate();
+    let rm_timeout_prob = rate();
+    let rm_corrupt_prob = rate();
+    FaultConfig {
+        rm_stall_prob,
+        rm_stall_ns: 2_500.0,
+        rm_timeout_prob,
+        rm_corrupt_prob,
+        ..FaultConfig::quiet(sweep_seed.wrapping_add(i))
+    }
+}
+
+fn bound(c: &Catalog, sql: &str) -> query::BoundQuery {
+    query::bind::bind(c, &query::parser::parse(sql).unwrap()).unwrap()
+}
+
+/// The headline chaos sweep: randomized fault plans, bit-identical
+/// answers, no panics. Every failure message carries the replay seed.
+#[test]
+fn chaos_randomized_fault_plans_preserve_answers() {
+    let seed = base_seed();
+    let plans = env_u64("FABRIC_CHAOS_PLANS", DEFAULT_PLANS);
+
+    // Fault-free reference answers, computed once.
+    let (mut mem, c) = chaos_catalog(CHAOS_ROWS);
+    let reference: Vec<Vec<Vec<Value>>> = QUERIES
+        .iter()
+        .map(|sql| {
+            execute_on(&mut mem, &c, &bound(&c, sql), AccessPath::Rm)
+                .unwrap()
+                .rows
+        })
+        .collect();
+
+    let mut total_injected = 0u64;
+    let mut total_fallbacks = 0u64;
+    for i in 0..plans {
+        let cfg = derived_cfg(seed, i);
+        let (mut mem, c) = chaos_catalog(CHAOS_ROWS);
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        for (qi, sql) in QUERIES.iter().enumerate() {
+            let out =
+                execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap_or_else(|e| {
+                    panic!(
+                        "plan #{i} query {qi} errored: {e}\n  replay: FABRIC_CHAOS_SEED={seed} \
+                         FABRIC_CHAOS_PLANS={plans} cargo test --test fault_tolerance"
+                    )
+                });
+            assert_eq!(
+                out.rows, reference[qi],
+                "plan #{i} query {qi} diverged from the fault-free answer\n  \
+                 replay: FABRIC_CHAOS_SEED={seed} FABRIC_CHAOS_PLANS={plans} \
+                 cargo test --test fault_tolerance"
+            );
+            // Outputs must carry the consumer-side view of what happened.
+            if let Some(s) = &out.rm_stats {
+                assert!(s.retries >= (s.crc_failures + s.delivery_timeouts).saturating_sub(1));
+            }
+        }
+        total_fallbacks += ctx.fallbacks;
+        total_injected += ctx.plan.stats().total();
+    }
+    // The sweep is vacuous if nothing was ever injected.
+    assert!(
+        total_injected > 0,
+        "no faults injected across {plans} plans (seed {seed}) — sweep is vacuous"
+    );
+    // Fallbacks may legitimately be zero at low rates; record, don't require.
+    let _ = total_fallbacks;
+}
+
+/// Guaranteed-fault plan: the device always times out, so every RM-routed
+/// query must degrade — transparently — and the degradation must be
+/// visible in `QueryOutput` and the context's counters.
+#[test]
+fn chaos_guaranteed_fallback_is_transparent_and_counted() {
+    let seed = base_seed();
+    let (mut mem, c) = chaos_catalog(4096);
+    let sql = QUERIES[0];
+    let reference = execute_on(&mut mem, &c, &bound(&c, sql), AccessPath::Rm)
+        .unwrap()
+        .rows;
+
+    let cfg = FaultConfig {
+        rm_timeout_prob: 1.0,
+        ..FaultConfig::quiet(seed)
+    };
+    let policy = RecoveryPolicy::default();
+    let mut ctx = FaultContext::new(cfg, policy);
+    let mut degraded = 0u64;
+    for round in 0..(policy.breaker_threshold + policy.breaker_cooldown) {
+        let out = execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap_or_else(|e| {
+            panic!("round {round} errored: {e} (replay: FABRIC_CHAOS_SEED={seed})")
+        });
+        assert_eq!(out.rows, reference, "replay: FABRIC_CHAOS_SEED={seed}");
+        assert_eq!(out.degraded_from, Some(AccessPath::Rm));
+        assert_ne!(out.path, AccessPath::Rm);
+        if let Some(s) = out.rm_stats {
+            assert!(s.delivery_timeouts > 0, "failed-attempt stats must surface");
+            degraded += 1;
+        }
+    }
+    assert_eq!(ctx.fallbacks, degraded, "every RM attempt fell back");
+    assert_eq!(ctx.fallbacks, policy.breaker_threshold as u64);
+    assert!(
+        ctx.breaker_skips > 0,
+        "the breaker must eventually fail fast instead of retrying a dead device"
+    );
+    assert!(ctx.rm_health().trips >= 1);
+}
+
+/// Replay: the same seed produces the same simulated timeline, the same
+/// fault counters, and the same answers — chaos failures are debuggable.
+#[test]
+fn chaos_same_seed_replays_bit_identically() {
+    let seed = base_seed();
+    let run = || {
+        let cfg = derived_cfg(seed, 3);
+        let (mut mem, c) = chaos_catalog(4096);
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let mut rows = Vec::new();
+        let mut ns = Vec::new();
+        for sql in QUERIES {
+            let out = execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap();
+            rows.push(out.rows);
+            ns.push(out.ns.to_bits());
+        }
+        (rows, ns, ctx.plan.stats(), ctx.fallbacks)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "answers must replay (seed {seed})");
+    assert_eq!(
+        a.1, b.1,
+        "simulated time must replay to the bit (seed {seed})"
+    );
+    assert_eq!(a.2, b.2, "fault stats must replay (seed {seed})");
+    assert_eq!(a.3, b.3, "fallback counts must replay (seed {seed})");
+}
+
+/// Relational Storage under chaos: transient page failures and link
+/// corruption recover to bit-identical shipments; a latent sector error
+/// surfaces as a clean `FlashReadError` — never a panic, never bad data.
+#[test]
+fn chaos_relstore_recovers_or_fails_cleanly() {
+    let seed = base_seed();
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+    // Enough pages that a 15% per-page fault rate injects something for
+    // any seed (the no-injection probability is below 1e-9).
+    let rows = 16_384usize;
+    let mut bytes = Vec::with_capacity(rows * 32);
+    for i in 0..rows {
+        for j in 0..8 {
+            bytes.extend_from_slice(&((i * 8 + j) as i32).to_le_bytes());
+        }
+    }
+    let t = dev.store_rows(&bytes, 32).unwrap();
+    let (clean, _) = dev.fetch_raw(&mut mem, &t).unwrap();
+    dev.reset_timing();
+
+    // Transient faults: either recovery is invisible in the bytes, or —
+    // if some unlucky page burns the whole retry budget — the failure
+    // surfaces as the typed error, never as bad data or a panic.
+    let cfg = FaultConfig {
+        flash_transient_prob: 0.08,
+        link_corrupt_prob: 0.08,
+        ..FaultConfig::quiet(seed)
+    };
+    dev.inject_faults(FaultPlan::new(cfg), RecoveryPolicy::default());
+    match dev.fetch_raw(&mut mem, &t) {
+        Ok((faulty, stats)) => {
+            assert_eq!(clean, faulty, "replay: FABRIC_CHAOS_SEED={seed}");
+            assert!(stats.injected_faults > 0, "sweep vacuous at seed {seed}");
+            assert_eq!(stats.retries, stats.injected_faults);
+        }
+        Err(FabricError::FlashReadError { attempts, .. }) => {
+            assert_eq!(attempts, RecoveryPolicy::default().max_retries + 1);
+        }
+        Err(FabricError::CorruptBatch { device, .. }) => {
+            assert_eq!(device, "host-link", "replay: FABRIC_CHAOS_SEED={seed}");
+        }
+        Err(other) => {
+            panic!("untyped transient failure: {other:?} (replay: FABRIC_CHAOS_SEED={seed})")
+        }
+    }
+
+    // Latent sector errors: unrecoverable, and reported as exactly that.
+    dev.inject_faults(
+        FaultPlan::new(FaultConfig::quiet(seed).with_latent(1.0)),
+        RecoveryPolicy::default(),
+    );
+    match dev.fetch_raw(&mut mem, &t) {
+        Err(FabricError::FlashReadError { page, attempts }) => {
+            assert_eq!(page, t.first_page);
+            assert_eq!(attempts, RecoveryPolicy::default().max_retries + 1);
+        }
+        other => panic!("expected FlashReadError, got {other:?} (seed {seed})"),
+    }
+}

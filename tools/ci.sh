@@ -9,6 +9,9 @@
 #   2. cargo build --release
 #   3. cargo test -q            (whole workspace)
 #   4. cargo run -p fabric-lint (source lints vs. lint-baseline.txt)
+#   5. bounded chaos sweep      (tests/fault_tolerance.rs with a fixed
+#                                seed; fails on any answer divergence and
+#                                prints the replay seed)
 
 set -eu
 
@@ -31,5 +34,20 @@ cargo test -q --workspace
 
 say "cargo run -p fabric-lint"
 cargo run -q -p fabric-lint
+
+# Bounded chaos: a fixed-seed sweep of randomized fault plans over
+# RM-routed queries. Deterministic, so a red run here reproduces locally
+# with the exact command below. Override the seed to explore, e.g.
+#   FABRIC_CHAOS_SEED=$RANDOM FABRIC_CHAOS_PLANS=32 tools/ci.sh
+CHAOS_SEED="${FABRIC_CHAOS_SEED:-16430364}"
+CHAOS_PLANS="${FABRIC_CHAOS_PLANS:-12}"
+say "chaos sweep (FABRIC_CHAOS_SEED=$CHAOS_SEED, $CHAOS_PLANS plans)"
+if ! FABRIC_CHAOS_SEED="$CHAOS_SEED" FABRIC_CHAOS_PLANS="$CHAOS_PLANS" \
+    cargo test -q --test fault_tolerance; then
+    printf '\nchaos sweep FAILED — replay with:\n'
+    printf '  FABRIC_CHAOS_SEED=%s FABRIC_CHAOS_PLANS=%s cargo test --test fault_tolerance\n' \
+        "$CHAOS_SEED" "$CHAOS_PLANS"
+    exit 1
+fi
 
 say "tier-1 gate passed"
