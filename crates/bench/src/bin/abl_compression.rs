@@ -39,8 +39,17 @@ fn main() {
         ),
     ];
 
+    let mut reg = fabric_sim::MetricsRegistry::new();
     for (name, values) in &datasets {
         let reports = analyze_i64(values).expect("analyze");
+        let slug = name.replace(' ', "_").replace('-', "_");
+        for r in &reports {
+            reg.gauge_set(&format!("compression.{slug}.{}.ratio", r.name), r.ratio());
+            reg.counter_add(
+                &format!("compression.{slug}.{}.fabric_compatible", r.name),
+                u64::from(r.fabric_compatible()),
+            );
+        }
         let rows_out: Vec<Vec<String>> = reports
             .iter()
             .map(|r| {
@@ -69,4 +78,5 @@ fn main() {
         "Verdict (paper §III-D): dictionary/delta/huffman suit the fabric; \
          RLE needs run searches; LZ needs full decompression."
     );
+    bench::emit_bench_json("abl_compression", &reg);
 }

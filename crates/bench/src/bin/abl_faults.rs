@@ -70,6 +70,13 @@ fn main() {
             retries += res.rm_stats.map_or(0, |s| s.retries);
         }
         let mean = total_ns / rounds as f64;
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("faults.rate_{rate:.3}.mean_ns"), mean);
+        m.gauge_set(
+            &format!("faults.rate_{rate:.3}.vs_clean_rm"),
+            mean / clean.ns,
+        );
+        m.counter_add(&format!("faults.rate_{rate:.3}.retries"), retries);
         out.push(vec![
             format!("{rate:.3}"),
             fmt_ns(mean),
@@ -143,4 +150,10 @@ fn main() {
             &out
         )
     );
+    let m = mem.metrics_mut();
+    m.counter_add("faults.dead_device.fallbacks", ctx.fallbacks);
+    m.counter_add("faults.dead_device.breaker_skips", ctx.breaker_skips);
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("abl_faults", mem.metrics());
 }

@@ -25,9 +25,18 @@ fn main() {
     };
 
     let mut rows = Vec::new();
+    let mut reg = fabric_sim::MetricsRegistry::new();
 
     let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
     let fabric = run_fabric_htap(&mut mem, &base).expect("fabric");
+    reg.gauge_set("htap.fabric.oltp_ns", fabric.oltp_ns);
+    reg.gauge_set("htap.fabric.olap_ns", fabric.olap_ns);
+    reg.gauge_set("htap.fabric.maintenance_ns", fabric.maintenance_ns);
+    reg.gauge_set("htap.fabric.total_ns", fabric.total_ns());
+    reg.gauge_set(
+        "htap.fabric.staleness_commits",
+        fabric.avg_staleness_commits,
+    );
     rows.push(vec![
         "fabric (single layout)".into(),
         fmt_ns(fabric.oltp_ns),
@@ -49,6 +58,20 @@ fn main() {
         } else {
             format!("dual, convert every {convert_every}")
         };
+        let slug = if convert_every == usize::MAX {
+            "never".to_string()
+        } else {
+            format!("k{convert_every:02}")
+        };
+        reg.gauge_set(&format!("htap.dual.{slug}.total_ns"), dual.total_ns());
+        reg.gauge_set(
+            &format!("htap.dual.{slug}.maintenance_ns"),
+            dual.maintenance_ns,
+        );
+        reg.gauge_set(
+            &format!("htap.dual.{slug}.staleness_commits"),
+            dual.avg_staleness_commits,
+        );
         rows.push(vec![
             label,
             fmt_ns(dual.oltp_ns),
@@ -81,4 +104,5 @@ fn main() {
         "The fabric gets zero-staleness analytics with zero maintenance; the \
          dual-layout design must pick a point on the freshness/maintenance curve (§I)."
     );
+    bench::emit_bench_json("abl_htap", &reg);
 }

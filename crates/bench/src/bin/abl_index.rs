@@ -71,6 +71,11 @@ fn main() {
     let rm_ns = mem.ns_since(t0);
     assert_eq!(found, 1);
 
+    let m = mem.metrics_mut();
+    m.gauge_set("index.point.probe_ns", probe_ns);
+    m.gauge_set("index.point.rm_scan_ns", rm_ns);
+    m.gauge_set("index.point.index_advantage", rm_ns / probe_ns.max(1.0));
+
     println!("Point query (1 of {rows} rows):");
     println!(
         "{}",
@@ -121,6 +126,10 @@ fn main() {
         let rm_ns = mem.ns_since(t0);
         assert_eq!((idx_sum, n), (rm_sum, rm_n), "plans disagree at {frac}");
 
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("index.range_{frac:.3}.ordered_ns"), idx_ns);
+        m.gauge_set(&format!("index.range_{frac:.3}.rm_group_ns"), rm_ns);
+
         out.push(vec![
             format!("{:.1}%", frac * 100.0),
             format!("{n}"),
@@ -147,4 +156,7 @@ fn main() {
             &out
         )
     );
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("abl_index", mem.metrics());
 }

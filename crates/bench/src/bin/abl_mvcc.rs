@@ -16,6 +16,7 @@ fn main() {
     let logical_rows = arg_usize(&args, "--rows", 100_000);
 
     let mut out = Vec::new();
+    let mut reg = fabric_sim::MetricsRegistry::new();
     for update_rounds in [0usize, 1, 3, 7] {
         let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
         let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
@@ -56,6 +57,15 @@ fn main() {
         let rm_ns = mem.ns_since(t0);
         assert_eq!((sw_sum, sw_n), (rm_sum, rm_n), "paths disagree");
 
+        let v = update_rounds + 1;
+        reg.gauge_set(&format!("mvcc.v{v:02}.sw_ns"), sw_ns);
+        reg.gauge_set(&format!("mvcc.v{v:02}.hw_ns"), rm_ns);
+        reg.gauge_set(&format!("mvcc.v{v:02}.speedup"), sw_ns / rm_ns);
+        reg.counter_add(
+            &format!("mvcc.v{v:02}.versions"),
+            table.version_count() as u64,
+        );
+
         out.push(vec![
             format!("{}", update_rounds + 1),
             format!("{}", table.version_count()),
@@ -81,4 +91,5 @@ fn main() {
             &out
         )
     );
+    bench::emit_bench_json("abl_mvcc", &reg);
 }

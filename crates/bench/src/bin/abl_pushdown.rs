@@ -33,6 +33,12 @@ fn main() {
         let base = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm");
         let push = run_rm_pushdown(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("push");
         assert_eq!(base.checksum, push.checksum);
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("pushdown.select_{sel:.2}.cpu_filter_ns"), base.ns);
+        m.gauge_set(
+            &format!("pushdown.select_{sel:.2}.device_filter_ns"),
+            push.ns,
+        );
         out.push(vec![
             format!("{:.0}%", sel * 100.0),
             fmt_ns(base.ns),
@@ -117,6 +123,10 @@ fn main() {
             assert_eq!(vals[j], Value::I64(*s), "sum {j} disagrees at sel {sel}");
         }
 
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("pushdown.agg_{sel:.2}.cpu_ns"), sw_ns);
+        m.gauge_set(&format!("pushdown.agg_{sel:.2}.device_ns"), hw_ns);
+
         out.push(vec![
             format!("{:.0}%", sel * 100.0),
             fmt_ns(sw_ns),
@@ -137,4 +147,7 @@ fn main() {
             &out
         )
     );
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("abl_pushdown", mem.metrics());
 }

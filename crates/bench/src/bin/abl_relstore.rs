@@ -44,6 +44,11 @@ fn main() {
         .fetch_geometry(&mut mem, &table, vec![f(0), f(5)], Predicate::always_true())
         .expect("near");
     let near_ns = mem.ns_since(t0);
+    let m = mem.metrics_mut();
+    m.gauge_set("relstore.project.host_ns", host_ns);
+    m.gauge_set("relstore.project.near_ns", near_ns);
+    m.counter_add("relstore.project.host_bytes", host.bytes_shipped);
+    m.counter_add("relstore.project.near_bytes", near.bytes_shipped);
     out.push(vec![
         "project 2/16 cols".into(),
         format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
@@ -60,6 +65,9 @@ fn main() {
         .fetch_geometry(&mut mem, &table, vec![f(0), f(5)], pred.clone())
         .expect("near");
     let near_ns = mem.ns_since(t0);
+    let m = mem.metrics_mut();
+    m.gauge_set("relstore.select.near_ns", near_ns);
+    m.counter_add("relstore.select.near_bytes", near.bytes_shipped);
     out.push(vec![
         "project 2 + select ~1%".into(),
         format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
@@ -76,6 +84,9 @@ fn main() {
     let t0 = mem.now();
     let (_, agg) = dev.fetch_aggregate(&mut mem, &table, &g).expect("agg");
     let agg_ns = mem.ns_since(t0);
+    let m = mem.metrics_mut();
+    m.gauge_set("relstore.aggregate.near_ns", agg_ns);
+    m.counter_add("relstore.aggregate.near_bytes", agg.bytes_shipped);
     out.push(vec![
         "sum + count".into(),
         format!("{} ({})", fmt_ns(host_ns), host.bytes_shipped / 1024 / 1024),
@@ -115,6 +126,11 @@ fn main() {
         .fetch_rows_host_decode(&mut dev, &mut mem, &[0, 1])
         .expect("host");
     let host_ns = mem.ns_since(t0);
+    let m = mem.metrics_mut();
+    m.gauge_set("relstore.decompress.host_ns", host_ns);
+    m.gauge_set("relstore.decompress.near_ns", near_ns);
+    m.counter_add("relstore.decompress.host_bytes", host.bytes_shipped);
+    m.counter_add("relstore.decompress.near_bytes", near.bytes_shipped);
     out.push(vec![
         "decompress + reconstruct".into(),
         format!("{} ({} KiB)", fmt_ns(host_ns), host.bytes_shipped / 1024),
@@ -132,4 +148,7 @@ fn main() {
             &out
         )
     );
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("abl_relstore", mem.metrics());
 }

@@ -34,6 +34,12 @@ fn main() {
         };
         let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("rm");
         assert_eq!(rm.checksum, row.checksum);
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("rm_device.buffer_{kib:04}kib.ns"), rm.ns);
+        m.gauge_set(
+            &format!("rm_device.buffer_{kib:04}kib.speedup_vs_row"),
+            row.ns / rm.ns,
+        );
         out.push(vec![
             format!("{kib} KiB"),
             fmt_ns(rm.ns),
@@ -60,6 +66,12 @@ fn main() {
         };
         let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("rm");
         assert_eq!(rm.checksum, row.checksum);
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("rm_device.clock_{mhz:03}mhz.ns"), rm.ns);
+        m.gauge_set(
+            &format!("rm_device.clock_{mhz:03}mhz.speedup_vs_row"),
+            row.ns / rm.ns,
+        );
         out.push(vec![
             format!("{mhz} MHz"),
             fmt_ns(rm.ns),
@@ -81,6 +93,9 @@ fn main() {
         let rm = run_rm(&mut mem, &data.rows, &q, RmConfig::prototype()).expect("rm");
         let rmc = run_rm(&mut mem, &data.rows, &q, RmConfig::rmc()).expect("rmc");
         assert_eq!(rm.checksum, rmc.checksum);
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("rm_device.rmc.p{p:02}.fpga_ns"), rm.ns);
+        m.gauge_set(&format!("rm_device.rmc.p{p:02}.rmc_ns"), rmc.ns);
         out.push(vec![
             format!("{p}"),
             fmt_ns(rm.ns),
@@ -104,6 +119,12 @@ fn main() {
         let cfg = RmConfig::prototype().shared(tenants);
         let rm = run_rm(&mut mem, &data.rows, &q, cfg).expect("shared");
         assert_eq!(rm.checksum, solo.checksum);
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("rm_device.tenants_{tenants:02}.ns"), rm.ns);
+        m.gauge_set(
+            &format!("rm_device.tenants_{tenants:02}.slowdown"),
+            rm.ns / solo.ns,
+        );
         out.push(vec![
             format!("{tenants}"),
             fmt_ns(rm.ns),
@@ -115,4 +136,7 @@ fn main() {
         "{}",
         render_table(&["active tenants", "per-tenant time", "slowdown"], &out)
     );
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("abl_rm_device", mem.metrics());
 }

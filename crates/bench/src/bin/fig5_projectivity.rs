@@ -41,6 +41,12 @@ fn main() {
         assert_eq!(row.checksum, col.checksum, "engines disagree at p={p}");
         assert_eq!(row.checksum, rm.checksum, "engines disagree at p={p}");
         let norm = row.ns;
+        let m = mem.metrics_mut();
+        m.gauge_set(&format!("fig5.p{p:02}.row_ns"), row.ns);
+        m.gauge_set(&format!("fig5.p{p:02}.col_ns"), col.ns);
+        m.gauge_set(&format!("fig5.p{p:02}.rm_ns"), rm.ns);
+        m.gauge_set(&format!("fig5.p{p:02}.col_norm"), col.ns / norm);
+        m.gauge_set(&format!("fig5.p{p:02}.rm_norm"), rm.ns / norm);
         if csv {
             println!(
                 "{p},{:.0},{:.0},{:.0},{:.3},{:.3},{:.3}",
@@ -72,4 +78,7 @@ fn main() {
             )
         );
     }
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("fig5_projectivity", mem.metrics());
 }

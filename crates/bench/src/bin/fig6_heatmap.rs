@@ -46,6 +46,9 @@ fn main() {
             assert_eq!(row.checksum, rm.checksum, "engines disagree at p={p} s={s}");
             vs_row[s - 1][p - 1] = row.ns / rm.ns;
             vs_col[s - 1][p - 1] = col.ns / rm.ns;
+            let m = mem.metrics_mut();
+            m.gauge_set(&format!("fig6.s{s:02}.p{p:02}.rm_vs_row"), row.ns / rm.ns);
+            m.gauge_set(&format!("fig6.s{s:02}.p{p:02}.rm_vs_col"), col.ns / rm.ns);
         }
         eprintln!("# selection row {s}/10 done");
     }
@@ -56,6 +59,9 @@ fn main() {
     if which == "rm-vs-col" || which == "both" {
         print_grid("Fig. 6b — speedup of RM vs COL", &vs_col);
     }
+    let stats = mem.stats();
+    stats.record_into(mem.metrics_mut(), "mem");
+    bench::emit_bench_json("fig6_heatmap", mem.metrics());
 }
 
 fn print_grid(title: &str, grid: &[Vec<f64>]) {

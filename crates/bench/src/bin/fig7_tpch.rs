@@ -32,6 +32,7 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
     }
 
     let mut out_rows = Vec::new();
+    let mut reg = fabric_sim::MetricsRegistry::new();
     if csv {
         println!("query,target_mib,table_mib,row_ns,col_ns,rm_ns");
     }
@@ -68,6 +69,12 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
             "engines disagree at {t} MiB"
         );
 
+        reg.gauge_set(&format!("fig7.{which}.t{t:03}.row_ns"), row.ns);
+        reg.gauge_set(&format!("fig7.{which}.t{t:03}.col_ns"), col.ns);
+        reg.gauge_set(&format!("fig7.{which}.t{t:03}.rm_ns"), rm.ns);
+        reg.counter_add(&format!("fig7.{which}.targets"), 1);
+        let stats = mem.stats();
+        stats.record_into(&mut reg, &format!("fig7.{which}.t{t:03}.mem"));
         if csv {
             println!(
                 "{which},{t},{table_mib},{:.0},{:.0},{:.0}",
@@ -106,6 +113,7 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
             )
         );
     }
+    bench::emit_bench_json(&format!("fig7_tpch_{which}"), &reg);
 }
 
 fn main() {

@@ -25,6 +25,12 @@
 //!   forbidden in non-test library code of the core crates: a fault that
 //!   recovery machinery surfaced must be handled or named, never dropped
 //!   on the floor.
+//! * **raw-stats-print** — `println!`/`format!`-family macros over stats
+//!   counter structs (`MemStats`, `RmStats`, a `stats` binding, …) are
+//!   forbidden in non-test library code of the core crates: statistics
+//!   flow through the `fabric-obs` metrics registry (`record_into` + the
+//!   snapshot JSON serializer), the workspace's single serialization
+//!   path, never through hand-rolled formatters.
 //!
 //! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
 //! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
@@ -51,7 +57,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// Hot-path directory prefixes (every `.rs` file below them).
 pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
 
-/// The five rule families.
+/// The six rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoUnwrap,
@@ -59,6 +65,7 @@ pub enum Rule {
     NarrowingCast,
     NoExit,
     IgnoredResult,
+    RawStatsPrint,
 }
 
 impl Rule {
@@ -70,6 +77,7 @@ impl Rule {
             Rule::NarrowingCast => "narrowing-cast",
             Rule::NoExit => "no-exit",
             Rule::IgnoredResult => "ignored-result",
+            Rule::RawStatsPrint => "raw-stats-print",
         }
     }
 
@@ -80,6 +88,7 @@ impl Rule {
             "narrowing-cast" => Some(Rule::NarrowingCast),
             "no-exit" => Some(Rule::NoExit),
             "ignored-result" => Some(Rule::IgnoredResult),
+            "raw-stats-print" => Some(Rule::RawStatsPrint),
             _ => None,
         }
     }
@@ -228,6 +237,55 @@ fn ignored_result_discards(line: &str) -> Vec<&'static str> {
     hits
 }
 
+/// Print/format macros the `raw-stats-print` rule watches. `write!` /
+/// `writeln!` stay legal: rendering *into a caller-supplied writer* (plan
+/// text, reports) is fine — it is ad-hoc stringification of counter
+/// structs that must go through the metrics registry.
+const PRINT_MACROS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "format!"];
+
+/// Does this identifier look like a stats counter struct or binding?
+fn is_stats_ident(tok: &str) -> bool {
+    tok == "stats" || tok.ends_with("_stats") || tok.ends_with("Stats")
+}
+
+/// Does a raw (unsanitized) line hold a format-string inline capture of a
+/// stats binding, like `"{stats:?}"` or `"{rm_stats}"`? The sanitizer
+/// blanks string literals, so these must be sought in the raw text.
+fn inline_stats_capture(raw: &str) -> bool {
+    let mut rest = raw;
+    while let Some(p) = rest.find('{') {
+        let after = &rest[p + 1..];
+        let end = after
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(after.len());
+        let tail = &after[end..];
+        if (tail.starts_with('}') || tail.starts_with(':')) && is_stats_ident(&after[..end]) {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+/// Hand-rolled stats formatting on a line (rule `raw-stats-print`): a
+/// print/format macro whose line also references a stats struct — either
+/// as a code identifier (sanitized view) or as an inline format capture
+/// (raw view).
+fn raw_stats_prints(san_line: &str, raw_line: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    for mac in PRINT_MACROS {
+        for _ in find_bounded(san_line, mac, true, false) {
+            let ident_hit = san_line
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .any(is_stats_ident);
+            if ident_hit || inline_stats_capture(raw_line) {
+                hits.push(*mac);
+            }
+        }
+    }
+    hits
+}
+
 fn excerpt_of(raw: &str) -> String {
     let t = raw.trim();
     if t.len() > 90 {
@@ -345,6 +403,23 @@ pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
                     line: lineno,
                     rule: Rule::IgnoredResult,
                     message: format!("{why} in core-crate library code (handle or name it)"),
+                    excerpt: excerpt_of(raw),
+                });
+            }
+        }
+
+        // raw-stats-print: core-crate library code must route stats
+        // through the metrics registry, not hand-rolled formatters.
+        if class.is_core && class.is_lib {
+            for mac in raw_stats_prints(line, raw) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::RawStatsPrint,
+                    message: format!(
+                        "`{mac}` over a stats counter struct in core-crate library code \
+                         (use `record_into` + the metrics snapshot serializer)"
+                    ),
                     excerpt: excerpt_of(raw),
                 });
             }
@@ -499,6 +574,41 @@ mod tests {
         assert!(ignored_result_discards("let x = run().ok();").is_empty());
         assert!(ignored_result_discards("if x == y { run()?; }").is_empty());
         assert!(ignored_result_discards("violet = 3;").is_empty());
+    }
+
+    #[test]
+    fn raw_stats_print_detection() {
+        // Code-identifier mentions (sanitized view).
+        assert_eq!(
+            raw_stats_prints(
+                "println!( , stats.l1_hits);",
+                "println!(\"hits={}\", stats.l1_hits);"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            raw_stats_prints(
+                "let s = format!( , rm_stats);",
+                "let s = format!(\"{:?}\", rm_stats);"
+            )
+            .len(),
+            1
+        );
+        // Inline capture lives only in the raw string.
+        assert_eq!(
+            raw_stats_prints("eprintln!( );", "eprintln!(\"{stats:?}\");").len(),
+            1
+        );
+        // A print without stats context is fine, as is stats without a print.
+        assert!(raw_stats_prints("println!( , rows);", "println!(\"{}\", rows);").is_empty());
+        assert!(raw_stats_prints("let x = stats.l1_hits;", "let x = stats.l1_hits;").is_empty());
+        // `write!`/`writeln!` stay legal (caller-supplied writer).
+        assert!(raw_stats_prints(
+            "writeln!(out, , stats.retries)?;",
+            "writeln!(out, \"{}\", stats.retries)?;"
+        )
+        .is_empty());
     }
 
     #[test]

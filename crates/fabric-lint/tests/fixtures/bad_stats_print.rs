@@ -1,0 +1,9 @@
+//! Fixture: hand-rolled stats formatting (rule `raw-stats-print`).
+
+pub struct RmStats { pub retries: u64 }
+
+pub fn f(stats: &RmStats, rm_stats: &RmStats) -> String {
+    println!("retries={}", stats.retries);
+    eprintln!("{rm_stats:?}");
+    format!("device did {} retries", rm_stats.retries)
+}

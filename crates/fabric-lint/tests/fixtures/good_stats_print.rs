@@ -1,0 +1,42 @@
+//! Fixture: statistics routed through the metrics registry, prints that
+//! carry no stats, and test-only dumps (clean for rule `raw-stats-print`).
+
+pub struct RmStats { pub retries: u64 }
+
+pub struct Registry;
+impl Registry {
+    pub fn counter_add(&mut self, _name: &str, _v: u64) {}
+}
+
+impl RmStats {
+    // The sanctioned path: counters land in the registry, the snapshot
+    // serializer renders them.
+    pub fn record_into(&self, registry: &mut Registry, prefix: &str) {
+        registry.counter_add(&format!("{prefix}.retries"), self.retries);
+    }
+}
+
+pub fn f(rows: usize) {
+    // Prints without stats context are not this rule's business.
+    println!("processed {rows} rows");
+    // Mentioning stats in a comment or a string is fine:
+    // println!("{stats:?}");
+    let _doc = "println!(\"format stats by hand\");";
+}
+
+// Rendering into a caller-supplied writer is legal (EXPLAIN-style text).
+pub fn render(out: &mut String, stats: &RmStats) -> std::fmt::Result {
+    use std::fmt::Write as _;
+    writeln!(out, "retries: {}", stats.retries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_dump_stats() {
+        let stats = RmStats { retries: 1 };
+        println!("{}", stats.retries);
+    }
+}

@@ -112,6 +112,26 @@ fn ignored_result_scope_and_negative_space() {
 }
 
 #[test]
+fn raw_stats_print_flags_hand_rolled_formatters_in_core_lib_code() {
+    let d = scan_as("bad_stats_print.rs", "crates/relmem/src/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::RawStatsPrint), vec![6, 7, 8], "{d:?}");
+    assert!(d.iter().any(|x| x.message.contains("record_into")));
+}
+
+#[test]
+fn raw_stats_print_scope_and_negative_space() {
+    // Non-core crate: out of scope.
+    assert!(scan_as("bad_stats_print.rs", "crates/workload/src/fixture.rs").is_empty());
+    // Core crate, binary/test target: out of scope.
+    assert!(scan_as("bad_stats_print.rs", "crates/relmem/src/main.rs").is_empty());
+    assert!(scan_as("bad_stats_print.rs", "crates/relmem/tests/fixture.rs").is_empty());
+    // Registry routing, stats-free prints, writer-based rendering,
+    // comments, strings, and test dumps are all clean.
+    let d = scan_as("good_stats_print.rs", "crates/relmem/src/fixture.rs");
+    assert!(lines_of(&d, Rule::RawStatsPrint).is_empty(), "{d:?}");
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let d = scan_as("bad_exit.rs", "crates/workload/src/fixture.rs");
     let shown = d[0].to_string();

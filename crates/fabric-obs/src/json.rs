@@ -1,0 +1,356 @@
+//! A minimal JSON model: enough writer support to escape strings, and a
+//! strict parser so exported traces and metric snapshots can be
+//! structurally validated offline (no external parsers in this workspace).
+
+use std::fmt;
+
+/// Escape a string for embedding in a JSON document.
+pub fn escaped(s: &str) -> Escaped<'_> {
+    Escaped(s)
+}
+
+/// Display adapter produced by [`escaped`].
+pub struct Escaped<'a>(&'a str);
+
+impl fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in self.0.chars() {
+            match c {
+                '"' => f.write_str("\\\"")?,
+                '\\' => f.write_str("\\\\")?,
+                '\n' => f.write_str("\\n")?,
+                '\r' => f.write_str("\\r")?,
+                '\t' => f.write_str("\\t")?,
+                c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                c => write!(f, "{c}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Object as an ordered key/value list (duplicate keys preserved —
+    /// the validator rejects none, this is a diagnostic tool).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(src, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {} (found {:?})",
+            ch as char,
+            *pos,
+            bytes.get(*pos).map(|&b| b as char)
+        ))
+    }
+}
+
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(src, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(src, bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(src, bytes, pos)?)),
+        Some(b't') => keyword(src, pos, "true", Json::Bool(true)),
+        Some(b'f') => keyword(src, pos, "false", Json::Bool(false)),
+        Some(b'n') => keyword(src, pos, "null", Json::Null),
+        Some(_) => parse_number(src, bytes, pos),
+    }
+}
+
+fn keyword(src: &str, pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if src[*pos..].starts_with(word) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let rest = &src[*pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some((_, '"')) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some((_, '\\')) => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = src.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u escape: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some((i, c)) => {
+                out.push(c);
+                *pos += c.len_utf8() + i;
+            }
+        }
+    }
+}
+
+fn parse_number(src: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    src[start..*pos]
+        .parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{}`: {e}", &src[start..*pos]))
+}
+
+/// What [`validate_chrome_trace`] found in a structurally valid export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    pub events: usize,
+    pub begins: usize,
+    pub ends: usize,
+    pub instants: usize,
+    pub counters: usize,
+    /// `otherData.dropped` from the export header.
+    pub dropped: u64,
+}
+
+/// Structurally validate a Chrome trace-event JSON export:
+/// top-level object with a `traceEvents` array; every event carries a
+/// string `name`, a `ph` in `{B, E, i, C}`, a numeric `ts`, and numeric
+/// `pid`/`tid`; begin/end events balance per `(tid, name)`.
+pub fn validate_chrome_trace(src: &str) -> Result<ChromeTraceSummary, String> {
+    let doc = parse_json(src)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut summary = ChromeTraceSummary {
+        events: events.len(),
+        ..ChromeTraceSummary::default()
+    };
+    if let Some(d) = doc.get("otherData").and_then(|o| o.get("dropped")) {
+        summary.dropped = d.as_num().ok_or("`dropped` is not a number")? as u64;
+    }
+    let mut open: Vec<(f64, String)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string `name`"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string `ph`"))?;
+        ev.get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric `ts`"))?;
+        ev.get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric `pid`"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i}: missing numeric `tid`"))?;
+        match ph {
+            "B" => {
+                summary.begins += 1;
+                open.push((tid, name.to_string()));
+            }
+            "E" => {
+                summary.ends += 1;
+                let top = open
+                    .iter()
+                    .rposition(|(t, n)| *t == tid && n == name)
+                    .ok_or_else(|| format!("event {i}: `E` for `{name}` with no open `B`"))?;
+                open.remove(top);
+            }
+            "i" => summary.instants += 1,
+            "C" => summary.counters += 1,
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    // A ring that dropped its oldest events may have orphan `E`s (their
+    // `B` was overwritten) — already tolerated above only when balanced;
+    // unbalanced opens at EOF are fine (the trace window closed mid-span).
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let j = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\n","c":true,"d":null}"#).unwrap();
+        assert_eq!(j.get("b").unwrap().as_str().unwrap(), "x\n");
+        let arr = j.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[2].as_num().unwrap(), -300.0);
+        assert_eq!(j.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse_json("{} x").is_err());
+        assert!(parse_json("{\"a\":").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let src = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("{{\"k\":\"{}\"}}", escaped(src));
+        let j = parse_json(&doc).unwrap();
+        assert_eq!(j.get("k").unwrap().as_str().unwrap(), src);
+    }
+
+    #[test]
+    fn validator_accepts_balanced_and_rejects_orphan_end() {
+        let good = r#"{"traceEvents":[
+            {"name":"a","cat":"q","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"a","cat":"q","ph":"E","ts":2,"pid":1,"tid":1}]}"#;
+        let s = validate_chrome_trace(good).unwrap();
+        assert_eq!((s.begins, s.ends), (1, 1));
+        let bad = r#"{"traceEvents":[
+            {"name":"a","cat":"q","ph":"E","ts":2,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn validator_requires_event_fields() {
+        let missing_ts = r#"{"traceEvents":[{"name":"a","ph":"i","pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(missing_ts).is_err());
+        let bad_ph = r#"{"traceEvents":[{"name":"a","ph":"Z","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad_ph).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Metrics registry: named monotonic counters, gauges, and log-bucketed
+//! histograms, with a stable snapshot/delta API and a single JSON
+//! serialization path.
+//!
+//! All maps are `BTreeMap`s so iteration — and therefore serialization —
+//! is deterministic: same counter updates, byte-identical JSON. This is
+//! the one formatter the workspace's stats flow through (`raw-stats-print`
+//! in fabric-lint flags hand-rolled alternatives in core crates).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `i` counts values
+/// `v` with `63 - v.leading_zeros() == i` (bucket 0 also takes `v == 0`),
+/// covering the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram over `u64` samples (latencies in cycles,
+/// amplification ratios scaled ×100, byte counts, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of observed samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Immutable snapshot used by [`MetricsSnapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]; only non-empty buckets are kept,
+/// as `(log2_bucket, count)` pairs sorted by bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// The workspace-wide metrics registry.
+///
+/// Counters are monotonic `u64`s, gauges are last-write-wins `f64`s,
+/// histograms are log2-bucketed. Names are dotted paths
+/// (`"mem.l1.hits"`, `"rm.retries"`, `"explain.rel_err_pct"`), owned
+/// strings so callers can build them dynamically.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Add to a monotonic counter (created at 0 on first touch).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c = c.saturating_add(delta);
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Read a gauge (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record a histogram sample (histogram created on first touch).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Read a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Reset everything (counters to absent, not to 0 — a fresh registry).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Point-in-time snapshot of all metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value at snapshot time (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counters that advanced since `earlier`, plus gauges/histograms at
+    /// their current values. Counters with zero delta are omitted, so a
+    /// delta over an idle interval is empty.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.counter(k));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// The single serialization path: deterministic JSON (sorted keys,
+    /// fixed float formatting). Every stats export in the workspace —
+    /// bench `BENCH_*.json` files, EXPLAIN ANALYZE appendices, CI
+    /// artifacts — goes through here.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ignored = write!(out, "\"{}\":{}", crate::json::escaped(k), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ignored = write!(out, "\"{}\":{}", crate::json::escaped(k), fmt_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ignored = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                crate::json::escaped(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ignored = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Deterministic float rendering for JSON: finite values via `{:?}`
+/// (shortest round-trip form, locale-independent), non-finite mapped to
+/// JSON-legal sentinels.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // JSON has no Infinity/NaN; null keeps the document parseable.
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("b.second", 2);
+        r.counter_add("a.first", 1);
+        r.counter_add("b.second", 3);
+        assert_eq!(r.counter("b.second"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        let snap = r.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, ["a.first", "b.second"]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 and 1 land in bucket 0; 2 and 3 in bucket 1; 1024 in 10; MAX in 63.
+        assert_eq!(s.buckets, vec![(0, 2), (1, 2), (10, 1), (63, 1)]);
+    }
+
+    #[test]
+    fn delta_omits_idle_counters() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("x", 10);
+        r.counter_add("y", 1);
+        let before = r.snapshot();
+        r.counter_add("x", 7);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("x"), 7);
+        assert!(!delta.counters.contains_key("y"));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parses() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("mem.l1.hits", 42);
+        r.gauge_set("explain.rel_err_pct", 12.5);
+        r.observe("rm.batch_cycles", 900);
+        r.observe("rm.batch_cycles", 1100);
+        let s = r.snapshot();
+        let j1 = s.to_json();
+        let j2 = s.to_json();
+        assert_eq!(j1, j2);
+        let parsed = crate::json::parse_json(&j1).expect("snapshot JSON parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("mem.l1.hits"))
+                .and_then(crate::json::Json::as_num),
+            Some(42.0)
+        );
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("explain.rel_err_pct"))
+                .and_then(crate::json::Json::as_num),
+            Some(12.5)
+        );
+    }
+
+    #[test]
+    fn non_finite_gauges_stay_parseable() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("bad", f64::INFINITY);
+        let j = r.snapshot().to_json();
+        crate::json::parse_json(&j).expect("still valid JSON");
+        assert!(j.contains("\"bad\":null"));
+    }
+}

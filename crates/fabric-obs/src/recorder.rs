@@ -1,0 +1,199 @@
+//! The recorder trait engines emit trace events through.
+//!
+//! `FabricRecorder` is the seam between instrumented engines and the
+//! trace sink. Engines call it with cycle timestamps they already hold —
+//! recording never advances the simulated clock, so instrumentation is
+//! zero-cost in the cycle domain by construction (and the no-op recorder
+//! is zero-cost in the host domain too: empty inlined bodies).
+
+use crate::trace::{Category, Phase, TraceBuffer, TraceEvent};
+use crate::Cycles;
+
+/// Sink for cycle-stamped trace events.
+///
+/// Hot paths should check [`FabricRecorder::enabled`] once and skip arg
+/// marshalling entirely when tracing is off.
+///
+/// `Send` is a supertrait so that a hierarchy holding a boxed recorder
+/// stays movable across threads (the concurrent HTAP example wraps one
+/// in a `Mutex`); recorders are owned by one hierarchy, never shared.
+pub trait FabricRecorder: Send {
+    /// Whether events will actually be recorded. Callers may cache this.
+    fn enabled(&self) -> bool;
+
+    /// Open a span on the category's track.
+    fn begin(&mut self, ts: Cycles, name: &'static str, cat: Category);
+
+    /// Close the most recent open span with this `(cat, name)`; `args`
+    /// attach to the closing edge (row counts, bytes moved, …).
+    fn end(&mut self, ts: Cycles, name: &'static str, cat: Category, args: &[(&'static str, u64)]);
+
+    /// A point-in-time event (retry, fault, breaker trip, …).
+    fn instant(
+        &mut self,
+        ts: Cycles,
+        name: &'static str,
+        cat: Category,
+        args: &[(&'static str, u64)],
+    );
+
+    /// Sample a counter track.
+    fn counter(&mut self, ts: Cycles, name: &'static str, cat: Category, value: u64);
+
+    /// Export the recorded trace as Chrome trace-event JSON, if this
+    /// recorder keeps one (`None` for sinks that discard events). Lets
+    /// callers holding a `Box<dyn FabricRecorder>` export without
+    /// downcasting.
+    fn export_chrome_json(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Recorder that discards everything. This is the default wired into
+/// `MemoryHierarchy`; a query run against it must be cycle-identical to
+/// an un-instrumented build (asserted in `tests/trace_determinism.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl FabricRecorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn begin(&mut self, _ts: Cycles, _name: &'static str, _cat: Category) {}
+
+    #[inline]
+    fn end(
+        &mut self,
+        _ts: Cycles,
+        _name: &'static str,
+        _cat: Category,
+        _args: &[(&'static str, u64)],
+    ) {
+    }
+
+    #[inline]
+    fn instant(
+        &mut self,
+        _ts: Cycles,
+        _name: &'static str,
+        _cat: Category,
+        _args: &[(&'static str, u64)],
+    ) {
+    }
+
+    #[inline]
+    fn counter(&mut self, _ts: Cycles, _name: &'static str, _cat: Category, _value: u64) {}
+}
+
+/// Recorder backed by a bounded [`TraceBuffer`] ring.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    buffer: TraceBuffer,
+}
+
+impl RingRecorder {
+    /// A recorder whose ring holds at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            buffer: TraceBuffer::with_capacity(capacity),
+        }
+    }
+
+    /// Borrow the recorded events.
+    pub fn buffer(&self) -> &TraceBuffer {
+        &self.buffer
+    }
+
+    /// Consume the recorder, keeping its trace.
+    pub fn into_buffer(self) -> TraceBuffer {
+        self.buffer
+    }
+}
+
+impl FabricRecorder for RingRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn begin(&mut self, ts: Cycles, name: &'static str, cat: Category) {
+        self.buffer
+            .push(TraceEvent::new(Phase::Begin, ts, name, cat, &[]));
+    }
+
+    fn end(&mut self, ts: Cycles, name: &'static str, cat: Category, args: &[(&'static str, u64)]) {
+        self.buffer
+            .push(TraceEvent::new(Phase::End, ts, name, cat, args));
+    }
+
+    fn instant(
+        &mut self,
+        ts: Cycles,
+        name: &'static str,
+        cat: Category,
+        args: &[(&'static str, u64)],
+    ) {
+        self.buffer
+            .push(TraceEvent::new(Phase::Instant, ts, name, cat, args));
+    }
+
+    fn counter(&mut self, ts: Cycles, name: &'static str, cat: Category, value: u64) {
+        self.buffer.push(TraceEvent::new(
+            Phase::Counter,
+            ts,
+            name,
+            cat,
+            &[("value", value)],
+        ));
+    }
+
+    fn export_chrome_json(&self) -> Option<String> {
+        Some(self.buffer.to_chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_recorder_captures_span_pairs() {
+        let mut r = RingRecorder::new(16);
+        assert!(r.enabled());
+        r.begin(10, "query::exec", Category::Query);
+        r.instant(12, "rm.retry", Category::Fault, &[("attempt", 1)]);
+        r.counter(13, "mem.stalls", Category::Mem, 7);
+        r.end(20, "query::exec", Category::Query, &[("rows", 5)]);
+        let buf = r.into_buffer();
+        assert_eq!(buf.len(), 4);
+        let phases: Vec<char> = buf.iter().map(|e| e.ph.code()).collect();
+        assert_eq!(phases, vec!['B', 'i', 'C', 'E']);
+        crate::json::validate_chrome_trace(&buf.to_chrome_json()).expect("valid");
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.begin(1, "x", Category::Mem);
+        r.end(2, "x", Category::Mem, &[]);
+        r.instant(3, "y", Category::Fault, &[]);
+        r.counter(4, "z", Category::Store, 9);
+        // Nothing observable — the type is a ZST with empty methods.
+    }
+
+    #[test]
+    fn dyn_dispatch_works_for_both() {
+        let mut ring = RingRecorder::new(4);
+        let mut noop = NoopRecorder;
+        let recorders: [&mut dyn FabricRecorder; 2] = [&mut ring, &mut noop];
+        for r in recorders {
+            r.begin(0, "s", Category::Query);
+            r.end(1, "s", Category::Query, &[]);
+        }
+        assert_eq!(ring.buffer().len(), 2);
+    }
+}

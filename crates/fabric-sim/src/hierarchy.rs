@@ -19,6 +19,7 @@ use crate::dram::DramModel;
 use crate::prefetch::StreamPrefetcher;
 use crate::stats::MemStats;
 use crate::Cycles;
+use fabric_obs::{Category, FabricRecorder, MetricsRegistry, NoopRecorder};
 use fabric_types::{Addr, Result};
 
 /// Per-operation CPU cost model (cycles), shared by all engines so that
@@ -77,6 +78,12 @@ impl Default for OpCosts {
 }
 
 /// The simulated CPU-side memory system.
+///
+/// Also the host of the workspace's observability spine: every engine
+/// already threads a `&mut MemoryHierarchy`, so the trace recorder and the
+/// metrics registry live here and are reachable from every instrumented
+/// layer without new plumbing. Recording *never* advances `now` — a run
+/// with a live recorder is cycle-identical to an un-instrumented one.
 pub struct MemoryHierarchy {
     cfg: SimConfig,
     costs: OpCosts,
@@ -88,6 +95,10 @@ pub struct MemoryHierarchy {
     now: Cycles,
     demand_overhead: Cycles,
     stats: MemStats,
+    recorder: Box<dyn FabricRecorder>,
+    /// Cached `recorder.enabled()` so hot paths pay one bool test.
+    tracing: bool,
+    metrics: MetricsRegistry,
 }
 
 impl MemoryHierarchy {
@@ -109,6 +120,9 @@ impl MemoryHierarchy {
             now: 0,
             demand_overhead,
             stats: MemStats::default(),
+            recorder: Box::new(NoopRecorder),
+            tracing: false,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -140,6 +154,140 @@ impl MemoryHierarchy {
     /// Statistics so far.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    // ------------------------------------------------------- observability
+
+    /// Install a trace recorder (replacing the default no-op one). The
+    /// recorder sees cycle-stamped events from every instrumented layer;
+    /// it never advances simulated time.
+    pub fn set_recorder(&mut self, recorder: Box<dyn FabricRecorder>) {
+        self.tracing = recorder.enabled();
+        self.recorder = recorder;
+    }
+
+    /// Remove the current recorder (to export its trace), leaving the
+    /// no-op recorder behind.
+    pub fn take_recorder(&mut self) -> Box<dyn FabricRecorder> {
+        self.tracing = false;
+        std::mem::replace(&mut self.recorder, Box::new(NoopRecorder))
+    }
+
+    /// Whether trace events are being recorded (cached; cheap to poll).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Export the current recorder's trace as Chrome trace-event JSON
+    /// (`None` when the no-op recorder is installed).
+    pub fn export_trace(&self) -> Option<String> {
+        self.recorder.export_chrome_json()
+    }
+
+    /// The workspace metrics registry hosted by this hierarchy.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access for instrumented layers recording counters,
+    /// gauges, and histogram samples.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Open a span at the current cycle.
+    #[inline]
+    pub fn trace_begin(&mut self, name: &'static str, cat: Category) {
+        if self.tracing {
+            self.recorder.begin(self.now, name, cat);
+        }
+    }
+
+    /// Close a span at the current cycle, attaching `args`.
+    #[inline]
+    pub fn trace_end(&mut self, name: &'static str, cat: Category, args: &[(&'static str, u64)]) {
+        if self.tracing {
+            self.recorder.end(self.now, name, cat, args);
+        }
+    }
+
+    /// Open a span at an explicit cycle timestamp (device models report
+    /// phases that completed in the simulated past, e.g. a gather that ran
+    /// while the CPU was elsewhere).
+    #[inline]
+    pub fn trace_begin_at(&mut self, ts: Cycles, name: &'static str, cat: Category) {
+        if self.tracing {
+            self.recorder.begin(ts, name, cat);
+        }
+    }
+
+    /// Close a span at an explicit cycle timestamp.
+    #[inline]
+    pub fn trace_end_at(
+        &mut self,
+        ts: Cycles,
+        name: &'static str,
+        cat: Category,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.tracing {
+            self.recorder.end(ts, name, cat, args);
+        }
+    }
+
+    /// Record an instant event at the current cycle.
+    #[inline]
+    pub fn trace_instant(
+        &mut self,
+        name: &'static str,
+        cat: Category,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.tracing {
+            self.recorder.instant(self.now, name, cat, args);
+        }
+    }
+
+    /// Sample a counter track at the current cycle.
+    #[inline]
+    pub fn trace_counter(&mut self, name: &'static str, cat: Category, value: u64) {
+        if self.tracing {
+            self.recorder.counter(self.now, name, cat, value);
+        }
+    }
+
+    /// Run `f` inside a span, attributing the memory-hierarchy activity it
+    /// caused — per-level hits, demand misses, stall cycles, bytes read —
+    /// as args on the closing edge. This is how callers get per-level
+    /// hit/miss/stall attribution without threading counters by hand.
+    pub fn traced<R>(
+        &mut self,
+        name: &'static str,
+        cat: Category,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        if !self.tracing {
+            return f(self);
+        }
+        let before = self.stats;
+        self.recorder.begin(self.now, name, cat);
+        let out = f(self);
+        let d = self.stats.delta_since(&before);
+        self.recorder.end(
+            self.now,
+            name,
+            cat,
+            &[
+                ("l1_hits", d.l1_hits),
+                ("l2_hits", d.l2_hits),
+                ("prefetch_hits", d.prefetch_hits),
+                ("demand_misses", d.demand_misses),
+                ("stall_cycles", d.stall_cycles),
+                ("bytes_read", d.bytes_read),
+            ],
+        );
+        out
     }
 
     // ---------------------------------------------------------------- time
@@ -482,6 +630,52 @@ mod tests {
         m.write_untimed(p, &[1u8; 64]);
         let _ = m.read_untimed(p, 64);
         assert_eq!(m.now(), t0);
+    }
+
+    #[test]
+    fn recorder_never_advances_time() {
+        let mut bare = hierarchy();
+        let mut traced = hierarchy();
+        traced.set_recorder(Box::new(crate::RingRecorder::new(256)));
+        for m in [&mut bare, &mut traced] {
+            let p = m.alloc(4096, 64).unwrap();
+            m.traced("scan", Category::Mem, |m| {
+                m.touch_read(p, 4096);
+                m.cpu(100);
+            });
+            m.trace_instant("tick", Category::Fault, &[("k", 1)]);
+        }
+        assert_eq!(bare.now(), traced.now(), "recording must be cycle-free");
+        assert_eq!(bare.stats(), traced.stats());
+        assert!(traced.tracing() && !bare.tracing());
+    }
+
+    #[test]
+    fn traced_span_attributes_hierarchy_activity() {
+        let mut m = hierarchy();
+        m.set_recorder(Box::new(crate::RingRecorder::new(64)));
+        let p = m.alloc(256, 64).unwrap();
+        m.traced("scan", Category::Mem, |m| m.touch_read(p, 256));
+        let json = m.export_trace().expect("ring recorder exports");
+        let summary = fabric_obs::validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!((summary.begins, summary.ends), (1, 1));
+        // The closing edge carries per-level attribution.
+        assert!(json.contains("\"demand_misses\""), "{json}");
+        assert!(json.contains("\"stall_cycles\""), "{json}");
+        let rec = m.take_recorder();
+        assert!(!m.tracing());
+        assert_eq!(rec.export_chrome_json().as_deref(), Some(json.as_str()));
+        assert!(m.export_trace().is_none(), "noop recorder exports nothing");
+    }
+
+    #[test]
+    fn metrics_registry_is_hosted() {
+        let mut m = hierarchy();
+        m.metrics_mut().counter_add("mem.test", 3);
+        m.stats().record_into(m.metrics_mut(), "mem");
+        assert_eq!(m.metrics().counter("mem.test"), 3);
+        let snap = m.metrics().snapshot();
+        assert!(snap.counters.contains_key("mem.cpu_cycles"));
     }
 
     #[test]

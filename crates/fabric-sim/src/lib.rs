@@ -43,5 +43,13 @@ pub use faults::{
 pub use hierarchy::MemoryHierarchy;
 pub use stats::MemStats;
 
+// Observability spine (see `fabric-obs`): re-exported so instrumented
+// engines that already depend on `fabric-sim` need no extra manifest
+// entry to emit spans or metrics.
+pub use fabric_obs::{
+    parse_json, validate_chrome_trace, Category, ChromeTraceSummary, FabricRecorder, Json,
+    MetricsRegistry, MetricsSnapshot, NoopRecorder, RingRecorder, TraceBuffer,
+};
+
 /// Simulated time, measured in CPU core cycles.
 pub type Cycles = u64;

@@ -57,6 +57,25 @@ impl MemStats {
         }
         self.l1_hits as f64 / self.line_accesses as f64
     }
+
+    /// Record every counter into a [`fabric_obs::MetricsRegistry`] under
+    /// `<prefix>.<counter>` — the single serialization path for stats
+    /// (replaces hand-rolled formatters; see fabric-lint `raw-stats-print`).
+    pub fn record_into(&self, registry: &mut fabric_obs::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("l1_hits", self.l1_hits),
+            ("l2_hits", self.l2_hits),
+            ("prefetch_hits", self.prefetch_hits),
+            ("demand_misses", self.demand_misses),
+            ("line_accesses", self.line_accesses),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("cpu_cycles", self.cpu_cycles),
+            ("stall_cycles", self.stall_cycles),
+        ] {
+            registry.counter_add(&format!("{prefix}.{name}"), value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,13 +39,23 @@ impl std::fmt::Display for AccessPath {
     }
 }
 
-/// Estimated nanoseconds per path (`None` = path unavailable).
+/// Estimated nanoseconds and data movement per path (`None` = path
+/// unavailable). The byte estimates let `EXPLAIN ANALYZE` report the cost
+/// model's relative error against the hierarchy's measured traffic.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathCost {
     pub row_ns: f64,
     pub col_ns: Option<f64>,
     pub rm_ns: f64,
+    /// Payload bytes the ROW path reads through the hierarchy (the touched
+    /// spans of every base row).
+    pub row_bytes: f64,
+    /// Bytes the COL path reads: projection streams plus selection passes.
+    pub col_bytes: Option<f64>,
+    /// Bytes the RM device delivers over the bus (line-granular packed
+    /// output).
+    pub rm_bytes: f64,
 }
 
 impl PathCost {
@@ -61,6 +71,24 @@ impl PathCost {
             best = (AccessPath::Rm, self.rm_ns);
         }
         best.0
+    }
+
+    /// Estimated nanoseconds for `path` (`None` = unavailable).
+    pub fn ns(&self, path: AccessPath) -> Option<f64> {
+        match path {
+            AccessPath::Row => Some(self.row_ns),
+            AccessPath::Col => self.col_ns,
+            AccessPath::Rm => Some(self.rm_ns),
+        }
+    }
+
+    /// Estimated bytes moved for `path` (`None` = unavailable).
+    pub fn bytes(&self, path: AccessPath) -> Option<f64> {
+        match path {
+            AccessPath::Row => Some(self.row_bytes),
+            AccessPath::Col => self.col_bytes,
+            AccessPath::Rm => Some(self.rm_bytes),
+        }
     }
 }
 
@@ -147,10 +175,32 @@ pub fn estimate(
         + consume_ns;
     let rm_ns_per = rm.engine_ns_per_row.max(rm_consume);
 
+    // Data movement per path. ROW reads the touched spans of every base
+    // row; COL streams the projected columns and re-reads the distinct
+    // predicate columns for its selection passes; RM ships line-granular
+    // packed output over the bus.
+    let span_bytes: f64 = spans.iter().map(|&(_, len)| len as f64).sum();
+    let row_bytes = span_bytes * rows;
+    let pred_bytes: f64 = {
+        let mut cols: Vec<usize> = bound.preds.iter().map(|(slot, ..)| *slot).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        cols.iter().map(|&slot| fields[slot].width() as f64).sum()
+    };
+    let col_bytes = entry
+        .cols
+        .as_ref()
+        .map(|_| (group_width as f64 + pred_bytes) * rows);
+    let packed_rows_per_line = (line / group_width as f64).floor().max(1.0);
+    let rm_bytes = (rows / packed_rows_per_line).ceil() * line;
+
     Ok(PathCost {
         row_ns: row_ns_per * rows,
         col_ns: col_ns_per.map(|c| c * rows),
         rm_ns: rm_ns_per * rows + rm.configure_ns,
+        row_bytes,
+        col_bytes,
+        rm_bytes,
     })
 }
 
@@ -238,6 +288,26 @@ mod tests {
             let (_, cost) = cost_of(&c, sql);
             assert!(cost.rm_ns < cost.row_ns, "{sql}: {cost:?}");
         }
+    }
+
+    #[test]
+    fn byte_estimates_cover_all_paths() {
+        let c = catalog(true);
+        let (_, cost) = cost_of(&c, "SELECT c0 FROM t WHERE c1 < 100");
+        assert!(cost.row_bytes > 0.0, "{cost:?}");
+        assert!(cost.col_bytes.is_some_and(|b| b > 0.0), "{cost:?}");
+        assert!(cost.rm_bytes > 0.0, "{cost:?}");
+        // Packed RM delivery is line-granular, so it never undershoots one
+        // line per batch of rows.
+        assert!(cost.rm_bytes >= 64.0, "{cost:?}");
+        // The accessors mirror the fields.
+        assert_eq!(cost.ns(AccessPath::Row), Some(cost.row_ns));
+        assert_eq!(cost.bytes(AccessPath::Col), cost.col_bytes);
+        assert_eq!(cost.bytes(AccessPath::Rm), Some(cost.rm_bytes));
+
+        let c = catalog(false);
+        let (_, cost) = cost_of(&c, "SELECT c0 FROM t");
+        assert_eq!(cost.bytes(AccessPath::Col), None);
     }
 
     #[test]

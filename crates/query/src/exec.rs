@@ -11,11 +11,31 @@ use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path, AccessPath, PathCost};
 use colstore::exec as colx;
-use fabric_sim::{CircuitBreaker, FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy};
+use fabric_sim::{
+    Category, CircuitBreaker, FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy,
+};
 use fabric_types::{FabricError, Result, Value, ValueAgg};
 use relmem::{EphemeralColumns, RmConfig, RmStats};
 use rowstore::volcano::{Filter, Operator, SeqScan};
 use std::collections::HashMap;
+
+/// One measured execution phase — a plan node's actuals, captured whether
+/// or not a trace recorder is attached (the bookkeeping is host-side and
+/// never advances simulated time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Span name, matching the trace event (`query::scan::rm`, …).
+    pub name: &'static str,
+    /// Simulated cycles the phase took.
+    pub cycles: u64,
+    /// Payload bytes read through the hierarchy during the phase.
+    pub bytes_read: u64,
+    /// Cycles the CPU spent stalled on memory during the phase.
+    pub stall_cycles: u64,
+    /// Whether the phase ended in an error (a faulted RM attempt stays in
+    /// the profile of the degraded query that absorbed it).
+    pub failed: bool,
+}
 
 /// The result of a query: rows plus how they were obtained.
 #[derive(Debug, Clone)]
@@ -32,6 +52,9 @@ pub struct QueryOutput {
     /// `Some(original_path)` when the executor transparently re-planned
     /// onto `path` after the original faulted past its retry budget.
     pub degraded_from: Option<AccessPath>,
+    /// Per-phase actuals (scan, sort, failed attempts) in execution order —
+    /// the plan-node breakdown `EXPLAIN ANALYZE` renders.
+    pub profile: Vec<PhaseProfile>,
 }
 
 /// Fault-handling state threaded through [`execute_resilient`] across
@@ -255,6 +278,51 @@ pub fn execute_on(
     execute_with_cost(mem, entry, &verified, path, cost)
 }
 
+/// The trace/profile span name of a path's scan phase.
+fn scan_span(path: AccessPath) -> &'static str {
+    match path {
+        AccessPath::Row => "query::scan::row",
+        AccessPath::Col => "query::scan::col",
+        AccessPath::Rm => "query::scan::rm",
+    }
+}
+
+/// Run `f` as a named execution phase: emit a balanced trace span (with
+/// cycle/byte/stall attribution as end args) and append the measured
+/// actuals to `profile`. The phase is recorded even when `f` errors — a
+/// failed RM attempt is part of the degraded query's story.
+fn profiled<R>(
+    mem: &mut MemoryHierarchy,
+    name: &'static str,
+    profile: &mut Vec<PhaseProfile>,
+    f: impl FnOnce(&mut MemoryHierarchy) -> Result<R>,
+) -> Result<R> {
+    let before = mem.stats();
+    let t = mem.now();
+    mem.trace_begin(name, Category::Query);
+    let res = f(mem);
+    let d = mem.stats().delta_since(&before);
+    let cycles = mem.now() - t;
+    mem.trace_end(
+        name,
+        Category::Query,
+        &[
+            ("cycles", cycles),
+            ("bytes_read", d.bytes_read),
+            ("stall_cycles", d.stall_cycles),
+            ("failed", u64::from(res.is_err())),
+        ],
+    );
+    profile.push(PhaseProfile {
+        name,
+        cycles,
+        bytes_read: d.bytes_read,
+        stall_cycles: d.stall_cycles,
+        failed: res.is_err(),
+    });
+    res
+}
+
 fn execute_with_cost(
     mem: &mut MemoryHierarchy,
     entry: &crate::catalog::TableEntry,
@@ -263,20 +331,34 @@ fn execute_with_cost(
     cost: PathCost,
 ) -> Result<QueryOutput> {
     let t0 = mem.now();
-    let (rows, rm_stats) = match path {
-        AccessPath::Row => (run_row(mem, entry, verified)?, None),
-        AccessPath::Col => (run_col(mem, entry, verified)?, None),
-        AccessPath::Rm => {
-            let (rows, stats) = run_rm(mem, verified)?;
-            (rows, Some(stats))
+    mem.trace_begin("query::exec", Category::Query);
+    let mut profile = Vec::new();
+    let run = match path {
+        AccessPath::Row => profiled(mem, scan_span(path), &mut profile, |m| {
+            run_row(m, entry, verified)
+        })
+        .map(|rows| (rows, None)),
+        AccessPath::Col => profiled(mem, scan_span(path), &mut profile, |m| {
+            run_col(m, entry, verified)
+        })
+        .map(|rows| (rows, None)),
+        AccessPath::Rm => profiled(mem, scan_span(path), &mut profile, |m| run_rm(m, verified))
+            .map(|(rows, stats)| (rows, Some(stats))),
+    };
+    let (rows, rm_stats) = match run {
+        Ok(v) => v,
+        Err(e) => {
+            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+            return Err(e);
         }
     };
-    finish_output(mem, verified, rows, path, cost, t0, rm_stats, None)
+    finish_output(mem, verified, rows, path, cost, t0, rm_stats, None, profile)
 }
 
-/// Shared tail of every execution: ORDER BY / LIMIT post-processing and
-/// output assembly. `t0` is when the *first* attempt started, so a
-/// degraded run's `ns` includes the time burnt on the failed RM path.
+/// Shared tail of every execution: ORDER BY / LIMIT post-processing,
+/// metrics accounting, and output assembly. `t0` is when the *first*
+/// attempt started, so a degraded run's `ns` includes the time burnt on
+/// the failed RM path. Closes the `query::exec` span its caller opened.
 #[allow(clippy::too_many_arguments)]
 fn finish_output(
     mem: &mut MemoryHierarchy,
@@ -287,13 +369,46 @@ fn finish_output(
     t0: fabric_sim::Cycles,
     rm_stats: Option<RmStats>,
     degraded_from: Option<AccessPath>,
+    mut profile: Vec<PhaseProfile>,
 ) -> Result<QueryOutput> {
     let bound = verified.bound();
     if !bound.order_by.is_empty() {
-        sort_rows(mem, &mut rows, &bound.order_by)?;
+        let sorted = profiled(mem, "query::post::sort", &mut profile, |m| {
+            sort_rows(m, &mut rows, &bound.order_by)
+        });
+        if let Err(e) = sorted {
+            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+            return Err(e);
+        }
     }
     if let Some(limit) = bound.limit {
         rows.truncate(limit);
+    }
+    let total = mem.now() - t0;
+    mem.trace_end(
+        "query::exec",
+        Category::Query,
+        &[
+            ("rows", rows.len() as u64),
+            ("cycles", total),
+            ("degraded", u64::from(degraded_from.is_some())),
+        ],
+    );
+    let path_key = match path {
+        AccessPath::Row => "query.path.row",
+        AccessPath::Col => "query.path.col",
+        AccessPath::Rm => "query.path.rm",
+    };
+    let metrics = mem.metrics_mut();
+    metrics.counter_add("query.executions", 1);
+    metrics.counter_add(path_key, 1);
+    metrics.counter_add("query.rows_out", rows.len() as u64);
+    if degraded_from.is_some() {
+        metrics.counter_add("query.degraded", 1);
+    }
+    metrics.observe("query.exec_cycles", total);
+    if let Some(rm) = &rm_stats {
+        rm.record_into(metrics, "query.rm");
     }
     Ok(QueryOutput {
         rows,
@@ -302,6 +417,7 @@ fn finish_output(
         cost,
         rm_stats,
         degraded_from,
+        profile,
     })
 }
 
@@ -344,13 +460,23 @@ pub fn execute_resilient(
     }
 
     let t0 = mem.now();
+    mem.trace_begin("query::exec", Category::Query);
+    let mut profile = Vec::new();
     if !ctx.rm_health.allow() {
         // Breaker open: don't even try the device; fail fast onto software.
         ctx.breaker_skips += 1;
+        mem.trace_instant("query.breaker_skip", Category::Fault, &[]);
         let fb = fallback_path(&cost);
-        let rows = match fb {
-            AccessPath::Col => run_col(mem, entry, &verified)?,
-            _ => run_row(mem, entry, &verified)?,
+        let run = profiled(mem, scan_span(fb), &mut profile, |m| match fb {
+            AccessPath::Col => run_col(m, entry, &verified),
+            _ => run_row(m, entry, &verified),
+        });
+        let rows = match run {
+            Ok(rows) => rows,
+            Err(e) => {
+                mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+                return Err(e);
+            }
         };
         return finish_output(
             mem,
@@ -361,10 +487,36 @@ pub fn execute_resilient(
             t0,
             None,
             Some(AccessPath::Rm),
+            profile,
         );
     }
 
-    match run_rm_resilient(mem, &verified, ctx) {
+    // The resilient RM loop always reports device stats, so it cannot run
+    // under `profiled` directly — measure around it by hand.
+    let before = mem.stats();
+    let t_rm = mem.now();
+    mem.trace_begin(scan_span(AccessPath::Rm), Category::Query);
+    let (res, stats) = run_rm_resilient(mem, &verified, ctx);
+    let d = mem.stats().delta_since(&before);
+    mem.trace_end(
+        scan_span(AccessPath::Rm),
+        Category::Query,
+        &[
+            ("cycles", mem.now() - t_rm),
+            ("bytes_read", d.bytes_read),
+            ("stall_cycles", d.stall_cycles),
+            ("failed", u64::from(res.is_err())),
+        ],
+    );
+    profile.push(PhaseProfile {
+        name: scan_span(AccessPath::Rm),
+        cycles: mem.now() - t_rm,
+        bytes_read: d.bytes_read,
+        stall_cycles: d.stall_cycles,
+        failed: res.is_err(),
+    });
+
+    match (res, stats) {
         (Ok(rows), stats) => {
             ctx.rm_health.record_success();
             finish_output(
@@ -376,6 +528,7 @@ pub fn execute_resilient(
                 t0,
                 Some(stats),
                 None,
+                profile,
             )
         }
         (Err(e), stats) if degradable(&e) => {
@@ -384,9 +537,21 @@ pub fn execute_resilient(
             ctx.rm_health.record_failure();
             ctx.fallbacks += 1;
             let fb = fallback_path(&cost);
-            let rows = match fb {
-                AccessPath::Col => run_col(mem, entry, &verified)?,
-                _ => run_row(mem, entry, &verified)?,
+            mem.trace_instant(
+                "query.degraded",
+                Category::Fault,
+                &[("to_col", u64::from(fb == AccessPath::Col))],
+            );
+            let run = profiled(mem, scan_span(fb), &mut profile, |m| match fb {
+                AccessPath::Col => run_col(m, entry, &verified),
+                _ => run_row(m, entry, &verified),
+            });
+            let rows = match run {
+                Ok(rows) => rows,
+                Err(e) => {
+                    mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+                    return Err(e);
+                }
             };
             finish_output(
                 mem,
@@ -397,9 +562,13 @@ pub fn execute_resilient(
                 t0,
                 Some(stats),
                 Some(AccessPath::Rm),
+                profile,
             )
         }
-        (Err(e), _) => Err(e),
+        (Err(e), _) => {
+            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+            Err(e)
+        }
     }
 }
 
@@ -877,6 +1046,62 @@ mod tests {
         assert_eq!(out.rows.len(), 3);
         assert_eq!(ctx.fallbacks, 0);
         assert_eq!(ctx.plan.stats().total(), 0);
+    }
+
+    #[test]
+    fn profile_records_scan_and_sort_phases() {
+        let (mut mem, c) = setup();
+        let bound = bind(
+            &c,
+            &parse("SELECT id FROM t WHERE id < 20 ORDER BY 1 DESC").unwrap(),
+        )
+        .unwrap();
+        let out = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        let names: Vec<&str> = out.profile.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["query::scan::row", "query::post::sort"]);
+        assert!(out.profile[0].cycles > 0);
+        assert!(out.profile[0].bytes_read > 0);
+        assert!(!out.profile[0].failed);
+        // The sort phase moved no hierarchy bytes (host-side comparisons).
+        assert_eq!(out.profile[1].bytes_read, 0);
+        // Metrics accounted the run.
+        assert_eq!(mem.metrics().counter("query.executions"), 1);
+        assert_eq!(mem.metrics().counter("query.path.row"), 1);
+        assert_eq!(mem.metrics().counter("query.rows_out"), 20);
+    }
+
+    #[test]
+    fn traced_query_emits_balanced_spans_even_when_degrading() {
+        let (mut mem, c) = rm_setup(1000);
+        mem.set_recorder(Box::new(fabric_sim::RingRecorder::new(4096)));
+        let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
+        let cfg = FaultConfig {
+            rm_timeout_prob: 1.0,
+            ..FaultConfig::quiet(9)
+        };
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        assert_eq!(out.degraded_from, Some(AccessPath::Rm));
+        // The failed RM attempt stays in the profile, marked failed,
+        // followed by the software fallback scan.
+        let rm_phase = out
+            .profile
+            .iter()
+            .find(|p| p.name == "query::scan::rm")
+            .expect("failed RM attempt must be profiled");
+        assert!(rm_phase.failed);
+        let fb_phase = out
+            .profile
+            .iter()
+            .find(|p| p.name == "query::scan::row")
+            .expect("fallback scan must be profiled");
+        assert!(!fb_phase.failed);
+        assert_eq!(mem.metrics().counter("query.degraded"), 1);
+        // Every begin has a matching end — the validator checks balance.
+        let json = mem.export_trace().expect("ring recorder exports");
+        let summary = fabric_sim::validate_chrome_trace(&json).expect("trace must validate");
+        assert!(summary.begins > 0 && summary.begins == summary.ends);
+        assert!(summary.instants > 0, "degrade instant must be present");
     }
 
     #[test]

@@ -1,22 +1,42 @@
 //! EXPLAIN-style plan rendering: what the layout-aware optimizer decided
-//! and why — the §III-B story made visible.
+//! and why — the §III-B story made visible — plus `EXPLAIN ANALYZE`,
+//! which *runs* the query on every available path and reports estimated
+//! vs. measured cost (cycles and bytes), recording the cost model's
+//! relative error into the hierarchy's metrics registry.
 
 use crate::bind::{BoundQuery, OutputItem};
-use crate::catalog::Catalog;
-use crate::cost::{choose_path, AccessPath};
-use fabric_sim::SimConfig;
-use fabric_types::Result;
+use crate::catalog::{Catalog, TableEntry};
+use crate::cost::{choose_path, AccessPath, PathCost};
+use crate::exec::{execute_on, PhaseProfile};
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{FabricError, Result};
 use relmem::RmConfig;
 use std::fmt::Write as _;
+
+/// All rendering goes through `std::fmt::Write`; a formatter error (which
+/// `String` cannot actually produce) surfaces as a structured fabric error
+/// instead of being discarded.
+fn fmt_err(e: std::fmt::Error) -> FabricError {
+    FabricError::Internal(format!("plan rendering: {e}"))
+}
 
 /// Render the chosen plan for `bound` as human-readable text, including the
 /// per-path cost estimates.
 pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result<String> {
     let entry = catalog.get(&bound.table)?;
     let (path, cost) = choose_path(sim, &RmConfig::prototype(), entry, bound)?;
-    let schema = entry.schema();
+    render_plan(entry, bound, path, &cost).map_err(fmt_err)
+}
 
-    let mut out = String::new();
+/// The fallible renderer behind [`explain`] (and the header of
+/// [`explain_analyze`]): every `writeln!` propagates.
+fn render_plan(
+    entry: &TableEntry,
+    bound: &BoundQuery,
+    path: AccessPath,
+    cost: &PathCost,
+) -> std::result::Result<String, std::fmt::Error> {
+    let schema = entry.schema();
     let col_name = |slot: usize| -> String {
         schema
             .column(bound.touched[slot])
@@ -24,12 +44,13 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             .unwrap_or_else(|_| format!("${slot}"))
     };
 
-    let _ = writeln!(
+    let mut out = String::new();
+    writeln!(
         out,
         "Plan for `{}` ({} rows)",
         bound.table,
         entry.rows.len()
-    );
+    )?;
     let access = match path {
         AccessPath::Row => "Volcano sequential scan over the row layout".to_string(),
         AccessPath::Col => "column-at-a-time over the materialized columnar copy".to_string(),
@@ -43,7 +64,7 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
                 .sum::<usize>()
         ),
     };
-    let _ = writeln!(out, "  access: {path} — {access}");
+    writeln!(out, "  access: {path} — {access}")?;
 
     if !bound.preds.is_empty() {
         let preds: Vec<String> = bound
@@ -51,7 +72,7 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             .iter()
             .map(|(slot, op, v)| format!("{} {op} {v}", col_name(*slot)))
             .collect();
-        let _ = writeln!(out, "  filter: {}", preds.join(" AND "));
+        writeln!(out, "  filter: {}", preds.join(" AND "))?;
     }
     let items: Vec<String> = bound
         .items
@@ -61,10 +82,10 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             OutputItem::Agg(f, e) => format!("{}({e})", f.name()),
         })
         .collect();
-    let _ = writeln!(out, "  output: {}", items.join(", "));
+    writeln!(out, "  output: {}", items.join(", "))?;
     if !bound.group_by.is_empty() {
         let keys: Vec<String> = bound.group_by.iter().map(|&s| col_name(s)).collect();
-        let _ = writeln!(out, "  group by: {}", keys.join(", "));
+        writeln!(out, "  group by: {}", keys.join(", "))?;
     }
     if !bound.order_by.is_empty() {
         let keys: Vec<String> = bound
@@ -72,13 +93,13 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             .iter()
             .map(|&(pos, desc)| format!("#{}{}", pos + 1, if desc { " DESC" } else { "" }))
             .collect();
-        let _ = writeln!(out, "  order by: {}", keys.join(", "));
+        writeln!(out, "  order by: {}", keys.join(", "))?;
     }
     if let Some(limit) = bound.limit {
-        let _ = writeln!(out, "  limit: {limit}");
+        writeln!(out, "  limit: {limit}")?;
     }
 
-    let _ = writeln!(
+    writeln!(
         out,
         "  estimates: ROW {:.3} ms | COL {} | RM {:.3} ms",
         cost.row_ns / 1e6,
@@ -86,7 +107,7 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
             .map(|c| format!("{:.3} ms", c / 1e6))
             .unwrap_or_else(|| "unavailable (no columnar copy)".into()),
         cost.rm_ns / 1e6,
-    );
+    )?;
     Ok(out)
 }
 
@@ -97,10 +118,168 @@ pub fn explain_sql(sim: &SimConfig, catalog: &Catalog, sql: &str) -> Result<Stri
     explain(sim, catalog, &bound)
 }
 
+/// One access path's estimated-vs-measured comparison from
+/// [`explain_analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathReport {
+    pub path: AccessPath,
+    /// The cost model's prediction.
+    pub est_ns: f64,
+    /// Simulated time the path actually took.
+    pub actual_ns: f64,
+    /// The cost model's predicted data movement.
+    pub est_bytes: f64,
+    /// Bytes actually moved: hierarchy payload reads for ROW/COL, packed
+    /// lines delivered over the bus for RM.
+    pub actual_bytes: u64,
+}
+
+impl PathReport {
+    /// |est − actual| / actual, in percent (actual floored at one unit so
+    /// an empty run cannot divide by zero).
+    pub fn ns_rel_err_pct(&self) -> f64 {
+        rel_err_pct(self.est_ns, self.actual_ns)
+    }
+
+    pub fn bytes_rel_err_pct(&self) -> f64 {
+        rel_err_pct(self.est_bytes, self.actual_bytes as f64)
+    }
+}
+
+fn rel_err_pct(est: f64, actual: f64) -> f64 {
+    (est - actual).abs() / actual.max(1.0) * 100.0
+}
+
+/// Run `bound` on every *available* path and measure actual cost. Returns
+/// the per-path reports plus the chosen path's phase profile (its plan-node
+/// breakdown). Each path's relative error lands in the hierarchy's metrics
+/// registry as `explain.rel_err_pct.{ns,bytes}.<path>` gauges.
+pub fn analyze_paths(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+) -> Result<(AccessPath, Vec<PathReport>, Vec<PhaseProfile>)> {
+    let entry = catalog.get(&bound.table)?;
+    let (chosen, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    let line = mem.config().line_size as u64;
+
+    let mut reports = Vec::new();
+    let mut chosen_profile = Vec::new();
+    for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
+        // An unpriced path (COL without a columnar copy) is unavailable.
+        let (Some(est_ns), Some(est_bytes)) = (cost.ns(path), cost.bytes(path)) else {
+            continue;
+        };
+        let before = mem.stats();
+        let out = execute_on(mem, catalog, bound, path)?;
+        let d = mem.stats().delta_since(&before);
+        let actual_bytes = match (&out.rm_stats, path) {
+            (Some(rm), AccessPath::Rm) => rm.output_lines * line,
+            _ => d.bytes_read,
+        };
+        let report = PathReport {
+            path,
+            est_ns,
+            actual_ns: out.ns,
+            est_bytes,
+            actual_bytes,
+        };
+        let key = match path {
+            AccessPath::Row => "row",
+            AccessPath::Col => "col",
+            AccessPath::Rm => "rm",
+        };
+        let metrics = mem.metrics_mut();
+        metrics.gauge_set(
+            &format!("explain.rel_err_pct.ns.{key}"),
+            report.ns_rel_err_pct(),
+        );
+        metrics.gauge_set(
+            &format!("explain.rel_err_pct.bytes.{key}"),
+            report.bytes_rel_err_pct(),
+        );
+        if path == chosen {
+            chosen_profile = out.profile;
+        }
+        reports.push(report);
+    }
+    mem.metrics_mut().counter_add("explain.analyze_runs", 1);
+    Ok((chosen, reports, chosen_profile))
+}
+
+/// `EXPLAIN ANALYZE`: render the plan, then execute the query on every
+/// available path and append a table of estimated vs. actual cost (cycles
+/// and bytes) with the cost model's relative error, plus the chosen path's
+/// per-phase breakdown.
+pub fn explain_analyze(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+) -> Result<String> {
+    let entry = catalog.get(&bound.table)?;
+    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    let header = render_plan(entry, bound, path, &cost).map_err(fmt_err)?;
+    let has_cols = entry.cols.is_some();
+    let (_, reports, profile) = analyze_paths(mem, catalog, bound)?;
+    render_analyze(&header, has_cols, &reports, &profile).map_err(fmt_err)
+}
+
+fn render_analyze(
+    header: &str,
+    has_cols: bool,
+    reports: &[PathReport],
+    profile: &[PhaseProfile],
+) -> std::result::Result<String, std::fmt::Error> {
+    let mut out = String::from(header);
+    writeln!(out, "  analyze:")?;
+    for r in reports {
+        writeln!(
+            out,
+            "    {:<3}  est {:>10.3} ms / {:>12.0} B   actual {:>10.3} ms / {:>12} B   err ns {:>6.1}% bytes {:>6.1}%",
+            r.path.to_string(),
+            r.est_ns / 1e6,
+            r.est_bytes,
+            r.actual_ns / 1e6,
+            r.actual_bytes,
+            r.ns_rel_err_pct(),
+            r.bytes_rel_err_pct(),
+        )?;
+    }
+    if !has_cols {
+        writeln!(out, "    COL  unavailable (no columnar copy)")?;
+    }
+    if !profile.is_empty() {
+        writeln!(out, "  nodes (chosen path):")?;
+        for p in profile {
+            writeln!(
+                out,
+                "    {:<18}  {:>12} cycles  {:>12} B read  {:>12} stall cycles{}",
+                p.name,
+                p.cycles,
+                p.bytes_read,
+                p.stall_cycles,
+                if p.failed { "  [failed]" } else { "" },
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+/// Parse + bind + `EXPLAIN ANALYZE` in one call.
+pub fn explain_analyze_sql(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    sql: &str,
+) -> Result<String> {
+    let stmt = crate::parser::parse(sql)?;
+    let bound = crate::bind::bind(catalog, &stmt)?;
+    explain_analyze(mem, catalog, &bound)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric_sim::MemoryHierarchy;
+    use colstore::ColTable;
     use fabric_types::{ColumnType, Schema, Value};
     use rowstore::RowTable;
 
@@ -122,6 +301,22 @@ mod tests {
         let mut c = Catalog::new();
         c.register_rows("orders", t);
         c
+    }
+
+    /// Like [`catalog`], but with a columnar copy so all three paths run.
+    fn catalog_with_cols(rows: i64) -> (MemoryHierarchy, Catalog) {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+        let mut rt = RowTable::create(&mut mem, schema.clone(), rows as usize).unwrap();
+        let mut ct = ColTable::create(&mut mem, schema, rows as usize).unwrap();
+        for i in 0..rows {
+            let row = vec![Value::I64(i), Value::F64(i as f64)];
+            rt.load(&mut mem, &row).unwrap();
+            ct.load(&mut mem, &row).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register("orders", rt, ct);
+        (mem, c)
     }
 
     #[test]
@@ -157,5 +352,71 @@ mod tests {
         let c = catalog();
         assert!(explain_sql(&SimConfig::zynq_a53(), &c, "SELECT nope FROM orders").is_err());
         assert!(explain_sql(&SimConfig::zynq_a53(), &c, "SELECT id FROM missing").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_measures_all_three_paths() {
+        let (mut mem, c) = catalog_with_cols(2000);
+        let text = explain_analyze_sql(&mut mem, &c, "SELECT sum(qty) FROM orders WHERE id < 1000")
+            .unwrap();
+        assert!(text.contains("analyze:"), "{text}");
+        for path in ["ROW", "COL", "RM"] {
+            assert!(
+                text.lines().any(|l| {
+                    l.trim_start().starts_with(path) && l.contains("est") && l.contains("actual")
+                }),
+                "missing {path} analyze row in:\n{text}"
+            );
+        }
+        assert!(text.contains("err ns"), "{text}");
+        assert!(text.contains("nodes (chosen path):"), "{text}");
+        // Relative-error gauges landed in the metrics registry for every path.
+        for key in ["row", "col", "rm"] {
+            for dim in ["ns", "bytes"] {
+                let name = format!("explain.rel_err_pct.{dim}.{key}");
+                assert!(mem.metrics().gauge(&name).is_some(), "missing gauge {name}");
+            }
+        }
+        assert_eq!(mem.metrics().counter("explain.analyze_runs"), 1);
+    }
+
+    #[test]
+    fn explain_analyze_without_columnar_copy_marks_col_unavailable() {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+        let mut t = RowTable::create(&mut mem, schema, 512).unwrap();
+        for i in 0..500i64 {
+            t.load(&mut mem, &[Value::I64(i), Value::F64(i as f64)])
+                .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register_rows("orders", t);
+        let text = explain_analyze_sql(&mut mem, &c, "SELECT sum(qty) FROM orders").unwrap();
+        assert!(
+            text.contains("COL  unavailable (no columnar copy)"),
+            "{text}"
+        );
+        assert!(mem.metrics().gauge("explain.rel_err_pct.ns.col").is_none());
+        assert!(mem.metrics().gauge("explain.rel_err_pct.ns.rm").is_some());
+    }
+
+    #[test]
+    fn analyze_reports_are_structurally_sound() {
+        let (mut mem, c) = catalog_with_cols(500);
+        let stmt = crate::parser::parse("SELECT id FROM orders WHERE id < 100").unwrap();
+        let bound = crate::bind::bind(&c, &stmt).unwrap();
+        let (chosen, reports, profile) = analyze_paths(&mut mem, &c, &bound).unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.actual_ns > 0.0, "{r:?}");
+            assert!(r.actual_bytes > 0, "{r:?}");
+            assert!(r.est_ns > 0.0 && r.est_bytes > 0.0, "{r:?}");
+            assert!(r.ns_rel_err_pct().is_finite());
+            assert!(r.bytes_rel_err_pct().is_finite());
+        }
+        // The chosen path's profile has at least its scan node.
+        assert!(reports.iter().any(|r| r.path == chosen));
+        assert!(!profile.is_empty());
+        assert!(profile.iter().any(|p| p.name.starts_with("query::scan::")));
     }
 }

@@ -18,7 +18,9 @@
 //! * [`exec`] runs the plan on the chosen path (plus ORDER BY / LIMIT
 //!   post-processing) and returns identical results regardless of path;
 //! * [`explain`](mod@explain) renders the chosen plan and the per-path
-//!   estimates.
+//!   estimates; `EXPLAIN ANALYZE` ([`explain_analyze`]) additionally runs
+//!   the query on every available path and reports estimated vs. measured
+//!   cycles and bytes — the cost model held accountable.
 
 pub mod analyze;
 pub mod bind;
@@ -33,8 +35,10 @@ pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
 pub use cost::{choose_path, AccessPath, PathCost};
-pub use exec::{execute, execute_on, execute_resilient, FaultContext, QueryOutput};
-pub use explain::{explain, explain_sql};
+pub use exec::{execute, execute_on, execute_resilient, FaultContext, PhaseProfile, QueryOutput};
+pub use explain::{
+    analyze_paths, explain, explain_analyze, explain_analyze_sql, explain_sql, PathReport,
+};
 
 use fabric_sim::MemoryHierarchy;
 use fabric_types::Result;

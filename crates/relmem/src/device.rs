@@ -32,6 +32,13 @@ pub struct ProducedBatch {
     /// engine; consumers verify it after the bus transfer to detect
     /// in-flight corruption (DESIGN.md §9).
     pub crc: u32,
+    /// When the engine started on this batch (observability: the consumer
+    /// retro-reports the device timeline as `rm.gather`/`rm.pack` spans).
+    pub started_at: Cycles,
+    /// When the last source line of this batch arrived from DRAM.
+    pub gather_done: Cycles,
+    /// Source cache lines this batch fetched from DRAM.
+    pub source_lines: u64,
 }
 
 /// Device-side execution state for one configured geometry.
@@ -128,6 +135,7 @@ impl DeviceRun {
         let mut rows_emitted = 0usize;
         let mut issue_t = start;
         let mut gather_done = start;
+        let source_lines_before = self.stats.source_lines;
         let mut line_buf: Vec<u64> = Vec::with_capacity(8);
 
         while self.cursor < g.rows && data.len() + out_width <= max_bytes {
@@ -187,6 +195,9 @@ impl DeviceRun {
             rows: rows_emitted,
             ready_at: ready,
             crc,
+            started_at: start,
+            gather_done,
+            source_lines: self.stats.source_lines - source_lines_before,
         })
     }
 

@@ -37,7 +37,7 @@ use crate::config::RmConfig;
 use crate::device::DeviceRun;
 use crate::packer;
 use crate::stats::RmStats;
-use fabric_sim::{Cycles, FaultPlan, MemoryHierarchy, RecoveryPolicy};
+use fabric_sim::{Category, Cycles, FaultPlan, MemoryHierarchy, RecoveryPolicy};
 use fabric_types::{crc32, le_array, ColumnType, FabricError, Geometry, OutputMode, Result, Value};
 use std::collections::VecDeque;
 
@@ -174,7 +174,13 @@ impl EphemeralColumns {
     ) -> Self {
         let geometry = verified.into_inner();
         let sim = mem.config().clone();
+        mem.trace_begin("rm.configure", Category::Rm);
         mem.cpu(sim.ns_to_cycles(cfg.configure_ns));
+        mem.trace_end(
+            "rm.configure",
+            Category::Rm,
+            &[("fields", verified_field_count(&geometry))],
+        );
 
         let out_width = geometry.output_row_width();
         let batch_bytes = cfg.batch_bytes.max(out_width.max(1));
@@ -250,10 +256,21 @@ impl EphemeralColumns {
     /// exhausted.
     pub fn next_batch(&mut self, mem: &mut MemoryHierarchy) -> Option<PackedBatch> {
         let produced = self.pending.take()?;
+        trace_device_phases(mem, &produced);
         // Wait for the producer, then pull the lines across the bus.
+        mem.trace_begin("rm.deliver", Category::Rm);
         mem.stall_until(produced.ready_at);
         let lines = produced.data.len().div_ceil(self.line_size) as u64;
         mem.stall_until(mem.now() + lines * self.bus_cycles_per_line);
+        mem.trace_end(
+            "rm.deliver",
+            Category::Rm,
+            &[
+                ("rows", produced.rows as u64),
+                ("bytes", produced.data.len() as u64),
+                ("lines", lines),
+            ],
+        );
 
         self.taken_at.push_back(mem.now());
         if self.taken_at.len() > self.cfg.window_batches() + 1 {
@@ -293,6 +310,8 @@ impl EphemeralColumns {
         let Some(produced) = self.pending.take() else {
             return Ok(None);
         };
+        trace_device_phases(mem, &produced);
+        mem.trace_begin("rm.deliver", Category::Rm);
         mem.stall_until(produced.ready_at);
         let lines = (produced.data.len().div_ceil(self.line_size) as u64).max(1);
         let cpu_ghz = mem.config().cpu_ghz;
@@ -304,13 +323,20 @@ impl EphemeralColumns {
                 let s = self.run.stats_mut();
                 s.injected_faults += 1;
                 s.delivery_timeouts += 1;
+                mem.trace_instant(
+                    "rm.fault.timeout",
+                    Category::Fault,
+                    &[("attempt", attempts as u64)],
+                );
                 if attempts > policy.max_retries {
+                    mem.trace_end("rm.deliver", Category::Rm, &[("failed", 1)]);
                     return Err(FabricError::DeviceTimeout {
                         device: DEVICE_NAME.into(),
                         attempts,
                     });
                 }
                 self.run.stats_mut().retries += 1;
+                mem.trace_instant("rm.retry", Category::Fault, &[("attempt", attempts as u64)]);
                 mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
                 continue;
             }
@@ -326,6 +352,16 @@ impl EphemeralColumns {
             // CPU-side frame check, charged per delivered line.
             mem.cpu(lines * mem.costs().value_op);
             if crc32(&data) == produced.crc {
+                mem.trace_end(
+                    "rm.deliver",
+                    Category::Rm,
+                    &[
+                        ("rows", produced.rows as u64),
+                        ("bytes", data.len() as u64),
+                        ("lines", lines),
+                        ("attempts", attempts as u64),
+                    ],
+                );
                 self.taken_at.push_back(mem.now());
                 if self.taken_at.len() > self.cfg.window_batches() + 1 {
                     self.taken_at.pop_front();
@@ -342,13 +378,20 @@ impl EphemeralColumns {
             }
 
             self.run.stats_mut().crc_failures += 1;
+            mem.trace_instant(
+                "rm.fault.crc",
+                Category::Fault,
+                &[("attempt", attempts as u64)],
+            );
             if attempts > policy.max_retries {
+                mem.trace_end("rm.deliver", Category::Rm, &[("failed", 1)]);
                 return Err(FabricError::CorruptBatch {
                     device: DEVICE_NAME.into(),
                     attempts,
                 });
             }
             self.run.stats_mut().retries += 1;
+            mem.trace_instant("rm.retry", Category::Fault, &[("attempt", attempts as u64)]);
             mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
         }
     }
@@ -362,14 +405,53 @@ impl EphemeralColumns {
                 "run_aggregate requires an Aggregate geometry".into(),
             ));
         }
+        mem.trace_begin("rm.aggregate", Category::Rm);
         let (values, ready) = self
             .run
             .run_aggregate(mem.arena(), &self.geometry, mem.now())?;
         mem.stall_until(ready);
         // The result is a single line's worth of scalars.
         mem.stall_until(mem.now() + self.bus_cycles_per_line);
+        mem.trace_end(
+            "rm.aggregate",
+            Category::Rm,
+            &[("values", values.len() as u64)],
+        );
         Ok(values)
     }
+}
+
+/// Arg helper for the `rm.configure` span.
+fn verified_field_count(geometry: &Geometry) -> u64 {
+    geometry.fields.len() as u64
+}
+
+/// Retro-report the device-side timeline of a produced batch as
+/// `rm.gather` (source-line fetches into the device DRAM port) and
+/// `rm.pack` (engine packing until the batch is ready) spans. The phases
+/// ran in the simulated past, concurrently with whatever the CPU was
+/// doing, which is exactly what the explicit-timestamp span API is for.
+fn trace_device_phases(mem: &mut MemoryHierarchy, produced: &crate::device::ProducedBatch) {
+    if !mem.tracing() {
+        return;
+    }
+    mem.trace_begin_at(produced.started_at, "rm.gather", Category::Rm);
+    mem.trace_end_at(
+        produced.gather_done,
+        "rm.gather",
+        Category::Rm,
+        &[("source_lines", produced.source_lines)],
+    );
+    mem.trace_begin_at(produced.gather_done, "rm.pack", Category::Rm);
+    mem.trace_end_at(
+        produced.ready_at,
+        "rm.pack",
+        Category::Rm,
+        &[
+            ("rows", produced.rows as u64),
+            ("bytes", produced.data.len() as u64),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -36,6 +36,26 @@ impl RmStats {
         }
         self.source_lines as f64 / self.output_lines as f64
     }
+
+    /// Record every counter into a metrics registry under
+    /// `<prefix>.<counter>` — the single serialization path for stats
+    /// (replaces hand-rolled formatters; see fabric-lint `raw-stats-print`).
+    pub fn record_into(&self, registry: &mut fabric_sim::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("rows_scanned", self.rows_scanned),
+            ("rows_emitted", self.rows_emitted),
+            ("source_lines", self.source_lines),
+            ("output_lines", self.output_lines),
+            ("batches", self.batches),
+            ("configures", self.configures),
+            ("injected_faults", self.injected_faults),
+            ("delivery_timeouts", self.delivery_timeouts),
+            ("crc_failures", self.crc_failures),
+            ("retries", self.retries),
+        ] {
+            registry.counter_add(&format!("{prefix}.{name}"), value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 
 use crate::config::RsConfig;
 use crate::flash::FlashArray;
-use fabric_sim::{CircuitBreaker, Cycles, FaultPlan, FaultStats, MemoryHierarchy, RecoveryPolicy};
+use fabric_sim::{
+    Category, CircuitBreaker, Cycles, FaultPlan, FaultStats, MemoryHierarchy, RecoveryPolicy,
+};
 use fabric_types::{crc32, FabricError, FieldSlice, Geometry, OutputMode, Predicate, Result};
 use relmem::packer;
 
@@ -45,6 +47,24 @@ pub struct RsStats {
     pub injected_faults: u64,
     /// Recovery attempts (page re-reads, link re-shipments).
     pub retries: u64,
+}
+
+impl RsStats {
+    /// Record every counter into a metrics registry under
+    /// `<prefix>.<counter>` — the single serialization path for stats
+    /// (replaces hand-rolled formatters; see fabric-lint `raw-stats-print`).
+    pub fn record_into(&self, registry: &mut fabric_sim::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("pages_read", self.pages_read),
+            ("rows_scanned", self.rows_scanned),
+            ("rows_emitted", self.rows_emitted),
+            ("bytes_shipped", self.bytes_shipped),
+            ("injected_faults", self.injected_faults),
+            ("retries", self.retries),
+        ] {
+            registry.counter_add(&format!("{prefix}.{name}"), value);
+        }
+    }
 }
 
 /// The simulated computational SSD.
@@ -182,6 +202,7 @@ impl SsdDevice {
     /// [`FabricError::FlashReadError`].
     fn read_page_checked(
         &mut self,
+        mem: &mut MemoryHierarchy,
         page: u64,
         issue_at: Cycles,
         stats: &mut RsStats,
@@ -200,6 +221,11 @@ impl SsdDevice {
             }
             stats.injected_faults += 1;
             flash.note_failed_read();
+            mem.trace_instant(
+                "rs.fault.flash",
+                Category::Fault,
+                &[("page", page), ("attempt", attempts as u64)],
+            );
             if attempts > self.policy.max_retries {
                 return Err(FabricError::FlashReadError { page, attempts });
             }
@@ -237,6 +263,11 @@ impl SsdDevice {
                 return Ok(());
             }
             stats.injected_faults += 1;
+            mem.trace_instant(
+                "rs.fault.link",
+                Category::Fault,
+                &[("attempt", attempts as u64)],
+            );
             if attempts > self.policy.max_retries {
                 return Err(FabricError::CorruptBatch {
                     device: LINK_NAME.into(),
@@ -275,6 +306,7 @@ impl SsdDevice {
         g.validate()?;
         self.admit()?;
 
+        mem.trace_begin("rs.fetch_geometry", Category::Store);
         let start = mem.now();
         let mut stats = RsStats {
             pages_read: t.pages as u64,
@@ -284,10 +316,11 @@ impl SsdDevice {
         // Flash: all pages, issued as fast as the channels accept them.
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+            match self.read_page_checked(mem, t.first_page + p, start, &mut stats) {
                 Ok(done) => flash_done = flash_done.max(done),
                 Err(e) => {
                     self.health.record_failure();
+                    mem.trace_end("rs.fetch_geometry", Category::Store, &[("failed", 1)]);
                     return Err(e);
                 }
             }
@@ -311,16 +344,28 @@ impl SsdDevice {
         let link_done = start
             + self.link_base
             + self.ns_to_cycles(out.len().max(1) as f64 * self.link_ns_per_byte);
-        self.finish_shipment(
+        if let Err(e) = self.finish_shipment(
             mem,
             flash_done.max(ctrl_done).max(link_done),
             out.len(),
             &mut stats,
-        )?;
+        ) {
+            mem.trace_end("rs.fetch_geometry", Category::Store, &[("failed", 1)]);
+            return Err(e);
+        }
         self.health.record_success();
 
         stats.rows_emitted = emitted;
         stats.bytes_shipped = out.len() as u64;
+        mem.trace_end(
+            "rs.fetch_geometry",
+            Category::Store,
+            &[
+                ("pages", stats.pages_read),
+                ("rows_emitted", emitted),
+                ("bytes_shipped", stats.bytes_shipped),
+            ],
+        );
         Ok((out, stats))
     }
 
@@ -339,6 +384,7 @@ impl SsdDevice {
         };
         g.validate()?;
         self.admit()?;
+        mem.trace_begin("rs.fetch_aggregate", Category::Store);
         let start = mem.now();
         let mut stats = RsStats {
             pages_read: t.pages as u64,
@@ -348,10 +394,11 @@ impl SsdDevice {
         };
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+            match self.read_page_checked(mem, t.first_page + p, start, &mut stats) {
                 Ok(done) => flash_done = flash_done.max(done),
                 Err(e) => {
                     self.health.record_failure();
+                    mem.trace_end("rs.fetch_aggregate", Category::Store, &[("failed", 1)]);
                     return Err(e);
                 }
             }
@@ -367,14 +414,22 @@ impl SsdDevice {
                 emitted += 1;
             }
         }
-        self.finish_shipment(
+        if let Err(e) = self.finish_shipment(
             mem,
             flash_done.max(ctrl_done) + self.link_base,
             64,
             &mut stats,
-        )?;
+        ) {
+            mem.trace_end("rs.fetch_aggregate", Category::Store, &[("failed", 1)]);
+            return Err(e);
+        }
         self.health.record_success();
         stats.rows_emitted = emitted;
+        mem.trace_end(
+            "rs.fetch_aggregate",
+            Category::Store,
+            &[("pages", stats.pages_read), ("rows_emitted", emitted)],
+        );
         Ok((bank.finish()?, stats))
     }
 
@@ -387,6 +442,7 @@ impl SsdDevice {
         t: &StoredTable,
     ) -> Result<(Vec<u8>, RsStats)> {
         self.admit()?;
+        mem.trace_begin("rs.fetch_raw", Category::Store);
         let start = mem.now();
         let mut stats = RsStats {
             pages_read: t.pages as u64,
@@ -396,10 +452,11 @@ impl SsdDevice {
         };
         let mut flash_done = start;
         for p in 0..t.pages as u64 {
-            match self.read_page_checked(t.first_page + p, start, &mut stats) {
+            match self.read_page_checked(mem, t.first_page + p, start, &mut stats) {
                 Ok(done) => flash_done = flash_done.max(done),
                 Err(e) => {
                     self.health.record_failure();
+                    mem.trace_end("rs.fetch_raw", Category::Store, &[("failed", 1)]);
                     return Err(e);
                 }
             }
@@ -407,7 +464,12 @@ impl SsdDevice {
         let shipped = (t.pages * self.cfg.page_bytes) as u64;
         let link_done =
             start + self.link_base + self.ns_to_cycles(shipped as f64 * self.link_ns_per_byte);
-        self.finish_shipment(mem, flash_done.max(link_done), shipped as usize, &mut stats)?;
+        if let Err(e) =
+            self.finish_shipment(mem, flash_done.max(link_done), shipped as usize, &mut stats)
+        {
+            mem.trace_end("rs.fetch_raw", Category::Store, &[("failed", 1)]);
+            return Err(e);
+        }
         self.health.record_success();
 
         let mut out = Vec::with_capacity(t.rows * t.row_width);
@@ -415,6 +477,11 @@ impl SsdDevice {
             out.extend_from_slice(self.row_bytes(t, i));
         }
         stats.bytes_shipped = shipped;
+        mem.trace_end(
+            "rs.fetch_raw",
+            Category::Store,
+            &[("pages", stats.pages_read), ("bytes_shipped", shipped)],
+        );
         Ok((out, stats))
     }
 

@@ -60,7 +60,9 @@ pub use workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use colstore::ColTable;
-    pub use fabric_sim::{MemoryHierarchy, SimConfig};
+    pub use fabric_sim::{
+        FabricRecorder, MemoryHierarchy, MetricsRegistry, NoopRecorder, RingRecorder, SimConfig,
+    };
     pub use fabric_types::{
         AggFunc, CmpOp, ColumnType, Expr, Geometry, Predicate, RowLayout, Schema, Value,
     };

@@ -1,0 +1,181 @@
+//! fabric-obs guarantees, end to end: deterministic traces under chaos,
+//! bounded ring overflow, validator round-trips, and the zero-cost
+//! promise of the no-op recorder.
+//!
+//! The tracer stamps events with the simulated cycle clock and never
+//! advances it, so a trace is a pure function of (workload, platform
+//! config, fault seed): two runs with the same `FABRIC_CHAOS_SEED` and
+//! fault plan must export byte-identical JSON and metrics snapshots.
+
+use fabric_sim::{
+    parse_json, validate_chrome_trace, FaultConfig, Json, MemoryHierarchy, NoopRecorder,
+    RecoveryPolicy, RingRecorder, SimConfig,
+};
+use fabric_types::{ColumnType, Schema, Value};
+use query::{bind, execute_on, execute_resilient, parser, AccessPath, Catalog, FaultContext};
+use rowstore::RowTable;
+
+/// Default sweep seed; override with `FABRIC_CHAOS_SEED`.
+const DEFAULT_SEED: u64 = 0xFA_B51C;
+const ROWS: usize = 4_096;
+const SQL: &str = "SELECT c0, c5 FROM t WHERE c0 < 1000000";
+
+fn seed() -> u64 {
+    std::env::var("FABRIC_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// Wide rows-only table the optimizer routes to RM (16 × i64).
+fn catalog() -> (MemoryHierarchy, Catalog) {
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let names: Vec<(String, ColumnType)> = (0..16)
+        .map(|i| (format!("c{i}"), ColumnType::I64))
+        .collect();
+    let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let schema = Schema::from_pairs(&pairs);
+    let mut rt = RowTable::create(&mut mem, schema, ROWS).unwrap();
+    for i in 0..ROWS as i64 {
+        let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
+        rt.load(&mut mem, &row).unwrap();
+    }
+    let mut c = Catalog::new();
+    c.register_rows("t", rt);
+    (mem, c)
+}
+
+/// A chaos-seeded resilient sweep under a recorder of the given capacity:
+/// returns (chrome trace JSON, metrics snapshot JSON, total rows out,
+/// faults injected by the plan).
+fn chaos_run(
+    cfg: FaultConfig,
+    queries: usize,
+    ring_capacity: usize,
+) -> (String, String, usize, u64) {
+    let (mut mem, c) = catalog();
+    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
+    let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+    mem.set_recorder(Box::new(RingRecorder::new(ring_capacity)));
+    let mut rows_out = 0usize;
+    for _ in 0..queries {
+        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+        rows_out += out.rows.len();
+    }
+    let trace = mem.export_trace().expect("ring recorder exports a trace");
+    let metrics = mem.metrics().snapshot().to_json();
+    (trace, metrics, rows_out, ctx.plan.stats().total())
+}
+
+/// High-but-probabilistic fault rates: enough draws over 8 queries that a
+/// fault-free sweep is astronomically unlikely for any seed.
+fn stormy(sweep_seed: u64) -> FaultConfig {
+    FaultConfig {
+        rm_stall_prob: 0.35,
+        rm_stall_ns: 2_500.0,
+        rm_timeout_prob: 0.35,
+        rm_corrupt_prob: 0.35,
+        ..FaultConfig::quiet(sweep_seed)
+    }
+}
+
+/// A dead device: every delivery times out, so every query either retries
+/// to exhaustion and degrades or is skipped by the open circuit breaker —
+/// guaranteed fault instants in the trace, independent of the seed.
+fn dead_device(sweep_seed: u64) -> FaultConfig {
+    FaultConfig {
+        rm_timeout_prob: 1.0,
+        ..FaultConfig::quiet(sweep_seed)
+    }
+}
+
+#[test]
+fn chaos_seeded_trace_is_bit_identical_across_runs() {
+    let s = seed();
+    let (t1, m1, r1, inj1) = chaos_run(stormy(s), 8, 1 << 14);
+    let (t2, m2, r2, inj2) = chaos_run(stormy(s), 8, 1 << 14);
+    assert!(inj1 > 0, "no faults injected (seed {s}) — run is vacuous");
+    assert_eq!(inj1, inj2, "fault schedules diverged (seed {s})");
+    assert_eq!(r1, r2, "answers diverged (seed {s})");
+    assert_eq!(t1, t2, "trace streams diverged (seed {s})");
+    assert_eq!(m1, m2, "metrics snapshots diverged (seed {s})");
+    // The faults left a mark: the stormy trace differs from a quiet run's.
+    let (quiet, ..) = chaos_run(FaultConfig::quiet(s), 8, 1 << 14);
+    assert_ne!(t1, quiet, "injected faults are invisible in the trace");
+}
+
+#[test]
+fn exported_trace_round_trips_through_the_validator() {
+    let (trace, metrics, _, _) = chaos_run(dead_device(seed()), 8, 1 << 14);
+    let summary = validate_chrome_trace(&trace).expect("structurally valid trace");
+    assert!(summary.events > 0);
+    assert_eq!(
+        summary.begins, summary.ends,
+        "unbalanced spans even though every error path closes its span"
+    );
+    assert!(
+        summary.instants > 0,
+        "dead-device run must emit degrade/breaker instants"
+    );
+    assert_eq!(summary.dropped, 0, "16 Ki ring must not wrap on this run");
+    // The metrics snapshot uses the same parser-grade JSON.
+    parse_json(&metrics).expect("metrics snapshot parses");
+}
+
+#[test]
+fn ring_overflow_counts_drops_and_never_grows() {
+    let capacity = 8;
+    let (trace, ..) = chaos_run(FaultConfig::quiet(seed()), 4, capacity);
+    // Wrap-around cuts the oldest events (possibly a span's `B`), so full
+    // chrome validation does not apply — but the JSON must still parse,
+    // the ring must hold at most `capacity` events, and the drop count
+    // must make the truncation visible instead of silent.
+    let doc = parse_json(&trace).expect("wrapped trace still parses");
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped"))
+        .and_then(Json::as_num)
+        .expect("dropped count exported") as u64;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array")
+        .len();
+    assert!(dropped > 0, "a 4-query run must overflow an 8-event ring");
+    assert!(
+        events <= capacity,
+        "ring exceeded its capacity: {events} > {capacity}"
+    );
+}
+
+#[test]
+fn noop_recorder_run_matches_uninstrumented_cycle_counts_exactly() {
+    // Baseline: the hierarchy as constructed (its default recorder).
+    let (mut mem, c) = catalog();
+    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
+    let base = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    let base_stats = mem.stats();
+
+    // An explicit no-op recorder must not perturb a single cycle.
+    let (mut mem, c) = catalog();
+    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
+    mem.set_recorder(Box::new(NoopRecorder));
+    let noop = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    assert_eq!(noop.ns, base.ns, "no-op recorder changed simulated time");
+    assert_eq!(
+        mem.stats(),
+        base_stats,
+        "no-op recorder changed hierarchy stats"
+    );
+    assert_eq!(noop.rows, base.rows);
+
+    // Full tracing observes the same clock: recording never advances it.
+    let (mut mem, c) = catalog();
+    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
+    mem.set_recorder(Box::new(RingRecorder::new(1 << 14)));
+    let traced = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    assert_eq!(traced.ns, base.ns, "tracing advanced the simulated clock");
+    assert_eq!(mem.stats(), base_stats, "tracing changed hierarchy stats");
+    let summary = validate_chrome_trace(&mem.export_trace().unwrap()).unwrap();
+    assert!(summary.begins > 0, "traced run recorded no spans");
+}

@@ -12,6 +12,11 @@
 #   5. bounded chaos sweep      (tests/fault_tolerance.rs with a fixed
 #                                seed; fails on any answer divergence and
 #                                prints the replay seed)
+#   6. traced query             (trace_query bin: one Fig-5-shaped query
+#                                under the ring recorder; the exported
+#                                Chrome trace is structurally validated
+#                                and two same-seed chaos runs must export
+#                                bit-identical traces — trace_determinism)
 
 set -eu
 
@@ -47,6 +52,19 @@ if ! FABRIC_CHAOS_SEED="$CHAOS_SEED" FABRIC_CHAOS_PLANS="$CHAOS_PLANS" \
     printf '\nchaos sweep FAILED — replay with:\n'
     printf '  FABRIC_CHAOS_SEED=%s FABRIC_CHAOS_PLANS=%s cargo test --test fault_tolerance\n' \
         "$CHAOS_SEED" "$CHAOS_PLANS"
+    exit 1
+fi
+
+# Bounded observability check: trace one query end to end (the bin
+# validates the export with fabric-obs's own chrome-trace validator and
+# exits non-zero on a malformed or unbalanced trace), then assert the
+# determinism contract — two runs with the same chaos seed must export
+# byte-identical event streams and metrics snapshots.
+say "traced query (trace_query --rows 8192) + trace determinism"
+cargo run -q --release -p bench --bin trace_query -- --rows 8192
+if ! FABRIC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --test trace_determinism; then
+    printf '\ntrace determinism FAILED — replay with:\n'
+    printf '  FABRIC_CHAOS_SEED=%s cargo test --test trace_determinism\n' "$CHAOS_SEED"
     exit 1
 fi
 
