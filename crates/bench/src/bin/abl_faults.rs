@@ -12,28 +12,27 @@
 //! Usage: `abl_faults [--rows N] [--seed S]`
 
 use bench::{arg_usize, fmt_ns, render_table};
-use fabric_sim::{FaultConfig, MemoryHierarchy, RecoveryPolicy, SimConfig};
+use fabric_sim::{FaultConfig, RecoveryPolicy, SimConfig};
 use fabric_types::{ColumnType, Schema, Value};
-use query::{bind, execute_on, execute_resilient, parser, AccessPath, Catalog, FaultContext};
+use query::{AccessPath, Engine, FaultContext};
 use rowstore::RowTable;
 
 /// Wide rows-only table (16 × i64): the optimizer routes its projections
 /// to the RM path, which is what this ablation stresses.
-fn build_catalog(rows: usize) -> (MemoryHierarchy, Catalog) {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+fn build_engine(rows: usize) -> Engine {
+    let mut engine = Engine::new(SimConfig::zynq_a53());
     let names: Vec<(String, ColumnType)> = (0..16)
         .map(|i| (format!("c{i}"), ColumnType::I64))
         .collect();
     let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&pairs);
-    let mut rt = RowTable::create(&mut mem, schema, rows).expect("create");
+    let mut rt = RowTable::create(engine.mem(), schema, rows).expect("create");
     for i in 0..rows as i64 {
         let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
-        rt.load(&mut mem, &row).expect("load");
+        rt.load(engine.mem(), &row).expect("load");
     }
-    let mut c = Catalog::new();
-    c.register_rows("t", rt);
-    (mem, c)
+    engine.register_rows("t", rt);
+    engine
 }
 
 fn main() {
@@ -43,12 +42,11 @@ fn main() {
     let sql = format!("SELECT c0, c5 FROM t WHERE c0 < {}", (rows as i64) * 8);
 
     eprintln!("# loading {rows} rows...");
-    let (mut mem, c) = build_catalog(rows);
-    let bound = bind::bind(&c, &parser::parse(&sql).expect("parse")).expect("bind");
+    let mut engine = build_engine(rows);
 
     // Baselines: the fault-free RM run and the pure-software ROW path.
-    let clean = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
-    let row = execute_on(&mut mem, &c, &bound, AccessPath::Row).expect("row");
+    let clean = engine.session().run_on(&sql, AccessPath::Rm).expect("rm");
+    let row = engine.session().run_on(&sql, AccessPath::Row).expect("row");
 
     let rounds = arg_usize(&args, "--rounds", 16);
     let mut out = Vec::new();
@@ -60,17 +58,19 @@ fn main() {
             rm_corrupt_prob: rate,
             ..FaultConfig::quiet(seed)
         };
-        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        engine.set_fault_context(FaultContext::new(cfg, RecoveryPolicy::default()));
         let mut total_ns = 0.0;
         let mut retries = 0u64;
         for _ in 0..rounds {
-            let res = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+            let res = engine.session().run(&sql).expect("resilient");
             assert_eq!(res.rows, clean.rows, "degradation must preserve the answer");
             total_ns += res.ns;
             retries += res.rm_stats.map_or(0, |s| s.retries);
         }
         let mean = total_ns / rounds as f64;
-        let m = mem.metrics_mut();
+        let ctx_fallbacks = engine.fault_context().fallbacks;
+        let ctx_injected = engine.fault_context().plan.stats().total();
+        let m = engine.mem().metrics_mut();
         m.gauge_set(&format!("faults.rate_{rate:.3}.mean_ns"), mean);
         m.gauge_set(
             &format!("faults.rate_{rate:.3}.vs_clean_rm"),
@@ -82,9 +82,9 @@ fn main() {
             fmt_ns(mean),
             format!("{:.2}x", mean / clean.ns),
             format!("{:.2}x", mean / row.ns),
-            format!("{}", ctx.plan.stats().total()),
+            format!("{ctx_injected}"),
             format!("{retries}"),
-            format!("{}", ctx.fallbacks),
+            format!("{ctx_fallbacks}"),
         ]);
     }
     println!(
@@ -118,11 +118,12 @@ fn main() {
         ..FaultConfig::quiet(seed)
     };
     let policy = RecoveryPolicy::default();
-    let mut ctx = FaultContext::new(cfg, policy);
+    engine.set_fault_context(FaultContext::new(cfg, policy));
     let mut out = Vec::new();
     for round in 1..=(policy.breaker_threshold + 2) {
-        let res = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+        let res = engine.session().run(&sql).expect("resilient");
         assert_eq!(res.rows, clean.rows);
+        let ctx = engine.fault_context();
         out.push(vec![
             format!("{round}"),
             fmt_ns(res.ns),
@@ -150,10 +151,14 @@ fn main() {
             &out
         )
     );
-    let m = mem.metrics_mut();
-    m.counter_add("faults.dead_device.fallbacks", ctx.fallbacks);
-    m.counter_add("faults.dead_device.breaker_skips", ctx.breaker_skips);
-    let stats = mem.stats();
-    stats.record_into(mem.metrics_mut(), "mem");
-    bench::emit_bench_json("abl_faults", mem.metrics());
+    let (fallbacks, breaker_skips) = {
+        let ctx = engine.fault_context();
+        (ctx.fallbacks, ctx.breaker_skips)
+    };
+    let m = engine.mem().metrics_mut();
+    m.counter_add("faults.dead_device.fallbacks", fallbacks);
+    m.counter_add("faults.dead_device.breaker_skips", breaker_skips);
+    let stats = engine.mem_ref().stats();
+    stats.record_into(engine.mem().metrics_mut(), "mem");
+    bench::emit_bench_json("abl_faults", engine.mem_ref().metrics());
 }

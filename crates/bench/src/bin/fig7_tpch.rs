@@ -10,12 +10,17 @@
 //!   four touched columns); ROW is slowest (ships whole 152-byte rows);
 //!   the column engine sits between.
 //!
-//! Usage: `fig7_tpch [q1|q6|both] [--max-target M] [--csv]` where targets
-//! double from 2 MiB up to `--max-target` (default 32; 128 reproduces the
-//! paper's largest size but takes correspondingly longer to simulate).
+//! Usage: `fig7_tpch [q1|q6|both] [--max-target M] [--csv] [--cores N]`
+//! where targets double from 2 MiB up to `--max-target` (default 32; 128
+//! reproduces the paper's largest size but takes correspondingly longer to
+//! simulate). With `--cores N` (N > 1) an extra section re-runs Q1 and Q6
+//! through the SQL session API on every access path at 1 vs N simulated
+//! cores, asserting bit-identical answers and reporting the morsel-driven
+//! speedup.
 
 use bench::{arg_usize, fmt_ns, render_table};
 use fabric_sim::{MemoryHierarchy, SimConfig};
+use query::{AccessPath, Engine};
 use relmem::RmConfig;
 use workload::queries;
 use workload::Lineitem;
@@ -116,15 +121,88 @@ fn run_query(which: &str, max_target: usize, csv: bool) {
     bench::emit_bench_json(&format!("fig7_tpch_{which}"), &reg);
 }
 
+/// The morsel-parallel section: Q1 and Q6 as SQL through the session API
+/// at 1 vs `cores` simulated cores on every access path. Answers must be
+/// bit-identical; the speedup column is simulated cycles, so it reflects
+/// the fabric model (shared L2 port, DRAM controller, serial RM beat),
+/// not host scheduling noise.
+fn run_parallel(cores: usize) {
+    const Q1: &str = "SELECT l_returnflag, l_linestatus, sum(l_quantity), \
+                      sum(l_extendedprice), sum(l_extendedprice * (1 - l_discount)), \
+                      avg(l_quantity), count(*) \
+                      FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+                      GROUP BY l_returnflag, l_linestatus";
+    const Q6: &str = "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+                      WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                      AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24";
+    let rows = Lineitem::rows_for_q6_target(2);
+    let engine_at = |n: usize| {
+        let mut e = Engine::with_cores(SimConfig::zynq_a53(), n);
+        let li = Lineitem::generate(e.mem(), rows, 0xF1_7).expect("generate");
+        e.register("lineitem", li.rows, li.cols);
+        e
+    };
+
+    let mut table = Vec::new();
+    let mut best = 0.0f64;
+    for (qname, sql) in [("Q1", Q1), ("Q6", Q6)] {
+        for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
+            let base = engine_at(1).session().run_on(sql, path).expect("1-core");
+            let par = engine_at(cores)
+                .session()
+                .run_on(sql, path)
+                .expect("N-core");
+            assert_eq!(
+                par.rows, base.rows,
+                "{qname} {path} at {cores} cores diverged from the 1-core answer"
+            );
+            let speedup = base.ns / par.ns;
+            best = best.max(speedup);
+            table.push(vec![
+                qname.to_string(),
+                path.to_string(),
+                fmt_ns(base.ns),
+                fmt_ns(par.ns),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+    println!("Fig. 7 supplement — morsel-driven scaling at {cores} cores ({rows} rows)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "query",
+                "path",
+                "1-core",
+                &format!("{cores}-core"),
+                "speedup"
+            ],
+            &table
+        )
+    );
+    if cores >= 4 {
+        assert!(
+            best > 1.8,
+            "expected >1.8x simulated-cycle speedup on at least one query at {cores} cores, best {best:.2}x"
+        );
+    }
+    println!("# best speedup {best:.2}x (answers bit-identical on every path)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("both");
     let max_target = arg_usize(&args, "--max-target", 32);
+    let cores = arg_usize(&args, "--cores", 1);
     let csv = args.iter().any(|a| a == "--csv");
     if which == "q1" || which == "both" {
         run_query("q1", max_target, csv);
     }
     if which == "q6" || which == "both" {
         run_query("q6", max_target, csv);
+    }
+    if cores > 1 {
+        run_parallel(cores);
     }
 }

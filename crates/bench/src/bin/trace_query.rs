@@ -11,9 +11,9 @@
 
 use bench::arg_usize;
 use colstore::ColTable;
-use fabric_sim::{validate_chrome_trace, MemoryHierarchy, RingRecorder, SimConfig};
+use fabric_sim::{validate_chrome_trace, RingRecorder, SimConfig};
 use fabric_types::{ColumnType, Schema, Value};
-use query::{bind, execute_on, parser, AccessPath, Catalog};
+use query::{AccessPath, Engine};
 use rowstore::RowTable;
 
 fn main() {
@@ -22,32 +22,32 @@ fn main() {
     let proj = arg_usize(&args, "--proj", 6).clamp(1, 16);
     let events = arg_usize(&args, "--events", 1 << 16);
 
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut engine = Engine::new(SimConfig::zynq_a53());
     let names: Vec<(String, ColumnType)> = (0..16)
         .map(|i| (format!("c{i}"), ColumnType::I32))
         .collect();
     let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&pairs);
     eprintln!("# loading {rows} rows (16 x i32, 64-byte rows)...");
-    let mut rt = RowTable::create(&mut mem, schema.clone(), rows).expect("create rows");
-    let mut ct = ColTable::create(&mut mem, schema, rows).expect("create cols");
+    let mut rt = RowTable::create(engine.mem(), schema.clone(), rows).expect("create rows");
+    let mut ct = ColTable::create(engine.mem(), schema, rows).expect("create cols");
     for i in 0..rows as i32 {
         let row: Vec<Value> = (0..16)
             .map(|j| Value::I32(i.wrapping_mul(16) + j))
             .collect();
-        rt.load(&mut mem, &row).expect("load rows");
-        ct.load(&mut mem, &row).expect("load cols");
+        rt.load(engine.mem(), &row).expect("load rows");
+        ct.load(engine.mem(), &row).expect("load cols");
     }
-    let mut c = Catalog::new();
-    c.register("t", rt, ct);
+    engine.register("t", rt, ct);
 
     let cols: Vec<String> = (0..proj).map(|i| format!("c{i}")).collect();
     let sql = format!("SELECT {} FROM t WHERE c0 >= 0", cols.join(", "));
-    let bound = bind::bind(&c, &parser::parse(&sql).expect("parse")).expect("bind");
 
-    mem.set_recorder(Box::new(RingRecorder::new(events)));
+    engine
+        .mem()
+        .set_recorder(Box::new(RingRecorder::new(events)));
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
-        let out = execute_on(&mut mem, &c, &bound, path).expect("execute");
+        let out = engine.session().run_on(&sql, path).expect("execute");
         eprintln!(
             "# {path:?}: {} rows in {}",
             out.rows.len(),
@@ -55,7 +55,10 @@ fn main() {
         );
     }
 
-    let trace = mem.export_trace().expect("ring recorder exports a trace");
+    let trace = engine
+        .mem()
+        .export_trace()
+        .expect("ring recorder exports a trace");
     let summary = validate_chrome_trace(&trace).expect("trace must be structurally valid");
     std::fs::create_dir_all("results").expect("mkdir results");
     let path = "results/TRACE_query.json";
@@ -68,7 +71,7 @@ fn main() {
     );
     println!("  wrote {path} — load it at https://ui.perfetto.dev");
 
-    let stats = mem.stats();
-    stats.record_into(mem.metrics_mut(), "mem");
-    bench::emit_bench_json("trace_query", mem.metrics());
+    let stats = engine.mem_ref().stats();
+    stats.record_into(engine.mem().metrics_mut(), "mem");
+    bench::emit_bench_json("trace_query", engine.mem_ref().metrics());
 }

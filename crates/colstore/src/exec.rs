@@ -108,14 +108,29 @@ pub fn scan_filter_conj(
     col: ColumnId,
     preds: &[(CmpOp, Value)],
 ) -> Result<Vec<u32>> {
+    scan_filter_conj_range(mem, t, col, preds, 0, t.len())
+}
+
+/// [`scan_filter_conj`] restricted to raw rows `[start, end)` — one morsel
+/// of the scan space. Emitted positions are absolute row ids, so per-morsel
+/// selection vectors concatenate in morsel order to the full-scan result.
+pub fn scan_filter_conj_range(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    start: usize,
+    end: usize,
+) -> Result<Vec<u32>> {
     let c = t.col(col)?;
     let w = c.ty.width();
     let costs = mem.costs();
+    let end = end.min(t.len());
     let mut sel = Vec::new();
     let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
-    let mut row = 0usize;
-    while row < t.len() {
-        let n = BATCH_ROWS.min(t.len() - row);
+    let mut row = start.min(end);
+    while row < end {
+        let n = BATCH_ROWS.min(end - row);
         mem.touch_read(c.at(row), n * w);
         mem.cpu(
             costs.vector_setup
@@ -152,16 +167,40 @@ pub fn scan_filter_cand(
     preds: &[(CmpOp, Value)],
     candidates: &[u32],
 ) -> Result<Vec<u32>> {
+    scan_filter_cand_range(mem, t, col, preds, candidates, 0, t.len())
+}
+
+/// [`scan_filter_cand`] restricted to raw rows `[start, end)`. The
+/// candidate list must contain only positions inside the range (the
+/// morsel-driven executor hands each morsel its own candidates).
+pub fn scan_filter_cand_range(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    candidates: &[u32],
+    start: usize,
+    end: usize,
+) -> Result<Vec<u32>> {
     let c = t.col(col)?;
     check_selection(t, candidates)?;
     let w = c.ty.width();
     let costs = mem.costs();
+    let end = end.min(t.len());
     let mut out = Vec::with_capacity(candidates.len());
     let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
     let mut ci = 0usize; // cursor into candidates
-    let mut row = 0usize;
-    while row < t.len() {
-        let n = BATCH_ROWS.min(t.len() - row);
+    let mut row = start.min(end);
+    // Candidates below the range would never be visited; reject instead of
+    // silently dropping them.
+    if candidates.first().is_some_and(|&p| (p as usize) < row) {
+        return Err(FabricError::RowIndexOutOfRange {
+            index: candidates[0] as usize,
+            len: row,
+        });
+    }
+    while row < end {
+        let n = BATCH_ROWS.min(end - row);
         // Full-column sequential read and full-width evaluation.
         mem.touch_read(c.at(row), n * w);
         mem.cpu(
@@ -289,10 +328,41 @@ pub fn for_each_lockstep<F>(
 where
     F: FnMut(&mut MemoryHierarchy, usize, &[Value]) -> Result<()>,
 {
-    lockstep_impl(mem, t, cols, sel, false, |mem, ev| match ev {
+    let rows = match sel {
+        Some(s) => RowSet::Sel(s),
+        None => RowSet::Range(0, t.len()),
+    };
+    lockstep_impl(mem, t, cols, rows, false, |mem, ev| match ev {
         Event::Row(row, vals) => f(mem, row, vals),
         Event::BatchEnd => Ok(()),
     })
+}
+
+/// [`for_each_lockstep`] over the dense raw-row range `[start, end)` —
+/// one morsel of an unselective scan.
+pub fn for_each_lockstep_range<F>(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    start: usize,
+    end: usize,
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(&mut MemoryHierarchy, usize, &[Value]) -> Result<()>,
+{
+    let end = end.min(t.len());
+    lockstep_impl(
+        mem,
+        t,
+        cols,
+        RowSet::Range(start.min(end), end),
+        false,
+        |mem, ev| match ev {
+            Event::Row(row, vals) => f(mem, row, vals),
+            Event::BatchEnd => Ok(()),
+        },
+    )
 }
 
 /// Reconstruct row-major tuples batch by batch, charging the per-value
@@ -315,7 +385,11 @@ where
         arity,
         values: Vec::new(),
     };
-    lockstep_impl(mem, t, cols, sel, true, |mem, ev| match ev {
+    let rows = match sel {
+        Some(s) => RowSet::Sel(s),
+        None => RowSet::Range(0, t.len()),
+    };
+    lockstep_impl(mem, t, cols, rows, true, |mem, ev| match ev {
         Event::Row(_, vals) => {
             batch.values.extend_from_slice(vals);
             Ok(())
@@ -334,6 +408,13 @@ where
 enum Event<'a> {
     Row(usize, &'a [Value]),
     BatchEnd,
+}
+
+/// Which rows a lockstep pass visits: a dense raw-row range (unselective
+/// scans and per-morsel slices of them) or an explicit selection vector.
+enum RowSet<'a> {
+    Range(usize, usize),
+    Sel(&'a [u32]),
 }
 
 /// Sum `expr` (over slots matching `cols` order) across `sel` (or all rows).
@@ -366,7 +447,7 @@ fn lockstep_impl<F>(
     mem: &mut MemoryHierarchy,
     t: &ColTable,
     cols: &[ColumnId],
-    sel: Option<&[u32]>,
+    rows: RowSet<'_>,
     materialize: bool,
     mut emit: F,
 ) -> Result<()>
@@ -375,10 +456,16 @@ where
 {
     let costs = mem.costs();
     let refs: Vec<_> = cols.iter().map(|&c| t.col(c)).collect::<Result<_>>()?;
-    if let Some(s) = sel {
-        check_selection(t, s)?;
-    }
-    let total_rows = sel.map_or(t.len(), |s| s.len());
+    let (range_start, total_rows, sel) = match rows {
+        RowSet::Range(start, end) => {
+            debug_assert!(start <= end && end <= t.len());
+            (start, end - start, None)
+        }
+        RowSet::Sel(s) => {
+            check_selection(t, s)?;
+            (0, s.len(), Some(s))
+        }
+    };
     let line = mem.config().line_size as u64;
     // Per-column last line touched: memory is charged once per new line,
     // so the hierarchy sees one interleaved line stream per column — the
@@ -396,7 +483,7 @@ where
         }
         for i in 0..n {
             let row_id = match sel {
-                None => done + i,
+                None => range_start + done + i,
                 Some(s) => s[done + i] as usize,
             };
             // The p column loads of one tuple are independent: issue the
@@ -510,6 +597,91 @@ mod tests {
     }
 
     #[test]
+    fn ranged_scans_concatenate_to_the_full_scan() {
+        let (mut mem, t) = fixture();
+        let preds = vec![(CmpOp::Lt, Value::I32(50))];
+        let whole = scan_filter_conj(&mut mem, &t, 1, &preds).unwrap();
+
+        // Morsel-sized conj scans over [start, end) chunks, concatenated in
+        // order, must equal the unsplit scan (absolute row ids).
+        let mut pieced = Vec::new();
+        let step = 257; // deliberately unaligned with BATCH_ROWS
+        let mut start = 0;
+        while start < t.len() {
+            let end = (start + step).min(t.len());
+            pieced.extend(scan_filter_conj_range(&mut mem, &t, 1, &preds, start, end).unwrap());
+            start = end;
+        }
+        assert_eq!(pieced, whole);
+
+        // Same for the candidate-intersection scan: slice the candidate
+        // vector per morsel and concatenate.
+        let cand = scan_filter_conj(&mut mem, &t, 0, &[(CmpOp::Lt, Value::I32(1500))]).unwrap();
+        let whole_cand = scan_filter_cand(&mut mem, &t, 1, &preds, &cand).unwrap();
+        let mut pieced_cand = Vec::new();
+        let mut start = 0;
+        while start < t.len() {
+            let end = (start + step).min(t.len());
+            let lo = cand.partition_point(|&p| (p as usize) < start);
+            let hi = cand.partition_point(|&p| (p as usize) < end);
+            pieced_cand.extend(
+                scan_filter_cand_range(&mut mem, &t, 1, &preds, &cand[lo..hi], start, end).unwrap(),
+            );
+            start = end;
+        }
+        assert_eq!(pieced_cand, whole_cand);
+
+        // Out-of-bounds end clamps; empty range yields nothing.
+        let clamped = scan_filter_conj_range(&mut mem, &t, 1, &preds, 0, t.len() * 2).unwrap();
+        assert_eq!(clamped, whole);
+        assert!(scan_filter_conj_range(&mut mem, &t, 1, &preds, 100, 100)
+            .unwrap()
+            .is_empty());
+
+        // A candidate below the morsel start is an error, not a silent drop.
+        let err = scan_filter_cand_range(&mut mem, &t, 1, &preds, &[3], 100, 200);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ranged_lockstep_concatenates_to_the_full_pass() {
+        let (mut mem, t) = fixture();
+        let mut whole = Vec::new();
+        for_each_lockstep(&mut mem, &t, &[0, 2], None, |_, row, vals| {
+            whole.push((row, vals.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+
+        let mut pieced = Vec::new();
+        let step = 611;
+        let mut start = 0;
+        while start < t.len() {
+            let end = (start + step).min(t.len());
+            for_each_lockstep_range(&mut mem, &t, &[0, 2], start, end, |_, row, vals| {
+                pieced.push((row, vals.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+            start = end;
+        }
+        assert_eq!(pieced, whole);
+
+        // Clamping and empty ranges.
+        let mut n = 0usize;
+        for_each_lockstep_range(&mut mem, &t, &[0], 2990, usize::MAX, |_, _, _| {
+            n += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(n, 10);
+        for_each_lockstep_range(&mut mem, &t, &[0], 5, 5, |_, _, _| {
+            panic!("empty range must not emit")
+        })
+        .unwrap();
+    }
+
+    #[test]
     fn sum_expr_computes_expression() {
         let (mut mem, t) = fixture();
         // sum(a * c) over rows with a < 4: 0*0 + 1*0.5 + 2*1 + 3*1.5 = 7.
@@ -574,7 +746,7 @@ mod tests {
         let err = refine(&mut mem, &t, 0, CmpOp::Eq, &Value::I32(1), &bad).unwrap_err();
         assert_eq!(
             err,
-            fabric_types::FabricError::RowIndexOutOfRange {
+            FabricError::RowIndexOutOfRange {
                 index: 5000,
                 len: 3000
             }

@@ -31,6 +31,15 @@
 //!   flow through the `fabric-obs` metrics registry (`record_into` + the
 //!   snapshot JSON serializer), the workspace's single serialization
 //!   path, never through hand-rolled formatters.
+//! * **deprecated-entry-point** — the free-function executors
+//!   (`query::execute` / `execute_on` / `execute_resilient` / `query::run`)
+//!   are deprecated shims kept only for API stability: new code goes
+//!   through `query::Engine` and its `Session`. Flagged everywhere outside
+//!   `crates/query` itself — tests included, since test code migrates
+//!   too — unless the file opts out with a file-level
+//!   `#![allow(deprecated)]`, the same attribute rustc already requires
+//!   to compile such a caller warning-free (one visible, greppable
+//!   waiver instead of two).
 //!
 //! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
 //! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
@@ -57,7 +66,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// Hot-path directory prefixes (every `.rs` file below them).
 pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
 
-/// The six rule families.
+/// The seven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoUnwrap,
@@ -66,6 +75,7 @@ pub enum Rule {
     NoExit,
     IgnoredResult,
     RawStatsPrint,
+    DeprecatedEntryPoint,
 }
 
 impl Rule {
@@ -78,6 +88,7 @@ impl Rule {
             Rule::NoExit => "no-exit",
             Rule::IgnoredResult => "ignored-result",
             Rule::RawStatsPrint => "raw-stats-print",
+            Rule::DeprecatedEntryPoint => "deprecated-entry-point",
         }
     }
 
@@ -89,6 +100,7 @@ impl Rule {
             "no-exit" => Some(Rule::NoExit),
             "ignored-result" => Some(Rule::IgnoredResult),
             "raw-stats-print" => Some(Rule::RawStatsPrint),
+            "deprecated-entry-point" => Some(Rule::DeprecatedEntryPoint),
             _ => None,
         }
     }
@@ -151,6 +163,11 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         (name.to_string(), inner.to_string())
     } else if rel.starts_with("src/") {
         // The workspace-root `relational-fabric` facade crate.
+        ("relational-fabric".to_string(), rel.to_string())
+    } else if rel.starts_with("tests/") || rel.starts_with("examples/") {
+        // The facade crate's integration tests and examples: never
+        // library code, but in scope for the rules that cover test
+        // targets (undocumented-unsafe, deprecated-entry-point).
         ("relational-fabric".to_string(), rel.to_string())
     } else {
         return None;
@@ -286,6 +303,40 @@ fn raw_stats_prints(san_line: &str, raw_line: &str) -> Vec<&'static str> {
     hits
 }
 
+/// Deprecated free-function executors (rule `deprecated-entry-point`).
+/// Qualified uses are matched under both path aliases the workspace
+/// exposes (`query::` and the facade's `sql::`); the two distinctively
+/// named ones are also matched bare, unless preceded by `.` (a method
+/// call — `session.execute_on(…)` is the replacement, not a violation)
+/// or `:` (already counted as a qualified use).
+const DEPRECATED_ENTRY_PREFIXES: &[&str] = &["query::", "sql::"];
+const DEPRECATED_ENTRY_FNS: &[&str] = &["execute", "execute_on", "execute_resilient", "run"];
+const DEPRECATED_ENTRY_BARE: &[&str] = &["execute_on", "execute_resilient"];
+
+/// Deprecated entry-point calls on a sanitized line, as the matched path.
+fn deprecated_entry_points(line: &str) -> Vec<String> {
+    let mut hits = Vec::new();
+    let bytes = line.as_bytes();
+    for prefix in DEPRECATED_ENTRY_PREFIXES {
+        for f in DEPRECATED_ENTRY_FNS {
+            let needle = format!("{prefix}{f}(");
+            for _ in find_bounded(line, &needle, true, false) {
+                hits.push(format!("{prefix}{f}"));
+            }
+        }
+    }
+    for f in DEPRECATED_ENTRY_BARE {
+        let needle = format!("{f}(");
+        for at in find_bounded(line, &needle, true, false) {
+            if at > 0 && matches!(bytes[at - 1], b'.' | b':') {
+                continue;
+            }
+            hits.push((*f).to_string());
+        }
+    }
+    hits
+}
+
 fn excerpt_of(raw: &str) -> String {
     let t = raw.trim();
     if t.len() > 90 {
@@ -305,6 +356,10 @@ pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
     let san = sanitize::sanitize(src);
     let raw_lines: Vec<&str> = src.lines().collect();
     let mut diags = Vec::new();
+
+    // File-level waiver for deprecated-entry-point: the same attribute
+    // rustc requires to compile a deliberate shim caller warning-free.
+    let allows_deprecated = src.contains("#![allow(deprecated)]");
 
     // `#[cfg(test)]` / `#[test]` region tracking by brace depth: the
     // attribute arms `pending`, the next `{` opens a region that closes
@@ -361,6 +416,25 @@ pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
                     rule: Rule::UndocumentedUnsafe,
                     message: "`unsafe` without a `// SAFETY:` comment on or just above it"
                         .to_string(),
+                    excerpt: excerpt_of(raw),
+                });
+            }
+        }
+
+        // deprecated-entry-point: everywhere outside `crates/query` (the
+        // shims' home), tests included — migrating test drivers is the
+        // point — unless the file carries the `#![allow(deprecated)]`
+        // waiver.
+        if class.crate_name != "query" && !allows_deprecated {
+            for path in deprecated_entry_points(line) {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: Rule::DeprecatedEntryPoint,
+                    message: format!(
+                        "deprecated free-function executor `{path}` (use `query::Engine` \
+                         and `Session::run`/`run_on`/`execute`)"
+                    ),
                     excerpt: excerpt_of(raw),
                 });
             }
@@ -473,11 +547,12 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scan every classified `.rs` file under `<root>/crates` and
-/// `<root>/src`, returning diagnostics sorted by `(file, line, rule)`.
+/// Scan every classified `.rs` file under `<root>/crates`, `<root>/src`,
+/// `<root>/tests`, and `<root>/examples`, returning diagnostics sorted by
+/// `(file, line, rule)`.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
-    for top in ["crates", "src"] {
+    for top in ["crates", "src", "tests", "examples"] {
         let dir = root.join(top);
         if dir.is_dir() {
             walk(&dir, &mut files)?;
@@ -609,6 +684,90 @@ mod tests {
             "writeln!(out, \"{}\", stats.retries)?;"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn deprecated_entry_point_detection() {
+        // Qualified uses under both path aliases.
+        assert_eq!(
+            deprecated_entry_points("let out = query::execute(&mut mem, &c, &b)?;"),
+            vec!["query::execute"]
+        );
+        assert_eq!(
+            deprecated_entry_points("sql::execute_on(&mut mem, &c, &b, path)?;"),
+            vec!["sql::execute_on"]
+        );
+        assert_eq!(
+            deprecated_entry_points("query::run(&mut mem, &c, text)?;"),
+            vec!["query::run"]
+        );
+        // Distinctive names match bare, but not as method calls.
+        assert_eq!(
+            deprecated_entry_points("execute_resilient(&mut mem, &c, &b, &mut ctx)?;"),
+            vec!["execute_resilient"]
+        );
+        assert!(deprecated_entry_points("session.execute_on(&prepared, path)?;").is_empty());
+        // A qualified use is counted once, not again as a bare hit.
+        assert_eq!(
+            deprecated_entry_points("query::execute_on(&mut m, &c, &b, p)").len(),
+            1
+        );
+        // Unrelated identifiers stay clean.
+        assert!(deprecated_entry_points("let x = executor(1); run_row(&mut m);").is_empty());
+        assert!(deprecated_entry_points("my_query::execute(x)").is_empty());
+        assert!(deprecated_entry_points("execute_on_impl(&mut m, &c, &b, p)").is_empty());
+    }
+
+    #[test]
+    fn deprecated_entry_point_scope_and_waiver() {
+        let bad = "fn t() {\n    query::execute(&mut mem, &c, &b).unwrap();\n}\n";
+        // Applies to test targets outside crates/query...
+        let class = classify("tests/fixture.rs").unwrap();
+        let d = scan_source("tests/fixture.rs", bad, &class);
+        assert_eq!(
+            d.iter()
+                .filter(|x| x.rule == Rule::DeprecatedEntryPoint)
+                .count(),
+            1,
+            "{d:?}"
+        );
+        // ...including inside #[cfg(test)] regions...
+        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                       query::execute(&mut mem, &c, &b).unwrap();\n    }\n}\n";
+        let class = classify("crates/workload/src/x.rs").unwrap();
+        let d = scan_source("crates/workload/src/x.rs", in_test, &class);
+        assert_eq!(
+            d.iter()
+                .filter(|x| x.rule == Rule::DeprecatedEntryPoint)
+                .count(),
+            1,
+            "{d:?}"
+        );
+        // ...but not inside crates/query (the shims live there)...
+        let class = classify("crates/query/src/explain.rs").unwrap();
+        let d = scan_source("crates/query/src/explain.rs", bad, &class);
+        assert!(
+            d.iter().all(|x| x.rule != Rule::DeprecatedEntryPoint),
+            "{d:?}"
+        );
+        // ...and the file-level rustc waiver is honored.
+        let waived = format!("#![allow(deprecated)]\n{bad}");
+        let class = classify("tests/fixture.rs").unwrap();
+        let d = scan_source("tests/fixture.rs", &waived, &class);
+        assert!(
+            d.iter().all(|x| x.rule != Rule::DeprecatedEntryPoint),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn classify_covers_facade_tests_and_examples() {
+        let c = classify("tests/parallel_equivalence.rs").unwrap();
+        assert_eq!(c.crate_name, "relational-fabric");
+        assert!(!c.is_lib && !c.is_core && !c.is_hot);
+        let c = classify("examples/sql_frontend.rs").unwrap();
+        assert_eq!(c.crate_name, "relational-fabric");
+        assert!(!c.is_lib);
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct SimConfig {
     pub l2_assoc: usize,
     /// L2 hit latency in cycles.
     pub l2_hit_cycles: Cycles,
+    /// Occupancy of the shared L2 port per line transaction (cycles).
+    /// With more than one core configured, conflicting fills serialize on
+    /// this port; a single core never pays it (bit-identical to the
+    /// original single-core model).
+    pub l2_port_cycles: Cycles,
 
     /// Number of DRAM banks the controller interleaves lines across.
     pub dram_banks: usize,
@@ -64,6 +69,7 @@ impl SimConfig {
             l2_bytes: 1024 * 1024,
             l2_assoc: 16,
             l2_hit_cycles: 13,
+            l2_port_cycles: 4,
             dram_banks: 16,
             dram_row_bytes: 2048,
             dram_row_hit_ns: 30.0,

@@ -77,7 +77,52 @@ impl Default for OpCosts {
     }
 }
 
+/// One simulated core's private memory-system state: its L1, its stream
+/// prefetcher, its logical clock, and the statistics it accumulated.
+///
+/// Cores share everything else — the L2, the DRAM controller, and the
+/// arena — through [`MemoryHierarchy`]. There are no OS threads: cores are
+/// *logical* contexts multiplexed by the (single-threaded) caller, each
+/// advancing its own clock, reconciled at explicit barrier points
+/// ([`MemoryHierarchy::join_clocks`]).
+struct CoreCtx {
+    l1: SetAssocCache,
+    prefetcher: StreamPrefetcher,
+    /// Private DRAM timing view (multi-core only): per-bank cursors and
+    /// open-row state for *this core's* access stream. Latency is a
+    /// per-stream property; shared-controller contention is modelled
+    /// separately by the aggregate-bandwidth ledger, because a single set
+    /// of shared cursors cannot be replayed out of order (the host
+    /// simulates one core's whole morsel before the next core's, so a
+    /// shared cursor would serialize parallel work behind the first
+    /// core's entire timeline).
+    dram: DramModel,
+    now: Cycles,
+    stats: MemStats,
+}
+
+impl CoreCtx {
+    fn new(cfg: &SimConfig, now: Cycles) -> Self {
+        CoreCtx {
+            l1: SetAssocCache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_size),
+            prefetcher: StreamPrefetcher::new(cfg),
+            dram: DramModel::new(cfg),
+            now,
+            stats: MemStats::default(),
+        }
+    }
+}
+
 /// The simulated CPU-side memory system.
+///
+/// Models N cores (default 1), each owning a private L1, stream
+/// prefetcher, and DRAM timing view, sharing one L2, one DRAM controller,
+/// and the arena. With more than one core the shared L2 port and DRAM
+/// controller are finite resources: aggregate-bandwidth ledgers admit at
+/// most one fill per port slot (and one DRAM line per
+/// `t_row_hit / banks`) across all cores since the last fork point, so
+/// parallel speedup saturates exactly when the shared fabric does. A
+/// single-core hierarchy is cycle-identical to the original model.
 ///
 /// Also the host of the workspace's observability spine: every engine
 /// already threads a `&mut MemoryHierarchy`, so the trace recorder and the
@@ -88,13 +133,30 @@ pub struct MemoryHierarchy {
     cfg: SimConfig,
     costs: OpCosts,
     arena: MemArena,
-    l1: SetAssocCache,
+    cores: Vec<CoreCtx>,
+    /// Index of the core all timed operations currently charge to.
+    active: usize,
     l2: SetAssocCache,
-    prefetcher: StreamPrefetcher,
     dram: DramModel,
-    now: Cycles,
     demand_overhead: Cycles,
-    stats: MemStats,
+    /// Start of the current parallel region (the last fork point): the
+    /// bandwidth ledgers below meter shared throughput from this instant.
+    shared_base: Cycles,
+    /// Aggregate-bandwidth ledger for the shared L2 port (multi-core
+    /// only): fills admitted since `shared_base`. The `k`-th fill cannot
+    /// start before `shared_base + k * l2_port_cycles` — an
+    /// order-insensitive cap on aggregate port throughput. A cursor
+    /// ("port busy until cycle T") cannot be used here because cores are
+    /// simulated one morsel at a time, not interleaved in virtual time;
+    /// a counter ledger meters the same physical capacity regardless of
+    /// the order morsels are replayed in.
+    l2_port_fills: u64,
+    /// Same ledger for the shared DRAM controller: lines fetched from
+    /// DRAM (demand misses and consumed prefetches) since `shared_base`.
+    /// The `k`-th line cannot arrive before
+    /// `shared_base + k * t_row_hit / banks` — the controller's peak
+    /// streaming throughput with all banks pipelined.
+    dram_line_fills: u64,
     recorder: Box<dyn FabricRecorder>,
     /// Cached `recorder.enabled()` so hot paths pay one bool test.
     tracing: bool,
@@ -102,24 +164,24 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Build a hierarchy with the default 4 GiB arena.
+    /// Build a single-core hierarchy with the default 4 GiB arena.
     pub fn new(cfg: SimConfig) -> Self {
-        let l1 = SetAssocCache::new(cfg.l1_bytes, cfg.l1_assoc, cfg.line_size);
         let l2 = SetAssocCache::new(cfg.l2_bytes, cfg.l2_assoc, cfg.line_size);
-        let prefetcher = StreamPrefetcher::new(&cfg);
         let dram = DramModel::new(&cfg);
         let demand_overhead = cfg.ns_to_cycles(cfg.dram_demand_overhead_ns);
+        let core0 = CoreCtx::new(&cfg, 0);
         MemoryHierarchy {
             cfg,
             costs: OpCosts::default(),
             arena: MemArena::new(),
-            l1,
+            cores: vec![core0],
+            active: 0,
             l2,
-            prefetcher,
             dram,
-            now: 0,
             demand_overhead,
-            stats: MemStats::default(),
+            shared_base: 0,
+            l2_port_fills: 0,
+            dram_line_fills: 0,
             recorder: Box::new(NoopRecorder),
             tracing: false,
             metrics: MetricsRegistry::new(),
@@ -141,19 +203,99 @@ impl MemoryHierarchy {
         self.costs = costs;
     }
 
-    /// Current simulated time in cycles.
+    /// Current simulated time in cycles (the active core's clock).
     pub fn now(&self) -> Cycles {
-        self.now
+        self.cores[self.active].now
     }
 
     /// Nanoseconds between `t0` and now.
     pub fn ns_since(&self, t0: Cycles) -> f64 {
-        self.cfg.cycles_to_ns(self.now - t0)
+        self.cfg.cycles_to_ns(self.now() - t0)
     }
 
-    /// Statistics so far.
+    /// Statistics so far, summed over all cores.
     pub fn stats(&self) -> MemStats {
-        self.stats
+        let mut total = MemStats::default();
+        for c in &self.cores {
+            total.accumulate(&c.stats);
+        }
+        total
+    }
+
+    // ----------------------------------------------------------- multi-core
+
+    /// Reconfigure the number of simulated cores. Core 0 keeps its cache
+    /// and prefetcher state; new cores start cold with their clock at the
+    /// active core's current time. When shrinking, the dropped cores'
+    /// statistics fold into core 0 so [`Self::stats`] stays monotonic.
+    pub fn set_core_count(&mut self, n: usize) {
+        let n = n.max(1);
+        let now = self.now();
+        while self.cores.len() < n {
+            self.cores.push(CoreCtx::new(&self.cfg, now));
+        }
+        while self.cores.len() > n {
+            let dropped = self.cores.pop().expect("len > n >= 1");
+            let folded = dropped.stats;
+            self.cores[0].stats.accumulate(&folded);
+        }
+        if self.active >= n {
+            self.active = 0;
+        }
+        self.shared_base = now;
+        self.l2_port_fills = 0;
+        self.dram_line_fills = 0;
+    }
+
+    /// Number of simulated cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Index of the core timed operations currently charge to.
+    pub fn active_core(&self) -> usize {
+        self.active
+    }
+
+    /// Switch the core that subsequent timed operations charge to.
+    ///
+    /// # Panics
+    /// Panics if `i >= num_cores()` — scheduling onto a core that does not
+    /// exist is a logic error in the caller.
+    pub fn set_active_core(&mut self, i: usize) {
+        assert!(i < self.cores.len(), "core {i} out of range");
+        self.active = i;
+    }
+
+    /// Core `i`'s logical clock.
+    pub fn core_now(&self, i: usize) -> Cycles {
+        self.cores[i].now
+    }
+
+    /// Core `i`'s private statistics.
+    pub fn core_stats(&self, i: usize) -> MemStats {
+        self.cores[i].stats
+    }
+
+    /// Fork point: align every core's clock to the global frontier (the
+    /// maximum across cores) so a parallel region starts from one instant.
+    /// Returns the fork timestamp.
+    pub fn fork_clocks(&mut self) -> Cycles {
+        let t = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        for c in &mut self.cores {
+            c.now = t;
+        }
+        self.shared_base = t;
+        self.l2_port_fills = 0;
+        self.dram_line_fills = 0;
+        t
+    }
+
+    /// Barrier point: reconcile the per-core clocks to the global frontier
+    /// (the maximum across cores — laggards were idle waiting). Returns
+    /// the barrier timestamp; afterwards every core's clock equals it.
+    pub fn join_clocks(&mut self) -> Cycles {
+        self.fork_clocks()
     }
 
     // ------------------------------------------------------- observability
@@ -200,7 +342,7 @@ impl MemoryHierarchy {
     #[inline]
     pub fn trace_begin(&mut self, name: &'static str, cat: Category) {
         if self.tracing {
-            self.recorder.begin(self.now, name, cat);
+            self.recorder.begin(self.now(), name, cat);
         }
     }
 
@@ -208,7 +350,7 @@ impl MemoryHierarchy {
     #[inline]
     pub fn trace_end(&mut self, name: &'static str, cat: Category, args: &[(&'static str, u64)]) {
         if self.tracing {
-            self.recorder.end(self.now, name, cat, args);
+            self.recorder.end(self.now(), name, cat, args);
         }
     }
 
@@ -245,7 +387,7 @@ impl MemoryHierarchy {
         args: &[(&'static str, u64)],
     ) {
         if self.tracing {
-            self.recorder.instant(self.now, name, cat, args);
+            self.recorder.instant(self.now(), name, cat, args);
         }
     }
 
@@ -253,7 +395,7 @@ impl MemoryHierarchy {
     #[inline]
     pub fn trace_counter(&mut self, name: &'static str, cat: Category, value: u64) {
         if self.tracing {
-            self.recorder.counter(self.now, name, cat, value);
+            self.recorder.counter(self.now(), name, cat, value);
         }
     }
 
@@ -270,12 +412,12 @@ impl MemoryHierarchy {
         if !self.tracing {
             return f(self);
         }
-        let before = self.stats;
-        self.recorder.begin(self.now, name, cat);
+        let before = self.stats();
+        self.recorder.begin(self.now(), name, cat);
         let out = f(self);
-        let d = self.stats.delta_since(&before);
+        let d = self.stats().delta_since(&before);
         self.recorder.end(
-            self.now,
+            self.now(),
             name,
             cat,
             &[
@@ -292,11 +434,12 @@ impl MemoryHierarchy {
 
     // ---------------------------------------------------------------- time
 
-    /// Charge `cycles` of CPU compute.
+    /// Charge `cycles` of CPU compute (to the active core).
     #[inline]
     pub fn cpu(&mut self, cycles: Cycles) {
-        self.now += cycles;
-        self.stats.cpu_cycles += cycles;
+        let core = &mut self.cores[self.active];
+        core.now += cycles;
+        core.stats.cpu_cycles += cycles;
     }
 
     /// Block until simulated time `t` (no-op if already past); the waited
@@ -304,9 +447,10 @@ impl MemoryHierarchy {
     /// the CPU wait for data they have not produced yet.
     #[inline]
     pub fn stall_until(&mut self, t: Cycles) {
-        if t > self.now {
-            self.stats.stall_cycles += t - self.now;
-            self.now = t;
+        let core = &mut self.cores[self.active];
+        if t > core.now {
+            core.stats.stall_cycles += t - core.now;
+            core.now = t;
         }
     }
 
@@ -320,14 +464,14 @@ impl MemoryHierarchy {
     /// Charge the timing for reading `[addr, addr+len)` without touching
     /// the data. Combined with [`Self::bytes`] this is the zero-copy path.
     pub fn touch_read(&mut self, addr: Addr, len: usize) {
-        self.stats.bytes_read += len as u64;
+        self.cores[self.active].stats.bytes_read += len as u64;
         self.for_each_line(addr, len);
     }
 
     /// Charge the timing for writing `[addr, addr+len)` (write-allocate:
     /// same line traffic as a read).
     pub fn touch_write(&mut self, addr: Addr, len: usize) {
-        self.stats.bytes_written += len as u64;
+        self.cores[self.active].stats.bytes_written += len as u64;
         self.for_each_line(addr, len);
     }
 
@@ -340,42 +484,94 @@ impl MemoryHierarchy {
     /// Hits are charged serially (they are latency, not occupancy); misses
     /// issue together and the CPU stalls once for the slowest.
     pub fn touch_read_gather(&mut self, parts: &[(Addr, usize)]) {
-        let line = self.cfg.line_size as u64;
-        let mut max_done = self.now;
+        let MemoryHierarchy {
+            cfg,
+            cores,
+            active,
+            l2,
+            dram,
+            demand_overhead,
+            shared_base,
+            l2_port_fills,
+            dram_line_fills,
+            ..
+        } = self;
+        let multi = cores.len() > 1;
+        let CoreCtx {
+            l1,
+            prefetcher,
+            dram: core_dram,
+            now,
+            stats,
+        } = &mut cores[*active];
+        // Same shared-resource model as `access_line`: the port and DRAM
+        // ledgers meter aggregate throughput; latency comes from the
+        // core's private DRAM view in multi-core mode.
+        let dram = if multi { core_dram } else { dram };
+        let line = cfg.line_size as u64;
+        let mut max_done = *now;
         for &(addr, len) in parts {
             if len == 0 {
                 continue;
             }
-            self.stats.bytes_read += len as u64;
+            stats.bytes_read += len as u64;
             let first = addr & !(line - 1);
             let last = (addr + len as u64 - 1) & !(line - 1);
             let mut la = first;
             loop {
-                self.stats.line_accesses += 1;
-                if self.l1.probe(la) {
-                    self.stats.l1_hits += 1;
-                    self.now += self.cfg.l1_hit_cycles;
-                } else if self.l2.probe(la) {
-                    self.stats.l2_hits += 1;
-                    self.now += self.cfg.l2_hit_cycles;
-                    self.l1.fill(la);
-                } else if let Some(ready) = self.prefetcher.take_inflight(la) {
-                    self.stats.prefetch_hits += 1;
-                    self.now += self.cfg.l2_hit_cycles;
-                    max_done = max_done.max(ready);
-                    self.l2.fill(la);
-                    self.l1.fill(la);
-                    self.prefetcher.observe(la, self.now, &mut self.dram);
+                stats.line_accesses += 1;
+                if l1.probe(la) {
+                    stats.l1_hits += 1;
+                    *now += cfg.l1_hit_cycles;
+                    stats.mem_lat_cycles += cfg.l1_hit_cycles;
                 } else {
-                    self.stats.demand_misses += 1;
-                    // Issue slot occupies the core briefly; completion is
-                    // awaited collectively below.
-                    self.now += self.cfg.l1_hit_cycles;
-                    let done = self.dram.access(la, self.now) + self.demand_overhead;
-                    max_done = max_done.max(done);
-                    self.l2.fill(la);
-                    self.l1.fill(la);
-                    self.prefetcher.observe(la, self.now, &mut self.dram);
+                    // Past the private L1: the shared L2 port ledger.
+                    if multi {
+                        let floor = *shared_base + *l2_port_fills * cfg.l2_port_cycles;
+                        if floor > *now {
+                            stats.stall_cycles += floor - *now;
+                            *now = floor;
+                        }
+                        *l2_port_fills += 1;
+                    }
+                    if l2.probe(la) {
+                        stats.l2_hits += 1;
+                        *now += cfg.l2_hit_cycles;
+                        stats.mem_lat_cycles += cfg.l2_hit_cycles;
+                        l1.fill(la);
+                    } else {
+                        // The line comes from DRAM: meter the shared
+                        // controller's aggregate streaming bandwidth.
+                        if multi {
+                            let floor = *shared_base
+                                + *dram_line_fills * dram.t_row_hit() / cfg.dram_banks as u64;
+                            if floor > *now {
+                                stats.stall_cycles += floor - *now;
+                                *now = floor;
+                            }
+                            *dram_line_fills += 1;
+                        }
+                        if let Some(ready) = prefetcher.take_inflight(la) {
+                            stats.prefetch_hits += 1;
+                            *now += cfg.l2_hit_cycles;
+                            stats.mem_lat_cycles += cfg.l2_hit_cycles;
+                            max_done = max_done.max(ready);
+                            l2.fill(la);
+                            l1.fill(la);
+                            prefetcher.observe(la, *now, dram);
+                        } else {
+                            stats.demand_misses += 1;
+                            // Issue slot occupies the core briefly;
+                            // completion is awaited collectively below.
+                            *now += cfg.l1_hit_cycles;
+                            stats.mem_lat_cycles += cfg.l1_hit_cycles;
+                            let done = dram.access(la, *now) + *demand_overhead;
+                            max_done = max_done.max(done);
+                            l2.fill(la);
+                            l1.fill(la);
+                            prefetcher.observe(la, *now, dram);
+                        }
+                    }
                 }
                 if la == last {
                     break;
@@ -439,12 +635,19 @@ impl MemoryHierarchy {
     }
 
     /// Drop all cached state and prefetcher training (between experiments),
-    /// without resetting time or the arena contents.
+    /// without resetting time or the arena contents. Flushes every core's
+    /// private L1 and prefetcher plus the shared L2/DRAM.
     pub fn flush_caches(&mut self) {
-        self.l1.flush();
+        for c in &mut self.cores {
+            c.l1.flush();
+            c.prefetcher.reset();
+            c.dram.reset();
+        }
         self.l2.flush();
-        self.prefetcher.reset();
         self.dram.reset();
+        self.shared_base = self.cores.iter().map(|c| c.now).max().unwrap_or(0);
+        self.l2_port_fills = 0;
+        self.dram_line_fills = 0;
     }
 
     // ------------------------------------------------------------ internals
@@ -468,38 +671,91 @@ impl MemoryHierarchy {
     }
 
     fn access_line(&mut self, line_addr: u64) {
-        self.stats.line_accesses += 1;
-        if self.l1.probe(line_addr) {
-            self.stats.l1_hits += 1;
-            self.now += self.cfg.l1_hit_cycles;
+        let MemoryHierarchy {
+            cfg,
+            cores,
+            active,
+            l2,
+            dram,
+            demand_overhead,
+            shared_base,
+            l2_port_fills,
+            dram_line_fills,
+            ..
+        } = self;
+        let multi = cores.len() > 1;
+        let CoreCtx {
+            l1,
+            prefetcher,
+            dram: core_dram,
+            now,
+            stats,
+        } = &mut cores[*active];
+        stats.line_accesses += 1;
+        if l1.probe(line_addr) {
+            stats.l1_hits += 1;
+            *now += cfg.l1_hit_cycles;
+            stats.mem_lat_cycles += cfg.l1_hit_cycles;
             return;
         }
-        if self.l2.probe(line_addr) {
-            self.stats.l2_hits += 1;
-            self.now += self.cfg.l2_hit_cycles;
-            self.l1.fill(line_addr);
+        // Past the private L1: every fill crosses the shared L2 port.
+        // With more than one core the port is a finite resource — the
+        // ledger admits at most one fill per `l2_port_cycles` across all
+        // cores since the fork point (see the field docs for why this is
+        // a counter, not a busy-until cursor).
+        if multi {
+            let floor = *shared_base + *l2_port_fills * cfg.l2_port_cycles;
+            if floor > *now {
+                stats.stall_cycles += floor - *now;
+                *now = floor;
+            }
+            *l2_port_fills += 1;
+        }
+        // Latency past L2 is a per-stream property: in multi-core mode it
+        // comes from this core's private DRAM timing view, while the
+        // shared controller's capacity is metered by the ledger above.
+        let dram = if multi { core_dram } else { dram };
+        if l2.probe(line_addr) {
+            stats.l2_hits += 1;
+            *now += cfg.l2_hit_cycles;
+            stats.mem_lat_cycles += cfg.l2_hit_cycles;
+            l1.fill(line_addr);
             return;
         }
-        if let Some(ready) = self.prefetcher.take_inflight(line_addr) {
+        // The line comes from DRAM (prefetched or on demand): meter the
+        // shared controller's aggregate streaming bandwidth.
+        if multi {
+            let floor = *shared_base + *dram_line_fills * dram.t_row_hit() / cfg.dram_banks as u64;
+            if floor > *now {
+                stats.stall_cycles += floor - *now;
+                *now = floor;
+            }
+            *dram_line_fills += 1;
+        }
+        if let Some(ready) = prefetcher.take_inflight(line_addr) {
             // The prefetch is (or will be) in L2; wait for it if needed,
             // then pay the L2-to-L1 transfer.
-            self.stats.prefetch_hits += 1;
-            self.stall_until(ready);
-            self.now += self.cfg.l2_hit_cycles;
-            self.l2.fill(line_addr);
-            self.l1.fill(line_addr);
-            self.prefetcher.observe(line_addr, self.now, &mut self.dram);
+            stats.prefetch_hits += 1;
+            if ready > *now {
+                stats.stall_cycles += ready - *now;
+                *now = ready;
+            }
+            *now += cfg.l2_hit_cycles;
+            stats.mem_lat_cycles += cfg.l2_hit_cycles;
+            l2.fill(line_addr);
+            l1.fill(line_addr);
+            prefetcher.observe(line_addr, *now, dram);
             return;
         }
         // Full demand miss.
-        self.stats.demand_misses += 1;
-        let done = self.dram.access(line_addr, self.now);
-        let arrive = done + self.demand_overhead;
-        self.stats.stall_cycles += arrive - self.now;
-        self.now = arrive;
-        self.l2.fill(line_addr);
-        self.l1.fill(line_addr);
-        self.prefetcher.observe(line_addr, self.now, &mut self.dram);
+        stats.demand_misses += 1;
+        let done = dram.access(line_addr, *now);
+        let arrive = done + *demand_overhead;
+        stats.stall_cycles += arrive - *now;
+        *now = arrive;
+        l2.fill(line_addr);
+        l1.fill(line_addr);
+        prefetcher.observe(line_addr, *now, dram);
     }
 }
 
@@ -676,6 +932,199 @@ mod tests {
         assert_eq!(m.metrics().counter("mem.test"), 3);
         let snap = m.metrics().snapshot();
         assert!(snap.counters.contains_key("mem.cpu_cycles"));
+    }
+
+    #[test]
+    fn single_core_never_pays_the_l2_port() {
+        // One core must be cycle-identical to the pre-multi-core model:
+        // the shared-port arbitration is gated on `num_cores() > 1`.
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        b.set_core_count(1);
+        for m in [&mut a, &mut b] {
+            let p = m.alloc(64 * 1024, 64).unwrap();
+            for i in 0..1024u64 {
+                m.touch_read(p + i * 64, 64);
+            }
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn core_clock_advance_is_fully_attributed() {
+        // Δnow == Δ(cpu + stall + mem_lat) on every core, which is what
+        // lets EXPLAIN ANALYZE reconcile per-core busy time with the
+        // global clock.
+        let mut m = hierarchy();
+        m.set_core_count(4);
+        m.fork_clocks();
+        let mut snaps = Vec::new();
+        for i in 0..4 {
+            snaps.push((m.core_now(i), m.core_stats(i)));
+        }
+        let p = m.alloc(1 << 20, 64).unwrap();
+        for i in 0..4 {
+            m.set_active_core(i);
+            let base = p + (i as u64) * 256 * 1024;
+            for l in 0..4096u64 {
+                m.touch_read(base + l * 64, 64);
+            }
+            m.cpu(1000);
+        }
+        for i in 0..4 {
+            let (t0, s0) = snaps[i];
+            let d = m.core_stats(i).delta_since(&s0);
+            assert_eq!(
+                m.core_now(i) - t0,
+                d.busy_cycles(),
+                "core {i} clock advance must equal cpu+stall+mem_lat"
+            );
+        }
+        let t = m.join_clocks();
+        for i in 0..4 {
+            assert_eq!(m.core_now(i), t);
+        }
+        m.set_active_core(0);
+    }
+
+    #[test]
+    fn parallel_streams_under_the_bandwidth_cap_run_at_full_speed() {
+        // A second core streaming a disjoint region must not slow the
+        // first one down while the shared port and DRAM controller are
+        // below their aggregate-throughput caps: core 0's timeline is
+        // cycle-identical to a solo run over the same addresses.
+        let solo = {
+            let mut m = hierarchy();
+            let p = m.alloc(1 << 20, 64).unwrap();
+            m.flush_caches();
+            let t0 = m.now();
+            for l in 0..4096u64 {
+                m.touch_read(p + l * 64, 64);
+            }
+            m.now() - t0
+        };
+        let mut m = hierarchy();
+        m.set_core_count(2);
+        let p = m.alloc(1 << 20, 64).unwrap();
+        m.flush_caches();
+        let t0 = m.fork_clocks();
+        for l in 0..4096u64 {
+            for c in 0..2u64 {
+                m.set_active_core(c as usize);
+                m.touch_read(p + c * 512 * 1024 + l * 64, 64);
+            }
+        }
+        let core0 = m.core_now(0) - t0;
+        assert_eq!(
+            core0, solo,
+            "an under-cap parallel stream must run at solo speed"
+        );
+        m.set_active_core(0);
+        m.join_clocks();
+    }
+
+    #[test]
+    fn saturated_l2_port_caps_aggregate_throughput() {
+        // Narrow the shared port so two streaming cores exceed its
+        // aggregate bandwidth: the ledger must stretch the parallel
+        // region to at least `fills * port` cycles, and past what either
+        // core would take alone.
+        let cfg = SimConfig {
+            l2_port_cycles: 40,
+            ..SimConfig::zynq_a53()
+        };
+        let solo = {
+            let mut m = MemoryHierarchy::new(cfg.clone());
+            let p = m.alloc(1 << 20, 64).unwrap();
+            m.flush_caches();
+            let t0 = m.now();
+            for l in 0..4096u64 {
+                m.touch_read(p + l * 64, 64);
+            }
+            m.now() - t0
+        };
+        let mut m = MemoryHierarchy::new(cfg.clone());
+        m.set_core_count(2);
+        let p = m.alloc(1 << 20, 64).unwrap();
+        m.flush_caches();
+        let t0 = m.fork_clocks();
+        for l in 0..4096u64 {
+            for c in 0..2u64 {
+                m.set_active_core(c as usize);
+                m.touch_read(p + c * 512 * 1024 + l * 64, 64);
+            }
+        }
+        m.set_active_core(0);
+        let contended = m.join_clocks() - t0;
+        assert!(
+            contended >= (2 * 4096 - 1) * cfg.l2_port_cycles,
+            "a saturated port must admit at most one fill per slot \
+             ({contended} < {})",
+            (2 * 4096 - 1) * cfg.l2_port_cycles
+        );
+        assert!(
+            contended > solo,
+            "two over-cap streams ({contended}) must exceed one solo stream ({solo})"
+        );
+    }
+
+    #[test]
+    fn saturated_dram_controller_caps_aggregate_throughput() {
+        // A single-bank DRAM gives the controller no pipelining: four
+        // cold streams must serialize at one line per `t_row_hit`.
+        let cfg = SimConfig {
+            dram_banks: 1,
+            ..SimConfig::zynq_a53()
+        };
+        let t_hit = cfg.ns_to_cycles(cfg.dram_row_hit_ns);
+        let mut m = MemoryHierarchy::new(cfg);
+        m.set_core_count(4);
+        let p = m.alloc(1 << 20, 64).unwrap();
+        m.flush_caches();
+        let t0 = m.fork_clocks();
+        for l in 0..1024u64 {
+            for c in 0..4u64 {
+                m.set_active_core(c as usize);
+                m.touch_read(p + c * 256 * 1024 + l * 64, 64);
+            }
+        }
+        m.set_active_core(0);
+        let elapsed = m.join_clocks() - t0;
+        assert!(
+            elapsed >= (4 * 1024 - 1) * t_hit,
+            "a saturated single-bank controller must admit at most one \
+             line per t_row_hit ({elapsed} < {})",
+            (4 * 1024 - 1) * t_hit
+        );
+    }
+
+    #[test]
+    fn set_core_count_folds_stats_and_keeps_them_monotonic() {
+        let mut m = hierarchy();
+        m.set_core_count(3);
+        let p = m.alloc(4096, 64).unwrap();
+        m.set_active_core(2);
+        m.touch_read(p, 4096);
+        m.cpu(50);
+        let before = m.stats();
+        m.set_active_core(0);
+        m.set_core_count(1);
+        assert_eq!(m.num_cores(), 1);
+        assert_eq!(m.stats(), before, "shrinking must not lose statistics");
+        assert_eq!(m.active_core(), 0);
+    }
+
+    #[test]
+    fn fork_aligns_new_cores_to_the_frontier() {
+        let mut m = hierarchy();
+        m.cpu(500);
+        m.set_core_count(2);
+        assert_eq!(m.core_now(1), 500);
+        m.cpu(100); // core 0 runs ahead
+        let t = m.fork_clocks();
+        assert_eq!(t, 600);
+        assert_eq!(m.core_now(0), m.core_now(1));
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct MemStats {
     pub cpu_cycles: u64,
     /// Cycles the CPU spent stalled on memory.
     pub stall_cycles: u64,
+    /// Cycles spent in cache-hit latency (L1/L2 hit service time and miss
+    /// issue slots). Together with `cpu_cycles` and `stall_cycles` this
+    /// accounts for every cycle a core's clock advances:
+    /// `Δnow == Δ(cpu_cycles + stall_cycles + mem_lat_cycles)`.
+    pub mem_lat_cycles: u64,
 }
 
 impl MemStats {
@@ -41,7 +46,29 @@ impl MemStats {
             bytes_written: self.bytes_written - earlier.bytes_written,
             cpu_cycles: self.cpu_cycles - earlier.cpu_cycles,
             stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            mem_lat_cycles: self.mem_lat_cycles - earlier.mem_lat_cycles,
         }
+    }
+
+    /// Counter-wise accumulation (`self += other`); used to aggregate
+    /// per-core statistics into a hierarchy-wide view.
+    pub fn accumulate(&mut self, other: &MemStats) {
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.prefetch_hits += other.prefetch_hits;
+        self.demand_misses += other.demand_misses;
+        self.line_accesses += other.line_accesses;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.cpu_cycles += other.cpu_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.mem_lat_cycles += other.mem_lat_cycles;
+    }
+
+    /// Cycles this core's clock advanced: compute + stalls + cache-hit
+    /// service latency.
+    pub fn busy_cycles(&self) -> u64 {
+        self.cpu_cycles + self.stall_cycles + self.mem_lat_cycles
     }
 
     /// Bytes of cache-line traffic that actually crossed the memory bus
@@ -72,6 +99,7 @@ impl MemStats {
             ("bytes_written", self.bytes_written),
             ("cpu_cycles", self.cpu_cycles),
             ("stall_cycles", self.stall_cycles),
+            ("mem_lat_cycles", self.mem_lat_cycles),
         ] {
             registry.counter_add(&format!("{prefix}.{name}"), value);
         }

@@ -203,6 +203,46 @@ impl ValueAgg {
         }
     }
 
+    /// Fold another accumulator of the *same* aggregate into this one
+    /// (morsel-driven execution merges per-morsel partials at a barrier).
+    /// Partials must be merged in a fixed order — floating-point sums are
+    /// not associative, so the merge order is part of the result contract.
+    pub fn merge(&mut self, other: &ValueAgg) -> Result<()> {
+        if self.func != other.func {
+            return Err(FabricError::Internal(
+                "merging mismatched aggregate accumulators".into(),
+            ));
+        }
+        self.count += other.count;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => self.sum += other.sum,
+            AggFunc::Min => {
+                if let Some(v) = &other.min {
+                    let better = match &self.min {
+                        None => true,
+                        Some(cur) => v.compare(cur)? == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        self.min = Some(v.clone());
+                    }
+                }
+            }
+            AggFunc::Max => {
+                if let Some(v) = &other.max {
+                    let better = match &self.max {
+                        None => true,
+                        Some(cur) => v.compare(cur)? == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        self.max = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     pub fn finish(&self) -> Result<Value> {
         match self.func {
             AggFunc::Count => Ok(Value::I64(self.count as i64)),
@@ -305,6 +345,35 @@ mod tests {
             b.update_f64(v);
         }
         assert_eq!(a.finish().unwrap(), b.finish().unwrap());
+    }
+
+    #[test]
+    fn value_agg_merge_folds_partials() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let mut whole = ValueAgg::new(func);
+            let mut lo = ValueAgg::new(func);
+            let mut hi = ValueAgg::new(func);
+            for v in [4.0, -2.0, 8.0, 1.0] {
+                whole.update(&Value::F64(v)).unwrap();
+            }
+            lo.update(&Value::F64(4.0)).unwrap();
+            lo.update(&Value::F64(-2.0)).unwrap();
+            hi.update(&Value::F64(8.0)).unwrap();
+            hi.update(&Value::F64(1.0)).unwrap();
+            lo.merge(&hi).unwrap();
+            assert_eq!(lo.finish().unwrap(), whole.finish().unwrap(), "{func:?}");
+            // Merging an empty partial is a no-op.
+            lo.merge(&ValueAgg::new(func)).unwrap();
+            assert_eq!(lo.finish().unwrap(), whole.finish().unwrap());
+        }
+        let mut a = ValueAgg::new(AggFunc::Sum);
+        assert!(a.merge(&ValueAgg::new(AggFunc::Min)).is_err());
     }
 
     #[test]

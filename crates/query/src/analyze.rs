@@ -158,7 +158,15 @@ pub struct VerifiedQuery<'a> {
     geometry: VerifiedGeometry,
 }
 
-impl VerifiedQuery<'_> {
+impl<'a> VerifiedQuery<'a> {
+    /// Reassemble a verified plan from parts that came out of [`analyze`]
+    /// (the plan cache stores the owned pieces of a verified plan and
+    /// rebuilds the witness per execution). Crate-private so the analyzer
+    /// remains the only original source of verified plans.
+    pub(crate) fn from_parts(bound: &'a BoundQuery, geometry: VerifiedGeometry) -> Self {
+        VerifiedQuery { bound, geometry }
+    }
+
     /// The underlying bound plan.
     pub fn bound(&self) -> &BoundQuery {
         self.bound

@@ -48,6 +48,10 @@ pub struct PathCost {
     pub row_ns: f64,
     pub col_ns: Option<f64>,
     pub rm_ns: f64,
+    /// Core count the estimates are priced for. Morsel-parallel speedup is
+    /// capped by the shared L2-port/DRAM bandwidth floor, so `row_ns` at 4
+    /// cores is *not* `row_ns(1) / 4` for memory-bound scans.
+    pub cores: usize,
     /// Payload bytes the ROW path reads through the hierarchy (the touched
     /// spans of every base row).
     pub row_bytes: f64,
@@ -92,12 +96,32 @@ impl PathCost {
     }
 }
 
-/// Estimate all three paths for `bound` over `entry`.
+/// Estimate all three paths for `bound` over `entry` on one core.
 pub fn estimate(
     sim: &SimConfig,
     rm: &RmConfig,
     entry: &TableEntry,
     bound: &BoundQuery,
+) -> Result<PathCost> {
+    estimate_parallel(sim, rm, entry, bound, 1)
+}
+
+/// Estimate all three paths when the scan is morsel-parallelized over
+/// `cores` simulated cores.
+///
+/// The parallel term divides each path's software time by the core count
+/// but floors it at the shared-memory bandwidth: every line a core misses
+/// must cross the single L2 port (and ultimately the shared DRAM
+/// controller), so a memory-bound scan stops scaling once the port is
+/// saturated. The RM path only parallelizes its *consume* side — the
+/// device produces batches at its own serial beat regardless of how many
+/// cores drain them.
+pub fn estimate_parallel(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+    cores: usize,
 ) -> Result<PathCost> {
     let rows = entry.rows.len() as f64;
     let layout = entry.rows.layout();
@@ -194,25 +218,61 @@ pub fn estimate(
     let packed_rows_per_line = (line / group_width as f64).floor().max(1.0);
     let rm_bytes = (rows / packed_rows_per_line).ceil() * line;
 
+    // Parallel scaling: divide by cores, floored at the shared-resource
+    // bandwidth (one line per L2-port slot, DRAM banks overlapped behind
+    // it) and never cheaper than that floor allows.
+    let cores_f = cores.max(1) as f64;
+    let shared_line_ns = sim
+        .cycles_to_ns(sim.l2_port_cycles)
+        .max(sim.dram_row_hit_ns / sim.dram_banks as f64);
+    let par = |serial_ns: f64, bytes: f64| {
+        let floor_ns = (bytes / line) * shared_line_ns;
+        (serial_ns / cores_f).max(floor_ns).min(serial_ns)
+    };
+
+    let rm_consume_total = rm_consume * rows;
+    let rm_engine_total = rm.engine_ns_per_row * rows;
+    // `rm_ns_per` (the serial per-row max) is what cores == 1 must match.
+    let rm_ns = if cores <= 1 {
+        rm_ns_per * rows + rm.configure_ns
+    } else {
+        rm_engine_total.max(par(rm_consume_total, rm_bytes)) + rm.configure_ns
+    };
+
     Ok(PathCost {
-        row_ns: row_ns_per * rows,
-        col_ns: col_ns_per.map(|c| c * rows),
-        rm_ns: rm_ns_per * rows + rm.configure_ns,
+        row_ns: par(row_ns_per * rows, row_bytes),
+        col_ns: col_ns_per.map(|c| par(c * rows, col_bytes.unwrap_or(0.0))),
+        rm_ns,
+        cores: cores.max(1),
         row_bytes,
         col_bytes,
         rm_bytes,
     })
 }
 
-/// Pick the best path for the query (the "construct the fastest plan" of
-/// §III-B).
+/// Pick the best path for the query on one core (the "construct the
+/// fastest plan" of §III-B).
 pub fn choose_path(
     sim: &SimConfig,
     rm: &RmConfig,
     entry: &TableEntry,
     bound: &BoundQuery,
 ) -> Result<(AccessPath, PathCost)> {
-    let cost = estimate(sim, rm, entry, bound)?;
+    choose_path_parallel(sim, rm, entry, bound, 1)
+}
+
+/// Pick the best path when the executor has `cores` simulated cores: a
+/// 1-core RM win can flip to a parallel software scan once the morsel
+/// speedup outruns the device's serial production beat (and vice versa —
+/// the bandwidth floor keeps wide scans on the device).
+pub fn choose_path_parallel(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+    cores: usize,
+) -> Result<(AccessPath, PathCost)> {
+    let cost = estimate_parallel(sim, rm, entry, bound, cores)?;
     Ok((cost.best(), cost))
 }
 
@@ -308,6 +368,105 @@ mod tests {
         let c = catalog(false);
         let (_, cost) = cost_of(&c, "SELECT c0 FROM t");
         assert_eq!(cost.bytes(AccessPath::Col), None);
+    }
+
+    fn parallel_cost(c: &Catalog, sql: &str, cores: usize) -> PathCost {
+        let bound = bind(c, &parse(sql).unwrap()).unwrap();
+        estimate_parallel(
+            &SimConfig::zynq_a53(),
+            &RmConfig::prototype(),
+            c.get("t").unwrap(),
+            &bound,
+            cores,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_core_parallel_estimate_is_the_serial_estimate() {
+        let c = catalog(true);
+        for sql in ["SELECT c0 FROM t", "SELECT sum(c2) FROM t WHERE c1 < 50"] {
+            let bound = bind(&c, &parse(sql).unwrap()).unwrap();
+            let serial = estimate(
+                &SimConfig::zynq_a53(),
+                &RmConfig::prototype(),
+                c.get("t").unwrap(),
+                &bound,
+            )
+            .unwrap();
+            let par = parallel_cost(&c, sql, 1);
+            assert_eq!(serial, par, "{sql}");
+            assert_eq!(par.cores, 1);
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_is_monotonic_and_bounded_by_core_count() {
+        let c = catalog(true);
+        let sql = "SELECT sum(c0), sum(c1) FROM t WHERE c2 < 50";
+        let base = parallel_cost(&c, sql, 1);
+        let mut prev = base;
+        for cores in [2usize, 4, 8] {
+            let cost = parallel_cost(&c, sql, cores);
+            for path in [AccessPath::Row, AccessPath::Col] {
+                let serial = base.ns(path).unwrap();
+                let par = cost.ns(path).unwrap();
+                assert!(
+                    par <= prev.ns(path).unwrap(),
+                    "{path} regressed at {cores} cores"
+                );
+                assert!(
+                    serial / par <= cores as f64 + 1e-9,
+                    "{path} speedup {:.2} beats the core count at {cores} cores",
+                    serial / par
+                );
+            }
+            // More cores never make the RM path cheaper than its serial
+            // device beat allows.
+            assert!(
+                cost.rm_ns <= prev.rm_ns + 1e-9,
+                "RM regressed at {cores} cores"
+            );
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn parallel_estimates_never_undercut_the_bandwidth_floor() {
+        // At an absurd core count the estimate must converge to the
+        // shared-resource floor — bytes/line slots through the L2 port or
+        // the DRAM controller, whichever is tighter — not to zero.
+        let c = catalog(true);
+        let sim = SimConfig::zynq_a53();
+        let shared_line_ns = sim
+            .cycles_to_ns(sim.l2_port_cycles)
+            .max(sim.dram_row_hit_ns / sim.dram_banks as f64);
+        let cost = parallel_cost(&c, "SELECT c0, c1, c2, c3 FROM t", 1024);
+        let line = sim.line_size as f64;
+        for path in [AccessPath::Row, AccessPath::Col] {
+            let floor = (cost.bytes(path).unwrap() / line) * shared_line_ns;
+            assert!(
+                cost.ns(path).unwrap() >= floor - 1e-9,
+                "{path} priced below the bandwidth floor: {:?}",
+                cost.ns(path)
+            );
+        }
+    }
+
+    #[test]
+    fn rm_device_beat_stays_serial_under_parallelism() {
+        // The device produces rows at its own beat; cores only drain
+        // faster. A device-bound query therefore keeps its engine time no
+        // matter how many cores consume.
+        let c = catalog(true);
+        let rm = RmConfig::prototype();
+        let rows = c.get("t").unwrap().rows.len() as f64;
+        let cost = parallel_cost(&c, "SELECT c0, c1, c2, c3, c4, c5, c6, c7 FROM t", 64);
+        assert!(
+            cost.rm_ns >= rm.engine_ns_per_row * rows,
+            "RM priced below the device's serial production beat: {:?}",
+            cost.rm_ns
+        );
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! The unified fabric engine: one object owning the simulated machine
+//! (memory hierarchy + core count), the catalog, the fault-handling state,
+//! and a plan cache — with a session API (`prepare` / `run` / `explain` /
+//! `explain_analyze`) replacing the free-function sprawl that used to
+//! thread those pieces through every call site.
+//!
+//! ```
+//! use fabric_types::{ColumnType, Schema, Value};
+//! use query::Engine;
+//! use rowstore::RowTable;
+//!
+//! let mut engine = Engine::new(fabric_sim::SimConfig::zynq_a53());
+//! let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+//! let mut t = RowTable::create(engine.mem(), schema, 16).unwrap();
+//! for i in 0..10 {
+//!     t.load(engine.mem(), &[Value::I64(i), Value::F64(i as f64)]).unwrap();
+//! }
+//! engine.register_rows("orders", t);
+//!
+//! let mut session = engine.session();
+//! let out = session.run("SELECT sum(qty) FROM orders WHERE id < 5").unwrap();
+//! assert_eq!(out.rows[0][0], Value::F64(10.0));
+//! ```
+//!
+//! Every query runs through one resilient pipeline: the engine owns a
+//! [`FaultContext`] (quiet by default, so fault handling is free until
+//! faults are configured) and executes on however many simulated cores the
+//! engine was given — morsel-parallel, with results bit-identical to a
+//! single core.
+
+use crate::analyze::{analyze, VerifiedQuery};
+use crate::bind::{bind, BoundQuery};
+use crate::catalog::Catalog;
+use crate::cost::{choose_path_parallel, AccessPath, PathCost};
+use crate::exec::{run_verified, FaultContext, QueryOutput, Resilience};
+use crate::explain::{analyze_paths_impl, render_analyze_report, render_plan_for};
+use crate::parser::parse;
+use colstore::ColTable;
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::Result;
+use relmem::RmConfig;
+use rowstore::RowTable;
+use std::rc::Rc;
+
+/// Plans the cache keeps per engine. Small on purpose: the cache exists to
+/// make re-running a dashboard's query set free, not to be a buffer pool.
+const PLAN_CACHE_CAP: usize = 16;
+
+/// A parsed, bound, verified, and priced query, reusable across
+/// executions. Cheap to clone (the plan body is shared).
+#[derive(Clone)]
+pub struct PreparedQuery {
+    plan: Rc<PreparedPlan>,
+}
+
+struct PreparedPlan {
+    sql: String,
+    bound: BoundQuery,
+    geometry: relmem::VerifiedGeometry,
+    path: AccessPath,
+    cost: PathCost,
+}
+
+impl PreparedQuery {
+    /// The SQL text this plan was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.plan.sql
+    }
+
+    /// The access path the optimizer chose at prepare time.
+    pub fn path(&self) -> AccessPath {
+        self.plan.path
+    }
+
+    /// The per-path estimates the choice was based on.
+    pub fn cost(&self) -> &PathCost {
+        &self.plan.cost
+    }
+
+    /// Rebuild the analyzer's verified-plan witness for execution.
+    fn verified(&self) -> VerifiedQuery<'_> {
+        VerifiedQuery::from_parts(&self.plan.bound, self.plan.geometry.clone())
+    }
+}
+
+/// The fabric engine: simulated machine + catalog + fault state + plan
+/// cache. Create one per simulated deployment; open [`Engine::session`] to
+/// prepare and run queries.
+pub struct Engine {
+    mem: MemoryHierarchy,
+    catalog: Catalog,
+    faults: FaultContext,
+    rm: RmConfig,
+    /// MRU-first plan cache keyed by SQL text.
+    cache: Vec<(String, Rc<PreparedPlan>)>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Engine {
+    /// A single-core engine over `cfg` — behaviourally identical to the
+    /// original serial executor.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self::with_cores(cfg, 1)
+    }
+
+    /// An engine whose queries run morsel-parallel over `cores` simulated
+    /// cores (private L1/prefetcher each, shared L2/DRAM/RM device).
+    pub fn with_cores(cfg: SimConfig, cores: usize) -> Self {
+        let mut mem = MemoryHierarchy::new(cfg);
+        mem.set_core_count(cores.max(1));
+        Engine {
+            mem,
+            catalog: Catalog::new(),
+            faults: FaultContext::quiet(),
+            rm: RmConfig::prototype(),
+            cache: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// Change the core count. Plans stay valid (the path choice is priced
+    /// per run), but the cache is cleared so cached costs match the new
+    /// machine.
+    pub fn set_cores(&mut self, cores: usize) {
+        self.mem.set_core_count(cores.max(1));
+        self.cache.clear();
+    }
+
+    /// Number of simulated cores queries run on.
+    pub fn cores(&self) -> usize {
+        self.mem.num_cores()
+    }
+
+    /// The simulated memory hierarchy — for loading tables, attaching
+    /// trace recorders, and reading metrics.
+    pub fn mem(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// Read-only view of the hierarchy (metrics, stats, clock).
+    pub fn mem_ref(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// The catalog of registered tables.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a table with only the row-oriented base layout (the
+    /// fabric-native configuration). Invalidates the plan cache — cached
+    /// geometries are bound to the catalog contents at prepare time.
+    pub fn register_rows(&mut self, name: impl Into<String>, rows: RowTable) {
+        self.catalog.register_rows(name, rows);
+        self.cache.clear();
+    }
+
+    /// Register a table with both layouts. Invalidates the plan cache.
+    pub fn register(&mut self, name: impl Into<String>, rows: RowTable, cols: ColTable) {
+        self.catalog.register(name, rows, cols);
+        self.cache.clear();
+    }
+
+    /// Replace the engine's fault-handling state (plan seed, retry policy,
+    /// breaker). The default is a quiet context that injects nothing.
+    pub fn set_fault_context(&mut self, ctx: FaultContext) {
+        self.faults = ctx;
+    }
+
+    /// The engine's fault-handling state (fallback/breaker counters).
+    pub fn fault_context(&self) -> &FaultContext {
+        &self.faults
+    }
+
+    /// The RM device configuration queries are planned against.
+    pub fn rm_config(&self) -> &RmConfig {
+        &self.rm
+    }
+
+    /// `(hits, misses)` of the prepared-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    /// Drop every cached plan.
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Open a session on this engine.
+    pub fn session(&mut self) -> Session<'_> {
+        Session { engine: self }
+    }
+}
+
+/// A query session over an [`Engine`]: prepare once, run many times.
+pub struct Session<'e> {
+    engine: &'e mut Engine,
+}
+
+impl Session<'_> {
+    /// Parse + bind + verify + price `sql`, consulting the engine's plan
+    /// cache (keyed by SQL text, MRU, capacity [`PLAN_CACHE_CAP`]). A hit
+    /// returns the cached plan unchanged, so a re-prepared query executes
+    /// bit-identically to its cold first run.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedQuery> {
+        if let Some(i) = self.engine.cache.iter().position(|(k, _)| k == sql) {
+            let entry = self.engine.cache.remove(i);
+            self.engine.cache.insert(0, entry);
+            self.engine.cache_hits += 1;
+            self.engine
+                .mem
+                .metrics_mut()
+                .counter_add("query.plan_cache.hits", 1);
+            return Ok(PreparedQuery {
+                plan: Rc::clone(&self.engine.cache[0].1),
+            });
+        }
+        let stmt = parse(sql)?;
+        let bound = bind(&self.engine.catalog, &stmt)?;
+        let entry = self.engine.catalog.get(&bound.table)?;
+        let verified = analyze(entry, &bound, &self.engine.rm)?;
+        let geometry = verified.geometry().clone();
+        let (path, cost) = choose_path_parallel(
+            self.engine.mem.config(),
+            &self.engine.rm,
+            entry,
+            &bound,
+            self.engine.mem.num_cores(),
+        )?;
+        let plan = Rc::new(PreparedPlan {
+            sql: sql.to_string(),
+            bound,
+            geometry,
+            path,
+            cost,
+        });
+        self.engine
+            .cache
+            .insert(0, (sql.to_string(), Rc::clone(&plan)));
+        self.engine.cache.truncate(PLAN_CACHE_CAP);
+        self.engine.cache_misses += 1;
+        self.engine
+            .mem
+            .metrics_mut()
+            .counter_add("query.plan_cache.misses", 1);
+        Ok(PreparedQuery { plan })
+    }
+
+    /// Prepare (or fetch from cache) and execute on the optimizer-chosen
+    /// path, under the engine's fault policy.
+    pub fn run(&mut self, sql: &str) -> Result<QueryOutput> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// Prepare and execute on an explicitly chosen path (engine
+    /// comparisons / tests).
+    pub fn run_on(&mut self, sql: &str, path: AccessPath) -> Result<QueryOutput> {
+        let prepared = self.prepare(sql)?;
+        self.execute_on(&prepared, path)
+    }
+
+    /// Execute a prepared query on its planned path.
+    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<QueryOutput> {
+        self.execute_on(prepared, prepared.plan.path)
+    }
+
+    /// Execute a prepared query on `path`.
+    pub fn execute_on(
+        &mut self,
+        prepared: &PreparedQuery,
+        path: AccessPath,
+    ) -> Result<QueryOutput> {
+        let Engine {
+            ref mut mem,
+            ref catalog,
+            ref mut faults,
+            ..
+        } = *self.engine;
+        let entry = catalog.get(&prepared.plan.bound.table)?;
+        let verified = prepared.verified();
+        run_verified(
+            mem,
+            entry,
+            &verified,
+            path,
+            prepared.plan.cost,
+            Resilience::Resilient(faults),
+        )
+    }
+
+    /// Render the chosen plan and per-path estimates for `sql`.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        let prepared = self.prepare(sql)?;
+        let entry = self.engine.catalog.get(&prepared.plan.bound.table)?;
+        render_plan_for(
+            entry,
+            &prepared.plan.bound,
+            prepared.plan.path,
+            &prepared.plan.cost,
+        )
+    }
+
+    /// `EXPLAIN ANALYZE`: run `sql` on every available path and render
+    /// estimated vs. measured cost plus the chosen path's per-phase and
+    /// per-core breakdown.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let prepared = self.prepare(sql)?;
+        let entry = self.engine.catalog.get(&prepared.plan.bound.table)?;
+        let header = render_plan_for(
+            entry,
+            &prepared.plan.bound,
+            prepared.plan.path,
+            &prepared.plan.cost,
+        )?;
+        let has_cols = entry.cols.is_some();
+        let (_, reports, profile, cores) = analyze_paths_impl(
+            &mut self.engine.mem,
+            &self.engine.catalog,
+            &prepared.plan.bound,
+        )?;
+        render_analyze_report(&header, has_cols, &reports, &profile, &cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::{ColumnType, Schema, Value};
+
+    fn engine_with_data(cores: usize) -> Engine {
+        let mut engine = Engine::with_cores(SimConfig::zynq_a53(), cores);
+        let schema = Schema::from_pairs(&[
+            ("id", ColumnType::I64),
+            ("grp", ColumnType::FixedStr(1)),
+            ("qty", ColumnType::F64),
+        ]);
+        let mut rt = RowTable::create(engine.mem(), schema.clone(), 16384).unwrap();
+        let mut ct = ColTable::create(engine.mem(), schema, 16384).unwrap();
+        for i in 0..10_000i64 {
+            let row = vec![
+                Value::I64(i),
+                Value::Str(if i % 3 == 0 { "A" } else { "B" }.into()),
+                Value::F64(i as f64),
+            ];
+            rt.load(engine.mem(), &row).unwrap();
+            ct.load(engine.mem(), &row).unwrap();
+        }
+        engine.register("t", rt, ct);
+        engine
+    }
+
+    #[test]
+    fn session_runs_queries_end_to_end() {
+        let mut engine = engine_with_data(1);
+        let out = engine
+            .session()
+            .run("SELECT grp, count(*), sum(qty) FROM t WHERE id < 6000 GROUP BY grp")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0][0], Value::Str("A".into()));
+        assert_eq!(out.rows[0][1], Value::I64(2000));
+        assert_eq!(out.cores.len(), 1);
+        assert_eq!(out.cores[0].idle_cycles, 0, "one core never waits");
+    }
+
+    #[test]
+    fn plan_cache_hits_return_the_same_plan_and_answer() {
+        let mut engine = engine_with_data(2);
+        let sql = "SELECT sum(qty) FROM t WHERE id < 5000";
+        let mut s = engine.session();
+        let cold = s.prepare(sql).unwrap();
+        let a = s.execute(&cold).unwrap();
+        let warm = s.prepare(sql).unwrap();
+        assert!(
+            Rc::ptr_eq(&cold.plan, &warm.plan),
+            "hit must share the plan"
+        );
+        let b = s.execute(&warm).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.path, b.path);
+        assert_eq!(engine.plan_cache_stats(), (1, 1));
+        assert_eq!(
+            engine.mem_ref().metrics().counter("query.plan_cache.hits"),
+            1
+        );
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_and_mru() {
+        let mut engine = engine_with_data(1);
+        let mut s = engine.session();
+        for i in 0..40 {
+            s.prepare(&format!("SELECT id FROM t WHERE id < {i}"))
+                .unwrap();
+        }
+        assert!(engine.cache.len() <= PLAN_CACHE_CAP);
+        // The most recent statement is still cached.
+        let (h0, _) = engine.plan_cache_stats();
+        engine
+            .session()
+            .prepare("SELECT id FROM t WHERE id < 39")
+            .unwrap();
+        assert_eq!(engine.plan_cache_stats().0, h0 + 1);
+    }
+
+    #[test]
+    fn multicore_session_is_bit_identical_to_single_core() {
+        let sql = "SELECT grp, sum(qty), avg(qty), min(id), max(id) FROM t \
+                   WHERE id < 9000 GROUP BY grp ORDER BY 2 DESC";
+        let baseline = engine_with_data(1).session().run(sql).unwrap();
+        for cores in [2, 4] {
+            let mut engine = engine_with_data(cores);
+            let out = engine.session().run(sql).unwrap();
+            assert_eq!(out.rows, baseline.rows, "{cores}-core rows must match");
+            assert_eq!(out.cores.len(), cores);
+            // Attribution books balance on every core.
+            let elapsed = out.cores[0].busy_cycles + out.cores[0].idle_cycles;
+            for a in &out.cores {
+                assert_eq!(a.busy_cycles + a.idle_cycles, elapsed, "{a:?}");
+                assert_eq!(
+                    a.busy_cycles,
+                    a.cpu_cycles + a.stall_cycles + a.mem_lat_cycles
+                );
+            }
+            assert!(
+                out.cores.iter().filter(|a| a.busy_cycles > 0).count() > 1,
+                "work must actually spread across cores"
+            );
+        }
+    }
+
+    #[test]
+    fn registering_a_table_invalidates_cached_plans() {
+        let mut engine = engine_with_data(1);
+        engine.session().prepare("SELECT id FROM t").unwrap();
+        assert_eq!(engine.cache.len(), 1);
+        let schema = Schema::from_pairs(&[("x", ColumnType::I64)]);
+        let t2 = RowTable::create(engine.mem(), schema, 4).unwrap();
+        engine.register_rows("u", t2);
+        assert!(engine.cache.is_empty());
+    }
+
+    #[test]
+    fn explain_and_explain_analyze_render_through_the_session() {
+        let mut engine = engine_with_data(2);
+        let text = engine.session().explain("SELECT sum(qty) FROM t").unwrap();
+        assert!(text.contains("Plan for `t`"), "{text}");
+        let text = engine
+            .session()
+            .explain_analyze("SELECT sum(qty) FROM t WHERE id < 2000")
+            .unwrap();
+        assert!(text.contains("analyze:"), "{text}");
+        assert!(text.contains("cores (chosen path):"), "{text}");
+        assert!(text.contains("core 0"), "{text}");
+    }
+}

@@ -5,19 +5,34 @@
 //! matter which path the optimizer picked — the paper's "one execution
 //! engine" property (§III-B): the engine always assumes only relevant data
 //! arrives.
+//!
+//! Execution is **morsel-driven**: every path carves its input into
+//! fixed-size morsels ([`MORSEL_ROWS`] rows for ROW/COL, one delivered
+//! batch for RM) and schedules each morsel onto the earliest-free
+//! simulated core (ties to the lowest core id — fully deterministic).
+//! Each morsel feeds a private partial [`Consumer`]; at the barrier the
+//! partials merge *in morsel order* on core 0, so the result is
+//! bit-identical for every core count — a single core simply runs the
+//! morsels back to back and the merge degenerates to concatenation in
+//! scan order.
 
 use crate::analyze::{analyze, VerifiedQuery};
 use crate::bind::{BoundQuery, OutputItem};
-use crate::catalog::Catalog;
-use crate::cost::{choose_path, AccessPath, PathCost};
+use crate::catalog::{Catalog, TableEntry};
+use crate::cost::{choose_path_parallel, AccessPath, PathCost};
 use colstore::exec as colx;
 use fabric_sim::{
-    Category, CircuitBreaker, FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy,
+    Category, CircuitBreaker, FaultConfig, FaultPlan, MemStats, MemoryHierarchy, RecoveryPolicy,
 };
-use fabric_types::{FabricError, Result, Value, ValueAgg};
+use fabric_types::{CmpOp, FabricError, Result, Value, ValueAgg};
 use relmem::{EphemeralColumns, RmConfig, RmStats};
 use rowstore::volcano::{Filter, Operator, SeqScan};
 use std::collections::HashMap;
+
+/// Rows per ROW/COL morsel: large enough to amortize per-morsel operator
+/// setup and keep scans sequential, small enough to load-balance across
+/// the simulated cores.
+pub const MORSEL_ROWS: usize = 4096;
 
 /// One measured execution phase — a plan node's actuals, captured whether
 /// or not a trace recorder is attached (the bookkeeping is host-side and
@@ -35,6 +50,27 @@ pub struct PhaseProfile {
     /// Whether the phase ended in an error (a faulted RM attempt stays in
     /// the profile of the degraded query that absorbed it).
     pub failed: bool,
+}
+
+/// One simulated core's share of a query: where its cycles went and how
+/// much data it pulled through the hierarchy. The books balance by
+/// construction — `busy_cycles + idle_cycles` equals the query's
+/// wall-clock cycles on every core, and `busy_cycles` is exactly
+/// `cpu + stall + mem_lat` (the hierarchy attributes every clock advance
+/// to one of the three).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreAttribution {
+    pub core: usize,
+    /// Cycles this core spent working: `cpu + stall + mem_lat`.
+    pub busy_cycles: u64,
+    pub cpu_cycles: u64,
+    pub stall_cycles: u64,
+    pub mem_lat_cycles: u64,
+    /// Payload bytes this core read through the hierarchy.
+    pub bytes_read: u64,
+    /// Cycles this core sat at barriers waiting for slower peers (or for
+    /// the merge running on core 0).
+    pub idle_cycles: u64,
 }
 
 /// The result of a query: rows plus how they were obtained.
@@ -55,6 +91,9 @@ pub struct QueryOutput {
     /// Per-phase actuals (scan, sort, failed attempts) in execution order —
     /// the plan-node breakdown `EXPLAIN ANALYZE` renders.
     pub profile: Vec<PhaseProfile>,
+    /// Per-core cycle/byte attribution for this query, one entry per
+    /// simulated core (a single entry on a 1-core engine).
+    pub cores: Vec<CoreAttribution>,
 }
 
 /// Fault-handling state threaded through [`execute_resilient`] across
@@ -186,6 +225,36 @@ impl<'q> Consumer<'q> {
         Ok(())
     }
 
+    /// Fold another partial consumer (a later morsel of the same plan)
+    /// into this one. Projected morsels concatenate — the caller merges in
+    /// morsel order, so the result is the scan order. Aggregated morsels
+    /// merge their group accumulators pairwise ([`ValueAgg::merge`]); every
+    /// group is independent, so the fold is deterministic regardless of
+    /// hash-map iteration order.
+    fn merge(&mut self, mem: &mut MemoryHierarchy, other: Consumer<'q>) -> Result<()> {
+        let costs = mem.costs();
+        if !self.aggregated {
+            mem.cpu(costs.value_op * other.rows.len() as u64);
+            self.rows.extend(other.rows);
+            return Ok(());
+        }
+        for (key, (key_vals, accs)) in other.groups {
+            mem.cpu(costs.hash_op);
+            match self.groups.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (mine, theirs) in e.get_mut().1.iter_mut().zip(&accs) {
+                        mem.cpu(costs.f64_op);
+                        mine.merge(theirs)?;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert((key_vals, accs));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn finish(mut self) -> Result<Vec<Vec<Value>>> {
         if !self.aggregated {
             return Ok(self.rows);
@@ -248,25 +317,61 @@ impl<'q> Consumer<'q> {
     }
 }
 
+/// How the shared pipeline reacts to injected faults: `Plain` lets RM
+/// delivery errors propagate to the caller; `Resilient` retries every
+/// delivery under the context's policy and transparently degrades onto a
+/// software path once the budget is exhausted (or skips the device when
+/// its breaker is open). Resilience is a *policy wrapper* around one
+/// pipeline — both variants run exactly the same scan/merge/post stages.
+pub(crate) enum Resilience<'f> {
+    Plain,
+    Resilient(&'f mut FaultContext),
+}
+
 /// Execute on the optimizer-chosen path.
 ///
 /// The plan is verified ([`crate::analyze`]) before any path runs; a
 /// malformed plan returns the analyzer's structured diagnostics as an
 /// error rather than reaching an engine.
+#[deprecated(note = "use `query::Engine` and `Session::run` instead")]
 pub fn execute(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+) -> Result<QueryOutput> {
+    execute_impl(mem, catalog, bound)
+}
+
+pub(crate) fn execute_impl(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
     bound: &BoundQuery,
 ) -> Result<QueryOutput> {
     let entry = catalog.get(&bound.table)?;
     let verified = analyze(entry, bound, &RmConfig::prototype())?;
-    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
-    execute_with_cost(mem, entry, &verified, path, cost)
+    let (path, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
+    run_verified(mem, entry, &verified, path, cost, Resilience::Plain)
 }
 
 /// Execute on an explicitly chosen path (engine comparisons / tests).
-/// Verifies the plan exactly like [`execute`].
+/// Verifies the plan exactly like `execute`.
+#[deprecated(note = "use `query::Engine` and `Session::run_on` instead")]
 pub fn execute_on(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    path: AccessPath,
+) -> Result<QueryOutput> {
+    execute_on_impl(mem, catalog, bound, path)
+}
+
+pub(crate) fn execute_on_impl(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
     bound: &BoundQuery,
@@ -274,8 +379,14 @@ pub fn execute_on(
 ) -> Result<QueryOutput> {
     let entry = catalog.get(&bound.table)?;
     let verified = analyze(entry, bound, &RmConfig::prototype())?;
-    let (_, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
-    execute_with_cost(mem, entry, &verified, path, cost)
+    let (_, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
+    run_verified(mem, entry, &verified, path, cost, Resilience::Plain)
 }
 
 /// The trace/profile span name of a path's scan phase.
@@ -323,36 +434,139 @@ fn profiled<R>(
     res
 }
 
-fn execute_with_cost(
+/// The one pipeline every entry point funnels into: scan on the morsel
+/// executor for the chosen path (under the requested resilience policy),
+/// then the shared post-processing tail. Opens/closes the `query::exec`
+/// span and captures per-core attribution across the whole run.
+pub(crate) fn run_verified(
     mem: &mut MemoryHierarchy,
-    entry: &crate::catalog::TableEntry,
+    entry: &TableEntry,
     verified: &VerifiedQuery<'_>,
     path: AccessPath,
     cost: PathCost,
+    resilience: Resilience<'_>,
 ) -> Result<QueryOutput> {
-    let t0 = mem.now();
+    // Align the cores so the attribution window has one common origin.
+    let t0 = mem.fork_clocks();
+    let before: Vec<MemStats> = (0..mem.num_cores()).map(|i| mem.core_stats(i)).collect();
     mem.trace_begin("query::exec", Category::Query);
     let mut profile = Vec::new();
-    let run = match path {
-        AccessPath::Row => profiled(mem, scan_span(path), &mut profile, |m| {
-            run_row(m, entry, verified)
-        })
-        .map(|rows| (rows, None)),
-        AccessPath::Col => profiled(mem, scan_span(path), &mut profile, |m| {
-            run_col(m, entry, verified)
-        })
-        .map(|rows| (rows, None)),
-        AccessPath::Rm => profiled(mem, scan_span(path), &mut profile, |m| run_rm(m, verified))
-            .map(|(rows, stats)| (rows, Some(stats))),
-    };
-    let (rows, rm_stats) = match run {
+    let scanned = run_scan(mem, entry, verified, path, &cost, resilience, &mut profile);
+    let (rows, ran_path, rm_stats, degraded_from) = match scanned {
         Ok(v) => v,
         Err(e) => {
+            mem.join_clocks();
             mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
             return Err(e);
         }
     };
-    finish_output(mem, verified, rows, path, cost, t0, rm_stats, None, profile)
+    finish_output(
+        mem,
+        verified,
+        rows,
+        ran_path,
+        cost,
+        t0,
+        rm_stats,
+        degraded_from,
+        profile,
+        &before,
+    )
+}
+
+/// Scan stage of the pipeline: run the chosen path's morsel executor,
+/// applying the resilience policy around RM delivery. Returns the rows,
+/// the path that actually produced them, device stats when the RM path
+/// ran, and the original path when the query degraded.
+#[allow(clippy::type_complexity)]
+fn run_scan(
+    mem: &mut MemoryHierarchy,
+    entry: &TableEntry,
+    verified: &VerifiedQuery<'_>,
+    path: AccessPath,
+    cost: &PathCost,
+    resilience: Resilience<'_>,
+    profile: &mut Vec<PhaseProfile>,
+) -> Result<(
+    Vec<Vec<Value>>,
+    AccessPath,
+    Option<RmStats>,
+    Option<AccessPath>,
+)> {
+    let software = |m: &mut MemoryHierarchy, p: &mut Vec<PhaseProfile>, fb: AccessPath| {
+        profiled(m, scan_span(fb), p, |m| match fb {
+            AccessPath::Col => run_col(m, entry, verified),
+            _ => run_row(m, entry, verified),
+        })
+    };
+    match (path, resilience) {
+        (AccessPath::Row | AccessPath::Col, _) => {
+            software(mem, profile, path).map(|rows| (rows, path, None, None))
+        }
+        (AccessPath::Rm, Resilience::Plain) => {
+            profiled(mem, scan_span(path), profile, |m| run_rm(m, verified))
+                .map(|(rows, stats)| (rows, path, Some(stats), None))
+        }
+        (AccessPath::Rm, Resilience::Resilient(ctx)) => {
+            if !ctx.rm_health.allow() {
+                // Breaker open: don't even try the device; fail fast onto
+                // software.
+                ctx.breaker_skips += 1;
+                mem.trace_instant("query.breaker_skip", Category::Fault, &[]);
+                let fb = fallback_path(cost);
+                let rows = software(mem, profile, fb)?;
+                return Ok((rows, fb, None, Some(AccessPath::Rm)));
+            }
+
+            // The resilient RM loop always reports device stats, so it
+            // cannot run under `profiled` directly — measure by hand.
+            let before = mem.stats();
+            let t_rm = mem.now();
+            mem.trace_begin(scan_span(AccessPath::Rm), Category::Query);
+            let (res, stats) = run_rm_resilient(mem, verified, ctx);
+            let d = mem.stats().delta_since(&before);
+            mem.trace_end(
+                scan_span(AccessPath::Rm),
+                Category::Query,
+                &[
+                    ("cycles", mem.now() - t_rm),
+                    ("bytes_read", d.bytes_read),
+                    ("stall_cycles", d.stall_cycles),
+                    ("failed", u64::from(res.is_err())),
+                ],
+            );
+            profile.push(PhaseProfile {
+                name: scan_span(AccessPath::Rm),
+                cycles: mem.now() - t_rm,
+                bytes_read: d.bytes_read,
+                stall_cycles: d.stall_cycles,
+                failed: res.is_err(),
+            });
+
+            match res {
+                Ok(rows) => {
+                    ctx.rm_health.record_success();
+                    Ok((rows, AccessPath::Rm, Some(stats), None))
+                }
+                Err(e) if degradable(&e) => {
+                    // The device is misbehaving past its retry budget:
+                    // re-plan onto software. The wasted RM time is real
+                    // and stays inside the query's window.
+                    ctx.rm_health.record_failure();
+                    ctx.fallbacks += 1;
+                    let fb = fallback_path(cost);
+                    mem.trace_instant(
+                        "query.degraded",
+                        Category::Fault,
+                        &[("to_col", u64::from(fb == AccessPath::Col))],
+                    );
+                    let rows = software(mem, profile, fb)?;
+                    Ok((rows, fb, Some(stats), Some(AccessPath::Rm)))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
 }
 
 /// Shared tail of every execution: ORDER BY / LIMIT post-processing,
@@ -370,6 +584,7 @@ fn finish_output(
     rm_stats: Option<RmStats>,
     degraded_from: Option<AccessPath>,
     mut profile: Vec<PhaseProfile>,
+    before: &[MemStats],
 ) -> Result<QueryOutput> {
     let bound = verified.bound();
     if !bound.order_by.is_empty() {
@@ -377,6 +592,7 @@ fn finish_output(
             sort_rows(m, &mut rows, &bound.order_by)
         });
         if let Err(e) = sorted {
+            mem.join_clocks();
             mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
             return Err(e);
         }
@@ -384,7 +600,27 @@ fn finish_output(
     if let Some(limit) = bound.limit {
         rows.truncate(limit);
     }
-    let total = mem.now() - t0;
+    // Close the attribution window: align every core to the frontier, then
+    // the per-core busy deltas plus barrier idle add up to `total` each.
+    let t_end = mem.join_clocks();
+    let total = t_end - t0;
+    let cores: Vec<CoreAttribution> = before
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let d = mem.core_stats(i).delta_since(b);
+            let busy = d.busy_cycles();
+            CoreAttribution {
+                core: i,
+                busy_cycles: busy,
+                cpu_cycles: d.cpu_cycles,
+                stall_cycles: d.stall_cycles,
+                mem_lat_cycles: d.mem_lat_cycles,
+                bytes_read: d.bytes_read,
+                idle_cycles: total.saturating_sub(busy),
+            }
+        })
+        .collect();
     mem.trace_end(
         "query::exec",
         Category::Query,
@@ -407,6 +643,11 @@ fn finish_output(
         metrics.counter_add("query.degraded", 1);
     }
     metrics.observe("query.exec_cycles", total);
+    for a in &cores {
+        metrics.counter_add(&format!("query.core{}.busy_cycles", a.core), a.busy_cycles);
+        metrics.counter_add(&format!("query.core{}.idle_cycles", a.core), a.idle_cycles);
+        metrics.counter_add(&format!("query.core{}.bytes_read", a.core), a.bytes_read);
+    }
     if let Some(rm) = &rm_stats {
         rm.record_into(metrics, "query.rm");
     }
@@ -418,6 +659,7 @@ fn finish_output(
         rm_stats,
         degraded_from,
         profile,
+        cores,
     })
 }
 
@@ -446,7 +688,17 @@ fn fallback_path(cost: &PathCost) -> AccessPath {
 /// is open), the executor transparently re-plans onto the ROW/COL
 /// software path and returns the identical answer. The degradation is
 /// recorded in [`QueryOutput::degraded_from`] and counted in `ctx`.
+#[deprecated(note = "use `query::Engine` (which owns a `FaultContext`) and `Session::run` instead")]
 pub fn execute_resilient(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    ctx: &mut FaultContext,
+) -> Result<QueryOutput> {
+    execute_resilient_impl(mem, catalog, bound, ctx)
+}
+
+pub(crate) fn execute_resilient_impl(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
     bound: &BoundQuery,
@@ -454,122 +706,21 @@ pub fn execute_resilient(
 ) -> Result<QueryOutput> {
     let entry = catalog.get(&bound.table)?;
     let verified = analyze(entry, bound, &RmConfig::prototype())?;
-    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
-    if path != AccessPath::Rm {
-        return execute_with_cost(mem, entry, &verified, path, cost);
-    }
-
-    let t0 = mem.now();
-    mem.trace_begin("query::exec", Category::Query);
-    let mut profile = Vec::new();
-    if !ctx.rm_health.allow() {
-        // Breaker open: don't even try the device; fail fast onto software.
-        ctx.breaker_skips += 1;
-        mem.trace_instant("query.breaker_skip", Category::Fault, &[]);
-        let fb = fallback_path(&cost);
-        let run = profiled(mem, scan_span(fb), &mut profile, |m| match fb {
-            AccessPath::Col => run_col(m, entry, &verified),
-            _ => run_row(m, entry, &verified),
-        });
-        let rows = match run {
-            Ok(rows) => rows,
-            Err(e) => {
-                mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
-                return Err(e);
-            }
-        };
-        return finish_output(
-            mem,
-            &verified,
-            rows,
-            fb,
-            cost,
-            t0,
-            None,
-            Some(AccessPath::Rm),
-            profile,
-        );
-    }
-
-    // The resilient RM loop always reports device stats, so it cannot run
-    // under `profiled` directly — measure around it by hand.
-    let before = mem.stats();
-    let t_rm = mem.now();
-    mem.trace_begin(scan_span(AccessPath::Rm), Category::Query);
-    let (res, stats) = run_rm_resilient(mem, &verified, ctx);
-    let d = mem.stats().delta_since(&before);
-    mem.trace_end(
-        scan_span(AccessPath::Rm),
-        Category::Query,
-        &[
-            ("cycles", mem.now() - t_rm),
-            ("bytes_read", d.bytes_read),
-            ("stall_cycles", d.stall_cycles),
-            ("failed", u64::from(res.is_err())),
-        ],
-    );
-    profile.push(PhaseProfile {
-        name: scan_span(AccessPath::Rm),
-        cycles: mem.now() - t_rm,
-        bytes_read: d.bytes_read,
-        stall_cycles: d.stall_cycles,
-        failed: res.is_err(),
-    });
-
-    match (res, stats) {
-        (Ok(rows), stats) => {
-            ctx.rm_health.record_success();
-            finish_output(
-                mem,
-                &verified,
-                rows,
-                AccessPath::Rm,
-                cost,
-                t0,
-                Some(stats),
-                None,
-                profile,
-            )
-        }
-        (Err(e), stats) if degradable(&e) => {
-            // The device is misbehaving past its retry budget: re-plan
-            // onto software. `t0` stays put — the wasted RM time is real.
-            ctx.rm_health.record_failure();
-            ctx.fallbacks += 1;
-            let fb = fallback_path(&cost);
-            mem.trace_instant(
-                "query.degraded",
-                Category::Fault,
-                &[("to_col", u64::from(fb == AccessPath::Col))],
-            );
-            let run = profiled(mem, scan_span(fb), &mut profile, |m| match fb {
-                AccessPath::Col => run_col(m, entry, &verified),
-                _ => run_row(m, entry, &verified),
-            });
-            let rows = match run {
-                Ok(rows) => rows,
-                Err(e) => {
-                    mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
-                    return Err(e);
-                }
-            };
-            finish_output(
-                mem,
-                &verified,
-                rows,
-                fb,
-                cost,
-                t0,
-                Some(stats),
-                Some(AccessPath::Rm),
-                profile,
-            )
-        }
-        (Err(e), _) => {
-            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
-            Err(e)
-        }
-    }
+    let (path, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
+    run_verified(
+        mem,
+        entry,
+        &verified,
+        path,
+        cost,
+        Resilience::Resilient(ctx),
+    )
 }
 
 /// Sort the result rows on the bound `(position, desc)` keys, charging an
@@ -609,32 +760,77 @@ fn sort_rows(
     }
 }
 
+/// Deterministic morsel scheduling: the earliest-free core, ties broken
+/// toward the lowest id. With one core this is always core 0 and the
+/// executors below reduce to the serial engine.
+fn earliest_core(mem: &MemoryHierarchy) -> usize {
+    (0..mem.num_cores())
+        .min_by_key(|&i| (mem.core_now(i), i))
+        .unwrap_or(0)
+}
+
+/// Merge per-morsel partial consumers *in morsel order* on the active core
+/// and produce the plan's output rows. The fold shape is fixed by the
+/// morsel count (which depends only on the input size), never by the core
+/// count — that is what makes N-core output bit-identical to 1-core even
+/// for floating-point aggregates.
+fn merge_partials<'q>(
+    mem: &mut MemoryHierarchy,
+    bound: &'q BoundQuery,
+    partials: Vec<Consumer<'q>>,
+) -> Result<Vec<Vec<Value>>> {
+    let mut it = partials.into_iter();
+    let mut acc = match it.next() {
+        Some(first) => first,
+        None => Consumer::new(bound),
+    };
+    for p in it {
+        acc.merge(mem, p)?;
+    }
+    acc.finish()
+}
+
 fn run_row(
     mem: &mut MemoryHierarchy,
-    entry: &crate::catalog::TableEntry,
+    entry: &TableEntry,
     verified: &VerifiedQuery<'_>,
 ) -> Result<Vec<Vec<Value>>> {
     let bound = verified.bound();
     let costs = mem.costs();
-    let scan = SeqScan::new(&entry.rows, bound.touched.clone())?;
-    let mut op: Box<dyn Operator> = if bound.preds.is_empty() {
-        Box::new(scan)
-    } else {
-        Box::new(Filter::new(Box::new(scan), bound.preds.clone()))
-    };
-    let mut consumer = Consumer::new(bound);
-    let row_cycles = consumer.row_cycles(&costs);
-    let mut tuple = Vec::new();
-    while op.next(mem, &mut tuple)? {
-        mem.cpu(row_cycles);
-        consumer.feed(&tuple)?;
+    let total = entry.rows.len();
+    mem.fork_clocks();
+    let mut partials: Vec<Consumer<'_>> = Vec::with_capacity(total / MORSEL_ROWS + 1);
+    let mut start = 0usize;
+    loop {
+        let end = (start + MORSEL_ROWS).min(total);
+        mem.set_active_core(earliest_core(mem));
+        let scan = SeqScan::with_range(&entry.rows, bound.touched.clone(), start, end)?;
+        let mut op: Box<dyn Operator> = if bound.preds.is_empty() {
+            Box::new(scan)
+        } else {
+            Box::new(Filter::new(Box::new(scan), bound.preds.clone()))
+        };
+        let mut consumer = Consumer::new(bound);
+        let row_cycles = consumer.row_cycles(&costs);
+        let mut tuple = Vec::new();
+        while op.next(mem, &mut tuple)? {
+            mem.cpu(row_cycles);
+            consumer.feed(&tuple)?;
+        }
+        partials.push(consumer);
+        start = end;
+        if start >= total {
+            break;
+        }
     }
-    consumer.finish()
+    mem.join_clocks();
+    mem.set_active_core(0);
+    merge_partials(mem, bound, partials)
 }
 
 fn run_col(
     mem: &mut MemoryHierarchy,
-    entry: &crate::catalog::TableEntry,
+    entry: &TableEntry,
     verified: &VerifiedQuery<'_>,
 ) -> Result<Vec<Vec<Value>>> {
     let bound = verified.bound();
@@ -644,44 +840,71 @@ fn run_col(
         .ok_or_else(|| FabricError::Sql(format!("table `{}` has no columnar copy", bound.table)))?;
     let costs = mem.costs();
 
-    // Column-at-a-time selection: group conjuncts by column, full scan for
-    // the first, candidate passes after. Predicate slots are in range — the
-    // analyzer checked them before this path was reachable.
-    let sel: Option<Vec<u32>> = if bound.preds.is_empty() {
+    // Column-at-a-time selection: group conjuncts by column once (shared
+    // by every morsel), full scan for the first, candidate passes after.
+    // Predicate slots are in range — the analyzer checked them before this
+    // path was reachable.
+    let by_col: Option<Vec<(usize, Vec<(CmpOp, Value)>)>> = if bound.preds.is_empty() {
         None
     } else {
-        let mut by_col: Vec<(usize, Vec<(fabric_types::CmpOp, Value)>)> = Vec::new();
+        let mut groups: Vec<(usize, Vec<(CmpOp, Value)>)> = Vec::new();
         for (slot, op, v) in &bound.preds {
             let col = bound.touched[*slot];
-            match by_col.iter_mut().find(|(c, _)| *c == col) {
+            match groups.iter_mut().find(|(c, _)| *c == col) {
                 Some((_, list)) => list.push((*op, v.clone())),
-                None => by_col.push((col, vec![(*op, v.clone())])),
+                None => groups.push((col, vec![(*op, v.clone())])),
             }
         }
-        let mut it = by_col.into_iter();
-        let (c0, preds0) = it
-            .next()
-            .ok_or_else(|| FabricError::Internal("empty predicate grouping".into()))?;
-        let mut sv = colx::scan_filter_conj(mem, table, c0, &preds0)?;
-        for (c, preds) in it {
-            sv = colx::scan_filter_cand(mem, table, c, &preds, &sv)?;
-        }
-        Some(sv)
+        Some(groups)
     };
 
-    let mut consumer = Consumer::new(bound);
-    let row_cycles = consumer.row_cycles(&costs);
-    colx::for_each_lockstep(
-        mem,
-        table,
-        &bound.touched,
-        sel.as_deref(),
-        |mem, _, vals| {
-            mem.cpu(row_cycles);
-            consumer.feed(vals)
-        },
-    )?;
-    consumer.finish()
+    let total = table.len();
+    mem.fork_clocks();
+    let mut partials: Vec<Consumer<'_>> = Vec::with_capacity(total / MORSEL_ROWS + 1);
+    let mut start = 0usize;
+    loop {
+        let end = (start + MORSEL_ROWS).min(total);
+        mem.set_active_core(earliest_core(mem));
+        let mut consumer = Consumer::new(bound);
+        let row_cycles = consumer.row_cycles(&costs);
+        match &by_col {
+            None => {
+                colx::for_each_lockstep_range(
+                    mem,
+                    table,
+                    &bound.touched,
+                    start,
+                    end,
+                    |mem, _, vals| {
+                        mem.cpu(row_cycles);
+                        consumer.feed(vals)
+                    },
+                )?;
+            }
+            Some(groups) => {
+                let mut it = groups.iter();
+                let (c0, preds0) = it
+                    .next()
+                    .ok_or_else(|| FabricError::Internal("empty predicate grouping".into()))?;
+                let mut sv = colx::scan_filter_conj_range(mem, table, *c0, preds0, start, end)?;
+                for (c, preds) in it {
+                    sv = colx::scan_filter_cand_range(mem, table, *c, preds, &sv, start, end)?;
+                }
+                colx::for_each_lockstep(mem, table, &bound.touched, Some(&sv), |mem, _, vals| {
+                    mem.cpu(row_cycles);
+                    consumer.feed(vals)
+                })?;
+            }
+        }
+        partials.push(consumer);
+        start = end;
+        if start >= total {
+            break;
+        }
+    }
+    mem.join_clocks();
+    mem.set_active_core(0);
+    merge_partials(mem, bound, partials)
 }
 
 fn run_rm(
@@ -697,11 +920,29 @@ fn run_rm(
         verified.geometry().clone(),
     );
 
-    let mut consumer = Consumer::new(bound);
-    let row_cycles = consumer.row_cycles(&costs);
+    // RM fan-out: each delivered batch is consumed on the earliest-free
+    // core. Batch *content* is timing-independent (the device walks its
+    // geometry cursor), so delivery order — and therefore the partial list —
+    // is identical for every core count. Batches deliver every row in
+    // global order, so partials roll over at the same [`MORSEL_ROWS`]
+    // row-index boundaries as the software paths: the f64 fold shape is
+    // identical across all three paths.
+    mem.fork_clocks();
+    let mut partials: Vec<Consumer<'_>> = Vec::new();
+    let mut current = Consumer::new(bound);
+    let row_cycles = current.row_cycles(&costs);
+    let mut consumed = 0usize;
     let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
-    while let Some(b) = eph.next_batch(mem) {
+    loop {
+        mem.set_active_core(earliest_core(mem));
+        let Some(b) = eph.next_batch(mem) else {
+            break;
+        };
         'rows: for r in 0..b.len() {
+            if consumed > 0 && consumed % MORSEL_ROWS == 0 {
+                partials.push(std::mem::replace(&mut current, Consumer::new(bound)));
+            }
+            consumed += 1;
             // CPU-side predicate over packed fields (projection-only RM).
             for (slot, op, lit) in &bound.preds {
                 mem.cpu(costs.value_op);
@@ -715,11 +956,14 @@ fn run_rm(
                 vals.push(b.value(r, slot));
             }
             mem.cpu(row_cycles + costs.vector_elem);
-            consumer.feed(&vals)?;
+            current.feed(&vals)?;
         }
     }
+    partials.push(current);
+    mem.join_clocks();
+    mem.set_active_core(0);
     let stats = eph.stats();
-    Ok((consumer.finish()?, stats))
+    Ok((merge_partials(mem, bound, partials)?, stats))
 }
 
 /// The RM consumption loop of [`run_rm`], but every delivery runs under
@@ -739,21 +983,41 @@ fn run_rm_resilient(
         verified.geometry().clone(),
     );
 
-    let mut consumer = Consumer::new(bound);
-    let row_cycles = consumer.row_cycles(&costs);
+    // Same batch fan-out and morsel-aligned partial rollover as `run_rm`;
+    // fault draws are indexed by delivery sequence, so the injected faults —
+    // and thus the delivered content — are identical for every core count.
+    // Error exits re-join the clocks so the caller's accounting stays
+    // aligned.
+    mem.fork_clocks();
+    let mut partials: Vec<Consumer<'_>> = Vec::new();
+    let mut current = Consumer::new(bound);
+    let row_cycles = current.row_cycles(&costs);
+    let mut consumed = 0usize;
     let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
+    macro_rules! bail {
+        ($e:expr) => {{
+            mem.join_clocks();
+            mem.set_active_core(0);
+            return (Err($e), eph.stats());
+        }};
+    }
     loop {
+        mem.set_active_core(earliest_core(mem));
         let b = match eph.next_batch_resilient(mem, &mut ctx.plan, &ctx.policy) {
             Ok(Some(b)) => b,
             Ok(None) => break,
-            Err(e) => return (Err(e), eph.stats()),
+            Err(e) => bail!(e),
         };
         'rows: for r in 0..b.len() {
+            if consumed > 0 && consumed % MORSEL_ROWS == 0 {
+                partials.push(std::mem::replace(&mut current, Consumer::new(bound)));
+            }
+            consumed += 1;
             for (slot, op, lit) in &bound.preds {
                 mem.cpu(costs.value_op);
                 let cmp = match b.value(r, *slot).compare(lit) {
                     Ok(c) => c,
-                    Err(e) => return (Err(e), eph.stats()),
+                    Err(e) => bail!(e),
                 };
                 if !op.matches(cmp) {
                     mem.cpu(costs.branch_miss);
@@ -765,19 +1029,23 @@ fn run_rm_resilient(
                 vals.push(b.value(r, slot));
             }
             mem.cpu(row_cycles + costs.vector_elem);
-            if let Err(e) = consumer.feed(&vals) {
-                return (Err(e), eph.stats());
+            if let Err(e) = current.feed(&vals) {
+                bail!(e);
             }
         }
     }
+    partials.push(current);
+    mem.join_clocks();
+    mem.set_active_core(0);
     let stats = eph.stats();
-    (consumer.finish(), stats)
+    (merge_partials(mem, bound, partials), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bind::bind;
+    use crate::cost::choose_path;
     use crate::parser::parse;
     use colstore::ColTable;
     use fabric_sim::SimConfig;
@@ -814,7 +1082,7 @@ mod tests {
         let bound = bind(c, &parse(sql).unwrap()).unwrap();
         [AccessPath::Row, AccessPath::Col, AccessPath::Rm]
             .into_iter()
-            .map(|p| execute_on(mem, c, &bound, p).unwrap())
+            .map(|p| execute_on_impl(mem, c, &bound, p).unwrap())
             .collect()
     }
 
@@ -869,7 +1137,7 @@ mod tests {
     #[test]
     fn optimizer_path_runs_and_reports() {
         let (mut mem, c) = setup();
-        let out = crate::run(&mut mem, &c, "SELECT sum(qty) FROM t").unwrap();
+        let out = crate::run_impl(&mut mem, &c, "SELECT sum(qty) FROM t").unwrap();
         assert_eq!(out.rows[0][0], Value::F64((0..200).map(|i| i as f64).sum()));
         assert!(out.ns > 0.0);
         assert!(out.cost.rm_ns > 0.0);
@@ -884,9 +1152,9 @@ mod tests {
         let mut c = Catalog::new();
         c.register_rows("u", rt);
         let bound = bind(&c, &parse("SELECT x FROM u").unwrap()).unwrap();
-        assert!(execute_on(&mut mem, &c, &bound, AccessPath::Col).is_err());
+        assert!(execute_on_impl(&mut mem, &c, &bound, AccessPath::Col).is_err());
         // But Row and Rm work fine.
-        let out = execute_on(&mut mem, &c, &bound, AccessPath::Rm).unwrap();
+        let out = execute_on_impl(&mut mem, &c, &bound, AccessPath::Rm).unwrap();
         assert_eq!(out.rows, vec![vec![Value::I64(1)]]);
     }
 
@@ -962,9 +1230,9 @@ mod tests {
     fn resilient_quiet_context_matches_plain_execution() {
         let (mut mem, c) = setup();
         let bound = bind(&c, &parse("SELECT id, qty FROM t WHERE id < 50").unwrap()).unwrap();
-        let plain = execute(&mut mem, &c, &bound).unwrap();
+        let plain = execute_impl(&mut mem, &c, &bound).unwrap();
         let mut ctx = FaultContext::quiet();
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
         assert_eq!(out.rows, plain.rows);
         assert_eq!(out.degraded_from, None);
         assert_eq!(ctx.fallbacks, 0);
@@ -974,7 +1242,7 @@ mod tests {
         let (mut mem, c) = rm_setup(1000);
         let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
         let mut ctx = FaultContext::quiet();
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
         assert_eq!(out.path, AccessPath::Rm);
         assert_eq!(out.degraded_from, None);
         let stats = out.rm_stats.expect("RM run must report device stats");
@@ -986,14 +1254,14 @@ mod tests {
     fn rm_fault_past_budget_degrades_transparently() {
         let (mut mem, c) = rm_setup(1000);
         let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
-        let expected = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        let expected = execute_on_impl(&mut mem, &c, &bound, AccessPath::Row).unwrap();
         // Every delivery times out: the RM attempt must exhaust its budget.
         let cfg = FaultConfig {
             rm_timeout_prob: 1.0,
             ..FaultConfig::quiet(9)
         };
         let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
         assert_eq!(out.degraded_from, Some(AccessPath::Rm));
         assert_eq!(out.path, AccessPath::Row, "no col copy: fallback is Row");
         assert_eq!(ctx.fallbacks, 1);
@@ -1014,9 +1282,9 @@ mod tests {
         };
         let policy = RecoveryPolicy::default();
         let mut ctx = FaultContext::new(cfg, policy);
-        let expected = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        let expected = execute_on_impl(&mut mem, &c, &bound, AccessPath::Row).unwrap();
         for _ in 0..policy.breaker_threshold + 2 {
-            let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+            let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
             assert_eq!(out.rows, expected.rows);
             assert_eq!(out.degraded_from, Some(AccessPath::Rm));
         }
@@ -1042,7 +1310,7 @@ mod tests {
         )
         .unwrap();
         assert_ne!(path, AccessPath::Rm, "fixture must route to software");
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
         assert_eq!(out.rows.len(), 3);
         assert_eq!(ctx.fallbacks, 0);
         assert_eq!(ctx.plan.stats().total(), 0);
@@ -1056,7 +1324,7 @@ mod tests {
             &parse("SELECT id FROM t WHERE id < 20 ORDER BY 1 DESC").unwrap(),
         )
         .unwrap();
-        let out = execute_on(&mut mem, &c, &bound, AccessPath::Row).unwrap();
+        let out = execute_on_impl(&mut mem, &c, &bound, AccessPath::Row).unwrap();
         let names: Vec<&str> = out.profile.iter().map(|p| p.name).collect();
         assert_eq!(names, vec!["query::scan::row", "query::post::sort"]);
         assert!(out.profile[0].cycles > 0);
@@ -1080,7 +1348,7 @@ mod tests {
             ..FaultConfig::quiet(9)
         };
         let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).unwrap();
+        let out = execute_resilient_impl(&mut mem, &c, &bound, &mut ctx).unwrap();
         assert_eq!(out.degraded_from, Some(AccessPath::Rm));
         // The failed RM attempt stays in the profile, marked failed,
         // followed by the software fallback scan.

@@ -6,8 +6,8 @@
 
 use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::{Catalog, TableEntry};
-use crate::cost::{choose_path, AccessPath, PathCost};
-use crate::exec::{execute_on, PhaseProfile};
+use crate::cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
+use crate::exec::{execute_on_impl, CoreAttribution, PhaseProfile};
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use fabric_types::{FabricError, Result};
 use relmem::RmConfig;
@@ -26,6 +26,17 @@ pub fn explain(sim: &SimConfig, catalog: &Catalog, bound: &BoundQuery) -> Result
     let entry = catalog.get(&bound.table)?;
     let (path, cost) = choose_path(sim, &RmConfig::prototype(), entry, bound)?;
     render_plan(entry, bound, path, &cost).map_err(fmt_err)
+}
+
+/// Error-mapped plan rendering for callers outside this module (the
+/// session API).
+pub(crate) fn render_plan_for(
+    entry: &TableEntry,
+    bound: &BoundQuery,
+    path: AccessPath,
+    cost: &PathCost,
+) -> Result<String> {
+    render_plan(entry, bound, path, cost).map_err(fmt_err)
 }
 
 /// The fallible renderer behind [`explain`] (and the header of
@@ -101,12 +112,17 @@ fn render_plan(
 
     writeln!(
         out,
-        "  estimates: ROW {:.3} ms | COL {} | RM {:.3} ms",
+        "  estimates: ROW {:.3} ms | COL {} | RM {:.3} ms{}",
         cost.row_ns / 1e6,
         cost.col_ns
             .map(|c| format!("{:.3} ms", c / 1e6))
             .unwrap_or_else(|| "unavailable (no columnar copy)".into()),
         cost.rm_ns / 1e6,
+        if cost.cores > 1 {
+            format!(" (priced at {} cores)", cost.cores)
+        } else {
+            String::new()
+        },
     )?;
     Ok(out)
 }
@@ -159,19 +175,42 @@ pub fn analyze_paths(
     catalog: &Catalog,
     bound: &BoundQuery,
 ) -> Result<(AccessPath, Vec<PathReport>, Vec<PhaseProfile>)> {
+    let (chosen, reports, profile, _) = analyze_paths_impl(mem, catalog, bound)?;
+    Ok((chosen, reports, profile))
+}
+
+/// Full-fidelity form of [`analyze_paths`]: also returns the chosen path's
+/// per-core cycle/byte attribution.
+pub(crate) fn analyze_paths_impl(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+) -> Result<(
+    AccessPath,
+    Vec<PathReport>,
+    Vec<PhaseProfile>,
+    Vec<CoreAttribution>,
+)> {
     let entry = catalog.get(&bound.table)?;
-    let (chosen, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    let (chosen, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
     let line = mem.config().line_size as u64;
 
     let mut reports = Vec::new();
     let mut chosen_profile = Vec::new();
+    let mut chosen_cores = Vec::new();
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
         // An unpriced path (COL without a columnar copy) is unavailable.
         let (Some(est_ns), Some(est_bytes)) = (cost.ns(path), cost.bytes(path)) else {
             continue;
         };
         let before = mem.stats();
-        let out = execute_on(mem, catalog, bound, path)?;
+        let out = execute_on_impl(mem, catalog, bound, path)?;
         let d = mem.stats().delta_since(&before);
         let actual_bytes = match (&out.rm_stats, path) {
             (Some(rm), AccessPath::Rm) => rm.output_lines * line,
@@ -200,11 +239,12 @@ pub fn analyze_paths(
         );
         if path == chosen {
             chosen_profile = out.profile;
+            chosen_cores = out.cores;
         }
         reports.push(report);
     }
     mem.metrics_mut().counter_add("explain.analyze_runs", 1);
-    Ok((chosen, reports, chosen_profile))
+    Ok((chosen, reports, chosen_profile, chosen_cores))
 }
 
 /// `EXPLAIN ANALYZE`: render the plan, then execute the query on every
@@ -217,11 +257,29 @@ pub fn explain_analyze(
     bound: &BoundQuery,
 ) -> Result<String> {
     let entry = catalog.get(&bound.table)?;
-    let (path, cost) = choose_path(mem.config(), &RmConfig::prototype(), entry, bound)?;
+    let (path, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
     let header = render_plan(entry, bound, path, &cost).map_err(fmt_err)?;
     let has_cols = entry.cols.is_some();
-    let (_, reports, profile) = analyze_paths(mem, catalog, bound)?;
-    render_analyze(&header, has_cols, &reports, &profile).map_err(fmt_err)
+    let (_, reports, profile, cores) = analyze_paths_impl(mem, catalog, bound)?;
+    render_analyze(&header, has_cols, &reports, &profile, &cores).map_err(fmt_err)
+}
+
+/// Error-mapped analyze rendering for callers outside this module (the
+/// session API).
+pub(crate) fn render_analyze_report(
+    header: &str,
+    has_cols: bool,
+    reports: &[PathReport],
+    profile: &[PhaseProfile],
+    cores: &[CoreAttribution],
+) -> Result<String> {
+    render_analyze(header, has_cols, reports, profile, cores).map_err(fmt_err)
 }
 
 fn render_analyze(
@@ -229,6 +287,7 @@ fn render_analyze(
     has_cols: bool,
     reports: &[PathReport],
     profile: &[PhaseProfile],
+    cores: &[CoreAttribution],
 ) -> std::result::Result<String, std::fmt::Error> {
     let mut out = String::from(header);
     writeln!(out, "  analyze:")?;
@@ -261,6 +320,29 @@ fn render_analyze(
                 if p.failed { "  [failed]" } else { "" },
             )?;
         }
+    }
+    if !cores.is_empty() {
+        writeln!(out, "  cores (chosen path):")?;
+        let elapsed: u64 = cores
+            .iter()
+            .map(|a| a.busy_cycles + a.idle_cycles)
+            .max()
+            .unwrap_or(0);
+        for a in cores {
+            writeln!(
+                out,
+                "    core {:<2}  busy {:>12} cycles ({:>5.1}%)  cpu {:>12}  stall {:>12}  mem {:>12}  idle {:>12}  {:>12} B read",
+                a.core,
+                a.busy_cycles,
+                a.busy_cycles as f64 / (elapsed.max(1)) as f64 * 100.0,
+                a.cpu_cycles,
+                a.stall_cycles,
+                a.mem_lat_cycles,
+                a.idle_cycles,
+                a.bytes_read,
+            )?;
+        }
+        writeln!(out, "    elapsed {elapsed} cycles (global clock)")?;
     }
     Ok(out)
 }

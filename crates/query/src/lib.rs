@@ -20,12 +20,23 @@
 //! * [`explain`](mod@explain) renders the chosen plan and the per-path
 //!   estimates; `EXPLAIN ANALYZE` ([`explain_analyze`]) additionally runs
 //!   the query on every available path and reports estimated vs. measured
-//!   cycles and bytes — the cost model held accountable.
+//!   cycles and bytes — the cost model held accountable;
+//! * [`engine`] wraps all of the above in one object: [`Engine`] owns the
+//!   simulated machine (hierarchy + core count), catalog, fault state, and
+//!   a plan cache, and [`Session`] exposes `prepare` / `run` / `explain` /
+//!   `explain_analyze`. Queries execute morsel-driven across however many
+//!   simulated cores the engine has, with results bit-identical to a
+//!   single core.
+//!
+//! The free functions ([`run`], [`execute`], [`execute_on`],
+//! [`execute_resilient`]) remain as deprecated shims; new code should go
+//! through [`Engine`].
 
 pub mod analyze;
 pub mod bind;
 pub mod catalog;
 pub mod cost;
+pub mod engine;
 pub mod exec;
 pub mod explain;
 pub mod lexer;
@@ -34,8 +45,11 @@ pub mod parser;
 pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
-pub use cost::{choose_path, AccessPath, PathCost};
-pub use exec::{execute, execute_on, execute_resilient, FaultContext, PhaseProfile, QueryOutput};
+pub use cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
+pub use engine::{Engine, PreparedQuery, Session};
+#[allow(deprecated)]
+pub use exec::{execute, execute_on, execute_resilient};
+pub use exec::{CoreAttribution, FaultContext, PhaseProfile, QueryOutput, MORSEL_ROWS};
 pub use explain::{
     analyze_paths, explain, explain_analyze, explain_analyze_sql, explain_sql, PathReport,
 };
@@ -45,26 +59,36 @@ use fabric_types::Result;
 
 /// One-stop API: parse, bind, optimize, execute.
 ///
+/// Deprecated: build an [`Engine`] and use [`Session::run`], which adds
+/// plan caching, fault handling, and multi-core execution:
+///
 /// ```
-/// use fabric_sim::{MemoryHierarchy, SimConfig};
 /// use fabric_types::{ColumnType, Schema, Value};
-/// use query::Catalog;
+/// use query::Engine;
 /// use rowstore::RowTable;
 ///
-/// let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+/// let mut engine = Engine::new(fabric_sim::SimConfig::zynq_a53());
 /// let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
-/// let mut t = RowTable::create(&mut mem, schema, 16).unwrap();
+/// let mut t = RowTable::create(engine.mem(), schema, 16).unwrap();
 /// for i in 0..10 {
-///     t.load(&mut mem, &[Value::I64(i), Value::F64(i as f64)]).unwrap();
+///     t.load(engine.mem(), &[Value::I64(i), Value::F64(i as f64)]).unwrap();
 /// }
-/// let mut catalog = Catalog::new();
-/// catalog.register_rows("orders", t);
+/// engine.register_rows("orders", t);
 ///
-/// let out = query::run(&mut mem, &catalog, "SELECT sum(qty) FROM orders WHERE id < 5").unwrap();
+/// let out = engine.session().run("SELECT sum(qty) FROM orders WHERE id < 5").unwrap();
 /// assert_eq!(out.rows[0][0], Value::F64(10.0));
 /// ```
+#[deprecated(note = "use `query::Engine` and `Session::run` instead")]
 pub fn run(mem: &mut MemoryHierarchy, catalog: &Catalog, sql: &str) -> Result<QueryOutput> {
+    run_impl(mem, catalog, sql)
+}
+
+pub(crate) fn run_impl(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    sql: &str,
+) -> Result<QueryOutput> {
     let stmt = parser::parse(sql)?;
     let bound = bind::bind(catalog, &stmt)?;
-    execute(mem, catalog, &bound)
+    exec::execute_impl(mem, catalog, &bound)
 }

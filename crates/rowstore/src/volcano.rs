@@ -31,17 +31,33 @@ pub struct SeqScan<'a> {
     cols: Vec<ColumnId>,
     spans: Vec<(usize, usize)>,
     cursor: usize,
+    end: usize,
 }
 
 impl<'a> SeqScan<'a> {
     pub fn new(table: &'a RowTable, cols: Vec<ColumnId>) -> Result<Self> {
+        let end = table.len();
+        Self::with_range(table, cols, 0, end)
+    }
+
+    /// Scan only rows `[start, end)` — the morsel-driven executor carves
+    /// the row space into fixed-size ranges and runs one scan per morsel.
+    /// `end` is clamped to the table length.
+    pub fn with_range(
+        table: &'a RowTable,
+        cols: Vec<ColumnId>,
+        start: usize,
+        end: usize,
+    ) -> Result<Self> {
         let fields = table.layout().fields(&cols)?;
         let spans = merge_field_spans(&fields, 0);
+        let end = end.min(table.len());
         Ok(SeqScan {
             table,
             cols,
             spans,
-            cursor: 0,
+            cursor: start.min(end),
+            end,
         })
     }
 
@@ -57,7 +73,7 @@ impl Operator for SeqScan<'_> {
     }
 
     fn next(&mut self, mem: &mut MemoryHierarchy, out: &mut Vec<Value>) -> Result<bool> {
-        if self.cursor >= self.table.len() {
+        if self.cursor >= self.end {
             return Ok(false);
         }
         let costs = mem.costs();
@@ -430,6 +446,23 @@ mod tests {
         execute_collect(&mut mem, &mut full).unwrap();
         let full_bytes = mem.stats().delta_since(&before).bytes_read;
         assert!(narrow_bytes < full_bytes);
+    }
+
+    #[test]
+    fn ranged_scans_cover_the_table_exactly_once() {
+        let (mut mem, t) = fixture();
+        let mut all = Vec::new();
+        for start in (0..100).step_by(32) {
+            let mut scan = SeqScan::with_range(&t, vec![0], start, start + 32).unwrap();
+            all.extend(execute_collect(&mut mem, &mut scan).unwrap());
+        }
+        let mut full = SeqScan::new(&t, vec![0]).unwrap();
+        assert_eq!(all, execute_collect(&mut mem, &mut full).unwrap());
+        // Out-of-bounds ranges clamp instead of panicking.
+        let mut over = SeqScan::with_range(&t, vec![0], 96, 1000).unwrap();
+        assert_eq!(execute_collect(&mut mem, &mut over).unwrap().len(), 4);
+        let mut empty = SeqScan::with_range(&t, vec![0], 500, 600).unwrap();
+        assert!(execute_collect(&mut mem, &mut empty).unwrap().is_empty());
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! Run with: `cargo run --release --example sql_frontend`
 
 use relational_fabric::prelude::*;
-use relational_fabric::sql;
 
 fn main() {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut engine = Engine::new(SimConfig::zynq_a53());
 
     // An orders table in both layouts, so every path is available.
     let schema = Schema::from_pairs(&[
@@ -26,8 +25,8 @@ fn main() {
         ("o_flag", ColumnType::I32),
     ]);
     let rows = 200_000;
-    let mut rt = RowTable::create(&mut mem, schema.clone(), rows).expect("rows");
-    let mut ct = ColTable::create(&mut mem, schema, rows).expect("cols");
+    let mut rt = RowTable::create(engine.mem(), schema.clone(), rows).expect("rows");
+    let mut ct = ColTable::create(engine.mem(), schema, rows).expect("cols");
     println!("loading {rows} orders into both layouts...");
     for i in 0..rows as i64 {
         let row = vec![
@@ -40,11 +39,10 @@ fn main() {
             Value::Date(9000 + (i % 1000) as u32),
             Value::I32((i % 3) as i32),
         ];
-        rt.load(&mut mem, &row).expect("load");
-        ct.load(&mut mem, &row).expect("load");
+        rt.load(engine.mem(), &row).expect("load");
+        ct.load(engine.mem(), &row).expect("load");
     }
-    let mut catalog = Catalog::new();
-    catalog.register("orders", rt, ct);
+    engine.register("orders", rt, ct);
 
     let queries = [
         // Narrow aggregate: a single column — columnar territory.
@@ -60,7 +58,7 @@ fn main() {
     ];
 
     for q in queries {
-        let out = sql::run(&mut mem, &catalog, q).expect("query");
+        let out = engine.session().run(q).expect("query");
         println!("\nSQL> {q}");
         println!(
             "  chose {:>3}  ({:.3} ms simulated; estimates: ROW {:.2} ms, COL {}, RM {:.2} ms)",

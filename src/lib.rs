@@ -67,7 +67,7 @@ pub mod prelude {
         AggFunc, CmpOp, ColumnType, Expr, Geometry, Predicate, RowLayout, Schema, Value,
     };
     pub use mvcc::{TxnManager, VersionedTable};
-    pub use query::Catalog;
+    pub use query::{Catalog, Engine};
     pub use relmem::{EphemeralColumns, PackedBatch, RmConfig};
     pub use relstore::{RsConfig, SsdDevice};
     pub use rowstore::RowTable;

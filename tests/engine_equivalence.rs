@@ -4,7 +4,7 @@
 
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use relational_fabric::prelude::*;
-use relational_fabric::sql::{self, AccessPath};
+use relational_fabric::sql::AccessPath;
 use relational_fabric::workload::micro::{run_col, run_rm, run_rm_pushdown, run_row, MicroQuery};
 use relational_fabric::workload::{queries, Lineitem, SyntheticData};
 
@@ -59,19 +59,17 @@ fn tpch_q1_q6_agree_across_engines() {
 
 #[test]
 fn sql_q6_matches_hand_written_engines() {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
-    let li = Lineitem::generate(&mut mem, 20_000, 0xE2).unwrap();
-    let hand = queries::q6_row(&mut mem, &li).unwrap();
+    let mut engine = Engine::new(SimConfig::zynq_a53());
+    let li = Lineitem::generate(engine.mem(), 20_000, 0xE2).unwrap();
+    let hand = queries::q6_row(engine.mem(), &li).unwrap();
 
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", li.rows, li.cols);
+    engine.register("lineitem", li.rows, li.cols);
     let sql_text = "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
                     WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
                     AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24";
-    let stmt = sql::parser::parse(sql_text).unwrap();
-    let bound = sql::bind::bind(&catalog, &stmt).unwrap();
+    let mut session = engine.session();
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
-        let out = sql::execute_on(&mut mem, &catalog, &bound, path).unwrap();
+        let out = session.run_on(sql_text, path).unwrap();
         let revenue = out.rows[0][0].as_f64().unwrap();
         assert!(
             close(revenue, hand.checksum),
@@ -83,20 +81,18 @@ fn sql_q6_matches_hand_written_engines() {
 
 #[test]
 fn sql_q1_matches_across_paths() {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
-    let li = Lineitem::generate(&mut mem, 20_000, 0xE3).unwrap();
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", li.rows, li.cols);
+    let mut engine = Engine::new(SimConfig::zynq_a53());
+    let li = Lineitem::generate(engine.mem(), 20_000, 0xE3).unwrap();
+    engine.register("lineitem", li.rows, li.cols);
     let sql_text = "SELECT l_returnflag, l_linestatus, sum(l_quantity), \
                     sum(l_extendedprice), sum(l_extendedprice * (1 - l_discount)), \
                     avg(l_quantity), count(*) \
                     FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
                     GROUP BY l_returnflag, l_linestatus";
-    let stmt = sql::parser::parse(sql_text).unwrap();
-    let bound = sql::bind::bind(&catalog, &stmt).unwrap();
-    let row = sql::execute_on(&mut mem, &catalog, &bound, AccessPath::Row).unwrap();
-    let col = sql::execute_on(&mut mem, &catalog, &bound, AccessPath::Col).unwrap();
-    let rm = sql::execute_on(&mut mem, &catalog, &bound, AccessPath::Rm).unwrap();
+    let mut session = engine.session();
+    let row = session.run_on(sql_text, AccessPath::Row).unwrap();
+    let col = session.run_on(sql_text, AccessPath::Col).unwrap();
+    let rm = session.run_on(sql_text, AccessPath::Rm).unwrap();
     assert_eq!(row.rows.len(), 4); // A/F, N/F, N/O, R/F
     assert_eq!(row.rows, col.rows);
     assert_eq!(row.rows, rm.rows);

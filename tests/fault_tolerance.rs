@@ -1,7 +1,7 @@
 //! Chaos suite: seeded fault plans against the whole stack.
 //!
-//! Every test here drives Fig-5/Q6-shaped queries through
-//! [`query::execute_resilient`] while a deterministic [`FaultPlan`]
+//! Every test here drives Fig-5/Q6-shaped queries through a
+//! [`query::Engine`] session while a deterministic [`FaultPlan`]
 //! injects device stalls, delivery timeouts, and bit flips — and asserts
 //! the **transparency invariant** of DESIGN.md §9: under any fault plan,
 //! a query either succeeds on the RM path after retries or degrades onto
@@ -19,7 +19,7 @@
 use fabric_sim::{FaultConfig, FaultPlan, MemoryHierarchy, RecoveryPolicy, SimConfig};
 use fabric_types::rng::SplitMix64;
 use fabric_types::{ColumnType, FabricError, Schema, Value};
-use query::{execute_on, execute_resilient, AccessPath, Catalog, FaultContext};
+use query::{AccessPath, Engine, FaultContext};
 use relstore::{RsConfig, SsdDevice};
 use rowstore::RowTable;
 
@@ -42,21 +42,20 @@ fn base_seed() -> u64 {
 /// Wide rows-only table the optimizer always routes to RM (16 × i64, no
 /// columnar copy; the packed projection dominates a full-row scan).
 /// c_j(i) = i*16 + j.
-fn chaos_catalog(rows: usize) -> (MemoryHierarchy, Catalog) {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+fn chaos_engine(rows: usize) -> Engine {
+    let mut engine = Engine::new(SimConfig::zynq_a53());
     let names: Vec<(String, ColumnType)> = (0..16)
         .map(|i| (format!("c{i}"), ColumnType::I64))
         .collect();
     let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&pairs);
-    let mut rt = RowTable::create(&mut mem, schema, rows).unwrap();
+    let mut rt = RowTable::create(engine.mem(), schema, rows).unwrap();
     for i in 0..rows as i64 {
         let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
-        rt.load(&mut mem, &row).unwrap();
+        rt.load(engine.mem(), &row).unwrap();
     }
-    let mut c = Catalog::new();
-    c.register_rows("t", rt);
-    (mem, c)
+    engine.register_rows("t", rt);
+    engine
 }
 
 const CHAOS_ROWS: usize = 12_288;
@@ -88,10 +87,6 @@ fn derived_cfg(sweep_seed: u64, i: u64) -> FaultConfig {
     }
 }
 
-fn bound(c: &Catalog, sql: &str) -> query::BoundQuery {
-    query::bind::bind(c, &query::parser::parse(sql).unwrap()).unwrap()
-}
-
 /// The headline chaos sweep: randomized fault plans, bit-identical
 /// answers, no panics. Every failure message carries the replay seed.
 #[test]
@@ -100,30 +95,25 @@ fn chaos_randomized_fault_plans_preserve_answers() {
     let plans = env_u64("FABRIC_CHAOS_PLANS", DEFAULT_PLANS);
 
     // Fault-free reference answers, computed once.
-    let (mut mem, c) = chaos_catalog(CHAOS_ROWS);
+    let mut engine = chaos_engine(CHAOS_ROWS);
     let reference: Vec<Vec<Vec<Value>>> = QUERIES
         .iter()
-        .map(|sql| {
-            execute_on(&mut mem, &c, &bound(&c, sql), AccessPath::Rm)
-                .unwrap()
-                .rows
-        })
+        .map(|sql| engine.session().run_on(sql, AccessPath::Rm).unwrap().rows)
         .collect();
 
     let mut total_injected = 0u64;
     let mut total_fallbacks = 0u64;
     for i in 0..plans {
         let cfg = derived_cfg(seed, i);
-        let (mut mem, c) = chaos_catalog(CHAOS_ROWS);
-        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let mut engine = chaos_engine(CHAOS_ROWS);
+        engine.set_fault_context(FaultContext::new(cfg, RecoveryPolicy::default()));
         for (qi, sql) in QUERIES.iter().enumerate() {
-            let out =
-                execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap_or_else(|e| {
-                    panic!(
-                        "plan #{i} query {qi} errored: {e}\n  replay: FABRIC_CHAOS_SEED={seed} \
-                         FABRIC_CHAOS_PLANS={plans} cargo test --test fault_tolerance"
-                    )
-                });
+            let out = engine.session().run(sql).unwrap_or_else(|e| {
+                panic!(
+                    "plan #{i} query {qi} errored: {e}\n  replay: FABRIC_CHAOS_SEED={seed} \
+                     FABRIC_CHAOS_PLANS={plans} cargo test --test fault_tolerance"
+                )
+            });
             assert_eq!(
                 out.rows, reference[qi],
                 "plan #{i} query {qi} diverged from the fault-free answer\n  \
@@ -135,6 +125,7 @@ fn chaos_randomized_fault_plans_preserve_answers() {
                 assert!(s.retries >= (s.crc_failures + s.delivery_timeouts).saturating_sub(1));
             }
         }
+        let ctx = engine.fault_context();
         total_fallbacks += ctx.fallbacks;
         total_injected += ctx.plan.stats().total();
     }
@@ -153,21 +144,19 @@ fn chaos_randomized_fault_plans_preserve_answers() {
 #[test]
 fn chaos_guaranteed_fallback_is_transparent_and_counted() {
     let seed = base_seed();
-    let (mut mem, c) = chaos_catalog(4096);
+    let mut engine = chaos_engine(4096);
     let sql = QUERIES[0];
-    let reference = execute_on(&mut mem, &c, &bound(&c, sql), AccessPath::Rm)
-        .unwrap()
-        .rows;
+    let reference = engine.session().run_on(sql, AccessPath::Rm).unwrap().rows;
 
     let cfg = FaultConfig {
         rm_timeout_prob: 1.0,
         ..FaultConfig::quiet(seed)
     };
     let policy = RecoveryPolicy::default();
-    let mut ctx = FaultContext::new(cfg, policy);
+    engine.set_fault_context(FaultContext::new(cfg, policy));
     let mut degraded = 0u64;
     for round in 0..(policy.breaker_threshold + policy.breaker_cooldown) {
-        let out = execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap_or_else(|e| {
+        let out = engine.session().run(sql).unwrap_or_else(|e| {
             panic!("round {round} errored: {e} (replay: FABRIC_CHAOS_SEED={seed})")
         });
         assert_eq!(out.rows, reference, "replay: FABRIC_CHAOS_SEED={seed}");
@@ -178,6 +167,7 @@ fn chaos_guaranteed_fallback_is_transparent_and_counted() {
             degraded += 1;
         }
     }
+    let ctx = engine.fault_context();
     assert_eq!(ctx.fallbacks, degraded, "every RM attempt fell back");
     assert_eq!(ctx.fallbacks, policy.breaker_threshold as u64);
     assert!(
@@ -194,15 +184,16 @@ fn chaos_same_seed_replays_bit_identically() {
     let seed = base_seed();
     let run = || {
         let cfg = derived_cfg(seed, 3);
-        let (mut mem, c) = chaos_catalog(4096);
-        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let mut engine = chaos_engine(4096);
+        engine.set_fault_context(FaultContext::new(cfg, RecoveryPolicy::default()));
         let mut rows = Vec::new();
         let mut ns = Vec::new();
         for sql in QUERIES {
-            let out = execute_resilient(&mut mem, &c, &bound(&c, sql), &mut ctx).unwrap();
+            let out = engine.session().run(sql).unwrap();
             rows.push(out.rows);
             ns.push(out.ns.to_bits());
         }
+        let ctx = engine.fault_context();
         (rows, ns, ctx.plan.stats(), ctx.fallbacks)
     };
     let a = run();

@@ -2,6 +2,14 @@
 //! each of the four canonical malformed plans must be rejected with a
 //! structured diagnostic — by `query::analyze` directly, and by the
 //! executor front door — without panicking anywhere in the stack.
+//!
+//! Malformed `BoundQuery` values cannot be produced through the SQL
+//! session API, so this suite deliberately drives the deprecated
+//! free-function shims: they remain public API and must keep rejecting
+//! unverified plans until they are removed. The file-level allow is the
+//! sanctioned opt-out fabric-lint's `deprecated-entry-point` rule looks
+//! for.
+#![allow(deprecated)]
 
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use fabric_types::{CmpOp, ColumnType, Expr, FabricError, FieldSlice, Geometry, Schema, Value};

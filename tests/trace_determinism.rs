@@ -8,11 +8,11 @@
 //! fault plan must export byte-identical JSON and metrics snapshots.
 
 use fabric_sim::{
-    parse_json, validate_chrome_trace, FaultConfig, Json, MemoryHierarchy, NoopRecorder,
-    RecoveryPolicy, RingRecorder, SimConfig,
+    parse_json, validate_chrome_trace, FaultConfig, Json, NoopRecorder, RecoveryPolicy,
+    RingRecorder, SimConfig,
 };
 use fabric_types::{ColumnType, Schema, Value};
-use query::{bind, execute_on, execute_resilient, parser, AccessPath, Catalog, FaultContext};
+use query::{AccessPath, Engine, FaultContext};
 use rowstore::RowTable;
 
 /// Default sweep seed; override with `FABRIC_CHAOS_SEED`.
@@ -28,21 +28,20 @@ fn seed() -> u64 {
 }
 
 /// Wide rows-only table the optimizer routes to RM (16 × i64).
-fn catalog() -> (MemoryHierarchy, Catalog) {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+fn engine() -> Engine {
+    let mut engine = Engine::new(SimConfig::zynq_a53());
     let names: Vec<(String, ColumnType)> = (0..16)
         .map(|i| (format!("c{i}"), ColumnType::I64))
         .collect();
     let pairs: Vec<(&str, ColumnType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&pairs);
-    let mut rt = RowTable::create(&mut mem, schema, ROWS).unwrap();
+    let mut rt = RowTable::create(engine.mem(), schema, ROWS).unwrap();
     for i in 0..ROWS as i64 {
         let row: Vec<Value> = (0..16).map(|j| Value::I64(i * 16 + j)).collect();
-        rt.load(&mut mem, &row).unwrap();
+        rt.load(engine.mem(), &row).unwrap();
     }
-    let mut c = Catalog::new();
-    c.register_rows("t", rt);
-    (mem, c)
+    engine.register_rows("t", rt);
+    engine
 }
 
 /// A chaos-seeded resilient sweep under a recorder of the given capacity:
@@ -53,18 +52,23 @@ fn chaos_run(
     queries: usize,
     ring_capacity: usize,
 ) -> (String, String, usize, u64) {
-    let (mut mem, c) = catalog();
-    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
-    let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
-    mem.set_recorder(Box::new(RingRecorder::new(ring_capacity)));
+    let mut engine = engine();
+    engine.set_fault_context(FaultContext::new(cfg, RecoveryPolicy::default()));
+    engine
+        .mem()
+        .set_recorder(Box::new(RingRecorder::new(ring_capacity)));
     let mut rows_out = 0usize;
     for _ in 0..queries {
-        let out = execute_resilient(&mut mem, &c, &bound, &mut ctx).expect("resilient");
+        let out = engine.session().run(SQL).expect("resilient");
         rows_out += out.rows.len();
     }
-    let trace = mem.export_trace().expect("ring recorder exports a trace");
-    let metrics = mem.metrics().snapshot().to_json();
-    (trace, metrics, rows_out, ctx.plan.stats().total())
+    let trace = engine
+        .mem()
+        .export_trace()
+        .expect("ring recorder exports a trace");
+    let metrics = engine.mem_ref().metrics().snapshot().to_json();
+    let injected = engine.fault_context().plan.stats().total();
+    (trace, metrics, rows_out, injected)
 }
 
 /// High-but-probabilistic fault rates: enough draws over 8 queries that a
@@ -151,31 +155,43 @@ fn ring_overflow_counts_drops_and_never_grows() {
 #[test]
 fn noop_recorder_run_matches_uninstrumented_cycle_counts_exactly() {
     // Baseline: the hierarchy as constructed (its default recorder).
-    let (mut mem, c) = catalog();
-    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
-    let base = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
-    let base_stats = mem.stats();
+    let mut base_engine = engine();
+    let base = base_engine
+        .session()
+        .run_on(SQL, AccessPath::Rm)
+        .expect("rm");
+    let base_stats = base_engine.mem_ref().stats();
 
     // An explicit no-op recorder must not perturb a single cycle.
-    let (mut mem, c) = catalog();
-    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
-    mem.set_recorder(Box::new(NoopRecorder));
-    let noop = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    let mut noop_engine = engine();
+    noop_engine.mem().set_recorder(Box::new(NoopRecorder));
+    let noop = noop_engine
+        .session()
+        .run_on(SQL, AccessPath::Rm)
+        .expect("rm");
     assert_eq!(noop.ns, base.ns, "no-op recorder changed simulated time");
     assert_eq!(
-        mem.stats(),
+        noop_engine.mem_ref().stats(),
         base_stats,
         "no-op recorder changed hierarchy stats"
     );
     assert_eq!(noop.rows, base.rows);
 
     // Full tracing observes the same clock: recording never advances it.
-    let (mut mem, c) = catalog();
-    let bound = bind::bind(&c, &parser::parse(SQL).unwrap()).unwrap();
-    mem.set_recorder(Box::new(RingRecorder::new(1 << 14)));
-    let traced = execute_on(&mut mem, &c, &bound, AccessPath::Rm).expect("rm");
+    let mut traced_engine = engine();
+    traced_engine
+        .mem()
+        .set_recorder(Box::new(RingRecorder::new(1 << 14)));
+    let traced = traced_engine
+        .session()
+        .run_on(SQL, AccessPath::Rm)
+        .expect("rm");
     assert_eq!(traced.ns, base.ns, "tracing advanced the simulated clock");
-    assert_eq!(mem.stats(), base_stats, "tracing changed hierarchy stats");
-    let summary = validate_chrome_trace(&mem.export_trace().unwrap()).unwrap();
+    assert_eq!(
+        traced_engine.mem_ref().stats(),
+        base_stats,
+        "tracing changed hierarchy stats"
+    );
+    let summary = validate_chrome_trace(&traced_engine.mem().export_trace().unwrap()).unwrap();
     assert!(summary.begins > 0, "traced run recorded no spans");
 }

@@ -17,6 +17,10 @@
 #                                Chrome trace is structurally validated
 #                                and two same-seed chaos runs must export
 #                                bit-identical traces — trace_determinism)
+#   7. parallel equivalence     (tests/parallel_equivalence.rs at 1/2/4
+#                                cores with a fixed chaos seed: morsel-
+#                                parallel answers must be bit-identical
+#                                to the 1-core run on every access path)
 
 set -eu
 
@@ -65,6 +69,21 @@ cargo run -q --release -p bench --bin trace_query -- --rows 8192
 if ! FABRIC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --test trace_determinism; then
     printf '\ntrace determinism FAILED — replay with:\n'
     printf '  FABRIC_CHAOS_SEED=%s cargo test --test trace_determinism\n' "$CHAOS_SEED"
+    exit 1
+fi
+
+# Parallel equivalence: morsel-driven execution at 1/2/4 cores must return
+# answers bit-identical to the 1-core run on every access path, with the
+# per-core cycle attribution reconciling against the global clock — under
+# the same fixed chaos seed as the sweep above. Widen the grid with e.g.
+#   FABRIC_PAR_CORES=1,2,4,8 tools/ci.sh
+PAR_CORES="${FABRIC_PAR_CORES:-1,2,4}"
+say "parallel equivalence (FABRIC_PAR_CORES=$PAR_CORES, FABRIC_CHAOS_SEED=$CHAOS_SEED)"
+if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
+    cargo test -q --test parallel_equivalence; then
+    printf '\nparallel equivalence FAILED — replay with:\n'
+    printf '  FABRIC_PAR_CORES=%s FABRIC_CHAOS_SEED=%s cargo test --test parallel_equivalence\n' \
+        "$PAR_CORES" "$CHAOS_SEED"
     exit 1
 fi
 
