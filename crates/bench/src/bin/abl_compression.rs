@@ -18,7 +18,7 @@ fn describe(access: RandomAccess) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 200_000);
     let mut rng = DetRng::seed_from_u64(0xAB4);
 

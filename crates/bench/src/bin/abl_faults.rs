@@ -36,7 +36,7 @@ fn build_engine(rows: usize) -> Engine {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 32_768);
     let seed = arg_usize(&args, "--seed", 0xFA_B51C) as u64;
     let sql = format!("SELECT c0, c5 FROM t WHERE c0 < {}", (rows as i64) * 8);

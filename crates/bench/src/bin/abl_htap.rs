@@ -10,7 +10,7 @@ use fabric_sim::{MemoryHierarchy, SimConfig};
 use workload::mix::{run_dual_layout_htap, run_fabric_htap, MixParams};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let accounts = arg_usize(&args, "--accounts", 50_000);
     let batches = arg_usize(&args, "--batches", 24);
     let updates = arg_usize(&args, "--updates", 400);

@@ -17,7 +17,7 @@ use relmem::{EphemeralColumns, RmConfig};
 use rowstore::{HashIndex, OrderedIndex, RowTable};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 1 << 20);
 
     let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());

@@ -12,7 +12,7 @@ use mvcc::{TxnManager, VersionedTable};
 use relmem::RmConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let logical_rows = arg_usize(&args, "--rows", 100_000);
 
     let mut out = Vec::new();

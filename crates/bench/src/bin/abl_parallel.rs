@@ -36,7 +36,7 @@ fn engine(rows: usize, cores: usize) -> Engine {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 60_000);
     let cores: Vec<usize> = arg_value(&args, "--cores")
         .unwrap_or_else(|| "1,2,4".into())

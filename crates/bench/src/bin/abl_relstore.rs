@@ -14,7 +14,7 @@ use fabric_types::{
 use relstore::{CompressedTable, RsConfig, SsdDevice};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 500_000);
 
     let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());

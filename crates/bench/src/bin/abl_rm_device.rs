@@ -16,7 +16,7 @@ use workload::micro::{run_rm, run_row, MicroQuery};
 use workload::SyntheticData;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 1 << 19);
     let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
     eprintln!("# generating {rows} rows...");

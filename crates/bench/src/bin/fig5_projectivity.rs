@@ -18,7 +18,7 @@ use workload::micro::{run_col, run_rm, run_row, MicroQuery};
 use workload::SyntheticData;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 1 << 20); // 64 MiB table by default
     let streams = arg_usize(&args, "--streams", 4);
     let csv = args.iter().any(|a| a == "--csv");

@@ -22,7 +22,7 @@ use workload::micro::{run_col, run_rm, run_row, MicroQuery};
 use workload::SyntheticData;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 1 << 19); // 32 MiB table
     let selectivity = arg_f64(&args, "--selectivity", 0.93);
     let which = args.get(1).map(String::as_str).unwrap_or("both");

@@ -191,7 +191,7 @@ fn run_parallel(cores: usize) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let which = args.get(1).map(String::as_str).unwrap_or("both");
     let max_target = arg_usize(&args, "--max-target", 32);
     let cores = arg_usize(&args, "--cores", 1);

@@ -1,0 +1,117 @@
+//! Noise-aware perf regression gate (DESIGN.md §12): compare one fresh
+//! bench artifact against its checked-in baseline.
+//!
+//! Driven by `tools/perf_gate.sh`, which reruns the bench binaries into a
+//! scratch results directory and invokes this once per artifact:
+//!
+//! ```text
+//! perf_gate --baseline results/BENCH_x.json --fresh /tmp/gate/BENCH_x.json \
+//!           [--trajectory results/TRAJECTORY.jsonl]
+//! perf_gate --self-test results/BENCH_x.json
+//! ```
+//!
+//! Exit status: 0 = gate passed, 1 = regression (or a self-test that the
+//! gate wrongly passed), 2 = usage / IO / schema error.
+//!
+//! `--self-test` is the CI sanity check on the gate itself: it copies the
+//! baseline, injects a synthetic +10% regression into its first non-zero
+//! cycle counter, and asserts the gate *fails* the perturbed copy.
+
+use bench::arg_value;
+use fabric_sim::{compare_bench, parse_json, GatePolicy, Json};
+use std::process::ExitCode;
+
+fn read(path: &str, side: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{side} `{path}`: {e}"))
+}
+
+/// Find a non-zero counter to perturb — preferring one whose name
+/// mentions cycles, the deterministic kind the gate compares exactly —
+/// and return `(name, value)`.
+fn find_cycle_counter(artifact: &str) -> Result<(String, u64), String> {
+    let doc = parse_json(artifact).map_err(|e| format!("artifact: {e}"))?;
+    let counters = doc
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .cloned()
+        .ok_or("artifact has no metrics.counters object")?;
+    let Json::Obj(members) = counters else {
+        return Err("metrics.counters is not an object".into());
+    };
+    let pick = |want_cycles: bool| {
+        members.iter().find_map(|(name, v)| match v.as_num() {
+            Some(n) if n > 0.0 && (!want_cycles || name.contains("cycles")) => {
+                Some((name.clone(), n as u64))
+            }
+            _ => None,
+        })
+    };
+    pick(true)
+        .or_else(|| pick(false))
+        .ok_or_else(|| "no non-zero counter to perturb".into())
+}
+
+/// Inject a synthetic +10% regression into a copy of `artifact` and check
+/// that the gate catches it. Textual substitution on the exact
+/// `"name":value` pair — counters serialize as integers and the counters
+/// section precedes gauges/histograms, so the first occurrence is the one.
+fn self_test(artifact: &str) -> Result<(), String> {
+    let (name, value) = find_cycle_counter(artifact)?;
+    let inflated = value + (value / 10).max(1);
+    let needle = format!("\"{name}\":{value}");
+    if !artifact.contains(&needle) {
+        return Err(format!("could not locate `{needle}` in the artifact"));
+    }
+    let perturbed = artifact.replacen(&needle, &format!("\"{name}\":{inflated}"), 1);
+    let report = compare_bench(artifact, &perturbed, &GatePolicy::default())
+        .map_err(|e| format!("comparing perturbed copy: {e}"))?;
+    if report.passed() {
+        return Err(format!(
+            "gate PASSED a synthetic +10% regression on `{name}` ({value} -> {inflated}) — \
+             the comparison is not actually gating"
+        ));
+    }
+    println!(
+        "self-test: gate correctly failed a synthetic +10% regression on `{name}` \
+         ({value} -> {inflated})"
+    );
+    Ok(())
+}
+
+fn run() -> Result<bool, String> {
+    let args = bench::harness::cli_args();
+    if let Some(path) = arg_value(&args, "--self-test") {
+        let artifact = read(&path, "self-test baseline")?;
+        self_test(&artifact)?;
+        return Ok(true);
+    }
+    let baseline_path = arg_value(&args, "--baseline").ok_or("missing --baseline <file>")?;
+    let fresh_path = arg_value(&args, "--fresh").ok_or("missing --fresh <file>")?;
+    let baseline = read(&baseline_path, "baseline")?;
+    let fresh = read(&fresh_path, "fresh")?;
+    let report = compare_bench(&baseline, &fresh, &GatePolicy::default())?;
+    print!("{}", report.render());
+    if let Some(traj) = arg_value(&args, "--trajectory") {
+        use std::io::Write as _;
+        let mut line = report.to_json_line();
+        line.push('\n');
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&traj)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .map_err(|e| format!("trajectory `{traj}`: {e}"))?;
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -17,7 +17,7 @@ use query::{AccessPath, Engine};
 use rowstore::RowTable;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args = bench::harness::cli_args();
     let rows = arg_usize(&args, "--rows", 1 << 16);
     let proj = arg_usize(&args, "--proj", 6).clamp(1, 16);
     let events = arg_usize(&args, "--events", 1 << 16);
@@ -60,9 +60,8 @@ fn main() {
         .export_trace()
         .expect("ring recorder exports a trace");
     let summary = validate_chrome_trace(&trace).expect("trace must be structurally valid");
-    std::fs::create_dir_all("results").expect("mkdir results");
-    let path = "results/TRACE_query.json";
-    std::fs::write(path, &trace).expect("write trace");
+    let path = bench::harness::write_artifact("TRACE_query.json", &trace).expect("write trace");
+    let path = path.display();
 
     println!("Traced `{sql}` over all three access paths:");
     println!(

@@ -1,0 +1,121 @@
+//! The one `results/` emission path for every figure binary.
+//!
+//! Everything a bench writes lands here: the schema-versioned metrics
+//! artifact (`BENCH_<name>.json`) the perf regression gate compares
+//! against, and auxiliary artifacts (Chrome traces). Bins must not write
+//! into `results/` directly — the fabric-lint `adhoc-bench-output` rule
+//! rejects it — so the artifact envelope, the directory choice, and the
+//! schema stamp stay uniform across all thirteen binaries.
+
+use fabric_sim::{MetricsRegistry, BENCH_SCHEMA_VERSION};
+use std::path::PathBuf;
+
+/// Command-line arguments (program name included), as every bin consumes
+/// them via [`crate::arg_value`] and friends.
+pub fn cli_args() -> Vec<String> {
+    std::env::args().collect()
+}
+
+/// The directory artifacts are written into: `results/` under the current
+/// directory, unless `FABRIC_RESULTS_DIR` redirects it. The perf gate
+/// (`tools/perf_gate.sh`) reruns benches with the redirect set so fresh
+/// artifacts land in a scratch directory instead of clobbering the
+/// checked-in baselines.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("FABRIC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Render the schema-versioned bench-artifact envelope around a metrics
+/// snapshot — the format `fabric_obs::regress` validates on both sides of
+/// a comparison:
+///
+/// ```json
+/// {"schema_version":1,"bench":"<name>","metrics":{...}}
+/// ```
+pub fn bench_artifact_json(name: &str, registry: &MetricsRegistry) -> String {
+    format!(
+        "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\"bench\":\"{name}\",\"metrics\":{}}}",
+        registry.snapshot().to_json()
+    )
+}
+
+/// Write an auxiliary artifact (a trace, a CSV) into the results
+/// directory. Returns the written path.
+pub fn write_artifact(filename: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(filename);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Serialize a bench run's metrics to `<results>/BENCH_<name>.json` in the
+/// schema-versioned envelope, through the fabric-obs snapshot serializer —
+/// the workspace's single stats serialization path (deterministic: sorted
+/// keys, fixed float format). Returns the written path.
+pub fn write_bench_json(name: &str, registry: &MetricsRegistry) -> std::io::Result<PathBuf> {
+    write_artifact(
+        &format!("BENCH_{name}.json"),
+        &bench_artifact_json(name, registry),
+    )
+}
+
+/// [`write_bench_json`] plus the standard epilogue every figure binary
+/// uses: announce the artifact on stderr, never fail the run over it.
+pub fn emit_bench_json(name: &str, registry: &MetricsRegistry) {
+    match write_bench_json(name, registry) {
+        Ok(path) => eprintln!("# metrics: {}", path.display()),
+        Err(e) => eprintln!("# metrics export failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::{compare_bench, GatePolicy};
+
+    #[test]
+    fn bench_artifact_is_schema_versioned_and_gate_comparable() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("rows", 100);
+        reg.gauge_set("fig.row_ns", 1.5);
+        let json = bench_artifact_json("unit", &reg);
+        let doc = fabric_sim::parse_json(&json).unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_num()),
+            Some(BENCH_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("unit"));
+        // An artifact must compare clean against itself through the gate.
+        let report = compare_bench(&json, &json, &GatePolicy::default()).unwrap();
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn results_dir_honors_the_redirect() {
+        // Serialized with nothing: env mutation is process-global, but
+        // this is the only test that touches FABRIC_RESULTS_DIR.
+        std::env::set_var("FABRIC_RESULTS_DIR", "/tmp/fabric_gate_test");
+        assert_eq!(results_dir(), PathBuf::from("/tmp/fabric_gate_test"));
+        std::env::remove_var("FABRIC_RESULTS_DIR");
+        assert_eq!(results_dir(), PathBuf::from("results"));
+    }
+
+    #[test]
+    fn bench_json_goes_through_the_snapshot_serializer() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("rows", 100);
+        let dir = std::env::temp_dir().join("bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_bench_json("unit", &reg).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(prev).unwrap();
+        assert_eq!(text, bench_artifact_json("unit", &reg));
+        assert!(text.contains(&reg.snapshot().to_json()), "{text}");
+        assert!(path.ends_with("results/BENCH_unit.json"));
+    }
+}

@@ -1,29 +1,12 @@
 //! Shared harness utilities for the figure-regeneration binaries.
 
-use fabric_sim::MetricsRegistry;
+pub mod harness;
+
+pub use harness::{
+    bench_artifact_json, cli_args, emit_bench_json, results_dir, write_artifact, write_bench_json,
+};
+
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
-
-/// Serialize a bench run's metrics to `results/BENCH_<name>.json` through
-/// the fabric-obs snapshot serializer — the workspace's single stats
-/// serialization path (deterministic: sorted keys, fixed float format).
-/// Returns the written path.
-pub fn write_bench_json(name: &str, registry: &MetricsRegistry) -> std::io::Result<PathBuf> {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, registry.snapshot().to_json())?;
-    Ok(path)
-}
-
-/// [`write_bench_json`] plus the standard epilogue every figure binary
-/// uses: announce the artifact on stderr, never fail the run over it.
-pub fn emit_bench_json(name: &str, registry: &MetricsRegistry) {
-    match write_bench_json(name, registry) {
-        Ok(path) => eprintln!("# metrics: {}", path.display()),
-        Err(e) => eprintln!("# metrics export failed: {e}"),
-    }
-}
 
 /// Simple command-line flag extraction: `--name value`.
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -113,23 +96,6 @@ mod tests {
         );
         assert!(s.contains("ROW"));
         assert!(s.lines().count() == 4);
-    }
-
-    #[test]
-    fn bench_json_goes_through_the_snapshot_serializer() {
-        let mut reg = MetricsRegistry::new();
-        reg.counter_add("rows", 100);
-        reg.gauge_set("fig.row_ns", 1.5);
-        let dir = std::env::temp_dir().join("bench_json_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let prev = std::env::current_dir().unwrap();
-        std::env::set_current_dir(&dir).unwrap();
-        let path = write_bench_json("unit", &reg).unwrap();
-        let text = std::fs::read_to_string(&path).unwrap();
-        std::env::set_current_dir(prev).unwrap();
-        assert_eq!(text, reg.snapshot().to_json());
-        assert!(fabric_sim::parse_json(&text).is_ok(), "{text}");
-        assert!(path.ends_with("results/BENCH_unit.json"));
     }
 
     #[test]

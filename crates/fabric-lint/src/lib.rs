@@ -6,7 +6,7 @@
 //! Built on std only so it resolves offline like the rest of the
 //! workspace: a line/token scanner over sanitized source (comments and
 //! string literals blanked out, `#[cfg(test)]` regions tracked by brace
-//! depth), not a full parser. Five rule families:
+//! depth), not a full parser. Eight rule families:
 //!
 //! * **no-unwrap** — `.unwrap()` / `.expect(` / `panic!` / `todo!` are
 //!   forbidden in non-test *library* code of the core crates
@@ -40,6 +40,15 @@
 //!   `#![allow(deprecated)]`, the same attribute rustc already requires
 //!   to compile such a caller warning-free (one visible, greppable
 //!   waiver instead of two).
+//! * **adhoc-bench-output** — a string literal naming the `results/`
+//!   artifact directory is forbidden outside [`BENCH_HARNESS_FILE`]:
+//!   artifact I/O goes through `bench::harness` (`results_dir` /
+//!   `write_artifact` / `emit_bench_json`), the one place that honors the
+//!   `FABRIC_RESULTS_DIR` scratch redirect `tools/perf_gate.sh` relies on
+//!   for apples-to-apples baseline reruns. Applies everywhere, tests
+//!   included — an artifact written from a test dodges the redirect too.
+//!   Only the harness and `fabric-lint` itself (whose matcher must spell
+//!   the needle) are exempt.
 //!
 //! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
 //! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
@@ -66,7 +75,12 @@ pub const HOT_PATH_FILES: &[&str] = &[
 /// Hot-path directory prefixes (every `.rs` file below them).
 pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
 
-/// The seven rule families.
+/// The one file allowed to name the bench results directory (rule
+/// `adhoc-bench-output`): everything else routes artifact I/O through its
+/// `results_dir` / `write_artifact` API.
+pub const BENCH_HARNESS_FILE: &str = "crates/bench/src/harness.rs";
+
+/// The eight rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoUnwrap,
@@ -76,6 +90,7 @@ pub enum Rule {
     IgnoredResult,
     RawStatsPrint,
     DeprecatedEntryPoint,
+    AdhocBenchOutput,
 }
 
 impl Rule {
@@ -89,6 +104,7 @@ impl Rule {
             Rule::IgnoredResult => "ignored-result",
             Rule::RawStatsPrint => "raw-stats-print",
             Rule::DeprecatedEntryPoint => "deprecated-entry-point",
+            Rule::AdhocBenchOutput => "adhoc-bench-output",
         }
     }
 
@@ -101,6 +117,7 @@ impl Rule {
             "ignored-result" => Some(Rule::IgnoredResult),
             "raw-stats-print" => Some(Rule::RawStatsPrint),
             "deprecated-entry-point" => Some(Rule::DeprecatedEntryPoint),
+            "adhoc-bench-output" => Some(Rule::AdhocBenchOutput),
             _ => None,
         }
     }
@@ -337,6 +354,18 @@ fn deprecated_entry_points(line: &str) -> Vec<String> {
     hits
 }
 
+/// Does a raw (unsanitized) line open a string literal naming the bench
+/// results directory (`"results"` or `"results/…"`)? The sanitizer blanks
+/// string literals, so the needle must be sought in the raw text; the
+/// sanitized line gates out comment-only lines (they sanitize to blank),
+/// so doc comments may still *mention* `"results/…"` paths freely.
+fn adhoc_results_literal(san_line: &str, raw_line: &str) -> bool {
+    if san_line.trim().is_empty() {
+        return false;
+    }
+    raw_line.contains("\"results\"") || raw_line.contains("\"results/")
+}
+
 fn excerpt_of(raw: &str) -> String {
     let t = raw.trim();
     if t.len() > 90 {
@@ -438,6 +467,27 @@ pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
                     excerpt: excerpt_of(raw),
                 });
             }
+        }
+
+        // adhoc-bench-output: the results directory is named in exactly
+        // one place (`bench::harness`), so the FABRIC_RESULTS_DIR scratch
+        // redirect the perf gate reruns under sees every artifact. Tests
+        // included — a test writing `results/` dodges the redirect too.
+        // fabric-lint itself is exempt: the matcher and its tests must
+        // spell the needle they hunt for.
+        if class.crate_name != "fabric-lint"
+            && rel != BENCH_HARNESS_FILE
+            && adhoc_results_literal(line, raw)
+        {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: lineno,
+                rule: Rule::AdhocBenchOutput,
+                message: "hardcoded `results/` path (route artifact I/O through \
+                          `bench::harness`, which honors the `FABRIC_RESULTS_DIR` redirect)"
+                    .to_string(),
+                excerpt: excerpt_of(raw),
+            });
         }
 
         if in_test {
@@ -768,6 +818,33 @@ mod tests {
         let c = classify("examples/sql_frontend.rs").unwrap();
         assert_eq!(c.crate_name, "relational-fabric");
         assert!(!c.is_lib);
+    }
+
+    #[test]
+    fn adhoc_results_literal_detection() {
+        // String literals live only in the raw view.
+        assert!(adhoc_results_literal(
+            "fs::write( , t).ok();",
+            "fs::write(\"results/TRACE_x.json\", t).ok();"
+        ));
+        assert!(adhoc_results_literal(
+            "let d = Path::new( );",
+            "let d = Path::new(\"results\");"
+        ));
+        // Comment-only lines sanitize to blank and stay clean.
+        assert!(!adhoc_results_literal(
+            " ",
+            "// artifacts land in \"results/BENCH_x.json\""
+        ));
+        // Identifiers and unrelated literals are fine.
+        assert!(!adhoc_results_literal(
+            "let results = x.len();",
+            "let results = x.len();"
+        ));
+        assert!(!adhoc_results_literal(
+            "let p = ;",
+            "let p = \"my_results/x\";"
+        ));
     }
 
     #[test]

@@ -133,7 +133,17 @@ pub fn sanitize(src: &str) -> Sanitized {
                 i += 1;
                 while i < n {
                     match c[i] {
-                        '\\' => i += 2,
+                        // An escape skips the next char — unless that
+                        // char is a newline (the string-continuation
+                        // `\` at end of line), which must still flush
+                        // so sanitized and raw line numbers stay in
+                        // lockstep for the raw-view rules.
+                        '\\' => {
+                            if c.get(i + 1) == Some(&'\n') {
+                                flush_line!();
+                            }
+                            i += 2;
+                        }
                         '\n' => {
                             flush_line!();
                             i += 1;
@@ -232,5 +242,16 @@ mod tests {
         let s = sanitize(src);
         assert_eq!(s.lines.len(), src.lines().count());
         assert!(s.lines[2].contains("after"));
+    }
+
+    #[test]
+    fn string_continuation_backslash_keeps_line_count() {
+        // `"... \` at end of line continues the literal on the next
+        // line; the escaped newline must still flush a sanitized line
+        // or every later line number drifts by one.
+        let src = "println!(\n    \"part one \\\n     part two\"\n);\nafter();\n";
+        let s = sanitize(src);
+        assert_eq!(s.lines.len(), src.lines().count());
+        assert!(s.lines[4].contains("after"));
     }
 }

@@ -1,0 +1,11 @@
+//! Fixture: ad-hoc writes into the checked-in results directory, dodging
+//! the `bench::harness` FABRIC_RESULTS_DIR redirect.
+
+use std::fs;
+
+pub fn dump(trace: &str) {
+    fs::create_dir_all("results").expect("mkdir");
+    fs::write("results/TRACE_fixture.json", trace).expect("write");
+    let path = format!("results/BENCH_{}.json", "fixture");
+    std::fs::write(path, trace).expect("write");
+}

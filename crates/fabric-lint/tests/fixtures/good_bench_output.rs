@@ -1,0 +1,19 @@
+//! Fixture: artifact output routed through `bench::harness`, plus benign
+//! mentions of the results directory — a doc path like
+//! "results/BENCH_x.json" in a comment, identifiers, similar literals.
+
+pub fn dump(name: &str, json: &str) -> usize {
+    // Baselines live under results/ — but only the harness names it.
+    let path = harness_write(name, json);
+    let results = path.len();
+    let shown = format!("wrote {path} ({results} bytes)");
+    shown.len() + read_from("my_results/scratch.json")
+}
+
+fn harness_write(name: &str, json: &str) -> String {
+    format!("BENCH_{name}:{}", json.len())
+}
+
+fn read_from(tag: &str) -> usize {
+    tag.len()
+}

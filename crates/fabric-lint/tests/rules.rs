@@ -132,6 +132,28 @@ fn raw_stats_print_scope_and_negative_space() {
 }
 
 #[test]
+fn adhoc_bench_output_flags_direct_results_writes() {
+    let d = scan_as("bad_bench_output.rs", "crates/bench/src/bin/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::AdhocBenchOutput), vec![7, 8, 9], "{d:?}");
+    assert!(d.iter().any(|x| x.message.contains("bench::harness")));
+    // Tests are not exempt: an artifact written from test code dodges the
+    // FABRIC_RESULTS_DIR redirect just the same.
+    let d = scan_as("bad_bench_output.rs", "crates/bench/tests/fixture.rs");
+    assert_eq!(lines_of(&d, Rule::AdhocBenchOutput).len(), 3, "{d:?}");
+}
+
+#[test]
+fn adhoc_bench_output_exempts_harness_and_benign_mentions() {
+    // The harness is the one sanctioned writer.
+    let d = scan_as("bad_bench_output.rs", "crates/bench/src/harness.rs");
+    assert!(lines_of(&d, Rule::AdhocBenchOutput).is_empty(), "{d:?}");
+    // Comments, identifiers, similar literals, and harness-routed writes
+    // stay clean.
+    let d = scan_as("good_bench_output.rs", "crates/bench/src/bin/fixture.rs");
+    assert!(lines_of(&d, Rule::AdhocBenchOutput).is_empty(), "{d:?}");
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let d = scan_as("bad_exit.rs", "crates/workload/src/fixture.rs");
     let shown = d[0].to_string();

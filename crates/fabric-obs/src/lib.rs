@@ -30,14 +30,20 @@
 //! and metric snapshots can be structurally validated without external
 //! parsers.
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod regress;
+pub mod topdown;
 pub mod trace;
 
+pub use flight::{FlightRecorder, Postmortem};
 pub use json::{parse_json, validate_chrome_trace, ChromeTraceSummary, Json};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{FabricRecorder, NoopRecorder, RingRecorder};
+pub use regress::{compare_bench, GatePolicy, GateReport, Regression, BENCH_SCHEMA_VERSION};
+pub use topdown::{TopDown, TopDownCore};
 pub use trace::{Category, Phase, TraceBuffer, TraceEvent, MAX_ARGS};
 
 /// Simulated time, measured in CPU core cycles (mirrors `fabric_sim::Cycles`;

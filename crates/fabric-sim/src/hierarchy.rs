@@ -19,7 +19,10 @@ use crate::dram::DramModel;
 use crate::prefetch::StreamPrefetcher;
 use crate::stats::MemStats;
 use crate::Cycles;
-use fabric_obs::{Category, FabricRecorder, MetricsRegistry, NoopRecorder};
+use fabric_obs::{
+    Category, FabricRecorder, FlightRecorder, MetricsRegistry, NoopRecorder, Phase, Postmortem,
+    TopDown, TraceEvent,
+};
 use fabric_types::{Addr, Result};
 
 /// Per-operation CPU cost model (cycles), shared by all engines so that
@@ -161,6 +164,10 @@ pub struct MemoryHierarchy {
     /// Cached `recorder.enabled()` so hot paths pay one bool test.
     tracing: bool,
     metrics: MetricsRegistry,
+    /// Always-on bounded event ring for postmortems (DESIGN.md §12):
+    /// fed by every trace entry point regardless of `tracing`, so a
+    /// failure can dump its recent history even on uninstrumented runs.
+    flight: FlightRecorder,
 }
 
 impl MemoryHierarchy {
@@ -185,6 +192,7 @@ impl MemoryHierarchy {
             recorder: Box::new(NoopRecorder),
             tracing: false,
             metrics: MetricsRegistry::new(),
+            flight: FlightRecorder::default(),
         }
     }
 
@@ -341,16 +349,22 @@ impl MemoryHierarchy {
     /// Open a span at the current cycle.
     #[inline]
     pub fn trace_begin(&mut self, name: &'static str, cat: Category) {
+        let now = self.now();
+        self.flight
+            .record(TraceEvent::new(Phase::Begin, now, name, cat, &[]));
         if self.tracing {
-            self.recorder.begin(self.now(), name, cat);
+            self.recorder.begin(now, name, cat);
         }
     }
 
     /// Close a span at the current cycle, attaching `args`.
     #[inline]
     pub fn trace_end(&mut self, name: &'static str, cat: Category, args: &[(&'static str, u64)]) {
+        let now = self.now();
+        self.flight
+            .record(TraceEvent::new(Phase::End, now, name, cat, args));
         if self.tracing {
-            self.recorder.end(self.now(), name, cat, args);
+            self.recorder.end(now, name, cat, args);
         }
     }
 
@@ -359,6 +373,8 @@ impl MemoryHierarchy {
     /// while the CPU was elsewhere).
     #[inline]
     pub fn trace_begin_at(&mut self, ts: Cycles, name: &'static str, cat: Category) {
+        self.flight
+            .record(TraceEvent::new(Phase::Begin, ts, name, cat, &[]));
         if self.tracing {
             self.recorder.begin(ts, name, cat);
         }
@@ -373,6 +389,8 @@ impl MemoryHierarchy {
         cat: Category,
         args: &[(&'static str, u64)],
     ) {
+        self.flight
+            .record(TraceEvent::new(Phase::End, ts, name, cat, args));
         if self.tracing {
             self.recorder.end(ts, name, cat, args);
         }
@@ -386,16 +404,27 @@ impl MemoryHierarchy {
         cat: Category,
         args: &[(&'static str, u64)],
     ) {
+        let now = self.now();
+        self.flight
+            .record(TraceEvent::new(Phase::Instant, now, name, cat, args));
         if self.tracing {
-            self.recorder.instant(self.now(), name, cat, args);
+            self.recorder.instant(now, name, cat, args);
         }
     }
 
     /// Sample a counter track at the current cycle.
     #[inline]
     pub fn trace_counter(&mut self, name: &'static str, cat: Category, value: u64) {
+        let now = self.now();
+        self.flight.record(TraceEvent::new(
+            Phase::Counter,
+            now,
+            name,
+            cat,
+            &[("value", value)],
+        ));
         if self.tracing {
-            self.recorder.counter(self.now(), name, cat, value);
+            self.recorder.counter(now, name, cat, value);
         }
     }
 
@@ -409,15 +438,11 @@ impl MemoryHierarchy {
         cat: Category,
         f: impl FnOnce(&mut Self) -> R,
     ) -> R {
-        if !self.tracing {
-            return f(self);
-        }
         let before = self.stats();
-        self.recorder.begin(self.now(), name, cat);
+        self.trace_begin(name, cat);
         let out = f(self);
         let d = self.stats().delta_since(&before);
-        self.recorder.end(
-            self.now(),
+        self.trace_end(
             name,
             cat,
             &[
@@ -432,6 +457,50 @@ impl MemoryHierarchy {
         out
     }
 
+    // ----------------------------------------------------- flight recorder
+
+    /// Arm the flight recorder at the start of a measured window: a
+    /// postmortem taken later reports the metrics delta since this call.
+    pub fn flight_arm(&mut self) {
+        self.flight.arm(self.metrics.snapshot());
+    }
+
+    /// Capture a postmortem artifact (last-N events, metrics delta,
+    /// top-down breakdown, fault timeline) and count the dump in the
+    /// metrics registry. Triggered by the resilience layer on
+    /// degradation, breaker trips, and CRC failures.
+    pub fn flight_dump(&mut self, reason: &'static str) {
+        let now = self.now();
+        let td = self.topdown_now();
+        let snap = self.metrics.snapshot();
+        self.flight.dump(reason, now, &snap, &td);
+        self.metrics.counter_add("flight.dumps", 1);
+    }
+
+    /// The flight recorder (to inspect or drain postmortems).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drain the retained postmortem artifacts, oldest first.
+    pub fn take_postmortems(&mut self) -> Vec<Postmortem> {
+        self.flight.take_postmortems()
+    }
+
+    /// Cumulative top-down breakdown per core (no idle attribution —
+    /// barrier waits are attributed by the query layer, which owns the
+    /// fork/join windows). Used for mid-query postmortems.
+    pub fn topdown_now(&self) -> TopDown {
+        TopDown {
+            cores: self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.stats.topdown(i, 0))
+                .collect(),
+        }
+    }
+
     // ---------------------------------------------------------------- time
 
     /// Charge `cycles` of CPU compute (to the active core).
@@ -443,13 +512,41 @@ impl MemoryHierarchy {
     }
 
     /// Block until simulated time `t` (no-op if already past); the waited
-    /// cycles are accounted as memory stall. Device models use this to make
-    /// the CPU wait for data they have not produced yet.
+    /// cycles are accounted as memory stall, attributed to the
+    /// producer-device bucket. Device models use this to make the CPU wait
+    /// for data they have not produced yet.
     #[inline]
     pub fn stall_until(&mut self, t: Cycles) {
         let core = &mut self.cores[self.active];
         if t > core.now {
             core.stats.stall_cycles += t - core.now;
+            core.stats.stall_device_cycles += t - core.now;
+            core.now = t;
+        }
+    }
+
+    /// Like [`Self::stall_until`], but the waited cycles are attributed to
+    /// the fault-retry bucket. Recovery policies use this for backoff so
+    /// top-down accounting can separate "the device was slow" from "we
+    /// were re-trying after a fault".
+    #[inline]
+    pub fn stall_retry_until(&mut self, t: Cycles) {
+        let core = &mut self.cores[self.active];
+        if t > core.now {
+            core.stats.stall_cycles += t - core.now;
+            core.stats.stall_retry_cycles += t - core.now;
+            core.now = t;
+        }
+    }
+
+    /// Internal: wait for DRAM data (demand or prefetch completion),
+    /// attributed to the DRAM-wait bucket.
+    #[inline]
+    fn stall_dram_until(&mut self, t: Cycles) {
+        let core = &mut self.cores[self.active];
+        if t > core.now {
+            core.stats.stall_cycles += t - core.now;
+            core.stats.stall_dram_cycles += t - core.now;
             core.now = t;
         }
     }
@@ -524,12 +621,14 @@ impl MemoryHierarchy {
                     stats.l1_hits += 1;
                     *now += cfg.l1_hit_cycles;
                     stats.mem_lat_cycles += cfg.l1_hit_cycles;
+                    stats.lat_l1_cycles += cfg.l1_hit_cycles;
                 } else {
                     // Past the private L1: the shared L2 port ledger.
                     if multi {
                         let floor = *shared_base + *l2_port_fills * cfg.l2_port_cycles;
                         if floor > *now {
                             stats.stall_cycles += floor - *now;
+                            stats.stall_bw_cycles += floor - *now;
                             *now = floor;
                         }
                         *l2_port_fills += 1;
@@ -538,6 +637,7 @@ impl MemoryHierarchy {
                         stats.l2_hits += 1;
                         *now += cfg.l2_hit_cycles;
                         stats.mem_lat_cycles += cfg.l2_hit_cycles;
+                        stats.lat_l2_cycles += cfg.l2_hit_cycles;
                         l1.fill(la);
                     } else {
                         // The line comes from DRAM: meter the shared
@@ -547,6 +647,7 @@ impl MemoryHierarchy {
                                 + *dram_line_fills * dram.t_row_hit() / cfg.dram_banks as u64;
                             if floor > *now {
                                 stats.stall_cycles += floor - *now;
+                                stats.stall_bw_cycles += floor - *now;
                                 *now = floor;
                             }
                             *dram_line_fills += 1;
@@ -555,6 +656,7 @@ impl MemoryHierarchy {
                             stats.prefetch_hits += 1;
                             *now += cfg.l2_hit_cycles;
                             stats.mem_lat_cycles += cfg.l2_hit_cycles;
+                            stats.lat_l2_cycles += cfg.l2_hit_cycles;
                             max_done = max_done.max(ready);
                             l2.fill(la);
                             l1.fill(la);
@@ -565,6 +667,7 @@ impl MemoryHierarchy {
                             // completion is awaited collectively below.
                             *now += cfg.l1_hit_cycles;
                             stats.mem_lat_cycles += cfg.l1_hit_cycles;
+                            stats.lat_l1_cycles += cfg.l1_hit_cycles;
                             let done = dram.access(la, *now) + *demand_overhead;
                             max_done = max_done.max(done);
                             l2.fill(la);
@@ -579,7 +682,7 @@ impl MemoryHierarchy {
                 la += line;
             }
         }
-        self.stall_until(max_done);
+        self.stall_dram_until(max_done);
     }
 
     /// Raw data view without timing (pair with [`Self::touch_read`]).
@@ -696,6 +799,7 @@ impl MemoryHierarchy {
             stats.l1_hits += 1;
             *now += cfg.l1_hit_cycles;
             stats.mem_lat_cycles += cfg.l1_hit_cycles;
+            stats.lat_l1_cycles += cfg.l1_hit_cycles;
             return;
         }
         // Past the private L1: every fill crosses the shared L2 port.
@@ -707,6 +811,7 @@ impl MemoryHierarchy {
             let floor = *shared_base + *l2_port_fills * cfg.l2_port_cycles;
             if floor > *now {
                 stats.stall_cycles += floor - *now;
+                stats.stall_bw_cycles += floor - *now;
                 *now = floor;
             }
             *l2_port_fills += 1;
@@ -719,6 +824,7 @@ impl MemoryHierarchy {
             stats.l2_hits += 1;
             *now += cfg.l2_hit_cycles;
             stats.mem_lat_cycles += cfg.l2_hit_cycles;
+            stats.lat_l2_cycles += cfg.l2_hit_cycles;
             l1.fill(line_addr);
             return;
         }
@@ -728,6 +834,7 @@ impl MemoryHierarchy {
             let floor = *shared_base + *dram_line_fills * dram.t_row_hit() / cfg.dram_banks as u64;
             if floor > *now {
                 stats.stall_cycles += floor - *now;
+                stats.stall_bw_cycles += floor - *now;
                 *now = floor;
             }
             *dram_line_fills += 1;
@@ -738,10 +845,12 @@ impl MemoryHierarchy {
             stats.prefetch_hits += 1;
             if ready > *now {
                 stats.stall_cycles += ready - *now;
+                stats.stall_dram_cycles += ready - *now;
                 *now = ready;
             }
             *now += cfg.l2_hit_cycles;
             stats.mem_lat_cycles += cfg.l2_hit_cycles;
+            stats.lat_l2_cycles += cfg.l2_hit_cycles;
             l2.fill(line_addr);
             l1.fill(line_addr);
             prefetcher.observe(line_addr, *now, dram);
@@ -752,6 +861,7 @@ impl MemoryHierarchy {
         let done = dram.access(line_addr, *now);
         let arrive = done + *demand_overhead;
         stats.stall_cycles += arrive - *now;
+        stats.stall_dram_cycles += arrive - *now;
         *now = arrive;
         l2.fill(line_addr);
         l1.fill(line_addr);

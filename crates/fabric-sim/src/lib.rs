@@ -47,8 +47,9 @@ pub use stats::MemStats;
 // engines that already depend on `fabric-sim` need no extra manifest
 // entry to emit spans or metrics.
 pub use fabric_obs::{
-    parse_json, validate_chrome_trace, Category, ChromeTraceSummary, FabricRecorder, Json,
-    MetricsRegistry, MetricsSnapshot, NoopRecorder, RingRecorder, TraceBuffer,
+    compare_bench, parse_json, validate_chrome_trace, Category, ChromeTraceSummary, FabricRecorder,
+    FlightRecorder, GatePolicy, GateReport, Json, MetricsRegistry, MetricsSnapshot, NoopRecorder,
+    Postmortem, RingRecorder, TopDown, TopDownCore, TraceBuffer, BENCH_SCHEMA_VERSION,
 };
 
 /// Simulated time, measured in CPU core cycles.

@@ -31,6 +31,30 @@ pub struct MemStats {
     /// accounts for every cycle a core's clock advances:
     /// `Δnow == Δ(cpu_cycles + stall_cycles + mem_lat_cycles)`.
     pub mem_lat_cycles: u64,
+    /// Stall cycles waiting on a shared-fabric bandwidth ledger (the L2
+    /// port or the DRAM controller's aggregate-throughput cap). One of
+    /// four sub-buckets that partition `stall_cycles` exactly:
+    /// `stall_cycles == stall_bw + stall_dram + stall_device + stall_retry`.
+    pub stall_bw_cycles: u64,
+    /// Stall cycles waiting for DRAM data to arrive (demand-miss latency
+    /// and in-flight prefetch completion).
+    pub stall_dram_cycles: u64,
+    /// Stall cycles waiting on a producer-side device (RM engine beat,
+    /// SSD controller, bus transfer) via [`stall_until`].
+    ///
+    /// [`stall_until`]: crate::hierarchy::MemoryHierarchy::stall_until
+    pub stall_device_cycles: u64,
+    /// Stall cycles spent in fault-retry backoff via [`stall_retry_until`].
+    ///
+    /// [`stall_retry_until`]: crate::hierarchy::MemoryHierarchy::stall_retry_until
+    pub stall_retry_cycles: u64,
+    /// L1-service portion of `mem_lat_cycles` (L1 hits and miss issue
+    /// slots). With `lat_l2_cycles` it partitions `mem_lat_cycles`
+    /// exactly: `mem_lat_cycles == lat_l1 + lat_l2`.
+    pub lat_l1_cycles: u64,
+    /// L2-service portion of `mem_lat_cycles` (L2 hits and L2-to-L1
+    /// transfers of completed prefetches).
+    pub lat_l2_cycles: u64,
 }
 
 impl MemStats {
@@ -47,6 +71,12 @@ impl MemStats {
             cpu_cycles: self.cpu_cycles - earlier.cpu_cycles,
             stall_cycles: self.stall_cycles - earlier.stall_cycles,
             mem_lat_cycles: self.mem_lat_cycles - earlier.mem_lat_cycles,
+            stall_bw_cycles: self.stall_bw_cycles - earlier.stall_bw_cycles,
+            stall_dram_cycles: self.stall_dram_cycles - earlier.stall_dram_cycles,
+            stall_device_cycles: self.stall_device_cycles - earlier.stall_device_cycles,
+            stall_retry_cycles: self.stall_retry_cycles - earlier.stall_retry_cycles,
+            lat_l1_cycles: self.lat_l1_cycles - earlier.lat_l1_cycles,
+            lat_l2_cycles: self.lat_l2_cycles - earlier.lat_l2_cycles,
         }
     }
 
@@ -63,12 +93,31 @@ impl MemStats {
         self.cpu_cycles += other.cpu_cycles;
         self.stall_cycles += other.stall_cycles;
         self.mem_lat_cycles += other.mem_lat_cycles;
+        self.stall_bw_cycles += other.stall_bw_cycles;
+        self.stall_dram_cycles += other.stall_dram_cycles;
+        self.stall_device_cycles += other.stall_device_cycles;
+        self.stall_retry_cycles += other.stall_retry_cycles;
+        self.lat_l1_cycles += other.lat_l1_cycles;
+        self.lat_l2_cycles += other.lat_l2_cycles;
     }
 
     /// Cycles this core's clock advanced: compute + stalls + cache-hit
     /// service latency.
     pub fn busy_cycles(&self) -> u64 {
         self.cpu_cycles + self.stall_cycles + self.mem_lat_cycles
+    }
+
+    /// Check the sub-bucket partitions: the four stall buckets must sum
+    /// exactly to `stall_cycles` and the two latency buckets to
+    /// `mem_lat_cycles`. Every charge site in the hierarchy maintains
+    /// this; the top-down accounting asserts it.
+    pub fn buckets_reconcile(&self) -> bool {
+        self.stall_bw_cycles
+            + self.stall_dram_cycles
+            + self.stall_device_cycles
+            + self.stall_retry_cycles
+            == self.stall_cycles
+            && self.lat_l1_cycles + self.lat_l2_cycles == self.mem_lat_cycles
     }
 
     /// Bytes of cache-line traffic that actually crossed the memory bus
@@ -83,6 +132,27 @@ impl MemStats {
             return 0.0;
         }
         self.l1_hits as f64 / self.line_accesses as f64
+    }
+
+    /// This window's top-down breakdown (DESIGN.md §12): maps the stat
+    /// buckets onto the Level-1/Level-2 taxonomy. `idle_cycles` is the
+    /// barrier wait attributed by the caller (0 outside a parallel
+    /// region); `elapsed == busy_cycles() + idle_cycles` by construction,
+    /// so the result always satisfies [`fabric_obs::TopDownCore::verify`]
+    /// when the sub-bucket partitions hold ([`Self::buckets_reconcile`]).
+    pub fn topdown(&self, core: usize, idle_cycles: u64) -> fabric_obs::TopDownCore {
+        fabric_obs::TopDownCore {
+            core,
+            retired: self.cpu_cycles,
+            mem_l1: self.lat_l1_cycles,
+            mem_l2: self.lat_l2_cycles,
+            mem_dram: self.stall_dram_cycles,
+            mem_rm_device: self.stall_device_cycles,
+            bw_wait: self.stall_bw_cycles,
+            fault_retry: self.stall_retry_cycles,
+            idle: idle_cycles,
+            elapsed: self.busy_cycles() + idle_cycles,
+        }
     }
 
     /// Record every counter into a [`fabric_obs::MetricsRegistry`] under
@@ -100,6 +170,12 @@ impl MemStats {
             ("cpu_cycles", self.cpu_cycles),
             ("stall_cycles", self.stall_cycles),
             ("mem_lat_cycles", self.mem_lat_cycles),
+            ("stall_bw_cycles", self.stall_bw_cycles),
+            ("stall_dram_cycles", self.stall_dram_cycles),
+            ("stall_device_cycles", self.stall_device_cycles),
+            ("stall_retry_cycles", self.stall_retry_cycles),
+            ("lat_l1_cycles", self.lat_l1_cycles),
+            ("lat_l2_cycles", self.lat_l2_cycles),
         ] {
             registry.counter_add(&format!("{prefix}.{name}"), value);
         }

@@ -317,12 +317,12 @@ impl Session<'_> {
             &prepared.plan.cost,
         )?;
         let has_cols = entry.cols.is_some();
-        let (_, reports, profile, cores) = analyze_paths_impl(
+        let (_, reports, profile, cores, topdown) = analyze_paths_impl(
             &mut self.engine.mem,
             &self.engine.catalog,
             &prepared.plan.bound,
         )?;
-        render_analyze_report(&header, has_cols, &reports, &profile, &cores)
+        render_analyze_report(&header, has_cols, &reports, &profile, &cores, &topdown)
     }
 }
 
@@ -456,5 +456,6 @@ mod tests {
         assert!(text.contains("analyze:"), "{text}");
         assert!(text.contains("cores (chosen path):"), "{text}");
         assert!(text.contains("core 0"), "{text}");
+        assert!(text.contains("top-down (chosen path):"), "{text}");
     }
 }

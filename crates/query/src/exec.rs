@@ -66,6 +66,20 @@ pub struct CoreAttribution {
     pub cpu_cycles: u64,
     pub stall_cycles: u64,
     pub mem_lat_cycles: u64,
+    /// L1-service share of `mem_lat_cycles` (with `lat_l2_cycles` it
+    /// partitions `mem_lat_cycles` exactly).
+    pub lat_l1_cycles: u64,
+    /// L2-service share of `mem_lat_cycles`.
+    pub lat_l2_cycles: u64,
+    /// Bandwidth-ledger share of `stall_cycles` (the four stall buckets
+    /// partition `stall_cycles` exactly — see `MemStats`).
+    pub stall_bw_cycles: u64,
+    /// DRAM-data-wait share of `stall_cycles`.
+    pub stall_dram_cycles: u64,
+    /// Producer-device-wait share of `stall_cycles` (RM beat, SSD, bus).
+    pub stall_device_cycles: u64,
+    /// Fault-retry-backoff share of `stall_cycles`.
+    pub stall_retry_cycles: u64,
     /// Payload bytes this core read through the hierarchy.
     pub bytes_read: u64,
     /// Cycles this core sat at barriers waiting for slower peers (or for
@@ -94,6 +108,12 @@ pub struct QueryOutput {
     /// Per-core cycle/byte attribution for this query, one entry per
     /// simulated core (a single entry on a 1-core engine).
     pub cores: Vec<CoreAttribution>,
+    /// Top-down cycle accounting for the query window (DESIGN.md §12):
+    /// every core's elapsed cycles classified into retired / memory-bound
+    /// / stall buckets. Verified (`buckets sum == elapsed`) before the
+    /// output is returned, and exported into the metrics registry as
+    /// `query.core<i>.td.*`.
+    pub topdown: fabric_sim::TopDown,
 }
 
 /// Fault-handling state threaded through [`execute_resilient`] across
@@ -448,6 +468,9 @@ pub(crate) fn run_verified(
 ) -> Result<QueryOutput> {
     // Align the cores so the attribution window has one common origin.
     let t0 = mem.fork_clocks();
+    // Arm the flight recorder: a mid-query postmortem reports its metrics
+    // delta relative to this point.
+    mem.flight_arm();
     let before: Vec<MemStats> = (0..mem.num_cores()).map(|i| mem.core_stats(i)).collect();
     mem.trace_begin("query::exec", Category::Query);
     let mut profile = Vec::new();
@@ -513,6 +536,11 @@ fn run_scan(
                 // software.
                 ctx.breaker_skips += 1;
                 mem.trace_instant("query.breaker_skip", Category::Fault, &[]);
+                // The skip must be visible in every MetricsSnapshot, not
+                // only in the context counters (it was silently dropped
+                // before this landed in the registry).
+                mem.metrics_mut().counter_add("query.breaker_skips", 1);
+                mem.flight_dump("breaker-open");
                 let fb = fallback_path(cost);
                 let rows = software(mem, profile, fb)?;
                 return Ok((rows, fb, None, Some(AccessPath::Rm)));
@@ -560,6 +588,7 @@ fn run_scan(
                         Category::Fault,
                         &[("to_col", u64::from(fb == AccessPath::Col))],
                     );
+                    mem.flight_dump("degraded");
                     let rows = software(mem, profile, fb)?;
                     Ok((rows, fb, Some(stats), Some(AccessPath::Rm)))
                 }
@@ -604,23 +633,39 @@ fn finish_output(
     // the per-core busy deltas plus barrier idle add up to `total` each.
     let t_end = mem.join_clocks();
     let total = t_end - t0;
-    let cores: Vec<CoreAttribution> = before
-        .iter()
-        .enumerate()
-        .map(|(i, b)| {
-            let d = mem.core_stats(i).delta_since(b);
-            let busy = d.busy_cycles();
-            CoreAttribution {
-                core: i,
-                busy_cycles: busy,
-                cpu_cycles: d.cpu_cycles,
-                stall_cycles: d.stall_cycles,
-                mem_lat_cycles: d.mem_lat_cycles,
-                bytes_read: d.bytes_read,
-                idle_cycles: total.saturating_sub(busy),
-            }
-        })
-        .collect();
+    let mut cores: Vec<CoreAttribution> = Vec::with_capacity(before.len());
+    let mut td_cores: Vec<fabric_sim::TopDownCore> = Vec::with_capacity(before.len());
+    for (i, b) in before.iter().enumerate() {
+        let d = mem.core_stats(i).delta_since(b);
+        let busy = d.busy_cycles();
+        let idle = total.saturating_sub(busy);
+        td_cores.push(d.topdown(i, idle));
+        cores.push(CoreAttribution {
+            core: i,
+            busy_cycles: busy,
+            cpu_cycles: d.cpu_cycles,
+            stall_cycles: d.stall_cycles,
+            mem_lat_cycles: d.mem_lat_cycles,
+            lat_l1_cycles: d.lat_l1_cycles,
+            lat_l2_cycles: d.lat_l2_cycles,
+            stall_bw_cycles: d.stall_bw_cycles,
+            stall_dram_cycles: d.stall_dram_cycles,
+            stall_device_cycles: d.stall_device_cycles,
+            stall_retry_cycles: d.stall_retry_cycles,
+            bytes_read: d.bytes_read,
+            idle_cycles: idle,
+        });
+    }
+    let topdown = fabric_sim::TopDown { cores: td_cores };
+    // Hard invariant (DESIGN.md §12): the top-down buckets partition each
+    // core's elapsed cycles exactly. A violation means a charge site in
+    // the hierarchy leaked cycles past the sub-bucket accounting.
+    if let Err(why) = topdown.verify() {
+        mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+        return Err(FabricError::Internal(format!(
+            "top-down accounting does not reconcile: {why}"
+        )));
+    }
     mem.trace_end(
         "query::exec",
         Category::Query,
@@ -648,6 +693,7 @@ fn finish_output(
         metrics.counter_add(&format!("query.core{}.idle_cycles", a.core), a.idle_cycles);
         metrics.counter_add(&format!("query.core{}.bytes_read", a.core), a.bytes_read);
     }
+    topdown.record_into(metrics, "query");
     if let Some(rm) = &rm_stats {
         rm.record_into(metrics, "query.rm");
     }
@@ -660,6 +706,7 @@ fn finish_output(
         degraded_from,
         profile,
         cores,
+        topdown,
     })
 }
 

@@ -175,12 +175,13 @@ pub fn analyze_paths(
     catalog: &Catalog,
     bound: &BoundQuery,
 ) -> Result<(AccessPath, Vec<PathReport>, Vec<PhaseProfile>)> {
-    let (chosen, reports, profile, _) = analyze_paths_impl(mem, catalog, bound)?;
+    let (chosen, reports, profile, _, _) = analyze_paths_impl(mem, catalog, bound)?;
     Ok((chosen, reports, profile))
 }
 
 /// Full-fidelity form of [`analyze_paths`]: also returns the chosen path's
-/// per-core cycle/byte attribution.
+/// per-core cycle/byte attribution and its top-down cycle breakdown.
+#[allow(clippy::type_complexity)]
 pub(crate) fn analyze_paths_impl(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
@@ -190,6 +191,7 @@ pub(crate) fn analyze_paths_impl(
     Vec<PathReport>,
     Vec<PhaseProfile>,
     Vec<CoreAttribution>,
+    fabric_sim::TopDown,
 )> {
     let entry = catalog.get(&bound.table)?;
     let (chosen, cost) = choose_path_parallel(
@@ -204,6 +206,7 @@ pub(crate) fn analyze_paths_impl(
     let mut reports = Vec::new();
     let mut chosen_profile = Vec::new();
     let mut chosen_cores = Vec::new();
+    let mut chosen_topdown = fabric_sim::TopDown::default();
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
         // An unpriced path (COL without a columnar copy) is unavailable.
         let (Some(est_ns), Some(est_bytes)) = (cost.ns(path), cost.bytes(path)) else {
@@ -240,11 +243,18 @@ pub(crate) fn analyze_paths_impl(
         if path == chosen {
             chosen_profile = out.profile;
             chosen_cores = out.cores;
+            chosen_topdown = out.topdown;
         }
         reports.push(report);
     }
     mem.metrics_mut().counter_add("explain.analyze_runs", 1);
-    Ok((chosen, reports, chosen_profile, chosen_cores))
+    Ok((
+        chosen,
+        reports,
+        chosen_profile,
+        chosen_cores,
+        chosen_topdown,
+    ))
 }
 
 /// `EXPLAIN ANALYZE`: render the plan, then execute the query on every
@@ -266,8 +276,8 @@ pub fn explain_analyze(
     )?;
     let header = render_plan(entry, bound, path, &cost).map_err(fmt_err)?;
     let has_cols = entry.cols.is_some();
-    let (_, reports, profile, cores) = analyze_paths_impl(mem, catalog, bound)?;
-    render_analyze(&header, has_cols, &reports, &profile, &cores).map_err(fmt_err)
+    let (_, reports, profile, cores, topdown) = analyze_paths_impl(mem, catalog, bound)?;
+    render_analyze(&header, has_cols, &reports, &profile, &cores, &topdown).map_err(fmt_err)
 }
 
 /// Error-mapped analyze rendering for callers outside this module (the
@@ -278,8 +288,9 @@ pub(crate) fn render_analyze_report(
     reports: &[PathReport],
     profile: &[PhaseProfile],
     cores: &[CoreAttribution],
+    topdown: &fabric_sim::TopDown,
 ) -> Result<String> {
-    render_analyze(header, has_cols, reports, profile, cores).map_err(fmt_err)
+    render_analyze(header, has_cols, reports, profile, cores, topdown).map_err(fmt_err)
 }
 
 fn render_analyze(
@@ -288,6 +299,7 @@ fn render_analyze(
     reports: &[PathReport],
     profile: &[PhaseProfile],
     cores: &[CoreAttribution],
+    topdown: &fabric_sim::TopDown,
 ) -> std::result::Result<String, std::fmt::Error> {
     let mut out = String::from(header);
     writeln!(out, "  analyze:")?;
@@ -343,6 +355,10 @@ fn render_analyze(
             )?;
         }
         writeln!(out, "    elapsed {elapsed} cycles (global clock)")?;
+    }
+    if !topdown.cores.is_empty() {
+        writeln!(out, "  top-down (chosen path):")?;
+        out.push_str(&topdown.render());
     }
     Ok(out)
 }
@@ -452,6 +468,8 @@ mod tests {
         }
         assert!(text.contains("err ns"), "{text}");
         assert!(text.contains("nodes (chosen path):"), "{text}");
+        assert!(text.contains("top-down (chosen path):"), "{text}");
+        assert!(text.contains("stall.retry"), "{text}");
         // Relative-error gauges landed in the metrics registry for every path.
         for key in ["row", "col", "rm"] {
             for dim in ["ns", "bytes"] {

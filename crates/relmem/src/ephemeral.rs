@@ -337,7 +337,7 @@ impl EphemeralColumns {
                 }
                 self.run.stats_mut().retries += 1;
                 mem.trace_instant("rm.retry", Category::Fault, &[("attempt", attempts as u64)]);
-                mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
+                mem.stall_retry_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
                 continue;
             }
 
@@ -383,6 +383,10 @@ impl EphemeralColumns {
                 Category::Fault,
                 &[("attempt", attempts as u64)],
             );
+            // Data corruption is a flight-recorder trigger: capture the
+            // events leading up to the bad CRC while they are still in
+            // the ring.
+            mem.flight_dump("crc-failure");
             if attempts > policy.max_retries {
                 mem.trace_end("rm.deliver", Category::Rm, &[("failed", 1)]);
                 return Err(FabricError::CorruptBatch {
@@ -392,7 +396,7 @@ impl EphemeralColumns {
             }
             self.run.stats_mut().retries += 1;
             mem.trace_instant("rm.retry", Category::Fault, &[("attempt", attempts as u64)]);
-            mem.stall_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
+            mem.stall_retry_until(mem.now() + policy.backoff_cycles(attempts, cpu_ghz));
         }
     }
 

@@ -21,6 +21,13 @@
 #                                cores with a fixed chaos seed: morsel-
 #                                parallel answers must be bit-identical
 #                                to the 1-core run on every access path)
+#   8. perf regression gate     (tools/perf_gate.sh --check on one bench
+#                                per family, compared against the checked-
+#                                in results/BENCH_*.json baselines: cycle
+#                                counters exact, wall-clock excluded; ends
+#                                with the gate self-test, which injects a
+#                                synthetic +10% cycle regression and
+#                                asserts the gate fails it)
 
 set -eu
 
@@ -86,5 +93,15 @@ if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
         "$PAR_CORES" "$CHAOS_SEED"
     exit 1
 fi
+
+# Perf regression gate: rerun one bench from each family (ablation,
+# figure reproduction, traced query) into a scratch results dir and
+# compare against the checked-in baselines. The simulator is
+# deterministic, so cycle counters must match the baseline EXACTLY;
+# host wall-clock metrics are excluded by policy. A legitimate perf
+# change re-stamps baselines with:
+#   tools/perf_gate.sh --update-baselines
+say "perf regression gate (abl_parallel fig5_projectivity trace_query + self-test)"
+tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query
 
 say "tier-1 gate passed"
