@@ -4,7 +4,7 @@
 //! plus zig-zag varint deltas. Decoding value `i` touches only its block —
 //! the granularity at which a fabric device can decompress on the fly.
 
-use fabric_types::{FabricError, Result};
+use fabric_types::{cast, FabricError, Result};
 
 /// Default rows per block (one block ≈ one device burst).
 pub const DEFAULT_BLOCK: usize = 128;
@@ -33,7 +33,7 @@ fn unzigzag(v: u64) -> i64 {
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
-        let byte = (v & 0x7F) as u8;
+        let byte = cast::low_u8(v & 0x7F);
         v >>= 7;
         if v == 0 {
             out.push(byte);

@@ -5,7 +5,7 @@
 //! touching neighbours — true O(1) random access.
 
 use fabric_types::{FabricError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A dictionary-encoded column of fixed-width raw values.
 #[derive(Debug, Clone)]
@@ -39,7 +39,7 @@ impl DictEncoded {
             )));
         }
         let len = raw.len() / value_width;
-        let mut index: HashMap<&[u8], usize> = HashMap::new();
+        let mut index: BTreeMap<&[u8], usize> = BTreeMap::new();
         let mut dict = Vec::new();
         let mut code_list = Vec::with_capacity(len);
         for i in 0..len {

@@ -6,7 +6,7 @@
 //! FOR the friendliest numeric codec for a Relational Fabric after plain
 //! dictionaries: the device reads one block header and one bit-packed slot.
 
-use fabric_types::{FabricError, Result};
+use fabric_types::{cast, FabricError, Result};
 
 /// Default values per block.
 pub const DEFAULT_BLOCK: usize = 128;
@@ -30,7 +30,8 @@ pub struct ForEncoded {
 }
 
 fn bits_needed(max_offset: u64) -> u8 {
-    (64 - max_offset.leading_zeros()) as u8
+    // 0..=64: always fits in a u8.
+    cast::low_u8(u64::from(64 - max_offset.leading_zeros()))
 }
 
 impl ForEncoded {

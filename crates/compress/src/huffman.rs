@@ -1,7 +1,7 @@
 //! Canonical Huffman coding over bytes, with a block index for
 //! fabric-style random access at block granularity.
 
-use fabric_types::{FabricError, Result};
+use fabric_types::{cast, FabricError, Result};
 use std::collections::BinaryHeap;
 
 /// Default symbols per indexed block.
@@ -201,7 +201,7 @@ impl HuffmanEncoded {
                 if pos >= total_bits {
                     return Err(FabricError::Codec("huffman stream truncated".into()));
                 }
-                code = (code << 1) | read_bit(&self.bits, pos) as u32;
+                code = (code << 1) | u32::from(read_bit(&self.bits, pos));
                 pos += 1;
                 len += 1;
                 if len > max_len {
@@ -213,7 +213,8 @@ impl HuffmanEncoded {
                     .iter()
                     .find(|&&s| self.lengths[s] == len && codes[s] == (code, len))
                 {
-                    out.push(sym as u8);
+                    // `order` only holds indices 0..256.
+                    out.push(cast::low_u8(sym as u64));
                     break;
                 }
             }

@@ -3,8 +3,8 @@
 //! *"they require fully decompressing your data before you can access
 //! separate columns"*.
 
-use fabric_types::{FabricError, Result};
-use std::collections::HashMap;
+use fabric_types::{cast, FabricError, Result};
+use std::collections::BTreeMap;
 
 /// Minimum/maximum match lengths.
 const MIN_MATCH: usize = 4;
@@ -27,7 +27,7 @@ impl Lz77 {
     pub fn encode(data: &[u8]) -> Self {
         let mut tokens = Vec::new();
         // Map from a 4-byte prefix to recent positions.
-        let mut table: HashMap<[u8; 4], Vec<usize>> = HashMap::new();
+        let mut table: BTreeMap<[u8; 4], Vec<usize>> = BTreeMap::new();
         let mut i = 0usize;
         while i < data.len() {
             let mut best_len = 0usize;
@@ -52,8 +52,10 @@ impl Lz77 {
             }
             if best_len >= MIN_MATCH {
                 tokens.push(1);
-                tokens.extend_from_slice(&(best_off as u16).to_le_bytes());
-                tokens.push(best_len as u8);
+                // Bounded by construction: `best_off <= WINDOW` (4096) and
+                // `best_len <= MAX_MATCH` (255).
+                tokens.extend_from_slice(&cast::low_u16(best_off as u64).to_le_bytes());
+                tokens.push(cast::low_u8(best_len as u64));
                 for j in i..i + best_len {
                     if j + 4 <= data.len() {
                         let key: [u8; 4] = data[j..j + 4].try_into().unwrap();

@@ -1,0 +1,17 @@
+//@ scan-as: crates/workload/src/fx_results.rs
+//! `adhoc-bench-output`: string literals naming the artifact directory,
+//! including raw strings; comments and lookalike paths stay clean.
+
+pub fn hardcoded_artifact() {
+    let ignored = std::fs::write("results/q1.json", b"{}"); //~ adhoc-bench-output
+    drop(ignored);
+}
+
+pub fn hardcoded_raw_dir() -> &'static str {
+    r"results/traces" //~ adhoc-bench-output
+}
+
+pub fn lookalikes_are_clean() -> (&'static str, &'static str) {
+    // artifacts land in "results/BENCH_x.json" — a comment, not code
+    ("my_results/x.json", "results_dir")
+}

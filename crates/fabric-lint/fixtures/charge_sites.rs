@@ -1,0 +1,28 @@
+//@ scan-as: crates/fabric-sim/src/fx_charge.rs
+//! `unattributed-charge`: MemStats counters mutate only at the charge
+//! sites. Reads/comparisons and non-counter fields are fine; `==` is its
+//! own token, so it can never look like an assignment.
+
+pub fn rogue_charge(stats: &mut MemStats) {
+    stats.cpu_cycles += 4; //~ unattributed-charge
+    stats.bytes_read = 128; //~ unattributed-charge
+    stats.stall_dram_cycles <<= 1; //~ unattributed-charge
+}
+
+pub fn reads_are_fine(a: &MemStats, b: &MemStats) -> bool {
+    a.cpu_cycles == b.cpu_cycles && a.l1_hits > b.l1_hits
+}
+
+pub fn other_fields_are_fine(q: &mut QueryStats) {
+    q.rows_emitted += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_fabricate_counters() {
+        let mut s = MemStats::default();
+        s.cpu_cycles = 99;
+        assert_eq!(s.cpu_cycles, 99);
+    }
+}

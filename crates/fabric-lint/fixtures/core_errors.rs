@@ -1,0 +1,55 @@
+//@ scan-as: crates/relmem/src/fx_core_errors.rs
+//! Core-crate library scope: `no-unwrap`, `ignored-result`, `no-exit`.
+//! The `#[cfg(test)]` module at the bottom shows the test-region waiver.
+
+use fabric_types::Result;
+
+pub fn lookup(xs: &[u64], i: usize) -> u64 {
+    *xs.get(i).unwrap() //~ no-unwrap
+}
+
+pub fn explain(x: Option<u64>) -> u64 {
+    x.expect("present") //~ no-unwrap
+}
+
+pub fn boom() {
+    panic!("bad geometry"); //~ no-unwrap
+}
+
+pub fn still_todo() {
+    todo!(); //~ no-unwrap
+}
+
+pub fn drop_result(r: Result<()>) {
+    let _ = r; //~ ignored-result
+}
+
+pub fn fire_and_forget() {
+    retry().ok(); //~ ignored-result
+}
+
+pub fn bind_is_fine() -> Option<()> {
+    let kept = retry().ok();
+    kept
+}
+
+pub fn return_is_fine() -> Option<()> {
+    return retry().ok();
+}
+
+pub fn bail() {
+    std::process::exit(2); //~ no-exit
+}
+
+fn retry() -> Result<()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        super::retry().unwrap();
+        let _ = super::retry();
+    }
+}

@@ -1,0 +1,27 @@
+//@ scan-as: crates/workload/src/fx_entry.rs
+//! `deprecated-entry-point` token shapes: qualified calls, the bare
+//! resilient shims, and the lookalikes that must stay clean.
+
+pub fn drives_old_api(m: &mut M, c: &C, b: &B) {
+    query::execute(m, c, b); //~ deprecated-entry-point
+    sql::run(m, c, "select 1"); //~ deprecated-entry-point
+    execute_resilient(m, c, b); //~ deprecated-entry-point
+}
+
+pub fn qualified_counts_once(m: &mut M, c: &C, b: &B, p: P) {
+    query::execute_on(m, c, b, p); //~ deprecated-entry-point
+}
+
+pub fn replacements_are_clean(session: &mut Session, prepared: &P, path: Path) {
+    session.execute_on(prepared, path);
+    execute_on_impl(prepared);
+    my_query::execute(prepared);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_drivers_must_migrate_too() {
+        query::execute(m, c, b); //~ deprecated-entry-point
+    }
+}

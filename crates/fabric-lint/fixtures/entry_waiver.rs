@@ -1,0 +1,8 @@
+//@ scan-as: crates/workload/src/fx_entry_waiver.rs
+//! A file-level `#![allow(deprecated)]` — the waiver rustc itself
+//! requires of a deliberate caller — silences `deprecated-entry-point`.
+#![allow(deprecated)]
+
+pub fn deliberate_legacy_driver(m: &mut M, c: &C, b: &B) {
+    query::execute(m, c, b);
+}

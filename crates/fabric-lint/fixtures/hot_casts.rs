@@ -1,0 +1,27 @@
+//@ scan-as: crates/compress/src/fx_casts.rs
+//! `narrowing-cast` in a hot-path module: truncating `as` is flagged,
+//! widening and checked conversions are not, tests are out of scope.
+
+pub fn truncates(v: u64) -> u8 {
+    (v & 0x7F) as u8 //~ narrowing-cast
+}
+
+pub fn truncates_signed(v: i64) -> i32 {
+    v as i32 //~ narrowing-cast
+}
+
+pub fn widens(v: u32) -> u64 {
+    v as u64
+}
+
+pub fn checked(v: u64) -> Option<u16> {
+    u16::try_from(v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        assert_eq!(super::truncates(0x17F), 0x17F as u8);
+    }
+}

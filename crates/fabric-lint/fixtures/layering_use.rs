@@ -1,0 +1,21 @@
+//@ scan-as: crates/fabric-obs/src/fx_layering.rs
+//! The acceptance-criterion inversion: the observability layer reaching
+//! *up* into the query engine. Downward and std imports stay clean, and
+//! `use` declarations inside test modules are checked too — a test still
+//! compiles against its crate's dependency set.
+
+use query::Engine; //~ layering-violation
+use fabric_types::Value;
+use std::fmt::Write as _;
+
+pub fn render(v: Value) -> String {
+    let mut s = String::new();
+    let done = write!(s, "{v:?}");
+    drop(done);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use workload::Suite; //~ layering-violation
+}

@@ -1,0 +1,29 @@
+//@ scan-as: crates/relmem/src/fx_lexer_torture.rs
+//! The old line-scanner's nemesis cases: violations spelled inside raw
+//! strings, nested block comments, byte strings, and char literals must
+//! all stay silent — and real code *after* them must still be seen.
+
+pub fn strings() -> usize {
+    let plain = ".unwrap() and panic! live here";
+    let raw = r#"s.cpu_cycles += 4; HashMap::new(); "results/x.json""#;
+    let nested = r##"outer r#"inner"# is still one token"##;
+    let bytes = b"query::execute(&mut m, &c, &b)";
+    let byte_raw = br#"std::process::exit(1)"#;
+    plain.len() + raw.len() + nested.len() + bytes.len() + byte_raw.len()
+}
+
+/* block comments nest in Rust:
+   /* query::execute(&mut m, &c, &b) */
+   s.cpu_cycles += 4; and this is still inside the outer comment
+*/
+
+pub fn lifetimes_vs_chars<'a>(x: &'a [u8]) -> (char, u8) {
+    let c = 'q';
+    let esc = '\'';
+    // `as u8` is legal here: this file is not a hot-path module.
+    (c, x[0] + esc as u8)
+}
+
+pub fn resynchronized_after_all_of_that(x: Option<u64>) -> u64 {
+    x.unwrap() //~ no-unwrap
+}

@@ -1,0 +1,29 @@
+//@ scan-as: crates/relmem/src/fx_macro_traits.rs
+//! Macro bodies and trait impls are ordinary token streams to the
+//! analyzer: a violation inside them is real code waiting to expand.
+
+macro_rules! bump {
+    ($s:expr) => {
+        $s.cpu_cycles += 1 //~ unattributed-charge
+    };
+}
+
+pub trait Telemetry {
+    fn snapshot(&self) -> u64;
+
+    fn render(&self) -> String {
+        format!("snap={}", self.snapshot())
+    }
+}
+
+pub struct Packer;
+
+impl Telemetry for Packer {
+    fn snapshot(&self) -> u64 {
+        head().unwrap() //~ no-unwrap
+    }
+}
+
+fn head() -> Option<u64> {
+    Some(1)
+}

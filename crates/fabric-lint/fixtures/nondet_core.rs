@@ -1,0 +1,35 @@
+//@ scan-as: crates/query/src/fx_nondet.rs
+//! `nondeterministic-core` in a result-affecting library: hash-order
+//! containers, wall-clock reads, and un-allowlisted env reads.
+
+use std::collections::HashMap; //~ nondeterministic-core
+
+pub fn hash_order(m: HashMap<u64, u64>, s: HashSet<u64>) -> usize { //~ nondeterministic-core nondeterministic-core
+    m.len() + s.len()
+}
+
+pub fn wall_clock() -> u128 {
+    let t = std::time::Instant::now(); //~ nondeterministic-core
+    t.elapsed().as_nanos()
+}
+
+pub fn bare_clock() -> Instant {
+    Instant::now() //~ nondeterministic-core
+}
+
+pub fn env_reads() -> (Option<String>, Option<String>) {
+    let seed = std::env::var("FABRIC_CHAOS_SEED").ok();
+    let home = std::env::var("HOME").ok(); //~ nondeterministic-core
+    (seed, home)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let started = Instant::now();
+        assert!(started.elapsed().as_nanos() < u128::MAX);
+    }
+}

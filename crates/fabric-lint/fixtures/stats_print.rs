@@ -1,0 +1,22 @@
+//@ scan-as: crates/mvcc/src/fx_stats_print.rs
+//! `raw-stats-print`: ad-hoc stringification of counter structs in a
+//! core-crate library, as a positional argument or an inline capture.
+//! `write!`/`writeln!` into a caller-supplied writer stay legal.
+
+pub fn dump(stats: &MemStats) {
+    println!("l1={} l2={}", stats.l1_hits, stats.l2_hits); //~ raw-stats-print
+}
+
+pub fn capture(txn_stats: &TxnStats) -> String {
+    format!("{txn_stats:?}") //~ raw-stats-print
+}
+
+pub fn render_into(out: &mut String, stats: &MemStats) {
+    use std::fmt::Write as _;
+    let rendered = writeln!(out, "l1={}", stats.l1_hits);
+    drop(rendered);
+}
+
+pub fn plain_prints_are_fine(rows: usize) {
+    println!("{rows} rows");
+}

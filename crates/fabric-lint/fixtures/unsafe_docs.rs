@@ -1,0 +1,28 @@
+//@ scan-as: crates/colstore/src/fx_unsafe.rs
+//! `undocumented-unsafe` applies everywhere — tests included — and is
+//! satisfied by a `SAFETY:` line or block comment within three lines.
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn documented_by_block(p: *const u8) -> u8 {
+    /* SAFETY: caller guarantees `p` is valid
+       for reads across this whole block. */
+    unsafe { *p }
+}
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p } //~ undocumented-unsafe
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_not_exempt() {
+        let x = 7u8;
+        let y = unsafe { *(&x as *const u8) }; //~ undocumented-unsafe
+        assert_eq!(y, 7);
+    }
+}

@@ -1,0 +1,265 @@
+//! The architecture DAG, machine-checked (rule `layering-violation`).
+//!
+//! The fabric's layer cake, bottom to top:
+//!
+//! ```text
+//!   0  fabric-types
+//!   1  fabric-obs
+//!   2  fabric-sim
+//!   3  relmem  relstore  rowstore  colstore  compress  mvcc
+//!   4  query
+//!   5  workload  bench
+//! ```
+//!
+//! A crate may depend on any strictly lower layer; the only sanctioned
+//! intra-layer edges are `relstore → {compress, relmem}` and
+//! `mvcc → {rowstore, relmem}` (composite stores wrapping primitive
+//! ones). Two crates sit outside the cake: `fabric-lint` is std-only by
+//! charter (it must lint the workspace without depending on it), and the
+//! `relational-fabric` facade re-exports everything, so every edge out
+//! of it is legal.
+//!
+//! The pass checks both places an edge can be introduced: `use`
+//! declarations in source files (via [`check_use`], fed from the
+//! [`FileModel`](crate::model::FileModel)'s use list) and `Cargo.toml`
+//! dependency tables (via [`scan_cargo_manifest`]). Manifests are also
+//! where the offline-build policy bites: a dependency naming anything
+//! that is not a workspace crate is flagged, because the registry is
+//! unreachable in this build environment and a phantom dep would break
+//! `cargo build` for everyone.
+
+use crate::{excerpt_of, Diagnostic, Rule};
+
+/// `(crate, layer)` for every workspace crate inside the layer cake.
+pub const LAYERS: &[(&str, u8)] = &[
+    ("fabric-types", 0),
+    ("fabric-obs", 1),
+    ("fabric-sim", 2),
+    ("relmem", 3),
+    ("relstore", 3),
+    ("rowstore", 3),
+    ("colstore", 3),
+    ("compress", 3),
+    ("mvcc", 3),
+    ("query", 4),
+    ("workload", 5),
+    ("bench", 5),
+];
+
+/// Sanctioned same-layer edges `(from, to)`: composite stores wrapping
+/// primitive ones, and the bench driver running the workload suites.
+pub const INTRA_LAYER_EDGES: &[(&str, &str)] = &[
+    ("relstore", "compress"),
+    ("relstore", "relmem"),
+    ("mvcc", "rowstore"),
+    ("mvcc", "relmem"),
+    ("bench", "workload"),
+];
+
+/// Layer number, if the crate is in the cake.
+pub fn crate_layer(name: &str) -> Option<u8> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
+}
+
+/// Is `name` any workspace crate (cake, lint, or facade)?
+pub fn is_workspace_crate(name: &str) -> bool {
+    crate_layer(name).is_some() || name == "fabric-lint" || name == "relational-fabric"
+}
+
+/// May `from` depend on `to`? `None` means "not a question for this pass"
+/// (either endpoint unknown, or a self-edge); `Some(msg)` is a violation.
+pub fn edge_violation(from: &str, to: &str) -> Option<String> {
+    if from == to || !is_workspace_crate(to) {
+        return None;
+    }
+    if from == "relational-fabric" {
+        return None; // the facade re-exports the world
+    }
+    if from == "fabric-lint" {
+        return Some(format!(
+            "fabric-lint is std-only by charter and must not depend on workspace crate `{to}`"
+        ));
+    }
+    if to == "relational-fabric" || to == "fabric-lint" {
+        return Some(format!(
+            "no crate may depend on `{to}` (facade and linter sit outside the layer cake)"
+        ));
+    }
+    let (Some(fl), Some(tl)) = (crate_layer(from), crate_layer(to)) else {
+        return None;
+    };
+    if tl < fl || INTRA_LAYER_EDGES.contains(&(from, to)) {
+        return None;
+    }
+    Some(format!(
+        "`{from}` (layer {fl}) must not depend on `{to}` (layer {tl}): \
+         the DAG flows fabric-types → fabric-obs → fabric-sim → stores → query → workload/bench"
+    ))
+}
+
+/// Check one `use` root seen in `from_crate`'s source. The root arrives
+/// as an identifier (`fabric_types`), so it is de-snaked before lookup;
+/// roots that are not workspace crates (std, core, crate, local modules)
+/// are ignored — manifests are where external deps are policed.
+pub fn check_use(from_crate: &str, root: &str) -> Option<String> {
+    let dep = root.replace('_', "-");
+    if !is_workspace_crate(&dep) {
+        return None;
+    }
+    edge_violation(from_crate, &dep)
+}
+
+/// Which crate owns a workspace-relative `Cargo.toml` path.
+pub fn manifest_crate(rel: &str) -> Option<String> {
+    if rel == "Cargo.toml" {
+        return Some("relational-fabric".to_string());
+    }
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    (tail == "Cargo.toml").then(|| name.to_string())
+}
+
+/// Scan one `Cargo.toml` for layering and offline-policy violations.
+///
+/// A real TOML parser is overkill for the two things this needs: which
+/// `[…dependencies]` table a line is in, and the dependency name on the
+/// left of `=` / `.`. Comments are stripped at `#` (workspace manifests
+/// keep `#` out of quoted strings), and `[package]`-style tables are
+/// skipped wholesale.
+pub fn scan_cargo_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let Some(owner) = manifest_crate(rel) else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            // `[dependencies]`, `[dev-dependencies]`,
+            // `[workspace.dependencies]`, `[target.….dependencies]` — any
+            // table whose name ends in "dependencies" declares edges.
+            let table = line.trim_matches(['[', ']']);
+            in_deps = table.ends_with("dependencies");
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let name = line
+            .split(['=', '.'])
+            .next()
+            .map(str::trim)
+            .unwrap_or("")
+            .trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        let problem = if !is_workspace_crate(name) {
+            Some(format!(
+                "external dependency `{name}` (offline workspace: std and workspace crates only)"
+            ))
+        } else {
+            edge_violation(&owner, name)
+        };
+        if let Some(message) = problem {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::LayeringViolation,
+                message,
+                excerpt: excerpt_of(raw),
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downward_edges_are_legal() {
+        assert!(edge_violation("query", "relmem").is_none());
+        assert!(edge_violation("query", "fabric-types").is_none());
+        assert!(edge_violation("workload", "mvcc").is_none());
+        assert!(edge_violation("fabric-sim", "fabric-obs").is_none());
+        assert!(edge_violation("bench", "query").is_none());
+    }
+
+    #[test]
+    fn inversions_and_sideways_edges_are_caught() {
+        // The acceptance-criterion inversion: fabric-obs reaching up to query.
+        assert!(edge_violation("fabric-obs", "query").is_some());
+        assert!(edge_violation("fabric-types", "fabric-obs").is_some());
+        assert!(edge_violation("relmem", "query").is_some());
+        // Unsanctioned intra-layer edge.
+        assert!(edge_violation("rowstore", "colstore").is_some());
+        // Sanctioned intra-layer edges.
+        assert!(edge_violation("relstore", "compress").is_none());
+        assert!(edge_violation("mvcc", "rowstore").is_none());
+        assert!(edge_violation("mvcc", "relmem").is_none());
+        assert!(edge_violation("bench", "workload").is_none());
+        assert!(edge_violation("workload", "bench").is_some());
+    }
+
+    #[test]
+    fn lint_and_facade_are_special_cased() {
+        assert!(edge_violation("fabric-lint", "fabric-types").is_some());
+        assert!(edge_violation("relational-fabric", "workload").is_none());
+        assert!(edge_violation("query", "relational-fabric").is_some());
+        assert!(edge_violation("query", "fabric-lint").is_some());
+    }
+
+    #[test]
+    fn use_roots_are_de_snaked_and_non_crates_ignored() {
+        assert!(check_use("fabric-obs", "query").is_some());
+        assert!(check_use("query", "fabric_types").is_none());
+        assert!(check_use("query", "std").is_none());
+        assert!(check_use("query", "crate").is_none());
+        assert!(check_use("query", "my_helpers").is_none());
+        assert!(check_use("fabric-types", "fabric_obs").is_some());
+    }
+
+    #[test]
+    fn manifest_paths_map_to_owning_crates() {
+        assert_eq!(
+            manifest_crate("Cargo.toml").as_deref(),
+            Some("relational-fabric")
+        );
+        assert_eq!(
+            manifest_crate("crates/query/Cargo.toml").as_deref(),
+            Some("query")
+        );
+        assert!(manifest_crate("crates/query/src/Cargo.toml").is_none());
+        assert!(manifest_crate("tools/Cargo.toml").is_none());
+    }
+
+    #[test]
+    fn manifest_scan_flags_inversions_and_externals() {
+        let bad = "[package]\nname = \"fabric-obs\"\n\n[dependencies]\n\
+                   query.workspace = true\nserde = \"1\"\nfabric-types = { path = \"x\" }\n";
+        let d = scan_cargo_manifest("crates/fabric-obs/Cargo.toml", bad);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("query"));
+        assert!(d[1].message.contains("external dependency `serde`"));
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn root_manifest_workspace_deps_are_legal() {
+        let ok = "[workspace.dependencies]\nquery = { path = \"crates/query\" }\n\
+                  [dependencies]\nworkload.workspace = true\n";
+        assert!(scan_cargo_manifest("Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn dev_dependency_tables_are_checked_too() {
+        let bad = "[dev-dependencies]\nworkload.workspace = true\n";
+        let d = scan_cargo_manifest("crates/relmem/Cargo.toml", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -1,59 +1,65 @@
 //! `fabric-lint`: repo-specific static analysis for the Relational Fabric
 //! workspace (source-layer companion of the pre-execution plan verifier
-//! in `query::analyze` — see DESIGN.md, "Static analysis & plan
-//! verification").
+//! in `query::analyze` — see DESIGN.md §13, "Token-level static
+//! analysis").
 //!
 //! Built on std only so it resolves offline like the rest of the
-//! workspace: a line/token scanner over sanitized source (comments and
-//! string literals blanked out, `#[cfg(test)]` regions tracked by brace
-//! depth), not a full parser. Eight rule families:
+//! workspace — but since the v2 rewrite no longer a line scanner: a real
+//! lexer ([`lexer`]) tokenizes each file (raw/byte strings, nested block
+//! comments, lifetimes vs. char literals), a per-file model ([`model`])
+//! layers test-region tracking, `SAFETY:` proximity, the `use` graph and
+//! item index on top, and every rule ([`rules`]) matches token shapes,
+//! never text. Eleven rule families:
 //!
-//! * **no-unwrap** — `.unwrap()` / `.expect(` / `panic!` / `todo!` are
-//!   forbidden in non-test *library* code of the core crates
-//!   ([`CORE_CRATES`]): engine code must surface `FabricError`, not
-//!   abort the process.
+//! * **no-unwrap** — `.unwrap()` / `.expect(` / `panic!` / `todo!` /
+//!   `unimplemented!` are forbidden in non-test *library* code of the
+//!   core crates ([`CORE_CRATES`]): engine code must surface
+//!   `FabricError`, not abort the process.
 //! * **undocumented-unsafe** — every `unsafe` token must carry a
 //!   `// SAFETY:` comment on the same line or within the three lines
 //!   above it. Applies everywhere, tests included.
 //! * **narrowing-cast** — narrowing `as` casts (`as u8|i8|u16|i16|u32|i32`)
 //!   are forbidden in the hot-path modules ([`HOT_PATH_FILES`] /
 //!   [`HOT_PATH_DIRS`]) where silent truncation corrupts packed batches;
-//!   use `try_from` and surface the error.
+//!   use the checked/masked helpers in `fabric_types::cast` and surface
+//!   the error.
 //! * **no-exit** — `process::exit` never belongs in library code.
 //! * **ignored-result** — silently discarding a `Result` (`let _ = …`
 //!   with the bare `_` pattern, or a statement-level `….ok();`) is
-//!   forbidden in non-test library code of the core crates: a fault that
-//!   recovery machinery surfaced must be handled or named, never dropped
-//!   on the floor.
+//!   forbidden in non-test library code of the core crates.
 //! * **raw-stats-print** — `println!`/`format!`-family macros over stats
-//!   counter structs (`MemStats`, `RmStats`, a `stats` binding, …) are
-//!   forbidden in non-test library code of the core crates: statistics
-//!   flow through the `fabric-obs` metrics registry (`record_into` + the
-//!   snapshot JSON serializer), the workspace's single serialization
-//!   path, never through hand-rolled formatters.
+//!   counter structs are forbidden in non-test library code of the core
+//!   crates: statistics flow through the `fabric-obs` metrics registry.
 //! * **deprecated-entry-point** — the free-function executors
 //!   (`query::execute` / `execute_on` / `execute_resilient` / `query::run`)
-//!   are deprecated shims kept only for API stability: new code goes
-//!   through `query::Engine` and its `Session`. Flagged everywhere outside
-//!   `crates/query` itself — tests included, since test code migrates
-//!   too — unless the file opts out with a file-level
-//!   `#![allow(deprecated)]`, the same attribute rustc already requires
-//!   to compile such a caller warning-free (one visible, greppable
-//!   waiver instead of two).
+//!   are deprecated shims: new code goes through `query::Engine` and its
+//!   `Session`. Flagged everywhere outside `crates/query`, tests
+//!   included, unless the file opts out with `#![allow(deprecated)]`.
 //! * **adhoc-bench-output** — a string literal naming the `results/`
 //!   artifact directory is forbidden outside [`BENCH_HARNESS_FILE`]:
-//!   artifact I/O goes through `bench::harness` (`results_dir` /
-//!   `write_artifact` / `emit_bench_json`), the one place that honors the
-//!   `FABRIC_RESULTS_DIR` scratch redirect `tools/perf_gate.sh` relies on
-//!   for apples-to-apples baseline reruns. Applies everywhere, tests
-//!   included — an artifact written from a test dodges the redirect too.
-//!   Only the harness and `fabric-lint` itself (whose matcher must spell
-//!   the needle) are exempt.
+//!   artifact I/O goes through `bench::harness`, which honors the
+//!   `FABRIC_RESULTS_DIR` redirect `tools/perf_gate.sh` relies on.
+//! * **layering-violation** — `use` declarations and `Cargo.toml`
+//!   dependency tables must respect the architecture DAG (see
+//!   [`layering`]); external (non-workspace) manifest deps are flagged
+//!   too, because the build environment resolves offline.
+//! * **nondeterministic-core** — result-affecting library code (every
+//!   crate except `bench` and `fabric-lint`) must not introduce
+//!   `HashMap`/`HashSet`, wall-clock reads (`std::time`, `Instant::now`,
+//!   `SystemTime::now`), or `env::var` reads outside the
+//!   [`rules::ALLOWED_ENV_VARS`] allowlist: the exact hazards that break
+//!   bit-identical chaos replay and the exact-cycle perf gate.
+//! * **unattributed-charge** — `MemStats` counter fields mutate only at
+//!   the fabric-sim charge sites ([`rules::CHARGE_SITE_FILES`]), so the
+//!   buckets-sum==elapsed invariant is protected at the source level.
 //!
 //! Diagnostics are `file:line` anchored. Pre-existing debt lives in the
-//! checked-in `lint-baseline.txt`, counted per `(rule, file)`: the linter
-//! fails only when a count **exceeds** its baseline entry, so new
-//! violations are rejected while old ones burn down monotonically.
+//! checked-in `lint-baseline.txt`, counted per `(rule, file)`: a normal
+//! run fails only when a count **exceeds** its baseline entry; the CI
+//! `--self-check` mode additionally fails on *stale* entries (count above
+//! actual) and replays the fixture corpus under
+//! `crates/fabric-lint/fixtures/` against its `//~ rule` expectation
+//! markers (see [`selfcheck`]), so the analyzer itself is regression-gated.
 
 use std::fmt;
 use std::fs;
@@ -61,10 +67,19 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
-mod sanitize;
+pub mod layering;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod selfcheck;
 
 /// Crates whose library code must be panic-free (rule `no-unwrap`).
 pub const CORE_CRATES: &[&str] = &["fabric-types", "relmem", "query", "mvcc", "relstore"];
+
+/// Crates whose code never affects query results, cycle counts, or
+/// artifacts compared across runs — everything else is in scope for
+/// `nondeterministic-core`.
+pub const NON_RESULT_AFFECTING_CRATES: &[&str] = &["bench", "fabric-lint"];
 
 /// Individual hot-path files where narrowing `as` casts are forbidden.
 pub const HOT_PATH_FILES: &[&str] = &[
@@ -80,7 +95,7 @@ pub const HOT_PATH_DIRS: &[&str] = &["crates/compress/src/"];
 /// `results_dir` / `write_artifact` API.
 pub const BENCH_HARNESS_FILE: &str = "crates/bench/src/harness.rs";
 
-/// The eight rule families.
+/// The eleven rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     NoUnwrap,
@@ -91,7 +106,25 @@ pub enum Rule {
     RawStatsPrint,
     DeprecatedEntryPoint,
     AdhocBenchOutput,
+    LayeringViolation,
+    NondeterministicCore,
+    UnattributedCharge,
 }
+
+/// Every rule, for coverage checks and docs.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::NoUnwrap,
+    Rule::UndocumentedUnsafe,
+    Rule::NarrowingCast,
+    Rule::NoExit,
+    Rule::IgnoredResult,
+    Rule::RawStatsPrint,
+    Rule::DeprecatedEntryPoint,
+    Rule::AdhocBenchOutput,
+    Rule::LayeringViolation,
+    Rule::NondeterministicCore,
+    Rule::UnattributedCharge,
+];
 
 impl Rule {
     /// Stable name used in output and in `lint-baseline.txt`.
@@ -105,21 +138,14 @@ impl Rule {
             Rule::RawStatsPrint => "raw-stats-print",
             Rule::DeprecatedEntryPoint => "deprecated-entry-point",
             Rule::AdhocBenchOutput => "adhoc-bench-output",
+            Rule::LayeringViolation => "layering-violation",
+            Rule::NondeterministicCore => "nondeterministic-core",
+            Rule::UnattributedCharge => "unattributed-charge",
         }
     }
 
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "no-unwrap" => Some(Rule::NoUnwrap),
-            "undocumented-unsafe" => Some(Rule::UndocumentedUnsafe),
-            "narrowing-cast" => Some(Rule::NarrowingCast),
-            "no-exit" => Some(Rule::NoExit),
-            "ignored-result" => Some(Rule::IgnoredResult),
-            "raw-stats-print" => Some(Rule::RawStatsPrint),
-            "deprecated-entry-point" => Some(Rule::DeprecatedEntryPoint),
-            "adhoc-bench-output" => Some(Rule::AdhocBenchOutput),
-            _ => None,
-        }
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
     }
 }
 
@@ -161,6 +187,9 @@ pub struct FileClass {
     pub is_core: bool,
     /// Hot-path module for the narrowing-cast rule.
     pub is_hot: bool,
+    /// In scope for `nondeterministic-core` (everything but bench and the
+    /// linter itself).
+    pub is_result_affecting: bool,
 }
 
 /// Classify a workspace-relative path; `None` means "do not scan"
@@ -193,180 +222,17 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         inner.starts_with("src/") && !inner.starts_with("src/bin/") && inner != "src/main.rs";
     let is_core = CORE_CRATES.contains(&crate_name.as_str());
     let is_hot = HOT_PATH_FILES.contains(&rel) || HOT_PATH_DIRS.iter().any(|d| rel.starts_with(d));
+    let is_result_affecting = !NON_RESULT_AFFECTING_CRATES.contains(&crate_name.as_str());
     Some(FileClass {
         crate_name,
         is_lib,
         is_core,
         is_hot,
+        is_result_affecting,
     })
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Byte offsets of every occurrence of `needle` in `hay` that is
-/// word-bounded on the requested sides.
-fn find_bounded(hay: &str, needle: &str, left: bool, right: bool) -> Vec<usize> {
-    let mut out = Vec::new();
-    let bytes = hay.as_bytes();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(needle) {
-        let at = from + p;
-        let ok_left = !left || at == 0 || !is_ident_byte(bytes[at - 1]);
-        let end = at + needle.len();
-        let ok_right = !right || end >= bytes.len() || !is_ident_byte(bytes[end]);
-        if ok_left && ok_right {
-            out.push(at);
-        }
-        from = at + needle.len().max(1);
-    }
-    out
-}
-
-/// Narrow integer targets for the narrowing-cast rule. `usize`/`u64`
-/// stay legal: the hot paths widen indices, they must never truncate.
-const NARROW_TYPES: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32"];
-
-/// `as <narrow-int>` occurrences on a sanitized line, as the target type.
-fn narrowing_casts(line: &str) -> Vec<&'static str> {
-    let mut hits = Vec::new();
-    for at in find_bounded(line, "as", true, true) {
-        let rest = line[at + 2..].trim_start();
-        for ty in NARROW_TYPES {
-            let bounded = rest.starts_with(ty)
-                && !rest[ty.len()..].starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
-            if bounded {
-                hits.push(*ty);
-                break;
-            }
-        }
-    }
-    hits
-}
-
-/// Silent `Result` discards on a sanitized line (rule `ignored-result`):
-/// the bare-`_` binding (`let _ = …`, never `let _name = …` or a tuple
-/// pattern), and a statement that ends by dropping an `….ok();` Option
-/// without binding it.
-fn ignored_result_discards(line: &str) -> Vec<&'static str> {
-    let mut hits = Vec::new();
-    for at in find_bounded(line, "let", true, true) {
-        let rest = line[at + 3..].trim_start();
-        let Some(after) = rest.strip_prefix('_') else {
-            continue;
-        };
-        if after.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
-            continue; // named placeholder like `_ignored`: visible at review
-        }
-        let after = after.trim_start();
-        if after.starts_with('=') && !after.starts_with("==") {
-            hits.push("`let _ = …` discards the value");
-        }
-    }
-    let t = line.trim_end();
-    if t.ends_with(".ok();") && !t.contains('=') {
-        hits.push("statement-level `.ok()` drops the error unseen");
-    }
-    hits
-}
-
-/// Print/format macros the `raw-stats-print` rule watches. `write!` /
-/// `writeln!` stay legal: rendering *into a caller-supplied writer* (plan
-/// text, reports) is fine — it is ad-hoc stringification of counter
-/// structs that must go through the metrics registry.
-const PRINT_MACROS: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "format!"];
-
-/// Does this identifier look like a stats counter struct or binding?
-fn is_stats_ident(tok: &str) -> bool {
-    tok == "stats" || tok.ends_with("_stats") || tok.ends_with("Stats")
-}
-
-/// Does a raw (unsanitized) line hold a format-string inline capture of a
-/// stats binding, like `"{stats:?}"` or `"{rm_stats}"`? The sanitizer
-/// blanks string literals, so these must be sought in the raw text.
-fn inline_stats_capture(raw: &str) -> bool {
-    let mut rest = raw;
-    while let Some(p) = rest.find('{') {
-        let after = &rest[p + 1..];
-        let end = after
-            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-            .unwrap_or(after.len());
-        let tail = &after[end..];
-        if (tail.starts_with('}') || tail.starts_with(':')) && is_stats_ident(&after[..end]) {
-            return true;
-        }
-        rest = after;
-    }
-    false
-}
-
-/// Hand-rolled stats formatting on a line (rule `raw-stats-print`): a
-/// print/format macro whose line also references a stats struct — either
-/// as a code identifier (sanitized view) or as an inline format capture
-/// (raw view).
-fn raw_stats_prints(san_line: &str, raw_line: &str) -> Vec<&'static str> {
-    let mut hits = Vec::new();
-    for mac in PRINT_MACROS {
-        for _ in find_bounded(san_line, mac, true, false) {
-            let ident_hit = san_line
-                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-                .any(is_stats_ident);
-            if ident_hit || inline_stats_capture(raw_line) {
-                hits.push(*mac);
-            }
-        }
-    }
-    hits
-}
-
-/// Deprecated free-function executors (rule `deprecated-entry-point`).
-/// Qualified uses are matched under both path aliases the workspace
-/// exposes (`query::` and the facade's `sql::`); the two distinctively
-/// named ones are also matched bare, unless preceded by `.` (a method
-/// call — `session.execute_on(…)` is the replacement, not a violation)
-/// or `:` (already counted as a qualified use).
-const DEPRECATED_ENTRY_PREFIXES: &[&str] = &["query::", "sql::"];
-const DEPRECATED_ENTRY_FNS: &[&str] = &["execute", "execute_on", "execute_resilient", "run"];
-const DEPRECATED_ENTRY_BARE: &[&str] = &["execute_on", "execute_resilient"];
-
-/// Deprecated entry-point calls on a sanitized line, as the matched path.
-fn deprecated_entry_points(line: &str) -> Vec<String> {
-    let mut hits = Vec::new();
-    let bytes = line.as_bytes();
-    for prefix in DEPRECATED_ENTRY_PREFIXES {
-        for f in DEPRECATED_ENTRY_FNS {
-            let needle = format!("{prefix}{f}(");
-            for _ in find_bounded(line, &needle, true, false) {
-                hits.push(format!("{prefix}{f}"));
-            }
-        }
-    }
-    for f in DEPRECATED_ENTRY_BARE {
-        let needle = format!("{f}(");
-        for at in find_bounded(line, &needle, true, false) {
-            if at > 0 && matches!(bytes[at - 1], b'.' | b':') {
-                continue;
-            }
-            hits.push((*f).to_string());
-        }
-    }
-    hits
-}
-
-/// Does a raw (unsanitized) line open a string literal naming the bench
-/// results directory (`"results"` or `"results/…"`)? The sanitizer blanks
-/// string literals, so the needle must be sought in the raw text; the
-/// sanitized line gates out comment-only lines (they sanitize to blank),
-/// so doc comments may still *mention* `"results/…"` paths freely.
-fn adhoc_results_literal(san_line: &str, raw_line: &str) -> bool {
-    if san_line.trim().is_empty() {
-        return false;
-    }
-    raw_line.contains("\"results\"") || raw_line.contains("\"results/")
-}
-
-fn excerpt_of(raw: &str) -> String {
+pub(crate) fn excerpt_of(raw: &str) -> String {
     let t = raw.trim();
     if t.len() > 90 {
         let mut cut = 90;
@@ -380,203 +246,11 @@ fn excerpt_of(raw: &str) -> String {
 }
 
 /// Scan one file's source. Pure function of `(path, source, class)` so
-/// the fixture tests can drive it directly.
+/// the fixture corpus can drive it directly.
 pub fn scan_source(rel: &str, src: &str, class: &FileClass) -> Vec<Diagnostic> {
-    let san = sanitize::sanitize(src);
+    let model = model::FileModel::build(src);
     let raw_lines: Vec<&str> = src.lines().collect();
-    let mut diags = Vec::new();
-
-    // File-level waiver for deprecated-entry-point: the same attribute
-    // rustc requires to compile a deliberate shim caller warning-free.
-    let allows_deprecated = src.contains("#![allow(deprecated)]");
-
-    // `#[cfg(test)]` / `#[test]` region tracking by brace depth: the
-    // attribute arms `pending`, the next `{` opens a region that closes
-    // when depth returns to its pre-brace value.
-    let mut depth: i64 = 0;
-    let mut pending_test = false;
-    let mut test_exit: Option<i64> = None;
-
-    for (idx, line) in san.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let mut in_test = test_exit.is_some();
-        if line.contains("#[cfg(test)")
-            || line.contains("#[cfg(all(test")
-            || line.contains("#[cfg(any(test")
-            || line.contains("#[test]")
-        {
-            pending_test = true;
-            in_test = true; // the attribute line itself is test scaffolding
-        }
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    if pending_test {
-                        if test_exit.is_none() {
-                            test_exit = Some(depth);
-                            in_test = true;
-                        }
-                        pending_test = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some(d) = test_exit {
-                        if depth <= d {
-                            test_exit = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        let raw = raw_lines.get(idx).copied().unwrap_or("");
-
-        // undocumented-unsafe: applies everywhere, tests included.
-        for _ in find_bounded(line, "unsafe", true, true) {
-            let documented =
-                (idx.saturating_sub(3)..=idx).any(|j| san.safety.get(j) == Some(&true));
-            if !documented {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: Rule::UndocumentedUnsafe,
-                    message: "`unsafe` without a `// SAFETY:` comment on or just above it"
-                        .to_string(),
-                    excerpt: excerpt_of(raw),
-                });
-            }
-        }
-
-        // deprecated-entry-point: everywhere outside `crates/query` (the
-        // shims' home), tests included — migrating test drivers is the
-        // point — unless the file carries the `#![allow(deprecated)]`
-        // waiver.
-        if class.crate_name != "query" && !allows_deprecated {
-            for path in deprecated_entry_points(line) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: Rule::DeprecatedEntryPoint,
-                    message: format!(
-                        "deprecated free-function executor `{path}` (use `query::Engine` \
-                         and `Session::run`/`run_on`/`execute`)"
-                    ),
-                    excerpt: excerpt_of(raw),
-                });
-            }
-        }
-
-        // adhoc-bench-output: the results directory is named in exactly
-        // one place (`bench::harness`), so the FABRIC_RESULTS_DIR scratch
-        // redirect the perf gate reruns under sees every artifact. Tests
-        // included — a test writing `results/` dodges the redirect too.
-        // fabric-lint itself is exempt: the matcher and its tests must
-        // spell the needle they hunt for.
-        if class.crate_name != "fabric-lint"
-            && rel != BENCH_HARNESS_FILE
-            && adhoc_results_literal(line, raw)
-        {
-            diags.push(Diagnostic {
-                file: rel.to_string(),
-                line: lineno,
-                rule: Rule::AdhocBenchOutput,
-                message: "hardcoded `results/` path (route artifact I/O through \
-                          `bench::harness`, which honors the `FABRIC_RESULTS_DIR` redirect)"
-                    .to_string(),
-                excerpt: excerpt_of(raw),
-            });
-        }
-
-        if in_test {
-            continue;
-        }
-
-        // no-unwrap: panicking calls in core-crate library code.
-        if class.is_core && class.is_lib {
-            let tokens: [(&str, bool); 5] = [
-                (".unwrap()", false),
-                (".expect(", false),
-                ("panic!", true),
-                ("todo!", true),
-                ("unimplemented!", true),
-            ];
-            for (tok, bounded_left) in tokens {
-                for _ in find_bounded(line, tok, bounded_left, false) {
-                    diags.push(Diagnostic {
-                        file: rel.to_string(),
-                        line: lineno,
-                        rule: Rule::NoUnwrap,
-                        message: format!(
-                            "`{tok}` in core-crate library code (surface a `FabricError` instead)"
-                        ),
-                        excerpt: excerpt_of(raw),
-                    });
-                }
-            }
-        }
-
-        // ignored-result: core-crate library code must not silently
-        // discard fallible outcomes.
-        if class.is_core && class.is_lib {
-            for why in ignored_result_discards(line) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: Rule::IgnoredResult,
-                    message: format!("{why} in core-crate library code (handle or name it)"),
-                    excerpt: excerpt_of(raw),
-                });
-            }
-        }
-
-        // raw-stats-print: core-crate library code must route stats
-        // through the metrics registry, not hand-rolled formatters.
-        if class.is_core && class.is_lib {
-            for mac in raw_stats_prints(line, raw) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: Rule::RawStatsPrint,
-                    message: format!(
-                        "`{mac}` over a stats counter struct in core-crate library code \
-                         (use `record_into` + the metrics snapshot serializer)"
-                    ),
-                    excerpt: excerpt_of(raw),
-                });
-            }
-        }
-
-        // narrowing-cast: hot-path modules must use try_from.
-        if class.is_hot {
-            for ty in narrowing_casts(line) {
-                diags.push(Diagnostic {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: Rule::NarrowingCast,
-                    message: format!(
-                        "narrowing `as {ty}` cast in a hot-path module (use `{ty}::try_from`)"
-                    ),
-                    excerpt: excerpt_of(raw),
-                });
-            }
-        }
-
-        // no-exit: library code never terminates the process.
-        if class.is_lib && line.contains("process::exit") {
-            diags.push(Diagnostic {
-                file: rel.to_string(),
-                line: lineno,
-                rule: Rule::NoExit,
-                message: "`process::exit` in library code (return an error to the caller)"
-                    .to_string(),
-                excerpt: excerpt_of(raw),
-            });
-        }
-    }
-    diags
+    rules::scan(rel, &model, &raw_lines, class)
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -590,7 +264,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         }
         if path.is_dir() {
             walk(&path, out)?;
-        } else if name.ends_with(".rs") {
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
             out.push(path);
         }
     }
@@ -598,10 +272,15 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Scan every classified `.rs` file under `<root>/crates`, `<root>/src`,
-/// `<root>/tests`, and `<root>/examples`, returning diagnostics sorted by
-/// `(file, line, rule)`.
+/// `<root>/tests`, and `<root>/examples`, plus every crate manifest and
+/// the workspace manifest (layering pass), returning diagnostics sorted
+/// by `(file, line, rule)`.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        files.push(root_manifest);
+    }
     for top in ["crates", "src", "tests", "examples"] {
         let dir = root.join(top);
         if dir.is_dir() {
@@ -615,6 +294,11 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
+        if rel.ends_with("Cargo.toml") {
+            let text = fs::read_to_string(&path)?;
+            diags.extend(layering::scan_cargo_manifest(&rel, &text));
+            continue;
+        }
         let Some(class) = classify(&rel) else {
             continue;
         };
@@ -630,28 +314,44 @@ mod tests {
     use super::*;
 
     fn core_lib() -> FileClass {
-        FileClass {
-            crate_name: "relmem".into(),
-            is_lib: true,
-            is_core: true,
-            is_hot: false,
-        }
+        classify("crates/relmem/src/x.rs").unwrap()
     }
 
     #[test]
     fn classify_maps_paths_to_rule_scopes() {
         let c = classify("crates/relmem/src/packer.rs").unwrap();
-        assert!(c.is_lib && c.is_core && c.is_hot);
+        assert!(c.is_lib && c.is_core && c.is_hot && c.is_result_affecting);
         let c = classify("crates/compress/src/lz.rs").unwrap();
         assert!(c.is_lib && !c.is_core && c.is_hot);
         let c = classify("crates/query/tests/roundtrip.rs").unwrap();
         assert!(!c.is_lib && c.is_core);
         let c = classify("crates/bench/src/main.rs").unwrap();
-        assert!(!c.is_lib);
+        assert!(!c.is_lib && !c.is_result_affecting);
+        let c = classify("crates/fabric-lint/src/lib.rs").unwrap();
+        assert!(!c.is_result_affecting);
         let c = classify("src/lib.rs").unwrap();
-        assert!(c.is_lib && !c.is_core);
-        assert!(classify("crates/fabric-lint/tests/fixtures/bad_unwrap.rs").is_none());
+        assert!(c.is_lib && !c.is_core && c.is_result_affecting);
+        assert!(classify("crates/fabric-lint/fixtures/bad_unwrap.rs").is_none());
         assert!(classify("crates/relmem/src/notes.md").is_none());
+    }
+
+    #[test]
+    fn classify_covers_facade_tests_and_examples() {
+        let c = classify("tests/parallel_equivalence.rs").unwrap();
+        assert_eq!(c.crate_name, "relational-fabric");
+        assert!(!c.is_lib && !c.is_core && !c.is_hot);
+        let c = classify("examples/sql_frontend.rs").unwrap();
+        assert_eq!(c.crate_name, "relational-fabric");
+        assert!(!c.is_lib);
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for &r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(ALL_RULES.len(), 11);
+        assert!(Rule::from_name("made-up").is_none());
     }
 
     #[test]
@@ -690,172 +390,13 @@ mod tests {
     }
 
     #[test]
-    fn ignored_result_detection() {
-        assert_eq!(ignored_result_discards("let _ = run();").len(), 1);
-        assert_eq!(ignored_result_discards("    let _ =writeln!(f);").len(), 1);
-        assert_eq!(ignored_result_discards("retry().ok();").len(), 1);
-        assert!(ignored_result_discards("let _ignored = run();").is_empty());
-        assert!(ignored_result_discards("let (_, x) = pair();").is_empty());
-        assert!(ignored_result_discards("let x = run().ok();").is_empty());
-        assert!(ignored_result_discards("if x == y { run()?; }").is_empty());
-        assert!(ignored_result_discards("violet = 3;").is_empty());
-    }
-
-    #[test]
-    fn raw_stats_print_detection() {
-        // Code-identifier mentions (sanitized view).
-        assert_eq!(
-            raw_stats_prints(
-                "println!( , stats.l1_hits);",
-                "println!(\"hits={}\", stats.l1_hits);"
-            )
-            .len(),
-            1
-        );
-        assert_eq!(
-            raw_stats_prints(
-                "let s = format!( , rm_stats);",
-                "let s = format!(\"{:?}\", rm_stats);"
-            )
-            .len(),
-            1
-        );
-        // Inline capture lives only in the raw string.
-        assert_eq!(
-            raw_stats_prints("eprintln!( );", "eprintln!(\"{stats:?}\");").len(),
-            1
-        );
-        // A print without stats context is fine, as is stats without a print.
-        assert!(raw_stats_prints("println!( , rows);", "println!(\"{}\", rows);").is_empty());
-        assert!(raw_stats_prints("let x = stats.l1_hits;", "let x = stats.l1_hits;").is_empty());
-        // `write!`/`writeln!` stay legal (caller-supplied writer).
-        assert!(raw_stats_prints(
-            "writeln!(out, , stats.retries)?;",
-            "writeln!(out, \"{}\", stats.retries)?;"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn deprecated_entry_point_detection() {
-        // Qualified uses under both path aliases.
-        assert_eq!(
-            deprecated_entry_points("let out = query::execute(&mut mem, &c, &b)?;"),
-            vec!["query::execute"]
-        );
-        assert_eq!(
-            deprecated_entry_points("sql::execute_on(&mut mem, &c, &b, path)?;"),
-            vec!["sql::execute_on"]
-        );
-        assert_eq!(
-            deprecated_entry_points("query::run(&mut mem, &c, text)?;"),
-            vec!["query::run"]
-        );
-        // Distinctive names match bare, but not as method calls.
-        assert_eq!(
-            deprecated_entry_points("execute_resilient(&mut mem, &c, &b, &mut ctx)?;"),
-            vec!["execute_resilient"]
-        );
-        assert!(deprecated_entry_points("session.execute_on(&prepared, path)?;").is_empty());
-        // A qualified use is counted once, not again as a bare hit.
-        assert_eq!(
-            deprecated_entry_points("query::execute_on(&mut m, &c, &b, p)").len(),
-            1
-        );
-        // Unrelated identifiers stay clean.
-        assert!(deprecated_entry_points("let x = executor(1); run_row(&mut m);").is_empty());
-        assert!(deprecated_entry_points("my_query::execute(x)").is_empty());
-        assert!(deprecated_entry_points("execute_on_impl(&mut m, &c, &b, p)").is_empty());
-    }
-
-    #[test]
-    fn deprecated_entry_point_scope_and_waiver() {
-        let bad = "fn t() {\n    query::execute(&mut mem, &c, &b).unwrap();\n}\n";
-        // Applies to test targets outside crates/query...
-        let class = classify("tests/fixture.rs").unwrap();
-        let d = scan_source("tests/fixture.rs", bad, &class);
-        assert_eq!(
-            d.iter()
-                .filter(|x| x.rule == Rule::DeprecatedEntryPoint)
-                .count(),
-            1,
-            "{d:?}"
-        );
-        // ...including inside #[cfg(test)] regions...
-        let in_test = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
-                       query::execute(&mut mem, &c, &b).unwrap();\n    }\n}\n";
-        let class = classify("crates/workload/src/x.rs").unwrap();
-        let d = scan_source("crates/workload/src/x.rs", in_test, &class);
-        assert_eq!(
-            d.iter()
-                .filter(|x| x.rule == Rule::DeprecatedEntryPoint)
-                .count(),
-            1,
-            "{d:?}"
-        );
-        // ...but not inside crates/query (the shims live there)...
-        let class = classify("crates/query/src/explain.rs").unwrap();
-        let d = scan_source("crates/query/src/explain.rs", bad, &class);
-        assert!(
-            d.iter().all(|x| x.rule != Rule::DeprecatedEntryPoint),
-            "{d:?}"
-        );
-        // ...and the file-level rustc waiver is honored.
-        let waived = format!("#![allow(deprecated)]\n{bad}");
-        let class = classify("tests/fixture.rs").unwrap();
-        let d = scan_source("tests/fixture.rs", &waived, &class);
-        assert!(
-            d.iter().all(|x| x.rule != Rule::DeprecatedEntryPoint),
-            "{d:?}"
-        );
-    }
-
-    #[test]
-    fn classify_covers_facade_tests_and_examples() {
-        let c = classify("tests/parallel_equivalence.rs").unwrap();
-        assert_eq!(c.crate_name, "relational-fabric");
-        assert!(!c.is_lib && !c.is_core && !c.is_hot);
-        let c = classify("examples/sql_frontend.rs").unwrap();
-        assert_eq!(c.crate_name, "relational-fabric");
-        assert!(!c.is_lib);
-    }
-
-    #[test]
-    fn adhoc_results_literal_detection() {
-        // String literals live only in the raw view.
-        assert!(adhoc_results_literal(
-            "fs::write( , t).ok();",
-            "fs::write(\"results/TRACE_x.json\", t).ok();"
-        ));
-        assert!(adhoc_results_literal(
-            "let d = Path::new( );",
-            "let d = Path::new(\"results\");"
-        ));
-        // Comment-only lines sanitize to blank and stay clean.
-        assert!(!adhoc_results_literal(
-            " ",
-            "// artifacts land in \"results/BENCH_x.json\""
-        ));
-        // Identifiers and unrelated literals are fine.
-        assert!(!adhoc_results_literal(
-            "let results = x.len();",
-            "let results = x.len();"
-        ));
-        assert!(!adhoc_results_literal(
-            "let p = ;",
-            "let p = \"my_results/x\";"
-        ));
-    }
-
-    #[test]
-    fn narrowing_cast_detection() {
-        assert_eq!(narrowing_casts("let x = y as u8;"), vec!["u8"]);
-        assert_eq!(
-            narrowing_casts("let x = (a + b) as i32 as u16;"),
-            vec!["i32", "u16"]
-        );
-        assert!(narrowing_casts("let x = y as u64;").is_empty());
-        assert!(narrowing_casts("let x = y as usize;").is_empty());
-        assert!(narrowing_casts("let basil = herbs;").is_empty());
+    fn ignored_result_shapes() {
+        let run = |src: &str| scan_source("crates/relmem/src/x.rs", src, &core_lib());
+        assert_eq!(run("fn f() { let _ = run(); }").len(), 1);
+        assert_eq!(run("fn f() { retry().ok(); }").len(), 1);
+        assert!(run("fn f() { let _ignored = run(); }").is_empty());
+        assert!(run("fn f() { let (_, x) = pair(); x; }").is_empty());
+        assert!(run("fn f() { let x = run().ok(); x; }").is_empty());
+        assert!(run("fn f(x: u8, y: u8) { if x == y { run(); } }").is_empty());
     }
 }

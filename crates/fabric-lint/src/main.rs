@@ -1,5 +1,7 @@
 //! `cargo run -p fabric-lint` — walk the workspace, diff against
-//! `lint-baseline.txt`, exit non-zero on any NEW violation.
+//! `lint-baseline.txt`, exit non-zero on any NEW violation. With
+//! `--self-check` (the CI mode) the analyzer first replays its fixture
+//! corpus and then applies the baseline ratchet in both directions.
 
 use std::fs;
 use std::path::PathBuf;
@@ -8,12 +10,15 @@ use std::process::ExitCode;
 use fabric_lint::baseline::{compare, Baseline};
 
 const USAGE: &str = "\
-usage: fabric-lint [--root DIR] [--baseline FILE] [--update-baseline] [--list]
+usage: fabric-lint [--root DIR] [--baseline FILE] [--update-baseline] [--list] [--self-check]
 
   --root DIR         workspace root to scan (default: current directory)
   --baseline FILE    baseline file (default: <root>/lint-baseline.txt)
   --update-baseline  rewrite the baseline from the current scan and exit
-  --list             print every diagnostic, baselined or not";
+  --list             print every diagnostic, baselined or not
+  --self-check       CI mode: replay the fixture corpus (exact expected
+                     findings, all 11 rules covered) and fail on stale
+                     baseline entries as well as new violations";
 
 fn main() -> ExitCode {
     match run() {
@@ -30,6 +35,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut baseline_path: Option<PathBuf> = None;
     let mut update = false;
     let mut list = false;
+    let mut self_check = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +48,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             "--update-baseline" => update = true,
             "--list" => list = true,
+            "--self-check" => self_check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -55,6 +62,27 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             root.display()
         )
         .into());
+    }
+
+    if self_check {
+        let report = fabric_lint::selfcheck::self_check(&root)?;
+        for f in &report.failures {
+            eprintln!("fabric-lint: self-check: {f}");
+        }
+        return if report.ok() {
+            println!(
+                "fabric-lint: self-check passed ({} fixtures, {} expected findings, \
+                 baseline ratchet tight in both directions)",
+                report.fixtures, report.expected_findings
+            );
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!(
+                "fabric-lint: self-check FAILED — {} problem(s)",
+                report.failures.len()
+            );
+            Ok(ExitCode::FAILURE)
+        };
     }
 
     let diags = fabric_lint::scan_workspace(&root)?;

@@ -1,0 +1,333 @@
+//! Per-file model built over the token stream: the shared substrate the
+//! rule passes match against.
+//!
+//! One pass over the lexer output produces:
+//!   * `code` — the comment-free token stream (what most rules walk);
+//!   * `in_test` — a parallel flag per code token marking `#[test]` /
+//!     `#[cfg(test)]` regions by brace depth, so lib-only rules skip
+//!     inline test modules without a parser;
+//!   * `safety` — per-line flags for `SAFETY:` comments, feeding the
+//!     undocumented-unsafe proximity check;
+//!   * `uses` — every `use` declaration's root path segment, for the
+//!     layering pass;
+//!   * `fns` — named `fn` items (name + line), a coarse item index;
+//!   * `allows_deprecated` — whether the file opts out via an inner
+//!     `#![allow(deprecated)]`.
+//!
+//! The test-region tracker is an approximation, not an expander: an
+//! attribute arms a pending region when its tokens contain the ident
+//! `test` but not `not` (so `#[cfg(test)]` and `#[test]` arm it while
+//! `#[cfg(not(test))]` does not); the region opens at the next `{` and
+//! closes when the depth returns. A `;` before any `{` cancels the
+//! pending arm, so `#[cfg(test)] use foo;` does not leak test status
+//! onto the rest of the file.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// A `use` declaration, reduced to what layering needs.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// First path segment (`fabric_types`, `std`, `crate`, `super`, …).
+    pub root: String,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+    /// Declared inside a test region?
+    pub in_test: bool,
+}
+
+/// A named `fn` item (coarse: any `fn name` pair outside strings).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    pub name: String,
+    pub line: usize,
+}
+
+/// The per-file model all rule passes share.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Comment-free token stream.
+    pub code: Vec<Token>,
+    /// Parallel to `code`: token sits inside a test region.
+    pub in_test: Vec<bool>,
+    /// 1-based per-line flag: line carries a `SAFETY:` comment (for a
+    /// multi-line block comment, every spanned line is flagged).
+    pub safety: Vec<bool>,
+    /// All `use` declarations.
+    pub uses: Vec<UseDecl>,
+    /// All named `fn` items.
+    pub fns: Vec<ItemFn>,
+    /// File has an inner `#![allow(deprecated)]`.
+    pub allows_deprecated: bool,
+    /// Total line count (for bounds on per-line arrays).
+    pub num_lines: usize,
+}
+
+impl FileModel {
+    pub fn build(src: &str) -> FileModel {
+        let all = lex(src);
+        let num_lines = src.lines().count().max(1);
+
+        // Per-line SAFETY flags from comments.
+        let mut safety = vec![false; num_lines + 2];
+        for t in &all {
+            if t.is_comment() && t.text.contains("SAFETY:") {
+                let span = if t.kind == TokKind::BlockComment {
+                    t.text.matches('\n').count() + 1
+                } else {
+                    1
+                };
+                for l in t.line..t.line + span {
+                    if l < safety.len() {
+                        safety[l] = true;
+                    }
+                }
+            }
+        }
+
+        let code: Vec<Token> = all.into_iter().filter(|t| !t.is_comment()).collect();
+
+        // Test-region tracking over the code stream.
+        let mut in_test = vec![false; code.len()];
+        let mut depth: i64 = 0;
+        // Stack of depths at which a test region opened.
+        let mut test_depths: Vec<i64> = Vec::new();
+        // An attribute armed a test region; waiting for its `{`.
+        let mut pending_test = false;
+        let mut i = 0;
+        while i < code.len() {
+            let t = &code[i];
+            // Attribute: `#[...]` or `#![...]` — scan its bracket group.
+            if t.is_punct("#")
+                && matches!(code.get(i + 1), Some(n) if n.is_punct("[") || n.is_punct("!"))
+            {
+                let mut j = i + 1;
+                if code[j].is_punct("!") {
+                    j += 1;
+                }
+                if code.get(j).is_some_and(|t| t.is_punct("[")) {
+                    let mut bd = 0i64;
+                    let start = j;
+                    let mut has_test = false;
+                    let mut has_not = false;
+                    let mut words: Vec<&str> = Vec::new();
+                    while j < code.len() {
+                        let a = &code[j];
+                        if a.is_punct("[") {
+                            bd += 1;
+                        } else if a.is_punct("]") {
+                            bd -= 1;
+                            if bd == 0 {
+                                break;
+                            }
+                        } else if a.kind == TokKind::Ident {
+                            if a.text == "test" {
+                                has_test = true;
+                            }
+                            if a.text == "not" {
+                                has_not = true;
+                            }
+                            words.push(&a.text);
+                        }
+                        j += 1;
+                    }
+                    let inner = code[i + 1].is_punct("!");
+                    if inner && words.first() == Some(&"allow") && words.contains(&"deprecated") {
+                        // recorded below via allows_deprecated scan
+                    }
+                    if has_test && !has_not {
+                        pending_test = true;
+                    }
+                    // Attribute tokens inherit the *current* region (an
+                    // attr inside a test mod is test code), plus the
+                    // pending arm so `#[test]` itself is flagged.
+                    for k in i..=j.min(code.len().saturating_sub(1)) {
+                        in_test[k] = !test_depths.is_empty() || (has_test && !has_not);
+                    }
+                    let _ = start;
+                    i = j + 1;
+                    continue;
+                }
+            }
+            match t.text.as_str() {
+                "{" if t.kind == TokKind::Punct => {
+                    depth += 1;
+                    if pending_test {
+                        test_depths.push(depth);
+                        pending_test = false;
+                    }
+                }
+                "}" if t.kind == TokKind::Punct => {
+                    if test_depths.last() == Some(&depth) {
+                        test_depths.pop();
+                    }
+                    depth -= 1;
+                    // The closing brace itself still belongs to the region.
+                    in_test[i] =
+                        !test_depths.is_empty() || test_depths.last() == Some(&(depth + 1));
+                    i += 1;
+                    continue;
+                }
+                ";" if t.kind == TokKind::Punct => {
+                    // `#[cfg(test)] use foo;` — no braces ever came.
+                    pending_test = false;
+                }
+                _ => {}
+            }
+            in_test[i] = !test_depths.is_empty() || pending_test;
+            i += 1;
+        }
+
+        // use declarations: `use <root>...;` — root is the first ident
+        // after `use` (skipping a leading `::`).
+        let mut uses = Vec::new();
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("use") {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|t| t.is_punct("::")) {
+                    j += 1;
+                }
+                if let Some(root) = code.get(j) {
+                    if root.kind == TokKind::Ident {
+                        uses.push(UseDecl {
+                            root: root.text.clone(),
+                            line: t.line,
+                            in_test: in_test[i],
+                        });
+                    }
+                }
+            }
+        }
+
+        // fn items.
+        let mut fns = Vec::new();
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("fn") {
+                if let Some(name) = code.get(i + 1) {
+                    if name.kind == TokKind::Ident {
+                        fns.push(ItemFn {
+                            name: name.text.clone(),
+                            line: name.line,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Inner allow(deprecated): `#![allow(deprecated)]` token pattern.
+        let mut allows_deprecated = false;
+        for w in code.windows(6) {
+            if w[0].is_punct("#")
+                && w[1].is_punct("!")
+                && w[2].is_punct("[")
+                && w[3].is_ident("allow")
+                && w[4].is_punct("(")
+                && w[5].is_ident("deprecated")
+            {
+                allows_deprecated = true;
+            }
+        }
+
+        FileModel {
+            code,
+            in_test,
+            safety,
+            uses,
+            fns,
+            allows_deprecated,
+            num_lines,
+        }
+    }
+
+    /// Line `line` or one of the `window` lines above it carries a
+    /// `SAFETY:` comment.
+    pub fn safety_near(&self, line: usize, window: usize) -> bool {
+        let lo = line.saturating_sub(window);
+        (lo..=line).any(|l| self.safety.get(l).copied().unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_tracking_by_brace_depth() {
+        let src = "fn live() { a(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\n\
+                   fn live2() { c(); }\n";
+        let m = FileModel::build(src);
+        let flag = |name: &str| {
+            let i = m.code.iter().position(|t| t.is_ident(name)).unwrap();
+            m.in_test[i]
+        };
+        assert!(!flag("a"));
+        assert!(flag("b"));
+        assert!(!flag("c"));
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_arm() {
+        let src = "#[cfg(not(test))]\nfn live() { a(); }\n";
+        let m = FileModel::build(src);
+        let i = m.code.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(!m.in_test[i]);
+    }
+
+    #[test]
+    fn braceless_test_attr_cancels_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { a(); }\n";
+        let m = FileModel::build(src);
+        let i = m.code.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(!m.in_test[i]);
+        // …but the use decl itself is marked as test-only.
+        assert!(m.uses[0].in_test);
+    }
+
+    #[test]
+    fn test_fn_attr_arms_only_its_body() {
+        let src = "#[test]\nfn t() { b(); }\nfn live() { a(); }\n";
+        let m = FileModel::build(src);
+        let b = m.code.iter().position(|t| t.is_ident("b")).unwrap();
+        let a = m.code.iter().position(|t| t.is_ident("a")).unwrap();
+        assert!(m.in_test[b]);
+        assert!(!m.in_test[a]);
+    }
+
+    #[test]
+    fn use_decls_capture_roots_and_lines() {
+        let src = "use fabric_types::Value;\nuse ::std::fmt;\nuse crate::inner;\n";
+        let m = FileModel::build(src);
+        let roots: Vec<&str> = m.uses.iter().map(|u| u.root.as_str()).collect();
+        assert_eq!(roots, vec!["fabric_types", "std", "crate"]);
+        assert_eq!(m.uses[1].line, 2);
+    }
+
+    #[test]
+    fn safety_flags_cover_block_comment_span() {
+        let src = "/* SAFETY:\n   spans two lines */\nunsafe { x() }\n";
+        let m = FileModel::build(src);
+        assert!(m.safety[1]);
+        assert!(m.safety[2]);
+        assert!(!m.safety.get(3).copied().unwrap_or(false));
+        assert!(m.safety_near(3, 3));
+    }
+
+    #[test]
+    fn allow_deprecated_is_inner_attr_only() {
+        let m = FileModel::build("#![allow(deprecated)]\nfn f() {}\n");
+        assert!(m.allows_deprecated);
+        let m = FileModel::build("#[allow(deprecated)]\nfn f() {}\n");
+        assert!(!m.allows_deprecated);
+        // In a string: never.
+        let m = FileModel::build("const S: &str = \"#![allow(deprecated)]\";\n");
+        assert!(!m.allows_deprecated);
+    }
+
+    #[test]
+    fn fn_items_are_indexed() {
+        let m = FileModel::build("fn alpha() {}\npub fn beta(x: u8) -> u8 { x }\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert_eq!(m.fns[1].line, 2);
+    }
+}

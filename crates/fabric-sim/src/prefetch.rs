@@ -12,7 +12,7 @@
 use crate::config::SimConfig;
 use crate::dram::DramModel;
 use crate::Cycles;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct Stream {
@@ -55,7 +55,7 @@ pub struct StreamPrefetcher {
     tick: u64,
     line_shift: u32,
     /// line index -> completion time of the prefetch.
-    inflight: HashMap<u64, Cycles>,
+    inflight: BTreeMap<u64, Cycles>,
     issued: u64,
     useful: u64,
 }
@@ -69,7 +69,7 @@ impl StreamPrefetcher {
             train: cfg.prefetch_train,
             tick: 0,
             line_shift: cfg.line_size.trailing_zeros(),
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             issued: 0,
             useful: 0,
         }

@@ -1,0 +1,85 @@
+//! Narrowing-conversion helpers for hot-path modules.
+//!
+//! The fabric-lint rule `narrowing-cast` bans bare `as u8`/`as u16`/… in
+//! hot-path modules (`relmem::packer`, `fabric_sim::cache`, all of
+//! `compress`): a silent `as` truncation there corrupts simulated bytes
+//! without a trace in the cycle accounting. Call sites instead pick one of
+//! these helpers and thereby document *which* behaviour they mean:
+//!
+//! * [`low_u8`] / [`low_u16`] / [`low_u32`] — **masked** truncation. The
+//!   caller wants exactly the low bits (varint chunks, LZ token fields
+//!   bounded by construction). Semantically identical to `as`, but named.
+//! * [`try_u8`] / [`try_u16`] / [`try_u32`] — **checked** conversion.
+//!   The value must fit; overflow surfaces as [`FabricError::Codec`]
+//!   instead of wrapping silently.
+//!
+//! All helpers are `#[inline]` and compile to the same single instruction
+//! as the cast they replace.
+
+use crate::error::{FabricError, Result};
+
+/// The low 8 bits of `v`, as an explicit masked truncation.
+#[inline]
+pub fn low_u8(v: u64) -> u8 {
+    (v & 0xFF) as u8
+}
+
+/// The low 16 bits of `v`, as an explicit masked truncation.
+#[inline]
+pub fn low_u16(v: u64) -> u16 {
+    (v & 0xFFFF) as u16
+}
+
+/// The low 32 bits of `v`, as an explicit masked truncation.
+#[inline]
+pub fn low_u32(v: u64) -> u32 {
+    (v & 0xFFFF_FFFF) as u32
+}
+
+/// Checked `u64 → u8`; errors with the caller-supplied context on overflow.
+#[inline]
+pub fn try_u8(v: u64, what: &str) -> Result<u8> {
+    u8::try_from(v).map_err(|_| FabricError::Codec(format!("{what}: {v} does not fit in u8")))
+}
+
+/// Checked `u64 → u16`; errors with the caller-supplied context on overflow.
+#[inline]
+pub fn try_u16(v: u64, what: &str) -> Result<u16> {
+    u16::try_from(v).map_err(|_| FabricError::Codec(format!("{what}: {v} does not fit in u16")))
+}
+
+/// Checked `u64 → u32`; errors with the caller-supplied context on overflow.
+#[inline]
+pub fn try_u32(v: u64, what: &str) -> Result<u32> {
+    u32::try_from(v).map_err(|_| FabricError::Codec(format!("{what}: {v} does not fit in u32")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_truncation_keeps_low_bits() {
+        assert_eq!(low_u8(0x1FF), 0xFF);
+        assert_eq!(low_u8(0x7F), 0x7F);
+        assert_eq!(low_u16(0x1_FFFF), 0xFFFF);
+        assert_eq!(low_u16(4096), 4096);
+        assert_eq!(low_u32(u64::MAX), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn checked_conversion_round_trips_in_range() {
+        assert_eq!(try_u8(255, "x").unwrap(), 255);
+        assert_eq!(try_u16(65_535, "x").unwrap(), 65_535);
+        assert_eq!(try_u32(1 << 20, "x").unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn checked_conversion_errors_name_the_site() {
+        let err = try_u8(256, "lz match length").unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("lz match length"), "{msg}");
+        assert!(try_u16(1 << 16, "off").is_err());
+        assert!(try_u32(1 << 32, "len").is_err());
+    }
+}

@@ -13,6 +13,7 @@
 //! the computational-SSD controller (`relstore`), and to the query
 //! optimizer's cost model (`query`).
 
+pub mod cast;
 pub mod crc;
 pub mod error;
 pub mod expr;

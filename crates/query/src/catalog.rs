@@ -8,7 +8,7 @@
 use colstore::ColTable;
 use fabric_types::{FabricError, Result, Schema};
 use rowstore::RowTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A registered table.
 pub struct TableEntry {
@@ -23,16 +23,19 @@ impl TableEntry {
     }
 }
 
-/// Named tables.
+/// Named tables. Keyed by a `BTreeMap` so every traversal (name listing,
+/// registry export) is in lexicographic order on any core count — the
+/// catalog feeds result-affecting paths and must stay hash-order-free
+/// (fabric-lint rule `nondeterministic-core`).
 #[derive(Default)]
 pub struct Catalog {
-    tables: HashMap<String, TableEntry>,
+    tables: BTreeMap<String, TableEntry>,
 }
 
 impl Catalog {
     pub fn new() -> Self {
         Catalog {
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
         }
     }
 
@@ -61,9 +64,8 @@ impl Catalog {
     }
 
     pub fn names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
-        names.sort_unstable();
-        names
+        // BTreeMap iterates in key order; no sort needed.
+        self.tables.keys().map(|s| s.as_str()).collect()
     }
 }
 

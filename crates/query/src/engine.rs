@@ -292,6 +292,50 @@ impl Session<'_> {
         )
     }
 
+    /// Verify and execute a hand-built [`BoundQuery`] on the
+    /// optimizer-chosen path, under the engine's fault policy.
+    ///
+    /// Unlike [`Session::run`], the plan did not come from the parser, so
+    /// nothing upstream vouches for it: it passes through the same
+    /// [`analyze`] gate as every SQL statement, and a plan the analyzer
+    /// rejects never reaches an executor. Bound plans carry no SQL text,
+    /// so they bypass the plan cache.
+    pub fn run_bound(&mut self, bound: &BoundQuery) -> Result<QueryOutput> {
+        self.run_bound_impl(bound, None)
+    }
+
+    /// Verify and execute a hand-built [`BoundQuery`] on an explicitly
+    /// chosen path (engine comparisons / tests). Verifies exactly like
+    /// [`Session::run_bound`].
+    pub fn run_bound_on(&mut self, bound: &BoundQuery, path: AccessPath) -> Result<QueryOutput> {
+        self.run_bound_impl(bound, Some(path))
+    }
+
+    fn run_bound_impl(
+        &mut self,
+        bound: &BoundQuery,
+        forced: Option<AccessPath>,
+    ) -> Result<QueryOutput> {
+        let Engine {
+            ref mut mem,
+            ref catalog,
+            ref mut faults,
+            ref rm,
+            ..
+        } = *self.engine;
+        let entry = catalog.get(&bound.table)?;
+        let verified = analyze(entry, bound, rm)?;
+        let (chosen, cost) = choose_path_parallel(mem.config(), rm, entry, bound, mem.num_cores())?;
+        run_verified(
+            mem,
+            entry,
+            &verified,
+            forced.unwrap_or(chosen),
+            cost,
+            Resilience::Resilient(faults),
+        )
+    }
+
     /// Render the chosen plan and per-path estimates for `sql`.
     pub fn explain(&mut self, sql: &str) -> Result<String> {
         let prepared = self.prepare(sql)?;

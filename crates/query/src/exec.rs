@@ -27,7 +27,7 @@ use fabric_sim::{
 use fabric_types::{CmpOp, FabricError, Result, Value, ValueAgg};
 use relmem::{EphemeralColumns, RmConfig, RmStats};
 use rowstore::volcano::{Filter, Operator, SeqScan};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Rows per ROW/COL morsel: large enough to amortize per-morsel operator
 /// setup and keep scans sequential, small enough to load-balance across
@@ -159,7 +159,11 @@ impl FaultContext {
 struct Consumer<'q> {
     bound: &'q BoundQuery,
     rows: Vec<Vec<Value>>,
-    groups: HashMap<String, (Vec<Value>, Vec<ValueAgg>)>,
+    /// Grouped accumulators keyed by the rendered group key. A `BTreeMap`
+    /// so iteration is key-ordered on every core count — group output
+    /// order must never depend on hash iteration (rule
+    /// `nondeterministic-core`).
+    groups: BTreeMap<String, (Vec<Value>, Vec<ValueAgg>)>,
     aggregated: bool,
 }
 
@@ -168,7 +172,7 @@ impl<'q> Consumer<'q> {
         Consumer {
             bound,
             rows: Vec::new(),
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             aggregated: bound.has_aggregates(),
         }
     }
@@ -250,7 +254,7 @@ impl<'q> Consumer<'q> {
     /// morsel order, so the result is the scan order. Aggregated morsels
     /// merge their group accumulators pairwise ([`ValueAgg::merge`]); every
     /// group is independent, so the fold is deterministic regardless of
-    /// hash-map iteration order.
+    /// merge order.
     fn merge(&mut self, mem: &mut MemoryHierarchy, other: Consumer<'q>) -> Result<()> {
         let costs = mem.costs();
         if !self.aggregated {
@@ -261,13 +265,13 @@ impl<'q> Consumer<'q> {
         for (key, (key_vals, accs)) in other.groups {
             mem.cpu(costs.hash_op);
             match self.groups.entry(key) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
                     for (mine, theirs) in e.get_mut().1.iter_mut().zip(&accs) {
                         mem.cpu(costs.f64_op);
                         mine.merge(theirs)?;
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(v) => {
+                std::collections::btree_map::Entry::Vacant(v) => {
                     v.insert((key_vals, accs));
                 }
             }
@@ -293,9 +297,9 @@ impl<'q> Consumer<'q> {
                 .collect();
             self.groups.insert(String::new(), (Vec::new(), accs));
         }
-        let mut keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> =
-            self.groups.into_iter().collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        // BTreeMap already iterates in key order — the very order the old
+        // post-collection sort produced.
+        let keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> = self.groups.into_iter().collect();
         let mut out = Vec::with_capacity(keyed.len());
         for (_, (key_vals, accs)) in keyed {
             let mut row = Vec::with_capacity(self.bound.items.len());

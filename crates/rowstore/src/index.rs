@@ -14,7 +14,7 @@
 use crate::table::{RowId, RowTable};
 use fabric_sim::MemoryHierarchy;
 use fabric_types::{ColumnId, FabricError, Result, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bytes per index entry we charge for index traffic (key + row id).
 const ENTRY_BYTES: usize = 16;
@@ -25,8 +25,10 @@ const ENTRY_BYTES: usize = 16;
 /// memory traffic plus hashing CPU.
 pub struct HashIndex {
     col: ColumnId,
-    /// key (encoded i64 image) -> row ids.
-    map: HashMap<i64, Vec<RowId>>,
+    /// key (encoded i64 image) -> row ids. A `BTreeMap` (not `HashMap`)
+    /// so any whole-index traversal is key-ordered and deterministic; the
+    /// *simulated* cost model still charges hash-probe economics.
+    map: BTreeMap<i64, Vec<RowId>>,
     /// Arena region standing in for the bucket array (traffic charging).
     buckets_addr: fabric_types::Addr,
     buckets: usize,
@@ -44,7 +46,7 @@ impl HashIndex {
         }
         let buckets = (table.len() * 2).next_power_of_two().max(64);
         let buckets_addr = mem.alloc(buckets * ENTRY_BYTES, 64)?;
-        let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
+        let mut map: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
         for rid in 0..table.len() {
             let v = table.decode_row_untimed(mem, rid)?[col].as_i64()?;
             map.entry(v).or_default().push(rid);

@@ -9,7 +9,7 @@
 use fabric_sim::MemoryHierarchy;
 use fabric_types::geometry::merge_field_spans;
 use fabric_types::{AggFunc, CmpOp, ColumnId, Expr, FabricError, Result, Value, ValueAgg};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::table::RowTable;
 
@@ -226,7 +226,9 @@ impl<'a> HashAggregate<'a> {
     fn consume(&mut self, mem: &mut MemoryHierarchy) -> Result<Vec<Vec<Value>>> {
         let costs = mem.costs();
         let expr_ops: u64 = self.aggs.iter().map(|a| a.expr.ops()).sum();
-        let mut groups: HashMap<String, (Vec<Value>, Vec<ValueAgg>)> = HashMap::new();
+        // BTreeMap keeps the groups key-ordered as they build, so the
+        // emission order below never depends on hash iteration.
+        let mut groups: BTreeMap<String, (Vec<Value>, Vec<ValueAgg>)> = BTreeMap::new();
         let mut tuple = Vec::new();
         while self.child.next(mem, &mut tuple)? {
             mem.cpu(
@@ -244,10 +246,8 @@ impl<'a> HashAggregate<'a> {
                 acc.update(&agg.expr.eval(&tuple)?)?;
             }
         }
-        let mut keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> = groups.into_iter().collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut rows = Vec::with_capacity(keyed.len());
-        for (_, (mut key_vals, accs)) in keyed {
+        let mut rows = Vec::with_capacity(groups.len());
+        for (_, (mut key_vals, accs)) in groups {
             for acc in &accs {
                 key_vals.push(acc.finish()?);
             }

@@ -16,7 +16,7 @@ use fabric_sim::MemoryHierarchy;
 use fabric_types::{AggFunc, CmpOp, ColumnPredicate, Expr, Predicate, Result, Value};
 use relmem::{EphemeralColumns, RmConfig};
 use rowstore::volcano::{AggExpr, Filter, HashAggregate, Operator, SeqScan};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Q1 date cutoff: 1998-12-01 minus 90 days.
 pub fn q1_cutoff() -> u32 {
@@ -68,11 +68,10 @@ impl Q1Acc {
     }
 }
 
-fn q1_groups_checksum(groups: &HashMap<[u8; 2], Q1Acc>) -> f64 {
-    // Sum in key order for determinism.
-    let mut keys: Vec<&[u8; 2]> = groups.keys().collect();
-    keys.sort();
-    keys.iter().map(|k| groups[*k].checksum()).sum()
+fn q1_groups_checksum(groups: &BTreeMap<[u8; 2], Q1Acc>) -> f64 {
+    // BTreeMap iterates in key order, so the sum order is deterministic
+    // by construction (f64 addition is order-sensitive).
+    groups.values().map(Q1Acc::checksum).sum()
 }
 
 /// Q1 on the Volcano row engine.
@@ -139,7 +138,7 @@ pub fn q1_col(mem: &mut MemoryHierarchy, li: &Lineitem) -> Result<RunResult> {
         CmpOp::Le,
         &Value::Date(q1_cutoff()),
     )?;
-    let mut groups: HashMap<[u8; 2], Q1Acc> = HashMap::new();
+    let mut groups: BTreeMap<[u8; 2], Q1Acc> = BTreeMap::new();
     colx::for_each_lockstep(
         mem,
         &li.cols,
@@ -196,7 +195,7 @@ pub fn q1_rm(mem: &mut MemoryHierarchy, li: &Lineitem, cfg: RmConfig) -> Result<
     ])?;
     let mut eph = EphemeralColumns::configure(mem, cfg, g)?;
     let cutoff = q1_cutoff();
-    let mut groups: HashMap<[u8; 2], Q1Acc> = HashMap::new();
+    let mut groups: BTreeMap<[u8; 2], Q1Acc> = BTreeMap::new();
     while let Some(b) = eph.next_batch(mem) {
         for r in 0..b.len() {
             mem.cpu(costs.vector_elem + costs.value_op);
@@ -251,7 +250,7 @@ pub fn q1_rm_pushdown(
         ])?
         .with_predicate(pred);
     let mut eph = EphemeralColumns::configure(mem, cfg, g)?;
-    let mut groups: HashMap<[u8; 2], Q1Acc> = HashMap::new();
+    let mut groups: BTreeMap<[u8; 2], Q1Acc> = BTreeMap::new();
     while let Some(b) = eph.next_batch(mem) {
         for r in 0..b.len() {
             mem.cpu(costs.vector_elem + costs.hash_op + costs.f64_op * 14);

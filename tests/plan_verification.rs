@@ -1,45 +1,42 @@
 //! End-to-end negative-path tests for pre-execution plan verification:
 //! each of the four canonical malformed plans must be rejected with a
 //! structured diagnostic — by `query::analyze` directly, and by the
-//! executor front door — without panicking anywhere in the stack.
+//! engine front door — without panicking anywhere in the stack.
 //!
 //! Malformed `BoundQuery` values cannot be produced through the SQL
-//! session API, so this suite deliberately drives the deprecated
-//! free-function shims: they remain public API and must keep rejecting
-//! unverified plans until they are removed. The file-level allow is the
-//! sanctioned opt-out fabric-lint's `deprecated-entry-point` rule looks
-//! for.
-#![allow(deprecated)]
+//! session API, so this suite hands them to [`query::Session::run_bound`]
+//! and [`query::Session::run_bound_on`]: the engine entry points for
+//! plans that did not come from the parser, which must push every such
+//! plan through the same `analyze` gate before it may touch an executor.
 
 use fabric_sim::{MemoryHierarchy, SimConfig};
 use fabric_types::{CmpOp, ColumnType, Expr, FabricError, FieldSlice, Geometry, Schema, Value};
 use query::analyze::{analyze, PlanDiagnostic};
 use query::bind::{BoundQuery, OutputItem};
-use query::{AccessPath, Catalog};
+use query::{AccessPath, Engine};
 use relmem::{RmConfig, VerifiedGeometry};
 use rowstore::RowTable;
 
-/// Catalog with one row-only table `t(id i64, flag char(1), qty f64)` and
+/// Engine with one row-only table `t(id i64, flag char(1), qty f64)` and
 /// a handful of rows so executors would actually run if verification let
 /// a plan through.
-fn setup() -> (MemoryHierarchy, Catalog) {
-    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+fn setup() -> Engine {
+    let mut engine = Engine::new(SimConfig::zynq_a53());
     let schema = Schema::from_pairs(&[
         ("id", ColumnType::I64),
         ("flag", ColumnType::FixedStr(1)),
         ("qty", ColumnType::F64),
     ]);
-    let mut t = RowTable::create(&mut mem, schema, 16).unwrap();
+    let mut t = RowTable::create(engine.mem(), schema, 16).unwrap();
     for i in 0..10 {
         t.load(
-            &mut mem,
+            engine.mem(),
             &[Value::I64(i), Value::Str("A".into()), Value::F64(i as f64)],
         )
         .unwrap();
     }
-    let mut c = Catalog::new();
-    c.register_rows("t", t);
-    (mem, c)
+    engine.register_rows("t", t);
+    engine
 }
 
 fn plan(touched: Vec<usize>) -> BoundQuery {
@@ -57,10 +54,10 @@ fn plan(touched: Vec<usize>) -> BoundQuery {
 }
 
 /// Both front doors must reject without panicking: `analyze` with the
-/// expected diagnostic, `execute` / `execute_on` with an error.
+/// expected diagnostic, `run_bound` / `run_bound_on` with an error.
 fn assert_rejected(bound: &BoundQuery, want: impl Fn(&PlanDiagnostic) -> bool) {
-    let (mut mem, c) = setup();
-    let entry = c.get("t").unwrap();
+    let mut engine = setup();
+    let entry = engine.catalog().get("t").unwrap();
     let err = analyze(entry, bound, &RmConfig::prototype())
         .err()
         .expect("analyzer accepted a malformed plan");
@@ -68,12 +65,10 @@ fn assert_rejected(bound: &BoundQuery, want: impl Fn(&PlanDiagnostic) -> bool) {
         err.diagnostics.iter().any(want),
         "wrong diagnostics: {err:?}"
     );
-    assert!(query::execute(&mut mem, &c, bound).is_err());
+    let mut session = engine.session();
+    assert!(session.run_bound(bound).is_err());
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
-        assert!(
-            query::execute_on(&mut mem, &c, bound, path).is_err(),
-            "{path:?} ran"
-        );
+        assert!(session.run_bound_on(bound, path).is_err(), "{path:?} ran");
     }
 }
 
@@ -169,13 +164,14 @@ fn rejects_duplicate_projection_column() {
 /// Sanity: a well-formed plan still verifies and runs on every path.
 #[test]
 fn well_formed_plan_still_runs_on_every_path() {
-    let (mut mem, c) = setup();
+    let mut engine = setup();
     let mut b = plan(vec![0, 2]);
     b.preds = vec![(0, CmpOp::Lt, Value::I64(3))];
-    let out = query::execute(&mut mem, &c, &b).unwrap();
+    let mut session = engine.session();
+    let out = session.run_bound(&b).unwrap();
     assert_eq!(out.rows.len(), 3);
     for path in [AccessPath::Row, AccessPath::Rm] {
-        let out = query::execute_on(&mut mem, &c, &b, path).unwrap();
+        let out = session.run_bound_on(&b, path).unwrap();
         assert_eq!(out.rows.len(), 3);
         assert_eq!(out.rows[2], vec![Value::I64(2), Value::F64(2.0)]);
     }

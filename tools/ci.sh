@@ -8,7 +8,11 @@
 #   1. cargo fmt --check        (skipped if rustfmt is not installed)
 #   2. cargo build --release
 #   3. cargo test -q            (whole workspace)
-#   4. cargo run -p fabric-lint (source lints vs. lint-baseline.txt)
+#   4. fabric-lint --self-check (the token-level analyzer first replays
+#                                its fixture corpus — every rule's
+#                                expected findings, exactly — then scans
+#                                the workspace against lint-baseline.txt,
+#                                failing on new debt AND on stale entries)
 #   5. bounded chaos sweep      (tests/fault_tolerance.rs with a fixed
 #                                seed; fails on any answer divergence and
 #                                prints the replay seed)
@@ -48,8 +52,8 @@ cargo build --release
 say "cargo test -q --workspace"
 cargo test -q --workspace
 
-say "cargo run -p fabric-lint"
-cargo run -q -p fabric-lint
+say "cargo run -p fabric-lint -- --self-check"
+cargo run -q -p fabric-lint -- --self-check
 
 # Bounded chaos: a fixed-seed sweep of randomized fault plans over
 # RM-routed queries. Deterministic, so a red run here reproduces locally
