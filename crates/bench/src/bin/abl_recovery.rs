@@ -1,0 +1,114 @@
+//! Ablation of the durability subsystem (DESIGN.md §14): what the
+//! WAL-before-apply protocol costs at commit time, and what checkpoints
+//! buy at recovery time — replay ns versus checkpoint cadence at a fixed
+//! workload, with the recovered state asserted bit-identical.
+//!
+//! Usage: `abl_recovery [--commits N]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use durability::DurabilityConfig;
+use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_types::{ColumnType, Schema, Value};
+use mvcc::DurableStore;
+
+fn main() {
+    let args = bench::harness::cli_args();
+    let commits = arg_usize(&args, "--commits", 512);
+    let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
+
+    let mut out = Vec::new();
+    let mut reg = fabric_sim::MetricsRegistry::new();
+    // Cadence 0 = never checkpoint (pure log replay) up to every 16
+    // commits; each run commits the same workload, crashes at the end,
+    // and times recovery from what survived.
+    for ckpt_every in [0u64, 64, 16] {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut store = DurableStore::create(
+            &mut mem,
+            schema.clone(),
+            commits * 2 + 16,
+            DurabilityConfig::quiet(7),
+            ckpt_every,
+        )
+        .expect("create");
+
+        let t0 = mem.now();
+        for i in 0..commits as i64 {
+            let mut txn = store.begin();
+            if i % 3 == 2 {
+                // Every third commit updates an existing row: the log and
+                // checkpoints carry version chains, not just inserts.
+                txn.update((i / 3) as usize, vec![(1, Value::I64(i * 100))]);
+            } else {
+                txn.insert(vec![Value::I64(i), Value::I64(i * 10)]);
+            }
+            store.commit(&mut mem, txn).expect("commit");
+        }
+        let commit_ns = mem.ns_since(t0);
+        let log_bytes = store.media().stats().append_bytes;
+        let ckpt_pages = store.media().stats().checkpoint_pages;
+        let before = store.snapshot_rows(&mut mem).expect("rows");
+        let watermark = store.snapshot_ts();
+
+        // Crash now; time recovery on a fresh machine.
+        let image = store.crash_image();
+        let mut mem2 = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let t0 = mem2.now();
+        let (recovered, report) = DurableStore::replay(
+            &mut mem2,
+            schema.clone(),
+            commits * 2 + 16,
+            image,
+            DurabilityConfig::quiet(8),
+            ckpt_every,
+        )
+        .expect("replay");
+        let replay_ns = mem2.ns_since(t0);
+        assert_eq!(report.watermark, watermark, "watermark must survive");
+        assert_eq!(
+            recovered.snapshot_rows(&mut mem2).expect("rows"),
+            before,
+            "recovered answers must be bit-identical"
+        );
+
+        let label = format!("recovery.e{ckpt_every:03}");
+        reg.gauge_set(&format!("{label}.commit_ns"), commit_ns / commits as f64);
+        reg.gauge_set(&format!("{label}.replay_ns"), replay_ns);
+        reg.counter_add(&format!("{label}.log_bytes"), log_bytes);
+        reg.counter_add(&format!("{label}.ckpt_pages"), ckpt_pages);
+        reg.counter_add(
+            &format!("{label}.commits_replayed"),
+            report.commits_replayed,
+        );
+
+        out.push(vec![
+            if ckpt_every == 0 {
+                "never".into()
+            } else {
+                format!("every {ckpt_every}")
+            },
+            format!("{:.1} KiB", log_bytes as f64 / 1024.0),
+            format!("{ckpt_pages}"),
+            fmt_ns(commit_ns / commits as f64),
+            format!("{}", report.commits_replayed),
+            fmt_ns(replay_ns),
+        ]);
+    }
+
+    println!("Crash recovery: WAL commit tax and checkpoint-bounded replay ({commits} commits):");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "checkpoint",
+                "log size",
+                "ckpt pages",
+                "commit (avg)",
+                "replayed",
+                "replay time",
+            ],
+            &out
+        )
+    );
+    bench::emit_bench_json("abl_recovery", &reg);
+}

@@ -1,0 +1,43 @@
+//! Crash-consistent durable media for the write path (DESIGN.md §14).
+//!
+//! The read path (PR 2) taught the fabric to *detect* corrupted deliveries
+//! and degrade; this crate teaches the write path to *survive power loss*.
+//! It models one durable device — think the flash behind `relstore`'s SSD —
+//! holding two kinds of state:
+//!
+//! * an append-only **write-ahead log** of CRC-framed records
+//!   ([`wal::frame_record`] / [`wal::scan`]), appended *before* any
+//!   volatile table mutation, and
+//! * page-granular **checkpoint blobs**, periodic snapshots that bound
+//!   replay work.
+//!
+//! The device is deliberately generic: payloads are opaque bytes, so the
+//! crate sits at layer 3 with no knowledge of `mvcc` row formats (the
+//! commit/checkpoint codecs live in `mvcc::wal`, the sanctioned
+//! `mvcc → durability` edge).
+//!
+//! Failure semantics, all drawn deterministically from the shared
+//! [`fabric_sim::FaultPlan`] seed:
+//!
+//! * a **power cut** ([`fabric_sim::FaultPlan::write_crash`]) can strike
+//!   any durable write — WAL append or checkpoint page alike, one global
+//!   counter — leaving an arbitrary *prefix* of the in-flight bytes on the
+//!   medium (possibly all of them: the write was durable but the caller
+//!   saw [`fabric_types::FabricError::PowerLoss`] — commit ambiguity);
+//! * a **torn page write** silently persists a strict prefix of a
+//!   checkpoint page; the device reports success and only the per-page
+//!   CRC at read time exposes the lie;
+//! * **flash program failures** are transient and retried with backoff,
+//!   surfacing [`fabric_types::FabricError::FlashWriteError`] past the
+//!   retry budget.
+//!
+//! What survives a crash is exactly [`DurableMedia::into_survivor`]'s
+//! [`DurableImage`] — the recovery path rebuilds state from nothing else.
+
+pub mod config;
+pub mod media;
+pub mod wal;
+
+pub use config::DurabilityConfig;
+pub use media::{DurableImage, DurableMedia, MediaStats};
+pub use wal::{frame_record, scan, Lsn, RecordKind, WalRecord};

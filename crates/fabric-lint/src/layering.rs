@@ -41,6 +41,7 @@ pub const LAYERS: &[(&str, u8)] = &[
     ("colstore", 3),
     ("compress", 3),
     ("mvcc", 3),
+    ("durability", 3),
     ("query", 4),
     ("workload", 5),
     ("bench", 5),
@@ -53,6 +54,7 @@ pub const INTRA_LAYER_EDGES: &[(&str, &str)] = &[
     ("relstore", "relmem"),
     ("mvcc", "rowstore"),
     ("mvcc", "relmem"),
+    ("mvcc", "durability"),
     ("bench", "workload"),
 ];
 

@@ -74,7 +74,14 @@ pub mod rules;
 pub mod selfcheck;
 
 /// Crates whose library code must be panic-free (rule `no-unwrap`).
-pub const CORE_CRATES: &[&str] = &["fabric-types", "relmem", "query", "mvcc", "relstore"];
+pub const CORE_CRATES: &[&str] = &[
+    "fabric-types",
+    "relmem",
+    "query",
+    "mvcc",
+    "relstore",
+    "durability",
+];
 
 /// Crates whose code never affects query results, cycle counts, or
 /// artifacts compared across runs — everything else is in scope for

@@ -25,6 +25,19 @@
 //! * **host-link corruption** ([`FaultPlan::link_corrupted`]; detected by
 //!   the shipment CRC, re-shipped, then `FabricError::CorruptBatch`).
 //!
+//! The *write path* (DESIGN.md §14) has its own sites:
+//!
+//! * **flash program failures** ([`FaultPlan::flash_write_failed`];
+//!   retried with backoff, then `FabricError::FlashWriteError`);
+//! * **power cuts** ([`FaultPlan::write_crash`]; either drawn per durable
+//!   write from `wal_crash_prob` or *scheduled* at the `crash_at_write`-th
+//!   write for systematic crash matrices — the in-flight write survives
+//!   only as the prefix picked by [`FaultPlan::crash_keep`], and the
+//!   device surfaces `FabricError::PowerLoss`);
+//! * **silent torn page writes** ([`FaultPlan::torn_write`]; a checkpoint
+//!   page persists only partially with no error at write time — detected
+//!   later by the per-page CRC at read).
+//!
 //! Recovery budgets (retries, backoff, circuit-breaker thresholds) live in
 //! [`RecoveryPolicy`]; per-device health in [`CircuitBreaker`].
 
@@ -39,14 +52,20 @@ const SALT_RM_CORRUPT: u64 = 0x524D_434F_5252_5003;
 const SALT_FLASH_TRANSIENT: u64 = 0x464C_5452_414E_5304;
 const SALT_FLASH_LATENT: u64 = 0x464C_4C41_5445_4E05;
 const SALT_LINK: u64 = 0x4C49_4E4B_434F_5206;
+const SALT_FLASH_WRITE: u64 = 0x464C_5752_4954_4507;
+const SALT_WAL_CRASH: u64 = 0x5741_4C43_5241_5308;
+const SALT_TORN: u64 = 0x544F_524E_5747_5409;
 
 /// Number of counter-backed sites (latent errors are stateless per page).
-const N_SITES: usize = 5;
+const N_SITES: usize = 8;
 const SITE_RM_STALL: usize = 0;
 const SITE_RM_TIMEOUT: usize = 1;
 const SITE_RM_CORRUPT: usize = 2;
 const SITE_FLASH_TRANSIENT: usize = 3;
 const SITE_LINK: usize = 4;
+const SITE_FLASH_WRITE: usize = 5;
+const SITE_WAL_CRASH: usize = 6;
+const SITE_TORN: usize = 7;
 
 /// Probabilities of each injectable fault (all default to 0 = fault-free).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +89,18 @@ pub struct FaultConfig {
     pub flash_latent_prob: f64,
     /// Probability a host-link shipment arrives corrupted (per attempt).
     pub link_corrupt_prob: f64,
+    /// Probability a flash page program attempt fails (per attempt).
+    pub flash_write_prob: f64,
+    /// Probability a durable write (WAL append or checkpoint page) is
+    /// interrupted by a power cut.
+    pub wal_crash_prob: f64,
+    /// Probability a checkpoint page write silently persists only a
+    /// prefix of its bytes (no error at write time; caught by CRC).
+    pub torn_write_prob: f64,
+    /// Scheduled power cut at exactly the n-th durable write (1-based;
+    /// 0 disables). Counts every [`FaultPlan::write_crash`] ask across
+    /// the device, so a crash matrix can step a run through each write.
+    pub crash_at_write: u64,
 }
 
 impl FaultConfig {
@@ -84,11 +115,16 @@ impl FaultConfig {
             flash_transient_prob: 0.0,
             flash_latent_prob: 0.0,
             link_corrupt_prob: 0.0,
+            flash_write_prob: 0.0,
+            wal_crash_prob: 0.0,
+            torn_write_prob: 0.0,
+            crash_at_write: 0,
         }
     }
 
-    /// Every *transient* fault at the same `rate`; latent errors stay off
-    /// (they are unrecoverable and deserve an explicit opt-in).
+    /// Every *transient* fault at the same `rate`; latent errors and
+    /// power cuts stay off (they are unrecoverable in place and deserve
+    /// an explicit opt-in).
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultConfig {
             rm_stall_prob: rate,
@@ -96,6 +132,7 @@ impl FaultConfig {
             rm_corrupt_prob: rate,
             flash_transient_prob: rate,
             link_corrupt_prob: rate,
+            flash_write_prob: rate,
             ..FaultConfig::quiet(seed)
         }
     }
@@ -104,6 +141,15 @@ impl FaultConfig {
     pub fn with_latent(self, rate: f64) -> Self {
         FaultConfig {
             flash_latent_prob: rate,
+            ..self
+        }
+    }
+
+    /// This configuration with a power cut scheduled at the `n`-th
+    /// durable write (1-based; 0 disables).
+    pub fn with_crash_at(self, n: u64) -> Self {
+        FaultConfig {
+            crash_at_write: n,
             ..self
         }
     }
@@ -157,6 +203,9 @@ pub struct FaultStats {
     pub flash_transients: u64,
     pub flash_latents: u64,
     pub link_corruptions: u64,
+    pub flash_write_errors: u64,
+    pub wal_crashes: u64,
+    pub torn_writes: u64,
 }
 
 impl FaultStats {
@@ -168,6 +217,9 @@ impl FaultStats {
             + self.flash_transients
             + self.flash_latents
             + self.link_corruptions
+            + self.flash_write_errors
+            + self.wal_crashes
+            + self.torn_writes
     }
 }
 
@@ -290,6 +342,63 @@ impl FaultPlan {
             self.stats.link_corruptions += 1;
         }
         hit
+    }
+
+    /// Does this flash page program attempt fail? Drawn per attempt, so
+    /// a retry with backoff can succeed.
+    pub fn flash_write_failed(&mut self) -> bool {
+        let hit = self.decide(
+            SITE_FLASH_WRITE,
+            SALT_FLASH_WRITE,
+            self.cfg.flash_write_prob,
+        );
+        if hit {
+            self.stats.flash_write_errors += 1;
+        }
+        hit
+    }
+
+    /// Does the power cut out during this durable write? Every durable
+    /// write on the device (WAL append or checkpoint page) must ask
+    /// exactly once, so `crash_at_write = n` deterministically cuts the
+    /// n-th write regardless of which kind it is. A hit means volatile
+    /// state is lost and the in-flight write survives only as the prefix
+    /// picked by [`FaultPlan::crash_keep`].
+    pub fn write_crash(&mut self) -> bool {
+        let n = self.counters[SITE_WAL_CRASH];
+        self.counters[SITE_WAL_CRASH] += 1;
+        let scheduled = self.cfg.crash_at_write > 0 && n + 1 == self.cfg.crash_at_write;
+        let drawn = self.cfg.wal_crash_prob > 0.0
+            && Self::unit(self.cfg.seed, SALT_WAL_CRASH, n) < self.cfg.wal_crash_prob;
+        let hit = scheduled || drawn;
+        if hit {
+            self.stats.wal_crashes += 1;
+        }
+        hit
+    }
+
+    /// How many of the `len` in-flight bytes made it to the medium before
+    /// the cut: a deterministic draw in `[0, len]` tied to the crash that
+    /// just fired. `len` itself is possible — the write was durable but
+    /// the caller never saw the acknowledgement (commit ambiguity).
+    pub fn crash_keep(&self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        (self.aux(SITE_WAL_CRASH, SALT_WAL_CRASH) % (len as u64 + 1)) as usize
+    }
+
+    /// Does this page write silently tear? `Some(keep)` with
+    /// `0 < keep < len` means only the first `keep` bytes persist and the
+    /// device reports success anyway — the lie a CRC check must catch.
+    pub fn torn_write(&mut self, len: usize) -> Option<usize> {
+        let hit = self.decide(SITE_TORN, SALT_TORN, self.cfg.torn_write_prob);
+        if !hit || len < 2 {
+            return None;
+        }
+        self.stats.torn_writes += 1;
+        let keep = 1 + (self.aux(SITE_TORN, SALT_TORN) % (len as u64 - 1)) as usize;
+        Some(keep)
     }
 }
 
@@ -500,5 +609,98 @@ mod tests {
         let c = FaultConfig::uniform(1, 0.1);
         assert_eq!(c.flash_latent_prob, 0.0);
         assert_eq!(c.with_latent(0.01).flash_latent_prob, 0.01);
+    }
+
+    #[test]
+    fn uniform_config_keeps_power_cuts_off() {
+        let c = FaultConfig::uniform(1, 0.1);
+        assert_eq!(c.flash_write_prob, 0.1);
+        assert_eq!(c.wal_crash_prob, 0.0);
+        assert_eq!(c.torn_write_prob, 0.0);
+        assert_eq!(c.crash_at_write, 0);
+        assert_eq!(c.with_crash_at(7).crash_at_write, 7);
+    }
+
+    #[test]
+    fn write_sites_replay_bit_identically_from_the_seed() {
+        let cfg = FaultConfig {
+            wal_crash_prob: 0.2,
+            torn_write_prob: 0.3,
+            ..FaultConfig::uniform(77, 0.3)
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for _ in 0..500 {
+            assert_eq!(a.flash_write_failed(), b.flash_write_failed());
+            let (ca, cb) = (a.write_crash(), b.write_crash());
+            assert_eq!(ca, cb);
+            if ca {
+                assert_eq!(a.crash_keep(4096), b.crash_keep(4096));
+            }
+            assert_eq!(a.torn_write(4096), b.torn_write(4096));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().wal_crashes > 0);
+        assert!(a.stats().torn_writes > 0);
+        assert!(a.stats().flash_write_errors > 0);
+    }
+
+    #[test]
+    fn write_sites_do_not_perturb_read_streams() {
+        let cfg = FaultConfig {
+            wal_crash_prob: 0.5,
+            torn_write_prob: 0.5,
+            ..FaultConfig::uniform(13, 0.5)
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for _ in 0..100 {
+            let _ignored = b.flash_write_failed();
+            let _ignored = b.write_crash();
+            let _ignored = b.torn_write(512);
+        }
+        for _ in 0..50 {
+            assert_eq!(a.rm_corrupt(1024), b.rm_corrupt(1024));
+            assert_eq!(a.flash_read_failed(3), b.flash_read_failed(3));
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_fires_at_exactly_the_nth_write() {
+        for n in [1u64, 2, 5, 17] {
+            let mut p = FaultPlan::new(FaultConfig::quiet(0).with_crash_at(n));
+            for i in 1..=30u64 {
+                let crashed = p.write_crash();
+                assert_eq!(crashed, i == n, "crash_at={n} write #{i}");
+            }
+            assert_eq!(p.stats().wal_crashes, 1);
+        }
+        // 0 disables scheduling entirely.
+        let mut quiet = FaultPlan::quiet();
+        assert!(!(0..100).any(|_| quiet.write_crash()));
+    }
+
+    #[test]
+    fn crash_keep_and_tear_points_are_in_bounds() {
+        let cfg = FaultConfig {
+            torn_write_prob: 1.0,
+            ..FaultConfig::quiet(21)
+        };
+        let mut p = FaultPlan::new(cfg);
+        let mut seen_full = false;
+        let mut seen_partial = false;
+        for _ in 0..200 {
+            let _advance = p.write_crash();
+            let keep = p.crash_keep(64);
+            assert!(keep <= 64);
+            seen_full |= keep == 64;
+            seen_partial |= keep < 64;
+            let torn = p.torn_write(64).expect("prob 1.0 always tears");
+            assert!(torn >= 1 && torn < 64, "tear keeps a strict prefix");
+        }
+        assert!(seen_full, "keep == len (durable-but-unacked) must occur");
+        assert!(seen_partial, "partial prefixes must occur");
+        assert_eq!(p.crash_keep(0), 0);
+        assert!(p.torn_write(1).is_none(), "1-byte writes cannot tear");
     }
 }

@@ -34,11 +34,48 @@ const TABLE: [u32; 256] = {
 
 /// CRC-32/ISO-HDLC of `bytes` (init `!0`, reflected, final xor `!0`).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Streaming CRC-32/ISO-HDLC hasher: `init` / `update` / `finalize`.
+///
+/// WAL records and multi-fragment pages are framed incrementally — header,
+/// then payload, then more payload — without ever materializing one
+/// contiguous buffer. Feeding the same bytes in any fragmentation yields
+/// exactly the one-shot [`crc32`] value.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher (state `!0`, the standard init value).
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
     }
-    !crc
+
+    /// Absorb `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+        self
+    }
+
+    /// The checksum of everything absorbed so far (final xor applied).
+    /// Non-consuming, so a caller can frame a running prefix and keep
+    /// absorbing.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +104,33 @@ mod tests {
     fn is_a_pure_function_of_the_bytes() {
         assert_eq!(crc32(b"relational fabric"), crc32(b"relational fabric"));
         assert_ne!(crc32(b"relational fabric"), crc32(b"relational fabrik"));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_under_any_fragmentation() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(3000).collect();
+        let whole = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 999, 3000] {
+            let mut h = Crc32::new();
+            for frag in data.chunks(chunk) {
+                h.update(frag);
+            }
+            assert_eq!(h.finalize(), whole, "chunk size {chunk} diverged");
+        }
+        // Empty updates are no-ops.
+        let mut h = Crc32::new();
+        h.update(&[]).update(&data).update(&[]);
+        assert_eq!(h.finalize(), whole);
+    }
+
+    #[test]
+    fn streaming_finalize_is_non_consuming() {
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        let prefix = h.finalize();
+        assert_eq!(prefix, crc32(b"1234"));
+        h.update(b"56789");
+        assert_eq!(h.finalize(), 0xCBF4_3926, "check vector after resume");
+        assert_eq!(Crc32::default().finalize(), crc32(b""));
     }
 }

@@ -54,6 +54,17 @@ pub enum FabricError {
     /// A flash page could not be read (latent sector error persisting
     /// across the retry budget).
     FlashReadError { page: u64, attempts: u32 },
+    /// A flash page could not be programmed within the retry budget.
+    FlashWriteError { page: u64, attempts: u32 },
+    /// Simulated power cut during a durable write. Everything in volatile
+    /// state is gone; only bytes already on the medium survive, and the
+    /// in-flight write may be torn. Recovery goes through `replay()`.
+    PowerLoss {
+        /// The durable device that lost power (`"wal"`, `"relstore-ssd"`).
+        device: String,
+        /// Durable writes fully completed before the cut.
+        writes_done: u64,
+    },
     /// Catch-all for invariant violations that indicate a library bug.
     Internal(String),
 }
@@ -117,6 +128,21 @@ impl fmt::Display for FabricError {
             FabricError::FlashReadError { page, attempts } => {
                 write!(f, "flash page {page} unreadable after {attempts} attempts")
             }
+            FabricError::FlashWriteError { page, attempts } => {
+                write!(
+                    f,
+                    "flash page {page} failed to program after {attempts} attempts"
+                )
+            }
+            FabricError::PowerLoss {
+                device,
+                writes_done,
+            } => {
+                write!(
+                    f,
+                    "power loss on `{device}` after {writes_done} durable writes"
+                )
+            }
             FabricError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -162,6 +188,18 @@ mod tests {
             attempts: 4,
         };
         assert!(e.to_string().contains("17"));
+        let e = FabricError::FlashWriteError {
+            page: 23,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("23"));
+        assert!(e.to_string().contains("program"));
+        let e = FabricError::PowerLoss {
+            device: "wal".into(),
+            writes_done: 9,
+        };
+        assert!(e.to_string().contains("wal"));
+        assert!(e.to_string().contains('9'));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod rng;
 pub mod schema;
 pub mod value;
 
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use error::{FabricError, Result};
 pub use expr::{Expr, ValueAgg};
 pub use geometry::{AggFunc, AggSpec, FieldSlice, Geometry, OutputMode, TsFilter};

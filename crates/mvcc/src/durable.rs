@@ -1,0 +1,500 @@
+//! The crash-consistent commit path: WAL-before-apply, periodic
+//! checkpoints, and `replay()` recovery (DESIGN.md §14).
+//!
+//! [`DurableStore`] wraps a [`VersionedTable`] + [`TxnManager`] pair
+//! around one [`durability::DurableMedia`] and enforces the commit
+//! protocol:
+//!
+//! 1. validate (first-committer-wins, unchanged);
+//! 2. allocate the commit timestamp;
+//! 3. append the encoded write set to the WAL — **only if this durable
+//!    write succeeds** does the commit proceed;
+//! 4. apply the write set to the volatile table.
+//!
+//! A power cut can strike step 3 after the record is fully on the medium
+//! but before the acknowledgement: the caller sees
+//! [`fabric_types::FabricError::PowerLoss`] yet recovery will resurrect
+//! the transaction. That *commit ambiguity* is fundamental to write-ahead
+//! logging and the crash-matrix tests accept either outcome for the one
+//! in-flight transaction.
+//!
+//! [`DurableStore::replay`] rebuilds everything from what physically
+//! survived ([`durability::DurableImage`]): it picks the newest checkpoint
+//! whose blob passes its page CRCs (falling back to older ones — or to an
+//! empty table — on torn pages, flagged as a degraded recovery), restores
+//! the physical table, re-applies the log tail, and resumes the oracle
+//! above the recovered watermark. Replay is idempotent: it only reads the
+//! image, so replaying twice yields bit-identical state.
+
+use crate::table::{VersionedTable, BEGIN_COL, END_COL};
+use crate::txn::{CommitReceipt, Transaction, TxnManager, WriteOp};
+use crate::wal as codec;
+use durability::{DurabilityConfig, DurableImage, DurableMedia, RecordKind, WalRecord};
+use fabric_sim::{Category, MemoryHierarchy};
+use fabric_types::{ColumnDef, ColumnType, Result, Schema, Value};
+
+/// What `replay()` found and did, for tests, postmortems, and the
+/// engine's degraded-mode surfacing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blob id of the checkpoint restored from, if any.
+    pub checkpoint_used: Option<u64>,
+    /// Valid records found in the log's intact prefix.
+    pub records_scanned: usize,
+    /// Commit records re-applied on top of the checkpoint.
+    pub commits_replayed: u64,
+    /// Torn-tail bytes truncated from the log.
+    pub truncated_bytes: usize,
+    /// Recovered oracle watermark (latest durable commit timestamp).
+    pub watermark: u64,
+    /// Why recovery had less than the best state to work with (e.g. the
+    /// newest checkpoint blob was torn); `None` for a clean recovery.
+    pub degraded: Option<String>,
+}
+
+/// A versioned table whose commits survive power loss.
+pub struct DurableStore {
+    table: VersionedTable,
+    tm: TxnManager,
+    media: DurableMedia,
+    user_schema: Schema,
+    capacity: usize,
+    /// Take a checkpoint every this many commits (0 = only on demand).
+    checkpoint_every: u64,
+    commits_since_ckpt: u64,
+    next_ckpt_id: u64,
+}
+
+impl DurableStore {
+    /// A fresh store over an empty durable medium.
+    pub fn create(
+        mem: &mut MemoryHierarchy,
+        user_schema: Schema,
+        capacity: usize,
+        cfg: DurabilityConfig,
+        checkpoint_every: u64,
+    ) -> Result<Self> {
+        let table = VersionedTable::create(mem, user_schema.clone(), capacity)?;
+        Ok(DurableStore {
+            table,
+            tm: TxnManager::new(),
+            media: DurableMedia::new(cfg),
+            user_schema,
+            capacity,
+            checkpoint_every,
+            commits_since_ckpt: 0,
+            next_ckpt_id: 1,
+        })
+    }
+
+    pub fn table(&self) -> &VersionedTable {
+        &self.table
+    }
+
+    pub fn media(&self) -> &DurableMedia {
+        &self.media
+    }
+
+    pub fn user_schema(&self) -> &Schema {
+        &self.user_schema
+    }
+
+    /// Physical version capacity the table was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Begin a transaction at the current snapshot.
+    pub fn begin(&self) -> Transaction {
+        self.tm.begin()
+    }
+
+    /// The current oracle watermark.
+    pub fn snapshot_ts(&self) -> u64 {
+        self.tm.snapshot_ts()
+    }
+
+    /// Snapshot read through a transaction (delegates to the table).
+    pub fn read(
+        &self,
+        mem: &mut MemoryHierarchy,
+        txn: &Transaction,
+        logical: crate::table::LogicalId,
+        col: usize,
+    ) -> Result<Option<Value>> {
+        txn.read(mem, &self.table, logical, col)
+    }
+
+    /// Commit with the WAL-before-apply protocol. Read-only transactions
+    /// skip both the timestamp allocation and the log append — they leave
+    /// no durable trace, so replay reproduces the same watermark.
+    pub fn commit(&mut self, mem: &mut MemoryHierarchy, txn: Transaction) -> Result<CommitReceipt> {
+        if txn.is_read_only() {
+            return Ok(CommitReceipt {
+                commit_ts: self.tm.snapshot_ts(),
+                inserted: Vec::new(),
+            });
+        }
+        self.tm.validate(&self.table, &txn)?;
+        let commit_ts = self.tm.oracle().allocate();
+        let payload = codec::encode_commit(&self.user_schema, txn.id, commit_ts, txn.writes())?;
+        self.media
+            .append_record(mem, RecordKind::Commit, &payload)?;
+        let receipt = self.tm.apply(mem, &mut self.table, &txn, commit_ts)?;
+        self.commits_since_ckpt += 1;
+        if self.checkpoint_every > 0 && self.commits_since_ckpt >= self.checkpoint_every {
+            self.checkpoint(mem)?;
+        }
+        Ok(receipt)
+    }
+
+    /// Take a checkpoint now: write the blob pages, then log the ref.
+    /// Returns the blob id.
+    pub fn checkpoint(&mut self, mem: &mut MemoryHierarchy) -> Result<u64> {
+        let watermark = self.tm.snapshot_ts();
+        let payload = codec::encode_checkpoint(mem, &self.table, watermark)?;
+        let id = self.next_ckpt_id;
+        self.next_ckpt_id += 1;
+        self.media.write_checkpoint(mem, id, &payload)?;
+        self.media.append_record(
+            mem,
+            RecordKind::Checkpoint,
+            &codec::encode_checkpoint_ref(id, watermark),
+        )?;
+        self.commits_since_ckpt = 0;
+        Ok(id)
+    }
+
+    /// Tear down the volatile half and keep what a power cut keeps.
+    pub fn crash_image(self) -> DurableImage {
+        self.media.into_survivor()
+    }
+
+    /// All user rows visible at the current watermark, in physical order.
+    pub fn snapshot_rows(&self, mem: &mut MemoryHierarchy) -> Result<Vec<Vec<Value>>> {
+        self.table.snapshot_rows(mem, self.tm.snapshot_ts())
+    }
+
+    /// Rebuild a store from the surviving durable image.
+    ///
+    /// Deterministic and read-only with respect to the image, hence
+    /// idempotent; the rebuilt store's medium restarts its fault plan
+    /// from `cfg` (a recovered run schedules its own crashes).
+    pub fn replay(
+        mem: &mut MemoryHierarchy,
+        user_schema: Schema,
+        capacity: usize,
+        image: DurableImage,
+        cfg: DurabilityConfig,
+        checkpoint_every: u64,
+    ) -> Result<(Self, RecoveryReport)> {
+        mem.trace_begin("replay", Category::Store);
+        let (records, truncated_bytes) = durability::scan(image.log_bytes());
+        let media = DurableMedia::from_image(cfg, image);
+
+        // Newest checkpoint whose blob reads back clean wins; torn or
+        // incomplete blobs degrade us to the next older one (ultimately
+        // to a full log replay from an empty table).
+        let mut degraded = None;
+        let mut chosen: Option<(u64, &WalRecord, codec::CheckpointImage)> = None;
+        let full_schema = full_schema_of(&user_schema);
+        for rec in records.iter().rev() {
+            if rec.kind != RecordKind::Checkpoint {
+                continue;
+            }
+            let (id, _watermark) = codec::decode_checkpoint_ref(&rec.payload)?;
+            match media
+                .read_checkpoint(id)
+                .and_then(|bytes| codec::decode_checkpoint(&full_schema, &bytes))
+            {
+                Ok(img) => {
+                    chosen = Some((id, rec, img));
+                    break;
+                }
+                Err(e) => {
+                    if degraded.is_none() {
+                        degraded = Some(format!("checkpoint {id} unreadable: {e}"));
+                    }
+                }
+            }
+        }
+
+        let (mut table, ckpt_watermark, ckpt_lsn, checkpoint_used) = match chosen {
+            Some((id, rec, img)) => {
+                let t = VersionedTable::restore(
+                    mem,
+                    user_schema.clone(),
+                    capacity,
+                    &img.rows,
+                    img.chains,
+                    img.last_commit,
+                )?;
+                (t, img.watermark, Some(rec.lsn), Some(id))
+            }
+            None => (
+                VersionedTable::create(mem, user_schema.clone(), capacity)?,
+                0,
+                None,
+                None,
+            ),
+        };
+
+        // Re-apply every commit the checkpoint does not already contain.
+        // Commit records are logged before their effects, in commit-ts
+        // order, so applying in log order reproduces the exact physical
+        // row order of the original run.
+        let mut watermark = ckpt_watermark;
+        let mut commits_replayed = 0u64;
+        for rec in &records {
+            if rec.kind != RecordKind::Commit {
+                continue;
+            }
+            if let Some(lsn) = ckpt_lsn {
+                if rec.lsn < lsn {
+                    continue;
+                }
+            }
+            let img = codec::decode_commit(&user_schema, &rec.payload)?;
+            for w in &img.writes {
+                match w {
+                    WriteOp::Insert(values) => {
+                        table.apply_insert(mem, values, img.commit_ts)?;
+                    }
+                    WriteOp::Update(l, updates) => {
+                        table.apply_update(mem, *l, updates, img.commit_ts)?;
+                    }
+                    WriteOp::Delete(l) => table.apply_delete(mem, *l, img.commit_ts)?,
+                }
+            }
+            watermark = watermark.max(img.commit_ts);
+            commits_replayed += 1;
+        }
+
+        let report = RecoveryReport {
+            checkpoint_used,
+            records_scanned: records.len(),
+            commits_replayed,
+            truncated_bytes,
+            watermark,
+            degraded,
+        };
+        mem.metrics_mut().counter_add("recovery.replays", 1);
+        mem.metrics_mut()
+            .counter_add("recovery.commits_replayed", commits_replayed);
+        mem.metrics_mut()
+            .counter_add("recovery.truncated_bytes", truncated_bytes as u64);
+        mem.metrics_mut()
+            .gauge_set("recovery.watermark", watermark as f64);
+        mem.trace_end(
+            "replay",
+            Category::Store,
+            &[
+                ("records", records.len() as u64),
+                ("commits", commits_replayed),
+                ("watermark", watermark),
+            ],
+        );
+        if report.degraded.is_some() {
+            mem.metrics_mut().counter_add("recovery.degraded", 1);
+            mem.flight_dump("recovery-degraded");
+        } else {
+            mem.flight_dump("crash-recovery");
+        }
+
+        let next_id = report.checkpoint_used.map_or(1, |id| id + 1);
+        Ok((
+            DurableStore {
+                table,
+                tm: TxnManager::starting_at(watermark + 1),
+                media,
+                user_schema,
+                capacity,
+                checkpoint_every,
+                commits_since_ckpt: 0,
+                next_ckpt_id: next_id,
+            },
+            report,
+        ))
+    }
+}
+
+/// The physical schema a [`VersionedTable`] uses for `user_schema`.
+fn full_schema_of(user_schema: &Schema) -> Schema {
+    let mut cols: Vec<ColumnDef> = user_schema.columns().to_vec();
+    cols.push(ColumnDef::new(BEGIN_COL, ColumnType::I64));
+    cols.push(ColumnDef::new(END_COL, ColumnType::I64));
+    Schema::new(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::{FaultConfig, SimConfig};
+    use fabric_types::{FabricError, Value};
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(SimConfig::zynq_a53())
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)])
+    }
+
+    fn quiet(seed: u64) -> DurabilityConfig {
+        DurabilityConfig::quiet(seed)
+    }
+
+    fn commit_kv(
+        mem: &mut MemoryHierarchy,
+        s: &mut DurableStore,
+        k: i64,
+        v: i64,
+    ) -> Result<CommitReceipt> {
+        let mut txn = s.begin();
+        txn.insert(vec![Value::I64(k), Value::I64(v)]);
+        s.commit(mem, txn)
+    }
+
+    #[test]
+    fn committed_transactions_survive_a_clean_restart() {
+        let mut m = mem();
+        let mut s = DurableStore::create(&mut m, schema(), 1024, quiet(1), 0).unwrap();
+        commit_kv(&mut m, &mut s, 1, 10).unwrap();
+        commit_kv(&mut m, &mut s, 2, 20).unwrap();
+        let before = s.snapshot_rows(&mut m).unwrap();
+        let watermark = s.snapshot_ts();
+
+        let image = s.crash_image();
+        let (r, report) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(1), 0).unwrap();
+        assert_eq!(report.watermark, watermark);
+        assert_eq!(report.commits_replayed, 2);
+        assert_eq!(report.checkpoint_used, None);
+        assert!(report.degraded.is_none());
+        assert_eq!(r.snapshot_rows(&mut m).unwrap(), before);
+        // The oracle resumes above the watermark: new commits go after.
+        let mut r = r;
+        let receipt = commit_kv(&mut m, &mut r, 3, 30).unwrap();
+        assert!(receipt.commit_ts > watermark);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_preserves_answers() {
+        let mut m = mem();
+        // Checkpoint every 4 commits.
+        let mut s = DurableStore::create(&mut m, schema(), 1024, quiet(2), 4).unwrap();
+        let mut logicals = Vec::new();
+        for i in 0..10i64 {
+            logicals.push(commit_kv(&mut m, &mut s, i, i * 10).unwrap().inserted[0]);
+        }
+        let mut txn = s.begin();
+        txn.update(logicals[0], vec![(1, Value::I64(999))]);
+        txn.delete(logicals[1]);
+        s.commit(&mut m, txn).unwrap();
+        let before = s.snapshot_rows(&mut m).unwrap();
+        let watermark = s.snapshot_ts();
+
+        let image = s.crash_image();
+        let (r, report) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(2), 4).unwrap();
+        assert!(report.checkpoint_used.is_some());
+        assert!(
+            report.commits_replayed < 11,
+            "checkpoint must bound the log tail, replayed {}",
+            report.commits_replayed
+        );
+        assert_eq!(report.watermark, watermark);
+        assert_eq!(r.snapshot_rows(&mut m).unwrap(), before);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let mut m = mem();
+        let mut s = DurableStore::create(&mut m, schema(), 1024, quiet(3), 3).unwrap();
+        for i in 0..8i64 {
+            commit_kv(&mut m, &mut s, i, i).unwrap();
+        }
+        let image = s.crash_image();
+        let (a, ra) =
+            DurableStore::replay(&mut m, schema(), 1024, image.clone(), quiet(3), 3).unwrap();
+        let (b, rb) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(3), 3).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            a.snapshot_rows(&mut m).unwrap(),
+            b.snapshot_rows(&mut m).unwrap()
+        );
+        // Replay of a replayed store's image is also stable.
+        let again = a.crash_image();
+        let (c, rc) = DurableStore::replay(&mut m, schema(), 1024, again, quiet(3), 3).unwrap();
+        assert_eq!(rc.watermark, rb.watermark);
+        assert_eq!(
+            c.snapshot_rows(&mut m).unwrap(),
+            b.snapshot_rows(&mut m).unwrap()
+        );
+    }
+
+    #[test]
+    fn power_loss_during_commit_preserves_prior_commits() {
+        let mut m = mem();
+        let cfg = quiet(4).with_faults(FaultConfig::quiet(4).with_crash_at(3));
+        let mut s = DurableStore::create(&mut m, schema(), 1024, cfg, 0).unwrap();
+        commit_kv(&mut m, &mut s, 1, 10).unwrap();
+        commit_kv(&mut m, &mut s, 2, 20).unwrap();
+        let err = commit_kv(&mut m, &mut s, 3, 30);
+        assert!(matches!(err, Err(FabricError::PowerLoss { .. })));
+
+        let image = s.crash_image();
+        let (r, report) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(4), 0).unwrap();
+        let rows = r.snapshot_rows(&mut m).unwrap();
+        // Both acknowledged commits are there; the in-flight one is
+        // either fully present or fully absent (commit ambiguity).
+        assert!(
+            rows.len() == 2 || rows.len() == 3,
+            "got {} rows",
+            rows.len()
+        );
+        assert_eq!(rows[0], vec![Value::I64(1), Value::I64(10)]);
+        assert_eq!(rows[1], vec![Value::I64(2), Value::I64(20)]);
+        assert_eq!(report.commits_replayed as usize, rows.len());
+    }
+
+    #[test]
+    fn torn_checkpoint_degrades_to_full_log_replay() {
+        let mut m = mem();
+        let cfg = quiet(5).with_faults(FaultConfig {
+            torn_write_prob: 1.0,
+            ..FaultConfig::quiet(5)
+        });
+        let mut s = DurableStore::create(&mut m, schema(), 1024, cfg, 0).unwrap();
+        for i in 0..5i64 {
+            commit_kv(&mut m, &mut s, i, i * 2).unwrap();
+        }
+        // Big enough that the blob spans pages and *will* tear.
+        s.checkpoint(&mut m).unwrap();
+        let expect: Vec<Vec<Value>> = (0..5i64)
+            .map(|i| vec![Value::I64(i), Value::I64(i * 2)])
+            .collect();
+        let image = s.crash_image();
+        let (r, report) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(5), 0).unwrap();
+        assert!(report.degraded.is_some(), "torn blob must be flagged");
+        assert_eq!(report.checkpoint_used, None);
+        assert_eq!(report.commits_replayed, 5);
+        assert_eq!(r.snapshot_rows(&mut m).unwrap(), expect);
+    }
+
+    #[test]
+    fn read_only_transactions_leave_no_durable_trace() {
+        let mut m = mem();
+        let mut s = DurableStore::create(&mut m, schema(), 1024, quiet(6), 0).unwrap();
+        commit_kv(&mut m, &mut s, 1, 10).unwrap();
+        let appends_before = s.media().stats().appends;
+        let watermark = s.snapshot_ts();
+        let ro = s.begin();
+        let receipt = s.commit(&mut m, ro).unwrap();
+        assert_eq!(receipt.commit_ts, watermark);
+        assert_eq!(s.media().stats().appends, appends_before);
+        assert_eq!(s.snapshot_ts(), watermark, "no timestamp burned");
+        // And the replayed watermark matches the live one.
+        let image = s.crash_image();
+        let (_, report) = DurableStore::replay(&mut m, schema(), 1024, image, quiet(6), 0).unwrap();
+        assert_eq!(report.watermark, watermark);
+    }
+}

@@ -23,13 +23,20 @@
 //!   [`fabric_types::TsFilter`] the RM device evaluates while gathering —
 //!   the paper's *"timestamp comparison implemented in hardware"*. A
 //!   software visibility scan ([`scan`]) is provided as the baseline the
-//!   ablation benchmarks compare against.
+//!   ablation benchmarks compare against;
+//! * [`durable::DurableStore`] makes the commit path crash-consistent:
+//!   WAL-before-apply over a `durability::DurableMedia`, periodic
+//!   checkpoints, and [`durable::DurableStore::replay`] recovery
+//!   (DESIGN.md §14), with the byte codecs in [`wal`].
 
+pub mod durable;
 pub mod oracle;
 pub mod scan;
 pub mod table;
 pub mod txn;
+pub mod wal;
 
+pub use durable::{DurableStore, RecoveryReport};
 pub use oracle::TimestampOracle;
 pub use table::{LogicalId, VersionedTable};
-pub use txn::{Transaction, TxnManager};
+pub use txn::{CommitReceipt, Transaction, TxnManager};

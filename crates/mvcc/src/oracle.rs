@@ -18,6 +18,17 @@ impl TimestampOracle {
         }
     }
 
+    /// An oracle resuming at `next` — the recovery path's constructor.
+    /// After replay the oracle must continue *above* every commit
+    /// timestamp already durable, or fresh commits would collide with
+    /// recovered versions; `next` below 1 is clamped (0 is the live
+    /// marker and can never be allocated).
+    pub fn starting_at(next: u64) -> Self {
+        TimestampOracle {
+            next: AtomicU64::new(next.max(1)),
+        }
+    }
+
     /// Allocate the next timestamp.
     pub fn allocate(&self) -> u64 {
         self.next.fetch_add(1, Ordering::SeqCst)
@@ -47,6 +58,24 @@ mod tests {
         assert_eq!(o.allocate(), 1);
         assert_eq!(o.allocate(), 2);
         assert_eq!(o.latest(), 2);
+    }
+
+    #[test]
+    fn starting_at_resumes_above_the_watermark() {
+        // Watermark 7 recovered: the next allocation must be 8, and the
+        // snapshot a new reader gets is exactly the watermark.
+        let o = TimestampOracle::starting_at(8);
+        assert_eq!(o.latest(), 7);
+        assert_eq!(o.allocate(), 8);
+        // Clamp: resuming at 0 must not allocate the live marker.
+        let o = TimestampOracle::starting_at(0);
+        assert_eq!(o.latest(), 0);
+        assert_eq!(o.allocate(), 1);
+        // starting_at(1) is exactly a fresh oracle.
+        let fresh = TimestampOracle::new();
+        let resumed = TimestampOracle::starting_at(1);
+        assert_eq!(fresh.latest(), resumed.latest());
+        assert_eq!(fresh.allocate(), resumed.allocate());
     }
 
     #[test]

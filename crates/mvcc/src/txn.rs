@@ -70,6 +70,12 @@ impl Transaction {
     pub fn is_read_only(&self) -> bool {
         self.writes.is_empty()
     }
+
+    /// The buffered writes, in application order (the WAL codec encodes
+    /// exactly this sequence).
+    pub fn writes(&self) -> &[WriteOp] {
+        &self.writes
+    }
 }
 
 /// Outcome of a successful commit.
@@ -100,6 +106,20 @@ impl TxnManager {
         }
     }
 
+    /// A manager whose oracle resumes at `next_ts` — used by the recovery
+    /// path to continue allocating above the recovered watermark.
+    pub fn starting_at(next_ts: u64) -> Self {
+        TxnManager {
+            oracle: TimestampOracle::starting_at(next_ts),
+            next_txn_id: 1.into(),
+        }
+    }
+
+    /// The timestamp source (recovery inspects the watermark through it).
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
     /// Begin a transaction reading the current snapshot.
     pub fn begin(&self) -> Transaction {
         Transaction {
@@ -116,15 +136,10 @@ impl TxnManager {
         self.oracle.latest()
     }
 
-    /// Validate and apply `txn`. On write-write conflict the transaction is
-    /// rejected with [`FabricError::Txn`] and nothing is applied.
-    pub fn commit(
-        &self,
-        mem: &mut MemoryHierarchy,
-        table: &mut VersionedTable,
-        txn: Transaction,
-    ) -> Result<CommitReceipt> {
-        // First-committer-wins validation over the write set.
+    /// First-committer-wins validation of `txn`'s write set against the
+    /// table: rejects with [`FabricError::Txn`] if any logical row it
+    /// touches was committed by someone else after its snapshot.
+    pub fn validate(&self, table: &VersionedTable, txn: &Transaction) -> Result<()> {
         for logical in txn.write_set() {
             let last = table.last_commit_ts(logical)?;
             if last > txn.start_ts {
@@ -134,7 +149,20 @@ impl TxnManager {
                 )));
             }
         }
-        let commit_ts = self.oracle.allocate();
+        Ok(())
+    }
+
+    /// Apply an already-validated write set at `commit_ts`. Split out of
+    /// [`Self::commit`] so the durable path can interpose its WAL append
+    /// between timestamp allocation and table mutation (log-before-apply,
+    /// DESIGN.md §14).
+    pub fn apply(
+        &self,
+        mem: &mut MemoryHierarchy,
+        table: &mut VersionedTable,
+        txn: &Transaction,
+        commit_ts: u64,
+    ) -> Result<CommitReceipt> {
         let mut inserted = Vec::new();
         for w in &txn.writes {
             match w {
@@ -149,6 +177,19 @@ impl TxnManager {
             commit_ts,
             inserted,
         })
+    }
+
+    /// Validate and apply `txn`. On write-write conflict the transaction is
+    /// rejected with [`FabricError::Txn`] and nothing is applied.
+    pub fn commit(
+        &self,
+        mem: &mut MemoryHierarchy,
+        table: &mut VersionedTable,
+        txn: Transaction,
+    ) -> Result<CommitReceipt> {
+        self.validate(table, &txn)?;
+        let commit_ts = self.oracle.allocate();
+        self.apply(mem, table, &txn, commit_ts)
     }
 }
 

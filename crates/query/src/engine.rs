@@ -36,8 +36,10 @@ use crate::exec::{run_verified, FaultContext, QueryOutput, Resilience};
 use crate::explain::{analyze_paths_impl, render_analyze_report, render_plan_for};
 use crate::parser::parse;
 use colstore::ColTable;
+use durability::{DurabilityConfig, DurableImage};
 use fabric_sim::{MemoryHierarchy, SimConfig};
-use fabric_types::Result;
+use fabric_types::{Result, Schema};
+use mvcc::{DurableStore, RecoveryReport};
 use relmem::RmConfig;
 use rowstore::RowTable;
 use std::rc::Rc;
@@ -95,6 +97,10 @@ pub struct Engine {
     cache: Vec<(String, Rc<PreparedPlan>)>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Recovery reports from every [`Engine::open_recovered`] call, in
+    /// order — the engine's record of which tables came back from a
+    /// crash and whether the recovery was degraded.
+    recoveries: Vec<(String, RecoveryReport)>,
 }
 
 impl Engine {
@@ -117,6 +123,7 @@ impl Engine {
             cache: Vec::new(),
             cache_hits: 0,
             cache_misses: 0,
+            recoveries: Vec::new(),
         }
     }
 
@@ -161,6 +168,58 @@ impl Engine {
     pub fn register(&mut self, name: impl Into<String>, rows: RowTable, cols: ColTable) {
         self.catalog.register(name, rows, cols);
         self.cache.clear();
+    }
+
+    /// Recover a crash-consistent store from the durable image that
+    /// survived a crash ([`DurableStore::crash_image`]), register the
+    /// recovered snapshot as a queryable row table under `name`, and
+    /// return the live store (for continued writes) plus the recovery
+    /// report. A degraded recovery — e.g. the newest checkpoint was torn
+    /// and replay fell back to an older one — is surfaced via the
+    /// `engine.degraded_opens` counter and a flight-recorder postmortem,
+    /// but still opens: the recovered state is correct, just rebuilt the
+    /// slow way.
+    pub fn open_recovered(
+        &mut self,
+        name: impl Into<String>,
+        user_schema: &Schema,
+        capacity: usize,
+        image: DurableImage,
+        cfg: DurabilityConfig,
+        checkpoint_every: u64,
+    ) -> Result<(DurableStore, RecoveryReport)> {
+        let name = name.into();
+        let (store, report) = DurableStore::replay(
+            &mut self.mem,
+            user_schema.clone(),
+            capacity,
+            image,
+            cfg,
+            checkpoint_every,
+        )?;
+        // Materialize the recovered snapshot (visible user rows at the
+        // watermark, physical order) into the catalog's row layout.
+        let rows = store.snapshot_rows(&mut self.mem)?;
+        let mut table = RowTable::create(&mut self.mem, user_schema.clone(), capacity.max(1))?;
+        for row in &rows {
+            table.load(&mut self.mem, row)?;
+        }
+        if report.degraded.is_some() {
+            self.mem
+                .metrics_mut()
+                .counter_add("engine.degraded_opens", 1);
+            self.mem.flight_dump("engine-degraded-open");
+        }
+        self.recoveries.push((name.clone(), report.clone()));
+        self.catalog.register_rows(name, table);
+        self.cache.clear();
+        Ok((store, report))
+    }
+
+    /// Recovery reports from every [`Engine::open_recovered`], in call
+    /// order: `(table name, report)`.
+    pub fn recoveries(&self) -> &[(String, RecoveryReport)] {
+        &self.recoveries
     }
 
     /// Replace the engine's fault-handling state (plan seed, retry policy,
@@ -486,6 +545,39 @@ mod tests {
         let t2 = RowTable::create(engine.mem(), schema, 4).unwrap();
         engine.register_rows("u", t2);
         assert!(engine.cache.is_empty());
+    }
+
+    #[test]
+    fn open_recovered_registers_the_surviving_snapshot() {
+        // Build a durable store elsewhere, crash it, and open the
+        // survivors on a fresh engine.
+        let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+        let mut m = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut store =
+            DurableStore::create(&mut m, schema.clone(), 64, DurabilityConfig::quiet(5), 0)
+                .unwrap();
+        for i in 0..5i64 {
+            let mut t = store.begin();
+            t.insert(vec![Value::I64(i), Value::F64(i as f64 * 2.0)]);
+            store.commit(&mut m, t).unwrap();
+        }
+        let image = store.crash_image();
+
+        let mut engine = Engine::new(SimConfig::zynq_a53());
+        let (survivor, report) = engine
+            .open_recovered("orders", &schema, 64, image, DurabilityConfig::quiet(6), 0)
+            .unwrap();
+        assert_eq!(report.commits_replayed, 5);
+        assert_eq!(report.degraded, None);
+        assert_eq!(survivor.snapshot_ts(), report.watermark);
+        assert_eq!(engine.recoveries().len(), 1);
+        assert_eq!(engine.recoveries()[0].0, "orders");
+        let out = engine
+            .session()
+            .run("SELECT count(*), sum(qty) FROM orders")
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::I64(5));
+        assert_eq!(out.rows[0][1], Value::F64(20.0));
     }
 
     #[test]

@@ -16,11 +16,14 @@ pub struct FlashArray {
     channels: usize,
     dies: usize,
     read_cycles: Cycles,
+    write_cycles: Cycles,
     xfer_cycles: Cycles,
     die_free: Vec<Cycles>,
     channel_free: Vec<Cycles>,
     page_reads: u64,
     failed_reads: u64,
+    page_writes: u64,
+    failed_writes: u64,
 }
 
 impl FlashArray {
@@ -31,11 +34,14 @@ impl FlashArray {
             channels: cfg.channels,
             dies: cfg.dies_per_channel,
             read_cycles: ns_to_cycles(cfg.read_page_ns),
+            write_cycles: ns_to_cycles(cfg.write_page_ns),
             xfer_cycles: ns_to_cycles(cfg.channel_xfer_ns),
             die_free: vec![0; cfg.channels * cfg.dies_per_channel],
             channel_free: vec![0; cfg.channels],
             page_reads: 0,
             failed_reads: 0,
+            page_writes: 0,
+            failed_writes: 0,
         }
     }
 
@@ -63,9 +69,43 @@ impl FlashArray {
         done
     }
 
+    /// Schedule a page program issued at `now`; returns the time the
+    /// page is durable on the die. The mirror of [`Self::read_page`] with
+    /// the resource order reversed: the channel moves the data into the
+    /// plane register first, then the (much slower) array program
+    /// occupies the die.
+    pub fn write_page(&mut self, page: u64, now: Cycles) -> Cycles {
+        let (channel, die) = self.locate(page);
+        let die_idx = channel * self.dies + die;
+        let xfer_start = now.max(self.channel_free[channel]);
+        let xfer_done = xfer_start + self.xfer_cycles;
+        self.channel_free[channel] = xfer_done;
+        let program_start = xfer_done.max(self.die_free[die_idx]);
+        let done = program_start + self.write_cycles;
+        self.die_free[die_idx] = done;
+        self.page_writes += 1;
+        done
+    }
+
     /// Pages read so far.
     pub fn page_reads(&self) -> u64 {
         self.page_reads
+    }
+
+    /// Pages programmed so far.
+    pub fn page_writes(&self) -> u64 {
+        self.page_writes
+    }
+
+    /// Record that the program just scheduled failed (injected write
+    /// fault). Like failed reads, it still occupied its resources.
+    pub fn note_failed_write(&mut self) {
+        self.failed_writes += 1;
+    }
+
+    /// Programs that failed.
+    pub fn failed_writes(&self) -> u64 {
+        self.failed_writes
     }
 
     /// Record that the read just scheduled came back unreadable (ECC
@@ -86,6 +126,8 @@ impl FlashArray {
         self.channel_free.fill(0);
         self.page_reads = 0;
         self.failed_reads = 0;
+        self.page_writes = 0;
+        self.failed_writes = 0;
     }
 }
 
@@ -150,6 +192,33 @@ mod tests {
         assert!(done >= lower);
         let upper = sim.ns_to_cycles(25_000.0) * 2 + per_channel * sim.ns_to_cycles(3_300.0) * 2;
         assert!(done <= upper, "done={done} upper={upper}");
+    }
+
+    #[test]
+    fn writes_pay_program_time_and_stripe_like_reads() {
+        let (mut f, sim) = array();
+        // One write: channel transfer, then the slow array program.
+        let d = f.write_page(0, 0);
+        assert_eq!(d, sim.ns_to_cycles(3_300.0) + sim.ns_to_cycles(200_000.0));
+        assert!(d > f.read_page(1, 0), "programs are slower than reads");
+        // 8 consecutive pages across 8 channels program in parallel.
+        f.reset();
+        let mut done = 0;
+        for p in 0..8u64 {
+            done = done.max(f.write_page(p, 0));
+        }
+        assert_eq!(
+            done,
+            sim.ns_to_cycles(3_300.0) + sim.ns_to_cycles(200_000.0)
+        );
+        assert_eq!(f.page_writes(), 8);
+        // Same-die writes serialize on the array program.
+        f.reset();
+        let d1 = f.write_page(0, 0);
+        let d2 = f.write_page(64, 0);
+        assert!(d2 >= d1 + sim.ns_to_cycles(200_000.0));
+        f.note_failed_write();
+        assert_eq!(f.failed_writes(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`row`] | the Volcano row-store baseline |
 //! | [`col`] | the column-at-a-time column-store baseline |
 //! | [`mvcc`] | snapshot isolation over begin/end row timestamps (§III-C) |
+//! | [`durability`] | WAL + checkpoint media with seeded crash injection (§14 of DESIGN.md) |
 //! | [`compress`] | fabric-compatible codecs and the §III-D analysis |
 //! | [`rs`] | **Relational Storage** — the computational-SSD instance (§IV-D) |
 //! | [`sql`] | SQL front end + layout-aware optimizer (§III-B) |
@@ -48,6 +49,7 @@
 
 pub use colstore as col;
 pub use compress;
+pub use durability;
 pub use fabric_sim as sim;
 pub use fabric_types as types;
 pub use mvcc;
@@ -60,13 +62,14 @@ pub use workload;
 /// The most common imports in one place.
 pub mod prelude {
     pub use colstore::ColTable;
+    pub use durability::{DurabilityConfig, DurableImage, DurableMedia};
     pub use fabric_sim::{
         FabricRecorder, MemoryHierarchy, MetricsRegistry, NoopRecorder, RingRecorder, SimConfig,
     };
     pub use fabric_types::{
         AggFunc, CmpOp, ColumnType, Expr, Geometry, Predicate, RowLayout, Schema, Value,
     };
-    pub use mvcc::{TxnManager, VersionedTable};
+    pub use mvcc::{DurableStore, RecoveryReport, TxnManager, VersionedTable};
     pub use query::{Catalog, Engine};
     pub use relmem::{EphemeralColumns, PackedBatch, RmConfig};
     pub use relstore::{RsConfig, SsdDevice};

@@ -267,3 +267,85 @@ fn chaos_relstore_recovers_or_fails_cleanly() {
         other => panic!("expected FlashReadError, got {other:?} (seed {seed})"),
     }
 }
+
+/// The flash *write* path under chaos (DESIGN.md §14): seeded program
+/// failures either retry invisibly — the stored table reads back
+/// bit-identical — or exhaust the budget as a typed `FlashWriteError`;
+/// silent torn pages are exactly the set the CRC scrub reports; and the
+/// same seed replays answers, fault stats, scrub sets, and the simulated
+/// clock to the bit.
+#[test]
+fn chaos_flash_write_path_recovers_and_replays() {
+    let seed = base_seed();
+    let rows = 16_384usize;
+    let mut bytes = Vec::with_capacity(rows * 32);
+    for i in 0..rows {
+        for j in 0..8 {
+            bytes.extend_from_slice(&((i * 8 + j) as i32).to_le_bytes());
+        }
+    }
+
+    // Fault-free durable store: pages cost program time, bytes round-trip.
+    let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+    let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+    let t = dev.store_rows_durable(&mut mem, &bytes, 32).unwrap();
+    assert_eq!(dev.verify_pages(&t), Vec::<u64>::new());
+    let (clean, _) = dev.fetch_raw(&mut mem, &t).unwrap();
+    assert_eq!(clean, bytes);
+
+    // One chaos run: store under the derived write-fault plan, scrub,
+    // read back. Everything observable is returned for replay checks.
+    let run = |flash_write_prob: f64, torn_write_prob: f64| {
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+        let cfg = FaultConfig {
+            flash_write_prob,
+            torn_write_prob,
+            ..FaultConfig::quiet(seed)
+        };
+        dev.inject_faults(FaultPlan::new(cfg), RecoveryPolicy::default());
+        match dev.store_rows_durable(&mut mem, &bytes, 32) {
+            Ok(t) => {
+                let torn = dev.verify_pages(&t);
+                let (out, _) = dev.fetch_raw(&mut mem, &t).unwrap();
+                (Some((torn, out)), dev.fault_stats(), mem.now())
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, FabricError::FlashWriteError { .. }),
+                    "untyped write failure: {e:?} (replay: FABRIC_CHAOS_SEED={seed})"
+                );
+                (None, dev.fault_stats(), mem.now())
+            }
+        }
+    };
+
+    // Transient program failures only: success means bit-identical bytes
+    // and a clean scrub — retries are invisible in the data.
+    let (state, stats, _) = run(0.08, 0.0);
+    if let Some((torn, out)) = &state {
+        assert!(torn.is_empty(), "replay: FABRIC_CHAOS_SEED={seed}");
+        assert_eq!(*out, bytes, "replay: FABRIC_CHAOS_SEED={seed}");
+        assert!(
+            stats.flash_write_errors > 0,
+            "write sweep vacuous at seed {seed}"
+        );
+    }
+
+    // Torn pages: the scrub must report exactly the injected tears.
+    let (state, stats, _) = run(0.0, 0.1);
+    let (torn, _) = state.expect("tears never exhaust the retry budget");
+    assert_eq!(
+        torn.len() as u64,
+        stats.torn_writes,
+        "scrub must find exactly the injected tears (seed {seed})"
+    );
+    assert!(stats.torn_writes > 0, "torn sweep vacuous at seed {seed}");
+
+    // Replay: same seed, same everything — including the clock.
+    for (p, q) in [(0.08, 0.0), (0.0, 0.1), (0.04, 0.04)] {
+        let a = run(p, q);
+        let b = run(p, q);
+        assert_eq!(a, b, "write path must replay bit-identically (seed {seed})");
+    }
+}

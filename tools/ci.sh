@@ -32,6 +32,13 @@
 #                                with the gate self-test, which injects a
 #                                synthetic +10% cycle regression and
 #                                asserts the gate fails it)
+#   9. crash-recovery matrix    (tests/crash_recovery.rs with the same
+#                                fixed seed: a power cut at every durable
+#                                write of a transactional workload, each
+#                                recovered and checked bit-identical to
+#                                the never-crashed run at the recovered
+#                                watermark, replay idempotent, postmortems
+#                                validator-clean and byte-deterministic)
 
 set -eu
 
@@ -107,5 +114,17 @@ fi
 #   tools/perf_gate.sh --update-baselines
 say "perf regression gate (abl_parallel fig5_projectivity trace_query + self-test)"
 tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query
+
+# Crash-recovery matrix: deterministic power cuts at every durable write
+# site of the WAL/checkpoint protocol (DESIGN.md §14), plus recovery
+# idempotence and the recovered-answer equivalence invariant. Same seed
+# discipline as the chaos sweep; a red run replays with the printed
+# command.
+say "crash-recovery matrix (FABRIC_CHAOS_SEED=$CHAOS_SEED)"
+if ! FABRIC_CHAOS_SEED="$CHAOS_SEED" cargo test -q --test crash_recovery; then
+    printf '\ncrash-recovery matrix FAILED — replay with:\n'
+    printf '  FABRIC_CHAOS_SEED=%s cargo test --test crash_recovery\n' "$CHAOS_SEED"
+    exit 1
+fi
 
 say "tier-1 gate passed"
