@@ -67,6 +67,17 @@ impl DurableImage {
     pub fn log_bytes(&self) -> &[u8] {
         &self.log
     }
+
+    /// Drop `bytes` trailing bytes from the log image. Recovery calls
+    /// this with the torn-tail length [`crate::wal::scan`] reported, so
+    /// a device reopened from the image appends immediately after the
+    /// last valid record — never after unscannable garbage, which a
+    /// later scan would treat as the end of the log and thereby lose
+    /// every record appended beyond it.
+    pub fn truncate_log_tail(&mut self, bytes: usize) {
+        let keep = self.log.len().saturating_sub(bytes);
+        self.log.truncate(keep);
+    }
 }
 
 /// The simulated durable device.
@@ -445,6 +456,32 @@ mod tests {
         let (recs, trunc) = scan(survivor.log.as_slice());
         assert_eq!(recs.len(), 2, "log records predate the crash");
         assert_eq!(trunc, 0);
+    }
+
+    #[test]
+    fn truncating_the_torn_tail_keeps_the_reopened_log_appendable() {
+        let mut m = mem();
+        let mut d = quiet_media(7);
+        d.append_record(&mut m, RecordKind::Commit, b"keep")
+            .expect("append");
+        let mut img = d.into_survivor();
+        // A crash left a strict prefix of an in-flight frame on the log.
+        let torn = frame_record(RecordKind::Commit, b"in-flight").expect("frame");
+        img.log.extend_from_slice(&torn[..torn.len() - 3]);
+        let (recs, trunc) = scan(img.log_bytes());
+        assert_eq!(recs.len(), 1);
+        assert!(trunc > 0);
+        // Without truncation the next append would land after the garbage
+        // and be invisible to every future scan; with it the log stays
+        // fully scannable.
+        img.truncate_log_tail(trunc);
+        let mut d = DurableMedia::from_image(DurabilityConfig::quiet(7), img);
+        d.append_record(&mut m, RecordKind::Commit, b"after")
+            .expect("append");
+        let (recs, trunc) = scan(d.into_survivor().log_bytes());
+        assert_eq!(trunc, 0);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].payload, b"after");
     }
 
     #[test]

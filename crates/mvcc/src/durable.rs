@@ -6,32 +6,43 @@
 //! protocol:
 //!
 //! 1. validate (first-committer-wins, unchanged);
-//! 2. allocate the commit timestamp;
-//! 3. append the encoded write set to the WAL — **only if this durable
+//! 2. precheck the volatile apply (arity, column range, liveness,
+//!    version capacity) — a record must never become durable unless the
+//!    table mutation it describes will succeed;
+//! 3. allocate the commit timestamp;
+//! 4. append the encoded write set to the WAL — **only if this durable
 //!    write succeeds** does the commit proceed;
-//! 4. apply the write set to the volatile table.
+//! 5. apply the write set to the volatile table;
+//! 6. maybe take a cadence checkpoint — whose failure does **not** fail
+//!    the commit (the transaction is already durable); it is surfaced via
+//!    [`DurableStore::take_checkpoint_failure`].
 //!
-//! A power cut can strike step 3 after the record is fully on the medium
+//! A power cut can strike step 4 after the record is fully on the medium
 //! but before the acknowledgement: the caller sees
 //! [`fabric_types::FabricError::PowerLoss`] yet recovery will resurrect
 //! the transaction. That *commit ambiguity* is fundamental to write-ahead
 //! logging and the crash-matrix tests accept either outcome for the one
-//! in-flight transaction.
+//! in-flight transaction. Should step 5 ever fail despite the precheck,
+//! the store is *poisoned* — commits and checkpoints refuse to run so the
+//! volatile/durable divergence can never be persisted.
 //!
 //! [`DurableStore::replay`] rebuilds everything from what physically
 //! survived ([`durability::DurableImage`]): it picks the newest checkpoint
 //! whose blob passes its page CRCs (falling back to older ones — or to an
 //! empty table — on torn pages, flagged as a degraded recovery), restores
 //! the physical table, re-applies the log tail, and resumes the oracle
-//! above the recovered watermark. Replay is idempotent: it only reads the
-//! image, so replaying twice yields bit-identical state.
+//! above the recovered watermark. The torn tail a crash left on the log
+//! is truncated from the reopened medium, so post-recovery appends land
+//! right after the last valid record — an acknowledged post-recovery
+//! commit survives any later restart. Replay is idempotent: it only
+//! reads the image, so replaying twice yields bit-identical state.
 
-use crate::table::{VersionedTable, BEGIN_COL, END_COL};
+use crate::table::{LogicalId, VersionedTable, BEGIN_COL, END_COL};
 use crate::txn::{CommitReceipt, Transaction, TxnManager, WriteOp};
 use crate::wal as codec;
 use durability::{DurabilityConfig, DurableImage, DurableMedia, RecordKind, WalRecord};
 use fabric_sim::{Category, MemoryHierarchy};
-use fabric_types::{ColumnDef, ColumnType, Result, Schema, Value};
+use fabric_types::{ColumnDef, ColumnType, FabricError, Result, Schema, Value};
 
 /// What `replay()` found and did, for tests, postmortems, and the
 /// engine's degraded-mode surfacing.
@@ -63,6 +74,17 @@ pub struct DurableStore {
     checkpoint_every: u64,
     commits_since_ckpt: u64,
     next_ckpt_id: u64,
+    /// Set when a volatile apply failed *after* its WAL append succeeded:
+    /// the table diverged from the log and only `replay()` can reconcile
+    /// them. Never set in practice — `precheck_apply` rejects every known
+    /// apply failure before the append — but kept as a backstop so the
+    /// divergence can never be committed or checkpointed.
+    poisoned: bool,
+    /// Failure of the most recent cadence checkpoint. The commit that
+    /// triggered it still returned its receipt (the transaction *is*
+    /// durable); callers retrieve this out-of-band via
+    /// [`Self::take_checkpoint_failure`].
+    last_ckpt_failure: Option<FabricError>,
 }
 
 impl DurableStore {
@@ -84,6 +106,8 @@ impl DurableStore {
             checkpoint_every,
             commits_since_ckpt: 0,
             next_ckpt_id: 1,
+            poisoned: false,
+            last_ckpt_failure: None,
         })
     }
 
@@ -119,7 +143,7 @@ impl DurableStore {
         &self,
         mem: &mut MemoryHierarchy,
         txn: &Transaction,
-        logical: crate::table::LogicalId,
+        logical: LogicalId,
         col: usize,
     ) -> Result<Option<Value>> {
         txn.read(mem, &self.table, logical, col)
@@ -128,7 +152,17 @@ impl DurableStore {
     /// Commit with the WAL-before-apply protocol. Read-only transactions
     /// skip both the timestamp allocation and the log append — they leave
     /// no durable trace, so replay reproduces the same watermark.
+    ///
+    /// `Ok(receipt)` means the transaction is durable and applied. A
+    /// failing *cadence* checkpoint does not turn the result into an
+    /// error — the transaction already committed; the checkpoint failure
+    /// is surfaced out-of-band via [`Self::take_checkpoint_failure`].
+    /// `Err` means the transaction did not commit, with one exception
+    /// inherent to write-ahead logging: [`FabricError::PowerLoss`] from
+    /// the log append is ambiguous (the record may be fully durable), and
+    /// recovery may legitimately resurrect that one transaction.
     pub fn commit(&mut self, mem: &mut MemoryHierarchy, txn: Transaction) -> Result<CommitReceipt> {
+        self.check_usable()?;
         if txn.is_read_only() {
             return Ok(CommitReceipt {
                 commit_ts: self.tm.snapshot_ts(),
@@ -136,21 +170,148 @@ impl DurableStore {
             });
         }
         self.tm.validate(&self.table, &txn)?;
+        // Reject, *before* anything durable happens, every write set the
+        // volatile apply would refuse: a record must never reach the log
+        // unless the table mutation it describes will succeed, or the
+        // volatile state diverges from the durable one and replay() hits
+        // the same apply error — an unrecoverable image.
+        self.precheck_apply(mem, &txn)?;
         let commit_ts = self.tm.oracle().allocate();
         let payload = codec::encode_commit(&self.user_schema, txn.id, commit_ts, txn.writes())?;
         self.media
             .append_record(mem, RecordKind::Commit, &payload)?;
-        let receipt = self.tm.apply(mem, &mut self.table, &txn, commit_ts)?;
+        let receipt = match self.tm.apply(mem, &mut self.table, &txn, commit_ts) {
+            Ok(r) => r,
+            Err(e) => {
+                // The record is durable but the table rejected it: the
+                // two views diverged. Poison the store — every later
+                // commit or checkpoint would persist the divergence.
+                self.poisoned = true;
+                mem.metrics_mut().counter_add("durable.poisoned", 1);
+                return Err(FabricError::Storage(format!(
+                    "commit {commit_ts} is durable but its volatile apply failed ({e}); \
+                     store poisoned — reopen via replay"
+                )));
+            }
+        };
         self.commits_since_ckpt += 1;
         if self.checkpoint_every > 0 && self.commits_since_ckpt >= self.checkpoint_every {
-            self.checkpoint(mem)?;
+            if let Err(e) = self.checkpoint(mem) {
+                mem.metrics_mut()
+                    .counter_add("durable.ckpt_failures_deferred", 1);
+                self.last_ckpt_failure = Some(e);
+            }
         }
         Ok(receipt)
+    }
+
+    /// Failure of the most recent cadence checkpoint, if any. The commit
+    /// that triggered it still returned its receipt — that transaction is
+    /// durable; only the checkpoint is missing, so replay just reads a
+    /// longer log tail. A [`FabricError::PowerLoss`] here means the
+    /// device is down: every later durable operation fails until the
+    /// store is reopened via [`Self::replay`].
+    pub fn take_checkpoint_failure(&mut self) -> Option<FabricError> {
+        self.last_ckpt_failure.take()
+    }
+
+    /// Did a volatile apply ever fail after its WAL append? A poisoned
+    /// store refuses commits and checkpoints; reopen via [`Self::replay`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_usable(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(FabricError::Storage(
+                "store is poisoned (volatile state diverged from the log); \
+                 reopen via replay"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Everything that could make [`TxnManager::apply`] fail, checked
+    /// before the WAL append: insert arity, update column range, liveness
+    /// of updated/deleted rows (tracking deletes earlier in the same
+    /// write set), and physical version capacity. Charges nothing.
+    fn precheck_apply(&self, mem: &mut MemoryHierarchy, txn: &Transaction) -> Result<()> {
+        let user_cols = self.user_schema.len();
+        let mut new_versions = 0usize;
+        let mut fresh = 0usize;
+        let mut dead: Vec<LogicalId> = Vec::new();
+        for w in txn.writes() {
+            match w {
+                WriteOp::Insert(values) => {
+                    if values.len() != user_cols {
+                        return Err(FabricError::Txn(format!(
+                            "insert has {} values, schema has {user_cols} columns",
+                            values.len()
+                        )));
+                    }
+                    new_versions += 1;
+                    fresh += 1;
+                }
+                WriteOp::Update(l, updates) => {
+                    for (col, _) in updates {
+                        if *col >= user_cols {
+                            return Err(FabricError::ColumnIndexOutOfRange {
+                                index: *col,
+                                len: user_cols,
+                            });
+                        }
+                    }
+                    self.precheck_live(mem, *l, fresh, &dead)?;
+                    new_versions += 1;
+                }
+                WriteOp::Delete(l) => {
+                    self.precheck_live(mem, *l, fresh, &dead)?;
+                    dead.push(*l);
+                }
+            }
+        }
+        let free = self.capacity - self.table.version_count();
+        if new_versions > free {
+            return Err(FabricError::Txn(format!(
+                "commit needs {new_versions} new versions but only {free} of {} remain; \
+                 rejected before the WAL append",
+                self.capacity
+            )));
+        }
+        Ok(())
+    }
+
+    /// Is `l` a live (undeleted) row from this write set's viewpoint —
+    /// counting `fresh` rows inserted and `dead` rows deleted by earlier
+    /// ops of the same transaction?
+    fn precheck_live(
+        &self,
+        mem: &mut MemoryHierarchy,
+        l: LogicalId,
+        fresh: usize,
+        dead: &[LogicalId],
+    ) -> Result<()> {
+        if dead.contains(&l) {
+            return Err(FabricError::Txn(format!("logical row {l} is deleted")));
+        }
+        let known = self.table.logical_len();
+        if l < known {
+            if !self.table.latest_is_live(mem, l)? {
+                return Err(FabricError::Txn(format!("logical row {l} is deleted")));
+            }
+            Ok(())
+        } else if l < known + fresh {
+            Ok(())
+        } else {
+            Err(FabricError::Txn(format!("unknown logical row {l}")))
+        }
     }
 
     /// Take a checkpoint now: write the blob pages, then log the ref.
     /// Returns the blob id.
     pub fn checkpoint(&mut self, mem: &mut MemoryHierarchy) -> Result<u64> {
+        self.check_usable()?;
         let watermark = self.tm.snapshot_ts();
         let payload = codec::encode_checkpoint(mem, &self.table, watermark)?;
         let id = self.next_ckpt_id;
@@ -190,6 +351,13 @@ impl DurableStore {
     ) -> Result<(Self, RecoveryReport)> {
         mem.trace_begin("replay", Category::Store);
         let (records, truncated_bytes) = durability::scan(image.log_bytes());
+        // Drop the torn tail from the image before reopening the device:
+        // post-recovery appends must land right after the last valid
+        // record. Left in place, the garbage would end every future scan
+        // early and silently discard each commit acknowledged after this
+        // recovery.
+        let mut image = image;
+        image.truncate_log_tail(truncated_bytes);
         let media = DurableMedia::from_image(cfg, image);
 
         // Newest checkpoint whose blob reads back clean wins; torn or
@@ -312,6 +480,8 @@ impl DurableStore {
                 checkpoint_every,
                 commits_since_ckpt: 0,
                 next_ckpt_id: next_id,
+                poisoned: false,
+                last_ckpt_failure: None,
             },
             report,
         ))
@@ -478,6 +648,162 @@ mod tests {
         assert_eq!(report.checkpoint_used, None);
         assert_eq!(report.commits_replayed, 5);
         assert_eq!(r.snapshot_rows(&mut m).unwrap(), expect);
+    }
+
+    #[test]
+    fn post_recovery_commits_survive_a_torn_tail_truncation() {
+        // The REVIEW.md regression: a crash that leaves a *partial* frame
+        // on the log, a recovery, an acknowledged fault-free commit, and
+        // a clean restart — the commit must still be there. Sweep a small
+        // deterministic (seed, crash_at) grid until a partial tail shows
+        // up (crash_keep must land strictly inside the frame).
+        let mut exercised = false;
+        'sweep: for seed in 0..32u64 {
+            for crash_at in 1..=5u64 {
+                let mut m = mem();
+                let cfg = quiet(seed).with_faults(FaultConfig::quiet(seed).with_crash_at(crash_at));
+                let mut s = match DurableStore::create(&mut m, schema(), 1024, cfg, 0) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let mut crashed = false;
+                for i in 0..5i64 {
+                    if commit_kv(&mut m, &mut s, i, i * 10).is_err() {
+                        crashed = true;
+                        break;
+                    }
+                }
+                if !crashed {
+                    continue;
+                }
+                let (mut r, rep) =
+                    DurableStore::replay(&mut m, schema(), 1024, s.crash_image(), quiet(seed), 0)
+                        .unwrap();
+                if rep.truncated_bytes == 0 {
+                    continue;
+                }
+                // Partial tail found: recovery truncated it. Now the
+                // acked, fault-free post-recovery commit must survive a
+                // second, clean restart.
+                let rc = commit_kv(&mut m, &mut r, 777, 7770).unwrap();
+                let expect = r.snapshot_rows(&mut m).unwrap();
+                let (r2, rep2) =
+                    DurableStore::replay(&mut m, schema(), 1024, r.crash_image(), quiet(seed), 0)
+                        .unwrap();
+                assert_eq!(rep2.truncated_bytes, 0, "clean restart, no torn tail");
+                assert_eq!(
+                    rep2.watermark, rc.commit_ts,
+                    "seed={seed} crash_at={crash_at}: post-recovery commit \
+                     not covered by the second restart's watermark"
+                );
+                assert_eq!(
+                    r2.snapshot_rows(&mut m).unwrap(),
+                    expect,
+                    "seed={seed} crash_at={crash_at}: acked post-recovery \
+                     commit lost"
+                );
+                exercised = true;
+                break 'sweep;
+            }
+        }
+        assert!(exercised, "sweep never produced a partial torn tail");
+    }
+
+    #[test]
+    fn over_capacity_commits_are_rejected_before_the_wal_append() {
+        let mut m = mem();
+        // Room for 3 physical versions.
+        let mut s = DurableStore::create(&mut m, schema(), 3, quiet(7), 0).unwrap();
+        let l0 = commit_kv(&mut m, &mut s, 1, 10).unwrap().inserted[0];
+        commit_kv(&mut m, &mut s, 2, 20).unwrap();
+        let appends = s.media().stats().appends;
+
+        // Needs 2 free versions (insert + update), only 1 remains: the
+        // commit is rejected with nothing appended to the log.
+        let mut txn = s.begin();
+        txn.insert(vec![Value::I64(3), Value::I64(30)]);
+        txn.update(l0, vec![(1, Value::I64(11))]);
+        let err = s.commit(&mut m, txn);
+        assert!(matches!(err, Err(FabricError::Txn(_))), "{err:?}");
+        assert_eq!(s.media().stats().appends, appends, "no durable trace");
+        assert!(
+            !s.is_poisoned(),
+            "a prechecked reject leaves the store usable"
+        );
+
+        // The store still takes commits that do fit…
+        let mut txn = s.begin();
+        txn.update(l0, vec![(1, Value::I64(12))]);
+        s.commit(&mut m, txn).unwrap();
+        let rows = s.snapshot_rows(&mut m).unwrap();
+
+        // …and the image replays cleanly: the log never saw the record
+        // whose apply would have failed.
+        let (r, _) =
+            DurableStore::replay(&mut m, schema(), 3, s.crash_image(), quiet(7), 0).unwrap();
+        assert_eq!(r.snapshot_rows(&mut m).unwrap(), rows);
+    }
+
+    #[test]
+    fn bad_write_sets_are_rejected_before_the_wal_append() {
+        let mut m = mem();
+        let mut s = DurableStore::create(&mut m, schema(), 1024, quiet(8), 0).unwrap();
+        let l = commit_kv(&mut m, &mut s, 1, 10).unwrap().inserted[0];
+        let appends = s.media().stats().appends;
+
+        // Insert arity mismatch.
+        let mut txn = s.begin();
+        txn.insert(vec![Value::I64(2)]);
+        assert!(matches!(s.commit(&mut m, txn), Err(FabricError::Txn(_))));
+
+        // Update column out of range.
+        let mut txn = s.begin();
+        txn.update(l, vec![(9, Value::I64(0))]);
+        assert!(matches!(
+            s.commit(&mut m, txn),
+            Err(FabricError::ColumnIndexOutOfRange { .. })
+        ));
+
+        // Delete-then-update of the same row within one write set.
+        let mut txn = s.begin();
+        txn.delete(l);
+        txn.update(l, vec![(1, Value::I64(0))]);
+        assert!(matches!(s.commit(&mut m, txn), Err(FabricError::Txn(_))));
+
+        assert_eq!(s.media().stats().appends, appends, "no durable trace");
+        assert!(!s.is_poisoned());
+        // The row is untouched — no partial application.
+        let rows = s.snapshot_rows(&mut m).unwrap();
+        assert_eq!(rows, vec![vec![Value::I64(1), Value::I64(10)]]);
+    }
+
+    #[test]
+    fn cadence_checkpoint_failure_defers_but_keeps_the_receipt() {
+        let mut m = mem();
+        // Checkpoint after every commit; the cut strikes durable write 2 —
+        // the checkpoint blob write right after the first commit's append.
+        let cfg = quiet(9).with_faults(FaultConfig::quiet(9).with_crash_at(2));
+        let mut s = DurableStore::create(&mut m, schema(), 1024, cfg, 1).unwrap();
+        let receipt = commit_kv(&mut m, &mut s, 1, 10).expect(
+            "the transaction durably committed; a failing cadence \
+             checkpoint must not eat the receipt",
+        );
+        let failure = s.take_checkpoint_failure();
+        assert!(
+            matches!(failure, Some(FabricError::PowerLoss { .. })),
+            "{failure:?}"
+        );
+        assert!(s.take_checkpoint_failure().is_none(), "taken once");
+        // The device is down: the next commit fails until replay.
+        assert!(commit_kv(&mut m, &mut s, 2, 20).is_err());
+        // And the receipt was honest — the commit survives recovery.
+        let (r, rep) =
+            DurableStore::replay(&mut m, schema(), 1024, s.crash_image(), quiet(9), 1).unwrap();
+        assert_eq!(rep.watermark, receipt.commit_ts);
+        assert_eq!(
+            r.snapshot_rows(&mut m).unwrap(),
+            vec![vec![Value::I64(1), Value::I64(10)]]
+        );
     }
 
     #[test]

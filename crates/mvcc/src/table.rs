@@ -83,6 +83,17 @@ impl VersionedTable {
         Ok(())
     }
 
+    /// Is the newest version of `logical` live (end stamp unset)? Untimed
+    /// — this is the commit-path precheck, not a snapshot read.
+    pub fn latest_is_live(&self, mem: &mut MemoryHierarchy, logical: LogicalId) -> Result<bool> {
+        self.check_logical(logical)?;
+        let cur = *self.chains[logical]
+            .last()
+            .ok_or_else(|| FabricError::Txn(format!("logical row {logical} has no versions")))?;
+        let row = self.inner.decode_row_untimed(mem, cur)?;
+        Ok(row[self.user_cols + 1] == Value::I64(0))
+    }
+
     // ------------------------------------------------------------- writes
     //
     // The `apply_*` methods are called by `TxnManager::commit` with an

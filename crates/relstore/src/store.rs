@@ -86,6 +86,10 @@ pub struct SsdDevice {
     /// CRC-32 of every stored page, computed at store time; the frame the
     /// host checks shipments against.
     page_crcs: Vec<u32>,
+    /// Durable page programs completed over the device's lifetime — the
+    /// device-global counter [`FabricError::PowerLoss::writes_done`]
+    /// reports.
+    durable_writes: u64,
 }
 
 impl SsdDevice {
@@ -107,8 +111,15 @@ impl SsdDevice {
             health: CircuitBreaker::new(&policy),
             policy,
             page_crcs: Vec::new(),
+            durable_writes: 0,
             cfg,
         }
+    }
+
+    /// Durable page programs completed so far, across every
+    /// [`Self::store_rows_durable`] call.
+    pub fn durable_writes(&self) -> u64 {
+        self.durable_writes
     }
 
     pub fn config(&self) -> &RsConfig {
@@ -197,6 +208,16 @@ impl SsdDevice {
     /// ([`FabricError::PowerLoss`], leaving a prefix of the in-flight
     /// page) all apply. The recorded page CRC is always that of the
     /// *intended* page image — a torn page is exactly a CRC mismatch.
+    ///
+    /// `PowerLoss::writes_done` reports the *device-global* durable-write
+    /// count ([`Self::durable_writes`]), not a per-call index. On any
+    /// failure the unused remainder of the allocation is rolled back:
+    /// `next_page` retreats to just past the last page the device
+    /// physically touched (a power cut's torn prefix stays on the
+    /// medium, with its intended CRC recorded), so a failed store never
+    /// leaves never-programmed zero pages behind. Pages fully programmed
+    /// by the failed call remain on the medium but are unreachable — no
+    /// [`StoredTable`] refers to them.
     pub fn store_rows_durable(
         &mut self,
         mem: &mut MemoryHierarchy,
@@ -225,6 +246,8 @@ impl SsdDevice {
         let start = mem.now();
         let mut write_done = start;
         let mut failure = None;
+        // Pages the device physically touched (for failure rollback).
+        let mut reached = 0usize;
         for p in 0..pages {
             let page = first_page + p as u64;
             // The intended page image: whole rows plus zero padding.
@@ -282,11 +305,15 @@ impl SsdDevice {
                 PageOutcome::Stored(done) => {
                     self.data[base..base + self.cfg.page_bytes].copy_from_slice(&image);
                     write_done = write_done.max(done);
+                    self.durable_writes += 1;
+                    reached = p + 1;
                 }
                 PageOutcome::Torn(keep, done) => {
                     // The device reports success; only `keep` bytes made it.
                     self.data[base..base + keep].copy_from_slice(&image[..keep]);
                     write_done = write_done.max(done);
+                    self.durable_writes += 1;
+                    reached = p + 1;
                     mem.trace_instant(
                         "rs.fault.torn",
                         Category::Fault,
@@ -294,17 +321,22 @@ impl SsdDevice {
                     );
                 }
                 PageOutcome::Crashed(keep) => {
+                    // The torn prefix is physically on the medium; the
+                    // page's intended CRC stays recorded so the tear is a
+                    // plain CRC mismatch to any later reader.
                     self.data[base..base + keep].copy_from_slice(&image[..keep]);
+                    reached = p + 1;
                     mem.trace_instant("rs.fault.power", Category::Fault, &[("page", page)]);
                     mem.metrics_mut().counter_add("rs.power_losses", 1);
                     mem.flight_dump("power-loss");
                     failure = Some(FabricError::PowerLoss {
                         device: DEVICE_NAME.into(),
-                        writes_done: p as u64,
+                        writes_done: self.durable_writes,
                     });
                     break;
                 }
                 PageOutcome::Failed(attempts) => {
+                    reached = p;
                     mem.trace_instant(
                         "rs.fault.flash_write",
                         Category::Fault,
@@ -314,6 +346,14 @@ impl SsdDevice {
                     break;
                 }
             }
+        }
+        if failure.is_some() {
+            // Roll back the never-programmed remainder of the allocation:
+            // the medium ends just past the last page the device touched.
+            let keep_pages = first_page as usize + reached;
+            self.next_page = keep_pages as u64;
+            self.data.truncate(keep_pages * self.cfg.page_bytes);
+            self.page_crcs.truncate(keep_pages);
         }
         mem.stall_until(write_done);
         mem.trace_end(
@@ -951,6 +991,12 @@ mod tests {
             dev.inject_faults(FaultPlan::new(cfg), RecoveryPolicy::default());
             let bytes = row_bytes_i32(2000);
             let err = dev.store_rows_durable(&mut mem, &bytes, 16).unwrap_err();
+            // The failed store rolls its unused allocation back: the
+            // medium ends at the torn in-flight page, with no zero pages
+            // (or zero CRCs) beyond it.
+            assert_eq!(dev.next_page, 3);
+            assert_eq!(dev.data.len(), 3 * dev.cfg.page_bytes);
+            assert_eq!(dev.page_crcs.len(), 3);
             (err, dev.data.clone())
         };
         let (err, data) = run(3);
@@ -967,5 +1013,38 @@ mod tests {
         // Same seed, same crash point → bit-identical surviving media.
         let (_, data2) = run(3);
         assert_eq!(data, data2);
+    }
+
+    #[test]
+    fn power_cut_counts_durable_writes_device_globally() {
+        use fabric_sim::{FaultConfig, FaultPlan, RecoveryPolicy};
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut dev = SsdDevice::new(RsConfig::smartssd(), &mem);
+        // One plan across two stores: the first (8 pages) survives whole,
+        // the second cuts at device write 11 — its 3rd page.
+        let cfg = FaultConfig::quiet(80).with_crash_at(11);
+        dev.inject_faults(FaultPlan::new(cfg), RecoveryPolicy::default());
+        let bytes = row_bytes_i32(2000);
+        let t1 = dev.store_rows_durable(&mut mem, &bytes, 16).unwrap();
+        assert_eq!(t1.pages, 8);
+        assert_eq!(dev.durable_writes(), 8);
+        let err = dev.store_rows_durable(&mut mem, &bytes, 16).unwrap_err();
+        match err {
+            FabricError::PowerLoss { writes_done, .. } => {
+                assert_eq!(
+                    writes_done, 10,
+                    "writes_done spans the device, not the failing call"
+                );
+            }
+            other => panic!("expected PowerLoss, got {other}"),
+        }
+        // Rollback keeps the first table intact and ends the medium at
+        // the second store's torn page.
+        assert_eq!(dev.next_page, t1.first_page + t1.pages as u64 + 3);
+        assert_eq!(dev.page_crcs.len() as u64, dev.next_page);
+        assert_eq!(dev.data.len(), dev.next_page as usize * dev.cfg.page_bytes);
+        assert_eq!(dev.verify_pages(&t1), Vec::<u64>::new());
+        let (out, _) = dev.fetch_raw(&mut mem, &t1).unwrap();
+        assert_eq!(out, bytes);
     }
 }

@@ -116,11 +116,31 @@ fn crashed_run(seed: u64, crash_at: u64) -> (MemoryHierarchy, durability::Durabl
     let mut crashed = false;
     for i in 0..N_OPS {
         match apply_op(&mut m, &mut s, i, &mut logicals) {
-            Ok(r) => acked = acked.max(r.commit_ts),
+            Ok(r) => {
+                acked = acked.max(r.commit_ts);
+                // A cut during the cadence checkpoint surfaces out-of-band:
+                // the commit itself was durable and acknowledged.
+                if let Some(e) = s.take_checkpoint_failure() {
+                    match e {
+                        FabricError::PowerLoss { device, .. } => {
+                            assert!(
+                                device == "wal" || device == "checkpoint",
+                                "cut on unexpected device `{device}`"
+                            );
+                            crashed = true;
+                            break;
+                        }
+                        other => panic!(
+                            "crash_at={crash_at}: unexpected checkpoint error {other} \
+                             (replay: FABRIC_CHAOS_SEED={seed})"
+                        ),
+                    }
+                }
+            }
             Err(FabricError::PowerLoss { device, .. }) => {
-                assert!(
-                    device == "wal" || device == "checkpoint",
-                    "cut on unexpected device `{device}`"
+                assert_eq!(
+                    device, "wal",
+                    "a commit-path cut can only strike the WAL append"
                 );
                 crashed = true;
                 break;
@@ -149,6 +169,7 @@ fn crash_matrix_every_write_site_recovers_consistently() {
         "workload must write checkpoints too (got {total_writes} writes)"
     );
 
+    let mut saw_partial_tail = false;
     for crash_at in 1..=total_writes {
         let (mut m, image, acked) = crashed_run(seed, crash_at);
 
@@ -218,6 +239,44 @@ fn crash_matrix_every_write_site_recovers_consistently() {
                 )
             });
         }
+
+        // A commit acknowledged *after* recovery must survive a second,
+        // clean restart — the regression where replay left the torn tail
+        // on the log, so post-recovery appends landed after garbage and
+        // the next scan dropped them.
+        saw_partial_tail |= rep1.truncated_bytes > 0;
+        let mut r1 = r1;
+        let mut txn = r1.begin();
+        let key = 900_000 + crash_at as i64;
+        txn.insert(vec![Value::I64(key), Value::I64(1)]);
+        let rc = r1.commit(&mut m, txn).unwrap_or_else(|e| {
+            panic!("crash_at={crash_at}: post-recovery commit failed: {e} (seed {seed})")
+        });
+        let mut expect2 = rows.clone();
+        expect2.push(vec![Value::I64(key), Value::I64(1)]);
+        let (r3, rep3) = recover(&mut m, r1.crash_image());
+        assert_eq!(
+            rep3.truncated_bytes, 0,
+            "crash_at={crash_at}: clean restart found a torn tail (seed {seed})"
+        );
+        assert_eq!(
+            rep3.watermark, rc.commit_ts,
+            "crash_at={crash_at}: post-recovery commit missing from the \
+             second restart's watermark (seed {seed})"
+        );
+        assert_eq!(
+            r3.snapshot_rows(&mut m).unwrap(),
+            expect2,
+            "crash_at={crash_at}: acked post-recovery commit lost after a \
+             second restart (seed {seed})"
+        );
+    }
+    if seed == DEFAULT_SEED {
+        assert!(
+            saw_partial_tail,
+            "no crash point left a partial torn tail — the second-restart \
+             sweep never exercised tail truncation; rechoose DEFAULT_SEED"
+        );
     }
 }
 
