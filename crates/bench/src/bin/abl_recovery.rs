@@ -7,9 +7,23 @@
 
 use bench::{arg_usize, fmt_ns, render_table};
 use durability::DurabilityConfig;
-use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_sim::{validate_chrome_trace, MemoryHierarchy, RingRecorder, SimConfig};
 use fabric_types::{ColumnType, Schema, Value};
 use mvcc::DurableStore;
+
+/// Fold the write-path `durability.*` counters a run accumulated into the
+/// bench registry under the cadence label, so the envelope carries the
+/// instrumented WAL/checkpoint/replay totals per configuration.
+fn merge_durability_counters(
+    reg: &mut fabric_sim::MetricsRegistry,
+    label: &str,
+    src: &MemoryHierarchy,
+) {
+    let snap = src.metrics().snapshot();
+    for (key, value) in snap.subtree("durability.").counters {
+        reg.counter_add(&format!("{label}.durability.{key}"), value);
+    }
+}
 
 fn main() {
     let args = bench::harness::cli_args();
@@ -72,6 +86,18 @@ fn main() {
         );
 
         let label = format!("recovery.e{ckpt_every:03}");
+        // Fold the instrumented write-path counters from both machines:
+        // the commit-phase WAL/checkpoint totals and the replay totals.
+        merge_durability_counters(&mut reg, &label, &mem);
+        merge_durability_counters(&mut reg, &label, &mem2);
+        assert!(
+            reg.counter(&format!("{label}.durability.wal.appends")) > 0,
+            "commit phase must count WAL appends"
+        );
+        assert!(
+            reg.counter(&format!("{label}.durability.replay.records")) > 0,
+            "recovery must count replayed records"
+        );
         reg.gauge_set(&format!("{label}.commit_ns"), commit_ns / commits as f64);
         reg.gauge_set(&format!("{label}.replay_ns"), replay_ns);
         reg.counter_add(&format!("{label}.log_bytes"), log_bytes);
@@ -93,6 +119,71 @@ fn main() {
             format!("{}", report.commits_replayed),
             fmt_ns(replay_ns),
         ]);
+    }
+
+    // One instrumented pass under a RingRecorder: replay a crashed image,
+    // then push the recovered store past a checkpoint boundary, so a
+    // single validated Chrome trace covers the replay phases AND the
+    // WAL-append / checkpoint-write spans of the live write path.
+    {
+        let ckpt_every = 8u64;
+        let mut mem = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut store = DurableStore::create(
+            &mut mem,
+            schema.clone(),
+            256,
+            DurabilityConfig::quiet(9),
+            ckpt_every,
+        )
+        .expect("create");
+        // 27 commits with a cadence of 8: the last checkpoint lands at
+        // commit 24, so replay reloads it and reapplies a 3-commit tail.
+        for i in 0..27i64 {
+            let mut txn = store.begin();
+            txn.insert(vec![Value::I64(i), Value::I64(i * 10)]);
+            store.commit(&mut mem, txn).expect("commit");
+        }
+        let image = store.crash_image();
+
+        let mut mem2 = MemoryHierarchy::new(SimConfig::zynq_a53());
+        mem2.set_recorder(Box::new(RingRecorder::new(1 << 15)));
+        let (mut recovered, report) = DurableStore::replay(
+            &mut mem2,
+            schema.clone(),
+            256,
+            image,
+            DurabilityConfig::quiet(10),
+            ckpt_every,
+        )
+        .expect("replay");
+        for i in 24..24 + ckpt_every as i64 {
+            let mut txn = recovered.begin();
+            txn.insert(vec![Value::I64(i), Value::I64(i * 10)]);
+            recovered.commit(&mut mem2, txn).expect("commit");
+        }
+        let trace = mem2.export_trace().expect("ring recorder exports a trace");
+        let summary = validate_chrome_trace(&trace).expect("trace must be structurally valid");
+        for span in [
+            "replay-scan",
+            "replay-ckpt-load",
+            "replay-reapply",
+            "wal-append",
+            "ckpt-write",
+        ] {
+            assert!(
+                trace.contains(span),
+                "instrumented trace must cover `{span}`"
+            );
+        }
+        let path =
+            bench::harness::write_artifact("TRACE_recovery.json", &trace).expect("write trace");
+        eprintln!(
+            "# instrumented recovery trace: {} events ({} spans), {} commits replayed -> {}",
+            summary.events,
+            summary.begins,
+            report.commits_replayed,
+            path.display()
+        );
     }
 
     println!("Crash recovery: WAL commit tax and checkpoint-bounded replay ({commits} commits):");

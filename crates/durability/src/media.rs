@@ -168,7 +168,7 @@ impl DurableMedia {
         if self.plan.write_crash() {
             self.crashed = true;
             mem.trace_instant("power-loss", Category::Fault, &[("write", page)]);
-            mem.metrics_mut().counter_add("durable.power_losses", 1);
+            mem.metrics_mut().counter_add("durability.power_losses", 1);
             mem.flight_dump("power-loss");
             return Err(FabricError::PowerLoss {
                 device: device.to_string(),
@@ -179,7 +179,12 @@ impl DurableMedia {
         while self.plan.flash_write_failed() {
             attempt += 1;
             self.stats.write_retries += 1;
-            mem.metrics_mut().counter_add("durable.write_retries", 1);
+            let key = if device == "wal" {
+                "durability.wal.retries"
+            } else {
+                "durability.ckpt.retries"
+            };
+            mem.metrics_mut().counter_add(key, 1);
             if attempt > self.cfg.policy.max_retries {
                 mem.trace_instant("flash-write-error", Category::Fault, &[("page", page)]);
                 return Err(FabricError::FlashWriteError {
@@ -210,6 +215,7 @@ impl DurableMedia {
         let frame = frame_record(kind, payload)?;
         let lsn = self.log_end();
         mem.trace_begin("wal-append", Category::Store);
+        let t0 = mem.now();
         self.charge_write(mem, frame.len());
         let admitted = self.admit_write(mem, "wal", frame.len(), lsn);
         let outcome = match admitted {
@@ -218,7 +224,12 @@ impl DurableMedia {
                 self.stats.appends += 1;
                 self.stats.append_bytes += frame.len() as u64;
                 self.stats.durable_writes += 1;
-                mem.metrics_mut().counter_add("durable.wal_appends", 1);
+                let elapsed = mem.now().saturating_sub(t0);
+                let mut wal = mem.metrics_mut().scoped("durability.wal");
+                wal.counter_add("appends", 1);
+                wal.counter_add("bytes", frame.len() as u64);
+                wal.counter_add("commit_cycles", elapsed);
+                wal.observe("append_cycles", elapsed);
                 Ok(lsn)
             }
             Err(FabricError::PowerLoss {
@@ -310,8 +321,12 @@ impl DurableMedia {
         // Even a torn or incomplete blob occupies the medium — recovery
         // must see it, fail its CRC check, and fall back.
         self.checkpoints.push(blob);
+        let mut ckpt = mem.metrics_mut().scoped("durability.ckpt");
         if failure.is_none() {
-            mem.metrics_mut().counter_add("durable.checkpoints", 1);
+            ckpt.counter_add("count", 1);
+            ckpt.counter_add("bytes", payload.len() as u64);
+        } else {
+            ckpt.counter_add("failures", 1);
         }
         match failure {
             Some(e) => Err(e),

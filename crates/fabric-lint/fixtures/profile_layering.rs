@@ -1,0 +1,13 @@
+//@ scan-as: crates/durability/src/fx_profile.rs
+//! The profiler sits in the observability layer: a layer-3 storage crate
+//! may import `fabric_obs::profile` (downward) to wrap its recorder, but
+//! still may not reach up into the query engine to label samples.
+
+use fabric_obs::profile::SamplingProfiler;
+use fabric_obs::RingRecorder;
+use fabric_sim::Cycles;
+use query::Engine; //~ layering-violation
+
+pub fn profiled_recorder(period: Cycles) -> SamplingProfiler {
+    SamplingProfiler::wrapping(Box::new(RingRecorder::new(1 << 12)), period)
+}

@@ -49,6 +49,10 @@ pub struct Postmortem {
     /// Fault-category events from the ring, oldest first:
     /// `[{"ts":..,"name":"..",..}, ...]`.
     pub fault_timeline: String,
+    /// Optional caller-supplied JSON document giving the dump's trigger
+    /// context (e.g. a recovery report). Must be valid JSON; embedded
+    /// verbatim under `"context"` when present.
+    pub context: Option<String>,
 }
 
 impl Postmortem {
@@ -63,14 +67,17 @@ impl Postmortem {
         );
         let _ignored = write!(
             out,
-            "{{\"schema_version\":1,\"reason\":\"{}\",\"cycle\":{},\
-             \"topdown\":{},\"fault_timeline\":{},\"metrics_delta\":{},\"trace\":{}}}",
+            "{{\"schema_version\":1,\"reason\":\"{}\",\"cycle\":{}",
             crate::json::escaped(self.reason),
             self.cycle,
-            self.topdown,
-            self.fault_timeline,
-            self.metrics_delta,
-            self.trace,
+        );
+        if let Some(ctx) = &self.context {
+            let _ignored = write!(out, ",\"context\":{ctx}");
+        }
+        let _ignored = write!(
+            out,
+            ",\"topdown\":{},\"fault_timeline\":{},\"metrics_delta\":{},\"trace\":{}}}",
+            self.topdown, self.fault_timeline, self.metrics_delta, self.trace,
         );
         out
     }
@@ -138,6 +145,20 @@ impl FlightRecorder {
         current: &MetricsSnapshot,
         topdown: &TopDown,
     ) -> &Postmortem {
+        self.dump_with_context(reason, now, current, topdown, None)
+    }
+
+    /// [`FlightRecorder::dump`] with a caller-supplied context document
+    /// (must already be valid JSON — e.g. a `RecoveryReport` rendering)
+    /// embedded in the artifact under `"context"`.
+    pub fn dump_with_context(
+        &mut self,
+        reason: &'static str,
+        now: Cycles,
+        current: &MetricsSnapshot,
+        topdown: &TopDown,
+        context: Option<String>,
+    ) -> &Postmortem {
         self.dumps += 1;
         let metrics_delta = match &self.baseline {
             Some(base) => current.delta_since(base).to_json(),
@@ -150,6 +171,7 @@ impl FlightRecorder {
             metrics_delta,
             topdown: topdown.to_json(),
             fault_timeline: self.fault_timeline(),
+            context,
         };
         if self.postmortems.len() == MAX_POSTMORTEMS {
             self.postmortems.remove(0);
@@ -279,6 +301,34 @@ mod tests {
         let s = crate::validate_chrome_trace(&pm.trace).expect("sanitized trace validates");
         assert_eq!(s.ends, 0, "orphan end must be elided");
         assert_eq!(s.begins, 1);
+    }
+
+    #[test]
+    fn context_embeds_verbatim_and_stays_parseable() {
+        let (mut fr, reg) = armed_recorder();
+        let ctx = "{\"watermark\":7,\"degraded\":\"torn checkpoint\"}".to_string();
+        let pm = fr
+            .dump_with_context(
+                "recovery-degraded",
+                9,
+                &reg.snapshot(),
+                &TopDown::default(),
+                Some(ctx),
+            )
+            .to_json();
+        let doc = crate::parse_json(&pm).expect("artifact with context parses");
+        assert_eq!(
+            doc.get("context")
+                .and_then(|c| c.get("watermark"))
+                .and_then(crate::Json::as_num),
+            Some(7.0)
+        );
+        // Without context the key is absent entirely (byte-compatible
+        // with pre-context artifacts).
+        let pm2 = fr
+            .dump("degraded", 9, &reg.snapshot(), &TopDown::default())
+            .to_json();
+        assert!(!pm2.contains("\"context\""));
     }
 
     #[test]

@@ -33,16 +33,20 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod regress;
+pub mod scoped;
 pub mod topdown;
 pub mod trace;
 
 pub use flight::{FlightRecorder, Postmortem};
-pub use json::{parse_json, validate_chrome_trace, ChromeTraceSummary, Json};
+pub use json::{escaped, parse_json, validate_chrome_trace, ChromeTraceSummary, Json};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::{ProfileStats, SamplingProfiler};
 pub use recorder::{FabricRecorder, NoopRecorder, RingRecorder};
 pub use regress::{compare_bench, GatePolicy, GateReport, Regression, BENCH_SCHEMA_VERSION};
+pub use scoped::ScopedMetrics;
 pub use topdown::{TopDown, TopDownCore};
 pub use trace::{Category, Phase, TraceBuffer, TraceEvent, MAX_ARGS};
 

@@ -74,6 +74,41 @@ impl Histogram {
         }
     }
 
+    /// Deterministic quantile estimate (`q` in `[0, 1]`).
+    ///
+    /// The histogram keeps log2 buckets, so the estimate selects the
+    /// bucket containing the target rank and interpolates linearly inside
+    /// the bucket's `[2^i, 2^(i+1))` value range, clamped to the observed
+    /// `[min, max]`. Pure integer/f64 arithmetic over the bucket counts:
+    /// the same samples always yield bit-identical quantiles, which is
+    /// what lets p50/p99 gauges pass through the exact-match perf gate.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n)),
+            self.count,
+            if self.count == 0 { 0 } else { self.min },
+            self.max,
+            q,
+        )
+    }
+
+    /// Fold another histogram into this one (bucket-wise). Used by scope
+    /// rollups: merging per-session histograms reproduces exactly the
+    /// histogram a single shared registry would have accumulated.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, n) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Immutable snapshot used by [`MetricsSnapshot`].
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -101,6 +136,64 @@ pub struct HistogramSnapshot {
     pub min: u64,
     pub max: u64,
     pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Same estimator as [`Histogram::quantile`], over the snapshot's
+    /// sparse bucket list.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(
+            self.buckets.iter().copied(),
+            self.count,
+            self.min,
+            self.max,
+            q,
+        )
+    }
+}
+
+/// Shared quantile walk over sparse `(log2_bucket, count)` pairs.
+///
+/// Rank is `ceil(q * count)` clamped to `[1, count]` (nearest-rank with
+/// interpolation inside the owning bucket). Bucket `i > 0` spans values
+/// `[2^i, 2^(i+1))`; bucket 0 spans `[0, 2)`. The interpolated value is
+/// clamped to the observed `[min, max]` so quantiles never exaggerate
+/// past real samples. Empty histograms report 0.0.
+fn quantile_from_buckets(
+    buckets: impl Iterator<Item = (u32, u64)>,
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (bucket, n) in buckets {
+        if seen + n >= rank {
+            let lo = if bucket == 0 {
+                0.0
+            } else {
+                (1u64 << bucket) as f64
+            };
+            let hi = if bucket >= 63 {
+                u64::MAX as f64
+            } else {
+                (1u64 << (bucket + 1)) as f64
+            };
+            // Midpoint-of-rank interpolation: the k-th of n samples in a
+            // bucket sits at fraction (k - 0.5) / n of the bucket span.
+            let k = rank - seen;
+            let frac = (k as f64 - 0.5) / n as f64;
+            let v = lo + frac * (hi - lo);
+            return v.clamp(min as f64, max as f64);
+        }
+        seen += n;
+    }
+    max as f64
 }
 
 /// The workspace-wide metrics registry.
@@ -347,6 +440,47 @@ mod tests {
                 .and_then(crate::json::Json::as_num),
             Some(12.5)
         );
+    }
+
+    #[test]
+    fn quantiles_are_deterministic_and_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((1.0..=1000.0).contains(&p50));
+        assert!(p99 <= 1000.0);
+        // Snapshot agrees bit-for-bit with the live histogram.
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.50).to_bits(), p50.to_bits());
+        assert_eq!(s.quantile(0.99).to_bits(), p99.to_bits());
+        // Empty histogram and extremes stay well-defined.
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        let mut one = Histogram::new();
+        one.observe(7);
+        assert_eq!(one.quantile(0.0), 7.0);
+        assert_eq!(one.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_single_accumulation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [3u64, 900, 17, 0, 65536] {
+            whole.observe(v);
+            if v % 2 == 0 {
+                a.observe(v)
+            } else {
+                b.observe(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
     }
 
     #[test]

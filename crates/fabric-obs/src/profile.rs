@@ -1,0 +1,254 @@
+//! Cycle-domain sampling profiler with folded-stack export.
+//!
+//! [`SamplingProfiler`] wraps any [`FabricRecorder`] and, as trace events
+//! stream through, samples the open-span stack once every `period`
+//! simulated cycles. Samples accumulate into a folded-stack map —
+//! `"fabric;query:exec;mem:wal-append" -> count` — exported as
+//! collapsed-stack text ([`SamplingProfiler::to_folded`]) that
+//! flamegraph.pl and speedscope both ingest directly.
+//!
+//! Sampling is driven *entirely* by the cycle timestamps engines already
+//! emit: the profiler never reads host time and never advances the
+//! simulated clock, so profiles are bit-deterministic for a fixed seed
+//! and the zero-cost invariant holds — a run under [`NoopRecorder`]
+//! (no profiler installed) has identical cycle counts to a profiled run
+//! (`tests/trace_determinism.rs` asserts both).
+//!
+//! Timestamps from forked multi-core sections arrive non-monotonically
+//! (each core carries its own clock); the profiler tracks a frontier and
+//! only ticks forward, so the sample total always reconciles as
+//! `samples == (frontier - origin) / period` (integer division).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::recorder::FabricRecorder;
+use crate::trace::Category;
+use crate::Cycles;
+
+/// Sampling statistics reported by [`FabricRecorder::profile_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Samples taken so far.
+    pub samples: u64,
+    /// Sampling period in simulated cycles.
+    pub period: Cycles,
+    /// Timestamp of the first event seen (sampling origin).
+    pub start: Cycles,
+    /// Highest timestamp seen (the sampling frontier).
+    pub end: Cycles,
+}
+
+/// A [`FabricRecorder`] decorator that samples the open-span stack every
+/// `period` simulated cycles into a folded-stack accumulator, forwarding
+/// every event to the wrapped recorder unchanged.
+pub struct SamplingProfiler {
+    inner: Box<dyn FabricRecorder>,
+    period: Cycles,
+    /// Timestamp of the first event; `None` until sampling starts.
+    origin: Option<Cycles>,
+    /// Next cycle at which a sample is due.
+    next_tick: Cycles,
+    /// Highest timestamp observed (multi-core events may arrive out of
+    /// order; the frontier only moves forward).
+    frontier: Cycles,
+    /// Open-span stack as `(category, name)` frames.
+    stack: Vec<(&'static str, &'static str)>,
+    /// Folded stack key -> sample count.
+    folded: BTreeMap<String, u64>,
+    samples: u64,
+}
+
+impl SamplingProfiler {
+    /// Wrap `inner`, sampling every `period` cycles (`period` is clamped
+    /// to at least 1).
+    pub fn wrapping(inner: Box<dyn FabricRecorder>, period: Cycles) -> Self {
+        SamplingProfiler {
+            inner,
+            period: period.max(1),
+            origin: None,
+            next_tick: 0,
+            frontier: 0,
+            stack: Vec::new(),
+            folded: BTreeMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// The wrapped recorder (e.g. to export its Chrome trace).
+    pub fn inner(&self) -> &dyn FabricRecorder {
+        &*self.inner
+    }
+
+    /// Current stack rendered as a folded key: frames joined with `';'`,
+    /// each frame `"<cat>:<name>"`, under a constant `"fabric"` root so
+    /// samples taken between spans still land somewhere visible.
+    fn stack_key(&self) -> String {
+        let mut key = String::from("fabric");
+        for (cat, name) in &self.stack {
+            let _ignored = write!(key, ";{cat}:{name}");
+        }
+        key
+    }
+
+    /// Advance the sampling clock to `ts`, attributing one sample to the
+    /// *current* stack for every period boundary crossed. Called before
+    /// the event at `ts` mutates the stack, so a sample due exactly at a
+    /// span edge sees the state preceding the edge (half-open intervals,
+    /// applied consistently — determinism cares, the flamegraph doesn't).
+    fn advance_to(&mut self, ts: Cycles) {
+        let ts = ts.max(self.frontier);
+        if self.origin.is_none() {
+            self.origin = Some(ts);
+            self.next_tick = ts.saturating_add(self.period);
+        }
+        while self.next_tick <= ts {
+            let key = self.stack_key();
+            *self.folded.entry(key).or_insert(0) += 1;
+            self.samples += 1;
+            self.next_tick = self.next_tick.saturating_add(self.period);
+        }
+        self.frontier = ts;
+    }
+
+    /// Collapsed-stack text: one `"<stack> <count>"` line per distinct
+    /// stack, sorted by stack key. Deterministic byte-for-byte.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::with_capacity(self.folded.len() * 32);
+        for (stack, count) in &self.folded {
+            let _ignored = writeln!(out, "{stack} {count}");
+        }
+        out
+    }
+
+    /// Sampling statistics so far.
+    pub fn stats(&self) -> ProfileStats {
+        ProfileStats {
+            samples: self.samples,
+            period: self.period,
+            start: self.origin.unwrap_or(0),
+            end: self.frontier,
+        }
+    }
+}
+
+impl FabricRecorder for SamplingProfiler {
+    fn enabled(&self) -> bool {
+        // The profiler itself consumes events even if the inner sink
+        // discards them.
+        true
+    }
+
+    fn begin(&mut self, ts: Cycles, name: &'static str, cat: Category) {
+        self.advance_to(ts);
+        self.stack.push((cat.name(), name));
+        self.inner.begin(ts, name, cat);
+    }
+
+    fn end(&mut self, ts: Cycles, name: &'static str, cat: Category, args: &[(&'static str, u64)]) {
+        self.advance_to(ts);
+        // Close the most recent matching frame (forked cores interleave,
+        // so the top of stack is not always the span being closed).
+        let cat_name = cat.name();
+        if let Some(i) = self
+            .stack
+            .iter()
+            .rposition(|&(c, n)| c == cat_name && n == name)
+        {
+            self.stack.remove(i);
+        }
+        self.inner.end(ts, name, cat, args);
+    }
+
+    fn instant(
+        &mut self,
+        ts: Cycles,
+        name: &'static str,
+        cat: Category,
+        args: &[(&'static str, u64)],
+    ) {
+        self.advance_to(ts);
+        self.inner.instant(ts, name, cat, args);
+    }
+
+    fn counter(&mut self, ts: Cycles, name: &'static str, cat: Category, value: u64) {
+        self.advance_to(ts);
+        self.inner.counter(ts, name, cat, value);
+    }
+
+    fn export_chrome_json(&self) -> Option<String> {
+        self.inner.export_chrome_json()
+    }
+
+    fn export_folded(&self) -> Option<String> {
+        Some(self.to_folded())
+    }
+
+    fn profile_stats(&self) -> Option<ProfileStats> {
+        Some(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{NoopRecorder, RingRecorder};
+
+    #[test]
+    fn samples_attribute_to_the_open_stack() {
+        let mut p = SamplingProfiler::wrapping(Box::new(NoopRecorder), 10);
+        p.begin(0, "exec", Category::Query);
+        p.begin(5, "scan", Category::Mem);
+        p.end(95, "scan", Category::Mem, &[]);
+        p.end(100, "exec", Category::Query, &[]);
+        let stats = p.stats();
+        assert_eq!(stats.start, 0);
+        assert_eq!(stats.end, 100);
+        // Ticks at 10..=100: ten samples, reconciling with elapsed/period.
+        assert_eq!(stats.samples, (stats.end - stats.start) / stats.period);
+        let folded = p.to_folded();
+        // Ticks 10..=90 happen inside the nested scan (advance runs
+        // before the closing edge mutates the stack at 95 and 100).
+        assert!(folded.contains("fabric;query:exec;mem:scan 9"), "{folded}");
+        assert!(folded.contains("fabric;query:exec 1"), "{folded}");
+        let total: u64 = p.folded.values().sum();
+        assert_eq!(total, stats.samples);
+    }
+
+    #[test]
+    fn non_monotonic_timestamps_only_move_the_frontier_forward() {
+        let mut p = SamplingProfiler::wrapping(Box::new(NoopRecorder), 10);
+        p.begin(0, "fork", Category::Query);
+        p.end(50, "core1", Category::Mem, &[]); // unmatched end: ignored frame-wise
+        p.begin(20, "late", Category::Mem); // earlier core's event arrives late
+        p.end(60, "late", Category::Mem, &[]);
+        p.end(70, "fork", Category::Query, &[]);
+        let stats = p.stats();
+        assert_eq!(stats.end, 70);
+        assert_eq!(stats.samples, 7);
+    }
+
+    #[test]
+    fn folded_export_is_deterministic_and_forwards_to_inner() {
+        let run = || {
+            let mut p = SamplingProfiler::wrapping(Box::new(RingRecorder::new(16)), 7);
+            p.begin(3, "a", Category::Query);
+            p.instant(10, "tick", Category::Fault, &[]);
+            p.end(40, "a", Category::Query, &[("rows", 1)]);
+            (p.to_folded(), p.export_chrome_json().unwrap())
+        };
+        let (f1, t1) = run();
+        let (f2, t2) = run();
+        assert_eq!(f1, f2);
+        assert_eq!(t1, t2);
+        assert!(!f1.is_empty());
+        crate::json::validate_chrome_trace(&t1).expect("inner trace still valid");
+    }
+
+    #[test]
+    fn empty_profile_folds_to_empty_text() {
+        let p = SamplingProfiler::wrapping(Box::new(NoopRecorder), 100);
+        assert_eq!(p.to_folded(), "");
+        assert_eq!(p.stats().samples, 0);
+    }
+}

@@ -47,6 +47,17 @@ pub trait FabricRecorder: Send {
     fn export_chrome_json(&self) -> Option<String> {
         None
     }
+
+    /// Export a collapsed-stack ("folded") profile, if this recorder
+    /// samples one (`None` otherwise). See [`crate::profile`].
+    fn export_folded(&self) -> Option<String> {
+        None
+    }
+
+    /// Sampling statistics for a profiling recorder (`None` otherwise).
+    fn profile_stats(&self) -> Option<crate::profile::ProfileStats> {
+        None
+    }
 }
 
 /// Recorder that discards everything. This is the default wired into

@@ -335,6 +335,17 @@ impl MemoryHierarchy {
         self.recorder.export_chrome_json()
     }
 
+    /// Export the current recorder's folded-stack profile (`None` unless
+    /// a [`fabric_obs::SamplingProfiler`] is installed).
+    pub fn export_folded(&self) -> Option<String> {
+        self.recorder.export_folded()
+    }
+
+    /// Sampling statistics of the installed profiler, if any.
+    pub fn profile_stats(&self) -> Option<fabric_obs::ProfileStats> {
+        self.recorder.profile_stats()
+    }
+
     /// The workspace metrics registry hosted by this hierarchy.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -474,6 +485,18 @@ impl MemoryHierarchy {
         let td = self.topdown_now();
         let snap = self.metrics.snapshot();
         self.flight.dump(reason, now, &snap, &td);
+        self.metrics.counter_add("flight.dumps", 1);
+    }
+
+    /// [`MemoryHierarchy::flight_dump`] with a caller-supplied JSON
+    /// context document (e.g. a recovery report) embedded in the
+    /// postmortem under `"context"`.
+    pub fn flight_dump_with(&mut self, reason: &'static str, context: String) {
+        let now = self.now();
+        let td = self.topdown_now();
+        let snap = self.metrics.snapshot();
+        self.flight
+            .dump_with_context(reason, now, &snap, &td, Some(context));
         self.metrics.counter_add("flight.dumps", 1);
     }
 

@@ -63,6 +63,37 @@ pub struct RecoveryReport {
     pub degraded: Option<String>,
 }
 
+impl RecoveryReport {
+    /// Deterministic JSON rendering, embedded verbatim in the flight
+    /// recorder's postmortem `"context"` field (same document for the
+    /// same image, byte for byte).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"checkpoint_used\":");
+        match self.checkpoint_used {
+            Some(id) => {
+                let _ignored = write!(out, "{id}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ignored = write!(
+            out,
+            ",\"records_scanned\":{},\"commits_replayed\":{},\
+             \"truncated_bytes\":{},\"watermark\":{},\"degraded\":",
+            self.records_scanned, self.commits_replayed, self.truncated_bytes, self.watermark,
+        );
+        match &self.degraded {
+            Some(why) => {
+                let _ignored = write!(out, "\"{}\"", fabric_sim::escaped(why));
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// A versioned table whose commits survive power loss.
 pub struct DurableStore {
     table: VersionedTable,
@@ -187,7 +218,7 @@ impl DurableStore {
                 // two views diverged. Poison the store — every later
                 // commit or checkpoint would persist the divergence.
                 self.poisoned = true;
-                mem.metrics_mut().counter_add("durable.poisoned", 1);
+                mem.metrics_mut().counter_add("durability.poisoned", 1);
                 return Err(FabricError::Storage(format!(
                     "commit {commit_ts} is durable but its volatile apply failed ({e}); \
                      store poisoned — reopen via replay"
@@ -198,7 +229,7 @@ impl DurableStore {
         if self.checkpoint_every > 0 && self.commits_since_ckpt >= self.checkpoint_every {
             if let Err(e) = self.checkpoint(mem) {
                 mem.metrics_mut()
-                    .counter_add("durable.ckpt_failures_deferred", 1);
+                    .counter_add("durability.ckpt.failures_deferred", 1);
                 self.last_ckpt_failure = Some(e);
             }
         }
@@ -349,94 +380,179 @@ impl DurableStore {
         cfg: DurabilityConfig,
         checkpoint_every: u64,
     ) -> Result<(Self, RecoveryReport)> {
+        // Arm the flight recorder across recovery: the postmortem dumped
+        // at the end reports the metrics delta of recovery itself, not of
+        // whatever the process did before the restart.
+        mem.flight_arm();
         mem.trace_begin("replay", Category::Store);
+        let result = Self::replay_phases(mem, user_schema, capacity, image, cfg, checkpoint_every);
+        match &result {
+            Ok((_, report)) => mem.trace_end(
+                "replay",
+                Category::Store,
+                &[
+                    ("records", report.records_scanned as u64),
+                    ("commits", report.commits_replayed),
+                    ("watermark", report.watermark),
+                ],
+            ),
+            Err(_) => mem.trace_end("replay", Category::Store, &[("error", 1)]),
+        }
+        let (store, report) = result?;
+        {
+            let mut rp = mem.metrics_mut().scoped("durability.replay");
+            rp.counter_add("count", 1);
+            rp.counter_add("records", report.records_scanned as u64);
+            rp.counter_add("commits", report.commits_replayed);
+            rp.counter_add("truncated_tail_bytes", report.truncated_bytes as u64);
+            if report.degraded.is_some() {
+                rp.counter_add("degraded", 1);
+            }
+            rp.gauge_set("watermark", report.watermark as f64);
+        }
+        let reason = if report.degraded.is_some() {
+            "recovery-degraded"
+        } else {
+            "crash-recovery"
+        };
+        mem.flight_dump_with(reason, report.to_json());
+        Ok((store, report))
+    }
+
+    /// The three recovery phases — log scan, checkpoint load, log
+    /// reapply — each under its own balanced span. Fallible work runs
+    /// inside per-phase closures so the span closes before an error
+    /// propagates: even a failing recovery exports a validator-clean
+    /// trace.
+    fn replay_phases(
+        mem: &mut MemoryHierarchy,
+        user_schema: Schema,
+        capacity: usize,
+        image: DurableImage,
+        cfg: DurabilityConfig,
+        checkpoint_every: u64,
+    ) -> Result<(Self, RecoveryReport)> {
+        // Phase 1: scan the surviving log image and truncate the torn
+        // tail from it before reopening the device — post-recovery
+        // appends must land right after the last valid record. Left in
+        // place, the garbage would end every future scan early and
+        // silently discard each commit acknowledged after this recovery.
+        mem.trace_begin("replay-scan", Category::Store);
         let (records, truncated_bytes) = durability::scan(image.log_bytes());
-        // Drop the torn tail from the image before reopening the device:
-        // post-recovery appends must land right after the last valid
-        // record. Left in place, the garbage would end every future scan
-        // early and silently discard each commit acknowledged after this
-        // recovery.
         let mut image = image;
         image.truncate_log_tail(truncated_bytes);
         let media = DurableMedia::from_image(cfg, image);
+        mem.trace_end(
+            "replay-scan",
+            Category::Store,
+            &[
+                ("records", records.len() as u64),
+                ("truncated_bytes", truncated_bytes as u64),
+            ],
+        );
 
-        // Newest checkpoint whose blob reads back clean wins; torn or
-        // incomplete blobs degrade us to the next older one (ultimately
-        // to a full log replay from an empty table).
+        // Phase 2: newest checkpoint whose blob reads back clean wins;
+        // torn or incomplete blobs degrade us to the next older one
+        // (ultimately to a full log replay from an empty table).
+        mem.trace_begin("replay-ckpt-load", Category::Store);
         let mut degraded = None;
-        let mut chosen: Option<(u64, &WalRecord, codec::CheckpointImage)> = None;
-        let full_schema = full_schema_of(&user_schema);
-        for rec in records.iter().rev() {
-            if rec.kind != RecordKind::Checkpoint {
-                continue;
-            }
-            let (id, _watermark) = codec::decode_checkpoint_ref(&rec.payload)?;
-            match media
-                .read_checkpoint(id)
-                .and_then(|bytes| codec::decode_checkpoint(&full_schema, &bytes))
-            {
-                Ok(img) => {
-                    chosen = Some((id, rec, img));
-                    break;
-                }
-                Err(e) => {
-                    if degraded.is_none() {
-                        degraded = Some(format!("checkpoint {id} unreadable: {e}"));
-                    }
-                }
-            }
-        }
-
-        let (mut table, ckpt_watermark, ckpt_lsn, checkpoint_used) = match chosen {
-            Some((id, rec, img)) => {
-                let t = VersionedTable::restore(
-                    mem,
-                    user_schema.clone(),
-                    capacity,
-                    &img.rows,
-                    img.chains,
-                    img.last_commit,
-                )?;
-                (t, img.watermark, Some(rec.lsn), Some(id))
-            }
-            None => (
-                VersionedTable::create(mem, user_schema.clone(), capacity)?,
-                0,
-                None,
-                None,
-            ),
-        };
-
-        // Re-apply every commit the checkpoint does not already contain.
-        // Commit records are logged before their effects, in commit-ts
-        // order, so applying in log order reproduces the exact physical
-        // row order of the original run.
-        let mut watermark = ckpt_watermark;
-        let mut commits_replayed = 0u64;
-        for rec in &records {
-            if rec.kind != RecordKind::Commit {
-                continue;
-            }
-            if let Some(lsn) = ckpt_lsn {
-                if rec.lsn < lsn {
+        let loaded = (|| -> Result<_> {
+            let mut chosen: Option<(u64, &WalRecord, codec::CheckpointImage)> = None;
+            let full_schema = full_schema_of(&user_schema);
+            for rec in records.iter().rev() {
+                if rec.kind != RecordKind::Checkpoint {
                     continue;
                 }
-            }
-            let img = codec::decode_commit(&user_schema, &rec.payload)?;
-            for w in &img.writes {
-                match w {
-                    WriteOp::Insert(values) => {
-                        table.apply_insert(mem, values, img.commit_ts)?;
+                let (id, _watermark) = codec::decode_checkpoint_ref(&rec.payload)?;
+                match media
+                    .read_checkpoint(id)
+                    .and_then(|bytes| codec::decode_checkpoint(&full_schema, &bytes))
+                {
+                    Ok(img) => {
+                        chosen = Some((id, rec, img));
+                        break;
                     }
-                    WriteOp::Update(l, updates) => {
-                        table.apply_update(mem, *l, updates, img.commit_ts)?;
+                    Err(e) => {
+                        if degraded.is_none() {
+                            degraded = Some(format!("checkpoint {id} unreadable: {e}"));
+                        }
                     }
-                    WriteOp::Delete(l) => table.apply_delete(mem, *l, img.commit_ts)?,
                 }
             }
-            watermark = watermark.max(img.commit_ts);
-            commits_replayed += 1;
-        }
+            match chosen {
+                Some((id, rec, img)) => {
+                    let t = VersionedTable::restore(
+                        mem,
+                        user_schema.clone(),
+                        capacity,
+                        &img.rows,
+                        img.chains,
+                        img.last_commit,
+                    )?;
+                    Ok((t, img.watermark, Some(rec.lsn), Some(id)))
+                }
+                None => Ok((
+                    VersionedTable::create(mem, user_schema.clone(), capacity)?,
+                    0,
+                    None,
+                    None,
+                )),
+            }
+        })();
+        mem.trace_end(
+            "replay-ckpt-load",
+            Category::Store,
+            &[(
+                "checkpoint",
+                loaded
+                    .as_ref()
+                    .ok()
+                    .and_then(|(_, _, _, id)| *id)
+                    .unwrap_or(0),
+            )],
+        );
+        let (mut table, ckpt_watermark, ckpt_lsn, checkpoint_used) = loaded?;
+
+        // Phase 3: re-apply every commit the checkpoint does not already
+        // contain. Commit records are logged before their effects, in
+        // commit-ts order, so applying in log order reproduces the exact
+        // physical row order of the original run.
+        mem.trace_begin("replay-reapply", Category::Store);
+        let mut watermark = ckpt_watermark;
+        let mut commits_replayed = 0u64;
+        let reapplied = (|| -> Result<()> {
+            for rec in &records {
+                if rec.kind != RecordKind::Commit {
+                    continue;
+                }
+                if let Some(lsn) = ckpt_lsn {
+                    if rec.lsn < lsn {
+                        continue;
+                    }
+                }
+                let img = codec::decode_commit(&user_schema, &rec.payload)?;
+                for w in &img.writes {
+                    match w {
+                        WriteOp::Insert(values) => {
+                            table.apply_insert(mem, values, img.commit_ts)?;
+                        }
+                        WriteOp::Update(l, updates) => {
+                            table.apply_update(mem, *l, updates, img.commit_ts)?;
+                        }
+                        WriteOp::Delete(l) => table.apply_delete(mem, *l, img.commit_ts)?,
+                    }
+                }
+                watermark = watermark.max(img.commit_ts);
+                commits_replayed += 1;
+            }
+            Ok(())
+        })();
+        mem.trace_end(
+            "replay-reapply",
+            Category::Store,
+            &[("commits", commits_replayed), ("watermark", watermark)],
+        );
+        reapplied?;
 
         let report = RecoveryReport {
             checkpoint_used,
@@ -446,29 +562,6 @@ impl DurableStore {
             watermark,
             degraded,
         };
-        mem.metrics_mut().counter_add("recovery.replays", 1);
-        mem.metrics_mut()
-            .counter_add("recovery.commits_replayed", commits_replayed);
-        mem.metrics_mut()
-            .counter_add("recovery.truncated_bytes", truncated_bytes as u64);
-        mem.metrics_mut()
-            .gauge_set("recovery.watermark", watermark as f64);
-        mem.trace_end(
-            "replay",
-            Category::Store,
-            &[
-                ("records", records.len() as u64),
-                ("commits", commits_replayed),
-                ("watermark", watermark),
-            ],
-        );
-        if report.degraded.is_some() {
-            mem.metrics_mut().counter_add("recovery.degraded", 1);
-            mem.flight_dump("recovery-degraded");
-        } else {
-            mem.flight_dump("crash-recovery");
-        }
-
         let next_id = report.checkpoint_used.map_or(1, |id| id + 1);
         Ok((
             DurableStore {
@@ -648,6 +741,23 @@ mod tests {
         assert_eq!(report.checkpoint_used, None);
         assert_eq!(report.commits_replayed, 5);
         assert_eq!(r.snapshot_rows(&mut m).unwrap(), expect);
+        // The degraded recovery dumped a postmortem whose context embeds
+        // this exact report, and the durability.replay.* rollup advanced.
+        let pm = m
+            .take_postmortems()
+            .into_iter()
+            .find(|p| p.reason == "recovery-degraded")
+            .expect("degraded recovery dumps a postmortem");
+        assert_eq!(pm.context.as_deref(), Some(report.to_json().as_str()));
+        let doc = fabric_sim::parse_json(&pm.to_json()).expect("postmortem parses");
+        assert_eq!(
+            doc.get("context")
+                .and_then(|c| c.get("degraded"))
+                .and_then(fabric_sim::Json::as_str),
+            report.degraded.as_deref()
+        );
+        assert_eq!(m.metrics().counter("durability.replay.degraded"), 1);
+        assert_eq!(m.metrics().counter("durability.replay.commits"), 5);
     }
 
     #[test]

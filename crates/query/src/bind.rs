@@ -41,6 +41,24 @@ impl BoundQuery {
     pub fn arity(&self) -> usize {
         self.items.len()
     }
+
+    /// Latency-histogram class of this query, named after the TPC-H
+    /// shapes the figure benchmarks reproduce: `"q1"` for grouped
+    /// aggregation, `"q6"` for a global (ungrouped) aggregate, `"scan"`
+    /// for everything else. Session metrics bucket per-query latencies
+    /// under `session.<id>.latency.<class>` and the engine exports
+    /// p50/p95/p99 gauges per class.
+    pub fn class(&self) -> &'static str {
+        if self.has_aggregates() {
+            if self.group_by.is_empty() {
+                "q6"
+            } else {
+                "q1"
+            }
+        } else {
+            "scan"
+        }
+    }
 }
 
 struct Binder<'a> {

@@ -33,7 +33,10 @@ use crate::bind::{bind, BoundQuery};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path_parallel, AccessPath, PathCost};
 use crate::exec::{run_verified, FaultContext, QueryOutput, Resilience};
-use crate::explain::{analyze_paths_impl, render_analyze_report, render_plan_for};
+use crate::explain::{
+    analyze_paths_impl, render_analyze_report, render_latency_section, render_plan_for,
+    render_recovery_section,
+};
 use crate::parser::parse;
 use colstore::ColTable;
 use durability::{DurabilityConfig, DurableImage};
@@ -101,6 +104,9 @@ pub struct Engine {
     /// order — the engine's record of which tables came back from a
     /// crash and whether the recovery was degraded.
     recoveries: Vec<(String, RecoveryReport)>,
+    /// Sessions handed out so far; the next session gets this + 1 as its
+    /// id, which scopes its metrics under `session.<id>.*`.
+    sessions_opened: u64,
 }
 
 impl Engine {
@@ -124,6 +130,7 @@ impl Engine {
             cache_hits: 0,
             cache_misses: 0,
             recoveries: Vec::new(),
+            sessions_opened: 0,
         }
     }
 
@@ -208,7 +215,8 @@ impl Engine {
             self.mem
                 .metrics_mut()
                 .counter_add("engine.degraded_opens", 1);
-            self.mem.flight_dump("engine-degraded-open");
+            self.mem
+                .flight_dump_with("engine-degraded-open", report.to_json());
         }
         self.recoveries.push((name.clone(), report.clone()));
         self.catalog.register_rows(name, table);
@@ -248,18 +256,49 @@ impl Engine {
         self.cache.clear();
     }
 
-    /// Open a session on this engine.
+    /// Open a session on this engine. Each session gets a stable numeric
+    /// id (1, 2, …) and every query it executes records its latency both
+    /// globally (`query.class.<class>.latency_cycles`) and under the
+    /// session's own metric scope (`session.<id>.latency.<class>`).
     pub fn session(&mut self) -> Session<'_> {
-        Session { engine: self }
+        self.sessions_opened += 1;
+        let id = self.sessions_opened;
+        Session { engine: self, id }
     }
 }
 
 /// A query session over an [`Engine`]: prepare once, run many times.
 pub struct Session<'e> {
     engine: &'e mut Engine,
+    id: u64,
 }
 
 impl Session<'_> {
+    /// This session's id (scopes its metrics under `session.<id>.*`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Record one executed query's cycle-domain latency: into the global
+    /// per-class histogram (whose deterministic p50/p95/p99 are exported
+    /// as gauges the perf gate checks at 5%), and into this session's
+    /// metric scope. Recording never advances the simulated clock, so an
+    /// instrumented run stays cycle-identical to an uninstrumented one.
+    fn record_latency(mem: &mut MemoryHierarchy, session_id: u64, class: &str, elapsed: u64) {
+        let hist_key = format!("query.class.{class}.latency_cycles");
+        mem.metrics_mut().observe(&hist_key, elapsed);
+        if let Some(h) = mem.metrics().histogram(&hist_key) {
+            let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+            let reg = mem.metrics_mut();
+            reg.gauge_set(&format!("query.class.{class}.p50_cycles"), p50);
+            reg.gauge_set(&format!("query.class.{class}.p95_cycles"), p95);
+            reg.gauge_set(&format!("query.class.{class}.p99_cycles"), p99);
+        }
+        let mut scope = mem.metrics_mut().scoped(&format!("session.{session_id}"));
+        scope.counter_add("queries", 1);
+        scope.observe(&format!("latency.{class}"), elapsed);
+    }
+
     /// Parse + bind + verify + price `sql`, consulting the engine's plan
     /// cache (keyed by SQL text, MRU, capacity [`PLAN_CACHE_CAP`]). A hit
     /// returns the cached plan unchanged, so a re-prepared query executes
@@ -341,14 +380,20 @@ impl Session<'_> {
         } = *self.engine;
         let entry = catalog.get(&prepared.plan.bound.table)?;
         let verified = prepared.verified();
-        run_verified(
+        // Cycle-domain latency: queries fork/join internally, so the
+        // global-frontier delta around the run is the query's wall time.
+        let t0 = mem.now();
+        let out = run_verified(
             mem,
             entry,
             &verified,
             path,
             prepared.plan.cost,
             Resilience::Resilient(faults),
-        )
+        )?;
+        let elapsed = mem.now().saturating_sub(t0);
+        Self::record_latency(mem, self.id, prepared.plan.bound.class(), elapsed);
+        Ok(out)
     }
 
     /// Verify and execute a hand-built [`BoundQuery`] on the
@@ -385,14 +430,18 @@ impl Session<'_> {
         let entry = catalog.get(&bound.table)?;
         let verified = analyze(entry, bound, rm)?;
         let (chosen, cost) = choose_path_parallel(mem.config(), rm, entry, bound, mem.num_cores())?;
-        run_verified(
+        let t0 = mem.now();
+        let out = run_verified(
             mem,
             entry,
             &verified,
             forced.unwrap_or(chosen),
             cost,
             Resilience::Resilient(faults),
-        )
+        )?;
+        let elapsed = mem.now().saturating_sub(t0);
+        Self::record_latency(mem, self.id, bound.class(), elapsed);
+        Ok(out)
     }
 
     /// Render the chosen plan and per-path estimates for `sql`.
@@ -425,7 +474,11 @@ impl Session<'_> {
             &self.engine.catalog,
             &prepared.plan.bound,
         )?;
-        render_analyze_report(&header, has_cols, &reports, &profile, &cores, &topdown)
+        let mut text =
+            render_analyze_report(&header, has_cols, &reports, &profile, &cores, &topdown)?;
+        text.push_str(&render_latency_section(self.engine.mem.metrics())?);
+        text.push_str(&render_recovery_section(self.engine.recoveries())?);
+        Ok(text)
     }
 }
 
@@ -578,6 +631,73 @@ mod tests {
             .unwrap();
         assert_eq!(out.rows[0][0], Value::I64(5));
         assert_eq!(out.rows[0][1], Value::F64(20.0));
+    }
+
+    #[test]
+    fn sessions_record_scoped_latency_histograms() {
+        let mut engine = engine_with_data(1);
+        {
+            let mut s = engine.session();
+            assert_eq!(s.id(), 1);
+            s.run("SELECT grp, count(*) FROM t GROUP BY grp").unwrap(); // q1
+            s.run("SELECT sum(qty) FROM t WHERE id < 100").unwrap(); // q6
+            s.run("SELECT id FROM t WHERE id < 10").unwrap(); // scan
+        }
+        {
+            let mut s2 = engine.session();
+            assert_eq!(s2.id(), 2);
+            s2.run("SELECT sum(qty) FROM t WHERE id < 100").unwrap();
+        }
+        let m = engine.mem_ref().metrics();
+        assert_eq!(m.counter("session.1.queries"), 3);
+        assert_eq!(m.counter("session.2.queries"), 1);
+        for class in ["q1", "q6", "scan"] {
+            let h = m
+                .histogram(&format!("query.class.{class}.latency_cycles"))
+                .unwrap_or_else(|| panic!("missing {class} histogram"));
+            assert!(h.count() >= 1);
+            assert!(h.sum() > 0, "queries cost simulated cycles");
+            let p50 = m.gauge(&format!("query.class.{class}.p50_cycles")).unwrap();
+            let p99 = m.gauge(&format!("query.class.{class}.p99_cycles")).unwrap();
+            assert!(p50 > 0.0 && p99 >= p50, "{class}: p50 {p50} p99 {p99}");
+        }
+        // The q6 class pooled both sessions' runs globally…
+        assert_eq!(
+            m.histogram("query.class.q6.latency_cycles")
+                .unwrap()
+                .count(),
+            2
+        );
+        // …while the per-session subtrees stayed separate.
+        let snap = m.snapshot();
+        assert_eq!(snap.subtree("session.1").histograms["latency.q6"].count, 1);
+        assert_eq!(snap.subtree("session.2").histograms["latency.q6"].count, 1);
+    }
+
+    #[test]
+    fn explain_analyze_appends_latency_and_recovery_sections() {
+        let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
+        let mut m = MemoryHierarchy::new(SimConfig::zynq_a53());
+        let mut store =
+            DurableStore::create(&mut m, schema.clone(), 64, DurabilityConfig::quiet(5), 0)
+                .unwrap();
+        for i in 0..4i64 {
+            let mut t = store.begin();
+            t.insert(vec![Value::I64(i), Value::F64(i as f64)]);
+            store.commit(&mut m, t).unwrap();
+        }
+        let image = store.crash_image();
+        let mut engine = Engine::new(SimConfig::zynq_a53());
+        engine
+            .open_recovered("orders", &schema, 64, image, DurabilityConfig::quiet(6), 0)
+            .unwrap();
+        let mut s = engine.session();
+        s.run("SELECT sum(qty) FROM orders").unwrap();
+        let text = s.explain_analyze("SELECT sum(qty) FROM orders").unwrap();
+        assert!(text.contains("latency (cycle-domain"), "{text}");
+        assert!(text.contains("q6 "), "{text}");
+        assert!(text.contains("recovered tables:"), "{text}");
+        assert!(text.contains("`orders`  watermark 4  commits 4"), "{text}");
     }
 
     #[test]

@@ -8,8 +8,9 @@ use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::{Catalog, TableEntry};
 use crate::cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
 use crate::exec::{execute_on_impl, CoreAttribution, PhaseProfile};
-use fabric_sim::{MemoryHierarchy, SimConfig};
+use fabric_sim::{MemoryHierarchy, MetricsRegistry, SimConfig};
 use fabric_types::{FabricError, Result};
+use mvcc::RecoveryReport;
 use relmem::RmConfig;
 use std::fmt::Write as _;
 
@@ -360,6 +361,67 @@ fn render_analyze(
         writeln!(out, "  top-down (chosen path):")?;
         out.push_str(&topdown.render());
     }
+    Ok(out)
+}
+
+/// The per-class latency digest appended to `EXPLAIN ANALYZE` by the
+/// session API: sample count and deterministic p50/p95/p99 (in simulated
+/// cycles) of every query class the engine has executed so far. Empty
+/// when no session query has run yet.
+pub(crate) fn render_latency_section(reg: &MetricsRegistry) -> Result<String> {
+    let mut out = String::new();
+    let render = |out: &mut String| -> std::result::Result<(), std::fmt::Error> {
+        for class in ["q1", "q6", "scan"] {
+            let key = format!("query.class.{class}.latency_cycles");
+            if let Some(h) = reg.histogram(&key) {
+                if out.is_empty() {
+                    writeln!(out, "  latency (cycle-domain, engine lifetime):")?;
+                }
+                writeln!(
+                    out,
+                    "    {:<4}  n {:>6}  p50 {:>12.0}  p95 {:>12.0}  p99 {:>12.0} cycles",
+                    class,
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )?;
+            }
+        }
+        Ok(())
+    };
+    render(&mut out).map_err(fmt_err)?;
+    Ok(out)
+}
+
+/// The recovery appendix of `EXPLAIN ANALYZE`: one line per table the
+/// engine opened from a crash image, with the report's headline numbers.
+/// Empty when the engine never recovered anything.
+pub(crate) fn render_recovery_section(recoveries: &[(String, RecoveryReport)]) -> Result<String> {
+    let mut out = String::new();
+    let render = |out: &mut String| -> std::result::Result<(), std::fmt::Error> {
+        for (name, r) in recoveries {
+            if out.is_empty() {
+                writeln!(out, "  recovered tables:")?;
+            }
+            writeln!(
+                out,
+                "    `{}`  watermark {}  commits {}  checkpoint {}  torn-tail {} B{}",
+                name,
+                r.watermark,
+                r.commits_replayed,
+                r.checkpoint_used
+                    .map_or_else(|| "-".to_string(), |id| id.to_string()),
+                r.truncated_bytes,
+                match &r.degraded {
+                    Some(why) => format!("  DEGRADED: {why}"),
+                    None => String::new(),
+                },
+            )?;
+        }
+        Ok(())
+    };
+    render(&mut out).map_err(fmt_err)?;
     Ok(out)
 }
 

@@ -364,6 +364,14 @@ impl SsdDevice {
                 ("failed", u64::from(failure.is_some())),
             ],
         );
+        let mut rs = mem.metrics_mut().scoped("durability.relstore");
+        if failure.is_none() {
+            rs.counter_add("tables", 1);
+            rs.counter_add("pages", pages as u64);
+            rs.counter_add("bytes", bytes.len() as u64);
+        } else {
+            rs.counter_add("failures", 1);
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(StoredTable {

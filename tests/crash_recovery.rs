@@ -20,7 +20,7 @@
 
 use durability::DurabilityConfig;
 use fabric_obs::validate_chrome_trace;
-use fabric_sim::{FaultConfig, MemoryHierarchy, Postmortem, SimConfig};
+use fabric_sim::{parse_json, FaultConfig, Json, MemoryHierarchy, Postmortem, SimConfig};
 use fabric_types::{ColumnType, FabricError, Result, Schema, Value};
 use mvcc::{CommitReceipt, DurableStore, LogicalId};
 use query::Engine;
@@ -240,6 +240,25 @@ fn crash_matrix_every_write_site_recovers_consistently() {
             });
         }
 
+        // Every recovery postmortem embeds a parseable RecoveryReport
+        // context with the watermark the replay settled on.
+        for p in pms
+            .iter()
+            .filter(|p| p.reason == "crash-recovery" || p.reason == "recovery-degraded")
+        {
+            let ctx = p.context.as_deref().unwrap_or_else(|| {
+                panic!("crash_at={crash_at}: recovery postmortem has no report context")
+            });
+            let doc = parse_json(ctx).unwrap_or_else(|e| {
+                panic!("crash_at={crash_at}: postmortem context does not parse: {e}")
+            });
+            assert_eq!(
+                doc.get("watermark").and_then(Json::as_num),
+                Some(rep1.watermark as f64),
+                "crash_at={crash_at}: context watermark diverges from the report"
+            );
+        }
+
         // A commit acknowledged *after* recovery must survive a second,
         // clean restart — the regression where replay left the torn tail
         // on the log, so post-recovery appends landed after garbage and
@@ -269,6 +288,23 @@ fn crash_matrix_every_write_site_recovers_consistently() {
             expect2,
             "crash_at={crash_at}: acked post-recovery commit lost after a \
              second restart (seed {seed})"
+        );
+
+        // The instrumented write path counted its work on this machine:
+        // WAL appends (the post-recovery commit at minimum), the cut
+        // itself, and all three replays.
+        let reg = m.metrics();
+        assert!(
+            reg.counter("durability.wal.appends") > 0,
+            "crash_at={crash_at}: no WAL appends counted"
+        );
+        assert!(
+            reg.counter("durability.power_losses") >= 1,
+            "crash_at={crash_at}: the cut was not counted"
+        );
+        assert!(
+            reg.counter("durability.replay.count") >= 3,
+            "crash_at={crash_at}: all three replays must be counted"
         );
     }
     if seed == DEFAULT_SEED {
@@ -456,4 +492,73 @@ fn double_crash_recovery_stays_consistent() {
     }
     // At most one unacknowledged in-flight commit may be resurrected.
     assert!(tail.len() <= acked2.len() + 1, "tail {tail:?}");
+}
+
+/// A degraded open at the engine layer dumps an `engine-degraded-open`
+/// postmortem whose context embeds the [`mvcc::RecoveryReport`] verbatim
+/// — and the artifact is byte-deterministic across identical opens.
+#[test]
+fn degraded_open_postmortem_embeds_the_recovery_report() {
+    let seed = base_seed();
+    // Every checkpoint page tears: the blob is unreadable at recovery, so
+    // the open must fall back to full log replay and report degraded.
+    let torn = DurabilityConfig::quiet(seed).with_faults(FaultConfig {
+        torn_write_prob: 1.0,
+        ..FaultConfig::quiet(seed)
+    });
+    let image = {
+        let mut m = mem();
+        let mut s = DurableStore::create(&mut m, schema(), CAPACITY, torn, 0).unwrap();
+        let mut logicals = Vec::new();
+        for i in 0..5 {
+            apply_op(&mut m, &mut s, i, &mut logicals).unwrap();
+        }
+        s.checkpoint(&mut m).unwrap();
+        s.crash_image()
+    };
+
+    let open = |image: durability::DurableImage| {
+        let mut engine = Engine::new(SimConfig::zynq_a53());
+        let (_, report) = engine
+            .open_recovered(
+                "t",
+                &schema(),
+                CAPACITY,
+                image,
+                DurabilityConfig::quiet(seed ^ 0xD0),
+                0,
+            )
+            .unwrap();
+        let pm = engine
+            .mem()
+            .take_postmortems()
+            .into_iter()
+            .find(|p| p.reason == "engine-degraded-open")
+            .expect("degraded open dumps an engine postmortem");
+        (report, pm)
+    };
+    let (report, pm) = open(image.clone());
+    assert!(report.degraded.is_some(), "torn checkpoint must degrade");
+    assert_eq!(
+        pm.context.as_deref(),
+        Some(report.to_json().as_str()),
+        "postmortem context must embed the report verbatim"
+    );
+    let doc = parse_json(&pm.to_json()).expect("postmortem parses");
+    assert_eq!(
+        doc.get("context")
+            .and_then(|c| c.get("watermark"))
+            .and_then(Json::as_num),
+        Some(report.watermark as f64)
+    );
+    assert_eq!(
+        doc.get("context")
+            .and_then(|c| c.get("degraded"))
+            .and_then(Json::as_str),
+        report.degraded.as_deref()
+    );
+
+    // Same image, same config: the artifact is byte-deterministic.
+    let (_, pm2) = open(image);
+    assert_eq!(pm.to_json(), pm2.to_json(), "degraded-open bytes diverge");
 }

@@ -7,11 +7,13 @@
 //! config, fault seed): two runs with the same `FABRIC_CHAOS_SEED` and
 //! fault plan must export byte-identical JSON and metrics snapshots.
 
+use durability::DurabilityConfig;
 use fabric_sim::{
-    parse_json, validate_chrome_trace, FaultConfig, Json, NoopRecorder, RecoveryPolicy,
-    RingRecorder, SimConfig,
+    parse_json, validate_chrome_trace, FaultConfig, Json, MemoryHierarchy, NoopRecorder,
+    RecoveryPolicy, RingRecorder, SamplingProfiler, SimConfig,
 };
 use fabric_types::{ColumnType, Schema, Value};
+use mvcc::DurableStore;
 use query::{AccessPath, Engine, FaultContext};
 use rowstore::RowTable;
 
@@ -149,6 +151,172 @@ fn ring_overflow_counts_drops_and_never_grows() {
     assert!(
         events <= capacity,
         "ring exceeded its capacity: {events} > {capacity}"
+    );
+}
+
+/// Ops and checkpoint cadence of the deterministic write-path workload:
+/// small enough to stay fast, dense enough that crash sites land on both
+/// WAL appends and checkpoint writes, and that the post-recovery commits
+/// cross a checkpoint boundary.
+const D_OPS: i64 = 10;
+const D_CKPT: u64 = 2;
+
+/// Crash-and-recover workload on one hierarchy: commit under a device
+/// armed to cut power at durable write `crash_at`, replay the surviving
+/// image on the *same* machine (so one trace covers the WAL appends, the
+/// checkpoint writes, and the replay phases), then commit past a
+/// checkpoint boundary post-recovery.
+fn durable_workload(m: &mut MemoryHierarchy, seed: u64, crash_at: u64) {
+    let schema = Schema::from_pairs(&[("k", ColumnType::I64), ("v", ColumnType::I64)]);
+    let cfg =
+        DurabilityConfig::quiet(seed).with_faults(FaultConfig::quiet(seed).with_crash_at(crash_at));
+    let mut s = DurableStore::create(m, schema.clone(), 128, cfg, D_CKPT).expect("create");
+    let mut crashed = false;
+    for i in 0..D_OPS {
+        let mut txn = s.begin();
+        txn.insert(vec![Value::I64(i), Value::I64(i * 10)]);
+        match s.commit(m, txn) {
+            Ok(_) => {
+                if s.take_checkpoint_failure().is_some() {
+                    crashed = true;
+                    break;
+                }
+            }
+            Err(_) => {
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        crashed,
+        "crash_at={crash_at} must cut within {D_OPS} commits"
+    );
+    let image = s.crash_image();
+    let (mut r, report) = DurableStore::replay(
+        m,
+        schema,
+        128,
+        image,
+        DurabilityConfig::quiet(seed ^ 0xD0),
+        D_CKPT,
+    )
+    .expect("replay");
+    for i in 0..2 * D_CKPT as i64 {
+        let mut txn = r.begin();
+        txn.insert(vec![Value::I64(1000 + i), Value::I64(i)]);
+        r.commit(m, txn).expect("post-recovery commit");
+    }
+    assert!(r.snapshot_ts() > report.watermark);
+}
+
+/// Everything observable a write-path run produces, for bit-comparison.
+struct WritePathRun {
+    trace: String,
+    metrics: String,
+    folded: String,
+    postmortems: Vec<String>,
+    wal_appends: u64,
+    replay_records: u64,
+}
+
+fn write_path_run(seed: u64, crash_at: u64, period: u64) -> WritePathRun {
+    let mut m = MemoryHierarchy::new(SimConfig::zynq_a53());
+    m.set_recorder(Box::new(SamplingProfiler::wrapping(
+        Box::new(RingRecorder::new(1 << 15)),
+        period,
+    )));
+    durable_workload(&mut m, seed, crash_at);
+    WritePathRun {
+        trace: m.export_trace().expect("ring exports a trace"),
+        metrics: m.metrics().snapshot().to_json(),
+        folded: m.export_folded().expect("profiler exports folded stacks"),
+        wal_appends: m.metrics().counter("durability.wal.appends"),
+        replay_records: m.metrics().counter("durability.replay.records"),
+        postmortems: m.take_postmortems().iter().map(|p| p.to_json()).collect(),
+    }
+}
+
+/// The write-path grid: for every (crash site, sampling period) cell, two
+/// chaos-seeded runs must agree by the bit on the trace, the metrics
+/// snapshot, the folded profile, and every postmortem artifact — and the
+/// one trace must be validator-clean while covering the WAL append,
+/// checkpoint write, and replay-phase spans.
+#[test]
+fn write_path_trace_and_profile_are_bit_identical_across_runs() {
+    let s = seed();
+    for crash_at in [2u64, 5] {
+        for period in [128u64, 1024] {
+            let ctx = format!("crash_at={crash_at} period={period} seed={s}");
+            let a = write_path_run(s, crash_at, period);
+            let b = write_path_run(s, crash_at, period);
+            assert_eq!(a.trace, b.trace, "trace diverged ({ctx})");
+            assert_eq!(a.metrics, b.metrics, "metrics diverged ({ctx})");
+            assert_eq!(a.folded, b.folded, "folded profile diverged ({ctx})");
+            assert_eq!(a.postmortems, b.postmortems, "postmortems diverged ({ctx})");
+
+            let summary = validate_chrome_trace(&a.trace).expect("valid trace");
+            assert_eq!(summary.begins, summary.ends, "unbalanced spans ({ctx})");
+            for span in [
+                "wal-append",
+                "ckpt-write",
+                "replay-scan",
+                "replay-ckpt-load",
+                "replay-reapply",
+            ] {
+                assert!(a.trace.contains(span), "trace missing `{span}` ({ctx})");
+            }
+            assert!(!a.folded.is_empty(), "empty folded profile ({ctx})");
+            assert!(a.wal_appends > 0, "no WAL appends counted ({ctx})");
+            assert!(a.replay_records > 0, "no replay records counted ({ctx})");
+
+            // The recovery postmortem embeds the RecoveryReport context.
+            let recovery = a
+                .postmortems
+                .iter()
+                .find(|p| {
+                    p.contains("\"reason\":\"crash-recovery\"")
+                        || p.contains("\"reason\":\"recovery-degraded\"")
+                })
+                .unwrap_or_else(|| panic!("no recovery postmortem ({ctx})"));
+            assert!(
+                recovery.contains("watermark"),
+                "recovery postmortem lacks the report context ({ctx})"
+            );
+        }
+    }
+}
+
+/// The profiler's zero-cost promise on the write path: wrapping the
+/// recorder in a `SamplingProfiler` must not move the simulated clock by
+/// a single cycle relative to a `NoopRecorder` run — and the sample total
+/// must reconcile exactly with the cycles it observed.
+#[test]
+fn sampling_profiler_is_zero_cost_on_the_simulated_clock() {
+    let s = seed();
+    let mut base = MemoryHierarchy::new(SimConfig::zynq_a53());
+    base.set_recorder(Box::new(NoopRecorder));
+    durable_workload(&mut base, s, 5);
+    let base_now = base.now();
+
+    let mut prof = MemoryHierarchy::new(SimConfig::zynq_a53());
+    prof.set_recorder(Box::new(SamplingProfiler::wrapping(
+        Box::new(RingRecorder::new(1 << 15)),
+        256,
+    )));
+    durable_workload(&mut prof, s, 5);
+    assert_eq!(
+        prof.now(),
+        base_now,
+        "profiler advanced the simulated clock"
+    );
+
+    let stats = prof.profile_stats().expect("profiler reports stats");
+    assert!(stats.samples > 0, "profiled run took no samples");
+    assert_eq!(
+        stats.samples,
+        (stats.end - stats.start) / stats.period,
+        "sample total must reconcile with observed cycles"
     );
 }
 

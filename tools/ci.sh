@@ -25,14 +25,22 @@
 #                                cores with a fixed chaos seed: morsel-
 #                                parallel answers must be bit-identical
 #                                to the 1-core run on every access path)
-#   8. perf regression gate     (tools/perf_gate.sh --check on one bench
+#   8. profiler determinism     (profile_query bin twice under the fixed
+#                                seed: the cycle-domain sampling profiler
+#                                must export byte-identical .folded
+#                                collapsed-stack profiles, with the sample
+#                                total reconciling against elapsed cycles
+#                                — the bin asserts the reconciliation)
+#   9. perf regression gate     (tools/perf_gate.sh --check on one bench
 #                                per family, compared against the checked-
 #                                in results/BENCH_*.json baselines: cycle
-#                                counters exact, wall-clock excluded; ends
-#                                with the gate self-test, which injects a
-#                                synthetic +10% cycle regression and
-#                                asserts the gate fails it)
-#   9. crash-recovery matrix    (tests/crash_recovery.rs with the same
+#                                counters exact, gauges — including the
+#                                q1/q6 latency percentiles — at 5%,
+#                                wall-clock excluded; ends with the gate
+#                                self-test, which injects a synthetic
+#                                +10% cycle regression and asserts the
+#                                gate fails it)
+#  10. crash-recovery matrix    (tests/crash_recovery.rs with the same
 #                                fixed seed: a power cut at every durable
 #                                write of a transactional workload, each
 #                                recovered and checked bit-identical to
@@ -105,15 +113,36 @@ if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
     exit 1
 fi
 
+# Profiler determinism: the cycle-domain sampling profiler is a pure
+# function of the workload and the simulated clock, so two same-seed runs
+# must export byte-identical collapsed-stack profiles. The bin itself
+# asserts the sample total reconciles with the cycles it observed.
+say "profiler determinism (profile_query twice, byte-identical .folded)"
+PROF_SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$PROF_SCRATCH"' EXIT INT TERM
+for run in 1 2; do
+    mkdir -p "$PROF_SCRATCH/$run"
+    FABRIC_RESULTS_DIR="$PROF_SCRATCH/$run" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
+        cargo run -q --release -p bench --bin profile_query -- --rows 4096 --period 512 \
+        >/dev/null
+done
+if ! cmp -s "$PROF_SCRATCH/1/PROFILE_query.folded" "$PROF_SCRATCH/2/PROFILE_query.folded"; then
+    printf '\nprofiler determinism FAILED — two same-seed runs exported different profiles:\n'
+    diff "$PROF_SCRATCH/1/PROFILE_query.folded" "$PROF_SCRATCH/2/PROFILE_query.folded" || true
+    exit 1
+fi
+rm -rf "$PROF_SCRATCH"
+
 # Perf regression gate: rerun one bench from each family (ablation,
-# figure reproduction, traced query) into a scratch results dir and
-# compare against the checked-in baselines. The simulator is
-# deterministic, so cycle counters must match the baseline EXACTLY;
+# figure reproduction, traced query, crash recovery, profiled query) into
+# a scratch results dir and compare against the checked-in baselines. The
+# simulator is deterministic, so cycle counters must match the baseline
+# EXACTLY; gauges — including the per-class latency percentiles — get 5%;
 # host wall-clock metrics are excluded by policy. A legitimate perf
 # change re-stamps baselines with:
 #   tools/perf_gate.sh --update-baselines
-say "perf regression gate (abl_parallel fig5_projectivity trace_query + self-test)"
-tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query
+say "perf regression gate (abl_parallel fig5_projectivity trace_query abl_recovery profile_query + self-test)"
+tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query abl_recovery profile_query
 
 # Crash-recovery matrix: deterministic power cuts at every durable write
 # site of the WAL/checkpoint protocol (DESIGN.md §14), plus recovery

@@ -12,7 +12,7 @@
 #   tools/perf_gate.sh --check [bench ...]              fail on regression
 #   tools/perf_gate.sh --update-baselines [bench ...]   refresh results/
 #
-# With no bench names, the full suite (all 14 binaries) runs. Bench names
+# With no bench names, the full suite (all 15 binaries) runs. Bench names
 # are binary names (fig7_tpch covers both of its artifacts). --check
 # appends one machine-readable line per artifact to results/TRAJECTORY.jsonl.
 
@@ -36,7 +36,7 @@ done
 # of any subset is an apples-to-apples comparison.
 ALL_BENCHES="abl_compression abl_faults abl_htap abl_index abl_mvcc \
 abl_parallel abl_pushdown abl_recovery abl_relstore abl_rm_device \
-fig5_projectivity fig6_heatmap fig7_tpch trace_query"
+fig5_projectivity fig6_heatmap fig7_tpch profile_query trace_query"
 
 bench_args() {
     case "$1" in
@@ -53,6 +53,7 @@ bench_args() {
         fig5_projectivity) echo "--rows 65536" ;;
         fig6_heatmap)      echo "--rows 65536" ;;
         fig7_tpch)         echo "both --max-target 4" ;;
+        profile_query)     echo "--rows 4096 --period 512 --reps 8" ;;
         trace_query)       echo "--rows 8192" ;;
         *) echo "perf_gate.sh: unknown bench $1" >&2; exit 2 ;;
     esac
