@@ -62,6 +62,10 @@ fn main() {
         let mut total_ns = 0.0;
         let mut retries = 0u64;
         for _ in 0..rounds {
+            // This sweep prices *execution* under faults; a memoized
+            // answer from the operator cache would flatten the rate-0
+            // reference, so every round re-earns its rows.
+            engine.clear_op_cache();
             let res = engine.session().run(&sql).expect("resilient");
             assert_eq!(res.rows, clean.rows, "degradation must preserve the answer");
             total_ns += res.ns;

@@ -1,0 +1,136 @@
+//! Ablation: the signature-keyed operator cache, cold vs. warm.
+//!
+//! One engine, one session, repeated subplans: the first execution of
+//! each (plan shape, path) earns its stage output through the memory
+//! hierarchy; every repeat must be served from the operator cache —
+//! identical rows, zero hierarchy bytes, zero stall — at a fraction of
+//! the cold cost. The bin asserts bit-identical answers, a perfect hit
+//! ratio over the warm reps, and a warm-over-cold simulated-cycle
+//! speedup of at least 1.5x on every shape (the acceptance envelope;
+//! the observed ratios are far higher because a hit's only charge is
+//! the probe plus one pass over the memoized rows).
+//!
+//! Expected shape: the widest margin on the scan-heavy shapes (Q6-like
+//! selective aggregates re-touch every line on a cold run), a smaller
+//! but still decisive margin on the projection shape, whose ORDER BY /
+//! LIMIT post-processing is re-applied even on a hit.
+//!
+//! Usage: `abl_opcache [--rows N] [--reps K]`
+
+use bench::{arg_usize, fmt_ns, render_table};
+use fabric_sim::SimConfig;
+use query::{AccessPath, Engine};
+use workload::Lineitem;
+
+/// Distinct subplan shapes: grouped aggregate, selective aggregate, and
+/// a projection with post-processing (sort/limit are re-applied on every
+/// hit — the cache memoizes the pre-sort stage output).
+const SHAPES: &[(&str, &str)] = &[
+    (
+        "q1_group",
+        "SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice), \
+         sum(l_extendedprice * (1 - l_discount)), avg(l_quantity), count(*) \
+         FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+         GROUP BY l_returnflag, l_linestatus",
+    ),
+    (
+        "q6_select",
+        "SELECT sum(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+         AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24",
+    ),
+    (
+        "topk_project",
+        "SELECT l_orderkey, l_extendedprice FROM lineitem \
+         WHERE l_quantity < 10 ORDER BY 2 DESC LIMIT 20",
+    ),
+];
+
+/// Warm-over-cold acceptance floor, per shape and path.
+const MIN_WARM_SPEEDUP: f64 = 1.5;
+
+fn main() {
+    let args = bench::harness::cli_args();
+    let rows = arg_usize(&args, "--rows", 20_000);
+    let reps = arg_usize(&args, "--reps", 4).max(2);
+
+    let mut e = Engine::with_cores(SimConfig::zynq_a53(), 2);
+    let li = Lineitem::generate(e.mem(), rows, 0xAB1_7A).expect("generate lineitem");
+    e.register("lineitem", li.rows, li.cols);
+
+    let mut reg = fabric_sim::MetricsRegistry::new();
+    let mut table = Vec::new();
+    let mut expected_hits = 0u64;
+    let mut expected_misses = 0u64;
+    for (shape, sql) in SHAPES {
+        for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
+            let mut s = e.session();
+            let cold = s.run_on(sql, path).expect("cold run");
+            expected_misses += 1;
+            let mut warm_ns = 0.0;
+            let mut warm_bytes = 0u64;
+            for _ in 1..reps {
+                let warm = s.run_on(sql, path).expect("warm run");
+                assert_eq!(
+                    warm.rows, cold.rows,
+                    "{shape} {path}: warm answer diverged from cold"
+                );
+                warm_ns += warm.ns;
+                warm_bytes += warm.cores.iter().map(|c| c.bytes_read).sum::<u64>();
+                expected_hits += 1;
+            }
+            let warm_avg = warm_ns / (reps - 1) as f64;
+            assert_eq!(
+                warm_bytes, 0,
+                "{shape} {path}: cache hits must not touch the hierarchy"
+            );
+            let speedup = cold.ns / warm_avg;
+            assert!(
+                speedup >= MIN_WARM_SPEEDUP,
+                "{shape} {path}: warm speedup {speedup:.2}x below the \
+                 {MIN_WARM_SPEEDUP}x acceptance envelope"
+            );
+            let key = format!("abl_opcache.{shape}.{path}");
+            reg.gauge_set(&format!("{key}.cold_ns"), cold.ns);
+            reg.gauge_set(&format!("{key}.warm_ns"), warm_avg);
+            reg.gauge_set(&format!("{key}.speedup"), speedup);
+            table.push(vec![
+                (*shape).to_string(),
+                path.to_string(),
+                fmt_ns(cold.ns),
+                fmt_ns(warm_avg),
+                format!("{speedup:.1}x"),
+            ]);
+        }
+    }
+
+    // The session ran every (shape, path) once cold and reps-1 warm:
+    // the cache must account for exactly that — a perfect hit ratio on
+    // the repeats, nothing evicted, nothing double-inserted.
+    let (hits, misses) = e.op_cache_stats();
+    assert_eq!(
+        (hits, misses),
+        (expected_hits, expected_misses),
+        "op cache accounting drifted"
+    );
+    let hit_ratio = hits as f64 / (hits + misses) as f64;
+    reg.counter_add("abl_opcache.hits", hits);
+    reg.counter_add("abl_opcache.misses", misses);
+    reg.gauge_set("abl_opcache.hit_ratio", hit_ratio);
+    reg.gauge_set("abl_opcache.entries", e.op_cache().len() as f64);
+
+    println!(
+        "Ablation — operator cache cold vs. warm ({rows} rows, {} warm reps)",
+        reps - 1
+    );
+    println!(
+        "{}",
+        render_table(&["shape", "path", "cold", "warm", "speedup"], &table)
+    );
+    println!(
+        "hit ratio {:.3} ({hits} hits / {misses} misses, {} entries)",
+        hit_ratio,
+        e.op_cache().len()
+    );
+    bench::emit_bench_json("abl_opcache", &reg);
+}

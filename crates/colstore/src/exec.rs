@@ -80,10 +80,16 @@ pub fn scan_filter(
     let mut sel = Vec::new();
     let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
     let mut row = 0usize;
+    // One primitive invocation, one setup: the batch loop below is the
+    // steady state, so `vector_setup` amortizes over the whole call
+    // rather than recurring every BATCH_ROWS.
+    if row < t.len() {
+        mem.cpu(costs.vector_setup);
+    }
     while row < t.len() {
         let n = BATCH_ROWS.min(t.len() - row);
         mem.touch_read(c.at(row), n * w);
-        mem.cpu(costs.vector_setup + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty)));
+        mem.cpu(n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty)));
         let bytes = mem.bytes(c.at(row), n * w);
         for i in 0..n {
             let v = Value::decode(c.ty, &bytes[i * w..(i + 1) * w]);
@@ -122,20 +128,38 @@ pub fn scan_filter_conj_range(
     start: usize,
     end: usize,
 ) -> Result<Vec<u32>> {
+    let mut sel = Vec::new();
+    scan_filter_conj_range_into(mem, t, col, preds, start, end, &mut sel)?;
+    Ok(sel)
+}
+
+/// [`scan_filter_conj_range`] writing into a caller-supplied selection
+/// vector (cleared first) so the staged executor can recycle one buffer
+/// across morsels and queries. Cycle/byte charging is identical — buffer
+/// reuse is host-side only.
+pub fn scan_filter_conj_range_into(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    start: usize,
+    end: usize,
+    sel: &mut Vec<u32>,
+) -> Result<()> {
+    sel.clear();
     let c = t.col(col)?;
     let w = c.ty.width();
     let costs = mem.costs();
     let end = end.min(t.len());
-    let mut sel = Vec::new();
     let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
     let mut row = start.min(end);
+    if row < end {
+        mem.cpu(costs.vector_setup);
+    }
     while row < end {
         let n = BATCH_ROWS.min(end - row);
         mem.touch_read(c.at(row), n * w);
-        mem.cpu(
-            costs.vector_setup
-                + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64),
-        );
+        mem.cpu(n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64));
         let bytes = mem.bytes(c.at(row), n * w);
         'rows: for i in 0..n {
             let v = Value::decode(c.ty, &bytes[i * w..(i + 1) * w]);
@@ -152,7 +176,7 @@ pub fn scan_filter_conj_range(
         }
         row += n;
     }
-    Ok(sel)
+    Ok(())
 }
 
 /// Column-at-a-time candidate pass: the whole-column select operator of a
@@ -182,12 +206,32 @@ pub fn scan_filter_cand_range(
     start: usize,
     end: usize,
 ) -> Result<Vec<u32>> {
+    let mut out = Vec::new();
+    scan_filter_cand_range_into(mem, t, col, preds, candidates, start, end, &mut out)?;
+    Ok(out)
+}
+
+/// [`scan_filter_cand_range`] writing into a caller-supplied output vector
+/// (cleared first) for buffer reuse across morsels and queries. Charging
+/// is identical to the allocating variant.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_filter_cand_range_into(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    col: ColumnId,
+    preds: &[(CmpOp, Value)],
+    candidates: &[u32],
+    start: usize,
+    end: usize,
+    out: &mut Vec<u32>,
+) -> Result<()> {
+    out.clear();
     let c = t.col(col)?;
     check_selection(t, candidates)?;
     let w = c.ty.width();
     let costs = mem.costs();
     let end = end.min(t.len());
-    let mut out = Vec::with_capacity(candidates.len());
+    out.reserve(candidates.len());
     let mut kept: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
     let mut ci = 0usize; // cursor into candidates
     let mut row = start.min(end);
@@ -199,14 +243,14 @@ pub fn scan_filter_cand_range(
             len: row,
         });
     }
+    if row < end {
+        mem.cpu(costs.vector_setup);
+    }
     while row < end {
         let n = BATCH_ROWS.min(end - row);
         // Full-column sequential read and full-width evaluation.
         mem.touch_read(c.at(row), n * w);
-        mem.cpu(
-            costs.vector_setup
-                + n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64),
-        );
+        mem.cpu(n as u64 * (costs.vector_elem + cmp_cycles(&costs, c.ty) * preds.len() as u64));
         // Candidate positions falling into this chunk (read back from the
         // materialized selection vector), then intersect.
         let ci0 = ci;
@@ -234,7 +278,7 @@ pub fn scan_filter_cand_range(
         }
         row += n;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// [`refine`] with several conjuncts on the same column.
@@ -332,10 +376,40 @@ where
         Some(s) => RowSet::Sel(s),
         None => RowSet::Range(0, t.len()),
     };
-    lockstep_impl(mem, t, cols, rows, false, |mem, ev| match ev {
+    lockstep_impl(mem, t, cols, rows, false, true, |mem, ev| match ev {
         Event::Row(row, vals) => f(mem, row, vals),
         Event::BatchEnd => Ok(()),
     })
+}
+
+/// [`for_each_lockstep`] over an explicit selection vector that is still
+/// *register-resident*: the caller just produced `sel` in the same fused
+/// stage (e.g. the staged executor's filter feeding its project within one
+/// morsel), so the positions never round-tripped through the materialized
+/// selection-vector arena and re-reading them charges nothing. Column
+/// accesses are charged exactly as in [`for_each_lockstep`].
+pub fn for_each_lockstep_fused<F>(
+    mem: &mut MemoryHierarchy,
+    t: &ColTable,
+    cols: &[ColumnId],
+    sel: &[u32],
+    mut f: F,
+) -> Result<()>
+where
+    F: FnMut(&mut MemoryHierarchy, usize, &[Value]) -> Result<()>,
+{
+    lockstep_impl(
+        mem,
+        t,
+        cols,
+        RowSet::Sel(sel),
+        false,
+        false,
+        |mem, ev| match ev {
+            Event::Row(row, vals) => f(mem, row, vals),
+            Event::BatchEnd => Ok(()),
+        },
+    )
 }
 
 /// [`for_each_lockstep`] over the dense raw-row range `[start, end)` —
@@ -358,6 +432,7 @@ where
         cols,
         RowSet::Range(start.min(end), end),
         false,
+        true,
         |mem, ev| match ev {
             Event::Row(row, vals) => f(mem, row, vals),
             Event::BatchEnd => Ok(()),
@@ -389,7 +464,7 @@ where
         Some(s) => RowSet::Sel(s),
         None => RowSet::Range(0, t.len()),
     };
-    lockstep_impl(mem, t, cols, rows, true, |mem, ev| match ev {
+    lockstep_impl(mem, t, cols, rows, true, true, |mem, ev| match ev {
         Event::Row(_, vals) => {
             batch.values.extend_from_slice(vals);
             Ok(())
@@ -442,13 +517,17 @@ pub fn sum_expr(
 /// turn (a stream switch per column, which is what exposes the prefetcher's
 /// stream limit), values are decoded into per-column staging, and then rows
 /// are emitted in order as [`Event::Row`]; [`Event::BatchEnd`] fires at
-/// batch boundaries (used by [`reconstruct`] to flush).
+/// batch boundaries (used by [`reconstruct`] to flush). `vector_setup` is
+/// charged once per invocation. When `read_sv` is false the selection
+/// vector is treated as register-resident (fused producer→consumer) and is
+/// not re-read through the hierarchy.
 fn lockstep_impl<F>(
     mem: &mut MemoryHierarchy,
     t: &ColTable,
     cols: &[ColumnId],
     rows: RowSet<'_>,
     materialize: bool,
+    read_sv: bool,
     mut emit: F,
 ) -> Result<()>
 where
@@ -475,10 +554,12 @@ where
     let mut gather: Vec<(u64, usize)> = Vec::with_capacity(cols.len());
 
     let mut done = 0usize;
+    if total_rows > 0 {
+        mem.cpu(costs.vector_setup);
+    }
     while done < total_rows {
         let n = BATCH_ROWS.min(total_rows - done);
-        mem.cpu(costs.vector_setup);
-        if sel.is_some() {
+        if sel.is_some() && read_sv {
             mem.touch_read(t.sv_in_addr(done), n * 4);
         }
         for i in 0..n {
@@ -679,6 +760,40 @@ mod tests {
             panic!("empty range must not emit")
         })
         .unwrap();
+    }
+
+    #[test]
+    fn fused_lockstep_matches_output_and_skips_sv_reread() {
+        let (mut mem, t) = fixture();
+        let sel = scan_filter(&mut mem, &t, 1, CmpOp::Lt, &Value::I32(3)).unwrap();
+
+        let mut via_sv = Vec::new();
+        let b0 = mem.stats();
+        for_each_lockstep(&mut mem, &t, &[0, 2], Some(&sel), |_, row, vals| {
+            via_sv.push((row, vals.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        let sv_bytes = mem.stats().delta_since(&b0).bytes_read;
+
+        let mut fused = Vec::new();
+        let b0 = mem.stats();
+        for_each_lockstep_fused(&mut mem, &t, &[0, 2], &sel, |_, row, vals| {
+            fused.push((row, vals.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        let fused_bytes = mem.stats().delta_since(&b0).bytes_read;
+
+        assert_eq!(fused, via_sv);
+        // The fused pass skips re-reading the materialized selection vector
+        // (4 B per position) but touches the same column lines.
+        assert!(
+            fused_bytes < sv_bytes,
+            "fused {fused_bytes} !< via-sv {sv_bytes}"
+        );
+        // Bounds are still validated.
+        assert!(for_each_lockstep_fused(&mut mem, &t, &[0], &[9999], |_, _, _| Ok(())).is_err());
     }
 
     #[test]

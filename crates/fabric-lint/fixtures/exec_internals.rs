@@ -1,0 +1,32 @@
+//@ scan-as: crates/workload/src/fx_exec_internals.rs
+//! `exec-internals` token shapes: constructor calls on the staged
+//! executor's internals, qualified or not, and the lookalikes and
+//! stats-read patterns that must stay clean.
+
+pub fn builds_operators_by_hand(v: &V, path: P) {
+    let ex = QueryExecutor::new(v, path); //~ exec-internals
+    let cache = OpCache::default(); //~ exec-internals
+    let scratch = query::exec::Scratchpad::new(); //~ exec-internals
+    drop((ex, cache, scratch));
+}
+
+pub fn engine_surface_is_clean(engine: &Engine, cache: &OpCache) -> (u64, u64) {
+    // Observing the cache through the engine is the supported surface.
+    let _ = engine.op_cache_stats();
+    cache.stats()
+}
+
+pub fn lookalikes_are_clean() {
+    let c = MyConsumer::new();
+    let n = OpNodeish::default();
+    drop((c, n));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_drivers_obey_the_boundary_too() {
+        let ex = QueryExecutor::new(v, p); //~ exec-internals
+        drop(ex);
+    }
+}

@@ -7,13 +7,13 @@ pub fn strings() -> usize {
     let plain = ".unwrap() and panic! live here";
     let raw = r#"s.cpu_cycles += 4; HashMap::new(); "results/x.json""#;
     let nested = r##"outer r#"inner"# is still one token"##;
-    let bytes = b"query::execute(&mut m, &c, &b)";
+    let bytes = b"QueryExecutor::new(&v, path)";
     let byte_raw = br#"std::process::exit(1)"#;
     plain.len() + raw.len() + nested.len() + bytes.len() + byte_raw.len()
 }
 
 /* block comments nest in Rust:
-   /* query::execute(&mut m, &c, &b) */
+   /* OpCache::default() and Scratchpad::new() */
    s.cpu_cycles += 4; and this is still inside the outer comment
 */
 

@@ -30,11 +30,12 @@
 //! * **raw-stats-print** — `println!`/`format!`-family macros over stats
 //!   counter structs are forbidden in non-test library code of the core
 //!   crates: statistics flow through the `fabric-obs` metrics registry.
-//! * **deprecated-entry-point** — the free-function executors
-//!   (`query::execute` / `execute_on` / `execute_resilient` / `query::run`)
-//!   are deprecated shims: new code goes through `query::Engine` and its
-//!   `Session`. Flagged everywhere outside `crates/query`, tests
-//!   included, unless the file opts out with `#![allow(deprecated)]`.
+//! * **exec-internals** — the staged executor's internals
+//!   (`QueryExecutor` / `OpNode` / `Consumer` / `CacheSlot` / `OpCache` /
+//!   `Scratchpad`) are constructed only inside `crates/query`: the
+//!   engine owns operator lifetimes, scratch buffers, and cache
+//!   invalidation. Out-of-crate construction is flagged everywhere,
+//!   tests included — hosts drive execution through `Session`.
 //! * **adhoc-bench-output** — a string literal naming the `results/`
 //!   artifact directory is forbidden outside [`BENCH_HARNESS_FILE`]:
 //!   artifact I/O goes through `bench::harness`, which honors the
@@ -111,7 +112,7 @@ pub enum Rule {
     NoExit,
     IgnoredResult,
     RawStatsPrint,
-    DeprecatedEntryPoint,
+    ExecInternals,
     AdhocBenchOutput,
     LayeringViolation,
     NondeterministicCore,
@@ -126,7 +127,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::NoExit,
     Rule::IgnoredResult,
     Rule::RawStatsPrint,
-    Rule::DeprecatedEntryPoint,
+    Rule::ExecInternals,
     Rule::AdhocBenchOutput,
     Rule::LayeringViolation,
     Rule::NondeterministicCore,
@@ -143,7 +144,7 @@ impl Rule {
             Rule::NoExit => "no-exit",
             Rule::IgnoredResult => "ignored-result",
             Rule::RawStatsPrint => "raw-stats-print",
-            Rule::DeprecatedEntryPoint => "deprecated-entry-point",
+            Rule::ExecInternals => "exec-internals",
             Rule::AdhocBenchOutput => "adhoc-bench-output",
             Rule::LayeringViolation => "layering-violation",
             Rule::NondeterministicCore => "nondeterministic-core",
@@ -220,7 +221,7 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     } else if rel.starts_with("tests/") || rel.starts_with("examples/") {
         // The facade crate's integration tests and examples: never
         // library code, but in scope for the rules that cover test
-        // targets (undocumented-unsafe, deprecated-entry-point).
+        // targets (undocumented-unsafe, exec-internals).
         ("relational-fabric".to_string(), rel.to_string())
     } else {
         return None;

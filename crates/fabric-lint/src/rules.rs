@@ -2,11 +2,16 @@
 //! stream — never on raw text — so string literals, comments, and macro
 //! bodies can no longer masquerade as code.
 //!
-//! Eight rules carry over from the line-scanner era (`no-unwrap`,
+//! Seven rules carry over from the line-scanner era (`no-unwrap`,
 //! `undocumented-unsafe`, `narrowing-cast`, `no-exit`, `ignored-result`,
-//! `raw-stats-print`, `deprecated-entry-point`, `adhoc-bench-output`)
-//! with their scopes and messages intact, so `lint-baseline.txt` entries
-//! stay comparable across the rewrite. Three are new:
+//! `raw-stats-print`, `adhoc-bench-output`) with their scopes and
+//! messages intact, so `lint-baseline.txt` entries stay comparable
+//! across the rewrite. Four are newer:
+//!
+//! * **`exec-internals`** — the staged executor's internals are
+//!   constructed only inside `crates/query`; everyone else drives
+//!   execution through `Session` (replaces `deprecated-entry-point`,
+//!   retired with the free-function shims it policed).
 //!
 //! * **`layering-violation`** — `use` declarations (here) and
 //!   `Cargo.toml` edges (in [`crate::layering`]) must respect the
@@ -35,10 +40,19 @@ const NARROW_TYPES: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32"];
 /// structs that must go through the metrics registry.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "format"];
 
-/// Deprecated free-function executors (rule `deprecated-entry-point`).
-const DEPRECATED_ENTRY_PREFIXES: &[&str] = &["query", "sql"];
-const DEPRECATED_ENTRY_FNS: &[&str] = &["execute", "execute_on", "execute_resilient", "run"];
-const DEPRECATED_ENTRY_BARE: &[&str] = &["execute_on", "execute_resilient"];
+/// Staged-executor internals (rule `exec-internals`): types whose
+/// construction belongs to `crates/query` alone. The compiler already
+/// enforces most of this (`pub(crate)` constructors); the lint keeps the
+/// boundary visible in test code and future public-API drift.
+const EXEC_INTERNAL_TYPES: &[&str] = &[
+    "QueryExecutor",
+    "OpNode",
+    "Consumer",
+    "CacheSlot",
+    "OpCache",
+    "Scratchpad",
+];
+const EXEC_INTERNAL_CTORS: &[&str] = &["new", "default"];
 
 /// The sixteen `MemStats` counter fields (rule `unattributed-charge`).
 /// Kept in lockstep with `fabric-sim/src/stats.rs`; the self-check
@@ -186,44 +200,34 @@ pub fn scan(
             );
         }
 
-        // ---- deprecated-entry-point: everywhere outside crates/query
-        // (the shims' home), tests included — migrating test drivers is
-        // the point — unless the file carries the `#![allow(deprecated)]`
-        // waiver rustc already requires of a deliberate caller. ---------
-        if class.crate_name != "query" && !model.allows_deprecated && t.kind == TokKind::Ident {
-            if DEPRECATED_ENTRY_PREFIXES.contains(&t.text.as_str())
-                && code.get(i + 1).is_some_and(|n| n.is_punct("::"))
-            {
-                if let (Some(f), Some(p)) = (code.get(i + 2), code.get(i + 3)) {
-                    if f.kind == TokKind::Ident
-                        && DEPRECATED_ENTRY_FNS.contains(&f.text.as_str())
-                        && p.is_punct("(")
-                    {
-                        push(
-                            t.line,
-                            Rule::DeprecatedEntryPoint,
-                            format!(
-                                "deprecated free-function executor `{}::{}` (use `query::Engine` \
-                                 and `Session::run`/`run_on`/`execute`)",
-                                t.text, f.text
-                            ),
-                        );
-                    }
+        // ---- exec-internals: everywhere outside crates/query (the
+        // executor's home), tests included — a test driver constructing
+        // operators by hand dodges the engine's ownership rules just as
+        // thoroughly as library code would. Matches a constructor call
+        // `Type::new(` / `Type::default(` on the internal types; plain
+        // type mentions (signatures, `&OpCache` stats references from
+        // the prelude) stay legal. ------------------------------------
+        if class.crate_name != "query"
+            && t.kind == TokKind::Ident
+            && EXEC_INTERNAL_TYPES.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|n| n.is_punct("::"))
+        {
+            if let (Some(f), Some(p)) = (code.get(i + 2), code.get(i + 3)) {
+                if f.kind == TokKind::Ident
+                    && EXEC_INTERNAL_CTORS.contains(&f.text.as_str())
+                    && p.is_punct("(")
+                {
+                    push(
+                        t.line,
+                        Rule::ExecInternals,
+                        format!(
+                            "executor internal `{}::{}` constructed outside `crates/query` \
+                             (drive execution through `Session`; the engine owns operators, \
+                             scratchpads, and the op cache)",
+                            t.text, f.text
+                        ),
+                    );
                 }
-            }
-            if DEPRECATED_ENTRY_BARE.contains(&t.text.as_str())
-                && code.get(i + 1).is_some_and(|n| n.is_punct("("))
-                && !(i > 0 && (code[i - 1].is_punct(".") || code[i - 1].is_punct("::")))
-            {
-                push(
-                    t.line,
-                    Rule::DeprecatedEntryPoint,
-                    format!(
-                        "deprecated free-function executor `{}` (use `query::Engine` \
-                         and `Session::run`/`run_on`/`execute`)",
-                        t.text
-                    ),
-                );
             }
         }
 
@@ -626,7 +630,7 @@ mod tests {
         let src = r##"
 pub fn f() -> &'static str {
     // .unwrap() and panic! in a comment
-    /* query::execute(&mut m, &c, &b) */
+    /* QueryExecutor::new(&v, path) */
     let s = r#"s.cpu_cycles += 4; HashMap::new(); "results/x.json""#;
     "as u8 in a string"
 }
@@ -658,39 +662,31 @@ pub fn f() -> &'static str {
     }
 
     #[test]
-    fn deprecated_entry_point_token_shapes() {
+    fn exec_internals_token_shapes() {
         let rel = "crates/workload/src/x.rs";
-        let d = run(rel, "fn f() { query::execute(&mut m, &c, &b); }");
-        assert_eq!(rules_of(&d), vec![Rule::DeprecatedEntryPoint]);
-        let d = run(rel, "fn f() { sql::run(&mut m, &c, text); }");
-        assert_eq!(rules_of(&d), vec![Rule::DeprecatedEntryPoint]);
-        let d = run(
-            rel,
-            "fn f() { execute_resilient(&mut m, &c, &b, &mut ctx); }",
-        );
-        assert_eq!(rules_of(&d), vec![Rule::DeprecatedEntryPoint]);
-        // Qualified counts once, not again as bare.
-        let d = run(rel, "fn f() { query::execute_on(&mut m, &c, &b, p); }");
-        assert_eq!(rules_of(&d), vec![Rule::DeprecatedEntryPoint]);
-        // Replacements and lookalikes are clean.
+        let d = run(rel, "fn f() { let ex = QueryExecutor::new(&v, path); }");
+        assert_eq!(rules_of(&d), vec![Rule::ExecInternals]);
+        let d = run(rel, "fn f() { let c = OpCache::default(); }");
+        assert_eq!(rules_of(&d), vec![Rule::ExecInternals]);
+        let d = run(rel, "fn f() { let s = Scratchpad::new(); }");
+        assert_eq!(rules_of(&d), vec![Rule::ExecInternals]);
+        // Qualified paths still end at the type ident.
+        let d = run(rel, "fn f() { query::exec::QueryExecutor::new(&v, p); }");
+        assert_eq!(rules_of(&d), vec![Rule::ExecInternals]);
+        // Mentions, stats reads, and lookalikes are clean.
         for src in [
-            "fn f() { session.execute_on(&prepared, path); }",
-            "fn f() { my_query::execute(x); }",
-            "fn f() { execute_on_impl(&mut m, &c, &b, p); }",
-            "fn f() { let x = executor(1); run_row(&mut m); }",
+            "fn f(ex: &QueryExecutor) -> (u64, u64) { engine.op_cache().stats() }",
+            "fn f() { let (h, m) = engine.op_cache_stats(); }",
+            "fn f() { let x = MyConsumer::new(); OpNodeish::default(); }",
+            "fn f() { Scratchpad::epoch(&s); }",
         ] {
             let d = run(rel, src);
             assert!(d.is_empty(), "{src}: {d:?}");
         }
-        // Waiver and home-crate exemptions.
+        // The executor's home crate builds its own internals freely.
         let d = run(
-            rel,
-            "#![allow(deprecated)]\nfn f() { query::execute(&mut m, &c, &b); }",
-        );
-        assert!(d.is_empty(), "{d:?}");
-        let d = run(
-            "crates/query/src/explain.rs",
-            "fn f() { query::execute(&mut m, &c, &b); }",
+            "crates/query/src/exec/mod.rs",
+            "fn f() { let ex = QueryExecutor::new(&v, path); }",
         );
         assert!(d.is_empty(), "{d:?}");
     }

@@ -33,6 +33,7 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod opstats;
 pub mod profile;
 pub mod recorder;
 pub mod regress;
@@ -43,6 +44,7 @@ pub mod trace;
 pub use flight::{FlightRecorder, Postmortem};
 pub use json::{escaped, parse_json, validate_chrome_trace, ChromeTraceSummary, Json};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use opstats::OpStats;
 pub use profile::{ProfileStats, SamplingProfiler};
 pub use recorder::{FabricRecorder, NoopRecorder, RingRecorder};
 pub use regress::{compare_bench, GatePolicy, GateReport, Regression, BENCH_SCHEMA_VERSION};

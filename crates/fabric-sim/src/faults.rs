@@ -122,6 +122,24 @@ impl FaultConfig {
         }
     }
 
+    /// `true` when this configuration can never inject anything: every
+    /// probability is zero and no scheduled power cut is armed. Consumers
+    /// use this to keep fault-visible behaviour (degradation, breaker
+    /// state) identical whether or not they hold caches — a memoized
+    /// result must not short-circuit a device that is configured to fail.
+    pub fn is_quiet(&self) -> bool {
+        self.rm_stall_prob == 0.0
+            && self.rm_timeout_prob == 0.0
+            && self.rm_corrupt_prob == 0.0
+            && self.flash_transient_prob == 0.0
+            && self.flash_latent_prob == 0.0
+            && self.link_corrupt_prob == 0.0
+            && self.flash_write_prob == 0.0
+            && self.wal_crash_prob == 0.0
+            && self.torn_write_prob == 0.0
+            && self.crash_at_write == 0
+    }
+
     /// Every *transient* fault at the same `rate`; latent errors and
     /// power cuts stay off (they are unrecoverable in place and deserve
     /// an explicit opt-in).

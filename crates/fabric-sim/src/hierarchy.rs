@@ -534,6 +534,19 @@ impl MemoryHierarchy {
         core.stats.cpu_cycles += cycles;
     }
 
+    /// Charge a vectorized primitive: one `vector_setup` for the whole
+    /// invocation plus `per_elem` cycles for each of `elems` elements,
+    /// attributed to the active core as CPU compute. The staged executor's
+    /// branch-free kernels (DESIGN.md §16) charge through here so "set up
+    /// once, stream many" has a single attributable charge site.
+    #[inline]
+    pub fn cpu_vector(&mut self, elems: u64, per_elem: Cycles) {
+        let cycles = self.costs.vector_setup + elems * per_elem;
+        let core = &mut self.cores[self.active];
+        core.now += cycles;
+        core.stats.cpu_cycles += cycles;
+    }
+
     /// Block until simulated time `t` (no-op if already past); the waited
     /// cycles are accounted as memory stall, attributed to the
     /// producer-device bucket. Device models use this to make the CPU wait

@@ -49,8 +49,8 @@ pub use stats::MemStats;
 pub use fabric_obs::{
     compare_bench, escaped, parse_json, validate_chrome_trace, Category, ChromeTraceSummary,
     FabricRecorder, FlightRecorder, GatePolicy, GateReport, Json, MetricsRegistry, MetricsSnapshot,
-    NoopRecorder, Postmortem, ProfileStats, RingRecorder, SamplingProfiler, ScopedMetrics, TopDown,
-    TopDownCore, TraceBuffer, BENCH_SCHEMA_VERSION,
+    NoopRecorder, OpStats, Postmortem, ProfileStats, RingRecorder, SamplingProfiler, ScopedMetrics,
+    TopDown, TopDownCore, TraceBuffer, BENCH_SCHEMA_VERSION,
 };
 
 /// Simulated time, measured in CPU core cycles.

@@ -162,13 +162,16 @@ pub fn estimate_parallel(
     };
     let pred_ns = cyc(costs.value_op) * n_preds;
 
-    // ROW: prefetched line stream + Volcano interpretation. Rows narrower
-    // than a line share line fetches; wider rows pay one fetch per span
-    // line.
+    // ROW: prefetched line stream + the vectorized morsel kernel. Rows
+    // narrower than a line share line fetches; wider rows pay one fetch
+    // per span line. The kernel replaced the old per-row Volcano
+    // `next()` pair with one vector-setup charge per morsel, amortized
+    // here across the morsel's rows; predicates are branch-free, so
+    // there is no mispredict term either.
     let rows_per_line = (line / layout.row_width() as f64).max(1.0);
     let row_mem = span_lines * l2_ns / rows_per_line;
     let row_ns_per = row_mem
-        + cyc(costs.volcano_next) * 2.0
+        + cyc(costs.vector_setup) / crate::exec::MORSEL_ROWS as f64
         + cyc(costs.decode) * n_touched
         + pred_ns
         + consume_ns;

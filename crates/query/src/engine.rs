@@ -32,7 +32,8 @@ use crate::analyze::{analyze, VerifiedQuery};
 use crate::bind::{bind, BoundQuery};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path_parallel, AccessPath, PathCost};
-use crate::exec::{run_verified, FaultContext, QueryOutput, Resilience};
+use crate::exec::opcache::{self, OpCache};
+use crate::exec::{run_verified, CacheSlot, FaultContext, QueryOutput, Resilience, Scratchpad};
 use crate::explain::{
     analyze_paths_impl, render_analyze_report, render_latency_section, render_plan_for,
     render_recovery_section,
@@ -52,11 +53,17 @@ use std::rc::Rc;
 const PLAN_CACHE_CAP: usize = 16;
 
 /// A parsed, bound, verified, and priced query, reusable across
-/// executions. Cheap to clone (the plan body is shared).
+/// executions — the typed handle [`Session::prepare`] returns. Running a
+/// `&Prepared` skips the SQL-text cache entirely: the plan *and* its
+/// operator-cache base signature travel with the handle, so repeated
+/// execution re-hashes nothing. Cheap to clone (the plan body is shared).
 #[derive(Clone)]
-pub struct PreparedQuery {
+pub struct Prepared {
     plan: Rc<PreparedPlan>,
 }
+
+/// The former name of [`Prepared`], kept so existing call sites read on.
+pub type PreparedQuery = Prepared;
 
 struct PreparedPlan {
     sql: String,
@@ -64,9 +71,12 @@ struct PreparedPlan {
     geometry: relmem::VerifiedGeometry,
     path: AccessPath,
     cost: PathCost,
+    /// Path-independent operator-cache signature (plan shape + table +
+    /// geometry + predicate constants), computed once at cold prepare.
+    base_sig: u128,
 }
 
-impl PreparedQuery {
+impl Prepared {
     /// The SQL text this plan was prepared from.
     pub fn sql(&self) -> &str {
         &self.plan.sql
@@ -80,6 +90,11 @@ impl PreparedQuery {
     /// The per-path estimates the choice was based on.
     pub fn cost(&self) -> &PathCost {
         &self.plan.cost
+    }
+
+    /// The operator-cache key this plan executes under on `path`.
+    pub fn cache_key(&self, path: AccessPath) -> u128 {
+        opcache::keyed(self.plan.base_sig, path)
     }
 
     /// Rebuild the analyzer's verified-plan witness for execution.
@@ -100,6 +115,10 @@ pub struct Engine {
     cache: Vec<(String, Rc<PreparedPlan>)>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Signature-keyed operator cache: memoized stage outputs, shared by
+    /// every session on this engine. Invalidated together with the plan
+    /// cache — both are bound to the catalog contents and machine shape.
+    op_cache: OpCache,
     /// Recovery reports from every [`Engine::open_recovered`] call, in
     /// order — the engine's record of which tables came back from a
     /// crash and whether the recovery was degraded.
@@ -129,6 +148,7 @@ impl Engine {
             cache: Vec::new(),
             cache_hits: 0,
             cache_misses: 0,
+            op_cache: OpCache::default(),
             recoveries: Vec::new(),
             sessions_opened: 0,
         }
@@ -140,6 +160,7 @@ impl Engine {
     pub fn set_cores(&mut self, cores: usize) {
         self.mem.set_core_count(cores.max(1));
         self.cache.clear();
+        self.op_cache.clear();
     }
 
     /// Number of simulated cores queries run on.
@@ -169,12 +190,14 @@ impl Engine {
     pub fn register_rows(&mut self, name: impl Into<String>, rows: RowTable) {
         self.catalog.register_rows(name, rows);
         self.cache.clear();
+        self.op_cache.clear();
     }
 
     /// Register a table with both layouts. Invalidates the plan cache.
     pub fn register(&mut self, name: impl Into<String>, rows: RowTable, cols: ColTable) {
         self.catalog.register(name, rows, cols);
         self.cache.clear();
+        self.op_cache.clear();
     }
 
     /// Recover a crash-consistent store from the durable image that
@@ -221,6 +244,7 @@ impl Engine {
         self.recoveries.push((name.clone(), report.clone()));
         self.catalog.register_rows(name, table);
         self.cache.clear();
+        self.op_cache.clear();
         Ok((store, report))
     }
 
@@ -251,9 +275,28 @@ impl Engine {
         (self.cache_hits, self.cache_misses)
     }
 
-    /// Drop every cached plan.
+    /// Drop every cached plan and memoized stage output.
     pub fn clear_plan_cache(&mut self) {
         self.cache.clear();
+        self.op_cache.clear();
+    }
+
+    /// Drop memoized stage outputs while keeping cached plans.
+    /// Measurement loops (benches timing repeated *execution*) call this
+    /// between reps so every run re-earns its answer through the
+    /// hierarchy; hit/miss counters survive.
+    pub fn clear_op_cache(&mut self) {
+        self.op_cache.clear();
+    }
+
+    /// `(hits, misses)` of the operator cache (memoized stage outputs).
+    pub fn op_cache_stats(&self) -> (u64, u64) {
+        self.op_cache.stats()
+    }
+
+    /// The operator cache itself (entry count, insertion counters).
+    pub fn op_cache(&self) -> &OpCache {
+        &self.op_cache
     }
 
     /// Open a session on this engine. Each session gets a stable numeric
@@ -263,20 +306,39 @@ impl Engine {
     pub fn session(&mut self) -> Session<'_> {
         self.sessions_opened += 1;
         let id = self.sessions_opened;
-        Session { engine: self, id }
+        Session {
+            engine: self,
+            id,
+            scratch: Scratchpad::new(),
+        }
     }
 }
 
 /// A query session over an [`Engine`]: prepare once, run many times.
+/// Owns a [`Scratchpad`] so every query it executes recycles the same
+/// morsel buffers.
 pub struct Session<'e> {
     engine: &'e mut Engine,
     id: u64,
+    scratch: Scratchpad,
 }
 
 impl Session<'_> {
     /// This session's id (scopes its metrics under `session.<id>.*`).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Stage buffers this session's scratchpad has allocated so far —
+    /// flat across repeated queries once the pool is warm.
+    pub fn scratch_allocs(&self) -> u64 {
+        self.scratch.allocs()
+    }
+
+    /// Stage-buffer takes served from the pool instead of a fresh
+    /// allocation.
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch.reuses()
     }
 
     /// Record one executed query's cycle-domain latency: into the global
@@ -303,7 +365,7 @@ impl Session<'_> {
     /// cache (keyed by SQL text, MRU, capacity [`PLAN_CACHE_CAP`]). A hit
     /// returns the cached plan unchanged, so a re-prepared query executes
     /// bit-identically to its cold first run.
-    pub fn prepare(&mut self, sql: &str) -> Result<PreparedQuery> {
+    pub fn prepare(&mut self, sql: &str) -> Result<Prepared> {
         if let Some(i) = self.engine.cache.iter().position(|(k, _)| k == sql) {
             let entry = self.engine.cache.remove(i);
             self.engine.cache.insert(0, entry);
@@ -312,7 +374,7 @@ impl Session<'_> {
                 .mem
                 .metrics_mut()
                 .counter_add("query.plan_cache.hits", 1);
-            return Ok(PreparedQuery {
+            return Ok(Prepared {
                 plan: Rc::clone(&self.engine.cache[0].1),
             });
         }
@@ -328,12 +390,14 @@ impl Session<'_> {
             &bound,
             self.engine.mem.num_cores(),
         )?;
+        let base_sig = opcache::plan_signature(&bound, entry.rows.len(), &format!("{geometry:?}"));
         let plan = Rc::new(PreparedPlan {
             sql: sql.to_string(),
             bound,
             geometry,
             path,
             cost,
+            base_sig,
         });
         self.engine
             .cache
@@ -344,7 +408,7 @@ impl Session<'_> {
             .mem
             .metrics_mut()
             .counter_add("query.plan_cache.misses", 1);
-        Ok(PreparedQuery { plan })
+        Ok(Prepared { plan })
     }
 
     /// Prepare (or fetch from cache) and execute on the optimizer-chosen
@@ -362,24 +426,34 @@ impl Session<'_> {
     }
 
     /// Execute a prepared query on its planned path.
-    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<QueryOutput> {
+    pub fn execute(&mut self, prepared: &Prepared) -> Result<QueryOutput> {
         self.execute_on(prepared, prepared.plan.path)
     }
 
-    /// Execute a prepared query on `path`.
-    pub fn execute_on(
-        &mut self,
-        prepared: &PreparedQuery,
-        path: AccessPath,
-    ) -> Result<QueryOutput> {
+    /// Execute a prepared query on `path`, through the engine's operator
+    /// cache: the first run memoizes the stage output under the plan's
+    /// signature and a repeat run replays it without touching the
+    /// hierarchy (clean runs only — degraded/faulted runs are re-earned).
+    pub fn execute_on(&mut self, prepared: &Prepared, path: AccessPath) -> Result<QueryOutput> {
         let Engine {
             ref mut mem,
             ref catalog,
             ref mut faults,
+            ref mut op_cache,
             ..
         } = *self.engine;
         let entry = catalog.get(&prepared.plan.bound.table)?;
         let verified = prepared.verified();
+        // An RM-routed query under an armed fault plan bypasses the op
+        // cache in both directions: a memoized result must not mask the
+        // degradation/breaker behaviour the device is configured to
+        // exhibit, and a lucky clean run under fire is not a stable
+        // fact worth memoizing.
+        let cache = if path == AccessPath::Rm && !faults.plan.config().is_quiet() {
+            CacheSlot::None
+        } else {
+            CacheSlot::Keyed(op_cache, opcache::keyed(prepared.plan.base_sig, path))
+        };
         // Cycle-domain latency: queries fork/join internally, so the
         // global-frontier delta around the run is the query's wall time.
         let t0 = mem.now();
@@ -390,6 +464,8 @@ impl Session<'_> {
             path,
             prepared.plan.cost,
             Resilience::Resilient(faults),
+            cache,
+            &mut self.scratch,
         )?;
         let elapsed = mem.now().saturating_sub(t0);
         Self::record_latency(mem, self.id, prepared.plan.bound.class(), elapsed);
@@ -431,6 +507,8 @@ impl Session<'_> {
         let verified = analyze(entry, bound, rm)?;
         let (chosen, cost) = choose_path_parallel(mem.config(), rm, entry, bound, mem.num_cores())?;
         let t0 = mem.now();
+        // Hand-built plans bypass both caches (no SQL text vouches for
+        // them) but still recycle the session's scratch buffers.
         let out = run_verified(
             mem,
             entry,
@@ -438,6 +516,8 @@ impl Session<'_> {
             forced.unwrap_or(chosen),
             cost,
             Resilience::Resilient(faults),
+            CacheSlot::None,
+            &mut self.scratch,
         )?;
         let elapsed = mem.now().saturating_sub(t0);
         Self::record_latency(mem, self.id, bound.class(), elapsed);
@@ -447,6 +527,12 @@ impl Session<'_> {
     /// Render the chosen plan and per-path estimates for `sql`.
     pub fn explain(&mut self, sql: &str) -> Result<String> {
         let prepared = self.prepare(sql)?;
+        self.explain_prepared(&prepared)
+    }
+
+    /// Render the chosen plan and per-path estimates for an
+    /// already-prepared query, without touching the SQL-text cache.
+    pub fn explain_prepared(&mut self, prepared: &Prepared) -> Result<String> {
         let entry = self.engine.catalog.get(&prepared.plan.bound.table)?;
         render_plan_for(
             entry,
@@ -461,6 +547,14 @@ impl Session<'_> {
     /// per-core breakdown.
     pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
         let prepared = self.prepare(sql)?;
+        self.explain_analyze_prepared(&prepared)
+    }
+
+    /// [`Session::explain_analyze`] for an already-prepared query. The
+    /// measurement runs bypass the operator cache — `EXPLAIN ANALYZE`
+    /// exists to observe the real hierarchy, so a memoized replay would
+    /// defeat its purpose.
+    pub fn explain_analyze_prepared(&mut self, prepared: &Prepared) -> Result<String> {
         let entry = self.engine.catalog.get(&prepared.plan.bound.table)?;
         let header = render_plan_for(
             entry,
@@ -538,11 +632,55 @@ mod tests {
         let b = s.execute(&warm).unwrap();
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.path, b.path);
+        // The repeat run was an operator-cache hit replaying the cold
+        // run's stage output — identical rows, no hierarchy traffic.
+        assert_eq!(b.cores.iter().map(|c| c.bytes_read).sum::<u64>(), 0);
         assert_eq!(engine.plan_cache_stats(), (1, 1));
+        assert_eq!(engine.op_cache_stats(), (1, 1));
         assert_eq!(
             engine.mem_ref().metrics().counter("query.plan_cache.hits"),
             1
         );
+        assert_eq!(engine.mem_ref().metrics().counter("query.opcache.hits"), 1);
+    }
+
+    #[test]
+    fn prepared_handle_carries_the_op_cache_key() {
+        let mut engine = engine_with_data(1);
+        let sql = "SELECT sum(qty) FROM t WHERE id < 5000";
+        let mut s = engine.session();
+        let p = s.prepare(sql).unwrap();
+        let k_row = p.cache_key(AccessPath::Row);
+        assert_ne!(k_row, p.cache_key(AccessPath::Col), "path-keyed");
+        // A warm prepare (MRU text hit) resolves to the identical
+        // signature — the handle, not the SQL text, is the cache identity.
+        let warm = s.prepare(sql).unwrap();
+        assert_eq!(warm.cache_key(AccessPath::Row), k_row);
+        // Re-registering the table clears both caches and re-preparing
+        // over changed contents yields a different signature.
+        let out = s.execute_on(&p, AccessPath::Row).unwrap();
+        assert_eq!(engine.op_cache().len(), 1);
+        let schema = Schema::from_pairs(&[
+            ("id", ColumnType::I64),
+            ("grp", ColumnType::FixedStr(1)),
+            ("qty", ColumnType::F64),
+        ]);
+        let mut rt = RowTable::create(engine.mem(), schema.clone(), 64).unwrap();
+        let mut ct = ColTable::create(engine.mem(), schema, 64).unwrap();
+        for i in 0..10i64 {
+            let row = vec![Value::I64(i), Value::Str("A".into()), Value::F64(i as f64)];
+            rt.load(engine.mem(), &row).unwrap();
+            ct.load(engine.mem(), &row).unwrap();
+        }
+        engine.register("t", rt, ct);
+        assert!(engine.op_cache().is_empty(), "register clears the op cache");
+        let p2 = engine.session().prepare(sql).unwrap();
+        assert_ne!(
+            p2.cache_key(AccessPath::Row),
+            k_row,
+            "new table contents, new signature"
+        );
+        drop(out);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Typed scratch buffers for the staged executor (DESIGN.md §16).
+//!
+//! Every stage of the operator DAG works over morsel-sized vectors —
+//! decoded tuples, selection vectors — whose *contents* live for one
+//! morsel but whose *allocations* are identical from morsel to morsel
+//! and from query to query. A [`Scratchpad`] owns those allocations:
+//! stages borrow a buffer with `take_*`, return it with `put_*`, and the
+//! next stage (or the next query) reuses the same backing storage.
+//!
+//! Reuse must never alias a live buffer. Two mechanisms enforce that:
+//!
+//! * **ownership** — `take_*` moves the `Vec` out of the pool, so two
+//!   concurrent takers can never observe the same allocation;
+//! * **epochs** — every [`BufferRef`] is stamped with the scratchpad's
+//!   query epoch at take time, and `put_*` asserts the stamp matches the
+//!   *current* epoch. A buffer held across [`Scratchpad::begin_query`]
+//!   (i.e. across a query boundary) is from a dead generation; returning
+//!   it would let a stale stage recycle storage the new query may have
+//!   handed out. That bug panics instead of corrupting results.
+//!
+//! All of this is host-side bookkeeping: taking or returning a buffer
+//! never advances the simulated clock, so an executor using a scratchpad
+//! is cycle-identical to one allocating fresh vectors.
+
+use fabric_types::Value;
+
+/// What a pooled buffer holds. Used for the epoch assert's diagnostics
+/// and to keep the two pools' tickets from being interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferKind {
+    /// A `Vec<Value>` tuple/feed buffer.
+    Values,
+    /// A `Vec<u32>` selection vector.
+    Selection,
+}
+
+/// A ticket for a buffer taken from a [`Scratchpad`]: which pool it came
+/// from and the query epoch it was taken in. Returning the buffer
+/// requires the ticket, and the ticket is only valid within the epoch
+/// that minted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferRef {
+    kind: BufferKind,
+    epoch: u64,
+}
+
+impl BufferRef {
+    /// The pool this ticket belongs to.
+    pub fn kind(&self) -> BufferKind {
+        self.kind
+    }
+
+    /// The query epoch the buffer was taken in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// A per-session pool of morsel-sized vectors, recycled across stages
+/// and queries. See the module docs for the aliasing rules.
+#[derive(Debug, Default)]
+pub struct Scratchpad {
+    epoch: u64,
+    vals: Vec<Vec<Value>>,
+    sels: Vec<Vec<u32>>,
+    reuses: u64,
+    allocs: u64,
+}
+
+impl Scratchpad {
+    pub fn new() -> Self {
+        Scratchpad::default()
+    }
+
+    /// Start a new query: bump the epoch so tickets from earlier queries
+    /// are invalidated. Buffers already back in the pools stay pooled.
+    pub fn begin_query(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current query epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Buffers served from the pool instead of the allocator.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Buffers that had to be freshly allocated.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Take a `Vec<Value>` buffer (cleared, capacity retained from its
+    /// previous life) plus the ticket required to return it.
+    pub fn take_vals(&mut self) -> (BufferRef, Vec<Value>) {
+        let buf = match self.vals.pop() {
+            Some(b) => {
+                self.reuses += 1;
+                b
+            }
+            None => {
+                self.allocs += 1;
+                Vec::new()
+            }
+        };
+        (
+            BufferRef {
+                kind: BufferKind::Values,
+                epoch: self.epoch,
+            },
+            buf,
+        )
+    }
+
+    /// Return a `Vec<Value>` buffer to the pool.
+    ///
+    /// # Panics
+    /// If the ticket is from another pool or a previous query epoch —
+    /// both are aliasing bugs in the executor, not recoverable states.
+    pub fn put_vals(&mut self, r: BufferRef, mut buf: Vec<Value>) {
+        assert_eq!(r.kind, BufferKind::Values, "ticket is not a Values ticket");
+        assert_eq!(
+            r.epoch, self.epoch,
+            "stale buffer returned across a query boundary (ticket epoch {} != current {})",
+            r.epoch, self.epoch
+        );
+        buf.clear();
+        self.vals.push(buf);
+    }
+
+    /// Take a `Vec<u32>` selection-vector buffer plus its ticket.
+    pub fn take_sel(&mut self) -> (BufferRef, Vec<u32>) {
+        let buf = match self.sels.pop() {
+            Some(b) => {
+                self.reuses += 1;
+                b
+            }
+            None => {
+                self.allocs += 1;
+                Vec::new()
+            }
+        };
+        (
+            BufferRef {
+                kind: BufferKind::Selection,
+                epoch: self.epoch,
+            },
+            buf,
+        )
+    }
+
+    /// Return a selection-vector buffer to the pool.
+    ///
+    /// # Panics
+    /// If the ticket is from another pool or a previous query epoch.
+    pub fn put_sel(&mut self, r: BufferRef, mut buf: Vec<u32>) {
+        assert_eq!(
+            r.kind,
+            BufferKind::Selection,
+            "ticket is not a Selection ticket"
+        );
+        assert_eq!(
+            r.epoch, self.epoch,
+            "stale buffer returned across a query boundary (ticket epoch {} != current {})",
+            r.epoch, self.epoch
+        );
+        buf.clear();
+        self.sels.push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_types::Value;
+
+    #[test]
+    fn buffers_recycle_across_queries() {
+        let mut s = Scratchpad::new();
+        s.begin_query();
+        let (r, mut v) = s.take_vals();
+        v.push(Value::I64(1));
+        let cap_marker = {
+            v.reserve(1024);
+            v.capacity()
+        };
+        s.put_vals(r, v);
+        assert_eq!(s.allocs(), 1);
+        assert_eq!(s.reuses(), 0);
+
+        // Next query: same allocation comes back, cleared.
+        s.begin_query();
+        let (r2, v2) = s.take_vals();
+        assert!(v2.is_empty(), "pooled buffers are cleared on return");
+        assert!(v2.capacity() >= cap_marker, "capacity survives pooling");
+        assert_eq!(s.reuses(), 1);
+        s.put_vals(r2, v2);
+
+        let (r3, sv) = s.take_sel();
+        assert_eq!(r3.kind(), BufferKind::Selection);
+        s.put_sel(r3, sv);
+        assert_eq!(s.allocs(), 2);
+    }
+
+    #[test]
+    fn two_takers_never_share_an_allocation() {
+        let mut s = Scratchpad::new();
+        s.begin_query();
+        let (ra, mut a) = s.take_vals();
+        let (rb, mut b) = s.take_vals();
+        // Ownership makes aliasing impossible; check the pool really
+        // handed out two distinct allocations (fresh empty Vecs share the
+        // dangling sentinel pointer, so force both to allocate first).
+        a.push(fabric_types::Value::I64(1));
+        b.push(fabric_types::Value::I64(2));
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        s.put_vals(ra, a);
+        s.put_vals(rb, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale buffer returned across a query boundary")]
+    fn returning_a_stale_epoch_buffer_panics() {
+        let mut s = Scratchpad::new();
+        s.begin_query();
+        let (r, v) = s.take_vals();
+        s.begin_query(); // query boundary while the buffer is still out
+        s.put_vals(r, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Values ticket")]
+    fn returning_to_the_wrong_pool_panics() {
+        let mut s = Scratchpad::new();
+        s.begin_query();
+        let (r, _sv) = s.take_sel();
+        s.put_vals(r, Vec::new());
+    }
+}

@@ -1,4 +1,4 @@
-//! Plan execution over the three access paths.
+//! Staged plan execution over the three access paths.
 //!
 //! All paths share one consumption stage (expression evaluation or grouped
 //! aggregation over slot tuples), so a query returns identical rows no
@@ -6,28 +6,48 @@
 //! engine" property (§III-B): the engine always assumes only relevant data
 //! arrives.
 //!
-//! Execution is **morsel-driven**: every path carves its input into
-//! fixed-size morsels ([`MORSEL_ROWS`] rows for ROW/COL, one delivered
-//! batch for RM) and schedules each morsel onto the earliest-free
-//! simulated core (ties to the lowest core id — fully deterministic).
-//! Each morsel feeds a private partial [`Consumer`]; at the barrier the
-//! partials merge *in morsel order* on core 0, so the result is
-//! bit-identical for every core count — a single core simply runs the
-//! morsels back to back and the merge degenerates to concatenation in
-//! scan order.
+//! Execution is **staged and morsel-driven** (DESIGN.md §16). A verified
+//! plan lowers to a small operator DAG ([`operators`]); its streamable
+//! operators fuse into stage 0, which a [`QueryExecutor`] drives as one
+//! vectorized kernel pass per morsel ([`MORSEL_ROWS`] rows for ROW/COL,
+//! one delivered batch for RM), scheduling each morsel onto the
+//! earliest-free simulated core (ties to the lowest core id — fully
+//! deterministic). Each morsel feeds a private partial consumer; the
+//! pipeline-breaking merge is stage 1, its own profiled phase on core 0,
+//! folding the partials *in morsel order* so the result is bit-identical
+//! for every core count — a single core simply runs the morsels back to
+//! back and the merge degenerates to concatenation in scan order.
+//!
+//! Stage buffers come from a per-session [`Scratchpad`] ([`buffer`]):
+//! morsel-sized vectors are recycled across stages and queries, with
+//! epoch-stamped tickets making aliasing a panic instead of a wrong
+//! answer. The merged stage output of a clean run is memoized in a
+//! signature-keyed [`OpCache`] ([`opcache`]); a session re-running the
+//! same plan shape against the same table gets the memoized rows without
+//! touching the hierarchy again.
+
+pub mod buffer;
+mod executor;
+pub mod opcache;
+pub(crate) mod operators;
+
+pub use buffer::{BufferKind, BufferRef, Scratchpad};
+pub use executor::QueryExecutor;
+pub(crate) use opcache::CacheSlot;
+pub use opcache::OpCache;
 
 use crate::analyze::{analyze, VerifiedQuery};
-use crate::bind::{BoundQuery, OutputItem};
+use crate::bind::BoundQuery;
 use crate::catalog::{Catalog, TableEntry};
 use crate::cost::{choose_path_parallel, AccessPath, PathCost};
-use colstore::exec as colx;
 use fabric_sim::{
-    Category, CircuitBreaker, FaultConfig, FaultPlan, MemStats, MemoryHierarchy, RecoveryPolicy,
+    Category, CircuitBreaker, FaultConfig, FaultPlan, MemStats, MemoryHierarchy, OpStats,
+    RecoveryPolicy,
 };
-use fabric_types::{CmpOp, FabricError, Result, Value, ValueAgg};
-use relmem::{EphemeralColumns, RmConfig, RmStats};
-use rowstore::volcano::{Filter, Operator, SeqScan};
-use std::collections::BTreeMap;
+use fabric_types::{FabricError, Result, Value};
+use relmem::{RmConfig, RmStats};
+
+use operators::{merge_partials, Consumer};
 
 /// Rows per ROW/COL morsel: large enough to amortize per-morsel operator
 /// setup and keep scans sequential, small enough to load-balance across
@@ -102,8 +122,8 @@ pub struct QueryOutput {
     /// `Some(original_path)` when the executor transparently re-planned
     /// onto `path` after the original faulted past its retry budget.
     pub degraded_from: Option<AccessPath>,
-    /// Per-phase actuals (scan, sort, failed attempts) in execution order —
-    /// the plan-node breakdown `EXPLAIN ANALYZE` renders.
+    /// Per-phase actuals (scan, merge, sort, failed attempts) in execution
+    /// order — the plan-node breakdown `EXPLAIN ANALYZE` renders.
     pub profile: Vec<PhaseProfile>,
     /// Per-core cycle/byte attribution for this query, one entry per
     /// simulated core (a single entry on a 1-core engine).
@@ -116,7 +136,7 @@ pub struct QueryOutput {
     pub topdown: fabric_sim::TopDown,
 }
 
-/// Fault-handling state threaded through [`execute_resilient`] across
+/// Fault-handling state threaded through resilient execution across
 /// queries: the seeded plan, the recovery budgets, and the RM engine's
 /// health. Hold one per simulated "machine" so the circuit breaker sees
 /// consecutive failures across queries, not just within one.
@@ -154,218 +174,19 @@ impl FaultContext {
     }
 }
 
-/// Shared consumption: either collects projected rows or maintains grouped
-/// aggregates.
-struct Consumer<'q> {
-    bound: &'q BoundQuery,
-    rows: Vec<Vec<Value>>,
-    /// Grouped accumulators keyed by the rendered group key. A `BTreeMap`
-    /// so iteration is key-ordered on every core count — group output
-    /// order must never depend on hash iteration (rule
-    /// `nondeterministic-core`).
-    groups: BTreeMap<String, (Vec<Value>, Vec<ValueAgg>)>,
-    aggregated: bool,
-}
-
-impl<'q> Consumer<'q> {
-    fn new(bound: &'q BoundQuery) -> Self {
-        Consumer {
-            bound,
-            rows: Vec::new(),
-            groups: BTreeMap::new(),
-            aggregated: bound.has_aggregates(),
-        }
-    }
-
-    /// CPU cycles one fed row costs (charged by the caller's engine loop).
-    fn row_cycles(&self, costs: &fabric_sim::hierarchy::OpCosts) -> u64 {
-        let ops: u64 = self
-            .bound
-            .items
-            .iter()
-            .map(|i| match i {
-                OutputItem::Agg(_, e) | OutputItem::Expr(e) => e.ops() + 1,
-            })
-            .sum();
-        if self.aggregated {
-            let hash = if self.bound.group_by.is_empty() {
-                0
-            } else {
-                costs.hash_op
-            };
-            hash + costs.f64_op * ops
-        } else {
-            costs.value_op * ops
-        }
-    }
-
-    fn feed(&mut self, vals: &[Value]) -> Result<()> {
-        if !self.aggregated {
-            let mut out = Vec::with_capacity(self.bound.items.len());
-            for item in &self.bound.items {
-                match item {
-                    OutputItem::Expr(e) => out.push(e.eval(vals)?),
-                    OutputItem::Agg(..) => {
-                        return Err(FabricError::Internal(
-                            "aggregate item in non-aggregated plan".into(),
-                        ))
-                    }
-                }
-            }
-            self.rows.push(out);
-            return Ok(());
-        }
-        use std::fmt::Write as _;
-        let mut key = String::new();
-        for &slot in &self.bound.group_by {
-            write!(key, "{}\u{1f}", vals[slot])
-                .map_err(|e| FabricError::Internal(format!("group key formatting: {e}")))?;
-        }
-        let entry = self.groups.entry(key).or_insert_with(|| {
-            let key_vals: Vec<Value> = self
-                .bound
-                .group_by
-                .iter()
-                .map(|&s| vals[s].clone())
-                .collect();
-            let accs: Vec<ValueAgg> = self
-                .bound
-                .items
-                .iter()
-                .filter_map(|i| match i {
-                    OutputItem::Agg(f, _) => Some(ValueAgg::new(*f)),
-                    OutputItem::Expr(_) => None,
-                })
-                .collect();
-            (key_vals, accs)
-        });
-        let mut acc_i = 0;
-        for item in &self.bound.items {
-            if let OutputItem::Agg(_, e) = item {
-                entry.1[acc_i].update(&e.eval(vals)?)?;
-                acc_i += 1;
-            }
-        }
-        Ok(())
-    }
-
-    /// Fold another partial consumer (a later morsel of the same plan)
-    /// into this one. Projected morsels concatenate — the caller merges in
-    /// morsel order, so the result is the scan order. Aggregated morsels
-    /// merge their group accumulators pairwise ([`ValueAgg::merge`]); every
-    /// group is independent, so the fold is deterministic regardless of
-    /// merge order.
-    fn merge(&mut self, mem: &mut MemoryHierarchy, other: Consumer<'q>) -> Result<()> {
-        let costs = mem.costs();
-        if !self.aggregated {
-            mem.cpu(costs.value_op * other.rows.len() as u64);
-            self.rows.extend(other.rows);
-            return Ok(());
-        }
-        for (key, (key_vals, accs)) in other.groups {
-            mem.cpu(costs.hash_op);
-            match self.groups.entry(key) {
-                std::collections::btree_map::Entry::Occupied(mut e) => {
-                    for (mine, theirs) in e.get_mut().1.iter_mut().zip(&accs) {
-                        mem.cpu(costs.f64_op);
-                        mine.merge(theirs)?;
-                    }
-                }
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert((key_vals, accs));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn finish(mut self) -> Result<Vec<Vec<Value>>> {
-        if !self.aggregated {
-            return Ok(self.rows);
-        }
-        // Scalar aggregation over zero rows still returns one row
-        // (count = 0, sum = 0; min/max/avg error, as they have no value).
-        if self.groups.is_empty() && self.bound.group_by.is_empty() {
-            let accs: Vec<ValueAgg> = self
-                .bound
-                .items
-                .iter()
-                .filter_map(|i| match i {
-                    OutputItem::Agg(f, _) => Some(ValueAgg::new(*f)),
-                    OutputItem::Expr(_) => None,
-                })
-                .collect();
-            self.groups.insert(String::new(), (Vec::new(), accs));
-        }
-        // BTreeMap already iterates in key order — the very order the old
-        // post-collection sort produced.
-        let keyed: Vec<(String, (Vec<Value>, Vec<ValueAgg>))> = self.groups.into_iter().collect();
-        let mut out = Vec::with_capacity(keyed.len());
-        for (_, (key_vals, accs)) in keyed {
-            let mut row = Vec::with_capacity(self.bound.items.len());
-            let mut acc_i = 0;
-            for item in &self.bound.items {
-                match item {
-                    OutputItem::Expr(e) => {
-                        // A grouping column: its value is in key_vals at the
-                        // position of its slot within group_by.
-                        let slot = match e {
-                            fabric_types::Expr::Col(s) => *s,
-                            other => {
-                                return Err(FabricError::Internal(format!(
-                                    "non-column expression `{other}` in grouped output"
-                                )))
-                            }
-                        };
-                        let pos = self
-                            .bound
-                            .group_by
-                            .iter()
-                            .position(|&g| g == slot)
-                            .ok_or_else(|| {
-                                FabricError::Internal(format!(
-                                    "grouped output slot {slot} not in GROUP BY"
-                                ))
-                            })?;
-                        row.push(key_vals[pos].clone());
-                    }
-                    OutputItem::Agg(..) => {
-                        row.push(accs[acc_i].finish()?);
-                        acc_i += 1;
-                    }
-                }
-            }
-            out.push(row);
-        }
-        Ok(out)
-    }
-}
-
 /// How the shared pipeline reacts to injected faults: `Plain` lets RM
 /// delivery errors propagate to the caller; `Resilient` retries every
 /// delivery under the context's policy and transparently degrades onto a
 /// software path once the budget is exhausted (or skips the device when
 /// its breaker is open). Resilience is a *policy wrapper* around one
-/// pipeline — both variants run exactly the same scan/merge/post stages.
+/// pipeline — both variants run exactly the same stage-0/merge/post
+/// stages.
 pub(crate) enum Resilience<'f> {
     Plain,
     Resilient(&'f mut FaultContext),
 }
 
-/// Execute on the optimizer-chosen path.
-///
-/// The plan is verified ([`crate::analyze`]) before any path runs; a
-/// malformed plan returns the analyzer's structured diagnostics as an
-/// error rather than reaching an engine.
-#[deprecated(note = "use `query::Engine` and `Session::run` instead")]
-pub fn execute(
-    mem: &mut MemoryHierarchy,
-    catalog: &Catalog,
-    bound: &BoundQuery,
-) -> Result<QueryOutput> {
-    execute_impl(mem, catalog, bound)
-}
-
+#[cfg(test)]
 pub(crate) fn execute_impl(
     mem: &mut MemoryHierarchy,
     catalog: &Catalog,
@@ -380,19 +201,16 @@ pub(crate) fn execute_impl(
         bound,
         mem.num_cores(),
     )?;
-    run_verified(mem, entry, &verified, path, cost, Resilience::Plain)
-}
-
-/// Execute on an explicitly chosen path (engine comparisons / tests).
-/// Verifies the plan exactly like `execute`.
-#[deprecated(note = "use `query::Engine` and `Session::run_on` instead")]
-pub fn execute_on(
-    mem: &mut MemoryHierarchy,
-    catalog: &Catalog,
-    bound: &BoundQuery,
-    path: AccessPath,
-) -> Result<QueryOutput> {
-    execute_on_impl(mem, catalog, bound, path)
+    run_verified(
+        mem,
+        entry,
+        &verified,
+        path,
+        cost,
+        Resilience::Plain,
+        CacheSlot::None,
+        &mut Scratchpad::new(),
+    )
 }
 
 pub(crate) fn execute_on_impl(
@@ -410,7 +228,44 @@ pub(crate) fn execute_on_impl(
         bound,
         mem.num_cores(),
     )?;
-    run_verified(mem, entry, &verified, path, cost, Resilience::Plain)
+    run_verified(
+        mem,
+        entry,
+        &verified,
+        path,
+        cost,
+        Resilience::Plain,
+        CacheSlot::None,
+        &mut Scratchpad::new(),
+    )
+}
+
+#[cfg(test)]
+pub(crate) fn execute_resilient_impl(
+    mem: &mut MemoryHierarchy,
+    catalog: &Catalog,
+    bound: &BoundQuery,
+    ctx: &mut FaultContext,
+) -> Result<QueryOutput> {
+    let entry = catalog.get(&bound.table)?;
+    let verified = analyze(entry, bound, &RmConfig::prototype())?;
+    let (path, cost) = choose_path_parallel(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        bound,
+        mem.num_cores(),
+    )?;
+    run_verified(
+        mem,
+        entry,
+        &verified,
+        path,
+        cost,
+        Resilience::Resilient(ctx),
+        CacheSlot::None,
+        &mut Scratchpad::new(),
+    )
 }
 
 /// The trace/profile span name of a path's scan phase.
@@ -458,10 +313,17 @@ fn profiled<R>(
     res
 }
 
-/// The one pipeline every entry point funnels into: scan on the morsel
-/// executor for the chosen path (under the requested resilience policy),
-/// then the shared post-processing tail. Opens/closes the `query::exec`
-/// span and captures per-core attribution across the whole run.
+/// The one pipeline every entry point funnels into.
+///
+/// Probes the operator cache first: a hit replays the memoized
+/// stage-0+merge output (pure CPU probe cost, zero hierarchy traffic) and
+/// goes straight to the post-processing tail. A miss runs stage 0 on the
+/// [`QueryExecutor`] for the chosen path (under the requested resilience
+/// policy), merges the partials as its own profiled `query::stage::merge`
+/// phase, memoizes clean results, and finishes through the shared tail.
+/// Opens/closes the `query::exec` span and captures per-core attribution
+/// across the whole run.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_verified(
     mem: &mut MemoryHierarchy,
     entry: &TableEntry,
@@ -469,7 +331,12 @@ pub(crate) fn run_verified(
     path: AccessPath,
     cost: PathCost,
     resilience: Resilience<'_>,
+    mut cache: CacheSlot<'_>,
+    scratch: &mut Scratchpad,
 ) -> Result<QueryOutput> {
+    // New query, new buffer epoch: tickets minted by the previous query
+    // are now invalid (see `buffer`).
+    scratch.begin_query();
     // Align the cores so the attribution window has one common origin.
     let t0 = mem.fork_clocks();
     // Arm the flight recorder: a mid-query postmortem reports its metrics
@@ -478,8 +345,45 @@ pub(crate) fn run_verified(
     let before: Vec<MemStats> = (0..mem.num_cores()).map(|i| mem.core_stats(i)).collect();
     mem.trace_begin("query::exec", Category::Query);
     let mut profile = Vec::new();
-    let scanned = run_scan(mem, entry, verified, path, &cost, resilience, &mut profile);
-    let (rows, ran_path, rm_stats, degraded_from) = match scanned {
+
+    if let Some((rows, cached_path, cached_rm)) = cache.probe() {
+        // Operator-cache hit: the memoized stage output stands in for
+        // stage 0 and the merge. The only cost is the probe plus the
+        // copy-out — pure CPU on core 0, zero hierarchy traffic.
+        mem.set_active_core(0);
+        let n = rows.len() as u64;
+        let copied = profiled(mem, "query::opcache::hit", &mut profile, |m| {
+            let costs = m.costs();
+            m.cpu(costs.hash_op + costs.value_op * n);
+            Ok(())
+        });
+        debug_assert!(copied.is_ok());
+        mem.metrics_mut().counter_add("query.opcache.hits", 1);
+        return finish_output(
+            mem,
+            verified,
+            rows,
+            cached_path,
+            cost,
+            t0,
+            cached_rm,
+            None,
+            profile,
+            &before,
+        );
+    }
+
+    let scanned = run_scan(
+        mem,
+        entry,
+        verified,
+        path,
+        &cost,
+        resilience,
+        &mut profile,
+        scratch,
+    );
+    let (partials, ran_path, rm_stats, degraded_from) = match scanned {
         Ok(v) => v,
         Err(e) => {
             mem.join_clocks();
@@ -487,6 +391,46 @@ pub(crate) fn run_verified(
             return Err(e);
         }
     };
+
+    // Stage 1: the pipeline-breaking merge, profiled as its own phase on
+    // core 0. Its per-operator actuals are recorded here — the driver owns
+    // this stage, not the stage-0 executor.
+    let bound = verified.bound();
+    let merge_stats = OpStats {
+        invocations: partials.len() as u64,
+        rows_in: partials.iter().map(|p| p.partial_len() as u64).sum(),
+        rows_out: 0,
+    };
+    let merged = profiled(mem, "query::stage::merge", &mut profile, |m| {
+        merge_partials(m, bound, partials)
+    });
+    let rows = match merged {
+        Ok(r) => r,
+        Err(e) => {
+            mem.join_clocks();
+            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+            return Err(e);
+        }
+    };
+    OpStats {
+        rows_out: rows.len() as u64,
+        ..merge_stats
+    }
+    .record_into(mem.metrics_mut(), "query.op", "merge");
+
+    // Memoize the pre-sort/pre-limit stage output — clean runs only: a
+    // degraded answer or a faulted RM attempt must be re-earned every
+    // time so fault-path counters and breaker state stay truthful.
+    if let CacheSlot::Keyed(opcache, key) = cache {
+        mem.metrics_mut().counter_add("query.opcache.misses", 1);
+        let clean =
+            degraded_from.is_none() && rm_stats.as_ref().map_or(true, |s| s.injected_faults == 0);
+        if clean {
+            opcache.insert(key, rows.clone(), ran_path, rm_stats.clone());
+            mem.metrics_mut().counter_add("query.opcache.insertions", 1);
+        }
+    }
+
     finish_output(
         mem,
         verified,
@@ -501,38 +445,48 @@ pub(crate) fn run_verified(
     )
 }
 
-/// Scan stage of the pipeline: run the chosen path's morsel executor,
-/// applying the resilience policy around RM delivery. Returns the rows,
-/// the path that actually produced them, device stats when the RM path
-/// ran, and the original path when the query degraded.
-#[allow(clippy::type_complexity)]
-fn run_scan(
+/// Stage 0 of the pipeline: run the chosen path's fused morsel kernels on
+/// a [`QueryExecutor`], applying the resilience policy around RM
+/// delivery. Returns the per-morsel partials, the path that actually
+/// produced them, device stats when the RM path ran, and the original
+/// path when the query degraded.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn run_scan<'v>(
     mem: &mut MemoryHierarchy,
     entry: &TableEntry,
-    verified: &VerifiedQuery<'_>,
+    verified: &'v VerifiedQuery<'v>,
     path: AccessPath,
     cost: &PathCost,
     resilience: Resilience<'_>,
     profile: &mut Vec<PhaseProfile>,
+    scratch: &mut Scratchpad,
 ) -> Result<(
-    Vec<Vec<Value>>,
+    Vec<Consumer<'v>>,
     AccessPath,
     Option<RmStats>,
     Option<AccessPath>,
 )> {
-    let software = |m: &mut MemoryHierarchy, p: &mut Vec<PhaseProfile>, fb: AccessPath| {
-        profiled(m, scan_span(fb), p, |m| match fb {
-            AccessPath::Col => run_col(m, entry, verified),
-            _ => run_row(m, entry, verified),
-        })
+    let software = |m: &mut MemoryHierarchy,
+                    p: &mut Vec<PhaseProfile>,
+                    s: &mut Scratchpad,
+                    fb: AccessPath|
+     -> Result<Vec<Consumer<'v>>> {
+        let mut ex = QueryExecutor::new(verified, fb);
+        let res = profiled(m, scan_span(fb), p, |m| ex.run_stage0(m, entry, s));
+        ex.record_metrics(m.metrics_mut());
+        res
     };
     match (path, resilience) {
         (AccessPath::Row | AccessPath::Col, _) => {
-            software(mem, profile, path).map(|rows| (rows, path, None, None))
+            software(mem, profile, scratch, path).map(|partials| (partials, path, None, None))
         }
         (AccessPath::Rm, Resilience::Plain) => {
-            profiled(mem, scan_span(path), profile, |m| run_rm(m, verified))
-                .map(|(rows, stats)| (rows, path, Some(stats), None))
+            let mut ex = QueryExecutor::new(verified, AccessPath::Rm);
+            let res = profiled(mem, scan_span(path), profile, |m| {
+                ex.run_stage0_rm(m, scratch)
+            });
+            ex.record_metrics(mem.metrics_mut());
+            res.map(|(partials, stats)| (partials, path, Some(stats), None))
         }
         (AccessPath::Rm, Resilience::Resilient(ctx)) => {
             if !ctx.rm_health.allow() {
@@ -546,16 +500,18 @@ fn run_scan(
                 mem.metrics_mut().counter_add("query.breaker_skips", 1);
                 mem.flight_dump("breaker-open");
                 let fb = fallback_path(cost);
-                let rows = software(mem, profile, fb)?;
-                return Ok((rows, fb, None, Some(AccessPath::Rm)));
+                let partials = software(mem, profile, scratch, fb)?;
+                return Ok((partials, fb, None, Some(AccessPath::Rm)));
             }
 
-            // The resilient RM loop always reports device stats, so it
+            // The resilient RM stage always reports device stats, so it
             // cannot run under `profiled` directly — measure by hand.
             let before = mem.stats();
             let t_rm = mem.now();
             mem.trace_begin(scan_span(AccessPath::Rm), Category::Query);
-            let (res, stats) = run_rm_resilient(mem, verified, ctx);
+            let mut ex = QueryExecutor::new(verified, AccessPath::Rm);
+            let (res, stats) = ex.run_stage0_rm_resilient(mem, scratch, ctx);
+            ex.record_metrics(mem.metrics_mut());
             let d = mem.stats().delta_since(&before);
             mem.trace_end(
                 scan_span(AccessPath::Rm),
@@ -576,9 +532,9 @@ fn run_scan(
             });
 
             match res {
-                Ok(rows) => {
+                Ok(partials) => {
                     ctx.rm_health.record_success();
-                    Ok((rows, AccessPath::Rm, Some(stats), None))
+                    Ok((partials, AccessPath::Rm, Some(stats), None))
                 }
                 Err(e) if degradable(&e) => {
                     // The device is misbehaving past its retry budget:
@@ -593,8 +549,8 @@ fn run_scan(
                         &[("to_col", u64::from(fb == AccessPath::Col))],
                     );
                     mem.flight_dump("degraded");
-                    let rows = software(mem, profile, fb)?;
-                    Ok((rows, fb, Some(stats), Some(AccessPath::Rm)))
+                    let partials = software(mem, profile, scratch, fb)?;
+                    Ok((partials, fb, Some(stats), Some(AccessPath::Rm)))
                 }
                 Err(e) => Err(e),
             }
@@ -733,47 +689,6 @@ fn fallback_path(cost: &PathCost) -> AccessPath {
     }
 }
 
-/// Fault-aware execution: like [`execute`], but RM-path queries run under
-/// `ctx`'s seeded fault plan with bounded retries, and — the headline —
-/// when the device faults past its retry budget (or its circuit breaker
-/// is open), the executor transparently re-plans onto the ROW/COL
-/// software path and returns the identical answer. The degradation is
-/// recorded in [`QueryOutput::degraded_from`] and counted in `ctx`.
-#[deprecated(note = "use `query::Engine` (which owns a `FaultContext`) and `Session::run` instead")]
-pub fn execute_resilient(
-    mem: &mut MemoryHierarchy,
-    catalog: &Catalog,
-    bound: &BoundQuery,
-    ctx: &mut FaultContext,
-) -> Result<QueryOutput> {
-    execute_resilient_impl(mem, catalog, bound, ctx)
-}
-
-pub(crate) fn execute_resilient_impl(
-    mem: &mut MemoryHierarchy,
-    catalog: &Catalog,
-    bound: &BoundQuery,
-    ctx: &mut FaultContext,
-) -> Result<QueryOutput> {
-    let entry = catalog.get(&bound.table)?;
-    let verified = analyze(entry, bound, &RmConfig::prototype())?;
-    let (path, cost) = choose_path_parallel(
-        mem.config(),
-        &RmConfig::prototype(),
-        entry,
-        bound,
-        mem.num_cores(),
-    )?;
-    run_verified(
-        mem,
-        entry,
-        &verified,
-        path,
-        cost,
-        Resilience::Resilient(ctx),
-    )
-}
-
 /// Sort the result rows on the bound `(position, desc)` keys, charging an
 /// n·log n comparison cost.
 fn sort_rows(
@@ -809,287 +724,6 @@ fn sort_rows(
         Some(e) => Err(e),
         None => Ok(()),
     }
-}
-
-/// Deterministic morsel scheduling: the earliest-free core, ties broken
-/// toward the lowest id. With one core this is always core 0 and the
-/// executors below reduce to the serial engine.
-fn earliest_core(mem: &MemoryHierarchy) -> usize {
-    (0..mem.num_cores())
-        .min_by_key(|&i| (mem.core_now(i), i))
-        .unwrap_or(0)
-}
-
-/// Merge per-morsel partial consumers *in morsel order* on the active core
-/// and produce the plan's output rows. The fold shape is fixed by the
-/// morsel count (which depends only on the input size), never by the core
-/// count — that is what makes N-core output bit-identical to 1-core even
-/// for floating-point aggregates.
-fn merge_partials<'q>(
-    mem: &mut MemoryHierarchy,
-    bound: &'q BoundQuery,
-    partials: Vec<Consumer<'q>>,
-) -> Result<Vec<Vec<Value>>> {
-    let mut it = partials.into_iter();
-    let mut acc = match it.next() {
-        Some(first) => first,
-        None => Consumer::new(bound),
-    };
-    for p in it {
-        acc.merge(mem, p)?;
-    }
-    acc.finish()
-}
-
-fn run_row(
-    mem: &mut MemoryHierarchy,
-    entry: &TableEntry,
-    verified: &VerifiedQuery<'_>,
-) -> Result<Vec<Vec<Value>>> {
-    let bound = verified.bound();
-    let costs = mem.costs();
-    let total = entry.rows.len();
-    mem.fork_clocks();
-    let mut partials: Vec<Consumer<'_>> = Vec::with_capacity(total / MORSEL_ROWS + 1);
-    let mut start = 0usize;
-    loop {
-        let end = (start + MORSEL_ROWS).min(total);
-        mem.set_active_core(earliest_core(mem));
-        let scan = SeqScan::with_range(&entry.rows, bound.touched.clone(), start, end)?;
-        let mut op: Box<dyn Operator> = if bound.preds.is_empty() {
-            Box::new(scan)
-        } else {
-            Box::new(Filter::new(Box::new(scan), bound.preds.clone()))
-        };
-        let mut consumer = Consumer::new(bound);
-        let row_cycles = consumer.row_cycles(&costs);
-        let mut tuple = Vec::new();
-        while op.next(mem, &mut tuple)? {
-            mem.cpu(row_cycles);
-            consumer.feed(&tuple)?;
-        }
-        partials.push(consumer);
-        start = end;
-        if start >= total {
-            break;
-        }
-    }
-    mem.join_clocks();
-    mem.set_active_core(0);
-    merge_partials(mem, bound, partials)
-}
-
-fn run_col(
-    mem: &mut MemoryHierarchy,
-    entry: &TableEntry,
-    verified: &VerifiedQuery<'_>,
-) -> Result<Vec<Vec<Value>>> {
-    let bound = verified.bound();
-    let table = entry
-        .cols
-        .as_ref()
-        .ok_or_else(|| FabricError::Sql(format!("table `{}` has no columnar copy", bound.table)))?;
-    let costs = mem.costs();
-
-    // Column-at-a-time selection: group conjuncts by column once (shared
-    // by every morsel), full scan for the first, candidate passes after.
-    // Predicate slots are in range — the analyzer checked them before this
-    // path was reachable.
-    let by_col: Option<Vec<(usize, Vec<(CmpOp, Value)>)>> = if bound.preds.is_empty() {
-        None
-    } else {
-        let mut groups: Vec<(usize, Vec<(CmpOp, Value)>)> = Vec::new();
-        for (slot, op, v) in &bound.preds {
-            let col = bound.touched[*slot];
-            match groups.iter_mut().find(|(c, _)| *c == col) {
-                Some((_, list)) => list.push((*op, v.clone())),
-                None => groups.push((col, vec![(*op, v.clone())])),
-            }
-        }
-        Some(groups)
-    };
-
-    let total = table.len();
-    mem.fork_clocks();
-    let mut partials: Vec<Consumer<'_>> = Vec::with_capacity(total / MORSEL_ROWS + 1);
-    let mut start = 0usize;
-    loop {
-        let end = (start + MORSEL_ROWS).min(total);
-        mem.set_active_core(earliest_core(mem));
-        let mut consumer = Consumer::new(bound);
-        let row_cycles = consumer.row_cycles(&costs);
-        match &by_col {
-            None => {
-                colx::for_each_lockstep_range(
-                    mem,
-                    table,
-                    &bound.touched,
-                    start,
-                    end,
-                    |mem, _, vals| {
-                        mem.cpu(row_cycles);
-                        consumer.feed(vals)
-                    },
-                )?;
-            }
-            Some(groups) => {
-                let mut it = groups.iter();
-                let (c0, preds0) = it
-                    .next()
-                    .ok_or_else(|| FabricError::Internal("empty predicate grouping".into()))?;
-                let mut sv = colx::scan_filter_conj_range(mem, table, *c0, preds0, start, end)?;
-                for (c, preds) in it {
-                    sv = colx::scan_filter_cand_range(mem, table, *c, preds, &sv, start, end)?;
-                }
-                colx::for_each_lockstep(mem, table, &bound.touched, Some(&sv), |mem, _, vals| {
-                    mem.cpu(row_cycles);
-                    consumer.feed(vals)
-                })?;
-            }
-        }
-        partials.push(consumer);
-        start = end;
-        if start >= total {
-            break;
-        }
-    }
-    mem.join_clocks();
-    mem.set_active_core(0);
-    merge_partials(mem, bound, partials)
-}
-
-fn run_rm(
-    mem: &mut MemoryHierarchy,
-    verified: &VerifiedQuery<'_>,
-) -> Result<(Vec<Vec<Value>>, RmStats)> {
-    let bound = verified.bound();
-    let costs = mem.costs();
-    // The geometry was admitted by the analyzer; configuration cannot fail.
-    let mut eph = EphemeralColumns::configure_verified(
-        mem,
-        RmConfig::prototype(),
-        verified.geometry().clone(),
-    );
-
-    // RM fan-out: each delivered batch is consumed on the earliest-free
-    // core. Batch *content* is timing-independent (the device walks its
-    // geometry cursor), so delivery order — and therefore the partial list —
-    // is identical for every core count. Batches deliver every row in
-    // global order, so partials roll over at the same [`MORSEL_ROWS`]
-    // row-index boundaries as the software paths: the f64 fold shape is
-    // identical across all three paths.
-    mem.fork_clocks();
-    let mut partials: Vec<Consumer<'_>> = Vec::new();
-    let mut current = Consumer::new(bound);
-    let row_cycles = current.row_cycles(&costs);
-    let mut consumed = 0usize;
-    let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
-    loop {
-        mem.set_active_core(earliest_core(mem));
-        let Some(b) = eph.next_batch(mem) else {
-            break;
-        };
-        'rows: for r in 0..b.len() {
-            if consumed > 0 && consumed % MORSEL_ROWS == 0 {
-                partials.push(std::mem::replace(&mut current, Consumer::new(bound)));
-            }
-            consumed += 1;
-            // CPU-side predicate over packed fields (projection-only RM).
-            for (slot, op, lit) in &bound.preds {
-                mem.cpu(costs.value_op);
-                if !op.matches(b.value(r, *slot).compare(lit)?) {
-                    mem.cpu(costs.branch_miss);
-                    continue 'rows;
-                }
-            }
-            vals.clear();
-            for slot in 0..bound.touched.len() {
-                vals.push(b.value(r, slot));
-            }
-            mem.cpu(row_cycles + costs.vector_elem);
-            current.feed(&vals)?;
-        }
-    }
-    partials.push(current);
-    mem.join_clocks();
-    mem.set_active_core(0);
-    let stats = eph.stats();
-    Ok((merge_partials(mem, bound, partials)?, stats))
-}
-
-/// The RM consumption loop of [`run_rm`], but every delivery runs under
-/// `ctx`'s fault plan via [`EphemeralColumns::next_batch_resilient`].
-/// Always returns the device stats — on error they carry the injected
-/// fault counts of the failed attempt into the degraded [`QueryOutput`].
-fn run_rm_resilient(
-    mem: &mut MemoryHierarchy,
-    verified: &VerifiedQuery<'_>,
-    ctx: &mut FaultContext,
-) -> (Result<Vec<Vec<Value>>>, RmStats) {
-    let bound = verified.bound();
-    let costs = mem.costs();
-    let mut eph = EphemeralColumns::configure_verified(
-        mem,
-        RmConfig::prototype(),
-        verified.geometry().clone(),
-    );
-
-    // Same batch fan-out and morsel-aligned partial rollover as `run_rm`;
-    // fault draws are indexed by delivery sequence, so the injected faults —
-    // and thus the delivered content — are identical for every core count.
-    // Error exits re-join the clocks so the caller's accounting stays
-    // aligned.
-    mem.fork_clocks();
-    let mut partials: Vec<Consumer<'_>> = Vec::new();
-    let mut current = Consumer::new(bound);
-    let row_cycles = current.row_cycles(&costs);
-    let mut consumed = 0usize;
-    let mut vals: Vec<Value> = Vec::with_capacity(bound.touched.len());
-    macro_rules! bail {
-        ($e:expr) => {{
-            mem.join_clocks();
-            mem.set_active_core(0);
-            return (Err($e), eph.stats());
-        }};
-    }
-    loop {
-        mem.set_active_core(earliest_core(mem));
-        let b = match eph.next_batch_resilient(mem, &mut ctx.plan, &ctx.policy) {
-            Ok(Some(b)) => b,
-            Ok(None) => break,
-            Err(e) => bail!(e),
-        };
-        'rows: for r in 0..b.len() {
-            if consumed > 0 && consumed % MORSEL_ROWS == 0 {
-                partials.push(std::mem::replace(&mut current, Consumer::new(bound)));
-            }
-            consumed += 1;
-            for (slot, op, lit) in &bound.preds {
-                mem.cpu(costs.value_op);
-                let cmp = match b.value(r, *slot).compare(lit) {
-                    Ok(c) => c,
-                    Err(e) => bail!(e),
-                };
-                if !op.matches(cmp) {
-                    mem.cpu(costs.branch_miss);
-                    continue 'rows;
-                }
-            }
-            vals.clear();
-            for slot in 0..bound.touched.len() {
-                vals.push(b.value(r, slot));
-            }
-            mem.cpu(row_cycles + costs.vector_elem);
-            if let Err(e) = current.feed(&vals) {
-                bail!(e);
-            }
-        }
-    }
-    partials.push(current);
-    mem.join_clocks();
-    mem.set_active_core(0);
-    let stats = eph.stats();
-    (merge_partials(mem, bound, partials), stats)
 }
 
 #[cfg(test)]
@@ -1368,7 +1002,7 @@ mod tests {
     }
 
     #[test]
-    fn profile_records_scan_and_sort_phases() {
+    fn profile_records_scan_merge_and_sort_phases() {
         let (mut mem, c) = setup();
         let bound = bind(
             &c,
@@ -1377,16 +1011,30 @@ mod tests {
         .unwrap();
         let out = execute_on_impl(&mut mem, &c, &bound, AccessPath::Row).unwrap();
         let names: Vec<&str> = out.profile.iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["query::scan::row", "query::post::sort"]);
+        assert_eq!(
+            names,
+            vec![
+                "query::scan::row",
+                "query::stage::merge",
+                "query::post::sort"
+            ]
+        );
         assert!(out.profile[0].cycles > 0);
         assert!(out.profile[0].bytes_read > 0);
         assert!(!out.profile[0].failed);
-        // The sort phase moved no hierarchy bytes (host-side comparisons).
+        // The merge and sort phases moved no hierarchy bytes (host-side).
         assert_eq!(out.profile[1].bytes_read, 0);
-        // Metrics accounted the run.
+        assert_eq!(out.profile[2].bytes_read, 0);
+        // Metrics accounted the run, including per-operator actuals.
         assert_eq!(mem.metrics().counter("query.executions"), 1);
         assert_eq!(mem.metrics().counter("query.path.row"), 1);
         assert_eq!(mem.metrics().counter("query.rows_out"), 20);
+        assert_eq!(mem.metrics().counter("query.op.scan_row.rows_in"), 200);
+        assert_eq!(mem.metrics().counter("query.op.filter.rows_in"), 200);
+        assert_eq!(mem.metrics().counter("query.op.filter.rows_out"), 20);
+        assert_eq!(mem.metrics().counter("query.op.project.rows_out"), 20);
+        assert_eq!(mem.metrics().counter("query.op.merge.invocations"), 1);
+        assert_eq!(mem.metrics().counter("query.op.merge.rows_out"), 20);
     }
 
     #[test]
@@ -1430,5 +1078,159 @@ mod tests {
         for o in &outs {
             assert_eq!(o.rows, vec![vec![Value::I64(100)]]);
         }
+    }
+
+    #[test]
+    fn keyed_cache_hits_replay_without_hierarchy_traffic() {
+        let (mut mem, c) = setup();
+        let bound = bind(&c, &parse("SELECT id, qty FROM t WHERE id < 7").unwrap()).unwrap();
+        let entry = c.get("t").unwrap();
+        let verified = analyze(entry, &bound, &RmConfig::prototype()).unwrap();
+        let (path, cost) = choose_path_parallel(
+            mem.config(),
+            &RmConfig::prototype(),
+            entry,
+            &bound,
+            mem.num_cores(),
+        )
+        .unwrap();
+        let mut cacheobj = OpCache::default();
+        let mut scratch = Scratchpad::new();
+        let key = opcache::keyed(opcache::plan_signature(&bound, 200, "g"), path);
+
+        let cold = run_verified(
+            &mut mem,
+            entry,
+            &verified,
+            path,
+            cost.clone(),
+            Resilience::Plain,
+            CacheSlot::Keyed(&mut cacheobj, key),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(cacheobj.stats(), (0, 1));
+        assert_eq!(cacheobj.insertions(), 1);
+
+        let warm = run_verified(
+            &mut mem,
+            entry,
+            &verified,
+            path,
+            cost,
+            Resilience::Plain,
+            CacheSlot::Keyed(&mut cacheobj, key),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(cacheobj.stats(), (1, 1));
+        assert_eq!(warm.rows, cold.rows, "hit must be bit-identical");
+        assert_eq!(warm.path, cold.path);
+        // The hit replayed from host memory: zero hierarchy traffic, zero
+        // stall, but a nonzero CPU probe charge so latency stays observable.
+        let names: Vec<&str> = warm.profile.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["query::opcache::hit"]);
+        assert_eq!(warm.profile[0].bytes_read, 0);
+        assert_eq!(warm.profile[0].stall_cycles, 0);
+        assert!(warm.profile[0].cycles > 0);
+        let total_bytes: u64 = warm.cores.iter().map(|a| a.bytes_read).sum();
+        assert_eq!(total_bytes, 0, "cache hits never touch the hierarchy");
+        assert!(warm.ns < cold.ns, "hit must be cheaper than the cold run");
+        assert_eq!(mem.metrics().counter("query.opcache.hits"), 1);
+        assert_eq!(mem.metrics().counter("query.opcache.misses"), 1);
+        assert_eq!(mem.metrics().counter("query.opcache.insertions"), 1);
+    }
+
+    #[test]
+    fn cache_hit_still_applies_sort_and_limit() {
+        let (mut mem, c) = setup();
+        // Same plan shape, different ORDER BY/LIMIT: both map to one cache
+        // entry, and the hit re-applies its own post-processing.
+        let plain = bind(&c, &parse("SELECT id FROM t WHERE id < 10").unwrap()).unwrap();
+        let sorted = bind(
+            &c,
+            &parse("SELECT id FROM t WHERE id < 10 ORDER BY 1 DESC LIMIT 3").unwrap(),
+        )
+        .unwrap();
+        let entry = c.get("t").unwrap();
+        let mut cacheobj = OpCache::default();
+        let mut scratch = Scratchpad::new();
+        let base = opcache::plan_signature(&plain, 200, "g");
+        assert_eq!(
+            base,
+            opcache::plan_signature(&sorted, 200, "g"),
+            "post-processing is excluded from the signature"
+        );
+
+        for (bound, expect_first, expect_len) in
+            [(&plain, Value::I64(0), 10), (&sorted, Value::I64(9), 3)]
+        {
+            let verified = analyze(entry, bound, &RmConfig::prototype()).unwrap();
+            let (path, cost) = choose_path_parallel(
+                mem.config(),
+                &RmConfig::prototype(),
+                entry,
+                bound,
+                mem.num_cores(),
+            )
+            .unwrap();
+            let out = run_verified(
+                &mut mem,
+                entry,
+                &verified,
+                path,
+                cost,
+                Resilience::Plain,
+                CacheSlot::Keyed(&mut cacheobj, opcache::keyed(base, path)),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(out.rows.len(), expect_len);
+            assert_eq!(out.rows[0][0], expect_first);
+        }
+        assert_eq!(cacheobj.stats(), (1, 1), "second plan shape hit the entry");
+    }
+
+    #[test]
+    fn degraded_runs_are_never_cached() {
+        let (mut mem, c) = rm_setup(1000);
+        let bound = bind(&c, &parse(RM_SQL).unwrap()).unwrap();
+        let entry = c.get("t").unwrap();
+        let verified = analyze(entry, &bound, &RmConfig::prototype()).unwrap();
+        let (path, cost) = choose_path_parallel(
+            mem.config(),
+            &RmConfig::prototype(),
+            entry,
+            &bound,
+            mem.num_cores(),
+        )
+        .unwrap();
+        assert_eq!(path, AccessPath::Rm);
+        let cfg = FaultConfig {
+            rm_timeout_prob: 1.0,
+            ..FaultConfig::quiet(9)
+        };
+        let mut ctx = FaultContext::new(cfg, RecoveryPolicy::default());
+        let mut cacheobj = OpCache::default();
+        let mut scratch = Scratchpad::new();
+        let key = opcache::keyed(opcache::plan_signature(&bound, 1000, "g"), path);
+        let out = run_verified(
+            &mut mem,
+            entry,
+            &verified,
+            path,
+            cost,
+            Resilience::Resilient(&mut ctx),
+            CacheSlot::Keyed(&mut cacheobj, key),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(out.degraded_from, Some(AccessPath::Rm));
+        assert_eq!(
+            cacheobj.insertions(),
+            0,
+            "degraded output must be re-earned"
+        );
+        assert!(cacheobj.is_empty());
     }
 }

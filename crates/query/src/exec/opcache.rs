@@ -1,0 +1,244 @@
+//! Signature-keyed operator cache (DESIGN.md §16).
+//!
+//! The staged executor's stage-0 + merge output for a given plan is a
+//! pure function of (table contents, plan shape, predicate constants,
+//! access path). A [`Session`](crate::Session) therefore memoizes that
+//! output in an [`OpCache`] keyed by a 128-bit FNV-1a signature over
+//! exactly those inputs; a hit returns the memoized rows without
+//! re-touching the memory hierarchy at all. ORDER BY and LIMIT are
+//! deliberately **excluded** from the signature — cached rows are the
+//! pre-sort/pre-limit stage output, so plans differing only in their
+//! post-processing share one entry.
+//!
+//! Soundness:
+//!
+//! * the cache lives on the engine and is cleared whenever the catalog
+//!   or machine shape changes (`register*`, `set_cores`,
+//!   `open_recovered`, `clear_plan_cache`) — a signature can never
+//!   outlive the table contents it hashed;
+//! * only *clean* runs are inserted: a degraded run or an RM run with
+//!   injected faults is never memoized, so fault-path behaviour
+//!   (fallback counters, breaker state, chaos-suite invariants) is
+//!   identical with or without the cache;
+//! * the map is a `BTreeMap` — iteration order is never consulted, but
+//!   the determinism rules of this workspace ban `HashMap` in
+//!   result-affecting library code outright.
+
+use crate::bind::BoundQuery;
+use crate::cost::AccessPath;
+use fabric_types::Value;
+use relmem::RmStats;
+use std::collections::BTreeMap;
+
+/// One memoized stage output: the pre-sort/pre-limit rows, the path that
+/// produced them, and the (clean) device stats when that path was RM.
+struct CachedScan {
+    rows: Vec<Vec<Value>>,
+    path: AccessPath,
+    rm_stats: Option<RmStats>,
+}
+
+/// The per-engine operator cache. See the module docs for keying and
+/// invalidation rules.
+#[derive(Default)]
+pub struct OpCache {
+    map: BTreeMap<u128, CachedScan>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+}
+
+impl OpCache {
+    /// Look up a signature; a hit clones out the memoized stage output.
+    pub(crate) fn probe(
+        &mut self,
+        key: u128,
+    ) -> Option<(Vec<Vec<Value>>, AccessPath, Option<RmStats>)> {
+        match self.map.get(&key) {
+            Some(e) => {
+                self.hits += 1;
+                Some((e.rows.clone(), e.path, e.rm_stats.clone()))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoize a clean run's stage output under its signature.
+    pub(crate) fn insert(
+        &mut self,
+        key: u128,
+        rows: Vec<Vec<Value>>,
+        path: AccessPath,
+        rm_stats: Option<RmStats>,
+    ) {
+        self.insertions += 1;
+        self.map.insert(
+            key,
+            CachedScan {
+                rows,
+                path,
+                rm_stats,
+            },
+        );
+    }
+
+    /// `(hits, misses)` since the engine was created (cleared entries do
+    /// not reset the counters).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Entries inserted since the engine was created.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every entry (catalog or machine-shape change).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// How a pipeline run participates in the operator cache: `None` runs
+/// cold and fills nothing (measurement entry points — benches and
+/// EXPLAIN ANALYZE must observe the real hierarchy), `Keyed` probes and
+/// fills the session's cache under a precomputed signature.
+pub(crate) enum CacheSlot<'c> {
+    None,
+    Keyed(&'c mut OpCache, u128),
+}
+
+impl CacheSlot<'_> {
+    pub(crate) fn probe(&mut self) -> Option<(Vec<Vec<Value>>, AccessPath, Option<RmStats>)> {
+        match self {
+            CacheSlot::Keyed(c, key) => c.probe(*key),
+            CacheSlot::None => None,
+        }
+    }
+}
+
+/// 128-bit FNV-1a over the cache-relevant plan identity: table name,
+/// row count, the RM geometry the analyzer admitted, and the plan shape
+/// (touched columns, predicates *with constants*, output items, GROUP
+/// BY). `order_by` and `limit` are excluded by design — see module docs.
+pub(crate) fn plan_signature(bound: &BoundQuery, table_rows: usize, geometry: &str) -> u128 {
+    let mut h = Fnv128::new();
+    h.update(bound.table.as_bytes());
+    h.update(&(table_rows as u64).to_le_bytes());
+    h.update(geometry.as_bytes());
+    h.update(
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            bound.touched, bound.preds, bound.items, bound.group_by
+        )
+        .as_bytes(),
+    );
+    h.finish()
+}
+
+/// Mix the executed access path into a base signature: the same plan on
+/// a different path is a different cache entry (paths are answers-equal
+/// but stats/path metadata differ).
+pub(crate) fn keyed(base: u128, path: AccessPath) -> u128 {
+    let tag: u8 = match path {
+        AccessPath::Row => 1,
+        AccessPath::Col => 2,
+        AccessPath::Rm => 3,
+    };
+    let mut h = Fnv128(base);
+    h.update(&[tag]);
+    h.finish()
+}
+
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::OutputItem;
+    use fabric_types::{CmpOp, Expr};
+
+    fn q(table: &str, pred_lit: i64) -> BoundQuery {
+        BoundQuery {
+            table: table.into(),
+            touched: vec![0, 2],
+            preds: vec![(0, CmpOp::Lt, Value::I64(pred_lit))],
+            items: vec![OutputItem::Expr(Expr::Col(0))],
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        }
+    }
+
+    #[test]
+    fn signature_tracks_constants_but_not_post_processing() {
+        let base = plan_signature(&q("t", 5), 100, "g");
+        assert_eq!(base, plan_signature(&q("t", 5), 100, "g"), "deterministic");
+        assert_ne!(base, plan_signature(&q("t", 6), 100, "g"), "constants");
+        assert_ne!(base, plan_signature(&q("u", 5), 100, "g"), "table");
+        assert_ne!(base, plan_signature(&q("t", 5), 101, "g"), "row count");
+        assert_ne!(base, plan_signature(&q("t", 5), 100, "g2"), "geometry");
+
+        let mut sorted = q("t", 5);
+        sorted.order_by = vec![(0, true)];
+        sorted.limit = Some(3);
+        assert_eq!(
+            base,
+            plan_signature(&sorted, 100, "g"),
+            "ORDER BY/LIMIT share the cached stage output"
+        );
+
+        let k = keyed(base, AccessPath::Row);
+        assert_ne!(k, keyed(base, AccessPath::Col));
+        assert_ne!(k, keyed(base, AccessPath::Rm));
+    }
+
+    #[test]
+    fn probe_and_insert_round_trip_with_counters() {
+        let mut c = OpCache::default();
+        assert!(c.probe(7).is_none());
+        c.insert(7, vec![vec![Value::I64(1)]], AccessPath::Col, None);
+        let (rows, path, rm) = c.probe(7).expect("hit");
+        assert_eq!(rows, vec![vec![Value::I64(1)]]);
+        assert_eq!(path, AccessPath::Col);
+        assert!(rm.is_none());
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.insertions(), 1);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (1, 1), "counters survive invalidation");
+    }
+}

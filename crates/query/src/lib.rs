@@ -15,22 +15,24 @@
 //!   and returns structured diagnostics instead of panicking;
 //! * [`cost`] prices the plan on each access path with a model mirroring
 //!   the calibrated engine behaviours (movement + per-row compute);
-//! * [`exec`] runs the plan on the chosen path (plus ORDER BY / LIMIT
-//!   post-processing) and returns identical results regardless of path;
+//! * [`exec`] lowers the plan to a staged operator DAG and runs it on the
+//!   chosen path (plus ORDER BY / LIMIT post-processing), returning
+//!   identical results regardless of path; stage buffers recycle through
+//!   a per-session [`Scratchpad`], and clean stage outputs memoize in a
+//!   signature-keyed [`OpCache`];
 //! * [`explain`](mod@explain) renders the chosen plan and the per-path
 //!   estimates; `EXPLAIN ANALYZE` ([`explain_analyze`]) additionally runs
 //!   the query on every available path and reports estimated vs. measured
 //!   cycles and bytes — the cost model held accountable;
 //! * [`engine`] wraps all of the above in one object: [`Engine`] owns the
-//!   simulated machine (hierarchy + core count), catalog, fault state, and
-//!   a plan cache, and [`Session`] exposes `prepare` / `run` / `explain` /
-//!   `explain_analyze`. Queries execute morsel-driven across however many
-//!   simulated cores the engine has, with results bit-identical to a
-//!   single core.
+//!   simulated machine (hierarchy + core count), catalog, fault state,
+//!   plan cache, and operator cache, and [`Session`] exposes `prepare` /
+//!   `run` / `explain` / `explain_analyze`. Queries execute morsel-driven
+//!   across however many simulated cores the engine has, with results
+//!   bit-identical to a single core.
 //!
-//! The free functions ([`run`], [`execute`], [`execute_on`],
-//! [`execute_resilient`]) remain as deprecated shims; new code should go
-//! through [`Engine`].
+//! All execution goes through [`Engine`]; the former free-function entry
+//! points (`run`, `execute`, `execute_on`, `execute_resilient`) are gone.
 
 pub mod analyze;
 pub mod bind;
@@ -46,48 +48,37 @@ pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
 pub use cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
-pub use engine::{Engine, PreparedQuery, Session};
-#[allow(deprecated)]
-pub use exec::{execute, execute_on, execute_resilient};
-pub use exec::{CoreAttribution, FaultContext, PhaseProfile, QueryOutput, MORSEL_ROWS};
+pub use engine::{Engine, Prepared, PreparedQuery, Session};
+pub use exec::{
+    BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, PhaseProfile, QueryExecutor,
+    QueryOutput, Scratchpad, MORSEL_ROWS,
+};
 pub use explain::{
     analyze_paths, explain, explain_analyze, explain_analyze_sql, explain_sql, PathReport,
 };
 
-use fabric_sim::MemoryHierarchy;
-use fabric_types::Result;
-
-/// One-stop API: parse, bind, optimize, execute.
-///
-/// Deprecated: build an [`Engine`] and use [`Session::run`], which adds
-/// plan caching, fault handling, and multi-core execution:
-///
-/// ```
-/// use fabric_types::{ColumnType, Schema, Value};
-/// use query::Engine;
-/// use rowstore::RowTable;
-///
-/// let mut engine = Engine::new(fabric_sim::SimConfig::zynq_a53());
-/// let schema = Schema::from_pairs(&[("id", ColumnType::I64), ("qty", ColumnType::F64)]);
-/// let mut t = RowTable::create(engine.mem(), schema, 16).unwrap();
-/// for i in 0..10 {
-///     t.load(engine.mem(), &[Value::I64(i), Value::F64(i as f64)]).unwrap();
-/// }
-/// engine.register_rows("orders", t);
-///
-/// let out = engine.session().run("SELECT sum(qty) FROM orders WHERE id < 5").unwrap();
-/// assert_eq!(out.rows[0][0], Value::F64(10.0));
-/// ```
-#[deprecated(note = "use `query::Engine` and `Session::run` instead")]
-pub fn run(mem: &mut MemoryHierarchy, catalog: &Catalog, sql: &str) -> Result<QueryOutput> {
-    run_impl(mem, catalog, sql)
+/// The engine-facing surface in one import: the [`Engine`]/[`Session`]
+/// lifecycle, the [`Prepared`] handle, execution outputs, and the staged
+/// executor's public types ([`QueryExecutor`], [`Scratchpad`],
+/// [`BufferRef`], [`OpCache`]). Operator *construction* stays inside this
+/// crate (lint rule `exec-internals`); the prelude exposes everything a
+/// host needs to drive it.
+pub mod prelude {
+    pub use crate::engine::{Engine, Prepared, PreparedQuery, Session};
+    pub use crate::exec::{
+        BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, PhaseProfile, QueryExecutor,
+        QueryOutput, Scratchpad, MORSEL_ROWS,
+    };
+    pub use crate::explain::{explain_sql, PathReport};
+    pub use crate::{AccessPath, BoundQuery, Catalog, PathCost};
 }
 
+#[cfg(test)]
 pub(crate) fn run_impl(
-    mem: &mut MemoryHierarchy,
+    mem: &mut fabric_sim::MemoryHierarchy,
     catalog: &Catalog,
     sql: &str,
-) -> Result<QueryOutput> {
+) -> fabric_types::Result<QueryOutput> {
     let stmt = parser::parse(sql)?;
     let bound = bind::bind(catalog, &stmt)?;
     exec::execute_impl(mem, catalog, &bound)

@@ -15,8 +15,10 @@
 
 pub mod index;
 pub mod table;
+pub mod vector;
 pub mod volcano;
 
 pub use index::{HashIndex, OrderedIndex};
 pub use table::{RowId, RowTable};
+pub use vector::{scan_range_vectorized, ScanCounts};
 pub use volcano::{execute_collect, Filter, HashAggregate, Operator, Project, SeqScan};

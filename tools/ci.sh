@@ -25,13 +25,20 @@
 #                                cores with a fixed chaos seed: morsel-
 #                                parallel answers must be bit-identical
 #                                to the 1-core run on every access path)
-#   8. profiler determinism     (profile_query bin twice under the fixed
+#   8. executor equivalence    (tests/executor_equivalence.rs over the
+#                                staged-executor grid — path x cores x
+#                                chaos seed x op-cache temperature: warm
+#                                answers bit-identical to cold with zero
+#                                hierarchy traffic, armed fault plans
+#                                bypass the cache, scratch buffers recycle
+#                                without fresh allocations)
+#   9. profiler determinism     (profile_query bin twice under the fixed
 #                                seed: the cycle-domain sampling profiler
 #                                must export byte-identical .folded
 #                                collapsed-stack profiles, with the sample
 #                                total reconciling against elapsed cycles
 #                                — the bin asserts the reconciliation)
-#   9. perf regression gate     (tools/perf_gate.sh --check on one bench
+#  10. perf regression gate     (tools/perf_gate.sh --check on one bench
 #                                per family, compared against the checked-
 #                                in results/BENCH_*.json baselines: cycle
 #                                counters exact, gauges — including the
@@ -40,7 +47,7 @@
 #                                self-test, which injects a synthetic
 #                                +10% cycle regression and asserts the
 #                                gate fails it)
-#  10. crash-recovery matrix    (tests/crash_recovery.rs with the same
+#  11. crash-recovery matrix    (tests/crash_recovery.rs with the same
 #                                fixed seed: a power cut at every durable
 #                                write of a transactional workload, each
 #                                recovered and checked bit-identical to
@@ -109,6 +116,19 @@ if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
     cargo test -q --test parallel_equivalence; then
     printf '\nparallel equivalence FAILED — replay with:\n'
     printf '  FABRIC_PAR_CORES=%s FABRIC_CHAOS_SEED=%s cargo test --test parallel_equivalence\n' \
+        "$PAR_CORES" "$CHAOS_SEED"
+    exit 1
+fi
+
+# Executor equivalence: the staged executor's contracts over the full
+# grid — every access path at 1/2/4 cores, cold and warm operator cache,
+# with the fixed chaos seed arming the cache-bypass check. Warm runs must
+# replay bit-identical answers with zero hierarchy traffic.
+say "executor equivalence (FABRIC_PAR_CORES=$PAR_CORES, FABRIC_CHAOS_SEED=$CHAOS_SEED)"
+if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
+    cargo test -q --test executor_equivalence; then
+    printf '\nexecutor equivalence FAILED — replay with:\n'
+    printf '  FABRIC_PAR_CORES=%s FABRIC_CHAOS_SEED=%s cargo test --test executor_equivalence\n' \
         "$PAR_CORES" "$CHAOS_SEED"
     exit 1
 fi

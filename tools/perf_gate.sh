@@ -12,7 +12,7 @@
 #   tools/perf_gate.sh --check [bench ...]              fail on regression
 #   tools/perf_gate.sh --update-baselines [bench ...]   refresh results/
 #
-# With no bench names, the full suite (all 15 binaries) runs. Bench names
+# With no bench names, the full suite (all 16 binaries) runs. Bench names
 # are binary names (fig7_tpch covers both of its artifacts). --check
 # appends one machine-readable line per artifact to results/TRAJECTORY.jsonl.
 
@@ -35,8 +35,9 @@ done
 # by --update-baselines with EXACTLY these invocations, so a --check rerun
 # of any subset is an apples-to-apples comparison.
 ALL_BENCHES="abl_compression abl_faults abl_htap abl_index abl_mvcc \
-abl_parallel abl_pushdown abl_recovery abl_relstore abl_rm_device \
-fig5_projectivity fig6_heatmap fig7_tpch profile_query trace_query"
+abl_opcache abl_parallel abl_pushdown abl_recovery abl_relstore \
+abl_rm_device fig5_projectivity fig6_heatmap fig7_tpch profile_query \
+trace_query"
 
 bench_args() {
     case "$1" in
@@ -45,6 +46,7 @@ bench_args() {
         abl_htap)          echo "--accounts 10000 --batches 8 --updates 200" ;;
         abl_index)         echo "--rows 65536" ;;
         abl_mvcc)          echo "--rows 20000" ;;
+        abl_opcache)       echo "--rows 20000 --reps 4" ;;
         abl_parallel)      echo "--rows 20000 --cores 1,2,4" ;;
         abl_pushdown)      echo "--rows 65536" ;;
         abl_recovery)      echo "--commits 256" ;;
