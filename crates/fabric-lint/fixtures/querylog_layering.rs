@@ -1,0 +1,15 @@
+//@ scan-as: crates/query/src/fx_querylog.rs
+//! The query-log and calibration ledger live in the observability layer
+//! (layer 1): any higher crate — here the query engine — may import
+//! `fabric_obs::querylog` and `fabric_obs::calib` downward to record
+//! envelopes and observations. Reaching further up (the workload crate
+//! sits above query) is still an inversion.
+
+use fabric_obs::calib::CalibLedger;
+use fabric_obs::querylog::{QueryLog, QueryRecord};
+use workload::Lineitem; //~ layering-violation
+
+pub fn record(log: &mut QueryLog, ledger: &mut CalibLedger, r: QueryRecord) -> u64 {
+    let entry = ledger.observe("lineitem/0/row", 0.0, 0.0);
+    log.push(r) + entry.runs
+}

@@ -30,22 +30,29 @@
 //! and metric snapshots can be structurally validated without external
 //! parsers.
 
+pub mod calib;
 pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod opstats;
 pub mod profile;
+pub mod querylog;
 pub mod recorder;
 pub mod regress;
 pub mod scoped;
 pub mod topdown;
 pub mod trace;
 
+pub use calib::{CalibEntry, CalibLedger, EWMA_ALPHA};
 pub use flight::{FlightRecorder, Postmortem};
 pub use json::{escaped, parse_json, validate_chrome_trace, ChromeTraceSummary, Json};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use opstats::OpStats;
 pub use profile::{ProfileStats, SamplingProfiler};
+pub use querylog::{
+    OpRecord, QueryLog, QueryRecord, TopDownSummary, WorkloadEntry, WorkloadReport,
+    DEFAULT_QUERYLOG_CAP,
+};
 pub use recorder::{FabricRecorder, NoopRecorder, RingRecorder};
 pub use regress::{compare_bench, GatePolicy, GateReport, Regression, BENCH_SCHEMA_VERSION};
 pub use scoped::ScopedMetrics;

@@ -362,7 +362,7 @@ impl MetricsSnapshot {
 /// Deterministic float rendering for JSON: finite values via `{:?}`
 /// (shortest round-trip form, locale-independent), non-finite mapped to
 /// JSON-legal sentinels.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:?}")
     } else {

@@ -20,8 +20,8 @@ use crate::prefetch::StreamPrefetcher;
 use crate::stats::MemStats;
 use crate::Cycles;
 use fabric_obs::{
-    Category, FabricRecorder, FlightRecorder, MetricsRegistry, NoopRecorder, Phase, Postmortem,
-    TopDown, TraceEvent,
+    CalibLedger, Category, FabricRecorder, FlightRecorder, MetricsRegistry, NoopRecorder, Phase,
+    Postmortem, QueryLog, TopDown, TraceEvent,
 };
 use fabric_types::{Addr, Result};
 
@@ -168,6 +168,12 @@ pub struct MemoryHierarchy {
     /// fed by every trace entry point regardless of `tracing`, so a
     /// failure can dump its recent history even on uninstrumented runs.
     flight: FlightRecorder,
+    /// Engine-wide ring of per-query envelopes (DESIGN.md §17). Host-side
+    /// bookkeeping: pushing a record never advances `now`.
+    querylog: QueryLog,
+    /// Per-(table, geometry, path) observed-cost history feeding the
+    /// adaptive re-planner (DESIGN.md §17). Host-side, like `querylog`.
+    calib: CalibLedger,
 }
 
 impl MemoryHierarchy {
@@ -193,6 +199,8 @@ impl MemoryHierarchy {
             tracing: false,
             metrics: MetricsRegistry::new(),
             flight: FlightRecorder::default(),
+            querylog: QueryLog::default(),
+            calib: CalibLedger::default(),
         }
     }
 
@@ -355,6 +363,26 @@ impl MemoryHierarchy {
     /// gauges, and histogram samples.
     pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.metrics
+    }
+
+    /// The engine-wide query log hosted by this hierarchy.
+    pub fn querylog(&self) -> &QueryLog {
+        &self.querylog
+    }
+
+    /// Mutable access for the executor pushing query records.
+    pub fn querylog_mut(&mut self) -> &mut QueryLog {
+        &mut self.querylog
+    }
+
+    /// The per-(table, geometry, path) cost-calibration ledger.
+    pub fn calib(&self) -> &CalibLedger {
+        &self.calib
+    }
+
+    /// Mutable access for the executor folding clean-cold observations.
+    pub fn calib_mut(&mut self) -> &mut CalibLedger {
+        &mut self.calib
     }
 
     /// Open a span at the current cycle.

@@ -47,10 +47,11 @@ pub use stats::MemStats;
 // engines that already depend on `fabric-sim` need no extra manifest
 // entry to emit spans or metrics.
 pub use fabric_obs::{
-    compare_bench, escaped, parse_json, validate_chrome_trace, Category, ChromeTraceSummary,
-    FabricRecorder, FlightRecorder, GatePolicy, GateReport, Json, MetricsRegistry, MetricsSnapshot,
-    NoopRecorder, OpStats, Postmortem, ProfileStats, RingRecorder, SamplingProfiler, ScopedMetrics,
-    TopDown, TopDownCore, TraceBuffer, BENCH_SCHEMA_VERSION,
+    compare_bench, escaped, parse_json, validate_chrome_trace, CalibEntry, CalibLedger, Category,
+    ChromeTraceSummary, FabricRecorder, FlightRecorder, GatePolicy, GateReport, Json,
+    MetricsRegistry, MetricsSnapshot, NoopRecorder, OpRecord, OpStats, Postmortem, ProfileStats,
+    QueryLog, QueryRecord, RingRecorder, SamplingProfiler, ScopedMetrics, TopDown, TopDownCore,
+    TopDownSummary, TraceBuffer, WorkloadEntry, WorkloadReport, BENCH_SCHEMA_VERSION,
 };
 
 /// Simulated time, measured in CPU core cycles.

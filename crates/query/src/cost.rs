@@ -17,7 +17,7 @@ use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::TableEntry;
 use fabric_sim::SimConfig;
 use fabric_types::geometry::merge_field_spans;
-use fabric_types::Result;
+use fabric_types::{FabricError, Result};
 use relmem::RmConfig;
 
 /// The three physical access paths of the fabric world.
@@ -124,6 +124,88 @@ pub fn estimate_parallel(
     cores: usize,
 ) -> Result<PathCost> {
     let rows = entry.rows.len() as f64;
+    let line = sim.line_size as f64;
+    let t = path_terms(sim, rm, entry, bound)?;
+
+    let row_ns_per = t.row_scan_ns + t.pred_ns + t.consume_ns;
+    let col_ns_per = t.col_scan_ns.map(|scan| scan + t.pred_ns + t.consume_ns);
+
+    // RM: device row beat overlapped with packed consumption.
+    let rm_consume = t.rm_scan_ns + t.pred_ns + t.consume_ns;
+    let rm_ns_per = rm.engine_ns_per_row.max(rm_consume);
+
+    let row_bytes = t.row_bytes;
+    let col_bytes = t.col_bytes;
+    let rm_bytes = t.rm_bytes;
+
+    // Parallel scaling: divide by cores, floored at the shared-resource
+    // bandwidth (one line per L2-port slot, DRAM banks overlapped behind
+    // it) and never cheaper than that floor allows.
+    let cores_f = cores.max(1) as f64;
+    let shared_line_ns = sim
+        .cycles_to_ns(sim.l2_port_cycles)
+        .max(sim.dram_row_hit_ns / sim.dram_banks as f64);
+    let par = |serial_ns: f64, bytes: f64| {
+        let floor_ns = (bytes / line) * shared_line_ns;
+        (serial_ns / cores_f).max(floor_ns).min(serial_ns)
+    };
+
+    let rm_consume_total = rm_consume * rows;
+    let rm_engine_total = rm.engine_ns_per_row * rows;
+    // `rm_ns_per` (the serial per-row max) is what cores == 1 must match.
+    let rm_ns = if cores <= 1 {
+        rm_ns_per * rows + rm.configure_ns
+    } else {
+        rm_engine_total.max(par(rm_consume_total, rm_bytes)) + rm.configure_ns
+    };
+
+    Ok(PathCost {
+        row_ns: par(row_ns_per * rows, row_bytes),
+        col_ns: col_ns_per.map(|c| par(c * rows, col_bytes.unwrap_or(0.0))),
+        rm_ns,
+        cores: cores.max(1),
+        row_bytes,
+        col_bytes,
+        rm_bytes,
+    })
+}
+
+/// Per-operator cost components of the three paths, before parallel
+/// scaling. The per-row time of every path is the sum of a path-specific
+/// scan term plus the shared `pred` and `consume` terms — the same three
+/// pieces the executor lowers to `Scan → [Filter] → Project|Aggregate`,
+/// which is what lets [`split_path_cost`] attribute the path estimate to
+/// individual DAG nodes.
+struct PathTerms {
+    /// ROW scan per-row ns: line traffic + morsel-kernel decode.
+    row_scan_ns: f64,
+    /// COL scan per-row ns (`None` without a columnar copy).
+    col_scan_ns: Option<f64>,
+    /// RM consume-side per-row ns (bus transfer + vectorized drain);
+    /// the device beat `rm.engine_ns_per_row` overlaps it.
+    rm_scan_ns: f64,
+    /// Predicate evaluation per row (the Filter operator's share).
+    pred_ns: f64,
+    /// Projection/aggregation per row (the Project|Aggregate share).
+    consume_ns: f64,
+    /// Payload bytes the ROW path reads (all rows).
+    row_bytes: f64,
+    /// Bytes the COL path reads (all rows).
+    col_bytes: Option<f64>,
+    /// Bytes the RM device ships (all rows, line-granular).
+    rm_bytes: f64,
+}
+
+/// Compute the shared per-operator terms. Extracted from
+/// [`estimate_parallel`] verbatim — association order of every float
+/// expression is load-bearing (the perf gate pins estimates bit-exactly).
+fn path_terms(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+) -> Result<PathTerms> {
+    let rows = entry.rows.len() as f64;
     let layout = entry.rows.layout();
     let line = sim.line_size as f64;
     let l2_ns = sim.cycles_to_ns(sim.l2_hit_cycles);
@@ -170,17 +252,15 @@ pub fn estimate_parallel(
     // there is no mispredict term either.
     let rows_per_line = (line / layout.row_width() as f64).max(1.0);
     let row_mem = span_lines * l2_ns / rows_per_line;
-    let row_ns_per = row_mem
+    let row_scan_ns = row_mem
         + cyc(costs.vector_setup) / crate::exec::MORSEL_ROWS as f64
-        + cyc(costs.decode) * n_touched
-        + pred_ns
-        + consume_ns;
+        + cyc(costs.decode) * n_touched;
 
     // COL: per touched column one stream (sequential line cost amortized)
     // plus vectorized per-value work; selection passes add full-column
     // evaluation; beyond the prefetcher's stream budget reconstruction
     // pays demand misses.
-    let col_ns_per = entry.cols.as_ref().map(|_| {
+    let col_scan_ns = entry.cols.as_ref().map(|_| {
         let per_col_bytes: f64 = group_width as f64 / n_touched.max(1.0);
         let seq_line = l2_ns / (line / per_col_bytes);
         let stream_penalty = if n_touched > sim.prefetch_streams as f64 {
@@ -191,16 +271,11 @@ pub fn estimate_parallel(
             0.0
         };
         n_touched * (seq_line + cyc(costs.vector_elem + costs.reconstruct) + stream_penalty)
-            + pred_ns
-            + consume_ns
     });
 
-    // RM: device row beat overlapped with packed consumption.
-    let rm_consume = (group_width as f64 / line) * rm.bus_ns_per_line
-        + cyc(costs.vector_elem)
-        + pred_ns
-        + consume_ns;
-    let rm_ns_per = rm.engine_ns_per_row.max(rm_consume);
+    // RM consume side: bus transfer of the packed group + the vectorized
+    // drain kernel.
+    let rm_scan_ns = (group_width as f64 / line) * rm.bus_ns_per_line + cyc(costs.vector_elem);
 
     // Data movement per path. ROW reads the touched spans of every base
     // row; COL streams the projected columns and re-reads the distinct
@@ -221,36 +296,135 @@ pub fn estimate_parallel(
     let packed_rows_per_line = (line / group_width as f64).floor().max(1.0);
     let rm_bytes = (rows / packed_rows_per_line).ceil() * line;
 
-    // Parallel scaling: divide by cores, floored at the shared-resource
-    // bandwidth (one line per L2-port slot, DRAM banks overlapped behind
-    // it) and never cheaper than that floor allows.
-    let cores_f = cores.max(1) as f64;
-    let shared_line_ns = sim
-        .cycles_to_ns(sim.l2_port_cycles)
-        .max(sim.dram_row_hit_ns / sim.dram_banks as f64);
-    let par = |serial_ns: f64, bytes: f64| {
-        let floor_ns = (bytes / line) * shared_line_ns;
-        (serial_ns / cores_f).max(floor_ns).min(serial_ns)
-    };
-
-    let rm_consume_total = rm_consume * rows;
-    let rm_engine_total = rm.engine_ns_per_row * rows;
-    // `rm_ns_per` (the serial per-row max) is what cores == 1 must match.
-    let rm_ns = if cores <= 1 {
-        rm_ns_per * rows + rm.configure_ns
-    } else {
-        rm_engine_total.max(par(rm_consume_total, rm_bytes)) + rm.configure_ns
-    };
-
-    Ok(PathCost {
-        row_ns: par(row_ns_per * rows, row_bytes),
-        col_ns: col_ns_per.map(|c| par(c * rows, col_bytes.unwrap_or(0.0))),
-        rm_ns,
-        cores: cores.max(1),
+    Ok(PathTerms {
+        row_scan_ns,
+        col_scan_ns,
+        rm_scan_ns,
+        pred_ns,
+        consume_ns,
         row_bytes,
         col_bytes,
         rm_bytes,
     })
+}
+
+/// One operator's share of a path estimate, produced by
+/// [`split_path_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpEstimate {
+    /// Operator name as the executor lowers it (`scan_row`, `filter`,
+    /// `aggregate`, `project`, `merge`).
+    pub op: &'static str,
+    /// This operator's share of the path's estimated nanoseconds.
+    pub ns: f64,
+    /// This operator's share of the path's estimated bytes (all data
+    /// movement is attributed to the scan node).
+    pub bytes: f64,
+}
+
+/// Split a path's estimate across the operator DAG the executor lowers
+/// for `bound`: `scan_<path> → [filter] → project|aggregate → merge`.
+///
+/// Shares are proportional to the per-row cost terms of
+/// [`estimate_parallel`] (scan term, predicate term, consume term);
+/// the merge node absorbs the floating-point residue so the shares sum
+/// to the path estimate **bit-exactly** — enforced here like the
+/// top-down `buckets_reconcile` invariant, and re-checked by the
+/// querylog determinism suite.
+pub fn split_path_cost(
+    sim: &SimConfig,
+    rm: &RmConfig,
+    entry: &TableEntry,
+    bound: &BoundQuery,
+    path: AccessPath,
+    cost: &PathCost,
+) -> Result<Vec<OpEstimate>> {
+    let total_ns = cost.ns(path).ok_or_else(|| {
+        FabricError::Internal(format!("cannot split estimate of unavailable path {path}"))
+    })?;
+    let total_bytes = cost.bytes(path).unwrap_or(0.0);
+    let t = path_terms(sim, rm, entry, bound)?;
+
+    let scan_weight = match path {
+        AccessPath::Row => t.row_scan_ns,
+        AccessPath::Col => t.col_scan_ns.ok_or_else(|| {
+            FabricError::Internal("COL split requested without a columnar copy".to_string())
+        })?,
+        // The device beat overlaps the consume stream; the scan node owns
+        // whichever side dominates.
+        AccessPath::Rm => rm.engine_ns_per_row.max(t.rm_scan_ns),
+    };
+    let scan_op = match path {
+        AccessPath::Row => "scan_row",
+        AccessPath::Col => "scan_col",
+        AccessPath::Rm => "scan_rm",
+    };
+
+    // Stage-0 weights mirror the lowering: Filter exists only under
+    // predicates; consumption is Aggregate or Project.
+    let mut weighted: Vec<(&'static str, f64)> = vec![(scan_op, scan_weight)];
+    if !bound.preds.is_empty() {
+        weighted.push(("filter", t.pred_ns));
+    }
+    weighted.push((
+        if bound.has_aggregates() {
+            "aggregate"
+        } else {
+            "project"
+        },
+        t.consume_ns,
+    ));
+
+    let wsum: f64 = weighted.iter().map(|(_, w)| w).sum();
+    let mut ops: Vec<OpEstimate> = if wsum > 0.0 {
+        weighted
+            .iter()
+            .map(|&(op, w)| OpEstimate {
+                op,
+                ns: total_ns * (w / wsum),
+                bytes: 0.0,
+            })
+            .collect()
+    } else {
+        // Degenerate weights: the scan owns the whole estimate.
+        weighted
+            .iter()
+            .enumerate()
+            .map(|(i, &(op, _))| OpEstimate {
+                op,
+                ns: if i == 0 { total_ns } else { 0.0 },
+                bytes: 0.0,
+            })
+            .collect()
+    };
+    ops[0].bytes = total_bytes;
+
+    // The merge node is driver-side bookkeeping the path model does not
+    // price; it absorbs the remainder so the left-to-right sum lands on
+    // the path estimate exactly. `total - s + s == total` is not an f64
+    // identity, so nudge the remainder until the re-summed total
+    // round-trips (one or two iterations in practice).
+    let stage0_sum = |ops: &[OpEstimate]| ops.iter().map(|o| o.ns).fold(0.0, |a, b| a + b);
+    let mut merge_ns = total_ns - stage0_sum(&ops);
+    for _ in 0..4 {
+        let sum = stage0_sum(&ops) + merge_ns;
+        if sum == total_ns {
+            break;
+        }
+        merge_ns += total_ns - sum;
+    }
+    ops.push(OpEstimate {
+        op: "merge",
+        ns: merge_ns,
+        bytes: 0.0,
+    });
+    let sum = stage0_sum(&ops);
+    if sum != total_ns {
+        return Err(FabricError::Internal(format!(
+            "per-operator estimates sum to {sum} but the {path} path estimate is {total_ns}"
+        )));
+    }
+    Ok(ops)
 }
 
 /// Pick the best path for the query on one core (the "construct the
@@ -470,6 +644,67 @@ mod tests {
             "RM priced below the device's serial production beat: {:?}",
             cost.rm_ns
         );
+    }
+
+    #[test]
+    fn split_estimates_sum_bit_exactly_on_every_path() {
+        let c = catalog(true);
+        let sim = SimConfig::zynq_a53();
+        let rm = RmConfig::prototype();
+        for sql in [
+            "SELECT c0 FROM t",
+            "SELECT sum(c2) FROM t WHERE c1 < 50",
+            "SELECT c0, sum(c3) FROM t WHERE c1 < 50 GROUP BY c0",
+        ] {
+            let bound = bind(&c, &parse(sql).unwrap()).unwrap();
+            let entry = c.get("t").unwrap();
+            for cores in [1usize, 4] {
+                let cost = estimate_parallel(&sim, &rm, entry, &bound, cores).unwrap();
+                for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
+                    let ops = split_path_cost(&sim, &rm, entry, &bound, path, &cost).unwrap();
+                    let sum: f64 = ops.iter().map(|o| o.ns).fold(0.0, |a, b| a + b);
+                    assert_eq!(
+                        sum.to_bits(),
+                        cost.ns(path).unwrap().to_bits(),
+                        "{sql} on {path} at {cores} cores: {sum} != {:?}",
+                        cost.ns(path)
+                    );
+                    let byte_sum: f64 = ops.iter().map(|o| o.bytes).sum();
+                    assert_eq!(byte_sum, cost.bytes(path).unwrap(), "{sql} on {path}");
+                    assert!(ops.iter().all(|o| o.ns >= 0.0 || o.op == "merge"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_mirrors_the_lowered_operator_chain() {
+        let c = catalog(true);
+        let sim = SimConfig::zynq_a53();
+        let rm = RmConfig::prototype();
+        let entry = c.get("t").unwrap();
+
+        let bound = bind(&c, &parse("SELECT c0 FROM t").unwrap()).unwrap();
+        let cost = estimate(&sim, &rm, entry, &bound).unwrap();
+        let ops = split_path_cost(&sim, &rm, entry, &bound, AccessPath::Row, &cost).unwrap();
+        let names: Vec<&str> = ops.iter().map(|o| o.op).collect();
+        assert_eq!(names, ["scan_row", "project", "merge"], "no filter node");
+        // All data movement belongs to the scan.
+        assert_eq!(ops[0].bytes, cost.row_bytes);
+        assert!(ops[1..].iter().all(|o| o.bytes == 0.0));
+
+        let bound = bind(&c, &parse("SELECT sum(c0) FROM t WHERE c1 < 10").unwrap()).unwrap();
+        let cost = estimate(&sim, &rm, entry, &bound).unwrap();
+        let ops = split_path_cost(&sim, &rm, entry, &bound, AccessPath::Col, &cost).unwrap();
+        let names: Vec<&str> = ops.iter().map(|o| o.op).collect();
+        assert_eq!(names, ["scan_col", "filter", "aggregate", "merge"]);
+
+        // Splitting an unavailable path is an error, not a zero split.
+        let c = catalog(false);
+        let entry = c.get("t").unwrap();
+        let bound = bind(&c, &parse("SELECT c0 FROM t").unwrap()).unwrap();
+        let cost = estimate(&sim, &rm, entry, &bound).unwrap();
+        assert!(split_path_cost(&sim, &rm, entry, &bound, AccessPath::Col, &cost).is_err());
     }
 
     #[test]

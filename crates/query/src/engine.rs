@@ -33,7 +33,9 @@ use crate::bind::{bind, BoundQuery};
 use crate::catalog::Catalog;
 use crate::cost::{choose_path_parallel, AccessPath, PathCost};
 use crate::exec::opcache::{self, OpCache};
-use crate::exec::{run_verified, CacheSlot, FaultContext, QueryOutput, Resilience, Scratchpad};
+use crate::exec::{
+    run_verified, CacheSlot, FaultContext, QueryOutput, RecordMeta, Resilience, Scratchpad,
+};
 use crate::explain::{
     analyze_paths_impl, render_analyze_report, render_latency_section, render_plan_for,
     render_recovery_section,
@@ -299,6 +301,23 @@ impl Engine {
         &self.op_cache
     }
 
+    /// The engine-wide query log: one bounded, deterministic record per
+    /// executed query (cold, cached, degraded, or recovered alike).
+    pub fn querylog(&self) -> &fabric_sim::QueryLog {
+        self.mem.querylog()
+    }
+
+    /// Aggregate the query log into a per-(class, path) workload report.
+    pub fn workload_report(&self) -> fabric_sim::WorkloadReport {
+        self.mem.querylog().workload_report()
+    }
+
+    /// The cost-calibration ledger: per-(table, geometry, path) observed
+    /// relative error of the cost model, fed by every clean cold run.
+    pub fn calib(&self) -> &fabric_sim::CalibLedger {
+        self.mem.calib()
+    }
+
     /// Open a session on this engine. Each session gets a stable numeric
     /// id (1, 2, …) and every query it executes records its latency both
     /// globally (`query.class.<class>.latency_cycles`) and under the
@@ -342,19 +361,38 @@ impl Session<'_> {
     }
 
     /// Record one executed query's cycle-domain latency: into the global
-    /// per-class histogram (whose deterministic p50/p95/p99 are exported
-    /// as gauges the perf gate checks at 5%), and into this session's
-    /// metric scope. Recording never advances the simulated clock, so an
+    /// per-class histogram, into a cache-temperature-split histogram
+    /// (`query.class.<class>.{cold,hit}.latency_cycles` — an op-cache hit
+    /// is orders of magnitude cheaper than a cold run, and pooling the two
+    /// made the headline percentiles meaningless), and into this session's
+    /// metric scope. The headline p50/p95/p99 gauges the perf gate checks
+    /// are fed from the *cold* histogram only; hits get their own gauge
+    /// set. Recording never advances the simulated clock, so an
     /// instrumented run stays cycle-identical to an uninstrumented one.
-    fn record_latency(mem: &mut MemoryHierarchy, session_id: u64, class: &str, elapsed: u64) {
+    fn record_latency(
+        mem: &mut MemoryHierarchy,
+        session_id: u64,
+        class: &str,
+        elapsed: u64,
+        cache_hit: bool,
+    ) {
         let hist_key = format!("query.class.{class}.latency_cycles");
         mem.metrics_mut().observe(&hist_key, elapsed);
-        if let Some(h) = mem.metrics().histogram(&hist_key) {
+        let temp = if cache_hit { "hit" } else { "cold" };
+        let temp_key = format!("query.class.{class}.{temp}.latency_cycles");
+        mem.metrics_mut().observe(&temp_key, elapsed);
+        if let Some(h) = mem.metrics().histogram(&temp_key) {
             let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
             let reg = mem.metrics_mut();
-            reg.gauge_set(&format!("query.class.{class}.p50_cycles"), p50);
-            reg.gauge_set(&format!("query.class.{class}.p95_cycles"), p95);
-            reg.gauge_set(&format!("query.class.{class}.p99_cycles"), p99);
+            reg.gauge_set(&format!("query.class.{class}.{temp}.p50_cycles"), p50);
+            reg.gauge_set(&format!("query.class.{class}.{temp}.p95_cycles"), p95);
+            reg.gauge_set(&format!("query.class.{class}.{temp}.p99_cycles"), p99);
+            if !cache_hit {
+                // Headline percentiles track cold execution only.
+                reg.gauge_set(&format!("query.class.{class}.p50_cycles"), p50);
+                reg.gauge_set(&format!("query.class.{class}.p95_cycles"), p95);
+                reg.gauge_set(&format!("query.class.{class}.p99_cycles"), p99);
+            }
         }
         let mut scope = mem.metrics_mut().scoped(&format!("session.{session_id}"));
         scope.counter_add("queries", 1);
@@ -440,6 +478,7 @@ impl Session<'_> {
             ref catalog,
             ref mut faults,
             ref mut op_cache,
+            ref recoveries,
             ..
         } = *self.engine;
         let entry = catalog.get(&prepared.plan.bound.table)?;
@@ -466,9 +505,23 @@ impl Session<'_> {
             Resilience::Resilient(faults),
             cache,
             &mut self.scratch,
+            RecordMeta {
+                session: self.id,
+                recovered_tables: recoveries.len() as u64,
+            },
         )?;
         let elapsed = mem.now().saturating_sub(t0);
-        Self::record_latency(mem, self.id, prepared.plan.bound.class(), elapsed);
+        Self::record_latency(
+            mem,
+            self.id,
+            prepared.plan.bound.class(),
+            elapsed,
+            out.cache_hit,
+        );
+        mem.metrics_mut().gauge_set(
+            "query.scratchpad.hwm_bytes",
+            self.scratch.hwm_bytes() as f64,
+        );
         Ok(out)
     }
 
@@ -501,6 +554,7 @@ impl Session<'_> {
             ref catalog,
             ref mut faults,
             ref rm,
+            ref recoveries,
             ..
         } = *self.engine;
         let entry = catalog.get(&bound.table)?;
@@ -518,9 +572,17 @@ impl Session<'_> {
             Resilience::Resilient(faults),
             CacheSlot::None,
             &mut self.scratch,
+            RecordMeta {
+                session: self.id,
+                recovered_tables: recoveries.len() as u64,
+            },
         )?;
         let elapsed = mem.now().saturating_sub(t0);
-        Self::record_latency(mem, self.id, bound.class(), elapsed);
+        Self::record_latency(mem, self.id, bound.class(), elapsed, out.cache_hit);
+        mem.metrics_mut().gauge_set(
+            "query.scratchpad.hwm_bytes",
+            self.scratch.hwm_bytes() as f64,
+        );
         Ok(out)
     }
 
@@ -563,15 +625,36 @@ impl Session<'_> {
             &prepared.plan.cost,
         )?;
         let has_cols = entry.cols.is_some();
-        let (_, reports, profile, cores, topdown) = analyze_paths_impl(
+        let (_, reports, profile, cores, topdown, ops) = analyze_paths_impl(
             &mut self.engine.mem,
             &self.engine.catalog,
             &prepared.plan.bound,
         )?;
-        let mut text =
-            render_analyze_report(&header, has_cols, &reports, &profile, &cores, &topdown)?;
+        let mut text = render_analyze_report(
+            &header, has_cols, &reports, &profile, &cores, &topdown, &ops,
+        )?;
         text.push_str(&render_latency_section(self.engine.mem.metrics())?);
         text.push_str(&render_recovery_section(self.engine.recoveries())?);
+        // Operator-cache provenance: the signature this plan executes
+        // under on its chosen path, and the engine-wide cache state.
+        let oc = &self.engine.op_cache;
+        let (hits, misses) = oc.stats();
+        text.push_str(&format!(
+            "  op-cache: key {:032x} (chosen path)  entries {}  bytes {}  hits {}  misses {}  insertions {}  evictions {}\n",
+            prepared.cache_key(prepared.plan.path),
+            oc.len(),
+            oc.bytes(),
+            hits,
+            misses,
+            oc.insertions(),
+            oc.evictions(),
+        ));
+        text.push_str(&format!(
+            "  scratchpad: allocs {}  reuses {}  hwm {} B\n",
+            self.scratch.allocs(),
+            self.scratch.reuses(),
+            self.scratch.hwm_bytes(),
+        ));
         Ok(text)
     }
 }

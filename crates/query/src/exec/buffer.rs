@@ -65,6 +65,9 @@ pub struct Scratchpad {
     sels: Vec<Vec<u32>>,
     reuses: u64,
     allocs: u64,
+    /// High-water mark of pooled capacity bytes (sampled on every
+    /// `put_*`), exported as the `query.scratchpad.hwm_bytes` gauge.
+    hwm_bytes: u64,
 }
 
 impl Scratchpad {
@@ -91,6 +94,27 @@ impl Scratchpad {
     /// Buffers that had to be freshly allocated.
     pub fn allocs(&self) -> u64 {
         self.allocs
+    }
+
+    /// High-water mark of the pools' retained capacity, in bytes — how
+    /// much backing storage query execution has ever parked here at once.
+    pub fn hwm_bytes(&self) -> u64 {
+        self.hwm_bytes
+    }
+
+    /// Re-sample the high-water mark after a buffer returns to a pool.
+    fn note_hwm(&mut self) {
+        let vals: usize = self
+            .vals
+            .iter()
+            .map(|b| b.capacity() * size_of::<Value>())
+            .sum();
+        let sels: usize = self
+            .sels
+            .iter()
+            .map(|b| b.capacity() * size_of::<u32>())
+            .sum();
+        self.hwm_bytes = self.hwm_bytes.max((vals + sels) as u64);
     }
 
     /// Take a `Vec<Value>` buffer (cleared, capacity retained from its
@@ -129,6 +153,7 @@ impl Scratchpad {
         );
         buf.clear();
         self.vals.push(buf);
+        self.note_hwm();
     }
 
     /// Take a `Vec<u32>` selection-vector buffer plus its ticket.
@@ -169,6 +194,7 @@ impl Scratchpad {
         );
         buf.clear();
         self.sels.push(buf);
+        self.note_hwm();
     }
 }
 
@@ -203,6 +229,10 @@ mod tests {
         assert_eq!(r3.kind(), BufferKind::Selection);
         s.put_sel(r3, sv);
         assert_eq!(s.allocs(), 2);
+        assert!(
+            s.hwm_bytes() >= (cap_marker * size_of::<Value>()) as u64,
+            "high-water mark saw the grown buffer"
+        );
     }
 
     #[test]

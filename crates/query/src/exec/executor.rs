@@ -93,6 +93,18 @@ impl<'q> QueryExecutor<'q> {
         }
     }
 
+    /// The accumulated per-operator actuals of stage 0, in DAG order,
+    /// for nodes that ran (merge is driver-owned and never appears).
+    /// Carried out through `run_scan` so `finish_output` can attribute
+    /// the scan phase's cycles and bytes to individual operators.
+    pub(crate) fn op_actuals(&self) -> Vec<(&'static str, fabric_sim::OpStats)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.stats.invocations > 0)
+            .map(|n| (n.kind.name(), n.stats))
+            .collect()
+    }
+
     /// Export the accumulated per-operator actuals as `query.op.*`
     /// counters (merge is recorded by the driver, which owns that stage).
     pub(crate) fn record_metrics(&self, reg: &mut MetricsRegistry) {

@@ -39,7 +39,7 @@ pub use opcache::OpCache;
 use crate::analyze::{analyze, VerifiedQuery};
 use crate::bind::BoundQuery;
 use crate::catalog::{Catalog, TableEntry};
-use crate::cost::{choose_path_parallel, AccessPath, PathCost};
+use crate::cost::{choose_path_parallel, split_path_cost, AccessPath, PathCost};
 use fabric_sim::{
     Category, CircuitBreaker, FaultConfig, FaultPlan, MemStats, MemoryHierarchy, OpStats,
     RecoveryPolicy,
@@ -107,6 +107,59 @@ pub struct CoreAttribution {
     pub idle_cycles: u64,
 }
 
+/// Per-operator estimated and actual attribution for one DAG node of an
+/// executed query — the rows of the EXPLAIN ANALYZE operator tree and of
+/// the query log's `ops` array.
+///
+/// Estimates are the node's share of the path estimate
+/// ([`split_path_cost`]); the shares sum to the path total bit-exactly.
+/// Actuals apportion the measured scan phase: each stage-0 node gets
+/// cycles proportional to its estimate share (the scan node absorbing
+/// the integer remainder so the stage-0 cycles also sum exactly), the
+/// scan node owns the phase's bytes, and the merge node carries its own
+/// phase's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpReport {
+    /// Operator name as lowered (`scan_row`, `filter`, `aggregate`, ...).
+    pub op: &'static str,
+    /// Estimated nanoseconds attributed to this operator.
+    pub est_ns: f64,
+    /// Estimated bytes attributed to this operator.
+    pub est_bytes: f64,
+    /// Measured simulated cycles attributed to this operator.
+    pub actual_cycles: u64,
+    /// Measured bytes read attributed to this operator.
+    pub actual_bytes: u64,
+    /// Rows entering the operator.
+    pub rows_in: u64,
+    /// Rows leaving the operator.
+    pub rows_out: u64,
+    /// Operator body invocations (morsels, or merge folds).
+    pub invocations: u64,
+}
+
+/// Who issued the query and what the engine had been through when it
+/// ran — recorded into the query log alongside the execution itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecordMeta {
+    /// Session id (0 for engine-direct entry points).
+    pub session: u64,
+    /// Tables the engine has recovered (WAL replay) so far.
+    pub recovered_tables: u64,
+}
+
+/// How the run interacted with the operator cache, for provenance in the
+/// query log and the opcache metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheOutcome {
+    /// The entry point bypassed the cache (benches, EXPLAIN ANALYZE).
+    Bypass,
+    /// Probed and missed (and possibly filled).
+    Miss,
+    /// Replayed the memoized stage output.
+    Hit,
+}
+
 /// The result of a query: rows plus how they were obtained.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
@@ -134,6 +187,12 @@ pub struct QueryOutput {
     /// output is returned, and exported into the metrics registry as
     /// `query.core<i>.td.*`.
     pub topdown: fabric_sim::TopDown,
+    /// Per-operator estimate/actual attribution for the path that ran
+    /// (empty on op-cache hits — no operator executed). Per-op estimates
+    /// sum bit-exactly to `cost.ns(path)`.
+    pub ops: Vec<OpReport>,
+    /// True when the answer was replayed from the operator cache.
+    pub cache_hit: bool,
 }
 
 /// Fault-handling state threaded through resilient execution across
@@ -210,6 +269,7 @@ pub(crate) fn execute_impl(
         Resilience::Plain,
         CacheSlot::None,
         &mut Scratchpad::new(),
+        RecordMeta::default(),
     )
 }
 
@@ -237,6 +297,7 @@ pub(crate) fn execute_on_impl(
         Resilience::Plain,
         CacheSlot::None,
         &mut Scratchpad::new(),
+        RecordMeta::default(),
     )
 }
 
@@ -265,6 +326,7 @@ pub(crate) fn execute_resilient_impl(
         Resilience::Resilient(ctx),
         CacheSlot::None,
         &mut Scratchpad::new(),
+        RecordMeta::default(),
     )
 }
 
@@ -333,10 +395,25 @@ pub(crate) fn run_verified(
     resilience: Resilience<'_>,
     mut cache: CacheSlot<'_>,
     scratch: &mut Scratchpad,
+    meta: RecordMeta,
 ) -> Result<QueryOutput> {
     // New query, new buffer epoch: tickets minted by the previous query
     // are now invalid (see `buffer`).
     scratch.begin_query();
+    // The plan signature recorded in the query log: the cache key when
+    // the run is keyed, else the same signature computed locally (bypass
+    // entry points still get stable provenance).
+    let sig = match &cache {
+        CacheSlot::Keyed(_, key) => *key,
+        CacheSlot::None => opcache::keyed(
+            opcache::plan_signature(
+                verified.bound(),
+                entry.rows.len(),
+                &format!("{:?}", verified.geometry()),
+            ),
+            path,
+        ),
+    };
     // Align the cores so the attribution window has one common origin.
     let t0 = mem.fork_clocks();
     // Arm the flight recorder: a mid-query postmortem reports its metrics
@@ -370,8 +447,18 @@ pub(crate) fn run_verified(
             None,
             profile,
             &before,
+            RecordCtx {
+                meta,
+                sig,
+                outcome: CacheOutcome::Hit,
+                ops: Vec::new(),
+            },
         );
     }
+    let outcome = match &cache {
+        CacheSlot::Keyed(..) => CacheOutcome::Miss,
+        CacheSlot::None => CacheOutcome::Bypass,
+    };
 
     let scanned = run_scan(
         mem,
@@ -383,7 +470,7 @@ pub(crate) fn run_verified(
         &mut profile,
         scratch,
     );
-    let (partials, ran_path, rm_stats, degraded_from) = match scanned {
+    let (partials, actuals, ran_path, rm_stats, degraded_from) = match scanned {
         Ok(v) => v,
         Err(e) => {
             mem.join_clocks();
@@ -412,11 +499,31 @@ pub(crate) fn run_verified(
             return Err(e);
         }
     };
-    OpStats {
+    let merge_full = OpStats {
         rows_out: rows.len() as u64,
         ..merge_stats
-    }
-    .record_into(mem.metrics_mut(), "query.op", "merge");
+    };
+    merge_full.record_into(mem.metrics_mut(), "query.op", "merge");
+
+    // Attribute estimates and measured cycles/bytes to the DAG nodes that
+    // actually ran (the fallback executor's nodes when the run degraded).
+    let ops = match build_op_reports(
+        mem,
+        entry,
+        verified,
+        ran_path,
+        &cost,
+        &actuals,
+        &profile,
+        &merge_full,
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            mem.join_clocks();
+            mem.trace_end("query::exec", Category::Query, &[("failed", 1)]);
+            return Err(e);
+        }
+    };
 
     // Memoize the pre-sort/pre-limit stage output — clean runs only: a
     // degraded answer or a faulted RM attempt must be re-earned every
@@ -426,9 +533,19 @@ pub(crate) fn run_verified(
         let clean =
             degraded_from.is_none() && rm_stats.as_ref().map_or(true, |s| s.injected_faults == 0);
         if clean {
+            let evicted_before = opcache.evictions();
             opcache.insert(key, rows.clone(), ran_path, rm_stats.clone());
-            mem.metrics_mut().counter_add("query.opcache.insertions", 1);
+            let metrics = mem.metrics_mut();
+            metrics.counter_add("query.opcache.insertions", 1);
+            metrics.counter_add(
+                "query.opcache.evictions",
+                opcache.evictions() - evicted_before,
+            );
         }
+        // Occupancy after this run, visible next to the hit/miss counters.
+        let metrics = mem.metrics_mut();
+        metrics.gauge_set("query.opcache.entries", opcache.len() as f64);
+        metrics.gauge_set("query.opcache.bytes", opcache.bytes() as f64);
     }
 
     finish_output(
@@ -442,7 +559,116 @@ pub(crate) fn run_verified(
         degraded_from,
         profile,
         &before,
+        RecordCtx {
+            meta,
+            sig,
+            outcome,
+            ops,
+        },
     )
+}
+
+/// Everything `finish_output` needs to record the run into the query log
+/// and the calibration ledger, beyond the execution results themselves.
+pub(crate) struct RecordCtx {
+    pub meta: RecordMeta,
+    /// Plan signature (see [`run_verified`]).
+    pub sig: u128,
+    pub outcome: CacheOutcome,
+    /// Per-operator attribution (empty on cache hits).
+    pub ops: Vec<OpReport>,
+}
+
+/// Build the per-operator reports for the path that ran: estimates from
+/// [`split_path_cost`], actuals apportioned from the measured scan and
+/// merge phases (see [`OpReport`]). Uses the *last* non-failed scan phase
+/// of `ran_path` so a degraded run attributes the fallback scan, not the
+/// faulted RM attempt.
+#[allow(clippy::too_many_arguments)]
+fn build_op_reports(
+    mem: &MemoryHierarchy,
+    entry: &TableEntry,
+    verified: &VerifiedQuery<'_>,
+    ran_path: AccessPath,
+    cost: &PathCost,
+    actuals: &[(&'static str, OpStats)],
+    profile: &[PhaseProfile],
+    merge: &OpStats,
+) -> Result<Vec<OpReport>> {
+    let ests = split_path_cost(
+        mem.config(),
+        &RmConfig::prototype(),
+        entry,
+        verified.bound(),
+        ran_path,
+        cost,
+    )?;
+    let scan_phase = profile
+        .iter()
+        .rev()
+        .find(|p| p.name == scan_span(ran_path) && !p.failed);
+    let merge_phase = profile
+        .iter()
+        .rev()
+        .find(|p| p.name == "query::stage::merge" && !p.failed);
+    let phase_cycles = scan_phase.map_or(0, |p| p.cycles);
+    let phase_bytes = scan_phase.map_or(0, |p| p.bytes_read);
+
+    // Apportion the scan phase's cycles by estimate share; non-scan nodes
+    // floor, the scan node absorbs the integer remainder so the stage-0
+    // actuals sum to the measured phase exactly.
+    let stage0: Vec<&crate::cost::OpEstimate> = ests.iter().filter(|e| e.op != "merge").collect();
+    let wsum: f64 = stage0.iter().map(|e| e.ns).sum();
+    let mut attributed = 0u64;
+    let mut cycles_for: Vec<(&'static str, u64)> = Vec::with_capacity(stage0.len());
+    for e in stage0.iter().skip(1) {
+        let share = if wsum > 0.0 {
+            (phase_cycles as f64 * (e.ns / wsum)) as u64
+        } else {
+            0
+        };
+        attributed += share;
+        cycles_for.push((e.op, share));
+    }
+    let stats_for = |op: &str| {
+        actuals
+            .iter()
+            .find(|(n, _)| *n == op)
+            .map_or(OpStats::default(), |(_, s)| *s)
+    };
+    let mut ops = Vec::with_capacity(ests.len());
+    for e in &ests {
+        let (actual_cycles, actual_bytes, stats) = if e.op == "merge" {
+            (
+                merge_phase.map_or(0, |p| p.cycles),
+                merge_phase.map_or(0, |p| p.bytes_read),
+                *merge,
+            )
+        } else if stage0.first().is_some_and(|f| std::ptr::eq(e, *f)) {
+            (
+                phase_cycles.saturating_sub(attributed),
+                phase_bytes,
+                stats_for(e.op),
+            )
+        } else {
+            let c = cycles_for
+                .iter()
+                .find(|(n, _)| *n == e.op)
+                .map_or(0, |(_, c)| *c);
+            (c, 0, stats_for(e.op))
+        };
+        ops.push(OpReport {
+            op: e.op,
+            est_ns: e.ns,
+            est_bytes: e.bytes,
+            actual_cycles,
+            actual_bytes,
+            rows_in: stats.rows_in,
+            rows_out: stats.rows_out,
+            invocations: stats.invocations,
+        });
+    }
+    Ok(ops)
 }
 
 /// Stage 0 of the pipeline: run the chosen path's fused morsel kernels on
@@ -462,6 +688,7 @@ fn run_scan<'v>(
     scratch: &mut Scratchpad,
 ) -> Result<(
     Vec<Consumer<'v>>,
+    Vec<(&'static str, OpStats)>,
     AccessPath,
     Option<RmStats>,
     Option<AccessPath>,
@@ -470,23 +697,23 @@ fn run_scan<'v>(
                     p: &mut Vec<PhaseProfile>,
                     s: &mut Scratchpad,
                     fb: AccessPath|
-     -> Result<Vec<Consumer<'v>>> {
+     -> Result<(Vec<Consumer<'v>>, Vec<(&'static str, OpStats)>)> {
         let mut ex = QueryExecutor::new(verified, fb);
         let res = profiled(m, scan_span(fb), p, |m| ex.run_stage0(m, entry, s));
         ex.record_metrics(m.metrics_mut());
-        res
+        res.map(|partials| (partials, ex.op_actuals()))
     };
     match (path, resilience) {
-        (AccessPath::Row | AccessPath::Col, _) => {
-            software(mem, profile, scratch, path).map(|partials| (partials, path, None, None))
-        }
+        (AccessPath::Row | AccessPath::Col, _) => software(mem, profile, scratch, path)
+            .map(|(partials, actuals)| (partials, actuals, path, None, None)),
         (AccessPath::Rm, Resilience::Plain) => {
             let mut ex = QueryExecutor::new(verified, AccessPath::Rm);
             let res = profiled(mem, scan_span(path), profile, |m| {
                 ex.run_stage0_rm(m, scratch)
             });
             ex.record_metrics(mem.metrics_mut());
-            res.map(|(partials, stats)| (partials, path, Some(stats), None))
+            let actuals = ex.op_actuals();
+            res.map(|(partials, stats)| (partials, actuals, path, Some(stats), None))
         }
         (AccessPath::Rm, Resilience::Resilient(ctx)) => {
             if !ctx.rm_health.allow() {
@@ -500,8 +727,8 @@ fn run_scan<'v>(
                 mem.metrics_mut().counter_add("query.breaker_skips", 1);
                 mem.flight_dump("breaker-open");
                 let fb = fallback_path(cost);
-                let partials = software(mem, profile, scratch, fb)?;
-                return Ok((partials, fb, None, Some(AccessPath::Rm)));
+                let (partials, actuals) = software(mem, profile, scratch, fb)?;
+                return Ok((partials, actuals, fb, None, Some(AccessPath::Rm)));
             }
 
             // The resilient RM stage always reports device stats, so it
@@ -534,7 +761,7 @@ fn run_scan<'v>(
             match res {
                 Ok(partials) => {
                     ctx.rm_health.record_success();
-                    Ok((partials, AccessPath::Rm, Some(stats), None))
+                    Ok((partials, ex.op_actuals(), AccessPath::Rm, Some(stats), None))
                 }
                 Err(e) if degradable(&e) => {
                     // The device is misbehaving past its retry budget:
@@ -549,8 +776,8 @@ fn run_scan<'v>(
                         &[("to_col", u64::from(fb == AccessPath::Col))],
                     );
                     mem.flight_dump("degraded");
-                    let partials = software(mem, profile, scratch, fb)?;
-                    Ok((partials, fb, Some(stats), Some(AccessPath::Rm)))
+                    let (partials, actuals) = software(mem, profile, scratch, fb)?;
+                    Ok((partials, actuals, fb, Some(stats), Some(AccessPath::Rm)))
                 }
                 Err(e) => Err(e),
             }
@@ -558,10 +785,33 @@ fn run_scan<'v>(
     }
 }
 
+/// Short stable tag for a verified geometry, used in calibration ledger
+/// keys (the full Debug form is too long for a metric name): FNV-1a over
+/// the Debug rendering, folded to 8 hex digits.
+fn geometry_tag(geometry: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in geometry.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{:08x}", (h as u32) ^ ((h >> 32) as u32))
+}
+
+/// Relative error of an observation against its estimate, as a fraction
+/// (0.0 when there was no estimate to be wrong about).
+fn rel_err(est: f64, actual: f64) -> f64 {
+    if est > 0.0 {
+        (actual - est).abs() / est
+    } else {
+        0.0
+    }
+}
+
 /// Shared tail of every execution: ORDER BY / LIMIT post-processing,
-/// metrics accounting, and output assembly. `t0` is when the *first*
-/// attempt started, so a degraded run's `ns` includes the time burnt on
-/// the failed RM path. Closes the `query::exec` span its caller opened.
+/// metrics accounting, query-log / calibration recording, and output
+/// assembly. `t0` is when the *first* attempt started, so a degraded
+/// run's `ns` includes the time burnt on the failed RM path. Closes the
+/// `query::exec` span its caller opened.
 #[allow(clippy::too_many_arguments)]
 fn finish_output(
     mem: &mut MemoryHierarchy,
@@ -574,6 +824,7 @@ fn finish_output(
     degraded_from: Option<AccessPath>,
     mut profile: Vec<PhaseProfile>,
     before: &[MemStats],
+    ctx: RecordCtx,
 ) -> Result<QueryOutput> {
     let bound = verified.bound();
     if !bound.order_by.is_empty() {
@@ -657,16 +908,104 @@ fn finish_output(
     if let Some(rm) = &rm_stats {
         rm.record_into(metrics, "query.rm");
     }
+
+    // --- Query log + calibration ledger (host-side: no simulated time) ---
+    let cache_hit = ctx.outcome == CacheOutcome::Hit;
+    let path_str = match path {
+        AccessPath::Row => "row",
+        AccessPath::Col => "col",
+        AccessPath::Rm => "rm",
+    };
+    let est_ns = cost.ns(path).unwrap_or(0.0);
+    let est_bytes = cost.bytes(path).unwrap_or(0.0);
+    let actual_ns = mem.ns_since(t0);
+    let actual_bytes: u64 = cores.iter().map(|a| a.bytes_read).sum();
+    let faults_injected = rm_stats.as_ref().map_or(0, |s| s.injected_faults);
+    let mut td_sum = fabric_sim::TopDownSummary::default();
+    for c in &topdown.cores {
+        td_sum.retired += c.retired;
+        td_sum.mem += c.memory_bound();
+        // `TopDownCore::stall()` folds idle in; the summary keeps idle as
+        // its own bucket, so take the stall sub-buckets individually.
+        td_sum.stall += c.bw_wait + c.fault_retry;
+        td_sum.idle += c.idle;
+        td_sum.elapsed += c.elapsed;
+    }
+    let record = fabric_sim::QueryRecord {
+        seq: 0, // assigned by the log on push
+        plan_sig: ctx.sig,
+        class: bound.class().to_string(),
+        session: ctx.meta.session,
+        path: path_str.to_string(),
+        est_ns,
+        actual_cycles: total,
+        est_bytes,
+        actual_bytes,
+        rows_out: rows.len() as u64,
+        cache_hit,
+        degraded_from: degraded_from.map(|p| format!("{p:?}")),
+        recovered_tables: ctx.meta.recovered_tables,
+        faults_injected,
+        ops: ctx
+            .ops
+            .iter()
+            .map(|o| fabric_sim::OpRecord {
+                op: o.op.to_string(),
+                est_ns: o.est_ns,
+                est_bytes: o.est_bytes,
+                actual_cycles: o.actual_cycles,
+                actual_bytes: o.actual_bytes,
+                rows_in: o.rows_in,
+                rows_out: o.rows_out,
+                invocations: o.invocations,
+            })
+            .collect(),
+        topdown: td_sum,
+    };
+    mem.querylog_mut().push(record);
+    mem.metrics_mut().counter_add("querylog.records", 1);
+
+    // Calibrate the cost model on clean cold runs only: hits measure the
+    // cache, not the path; degraded/faulted runs measure the fault story.
+    if !cache_hit && degraded_from.is_none() && faults_injected == 0 {
+        let key = format!(
+            "{}/{}/{}",
+            bound.table,
+            geometry_tag(&format!("{:?}", verified.geometry())),
+            path_str
+        );
+        let e = mem.calib_mut().observe(
+            &key,
+            rel_err(est_ns, actual_ns),
+            rel_err(est_bytes, actual_bytes as f64),
+        );
+        let metrics = mem.metrics_mut();
+        metrics.counter_add("calib.observations", 1);
+        metrics.gauge_set(&format!("calib.{key}.runs"), e.runs as f64);
+        metrics.gauge_set(&format!("calib.{key}.mean_rel_err_ns"), e.mean_rel_err_ns);
+        metrics.gauge_set(&format!("calib.{key}.ewma_rel_err_ns"), e.ewma_rel_err_ns);
+        metrics.gauge_set(
+            &format!("calib.{key}.mean_rel_err_bytes"),
+            e.mean_rel_err_bytes,
+        );
+        metrics.gauge_set(
+            &format!("calib.{key}.ewma_rel_err_bytes"),
+            e.ewma_rel_err_bytes,
+        );
+    }
+
     Ok(QueryOutput {
         rows,
         path,
-        ns: mem.ns_since(t0),
+        ns: actual_ns,
         cost,
         rm_stats,
         degraded_from,
         profile,
         cores,
         topdown,
+        ops: ctx.ops,
+        cache_hit,
     })
 }
 
@@ -1107,6 +1446,7 @@ mod tests {
             Resilience::Plain,
             CacheSlot::Keyed(&mut cacheobj, key),
             &mut scratch,
+            RecordMeta::default(),
         )
         .unwrap();
         assert_eq!(cacheobj.stats(), (0, 1));
@@ -1121,6 +1461,7 @@ mod tests {
             Resilience::Plain,
             CacheSlot::Keyed(&mut cacheobj, key),
             &mut scratch,
+            RecordMeta::default(),
         )
         .unwrap();
         assert_eq!(cacheobj.stats(), (1, 1));
@@ -1183,6 +1524,7 @@ mod tests {
                 Resilience::Plain,
                 CacheSlot::Keyed(&mut cacheobj, opcache::keyed(base, path)),
                 &mut scratch,
+                RecordMeta::default(),
             )
             .unwrap();
             assert_eq!(out.rows.len(), expect_len);
@@ -1223,6 +1565,7 @@ mod tests {
             Resilience::Resilient(&mut ctx),
             CacheSlot::Keyed(&mut cacheobj, key),
             &mut scratch,
+            RecordMeta::default(),
         )
         .unwrap();
         assert_eq!(out.degraded_from, Some(AccessPath::Rm));

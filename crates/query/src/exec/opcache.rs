@@ -28,24 +28,72 @@ use crate::bind::BoundQuery;
 use crate::cost::AccessPath;
 use fabric_types::Value;
 use relmem::RmStats;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default byte budget for memoized stage outputs. Generous on purpose:
+/// the CI workloads' working sets fit with a wide margin, so eviction
+/// only triggers on genuinely unbounded workloads (asserted by the
+/// `abl_opcache` bench, whose hit ratio would collapse if CI-sized
+/// entries were evicted).
+pub const DEFAULT_OPCACHE_CAP_BYTES: u64 = 8 << 20;
 
 /// One memoized stage output: the pre-sort/pre-limit rows, the path that
-/// produced them, and the (clean) device stats when that path was RM.
+/// produced them, the (clean) device stats when that path was RM, and
+/// the entry's approximate heap footprint for the byte budget.
 struct CachedScan {
     rows: Vec<Vec<Value>>,
     path: AccessPath,
     rm_stats: Option<RmStats>,
+    bytes: u64,
+}
+
+/// Approximate heap footprint of a memoized row set: enum payload per
+/// value (plus string bytes), vector headers per row.
+fn rows_bytes(rows: &[Vec<Value>]) -> u64 {
+    let val = size_of::<Value>() as u64;
+    let header = size_of::<Vec<Value>>() as u64;
+    rows.iter()
+        .map(|r| {
+            header
+                + r.iter()
+                    .map(|v| {
+                        val + match v {
+                            Value::Str(s) => s.len() as u64,
+                            _ => 0,
+                        }
+                    })
+                    .sum::<u64>()
+        })
+        .sum()
 }
 
 /// The per-engine operator cache. See the module docs for keying and
 /// invalidation rules.
-#[derive(Default)]
 pub struct OpCache {
     map: BTreeMap<u128, CachedScan>,
+    /// Insertion order for FIFO eviction under the byte budget.
+    order: VecDeque<u128>,
+    bytes: u64,
+    cap_bytes: u64,
     hits: u64,
     misses: u64,
     insertions: u64,
+    evictions: u64,
+}
+
+impl Default for OpCache {
+    fn default() -> Self {
+        OpCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            cap_bytes: DEFAULT_OPCACHE_CAP_BYTES,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
 }
 
 impl OpCache {
@@ -66,7 +114,10 @@ impl OpCache {
         }
     }
 
-    /// Memoize a clean run's stage output under its signature.
+    /// Memoize a clean run's stage output under its signature, then
+    /// evict oldest-first until the byte budget holds (the entry just
+    /// inserted is never evicted — a cache that cannot admit the current
+    /// query is useless).
     pub(crate) fn insert(
         &mut self,
         key: u128,
@@ -75,14 +126,32 @@ impl OpCache {
         rm_stats: Option<RmStats>,
     ) {
         self.insertions += 1;
-        self.map.insert(
+        let bytes = rows_bytes(&rows);
+        if let Some(old) = self.map.insert(
             key,
             CachedScan {
                 rows,
                 path,
                 rm_stats,
+                bytes,
             },
-        );
+        ) {
+            self.bytes -= old.bytes;
+            self.order.retain(|k| *k != key);
+        }
+        self.bytes += bytes;
+        self.order.push_back(key);
+        while self.bytes > self.cap_bytes && self.order.len() > 1 {
+            let victim = self.order[0];
+            if victim == key {
+                break;
+            }
+            self.order.pop_front();
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
     }
 
     /// `(hits, misses)` since the engine was created (cleared entries do
@@ -94,6 +163,28 @@ impl OpCache {
     /// Entries inserted since the engine was created.
     pub fn insertions(&self) -> u64 {
         self.insertions
+    }
+
+    /// Entries evicted by the byte budget since the engine was created
+    /// (`clear` is invalidation, not eviction, and is not counted here).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Approximate bytes currently memoized.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The byte budget evictions hold the cache under.
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap_bytes
+    }
+
+    /// Override the byte budget (tests and capacity experiments); evicts
+    /// nothing retroactively — the next insert enforces the new budget.
+    pub fn set_cap_bytes(&mut self, cap: u64) {
+        self.cap_bytes = cap.max(1);
     }
 
     /// Live entries.
@@ -108,6 +199,8 @@ impl OpCache {
     /// Drop every entry (catalog or machine-shape change).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
     }
 }
 
@@ -240,5 +333,35 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats(), (1, 1), "counters survive invalidation");
+        assert_eq!(c.bytes(), 0, "invalidation returns the byte budget");
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first_but_never_the_new_entry() {
+        let mut c = OpCache::default();
+        let wide = || vec![vec![Value::I64(0); 4]; 8];
+        c.set_cap_bytes(rows_bytes(&wide()) * 2);
+        c.insert(1, wide(), AccessPath::Row, None);
+        c.insert(2, wide(), AccessPath::Row, None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, wide(), AccessPath::Row, None);
+        assert_eq!(c.len(), 2, "budget holds two entries");
+        assert_eq!(c.evictions(), 1);
+        assert!(c.probe(1).is_none(), "oldest entry evicted");
+        assert!(c.probe(3).is_some(), "the new entry survives");
+        assert!(c.bytes() <= c.cap_bytes());
+
+        // One entry larger than the whole budget is still admitted.
+        c.set_cap_bytes(1);
+        c.insert(9, wide(), AccessPath::Col, None);
+        assert!(c.probe(9).is_some());
+        assert_eq!(c.len(), 1);
+
+        // Re-inserting under the same key replaces, not duplicates.
+        let before = c.bytes();
+        c.insert(9, wide(), AccessPath::Col, None);
+        assert_eq!(c.bytes(), before);
+        assert_eq!(c.len(), 1);
     }
 }

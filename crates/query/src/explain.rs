@@ -7,7 +7,7 @@
 use crate::bind::{BoundQuery, OutputItem};
 use crate::catalog::{Catalog, TableEntry};
 use crate::cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
-use crate::exec::{execute_on_impl, CoreAttribution, PhaseProfile};
+use crate::exec::{execute_on_impl, CoreAttribution, OpReport, PhaseProfile};
 use fabric_sim::{MemoryHierarchy, MetricsRegistry, SimConfig};
 use fabric_types::{FabricError, Result};
 use mvcc::RecoveryReport;
@@ -176,12 +176,13 @@ pub fn analyze_paths(
     catalog: &Catalog,
     bound: &BoundQuery,
 ) -> Result<(AccessPath, Vec<PathReport>, Vec<PhaseProfile>)> {
-    let (chosen, reports, profile, _, _) = analyze_paths_impl(mem, catalog, bound)?;
+    let (chosen, reports, profile, _, _, _) = analyze_paths_impl(mem, catalog, bound)?;
     Ok((chosen, reports, profile))
 }
 
 /// Full-fidelity form of [`analyze_paths`]: also returns the chosen path's
-/// per-core cycle/byte attribution and its top-down cycle breakdown.
+/// per-core cycle/byte attribution, its top-down cycle breakdown, and its
+/// per-operator estimate/actual reports.
 #[allow(clippy::type_complexity)]
 pub(crate) fn analyze_paths_impl(
     mem: &mut MemoryHierarchy,
@@ -193,6 +194,7 @@ pub(crate) fn analyze_paths_impl(
     Vec<PhaseProfile>,
     Vec<CoreAttribution>,
     fabric_sim::TopDown,
+    Vec<OpReport>,
 )> {
     let entry = catalog.get(&bound.table)?;
     let (chosen, cost) = choose_path_parallel(
@@ -208,6 +210,7 @@ pub(crate) fn analyze_paths_impl(
     let mut chosen_profile = Vec::new();
     let mut chosen_cores = Vec::new();
     let mut chosen_topdown = fabric_sim::TopDown::default();
+    let mut chosen_ops = Vec::new();
     for path in [AccessPath::Row, AccessPath::Col, AccessPath::Rm] {
         // An unpriced path (COL without a columnar copy) is unavailable.
         let (Some(est_ns), Some(est_bytes)) = (cost.ns(path), cost.bytes(path)) else {
@@ -232,7 +235,26 @@ pub(crate) fn analyze_paths_impl(
             AccessPath::Col => "col",
             AccessPath::Rm => "rm",
         };
+        // Per-operator calibration gauges for this path: how far each DAG
+        // node's estimate share drifted from its apportioned actual. The
+        // merge is excluded — its estimate is the f64 fix-up remainder, so
+        // a relative error against it is numerology, not calibration.
+        let op_errs: Vec<(String, f64)> = out
+            .ops
+            .iter()
+            .filter(|o| o.op != "merge")
+            .map(|o| {
+                let actual_ns = mem.config().cycles_to_ns(o.actual_cycles);
+                (
+                    format!("explain.op_rel_err_pct.ns.{key}.{}", o.op),
+                    rel_err_pct(o.est_ns, actual_ns),
+                )
+            })
+            .collect();
         let metrics = mem.metrics_mut();
+        for (name, err) in op_errs {
+            metrics.gauge_set(&name, err);
+        }
         metrics.gauge_set(
             &format!("explain.rel_err_pct.ns.{key}"),
             report.ns_rel_err_pct(),
@@ -245,6 +267,7 @@ pub(crate) fn analyze_paths_impl(
             chosen_profile = out.profile;
             chosen_cores = out.cores;
             chosen_topdown = out.topdown;
+            chosen_ops = out.ops;
         }
         reports.push(report);
     }
@@ -255,6 +278,7 @@ pub(crate) fn analyze_paths_impl(
         chosen_profile,
         chosen_cores,
         chosen_topdown,
+        chosen_ops,
     ))
 }
 
@@ -277,12 +301,16 @@ pub fn explain_analyze(
     )?;
     let header = render_plan(entry, bound, path, &cost).map_err(fmt_err)?;
     let has_cols = entry.cols.is_some();
-    let (_, reports, profile, cores, topdown) = analyze_paths_impl(mem, catalog, bound)?;
-    render_analyze(&header, has_cols, &reports, &profile, &cores, &topdown).map_err(fmt_err)
+    let (_, reports, profile, cores, topdown, ops) = analyze_paths_impl(mem, catalog, bound)?;
+    render_analyze(
+        &header, has_cols, &reports, &profile, &cores, &topdown, &ops,
+    )
+    .map_err(fmt_err)
 }
 
 /// Error-mapped analyze rendering for callers outside this module (the
 /// session API).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn render_analyze_report(
     header: &str,
     has_cols: bool,
@@ -290,10 +318,12 @@ pub(crate) fn render_analyze_report(
     profile: &[PhaseProfile],
     cores: &[CoreAttribution],
     topdown: &fabric_sim::TopDown,
+    ops: &[OpReport],
 ) -> Result<String> {
-    render_analyze(header, has_cols, reports, profile, cores, topdown).map_err(fmt_err)
+    render_analyze(header, has_cols, reports, profile, cores, topdown, ops).map_err(fmt_err)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_analyze(
     header: &str,
     has_cols: bool,
@@ -301,6 +331,7 @@ fn render_analyze(
     profile: &[PhaseProfile],
     cores: &[CoreAttribution],
     topdown: &fabric_sim::TopDown,
+    ops: &[OpReport],
 ) -> std::result::Result<String, std::fmt::Error> {
     let mut out = String::from(header);
     writeln!(out, "  analyze:")?;
@@ -319,6 +350,41 @@ fn render_analyze(
     }
     if !has_cols {
         writeln!(out, "    COL  unavailable (no columnar copy)")?;
+    }
+    if !ops.is_empty() {
+        writeln!(out, "  operators (chosen path):")?;
+        for (depth, o) in ops.iter().enumerate() {
+            let connector = if depth == 0 {
+                String::new()
+            } else {
+                format!("{}└─ ", "   ".repeat(depth - 1))
+            };
+            let label = format!("{connector}{}", o.op);
+            write!(
+                out,
+                "    {:<24}  est {:>10.3} ms / {:>12.0} B   actual {:>12} cycles / {:>12} B   rows {} -> {}   inv {}",
+                label,
+                o.est_ns / 1e6,
+                o.est_bytes,
+                o.actual_cycles,
+                o.actual_bytes,
+                o.rows_in,
+                o.rows_out,
+                o.invocations,
+            )?;
+            if o.op == "filter" && o.rows_in > 0 {
+                // The cost model prices the filter over every scanned row
+                // (estimated selectivity 100%); the observed selectivity
+                // is what the predicate actually let through.
+                writeln!(
+                    out,
+                    "   selectivity est 100.0% obs {:>5.1}%",
+                    o.rows_out as f64 / o.rows_in as f64 * 100.0
+                )?;
+            } else {
+                writeln!(out)?;
+            }
+        }
     }
     if !profile.is_empty() {
         writeln!(out, "  nodes (chosen path):")?;
@@ -575,6 +641,24 @@ mod tests {
                 .unwrap();
             assert!(err < bound, "{key} ns rel-err {err:.1}% ≥ {bound}%");
         }
+        // The per-operator split inherits the same honesty: every
+        // stage-0 operator's rel-err gauge stays inside the path bound
+        // (the scan absorbs the phase remainder, so it is the
+        // worst-case node).
+        for (key, scan, bound) in [
+            ("row", "scan_row", 30.0),
+            ("col", "scan_col", 60.0),
+            ("rm", "scan_rm", 50.0),
+        ] {
+            let name = format!("explain.op_rel_err_pct.ns.{key}.{scan}");
+            let err = mem
+                .metrics()
+                .gauge(&name)
+                .unwrap_or_else(|| panic!("missing gauge {name}"));
+            assert!(err < bound, "{name} = {err:.1}% ≥ {bound}%");
+        }
+        assert!(text.contains("operators (chosen path):"), "{text}");
+        assert!(text.contains("selectivity est 100.0%"), "{text}");
         assert_eq!(mem.metrics().counter("explain.analyze_runs"), 1);
     }
 

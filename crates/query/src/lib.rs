@@ -47,11 +47,13 @@ pub mod parser;
 pub use analyze::{analyze, AnalysisError, PlanDiagnostic, VerifiedQuery};
 pub use bind::{BoundQuery, OutputItem};
 pub use catalog::Catalog;
-pub use cost::{choose_path, choose_path_parallel, AccessPath, PathCost};
+pub use cost::{
+    choose_path, choose_path_parallel, split_path_cost, AccessPath, OpEstimate, PathCost,
+};
 pub use engine::{Engine, Prepared, PreparedQuery, Session};
 pub use exec::{
-    BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, PhaseProfile, QueryExecutor,
-    QueryOutput, Scratchpad, MORSEL_ROWS,
+    BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, OpReport, PhaseProfile,
+    QueryExecutor, QueryOutput, Scratchpad, MORSEL_ROWS,
 };
 pub use explain::{
     analyze_paths, explain, explain_analyze, explain_analyze_sql, explain_sql, PathReport,
@@ -66,8 +68,8 @@ pub use explain::{
 pub mod prelude {
     pub use crate::engine::{Engine, Prepared, PreparedQuery, Session};
     pub use crate::exec::{
-        BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, PhaseProfile, QueryExecutor,
-        QueryOutput, Scratchpad, MORSEL_ROWS,
+        BufferKind, BufferRef, CoreAttribution, FaultContext, OpCache, OpReport, PhaseProfile,
+        QueryExecutor, QueryOutput, Scratchpad, MORSEL_ROWS,
     };
     pub use crate::explain::{explain_sql, PathReport};
     pub use crate::{AccessPath, BoundQuery, Catalog, PathCost};

@@ -32,13 +32,20 @@
 #                                hierarchy traffic, armed fault plans
 #                                bypass the cache, scratch buffers recycle
 #                                without fresh allocations)
-#   9. profiler determinism     (profile_query bin twice under the fixed
+#   9. querylog determinism    (tests/querylog_determinism.rs over the
+#                                same grid: byte-identical query-log /
+#                                workload / calibration JSON from two
+#                                identically seeded engines, per-operator
+#                                estimates summing bit-exactly to the
+#                                path estimate, hits and degraded runs
+#                                logged but never calibrated)
+#  10. profiler determinism     (profile_query bin twice under the fixed
 #                                seed: the cycle-domain sampling profiler
 #                                must export byte-identical .folded
 #                                collapsed-stack profiles, with the sample
 #                                total reconciling against elapsed cycles
 #                                — the bin asserts the reconciliation)
-#  10. perf regression gate     (tools/perf_gate.sh --check on one bench
+#  11. perf regression gate     (tools/perf_gate.sh --check on one bench
 #                                per family, compared against the checked-
 #                                in results/BENCH_*.json baselines: cycle
 #                                counters exact, gauges — including the
@@ -47,7 +54,7 @@
 #                                self-test, which injects a synthetic
 #                                +10% cycle regression and asserts the
 #                                gate fails it)
-#  11. crash-recovery matrix    (tests/crash_recovery.rs with the same
+#  12. crash-recovery matrix    (tests/crash_recovery.rs with the same
 #                                fixed seed: a power cut at every durable
 #                                write of a transactional workload, each
 #                                recovered and checked bit-identical to
@@ -133,6 +140,21 @@ if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
     exit 1
 fi
 
+# Query-log / calibration determinism: the engine-wide query log and the
+# cost-calibration ledger over the same grid (path x cores x chaos seed x
+# cache temperature). Two identically seeded engines must export
+# byte-identical querylog/workload/calib JSON, per-operator estimates
+# must sum bit-exactly to the path estimate, and cache hits / degraded
+# runs must be logged without ever feeding the ledger.
+say "querylog determinism (FABRIC_PAR_CORES=$PAR_CORES, FABRIC_CHAOS_SEED=$CHAOS_SEED)"
+if ! FABRIC_PAR_CORES="$PAR_CORES" FABRIC_CHAOS_SEED="$CHAOS_SEED" \
+    cargo test -q --test querylog_determinism; then
+    printf '\nquerylog determinism FAILED — replay with:\n'
+    printf '  FABRIC_PAR_CORES=%s FABRIC_CHAOS_SEED=%s cargo test --test querylog_determinism\n' \
+        "$PAR_CORES" "$CHAOS_SEED"
+    exit 1
+fi
+
 # Profiler determinism: the cycle-domain sampling profiler is a pure
 # function of the workload and the simulated clock, so two same-seed runs
 # must export byte-identical collapsed-stack profiles. The bin itself
@@ -161,8 +183,8 @@ rm -rf "$PROF_SCRATCH"
 # host wall-clock metrics are excluded by policy. A legitimate perf
 # change re-stamps baselines with:
 #   tools/perf_gate.sh --update-baselines
-say "perf regression gate (abl_parallel fig5_projectivity trace_query abl_recovery profile_query + self-test)"
-tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query abl_recovery profile_query
+say "perf regression gate (abl_parallel fig5_projectivity trace_query abl_recovery profile_query querylog_report + self-test)"
+tools/perf_gate.sh --check abl_parallel fig5_projectivity trace_query abl_recovery profile_query querylog_report
 
 # Crash-recovery matrix: deterministic power cuts at every durable write
 # site of the WAL/checkpoint protocol (DESIGN.md §14), plus recovery

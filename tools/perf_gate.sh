@@ -37,7 +37,7 @@ done
 ALL_BENCHES="abl_compression abl_faults abl_htap abl_index abl_mvcc \
 abl_opcache abl_parallel abl_pushdown abl_recovery abl_relstore \
 abl_rm_device fig5_projectivity fig6_heatmap fig7_tpch profile_query \
-trace_query"
+querylog_report trace_query"
 
 bench_args() {
     case "$1" in
@@ -56,6 +56,7 @@ bench_args() {
         fig6_heatmap)      echo "--rows 65536" ;;
         fig7_tpch)         echo "both --max-target 4" ;;
         profile_query)     echo "--rows 4096 --period 512 --reps 8" ;;
+        querylog_report)   echo "--rows 20000 --reps 3" ;;
         trace_query)       echo "--rows 8192" ;;
         *) echo "perf_gate.sh: unknown bench $1" >&2; exit 2 ;;
     esac
